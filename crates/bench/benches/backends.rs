@@ -1,0 +1,57 @@
+//! End-to-end backend comparison at a tiny budget: real wall-clock cost
+//! of one short training per framework architecture (the real-time analog
+//! of the Table I computation-time column; the simulated times are
+//! produced by the `table1` harness binary instead).
+
+use airdrop_sim::{AirdropConfig, AirdropEnv};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dist_exec::{run, Deployment, ExecSpec, FnEnvFactory, Framework};
+use gymrs::Environment;
+use rl_algos::ppo::PpoConfig;
+use rl_algos::Algorithm;
+use std::hint::black_box;
+
+fn factory() -> FnEnvFactory<impl Fn(u64) -> Box<dyn Environment> + Send + Sync> {
+    FnEnvFactory(|seed| {
+        let mut env = AirdropEnv::new(AirdropConfig::fast_test());
+        env.seed(seed);
+        Box::new(env) as Box<dyn Environment>
+    })
+}
+
+fn short_spec(framework: Framework, nodes: usize) -> ExecSpec {
+    let mut spec = ExecSpec::new(
+        framework,
+        Algorithm::Ppo,
+        Deployment { nodes, cores_per_node: 2 },
+        512,
+        5,
+    );
+    spec.ppo = PpoConfig { n_steps: 256, epochs: 2, hidden: vec![32, 32], ..PpoConfig::default() };
+    spec
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_short_training");
+    group.sample_size(10);
+    for framework in Framework::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(framework),
+            &framework,
+            |b, &framework| {
+                let f = factory();
+                b.iter(|| black_box(run(&short_spec(framework, 1), &f).expect("runs").env_steps));
+            },
+        );
+    }
+    group.bench_function("rllib_2_nodes", |b| {
+        let f = factory();
+        b.iter(|| {
+            black_box(run(&short_spec(Framework::RayRllib, 2), &f).expect("runs").env_steps)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Airdrop environment step throughput by RK order (the simulator-side
+//! component of the Table I computation-time column).
+
+use airdrop_sim::{AirdropConfig, AirdropEnv};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gymrs::{Action, Environment};
+use rk_ode::RkOrder;
+use std::hint::black_box;
+
+fn bench_env_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("airdrop_env_step");
+    for order in RkOrder::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, &order| {
+            let mut cfg = AirdropConfig::fast_test();
+            cfg.rk_order = order;
+            let mut env = AirdropEnv::new(cfg);
+            env.seed(7);
+            env.reset();
+            let action = Action::Continuous(vec![0.2]);
+            b.iter(|| {
+                let s = env.step(&action);
+                if s.done() {
+                    env.reset();
+                }
+                black_box(s.reward)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_episode(c: &mut Criterion) {
+    c.bench_function("airdrop_full_episode_rk5", |b| {
+        let mut env = AirdropEnv::new(AirdropConfig::fast_test());
+        env.seed(3);
+        b.iter(|| {
+            env.reset();
+            let mut steps = 0u32;
+            loop {
+                let s = env.step(&Action::Continuous(vec![0.0]));
+                steps += 1;
+                if s.done() {
+                    break;
+                }
+            }
+            black_box(steps)
+        });
+    });
+}
+
+fn bench_gusty_episode(c: &mut Criterion) {
+    c.bench_function("airdrop_full_episode_gusts", |b| {
+        let cfg = AirdropConfig {
+            gusts_enabled: true,
+            gust_probability: 0.3,
+            ..AirdropConfig::fast_test()
+        };
+        let mut env = AirdropEnv::new(cfg);
+        env.seed(3);
+        b.iter(|| {
+            env.reset();
+            let mut total = 0.0;
+            loop {
+                let s = env.step(&Action::Continuous(vec![0.1]));
+                total += s.reward;
+                if s.done() {
+                    break;
+                }
+            }
+            black_box(total)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_env_step, bench_full_episode, bench_gusty_episode
+}
+criterion_main!(benches);

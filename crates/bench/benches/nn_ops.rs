@@ -1,0 +1,79 @@
+//! tinynn substrate costs: the 64×64 policy networks' forward/backward
+//! passes that the learning-side cost model charges for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tinynn::{Activation, Adam, Matrix, Mlp, Optimizer};
+
+fn policy_net(rng: &mut StdRng) -> Mlp {
+    Mlp::new(&[11, 64, 64, 1], Activation::Tanh, Activation::Identity, rng)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = policy_net(&mut rng);
+    let mut group = c.benchmark_group("mlp_forward");
+    for batch in [1usize, 64, 256] {
+        let x = Matrix::full(batch, 11, 0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| black_box(net.infer(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = policy_net(&mut rng);
+    let mut group = c.benchmark_group("mlp_forward_backward");
+    for batch in [64usize, 256] {
+        let x = Matrix::full(batch, 11, 0.3);
+        let dout = Matrix::full(batch, 1, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                let tape = net.forward(&x);
+                net.zero_grad();
+                black_box(net.backward(&tape, &dout))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_adam_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = policy_net(&mut rng);
+    let x = Matrix::full(64, 11, 0.3);
+    let dout = Matrix::full(64, 1, 1.0);
+    let tape = net.forward(&x);
+    net.zero_grad();
+    net.backward(&tape, &dout);
+    let mut opt = Adam::new(3e-4);
+    c.bench_function("adam_step_64x64_policy", |b| {
+        b.iter(|| {
+            opt.step(&mut net);
+            black_box(net.param_count())
+        });
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::full(64, 64, 0.5);
+    let b_ = Matrix::full(64, 64, 0.25);
+    c.bench_function("matmul_64x64", |b| {
+        let mut out = Matrix::zeros(64, 64);
+        b.iter(|| {
+            a.matmul_into(&b_, &mut out);
+            black_box(out.get(0, 0))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_forward, bench_forward_backward, bench_adam_step, bench_matmul
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ranking-method costs: Pareto front computation, non-dominated sorting,
+//! hypervolume and the scalar rankings, as trial counts grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decision::prelude::*;
+use decision::rank::pareto::non_dominated_ranks;
+use decision::rank::hypervolume_2d;
+use std::hint::black_box;
+
+fn make_trials(n: usize) -> Vec<Trial> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.731).sin();
+            let y = (i as f64 * 1.237).cos();
+            Trial::complete(
+                i,
+                Configuration::new().with("i", ParamValue::Int(i as i64)),
+                MetricValues::new()
+                    .with("reward", x)
+                    .with("time_min", 60.0 + 30.0 * y)
+                    .with("power_kj", 150.0 + 100.0 * (x * y)),
+            )
+        })
+        .collect()
+}
+
+fn metrics2() -> Vec<MetricDef> {
+    vec![MetricDef::maximize("reward"), MetricDef::minimize("time_min")]
+}
+
+fn metrics3() -> Vec<MetricDef> {
+    vec![
+        MetricDef::maximize("reward"),
+        MetricDef::minimize("time_min"),
+        MetricDef::minimize("power_kj"),
+    ]
+}
+
+fn bench_front(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_front");
+    for n in [18usize, 100, 400] {
+        let trials = make_trials(n);
+        group.bench_with_input(BenchmarkId::new("2d", n), &n, |b, _| {
+            b.iter(|| black_box(ParetoFront::compute(&trials, &metrics2())));
+        });
+        group.bench_with_input(BenchmarkId::new("3d", n), &n, |b, _| {
+            b.iter(|| black_box(ParetoFront::compute(&trials, &metrics3())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_nds(c: &mut Criterion) {
+    let trials = make_trials(200);
+    c.bench_function("non_dominated_ranks_200", |b| {
+        b.iter(|| black_box(non_dominated_ranks(&trials, &metrics2())));
+    });
+}
+
+fn bench_hypervolume(c: &mut Criterion) {
+    let trials = make_trials(200);
+    let (mx, my) = (MetricDef::maximize("reward"), MetricDef::minimize("time_min"));
+    c.bench_function("hypervolume_2d_200", |b| {
+        b.iter(|| black_box(hypervolume_2d(&trials, &mx, &my, (-2.0, 200.0))));
+    });
+}
+
+fn bench_scalar_rankings(c: &mut Criterion) {
+    let trials = make_trials(200);
+    c.bench_function("sorted_ranking_200", |b| {
+        let r = SortedRanking::by(MetricDef::maximize("reward"))
+            .then_by(MetricDef::minimize("time_min"));
+        b.iter(|| black_box(r.rank(&trials)));
+    });
+    c.bench_function("weighted_sum_200", |b| {
+        let w = WeightedSum::new()
+            .weight(MetricDef::maximize("reward"), 0.5)
+            .weight(MetricDef::minimize("time_min"), 0.5);
+        b.iter(|| black_box(w.rank(&trials)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_front, bench_nds, bench_hypervolume, bench_scalar_rankings
+}
+criterion_main!(benches);

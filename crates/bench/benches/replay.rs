@@ -1,0 +1,79 @@
+//! Experience-storage costs: replay-buffer push/sample (SAC's hot path)
+//! and rollout GAE computation (PPO's).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gymrs::Action;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_algos::buffer::{ReplayBuffer, RolloutBuffer, Transition};
+use std::hint::black_box;
+
+fn transition(i: usize) -> Transition {
+    Transition {
+        obs: vec![i as f64; 11],
+        action: vec![0.1],
+        reward: -0.1,
+        next_obs: vec![i as f64 + 1.0; 11],
+        terminated: i % 100 == 99,
+    }
+}
+
+fn bench_replay_push(c: &mut Criterion) {
+    c.bench_function("replay_push_at_capacity", |b| {
+        let mut rb = ReplayBuffer::new(10_000);
+        for i in 0..10_000 {
+            rb.push(transition(i));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            rb.push(transition(i));
+            i += 1;
+            black_box(rb.len())
+        });
+    });
+}
+
+fn bench_replay_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_sample");
+    let mut rb = ReplayBuffer::new(50_000);
+    for i in 0..50_000 {
+        rb.push(transition(i));
+    }
+    for batch in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(rb.sample(batch, &mut rng).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gae(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollout_gae");
+    for n in [1024usize, 4096] {
+        let mut rb = RolloutBuffer::with_capacity(n);
+        for i in 0..n {
+            rb.push(
+                vec![0.1; 11],
+                Action::Continuous(vec![0.0]),
+                -0.01,
+                i % 200 == 199,
+                i % 200 == 199,
+                0.5,
+                if i % 200 == 199 { 0.0 } else { 0.4 },
+                -1.0,
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(rb.advantages(0.99, 0.95)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_replay_push, bench_replay_sample, bench_gae
+}
+criterion_main!(benches);

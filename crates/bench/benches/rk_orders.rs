@@ -1,0 +1,63 @@
+//! Cost of one control-interval integration of the parafoil dynamics at
+//! each Runge–Kutta order — the §IV-B accuracy/cost knob in isolation.
+//!
+//! The criterion throughputs should order RK3 < RK5 < RK8, with ratios
+//! close to the derivative-evaluation counts (≈ 6.5 : 13 : 43).
+
+use airdrop_sim::dynamics::{initial_state, ParafoilDynamics, ParafoilParams, STATE_DIM};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rk_ode::RkOrder;
+use std::hint::black_box;
+
+fn bench_rk_orders(c: &mut Criterion) {
+    let params = ParafoilParams::default();
+    let dyns = ParafoilDynamics { params, command: 0.7, wind: (1.0, -0.5) };
+    let y0 = initial_state(100.0, -50.0, 400.0, 0.3, &params);
+
+    let mut group = c.benchmark_group("rk_control_step");
+    for order in RkOrder::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(order),
+            &order,
+            |b, &order| {
+                let mut stepper = order.stepper_for(STATE_DIM);
+                b.iter(|| {
+                    let mut y = y0;
+                    // One 0.5 s control interval in two 0.25 s substeps.
+                    stepper.reset();
+                    let w1 = stepper.step(&dyns, 0.0, 0.25, &mut y);
+                    let w2 = stepper.step(&dyns, 0.25, 0.25, &mut y);
+                    black_box((y, w1 + w2))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_adaptive_vs_fixed(c: &mut Criterion) {
+    use rk_ode::{AdaptiveOptions, AdaptiveStepper};
+    let params = ParafoilParams::default();
+    let dyns = ParafoilDynamics { params, command: 1.0, wind: (0.0, 0.0) };
+    let y0 = initial_state(0.0, 0.0, 400.0, 0.0, &params);
+
+    c.bench_function("adaptive_dopri5_10s_flight", |b| {
+        b.iter(|| {
+            let mut st = AdaptiveStepper::new(
+                &rk_ode::tableau::DOPRI5,
+                STATE_DIM,
+                AdaptiveOptions { atol: 1e-8, rtol: 1e-8, h0: 0.1, ..Default::default() },
+            )
+            .expect("embedded pair");
+            let mut y = y0.to_vec();
+            black_box(st.integrate(&dyns, &mut y, 0.0, 10.0).expect("integrates"))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_rk_orders, bench_adaptive_vs_fixed
+}
+criterion_main!(benches);

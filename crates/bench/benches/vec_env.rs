@@ -1,0 +1,50 @@
+//! Vectorized-environment stepping: sequential vs. thread-parallel, by
+//! sub-environment count — the Stable Baselines / TF-Agents collection
+//! mechanisms in isolation.
+
+use airdrop_sim::{AirdropConfig, AirdropEnv};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gymrs::{Action, VecEnv};
+use std::hint::black_box;
+
+fn make_vec(n: usize) -> VecEnv<AirdropEnv> {
+    let envs: Vec<AirdropEnv> =
+        (0..n).map(|_| AirdropEnv::new(AirdropConfig::fast_test())).collect();
+    let mut v = VecEnv::new(envs, 9);
+    v.reset_all();
+    v
+}
+
+fn bench_step_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vec_env_step");
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            let mut v = make_vec(n);
+            let actions = vec![Action::Continuous(vec![0.1]); n];
+            b.iter(|| black_box(v.step_all(&actions).finished.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, &n| {
+            let mut v = make_vec(n);
+            let actions = vec![Action::Continuous(vec![0.1]); n];
+            b.iter(|| black_box(v.step_parallel(&actions).finished.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_world_vec(c: &mut Criterion) {
+    use gymrs::envs::GridWorld;
+    c.bench_function("vec_env_gridworld_4", |b| {
+        let mut v = VecEnv::new((0..4).map(|_| GridWorld::new(5)).collect::<Vec<_>>(), 0);
+        v.reset_all();
+        let actions = vec![Action::Discrete(3); 4];
+        b.iter(|| black_box(v.step_all(&actions).steps.len()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_step_all, bench_grid_world_vec
+}
+criterion_main!(benches);

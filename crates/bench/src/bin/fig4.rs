@@ -1,0 +1,17 @@
+//! Reproduce **Figure 4**: the Reward vs. Computation Time Pareto front
+//! (paper front: solutions 2, 5, 11, 16).
+//!
+//! Reuses `table1`'s journal when present (same `--steps`/`--seed`), so
+//! running `table1` first avoids re-training.
+
+use decision::prelude::MetricDef;
+
+fn main() {
+    bench::figdriver::run_figure(
+        "fig4",
+        "Reward vs. Computation Time trade-off (Fig. 4)",
+        MetricDef::minimize("time_min"),
+        MetricDef::maximize("reward"),
+        &[2, 5, 11, 16],
+    );
+}

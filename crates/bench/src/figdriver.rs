@@ -1,0 +1,93 @@
+//! Shared driver for the `fig4`/`fig5`/`fig6` binaries.
+
+use crate::harness::emit_figure;
+use crate::paper::PaperRow;
+use crate::{run_table1_study, HarnessOpts};
+use decision::prelude::*;
+
+/// Run (or resume) the Table I study, compute one figure's Pareto front
+/// over the PPO solutions, emit SVG/CSV artifacts (measured + paper-side)
+/// and print the comparison. Exits the process on error.
+pub fn run_figure(name: &str, title: &str, x: MetricDef, y: MetricDef, paper_front: &[usize]) {
+    let opts = match HarnessOpts::from_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let trials = match run_table1_study(&opts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The figures display PPO solutions only (§VI-A: SAC "could not be
+    // displayed in the graph because of the scale").
+    let ppo: Vec<Trial> =
+        trials.iter().filter(|t| t.config.str("algorithm") == Some("PPO")).cloned().collect();
+
+    let front_ids = match emit_figure(name, title, &ppo, x.clone(), y.clone(), &opts) {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Also emit the paper-side figure from Table I's reported values, for
+    // visual comparison.
+    let paper_trials: Vec<Trial> = crate::TABLE1
+        .iter()
+        .filter(|r| r.algorithm == rl_algos::Algorithm::Ppo)
+        .map(PaperRow::to_paper_trial)
+        .collect();
+    let paper_name = format!("{name}_paper");
+    let _ = emit_figure(
+        &paper_name,
+        &format!("{title} — paper-reported values"),
+        &paper_trials,
+        x,
+        y,
+        &opts,
+    );
+
+    println!("{title}");
+    println!("  measured Pareto front (solution ids): {front_ids:?}");
+    println!("  paper's front:                        {paper_front:?}");
+    if let Some(dir) = &opts.out_dir {
+        println!("  artifacts: {}/{{{name}.svg,{name}.csv,{paper_name}.svg}}", dir.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::figures;
+
+    #[test]
+    fn paper_side_figures_reproduce_their_fronts() {
+        // The same computation run_figure performs on the paper trials.
+        let cases: [(&str, (MetricDef, MetricDef), Vec<usize>); 3] = [
+            ("fig4", figures::fig4_metrics(), vec![2, 5, 11, 16]),
+            ("fig5", figures::fig5_metrics(), vec![2, 5, 11]),
+            ("fig6", figures::fig6_metrics(), vec![11, 14, 16]),
+        ];
+        for (name, (x, y), want) in cases {
+            let trials: Vec<Trial> = crate::TABLE1
+                .iter()
+                .filter(|r| r.algorithm == rl_algos::Algorithm::Ppo)
+                .map(PaperRow::to_paper_trial)
+                .collect();
+            let front = ParetoFront::compute(&trials, &[x, y]);
+            let mut ids: Vec<usize> = front
+                .indices()
+                .iter()
+                .map(|&i| trials[i].config.int("draw").unwrap() as usize)
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(ids, want, "{name}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # bench — reproduction harnesses for the paper's evaluation
+//!
+//! Binaries (each accepts `--steps N`, `--seed N`, `--paper`, `--smoke`,
+//! `--only 2,5,11`, `--out DIR`, `--no-out`, `--eval-episodes N`):
+//!
+//! * `table1` — run the 18 configurations of Table I end-to-end and print
+//!   the measured vs. paper-reported table;
+//! * `fig4` / `fig5` / `fig6` — compute and render (SVG + CSV) the three
+//!   Pareto fronts; they reuse `table1`'s journal when present, so
+//!   `table1 && fig4 && fig5 && fig6` trains only once;
+//! * `ablations` — the §VI-D single-factor sweeps (RK order, node count,
+//!   core count, vectorization).
+//!
+//! Criterion microbenches live in `benches/` (one per substrate cost the
+//! paper's evaluation leans on).
+
+pub mod calibration;
+pub mod figdriver;
+pub mod harness;
+pub mod paper;
+
+pub use harness::{run_row, run_table1_study, HarnessOpts, PAPER_STEPS};
+pub use paper::{PaperRow, TABLE1};

@@ -1,0 +1,205 @@
+//! Gantt-chart rendering of a session's execution trace.
+//!
+//! One lane per node plus a network lane; compute phases are drawn as
+//! bars shaded by stream utilization, transfers and overhead in their
+//! own colors. Useful for *seeing* why a deployment is slow — e.g. the
+//! RLlib-like backend's learner phases serializing after every
+//! collection wave, or the second node idling through them.
+
+use crate::session::PhaseEvent;
+use crate::spec::ClusterSpec;
+
+/// Render a trace as an SVG Gantt chart.
+///
+/// `span` limits the rendered window to the first `span` seconds of the
+/// run (`None` renders everything — fine for short traces, huge for full
+/// trainings).
+pub fn render_gantt(
+    spec: &ClusterSpec,
+    trace: &[PhaseEvent],
+    title: &str,
+    span: Option<f64>,
+) -> String {
+    let total: f64 = trace
+        .iter()
+        .map(|e| e.start_end().1)
+        .fold(0.0, f64::max)
+        .max(1e-9);
+    let window = span.unwrap_or(total).min(total).max(1e-9);
+
+    let lanes = spec.nodes + 1; // nodes + network/overhead lane
+    let (w, lane_h, ml, mt) = (900.0, 34.0, 90.0, 48.0);
+    let plot_w = w - ml - 20.0;
+    let h = mt + lanes as f64 * lane_h + 40.0;
+    let sx = |t: f64| ml + (t / window) * plot_w;
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    ));
+    s.push_str(&format!(r#"<rect width="{w}" height="{h}" fill="white"/>"#));
+    s.push_str(&format!(
+        r#"<text x="{}" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        xml_escape(title)
+    ));
+    // Lane labels and separators.
+    for lane in 0..lanes {
+        let y = mt + lane as f64 * lane_h;
+        let label = if lane < spec.nodes {
+            format!("node {lane}")
+        } else {
+            "net/ovh".to_string()
+        };
+        s.push_str(&format!(
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="end">{}</text>"#,
+            ml - 8.0,
+            y + lane_h * 0.65,
+            label
+        ));
+        s.push_str(&format!(
+            r##"<line x1="{ml}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+            ml + plot_w
+        ));
+    }
+
+    // Phases.
+    for e in trace {
+        let (start, end) = e.start_end();
+        if start > window {
+            break;
+        }
+        let x0 = sx(start);
+        let x1 = sx(end.min(window));
+        let bw = (x1 - x0).max(0.5);
+        match e {
+            PhaseEvent::Compute { work, .. } => {
+                for (node, _units, streams) in work {
+                    if *node >= spec.nodes {
+                        continue;
+                    }
+                    let u = (*streams as f64 / spec.node.cores as f64).min(1.0);
+                    let y = mt + *node as f64 * lane_h + 4.0;
+                    // Utilization shades the bar from light to saturated.
+                    let alpha = 0.35 + 0.65 * u;
+                    s.push_str(&format!(
+                        r##"<rect x="{x0:.1}" y="{y:.1}" width="{bw:.1}" height="{bh:.1}" fill="#1f77b4" fill-opacity="{alpha:.2}"/>"##,
+                        bh = lane_h - 8.0
+                    ));
+                }
+            }
+            PhaseEvent::Transfer { bytes, .. } => {
+                let y = mt + spec.nodes as f64 * lane_h + 4.0;
+                s.push_str(&format!(
+                    r##"<rect x="{x0:.1}" y="{y:.1}" width="{bw:.1}" height="{bh:.1}" fill="#d62728"><title>{bytes} B</title></rect>"##,
+                    bh = lane_h - 8.0
+                ));
+            }
+            PhaseEvent::Overhead { .. } => {
+                let y = mt + spec.nodes as f64 * lane_h + 4.0;
+                s.push_str(&format!(
+                    r##"<rect x="{x0:.1}" y="{y:.1}" width="{bw:.1}" height="{bh:.1}" fill="#7f7f7f" fill-opacity="0.6"/>"##,
+                    bh = lane_h - 8.0
+                ));
+            }
+        }
+    }
+
+    // Time axis.
+    let y_axis = mt + lanes as f64 * lane_h + 8.0;
+    for k in 0..=4 {
+        let t = window * k as f64 / 4.0;
+        s.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="middle">{:.1}s</text>"#,
+            sx(t),
+            y_axis + 14.0,
+            t
+        ));
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+impl PhaseEvent {
+    /// `(start, end)` times of the phase.
+    pub fn start_end(&self) -> (f64, f64) {
+        match self {
+            PhaseEvent::Compute { start_s, duration_s, .. }
+            | PhaseEvent::Transfer { start_s, duration_s, .. }
+            | PhaseEvent::Overhead { start_s, duration_s } => (*start_s, start_s + duration_s),
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{ClusterSession, NodeWork};
+    use crate::spec::ClusterSpec;
+
+    fn traced_session() -> (ClusterSpec, Vec<PhaseEvent>) {
+        let spec = ClusterSpec::paper_testbed(2);
+        let mut s = ClusterSession::new(spec.clone()).with_trace();
+        s.concurrent(&[
+            NodeWork { node: 0, units: 1000.0, streams: 4 },
+            NodeWork { node: 1, units: 800.0, streams: 4 },
+        ]);
+        s.transfer(250_000);
+        s.compute(0, 300.0, 2);
+        s.overhead(0.4);
+        (spec, s.trace().to_vec())
+    }
+
+    #[test]
+    fn gantt_is_well_formed() {
+        let (spec, trace) = traced_session();
+        let svg = render_gantt(&spec, &trace, "RLlib-like iteration", None);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("node 0"));
+        assert!(svg.contains("node 1"));
+        assert!(svg.contains("net/ovh"));
+    }
+
+    #[test]
+    fn gantt_draws_one_bar_per_phase_lane() {
+        let (spec, trace) = traced_session();
+        let svg = render_gantt(&spec, &trace, "t", None);
+        // background + 2 concurrent-compute bars + 1 transfer + 1 compute
+        // + 1 overhead = 6 rects.
+        assert_eq!(svg.matches("<rect").count(), 6, "{svg}");
+        assert!(svg.contains("250000 B"));
+    }
+
+    #[test]
+    fn span_clips_the_window() {
+        let (spec, trace) = traced_session();
+        let full = render_gantt(&spec, &trace, "t", None);
+        let clipped = render_gantt(&spec, &trace, "t", Some(trace[0].duration() * 0.5));
+        // Later phases are skipped: fewer rects.
+        assert!(clipped.matches("<rect").count() < full.matches("<rect").count());
+    }
+
+    #[test]
+    fn start_end_tile_the_clock() {
+        let (_, trace) = traced_session();
+        let mut prev_end = 0.0;
+        for e in &trace {
+            let (start, end) = e.start_end();
+            assert!((start - prev_end).abs() < 1e-12, "phases must be contiguous");
+            assert!(end >= start);
+            prev_end = end;
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let spec = ClusterSpec::paper_testbed(1);
+        let svg = render_gantt(&spec, &[], "empty", None);
+        assert!(svg.contains("</svg>"));
+    }
+}

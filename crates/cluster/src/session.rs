@@ -1,0 +1,403 @@
+//! The cluster session: a simulated clock plus energy integration.
+//!
+//! Backends narrate their execution to a session as a sequence of phases:
+//!
+//! * [`ClusterSession::compute`] — `units` of work spread over `streams`
+//!   parallel streams on one node;
+//! * [`ClusterSession::concurrent`] — compute proceeding on several nodes
+//!   at once (the distributed rollout phase), advancing the clock by the
+//!   slowest participant;
+//! * [`ClusterSession::transfer`] — a blocking inter-node message;
+//! * [`ClusterSession::overhead`] — framework bookkeeping time charged at
+//!   single-core activity.
+//!
+//! Idle power of every allocated node accrues for the full wall time, so
+//! a 2-node deployment that does not speed up enough *costs more energy*
+//! than the single-node one — the effect behind the paper's §VI-B
+//! observation that intra-node parallelism is the more efficient choice.
+
+use crate::power::PowerModel;
+use crate::spec::ClusterSpec;
+use crate::usage::Usage;
+
+/// A compute demand on one node (used by [`ClusterSession::concurrent`]).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeWork {
+    /// Node index (`< spec.nodes`).
+    pub node: usize,
+    /// Work units to retire.
+    pub units: f64,
+    /// Parallel streams (≤ cores; extra streams round-robin).
+    pub streams: usize,
+}
+
+/// One recorded phase of a session — the execution trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseEvent {
+    /// A compute phase: per-node `(node, units, streams)` demands, with
+    /// the phase's start time and duration.
+    Compute {
+        /// Simulated start time (s).
+        start_s: f64,
+        /// Phase duration (s).
+        duration_s: f64,
+        /// The per-node demands.
+        work: Vec<(usize, f64, usize)>,
+    },
+    /// A network transfer.
+    Transfer {
+        /// Simulated start time (s).
+        start_s: f64,
+        /// Duration (s).
+        duration_s: f64,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Framework overhead time.
+    Overhead {
+        /// Simulated start time (s).
+        start_s: f64,
+        /// Duration (s).
+        duration_s: f64,
+    },
+}
+
+impl PhaseEvent {
+    /// The phase duration in seconds.
+    pub fn duration(&self) -> f64 {
+        match self {
+            PhaseEvent::Compute { duration_s, .. }
+            | PhaseEvent::Transfer { duration_s, .. }
+            | PhaseEvent::Overhead { duration_s, .. } => *duration_s,
+        }
+    }
+}
+
+/// Simulated execution of one training run on the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSession {
+    spec: ClusterSpec,
+    power: PowerModel,
+    clock_s: f64,
+    active_j: f64,
+    usage: Usage,
+    trace: Vec<PhaseEvent>,
+    trace_enabled: bool,
+}
+
+impl ClusterSession {
+    /// Start a session on the given cluster.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let power = PowerModel::new(spec.node);
+        Self {
+            spec,
+            power,
+            clock_s: 0.0,
+            active_j: 0.0,
+            usage: Usage::default(),
+            trace: Vec::new(),
+            trace_enabled: false,
+        }
+    }
+
+    /// Enable phase tracing (off by default — long trainings produce many
+    /// thousands of phases).
+    pub fn with_trace(mut self) -> Self {
+        self.trace_enabled = true;
+        self
+    }
+
+    /// The recorded execution trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &[PhaseEvent] {
+        &self.trace
+    }
+
+    /// The cluster spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Current simulated clock (s).
+    pub fn now(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Duration of `units` of work over `streams` streams on one node.
+    ///
+    /// Streams beyond the core count time-share: 6 streams on 4 cores run
+    /// at 4 cores' throughput. The duration is governed by the busiest
+    /// core (ceil division of streams onto cores).
+    pub fn compute_duration(&self, units: f64, streams: usize) -> f64 {
+        assert!(streams > 0, "compute needs at least one stream");
+        let cores = self.spec.node.cores;
+        let used = streams.min(cores);
+        // Load per stream, times streams per busiest core.
+        let per_stream = units / streams as f64;
+        let streams_on_busiest = streams.div_ceil(used);
+        self.spec.node.seconds_for(per_stream * streams_on_busiest as f64)
+    }
+
+    /// Run `units` of work in `streams` parallel streams on `node`.
+    pub fn compute(&mut self, node: usize, units: f64, streams: usize) -> f64 {
+        self.concurrent(&[NodeWork { node, units, streams }])
+    }
+
+    /// Run compute on several nodes at once; the clock advances by the
+    /// slowest node, each node's active energy accrues for its own busy
+    /// duration.
+    pub fn concurrent(&mut self, work: &[NodeWork]) -> f64 {
+        assert!(!work.is_empty());
+        let mut wall = 0.0f64;
+        for w in work {
+            assert!(w.node < self.spec.nodes, "node {} out of range", w.node);
+            let d = self.compute_duration(w.units, w.streams);
+            let busy = w.streams.min(self.spec.node.cores) as f64;
+            self.active_j += self.power.active_joules(busy, d);
+            wall = wall.max(d);
+        }
+        if self.trace_enabled {
+            self.trace.push(PhaseEvent::Compute {
+                start_s: self.clock_s,
+                duration_s: wall,
+                work: work.iter().map(|w| (w.node, w.units, w.streams)).collect(),
+            });
+        }
+        self.clock_s += wall;
+        self.usage.compute_s += wall;
+        self.usage.compute_phases += 1;
+        wall
+    }
+
+    /// A blocking transfer of `bytes` between two nodes.
+    ///
+    /// On a single-node cluster, inter-process traffic stays on the
+    /// loopback/shared memory and is charged at 1/20 of the wire time
+    /// (still nonzero: serialization is not free).
+    pub fn transfer(&mut self, bytes: u64) -> f64 {
+        let wire = self.spec.network.transfer_time(bytes);
+        let t = if self.spec.nodes > 1 { wire } else { wire / 20.0 };
+        if self.trace_enabled {
+            self.trace.push(PhaseEvent::Transfer {
+                start_s: self.clock_s,
+                duration_s: t,
+                bytes,
+            });
+        }
+        self.clock_s += t;
+        self.usage.network_s += t;
+        self.usage.bytes_moved += bytes;
+        self.usage.transfers += 1;
+        t
+    }
+
+    /// Framework bookkeeping time (sampling batches, Python-side glue in
+    /// the originals), charged at one active core on node 0.
+    pub fn overhead(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        if self.trace_enabled {
+            self.trace.push(PhaseEvent::Overhead { start_s: self.clock_s, duration_s: seconds });
+        }
+        self.active_j += self.power.active_joules(1.0, seconds);
+        self.clock_s += seconds;
+        self.usage.compute_s += seconds;
+    }
+
+    /// Finish the session: fold in the idle energy of every allocated node
+    /// over the full wall time and return the usage report.
+    pub fn finish(mut self) -> Usage {
+        self.usage.wall_s = self.clock_s;
+        self.usage.energy_j = self.active_j + self.clock_s * self.spec.total_idle_watts();
+        self.usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{NetworkSpec, NodeSpec};
+
+    fn session(nodes: usize) -> ClusterSession {
+        ClusterSession::new(ClusterSpec::paper_testbed(nodes))
+    }
+
+    #[test]
+    fn more_streams_cut_compute_time() {
+        let s = session(1);
+        let t1 = s.compute_duration(36_000.0, 1);
+        let t2 = s.compute_duration(36_000.0, 2);
+        let t4 = s.compute_duration(36_000.0, 4);
+        assert!(t1 > t2 && t2 > t4, "{t1} {t2} {t4}");
+        assert!((t1 / t4 - 4.0).abs() < 1e-9, "4 cores give 4x on divisible work");
+    }
+
+    #[test]
+    fn oversubscription_does_not_speed_up() {
+        let s = session(1);
+        let t4 = s.compute_duration(36_000.0, 4);
+        let t8 = s.compute_duration(36_000.0, 8);
+        assert!((t8 - t4).abs() < 1e-9, "8 streams on 4 cores = 4-core throughput");
+    }
+
+    #[test]
+    fn uneven_streams_are_governed_by_busiest_core() {
+        let s = session(1);
+        // 5 streams on 4 cores: busiest core runs 2 streams.
+        let t5 = s.compute_duration(50_000.0, 5);
+        let expect = s.spec().node.seconds_for(50_000.0 / 5.0 * 2.0);
+        assert!((t5 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_nodes_overlap() {
+        let mut one = session(2);
+        one.compute(0, 36_000.0, 4);
+        one.compute(1, 36_000.0, 4);
+        let serial = one.now();
+
+        let mut two = session(2);
+        two.concurrent(&[
+            NodeWork { node: 0, units: 36_000.0, streams: 4 },
+            NodeWork { node: 1, units: 36_000.0, streams: 4 },
+        ]);
+        assert!((two.now() - serial / 2.0).abs() < 1e-9, "perfect overlap halves wall time");
+    }
+
+    #[test]
+    fn energy_includes_idle_of_all_nodes() {
+        // Same work, same single-node compute; the 2-node session must
+        // burn more energy because the second node idles.
+        let mut a = session(1);
+        a.compute(0, 36_000.0, 4);
+        let ua = a.finish();
+
+        let mut b = session(2);
+        b.compute(0, 36_000.0, 4);
+        let ub = b.finish();
+
+        assert!((ua.wall_s - ub.wall_s).abs() < 1e-12);
+        assert!(ub.energy_j > ua.energy_j, "idle second node costs energy");
+        let idle_extra = NodeSpec::default().idle_watts * ua.wall_s;
+        assert!((ub.energy_j - ua.energy_j - idle_extra).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fewer_cores_less_power_more_time() {
+        // The §VI-D trade-off: 2 cores vs 4 cores on the same work.
+        let run = |streams: usize| {
+            let mut s = session(1);
+            s.compute(0, 360_000.0, streams);
+            s.finish()
+        };
+        let two = run(2);
+        let four = run(4);
+        assert!(two.wall_s > four.wall_s, "4 cores are faster");
+        assert!(two.mean_watts() < four.mean_watts(), "2 cores draw less power");
+    }
+
+    #[test]
+    fn transfer_cheaper_within_a_node() {
+        let mut local = session(1);
+        let tl = local.transfer(1_000_000);
+        let mut remote = session(2);
+        let tr = remote.transfer(1_000_000);
+        assert!(tr > tl * 10.0, "wire transfer {tr} vs local {tl}");
+    }
+
+    #[test]
+    fn transfer_accounts_bytes_and_time() {
+        let mut s = session(2);
+        s.transfer(2_000_000);
+        s.transfer(1_000_000);
+        let u = s.finish();
+        assert_eq!(u.bytes_moved, 3_000_000);
+        assert_eq!(u.transfers, 2);
+        let expect = NetworkSpec::default().transfer_time(2_000_000)
+            + NetworkSpec::default().transfer_time(1_000_000);
+        assert!((u.network_s - expect).abs() < 1e-12);
+        assert!((u.wall_s - u.network_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_advances_clock_at_one_core() {
+        let mut s = session(1);
+        s.overhead(10.0);
+        let u = s.finish();
+        assert!((u.wall_s - 10.0).abs() < 1e-12);
+        let m = PowerModel::new(NodeSpec::default());
+        assert!((u.energy_j - m.joules(1.0, 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_breakdown_sums_to_wall() {
+        let mut s = session(2);
+        s.compute(0, 10_000.0, 4);
+        s.transfer(500_000);
+        s.compute(1, 5_000.0, 2);
+        let u = s.finish();
+        assert!((u.compute_s + u.network_s - u.wall_s).abs() < 1e-12);
+        assert_eq!(u.compute_phases, 2);
+    }
+
+    #[test]
+    fn trace_is_empty_unless_enabled() {
+        let mut s = session(1);
+        s.compute(0, 100.0, 2);
+        s.transfer(1_000);
+        assert!(s.trace().is_empty());
+    }
+
+    #[test]
+    fn trace_records_phases_in_order() {
+        let mut s = ClusterSession::new(ClusterSpec::paper_testbed(2)).with_trace();
+        s.compute(0, 1_000.0, 4);
+        s.transfer(5_000);
+        s.overhead(0.5);
+        let trace = s.trace().to_vec();
+        assert_eq!(trace.len(), 3);
+        assert!(matches!(trace[0], PhaseEvent::Compute { .. }));
+        assert!(matches!(trace[1], PhaseEvent::Transfer { bytes: 5_000, .. }));
+        assert!(matches!(trace[2], PhaseEvent::Overhead { .. }));
+        // Start times are strictly ordered and durations tile the clock.
+        let total: f64 = trace.iter().map(|e| e.duration()).sum();
+        let u = s.finish();
+        assert!((total - u.wall_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_compute_carries_node_demands() {
+        let mut s = ClusterSession::new(ClusterSpec::paper_testbed(2)).with_trace();
+        s.concurrent(&[
+            NodeWork { node: 0, units: 100.0, streams: 4 },
+            NodeWork { node: 1, units: 50.0, streams: 2 },
+        ]);
+        match &s.trace()[0] {
+            PhaseEvent::Compute { work, .. } => {
+                assert_eq!(work.len(), 2);
+                assert_eq!(work[0], (0, 100.0, 4));
+                assert_eq!(work[1], (1, 50.0, 2));
+            }
+            other => panic!("expected compute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let mut s = session(1);
+        s.compute(1, 10.0, 1);
+    }
+
+    #[test]
+    fn more_work_more_time_and_energy() {
+        // Property-style monotonicity over a few magnitudes.
+        let mut prev = Usage::default();
+        for k in 1..=4 {
+            let mut s = session(1);
+            s.compute(0, 10_000.0 * k as f64, 4);
+            let u = s.finish();
+            assert!(u.wall_s > prev.wall_s);
+            assert!(u.energy_j > prev.energy_j);
+            prev = u;
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Exploratory methods: the methodology's stage (c).
+//!
+//! "If the search space is continuous or it is a large set […] a better
+//! strategy than trying all the possibilities is to partially explore the
+//! search space" (§III-B). The paper's study uses Random Search; Grid
+//! Search and a TPE-like sampler (the Optuna/Hyperopt approach discussed
+//! in §III-C) are provided as alternatives.
+
+use crate::metrics::Direction;
+use crate::param::Domain;
+use crate::space::ParamSpace;
+use crate::trial::{Configuration, Trial};
+use std::collections::BTreeSet;
+
+/// A strategy for proposing the next configuration to evaluate.
+pub trait Explorer: Send {
+    /// Propose the next configuration, or `None` when the exploration
+    /// budget is exhausted. `history` holds every finished trial.
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Trial],
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Configuration>;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the explorer deduplicates against the history itself
+    /// (config-keyed resume). When true, the study must NOT burn warm-up
+    /// proposals for journal-loaded trials; the explorer handles them.
+    fn supports_keyed_resume(&self) -> bool {
+        false
+    }
+}
+
+/// Random Search: the paper's exploratory method (§V-c), which "takes
+/// random combinations of parameters and has turned out to be effective
+/// for hyper-parameter optimization" (Bergstra & Bengio, 2012).
+pub struct RandomSearch {
+    budget: usize,
+    proposed: usize,
+    dedup: bool,
+    seen: BTreeSet<String>,
+}
+
+impl RandomSearch {
+    /// Propose `budget` random configurations (duplicates allowed).
+    pub fn new(budget: usize) -> Self {
+        Self { budget, proposed: 0, dedup: false, seen: BTreeSet::new() }
+    }
+
+    /// Skip configurations that were already proposed (useful on small
+    /// discrete spaces like the paper's 72-point space).
+    pub fn without_duplicates(mut self) -> Self {
+        self.dedup = true;
+        self
+    }
+}
+
+impl Explorer for RandomSearch {
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        _history: &[Trial],
+        mut rng: &mut dyn rand::RngCore,
+    ) -> Option<Configuration> {
+        if self.proposed >= self.budget {
+            return None;
+        }
+        // Bounded retries when deduplicating; on exhaustion fall back to
+        // whatever comes out (the space may be smaller than the budget).
+        let mut cfg = space.sample(&mut rng);
+        if self.dedup {
+            for _ in 0..200 {
+                if self.seen.insert(cfg.canonical_key()) {
+                    break;
+                }
+                cfg = space.sample(&mut rng);
+            }
+        }
+        self.proposed += 1;
+        Some(cfg)
+    }
+
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+}
+
+/// Grid Search: exhaustively enumerate the Cartesian product.
+pub struct GridSearch {
+    grid: Option<Vec<Configuration>>,
+    cursor: usize,
+    limit: Option<usize>,
+}
+
+impl GridSearch {
+    /// Visit the full grid.
+    pub fn new() -> Self {
+        Self { grid: None, cursor: 0, limit: None }
+    }
+
+    /// Visit at most `limit` grid points.
+    pub fn with_limit(limit: usize) -> Self {
+        Self { grid: None, cursor: 0, limit: Some(limit) }
+    }
+}
+
+impl Default for GridSearch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Explorer for GridSearch {
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        _history: &[Trial],
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<Configuration> {
+        let grid = self.grid.get_or_insert_with(|| space.grid());
+        if self.cursor >= grid.len() || self.limit.is_some_and(|l| self.cursor >= l) {
+            return None;
+        }
+        let cfg = grid[self.cursor].clone();
+        self.cursor += 1;
+        Some(cfg)
+    }
+
+    fn name(&self) -> &'static str {
+        "grid-search"
+    }
+}
+
+/// Replays a fixed list of configurations, in order.
+///
+/// This is how a study reproduces a previously-drawn sample — e.g. the 18
+/// configurations of the paper's Table I, which were drawn once by Random
+/// Search and then treated as the fixed experiment set.
+pub struct PresetList {
+    configs: std::collections::VecDeque<Configuration>,
+}
+
+impl PresetList {
+    /// Propose exactly these configurations.
+    pub fn new(configs: impl IntoIterator<Item = Configuration>) -> Self {
+        Self { configs: configs.into_iter().collect() }
+    }
+
+    /// Remaining proposals.
+    pub fn remaining(&self) -> usize {
+        self.configs.len()
+    }
+}
+
+impl Explorer for PresetList {
+    fn propose(
+        &mut self,
+        _space: &ParamSpace,
+        history: &[Trial],
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<Configuration> {
+        // Resume semantics are *config-keyed*: entries whose configuration
+        // already appears in the history (e.g. loaded from a journal) are
+        // skipped, so a partially-complete study re-runs exactly the
+        // missing rows regardless of journal ordering.
+        let seen: BTreeSet<String> =
+            history.iter().map(|t| t.config.canonical_key()).collect();
+        while let Some(cfg) = self.configs.pop_front() {
+            if !seen.contains(&cfg.canonical_key()) {
+                return Some(cfg);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "preset-list"
+    }
+
+    fn supports_keyed_resume(&self) -> bool {
+        true
+    }
+}
+
+/// A simplified Tree-structured Parzen Estimator in the spirit of
+/// Optuna/Hyperopt (§III-C).
+///
+/// After `warmup` random trials, history is split into the best `gamma`
+/// fraction ("good") and the rest; `candidates` random configurations are
+/// scored by a per-parameter density ratio (Laplace-smoothed counts for
+/// finite domains, nearest-neighbour distance ratios for continuous
+/// ones), and the best-scoring candidate is proposed.
+pub struct TpeLite {
+    budget: usize,
+    proposed: usize,
+    /// Metric the sampler optimizes.
+    pub metric: String,
+    /// Direction of that metric.
+    pub direction: Direction,
+    warmup: usize,
+    gamma: f64,
+    candidates: usize,
+}
+
+impl TpeLite {
+    /// A TPE-like sampler optimizing one metric.
+    pub fn new(budget: usize, metric: impl Into<String>, direction: Direction) -> Self {
+        Self {
+            budget,
+            proposed: 0,
+            metric: metric.into(),
+            direction,
+            warmup: 8,
+            gamma: 0.3,
+            candidates: 24,
+        }
+    }
+
+    fn score(&self, cfg: &Configuration, good: &[&Trial], bad: &[&Trial], space: &ParamSpace) -> f64 {
+        let mut score = 0.0;
+        for p in space.params() {
+            let v = match cfg.get(&p.name) {
+                Some(v) => v,
+                None => continue,
+            };
+            match &p.domain {
+                Domain::Categorical(_) | Domain::IntRange { .. } => {
+                    let count = |set: &[&Trial]| {
+                        set.iter().filter(|t| t.config.get(&p.name) == Some(v)).count() as f64
+                    };
+                    let l = (count(good) + 1.0) / (good.len() as f64 + 2.0);
+                    let g = (count(bad) + 1.0) / (bad.len() as f64 + 2.0);
+                    score += (l / g).ln();
+                }
+                Domain::FloatRange { lo, hi, .. } => {
+                    let x = v.as_float().unwrap_or(0.0);
+                    let span = (hi - lo).max(1e-12);
+                    let nearest = |set: &[&Trial]| {
+                        set.iter()
+                            .filter_map(|t| t.config.float(&p.name))
+                            .map(|y| ((y - x) / span).abs())
+                            .fold(1.0f64, f64::min)
+                    };
+                    // Closer to good points and farther from bad is better.
+                    score += (nearest(bad) + 1e-3).ln() - (nearest(good) + 1e-3).ln();
+                }
+            }
+        }
+        score
+    }
+}
+
+impl Explorer for TpeLite {
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Trial],
+        mut rng: &mut dyn rand::RngCore,
+    ) -> Option<Configuration> {
+        if self.proposed >= self.budget {
+            return None;
+        }
+        self.proposed += 1;
+
+        let mut scored: Vec<&Trial> = history
+            .iter()
+            .filter(|t| t.is_complete() && t.metrics.get(&self.metric).is_some())
+            .collect();
+        if scored.len() < self.warmup {
+            return Some(space.sample(&mut rng));
+        }
+        scored.sort_by(|a, b| {
+            let va = self.direction.orient(a.metrics.get(&self.metric).unwrap_or(f64::NAN));
+            let vb = self.direction.orient(b.metrics.get(&self.metric).unwrap_or(f64::NAN));
+            vb.partial_cmp(&va).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let split = ((scored.len() as f64 * self.gamma).ceil() as usize).clamp(1, scored.len() - 1);
+        let (good, bad) = scored.split_at(split);
+
+        let mut best: Option<(f64, Configuration)> = None;
+        for _ in 0..self.candidates {
+            let cand = space.sample(&mut rng);
+            let s = self.score(&cand, good, bad, space);
+            if best.as_ref().map(|(bs, _)| s > *bs).unwrap_or(true) {
+                best = Some((s, cand));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    fn name(&self) -> &'static str {
+        "tpe-lite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricValues;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder().categorical_int("k", [1, 2, 3, 4]).float("x", 0.0, 1.0).build()
+    }
+
+    fn discrete_space() -> ParamSpace {
+        ParamSpace::builder().categorical_int("a", [0, 1]).categorical_int("b", [0, 1]).build()
+    }
+
+    #[test]
+    fn random_search_respects_budget() {
+        let mut ex = RandomSearch::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = space();
+        for _ in 0..3 {
+            assert!(ex.propose(&s, &[], &mut rng).is_some());
+        }
+        assert!(ex.propose(&s, &[], &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_search_dedup_covers_small_space() {
+        let mut ex = RandomSearch::new(4).without_duplicates();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = discrete_space();
+        let keys: BTreeSet<String> = (0..4)
+            .map(|_| ex.propose(&s, &[], &mut rng).expect("within budget").canonical_key())
+            .collect();
+        assert_eq!(keys.len(), 4, "all four points visited exactly once");
+    }
+
+    #[test]
+    fn grid_search_visits_everything_then_stops() {
+        let mut ex = GridSearch::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = discrete_space();
+        let mut seen = BTreeSet::new();
+        while let Some(cfg) = ex.propose(&s, &[], &mut rng) {
+            seen.insert(cfg.canonical_key());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn grid_search_limit_caps_proposals() {
+        let mut ex = GridSearch::with_limit(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = discrete_space();
+        assert!(ex.propose(&s, &[], &mut rng).is_some());
+        assert!(ex.propose(&s, &[], &mut rng).is_some());
+        assert!(ex.propose(&s, &[], &mut rng).is_none());
+    }
+
+    /// Synthetic objective: k=3 is best, x near 0.25 is best (minimize).
+    fn objective(cfg: &Configuration) -> f64 {
+        let k = cfg.int("k").unwrap() as f64;
+        let x = cfg.float("x").unwrap();
+        (k - 3.0).powi(2) + 4.0 * (x - 0.25).powi(2)
+    }
+
+    fn run_explorer(mut ex: impl Explorer, n: usize, seed: u64) -> f64 {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut history: Vec<Trial> = Vec::new();
+        let mut best = f64::INFINITY;
+        for id in 0..n {
+            let cfg = match ex.propose(&s, &history, &mut rng) {
+                Some(c) => c,
+                None => break,
+            };
+            let y = objective(&cfg);
+            best = best.min(y);
+            history.push(Trial::complete(id, cfg, MetricValues::new().with("loss", y)));
+        }
+        best
+    }
+
+    #[test]
+    fn tpe_beats_random_on_a_smooth_objective() {
+        // Averaged over seeds, TPE should find lower losses than random
+        // search with the same budget.
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let budget = 60;
+        let tpe_mean: f64 = seeds
+            .iter()
+            .map(|&s| run_explorer(TpeLite::new(budget, "loss", Direction::Minimize), budget, s))
+            .sum::<f64>()
+            / seeds.len() as f64;
+        let rnd_mean: f64 = seeds
+            .iter()
+            .map(|&s| run_explorer(RandomSearch::new(budget), budget, s))
+            .sum::<f64>()
+            / seeds.len() as f64;
+        assert!(
+            tpe_mean <= rnd_mean * 1.05,
+            "TPE mean best {tpe_mean} should not lose to random {rnd_mean}"
+        );
+    }
+
+    #[test]
+    fn tpe_warmup_falls_back_to_random() {
+        let mut ex = TpeLite::new(10, "loss", Direction::Minimize);
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = space();
+        // No history at all: must still propose.
+        assert!(ex.propose(&s, &[], &mut rng).is_some());
+    }
+
+    #[test]
+    fn preset_list_skips_configs_already_in_history() {
+        use crate::metrics::MetricValues;
+        let cfgs: Vec<Configuration> = (0..4)
+            .map(|i| Configuration::new().with("k", crate::param::ParamValue::Int(i)))
+            .collect();
+        let mut ex = PresetList::new(cfgs.clone());
+        // History already contains configs 0 and 2 (out of order).
+        let history = vec![
+            Trial::complete(0, cfgs[2].clone(), MetricValues::new()),
+            Trial::complete(1, cfgs[0].clone(), MetricValues::new()),
+        ];
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = space();
+        assert_eq!(ex.propose(&s, &history, &mut rng).as_ref(), Some(&cfgs[1]));
+        assert_eq!(ex.propose(&s, &history, &mut rng).as_ref(), Some(&cfgs[3]));
+        assert!(ex.propose(&s, &history, &mut rng).is_none());
+    }
+
+    #[test]
+    fn preset_list_replays_in_order() {
+        let cfgs: Vec<Configuration> = (0..3)
+            .map(|i| Configuration::new().with("k", crate::param::ParamValue::Int(i)))
+            .collect();
+        let mut ex = PresetList::new(cfgs.clone());
+        assert_eq!(ex.remaining(), 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = space();
+        for want in &cfgs {
+            assert_eq!(ex.propose(&s, &[], &mut rng).as_ref(), Some(want));
+        }
+        assert!(ex.propose(&s, &[], &mut rng).is_none());
+        assert_eq!(ex.remaining(), 0);
+        assert_eq!(PresetList::new([]).name(), "preset-list");
+    }
+
+    #[test]
+    fn explorer_names() {
+        assert_eq!(RandomSearch::new(1).name(), "random-search");
+        assert_eq!(GridSearch::new().name(), "grid-search");
+        assert_eq!(TpeLite::new(1, "m", Direction::Maximize).name(), "tpe-lite");
+    }
+}

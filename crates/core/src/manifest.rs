@@ -1,0 +1,468 @@
+//! Declarative study manifests.
+//!
+//! The paper's §VII names automatic experimentation frameworks (E2Clab)
+//! as the way to scale the methodology up. A [`StudyManifest`] captures
+//! the declarative stages — space, explorer, metrics, pruning — as JSON,
+//! so studies can be versioned, shared and launched without recompiling;
+//! only the objective (stage a, the case study) remains code.
+//!
+//! ```
+//! use decision::manifest::StudyManifest;
+//! use decision::prelude::*;
+//!
+//! let manifest: StudyManifest = serde_json::from_str(r#"{
+//!     "name": "airdrop",
+//!     "space": [
+//!         {"name": "rk_order", "kind": "environment",
+//!          "domain": {"type": "categorical_int", "values": [3, 5, 8]}},
+//!         {"name": "lr", "kind": "algorithm",
+//!          "domain": {"type": "log_float", "lo": 1e-5, "hi": 1e-2}}
+//!     ],
+//!     "explorer": {"type": "random", "budget": 4},
+//!     "metrics": [
+//!         {"name": "reward", "direction": "maximize"},
+//!         {"name": "time_min", "direction": "minimize"}
+//!     ],
+//!     "seed": 7
+//! }"#).unwrap();
+//!
+//! let study = manifest.into_study(|cfg, _ctx| {
+//!     Ok(MetricValues::new()
+//!         .with("reward", -1.0 / cfg.int("rk_order").unwrap() as f64)
+//!         .with("time_min", cfg.int("rk_order").unwrap() as f64 * 10.0))
+//! }).unwrap();
+//! assert_eq!(study.run().unwrap().len(), 4);
+//! ```
+
+use crate::explore::{Explorer, GridSearch, RandomSearch, TpeLite};
+use crate::metrics::{Direction, MetricDef, MetricValues};
+use crate::param::{Domain, ParamKind, ParamValue};
+use crate::pruner::{MedianPruner, NopPruner};
+use crate::space::ParamSpace;
+use crate::study::{Study, TrialContext};
+use crate::trial::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// A parameter's domain, in manifest form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum DomainSpec {
+    /// Categorical over strings.
+    Categorical {
+        /// The labels.
+        values: Vec<String>,
+    },
+    /// Categorical over integers.
+    CategoricalInt {
+        /// The values.
+        values: Vec<i64>,
+    },
+    /// Inclusive integer range.
+    IntRange {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// Uniform float range.
+    Float {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Log-uniform float range.
+    LogFloat {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Boolean switch.
+    Bool,
+}
+
+impl DomainSpec {
+    fn into_domain(self) -> Result<Domain, String> {
+        Ok(match self {
+            DomainSpec::Categorical { values } => {
+                if values.is_empty() {
+                    return Err("categorical domain must be non-empty".into());
+                }
+                Domain::Categorical(values.into_iter().map(ParamValue::Str).collect())
+            }
+            DomainSpec::CategoricalInt { values } => {
+                if values.is_empty() {
+                    return Err("categorical_int domain must be non-empty".into());
+                }
+                Domain::Categorical(values.into_iter().map(ParamValue::Int).collect())
+            }
+            DomainSpec::IntRange { lo, hi } => {
+                if lo > hi {
+                    return Err(format!("empty int range [{lo}, {hi}]"));
+                }
+                Domain::IntRange { lo, hi }
+            }
+            DomainSpec::Float { lo, hi } => {
+                if lo > hi {
+                    return Err(format!("empty float range [{lo}, {hi}]"));
+                }
+                Domain::FloatRange { lo, hi, log: false }
+            }
+            DomainSpec::LogFloat { lo, hi } => {
+                if !(lo > 0.0 && lo <= hi) {
+                    return Err(format!("log range needs 0 < lo <= hi, got [{lo}, {hi}]"));
+                }
+                Domain::FloatRange { lo, hi, log: true }
+            }
+            DomainSpec::Bool => {
+                Domain::Categorical(vec![ParamValue::Bool(false), ParamValue::Bool(true)])
+            }
+        })
+    }
+}
+
+/// A parameter definition in manifest form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Parameter name.
+    pub name: String,
+    /// Role tag (defaults to `algorithm`).
+    #[serde(default)]
+    pub kind: KindSpec,
+    /// The domain.
+    pub domain: DomainSpec,
+}
+
+/// Manifest form of [`ParamKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum KindSpec {
+    /// Case-study / environment parameter.
+    Environment,
+    /// Learning-algorithm parameter.
+    #[default]
+    Algorithm,
+    /// System / deployment parameter.
+    System,
+}
+
+impl From<KindSpec> for ParamKind {
+    fn from(k: KindSpec) -> Self {
+        match k {
+            KindSpec::Environment => ParamKind::Environment,
+            KindSpec::Algorithm => ParamKind::Algorithm,
+            KindSpec::System => ParamKind::System,
+        }
+    }
+}
+
+/// Explorer selection in manifest form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ExplorerSpec {
+    /// Random Search with a trial budget.
+    Random {
+        /// Number of trials.
+        budget: usize,
+        /// Skip duplicate configurations.
+        #[serde(default)]
+        dedup: bool,
+    },
+    /// Exhaustive grid (optionally capped).
+    Grid {
+        /// Optional cap on visited points.
+        #[serde(default)]
+        limit: Option<usize>,
+    },
+    /// TPE-like sampler optimizing one metric.
+    Tpe {
+        /// Trial budget.
+        budget: usize,
+        /// The metric to optimize.
+        metric: String,
+        /// Its direction.
+        direction: DirectionSpec,
+    },
+}
+
+/// Manifest form of [`Direction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DirectionSpec {
+    /// Larger is better.
+    Maximize,
+    /// Smaller is better.
+    Minimize,
+}
+
+impl From<DirectionSpec> for Direction {
+    fn from(d: DirectionSpec) -> Self {
+        match d {
+            DirectionSpec::Maximize => Direction::Maximize,
+            DirectionSpec::Minimize => Direction::Minimize,
+        }
+    }
+}
+
+/// A metric in manifest form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricSpec {
+    /// Metric name.
+    pub name: String,
+    /// Optimization direction.
+    pub direction: DirectionSpec,
+}
+
+/// Pruner selection.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum PrunerSpec {
+    /// No pruning.
+    #[default]
+    None,
+    /// Optuna-style median pruning.
+    Median {
+        /// Protected startup trials.
+        #[serde(default = "default_startup")]
+        n_startup_trials: usize,
+    },
+}
+
+fn default_startup() -> usize {
+    4
+}
+
+/// A complete declarative study description (all stages except the
+/// objective).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyManifest {
+    /// Study name.
+    pub name: String,
+    /// Stage (b): the parameter space.
+    pub space: Vec<ParamSpec>,
+    /// Stage (c): the exploratory method.
+    pub explorer: ExplorerSpec,
+    /// Stage (d): the evaluation metrics.
+    pub metrics: Vec<MetricSpec>,
+    /// Optional pruning.
+    #[serde(default)]
+    pub pruner: PrunerSpec,
+    /// Exploration seed.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl StudyManifest {
+    /// Build the parameter space described by the manifest.
+    pub fn build_space(&self) -> Result<ParamSpace, String> {
+        let mut builder = ParamSpace::builder();
+        for p in &self.space {
+            builder = builder.kind(p.kind.into());
+            let domain = p.domain.clone().into_domain()?;
+            builder = match domain {
+                Domain::Categorical(values) => {
+                    // Re-dispatch through the typed builder API is not
+                    // possible generically; push directly via the generic
+                    // entry points below.
+                    push_categorical(builder, &p.name, values)
+                }
+                Domain::IntRange { lo, hi } => builder.int(&p.name, lo, hi),
+                Domain::FloatRange { lo, hi, log } => {
+                    if log {
+                        builder.log_float(&p.name, lo, hi)
+                    } else {
+                        builder.float(&p.name, lo, hi)
+                    }
+                }
+            };
+        }
+        Ok(builder.build())
+    }
+
+    fn build_explorer(&self) -> Box<dyn Explorer> {
+        match &self.explorer {
+            ExplorerSpec::Random { budget, dedup } => {
+                let mut ex = RandomSearch::new(*budget);
+                if *dedup {
+                    ex = ex.without_duplicates();
+                }
+                Box::new(ex)
+            }
+            ExplorerSpec::Grid { limit } => Box::new(match limit {
+                Some(l) => GridSearch::with_limit(*l),
+                None => GridSearch::new(),
+            }),
+            ExplorerSpec::Tpe { budget, metric, direction } => {
+                Box::new(TpeLite::new(*budget, metric.clone(), (*direction).into()))
+            }
+        }
+    }
+
+    /// Materialize a runnable [`Study`] with the given objective.
+    pub fn into_study<F>(self, objective: F) -> Result<Study, String>
+    where
+        F: Fn(&Configuration, &mut TrialContext<'_>) -> Result<MetricValues, String>
+            + Send
+            + Sync
+            + 'static,
+    {
+        if self.metrics.is_empty() {
+            return Err("manifest needs at least one metric".into());
+        }
+        let space = self.build_space()?;
+        let explorer = self.build_explorer();
+        let mut builder = Study::builder(self.name.clone())
+            .space(space)
+            .seed(self.seed)
+            .objective(objective);
+        builder = builder.explorer_boxed(explorer);
+        for m in &self.metrics {
+            builder = builder.metric(MetricDef {
+                name: m.name.clone(),
+                direction: m.direction.into(),
+            });
+        }
+        match self.pruner {
+            PrunerSpec::None => builder = builder.pruner(NopPruner),
+            PrunerSpec::Median { n_startup_trials } => {
+                builder = builder.pruner(MedianPruner::with_startup(n_startup_trials))
+            }
+        }
+        builder.build()
+    }
+}
+
+fn push_categorical(
+    builder: crate::space::ParamSpaceBuilder,
+    name: &str,
+    values: Vec<ParamValue>,
+) -> crate::space::ParamSpaceBuilder {
+    // All-int and all-string fast paths map onto the public builder API;
+    // mixed domains go through ints when possible.
+    if values.iter().all(|v| matches!(v, ParamValue::Int(_))) {
+        builder.categorical_int(name, values.iter().filter_map(ParamValue::as_int))
+    } else if values.iter().all(|v| matches!(v, ParamValue::Bool(_))) {
+        builder.bool(name)
+    } else {
+        builder.categorical(name, values.iter().map(|v| v.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest_json() -> &'static str {
+        r#"{
+            "name": "demo",
+            "space": [
+                {"name": "rk_order", "kind": "environment",
+                 "domain": {"type": "categorical_int", "values": [3, 5, 8]}},
+                {"name": "framework",
+                 "domain": {"type": "categorical", "values": ["rllib", "sb", "tfa"]}},
+                {"name": "cores", "kind": "system",
+                 "domain": {"type": "int_range", "lo": 2, "hi": 4}},
+                {"name": "lr", "domain": {"type": "log_float", "lo": 1e-5, "hi": 1e-2}},
+                {"name": "wind", "domain": {"type": "bool"}}
+            ],
+            "explorer": {"type": "random", "budget": 6, "dedup": true},
+            "metrics": [
+                {"name": "reward", "direction": "maximize"},
+                {"name": "time_min", "direction": "minimize"}
+            ],
+            "pruner": {"type": "median", "n_startup_trials": 2},
+            "seed": 11
+        }"#
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m: StudyManifest = serde_json::from_str(manifest_json()).expect("parse");
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: StudyManifest = serde_json::from_str(&json).expect("reparse");
+        assert_eq!(back.name, "demo");
+        assert_eq!(back.space.len(), 5);
+        assert_eq!(back.seed, 11);
+    }
+
+    #[test]
+    fn space_is_built_with_kinds() {
+        let m: StudyManifest = serde_json::from_str(manifest_json()).expect("parse");
+        let space = m.build_space().expect("build");
+        assert_eq!(space.len(), 5);
+        assert_eq!(space.by_kind(ParamKind::Environment).len(), 1);
+        assert_eq!(space.by_kind(ParamKind::System).len(), 1);
+        assert_eq!(space.by_kind(ParamKind::Algorithm).len(), 3);
+        assert_eq!(space.get("cores").unwrap().domain.cardinality(), Some(3));
+    }
+
+    #[test]
+    fn study_runs_from_manifest() {
+        let m: StudyManifest = serde_json::from_str(manifest_json()).expect("parse");
+        let study = m
+            .into_study(|cfg, _ctx| {
+                Ok(MetricValues::new()
+                    .with("reward", -1.0 / cfg.int("rk_order").unwrap() as f64)
+                    .with("time_min", cfg.float("lr").unwrap() * 1e4))
+            })
+            .expect("study");
+        let trials = study.run().expect("runs");
+        assert_eq!(trials.len(), 6);
+        assert!(trials.iter().all(|t| t.is_complete()));
+    }
+
+    #[test]
+    fn invalid_domains_are_rejected() {
+        let bad = r#"{
+            "name": "bad",
+            "space": [{"name": "x", "domain": {"type": "log_float", "lo": 0.0, "hi": 1.0}}],
+            "explorer": {"type": "random", "budget": 1},
+            "metrics": [{"name": "m", "direction": "maximize"}]
+        }"#;
+        let m: StudyManifest = serde_json::from_str(bad).expect("parse");
+        assert!(m.build_space().is_err());
+    }
+
+    #[test]
+    fn empty_metrics_rejected() {
+        let m = StudyManifest {
+            name: "x".into(),
+            space: vec![ParamSpec {
+                name: "k".into(),
+                kind: KindSpec::Algorithm,
+                domain: DomainSpec::IntRange { lo: 0, hi: 1 },
+            }],
+            explorer: ExplorerSpec::Random { budget: 1, dedup: false },
+            metrics: vec![],
+            pruner: PrunerSpec::None,
+            seed: 0,
+        };
+        assert!(m.into_study(|_, _| Ok(MetricValues::new())).is_err());
+    }
+
+    #[test]
+    fn grid_and_tpe_explorers_materialize() {
+        for explorer in [
+            r#"{"type": "grid"}"#,
+            r#"{"type": "grid", "limit": 3}"#,
+            r#"{"type": "tpe", "budget": 5, "metric": "m", "direction": "minimize"}"#,
+        ] {
+            let json = format!(
+                r#"{{
+                    "name": "x",
+                    "space": [{{"name": "k", "domain": {{"type": "categorical_int", "values": [1, 2]}}}}],
+                    "explorer": {explorer},
+                    "metrics": [{{"name": "m", "direction": "minimize"}}]
+                }}"#
+            );
+            let m: StudyManifest = serde_json::from_str(&json).expect("parse");
+            let study = m
+                .into_study(|cfg, _| {
+                    Ok(MetricValues::new().with("m", cfg.int("k").unwrap() as f64))
+                })
+                .expect("study");
+            assert!(!study.run().expect("runs").is_empty());
+        }
+    }
+}

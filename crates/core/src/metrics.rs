@@ -1,0 +1,172 @@
+//! Evaluation metrics: the methodology's stage (d).
+//!
+//! "These metrics set the main objective of the study" (§III-B). A metric
+//! has a name and an optimization [`Direction`]; the study collects one
+//! value per metric per trial, and the ranking stage interprets them
+//! through their directions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Whether larger or smaller values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Larger is better (Reward).
+    Maximize,
+    /// Smaller is better (Computation Time, Power Consumption).
+    Minimize,
+}
+
+impl Direction {
+    /// `a` is better than `b` under this direction.
+    pub fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            Direction::Maximize => a > b,
+            Direction::Minimize => a < b,
+        }
+    }
+
+    /// `a` is at least as good as `b`.
+    pub fn no_worse(self, a: f64, b: f64) -> bool {
+        match self {
+            Direction::Maximize => a >= b,
+            Direction::Minimize => a <= b,
+        }
+    }
+
+    /// Map a value to "bigger is better" orientation.
+    pub fn orient(self, v: f64) -> f64 {
+        match self {
+            Direction::Maximize => v,
+            Direction::Minimize => -v,
+        }
+    }
+}
+
+/// A named metric with an optimization direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MetricDef {
+    /// Metric name (key in [`MetricValues`]).
+    pub name: String,
+    /// Optimization direction.
+    pub direction: Direction,
+}
+
+impl MetricDef {
+    /// A metric to maximize.
+    pub fn maximize(name: impl Into<String>) -> Self {
+        Self { name: name.into(), direction: Direction::Maximize }
+    }
+
+    /// A metric to minimize.
+    pub fn minimize(name: impl Into<String>) -> Self {
+        Self { name: name.into(), direction: Direction::Minimize }
+    }
+
+    /// The paper's three study metrics (§V-d).
+    pub fn paper_metrics() -> Vec<MetricDef> {
+        vec![
+            MetricDef::maximize("reward"),
+            MetricDef::minimize("time_min"),
+            MetricDef::minimize("power_kj"),
+        ]
+    }
+}
+
+/// Metric values collected for one trial.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricValues {
+    values: BTreeMap<String, f64>,
+}
+
+impl MetricValues {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, name: impl Into<String>, v: f64) -> Self {
+        self.values.insert(name.into(), v);
+        self
+    }
+
+    /// Insert a value.
+    pub fn set(&mut self, name: impl Into<String>, v: f64) {
+        self.values.insert(name.into(), v);
+    }
+
+    /// Look a value up.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Whether every given metric has a finite value here.
+    pub fn covers(&self, metrics: &[MetricDef]) -> bool {
+        metrics
+            .iter()
+            .all(|m| self.get(&m.name).map(f64::is_finite).unwrap_or(false))
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_comparisons() {
+        assert!(Direction::Maximize.better(2.0, 1.0));
+        assert!(!Direction::Maximize.better(1.0, 1.0));
+        assert!(Direction::Minimize.better(1.0, 2.0));
+        assert!(Direction::Maximize.no_worse(1.0, 1.0));
+        assert!(Direction::Minimize.no_worse(1.0, 1.0));
+    }
+
+    #[test]
+    fn orient_flips_minimize() {
+        assert_eq!(Direction::Maximize.orient(3.0), 3.0);
+        assert_eq!(Direction::Minimize.orient(3.0), -3.0);
+    }
+
+    #[test]
+    fn paper_metrics_match_section_v() {
+        let m = MetricDef::paper_metrics();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].name, "reward");
+        assert_eq!(m[0].direction, Direction::Maximize);
+        assert_eq!(m[1].direction, Direction::Minimize);
+        assert_eq!(m[2].direction, Direction::Minimize);
+    }
+
+    #[test]
+    fn values_cover_check() {
+        let v = MetricValues::new().with("reward", -0.5).with("time_min", 46.0);
+        assert!(v.covers(&[MetricDef::maximize("reward")]));
+        assert!(!v.covers(&MetricDef::paper_metrics()), "power_kj missing");
+        let nan = MetricValues::new().with("reward", f64::NAN);
+        assert!(!nan.covers(&[MetricDef::maximize("reward")]), "NaN does not cover");
+    }
+
+    #[test]
+    fn iteration_in_name_order() {
+        let v = MetricValues::new().with("b", 2.0).with("a", 1.0);
+        let names: Vec<&str> = v.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! Typed study parameters.
+//!
+//! §III-B(b): "The parameters may be differentiated according to whether
+//! they are related to the algorithm configuration, the system
+//! configuration or the case study configuration." [`ParamKind`] carries
+//! that tag; Table I groups its columns into *environment-dependent* and
+//! *environment-independent* parameters the same way.
+
+use serde::{Deserialize, Serialize};
+
+/// What part of the study a parameter configures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Case-study / environment parameter (e.g. the Runge–Kutta order,
+    /// the wind setting).
+    Environment,
+    /// Learning-algorithm parameter (e.g. framework, algorithm, learning
+    /// rate).
+    Algorithm,
+    /// System / deployment parameter (e.g. number of nodes, CPU cores).
+    System,
+}
+
+/// A parameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// Integer-valued.
+    Int(i64),
+    /// Real-valued.
+    Float(f64),
+    /// Categorical (string label).
+    Str(String),
+    /// Boolean switch.
+    Bool(bool),
+}
+
+impl ParamValue {
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (ints coerce).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(v) => Some(*v),
+            ParamValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Bool accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Float(v) => write!(f, "{v}"),
+            ParamValue::Str(v) => write!(f, "{v}"),
+            ParamValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// The domain a parameter ranges over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Domain {
+    /// A finite set of choices.
+    Categorical(Vec<ParamValue>),
+    /// Integers in `[lo, hi]` inclusive.
+    IntRange {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// Reals in `[lo, hi]`; `log` samples uniformly in log-space (for
+    /// learning rates).
+    FloatRange {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Log-uniform sampling.
+        log: bool,
+    },
+}
+
+impl Domain {
+    /// Number of distinct values, if finite (float ranges are infinite).
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Domain::Categorical(v) => Some(v.len()),
+            Domain::IntRange { lo, hi } => Some((hi - lo + 1).max(0) as usize),
+            Domain::FloatRange { .. } => None,
+        }
+    }
+
+    /// Whether `v` belongs to the domain.
+    pub fn contains(&self, v: &ParamValue) -> bool {
+        match (self, v) {
+            (Domain::Categorical(set), v) => set.contains(v),
+            (Domain::IntRange { lo, hi }, ParamValue::Int(i)) => lo <= i && i <= hi,
+            (Domain::FloatRange { lo, hi, .. }, ParamValue::Float(f)) => {
+                *lo <= *f && *f <= *hi
+            }
+            _ => false,
+        }
+    }
+
+    /// Enumerate finite domains (panics on float ranges — grid search
+    /// over continuous parameters requires explicit discretization).
+    pub fn enumerate(&self) -> Vec<ParamValue> {
+        match self {
+            Domain::Categorical(v) => v.clone(),
+            Domain::IntRange { lo, hi } => (*lo..=*hi).map(ParamValue::Int).collect(),
+            Domain::FloatRange { .. } => {
+                panic!("cannot enumerate a continuous domain; discretize it first")
+            }
+        }
+    }
+}
+
+/// A named, typed, tagged parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDef {
+    /// Unique name within the space.
+    pub name: String,
+    /// Study-role tag.
+    pub kind: ParamKind,
+    /// Value domain.
+    pub domain: Domain,
+}
+
+impl ParamDef {
+    /// Create a definition.
+    pub fn new(name: impl Into<String>, kind: ParamKind, domain: Domain) -> Self {
+        Self { name: name.into(), kind, domain }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(ParamValue::Int(3).as_int(), Some(3));
+        assert_eq!(ParamValue::Int(3).as_float(), Some(3.0));
+        assert_eq!(ParamValue::Float(0.5).as_float(), Some(0.5));
+        assert_eq!(ParamValue::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(ParamValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(ParamValue::Str("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ParamValue::Int(8).to_string(), "8");
+        assert_eq!(ParamValue::Str("PPO".into()).to_string(), "PPO");
+    }
+
+    #[test]
+    fn cardinalities() {
+        assert_eq!(Domain::Categorical(vec![ParamValue::Int(1)]).cardinality(), Some(1));
+        assert_eq!(Domain::IntRange { lo: 2, hi: 4 }.cardinality(), Some(3));
+        assert_eq!(Domain::FloatRange { lo: 0.0, hi: 1.0, log: false }.cardinality(), None);
+    }
+
+    #[test]
+    fn containment() {
+        let d = Domain::IntRange { lo: 1, hi: 2 };
+        assert!(d.contains(&ParamValue::Int(1)));
+        assert!(!d.contains(&ParamValue::Int(3)));
+        assert!(!d.contains(&ParamValue::Float(1.0)), "types are strict");
+        let f = Domain::FloatRange { lo: 0.0, hi: 1.0, log: false };
+        assert!(f.contains(&ParamValue::Float(0.5)));
+        assert!(!f.contains(&ParamValue::Float(2.0)));
+    }
+
+    #[test]
+    fn enumerate_int_range() {
+        let vals = Domain::IntRange { lo: 2, hi: 4 }.enumerate();
+        assert_eq!(vals, vec![ParamValue::Int(2), ParamValue::Int(3), ParamValue::Int(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "continuous domain")]
+    fn enumerate_float_panics() {
+        Domain::FloatRange { lo: 0.0, hi: 1.0, log: false }.enumerate();
+    }
+}

@@ -1,0 +1,130 @@
+//! 2-D hypervolume indicator.
+//!
+//! The hypervolume dominated by a Pareto front (relative to a reference
+//! point) is the standard scalar measure of front quality; the ablation
+//! benches use it to compare exploratory methods.
+
+use crate::metrics::MetricDef;
+use crate::trial::Trial;
+
+/// Exact hypervolume of the front of `trials` under two metrics, measured
+/// against `reference` (a point at least as bad as every trial on both
+/// metrics, given in raw metric units).
+///
+/// Returns 0 when no trial is eligible. Trials worse than the reference
+/// on either metric contribute nothing.
+pub fn hypervolume_2d(
+    trials: &[Trial],
+    mx: &MetricDef,
+    my: &MetricDef,
+    reference: (f64, f64),
+) -> f64 {
+    // Orient both axes to "bigger is better", reference becomes (0,0)-ish.
+    let pts: Vec<(f64, f64)> = trials
+        .iter()
+        .filter(|t| t.is_complete())
+        .filter_map(|t| {
+            let x = t.metrics.get(&mx.name)?;
+            let y = t.metrics.get(&my.name)?;
+            let ox = mx.direction.orient(x) - mx.direction.orient(reference.0);
+            let oy = my.direction.orient(y) - my.direction.orient(reference.1);
+            (ox > 0.0 && oy > 0.0).then_some((ox, oy))
+        })
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by x descending; sweep adding rectangles above the running
+    // maximum y.
+    let mut sorted = pts;
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hv = 0.0;
+    let mut prev_x = 0.0; // right edge of the previous rectangle (from ref)
+    let mut best_y = 0.0f64;
+    // Sweep from the largest x to the smallest, integrating columns.
+    // Simpler exact approach: sort ascending by x and sweep from the left
+    // adding (x_i - x_prev) * max_y_of_points_with_x_ge_x_i.
+    sorted.reverse(); // ascending x
+    let mut suffix_max_y = vec![0.0f64; sorted.len() + 1];
+    for i in (0..sorted.len()).rev() {
+        suffix_max_y[i] = suffix_max_y[i + 1].max(sorted[i].1);
+    }
+    for (i, &(x, _)) in sorted.iter().enumerate() {
+        hv += (x - prev_x) * suffix_max_y[i];
+        prev_x = x;
+        best_y = best_y.max(sorted[i].1);
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricValues;
+    use crate::trial::Configuration;
+
+    fn t(id: usize, reward: f64, time: f64) -> Trial {
+        Trial::complete(
+            id,
+            Configuration::new(),
+            MetricValues::new().with("reward", reward).with("time_min", time),
+        )
+    }
+
+    fn axes() -> (MetricDef, MetricDef) {
+        (MetricDef::maximize("reward"), MetricDef::minimize("time_min"))
+    }
+
+    #[test]
+    fn single_point_is_a_rectangle() {
+        let (mx, my) = axes();
+        // reward 2 (ref 0), time 30 (ref 100): rectangle 2 × 70.
+        let hv = hypervolume_2d(&[t(0, 2.0, 30.0)], &mx, &my, (0.0, 100.0));
+        assert!((hv - 140.0).abs() < 1e-9, "hv = {hv}");
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let (mx, my) = axes();
+        let alone = hypervolume_2d(&[t(0, 2.0, 30.0)], &mx, &my, (0.0, 100.0));
+        let with_dominated =
+            hypervolume_2d(&[t(0, 2.0, 30.0), t(1, 1.0, 50.0)], &mx, &my, (0.0, 100.0));
+        assert!((alone - with_dominated).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trade_off_points_add_union_area() {
+        let (mx, my) = axes();
+        // A: (2, 30) -> oriented (2, 70); B: (3, 60) -> (3, 40).
+        // Union area = 3*40 + (2-0)*? … compute: ascending x: (2,70),(3,40).
+        // hv = (2-0)*max(70,40) + (3-2)*40 = 140 + 40 = 180.
+        let hv =
+            hypervolume_2d(&[t(0, 2.0, 30.0), t(1, 3.0, 60.0)], &mx, &my, (0.0, 100.0));
+        assert!((hv - 180.0).abs() < 1e-9, "hv = {hv}");
+    }
+
+    #[test]
+    fn points_worse_than_reference_are_ignored() {
+        let (mx, my) = axes();
+        let hv = hypervolume_2d(&[t(0, -1.0, 30.0)], &mx, &my, (0.0, 100.0));
+        assert_eq!(hv, 0.0);
+        let hv = hypervolume_2d(&[t(0, 2.0, 130.0)], &mx, &my, (0.0, 100.0));
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let (mx, my) = axes();
+        assert_eq!(hypervolume_2d(&[], &mx, &my, (0.0, 100.0)), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_in_added_points() {
+        let (mx, my) = axes();
+        let base = vec![t(0, 2.0, 30.0)];
+        let more = vec![t(0, 2.0, 30.0), t(1, 3.0, 60.0), t(2, 1.0, 10.0)];
+        let hv_base = hypervolume_2d(&base, &mx, &my, (0.0, 100.0));
+        let hv_more = hypervolume_2d(&more, &mx, &my, (0.0, 100.0));
+        assert!(hv_more >= hv_base);
+    }
+}

@@ -1,0 +1,18 @@
+//! Ranking methods: the methodology's stage (e).
+//!
+//! "This method classifies the different solutions by building a
+//! hierarchy between them. […] Pareto front or sorted arrays are examples
+//! of ranking methods" (§III-B). The paper's study uses Pareto fronts
+//! (Figures 4–6); sorted arrays and weighted-sum scalarization are the
+//! textual alternatives, and the 2-D hypervolume indicator quantifies
+//! front quality.
+
+pub mod hypervolume;
+pub mod pareto;
+pub mod sorted;
+pub mod weighted;
+
+pub use hypervolume::hypervolume_2d;
+pub use pareto::ParetoFront;
+pub use sorted::SortedRanking;
+pub use weighted::WeightedSum;

@@ -1,0 +1,297 @@
+//! Pareto dominance, non-dominated fronts and crowding distance.
+
+use crate::metrics::MetricDef;
+use crate::trial::Trial;
+
+/// `a` Pareto-dominates `b` under the given metrics: `a` is no worse on
+/// every metric and strictly better on at least one.
+pub fn dominates(a: &Trial, b: &Trial, metrics: &[MetricDef]) -> bool {
+    let mut strictly_better = false;
+    for m in metrics {
+        let (va, vb) = match (a.metrics.get(&m.name), b.metrics.get(&m.name)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return false,
+        };
+        if !m.direction.no_worse(va, vb) {
+            return false;
+        }
+        if m.direction.better(va, vb) {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// The set of non-dominated trials (the paper's decision analysis output:
+/// "Pareto front […] presents the results as trade-offs between metrics",
+/// §V-e).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFront {
+    indices: Vec<usize>,
+}
+
+impl ParetoFront {
+    /// Compute the front over `trials` for the given metrics. Incomplete
+    /// trials and trials missing a metric are never on the front.
+    pub fn compute(trials: &[Trial], metrics: &[MetricDef]) -> Self {
+        let eligible: Vec<usize> = trials
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_complete() && t.metrics.covers(metrics))
+            .map(|(i, _)| i)
+            .collect();
+        let mut indices = Vec::new();
+        'outer: for &i in &eligible {
+            for &j in &eligible {
+                if i != j && dominates(&trials[j], &trials[i], metrics) {
+                    continue 'outer;
+                }
+            }
+            indices.push(i);
+        }
+        Self { indices }
+    }
+
+    /// Indices (into the input slice) of the non-dominated trials.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Whether trial `i` is on the front.
+    pub fn contains(&self, i: usize) -> bool {
+        self.indices.contains(&i)
+    }
+
+    /// Number of non-dominated trials.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True for an empty front (no eligible trials).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// Fast non-dominated sorting (NSGA-II): partition trials into fronts
+/// `F1, F2, …` where `F1` is the Pareto front, `F2` the front after
+/// removing `F1`, and so on. Returns per-trial front ranks (0-based) for
+/// eligible trials, `None` for ineligible ones.
+pub fn non_dominated_ranks(trials: &[Trial], metrics: &[MetricDef]) -> Vec<Option<usize>> {
+    let n = trials.len();
+    let eligible: Vec<bool> = trials
+        .iter()
+        .map(|t| t.is_complete() && t.metrics.covers(metrics))
+        .collect();
+
+    let mut dominated_by = vec![0usize; n]; // count of dominators
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if !eligible[i] {
+            continue;
+        }
+        for j in 0..n {
+            if i == j || !eligible[j] {
+                continue;
+            }
+            if dominates(&trials[i], &trials[j], metrics) {
+                dominates_list[i].push(j);
+            } else if dominates(&trials[j], &trials[i], metrics) {
+                dominated_by[i] += 1;
+            }
+        }
+    }
+
+    let mut rank = vec![None; n];
+    let mut current: Vec<usize> = (0..n)
+        .filter(|&i| eligible[i] && dominated_by[i] == 0)
+        .collect();
+    let mut level = 0;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            rank[i] = Some(level);
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        level += 1;
+    }
+    rank
+}
+
+/// NSGA-II crowding distance of each front member (higher = more
+/// isolated = more valuable for diversity). Boundary points get
+/// `f64::INFINITY`.
+pub fn crowding_distance(trials: &[Trial], front: &ParetoFront, metrics: &[MetricDef]) -> Vec<f64> {
+    let k = front.len();
+    let mut dist = vec![0.0; k];
+    if k <= 2 {
+        return vec![f64::INFINITY; k];
+    }
+    for m in metrics {
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| {
+            let va = trials[front.indices[a]].metrics.get(&m.name).unwrap_or(f64::NAN);
+            let vb = trials[front.indices[b]].metrics.get(&m.name).unwrap_or(f64::NAN);
+            va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let lo = trials[front.indices[order[0]]].metrics.get(&m.name).unwrap_or(0.0);
+        let hi = trials[front.indices[order[k - 1]]].metrics.get(&m.name).unwrap_or(0.0);
+        let span = (hi - lo).abs().max(1e-12);
+        dist[order[0]] = f64::INFINITY;
+        dist[order[k - 1]] = f64::INFINITY;
+        for w in 1..k - 1 {
+            let prev = trials[front.indices[order[w - 1]]].metrics.get(&m.name).unwrap_or(0.0);
+            let next = trials[front.indices[order[w + 1]]].metrics.get(&m.name).unwrap_or(0.0);
+            if dist[order[w]].is_finite() {
+                dist[order[w]] += (next - prev).abs() / span;
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricDef, MetricValues};
+    use crate::trial::{Configuration, Trial, TrialStatus};
+
+    fn t(id: usize, reward: f64, time: f64) -> Trial {
+        Trial::complete(
+            id,
+            Configuration::new(),
+            MetricValues::new().with("reward", reward).with("time_min", time),
+        )
+    }
+
+    fn metrics() -> Vec<MetricDef> {
+        vec![MetricDef::maximize("reward"), MetricDef::minimize("time_min")]
+    }
+
+    #[test]
+    fn dominance_definition() {
+        let m = metrics();
+        assert!(dominates(&t(0, -0.4, 50.0), &t(1, -0.5, 60.0), &m));
+        assert!(!dominates(&t(0, -0.4, 70.0), &t(1, -0.5, 60.0), &m), "trade-off");
+        assert!(!dominates(&t(0, -0.5, 60.0), &t(1, -0.5, 60.0), &m), "equal");
+        // One-sided strict improvement still dominates.
+        assert!(dominates(&t(0, -0.5, 50.0), &t(1, -0.5, 60.0), &m));
+    }
+
+    #[test]
+    fn paper_fig4_shape() {
+        // A miniature of Figure 4: solutions 2, 5, 11, 16 non-dominated.
+        let trials = vec![
+            t(0, -0.78, 72.0),  // 1 dominated
+            t(1, -0.65, 46.0),  // 2 fastest: on front
+            t(2, -0.55, 49.0),  // 5 trade-off: on front
+            t(3, -0.58, 49.5),  // 11-ish: dominated by (2)? -0.55@49 dominates -0.58@49.5
+            t(4, -0.45, 65.0),  // 16 best reward: on front
+            t(5, -0.52, 85.0),  // 7 dominated by 16 (worse both)
+        ];
+        let front = ParetoFront::compute(&trials, &metrics());
+        assert_eq!(front.indices(), &[1, 2, 4]);
+        assert!(front.contains(4));
+        assert!(!front.contains(0));
+    }
+
+    #[test]
+    fn front_invariants_hold() {
+        // Property: no front member is dominated; every non-member is
+        // dominated by some member.
+        let trials: Vec<Trial> = (0..40)
+            .map(|i| {
+                let x = (i as f64 * 0.7).sin();
+                let y = (i as f64 * 1.3).cos();
+                t(i, x, 50.0 + 20.0 * y)
+            })
+            .collect();
+        let m = metrics();
+        let front = ParetoFront::compute(&trials, &m);
+        for &i in front.indices() {
+            for (j, other) in trials.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(other, &trials[i], &m), "front member {i} dominated by {j}");
+                }
+            }
+        }
+        for (j, _) in trials.iter().enumerate() {
+            if !front.contains(j) {
+                assert!(
+                    front.indices().iter().any(|&i| dominates(&trials[i], &trials[j], &m)),
+                    "non-member {j} not dominated by the front"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_trials_never_reach_the_front() {
+        let mut bad = t(0, 100.0, 1.0);
+        bad.status = TrialStatus::Failed;
+        let trials = vec![bad, t(1, -0.5, 60.0)];
+        let front = ParetoFront::compute(&trials, &metrics());
+        assert_eq!(front.indices(), &[1]);
+    }
+
+    #[test]
+    fn missing_metrics_exclude_a_trial() {
+        let incomplete = Trial::complete(
+            0,
+            Configuration::new(),
+            MetricValues::new().with("reward", 10.0), // no time_min
+        );
+        let trials = vec![incomplete, t(1, -0.5, 60.0)];
+        let front = ParetoFront::compute(&trials, &metrics());
+        assert_eq!(front.indices(), &[1]);
+    }
+
+    #[test]
+    fn ranks_partition_into_layers() {
+        let trials = vec![
+            t(0, 1.0, 10.0), // front 0
+            t(1, 0.5, 20.0), // dominated by 0 only -> front 1
+            t(2, 0.2, 30.0), // dominated by 0 and 1 -> front 2
+        ];
+        let ranks = non_dominated_ranks(&trials, &metrics());
+        assert_eq!(ranks, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn ranks_match_front_zero() {
+        let trials = vec![t(0, -0.65, 46.0), t(1, -0.45, 65.0), t(2, -0.78, 72.0)];
+        let m = metrics();
+        let ranks = non_dominated_ranks(&trials, &m);
+        let front = ParetoFront::compute(&trials, &m);
+        for (i, r) in ranks.iter().enumerate() {
+            assert_eq!(*r == Some(0), front.contains(i));
+        }
+    }
+
+    #[test]
+    fn crowding_boundary_points_are_infinite() {
+        let trials = vec![t(0, -0.7, 40.0), t(1, -0.6, 50.0), t(2, -0.5, 60.0), t(3, -0.4, 70.0)];
+        let m = metrics();
+        let front = ParetoFront::compute(&trials, &m);
+        assert_eq!(front.len(), 4);
+        let d = crowding_distance(&trials, &front, &m);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+    }
+
+    #[test]
+    fn crowding_small_fronts_are_all_infinite() {
+        let trials = vec![t(0, -0.5, 40.0), t(1, -0.4, 70.0)];
+        let m = metrics();
+        let front = ParetoFront::compute(&trials, &m);
+        let d = crowding_distance(&trials, &front, &m);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+}

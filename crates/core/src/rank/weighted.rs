@@ -1,0 +1,161 @@
+//! Weighted-sum scalarization with min–max normalization.
+//!
+//! A classic alternative ranking method: collapse the metrics into one
+//! score `Σ w_m · normalized_m` and sort. Normalization maps every metric
+//! onto `[0, 1]` with 1 = best, so weights are comparable across metrics
+//! with different units (minutes vs kJ vs reward).
+
+use crate::metrics::{Direction, MetricDef};
+use crate::trial::Trial;
+
+/// Weighted-sum ranking.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedSum {
+    weights: Vec<(MetricDef, f64)>,
+}
+
+impl WeightedSum {
+    /// Empty scalarization (add weights with [`WeightedSum::weight`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a metric with a weight (weights need not sum to 1).
+    pub fn weight(mut self, metric: MetricDef, w: f64) -> Self {
+        assert!(w >= 0.0, "weights must be non-negative");
+        self.weights.push((metric, w));
+        self
+    }
+
+    fn metric_defs(&self) -> Vec<MetricDef> {
+        self.weights.iter().map(|(m, _)| m.clone()).collect()
+    }
+
+    /// Scores for each trial (`None` for unrankable trials). 1 = ideal on
+    /// every metric, 0 = worst on every metric.
+    pub fn scores(&self, trials: &[Trial]) -> Vec<Option<f64>> {
+        let defs = self.metric_defs();
+        let eligible: Vec<bool> =
+            trials.iter().map(|t| t.is_complete() && t.metrics.covers(&defs)).collect();
+
+        // Min–max per metric over eligible trials.
+        let mut ranges = Vec::new();
+        for (m, _) in &self.weights {
+            let vals: Vec<f64> = trials
+                .iter()
+                .zip(&eligible)
+                .filter(|(_, e)| **e)
+                .map(|(t, _)| t.metrics.get(&m.name).unwrap())
+                .collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            ranges.push((lo, hi));
+        }
+
+        let wsum: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        trials
+            .iter()
+            .zip(&eligible)
+            .map(|(t, &e)| {
+                if !e || wsum == 0.0 {
+                    return None;
+                }
+                let mut score = 0.0;
+                for ((m, w), (lo, hi)) in self.weights.iter().zip(&ranges) {
+                    let v = t.metrics.get(&m.name).unwrap();
+                    let span = (hi - lo).abs();
+                    let norm = if span < 1e-12 {
+                        1.0
+                    } else {
+                        match m.direction {
+                            Direction::Maximize => (v - lo) / span,
+                            Direction::Minimize => (hi - v) / span,
+                        }
+                    };
+                    score += w * norm;
+                }
+                Some(score / wsum)
+            })
+            .collect()
+    }
+
+    /// Indices of rankable trials, best score first.
+    pub fn rank(&self, trials: &[Trial]) -> Vec<usize> {
+        let scores = self.scores(trials);
+        let mut idx: Vec<usize> =
+            scores.iter().enumerate().filter(|(_, s)| s.is_some()).map(|(i, _)| i).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricValues;
+    use crate::trial::Configuration;
+
+    fn t(id: usize, reward: f64, time: f64) -> Trial {
+        Trial::complete(
+            id,
+            Configuration::new(),
+            MetricValues::new().with("reward", reward).with("time_min", time),
+        )
+    }
+
+    fn scalarizer(wr: f64, wt: f64) -> WeightedSum {
+        WeightedSum::new()
+            .weight(MetricDef::maximize("reward"), wr)
+            .weight(MetricDef::minimize("time_min"), wt)
+    }
+
+    #[test]
+    fn ideal_point_scores_one() {
+        let trials = vec![t(0, 1.0, 10.0), t(1, 0.0, 20.0)];
+        let s = scalarizer(1.0, 1.0).scores(&trials);
+        assert!((s[0].unwrap() - 1.0).abs() < 1e-12, "best on both metrics");
+        assert!((s[1].unwrap() - 0.0).abs() < 1e-12, "worst on both metrics");
+    }
+
+    #[test]
+    fn weights_steer_the_winner() {
+        // Trial 0: fast but weak; trial 1: slow but strong.
+        let trials = vec![t(0, 0.0, 10.0), t(1, 1.0, 20.0)];
+        assert_eq!(scalarizer(0.1, 0.9).rank(&trials)[0], 0, "time-heavy weights");
+        assert_eq!(scalarizer(0.9, 0.1).rank(&trials)[0], 1, "reward-heavy weights");
+    }
+
+    #[test]
+    fn constant_metric_normalizes_to_one() {
+        let trials = vec![t(0, 0.5, 10.0), t(1, 0.5, 20.0)];
+        let s = scalarizer(1.0, 1.0).scores(&trials);
+        // Reward is constant: both get 1.0 on it; time splits them.
+        assert!(s[0].unwrap() > s[1].unwrap());
+        assert!((s[0].unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrankable_trials_get_none() {
+        let partial = Trial::complete(
+            0,
+            Configuration::new(),
+            MetricValues::new().with("reward", 0.5),
+        );
+        let trials = vec![partial, t(1, 0.5, 10.0)];
+        let s = scalarizer(1.0, 1.0).scores(&trials);
+        assert!(s[0].is_none());
+        assert!(s[1].is_some());
+        assert_eq!(scalarizer(1.0, 1.0).rank(&trials), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        WeightedSum::new().weight(MetricDef::maximize("reward"), -1.0);
+    }
+}

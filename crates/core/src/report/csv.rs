@@ -1,0 +1,91 @@
+//! CSV export of trials (for external plotting/analysis tools).
+
+use crate::metrics::MetricDef;
+use crate::trial::{Trial, TrialStatus};
+
+/// Serialize trials as CSV with columns `id, <params…>, <metrics…>,
+/// status`. Fields containing commas or quotes are quoted per RFC 4180.
+pub fn trials_to_csv(trials: &[Trial], params: &[&str], metrics: &[MetricDef]) -> String {
+    let mut out = String::new();
+    let mut header: Vec<String> = vec!["id".into()];
+    header.extend(params.iter().map(|p| p.to_string()));
+    header.extend(metrics.iter().map(|m| m.name.clone()));
+    header.push("status".into());
+    out.push_str(&header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+
+    for t in trials {
+        let mut row: Vec<String> = vec![t.id.to_string()];
+        for p in params {
+            row.push(t.config.get(p).map(|v| v.to_string()).unwrap_or_default());
+        }
+        for m in metrics {
+            row.push(t.metrics.get(&m.name).map(|v| format!("{v}")).unwrap_or_default());
+        }
+        row.push(
+            match t.status {
+                TrialStatus::Complete => "complete",
+                TrialStatus::Pruned => "pruned",
+                TrialStatus::Failed => "failed",
+            }
+            .into(),
+        );
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricValues;
+    use crate::param::ParamValue;
+    use crate::trial::Configuration;
+
+    #[test]
+    fn csv_round_shape() {
+        let trials = vec![Trial::complete(
+            0,
+            Configuration::new().with("fw", ParamValue::Str("RLlib".into())),
+            MetricValues::new().with("reward", -0.5),
+        )];
+        let csv = trials_to_csv(&trials, &["fw"], &[MetricDef::maximize("reward")]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("id,fw,reward,status"));
+        assert_eq!(lines.next(), Some("0,RLlib,-0.5,complete"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        let trials = vec![Trial::complete(
+            0,
+            Configuration::new().with("note", ParamValue::Str("a,b".into())),
+            MetricValues::new().with("m", 1.0),
+        )];
+        let csv = trials_to_csv(&trials, &["note"], &[MetricDef::maximize("m")]);
+        assert!(csv.contains("\"a,b\""));
+    }
+
+    #[test]
+    fn quotes_are_doubled() {
+        assert_eq!(escape("x\"y"), "\"x\"\"y\"");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn missing_values_are_empty_fields() {
+        let trials = vec![Trial::complete(0, Configuration::new(), MetricValues::new())];
+        let csv = trials_to_csv(&trials, &["fw"], &[MetricDef::maximize("reward")]);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,,"));
+    }
+}

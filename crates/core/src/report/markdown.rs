@@ -1,0 +1,108 @@
+//! Markdown rendering of study results (for READMEs / experiment logs).
+
+use crate::metrics::MetricDef;
+use crate::rank::pareto::ParetoFront;
+use crate::trial::{Trial, TrialStatus};
+
+/// Render trials as a GitHub-flavoured markdown table; Pareto-front rows
+/// are bolded.
+pub fn trials_to_markdown(
+    trials: &[Trial],
+    params: &[&str],
+    metrics: &[MetricDef],
+    front: Option<&ParetoFront>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("| # |");
+    for p in params {
+        out.push_str(&format!(" {p} |"));
+    }
+    for m in metrics {
+        out.push_str(&format!(" {} |", m.name));
+    }
+    out.push_str(" status |\n|---|");
+    for _ in 0..params.len() + metrics.len() + 1 {
+        out.push_str("---|");
+    }
+    out.push('\n');
+
+    for (i, t) in trials.iter().enumerate() {
+        let on_front = front.map(|f| f.contains(i)).unwrap_or(false);
+        let emph = if on_front { "**" } else { "" };
+        out.push_str(&format!("| {emph}{}{emph} |", t.id + 1));
+        for p in params {
+            let v = t.config.get(p).map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(" {emph}{v}{emph} |"));
+        }
+        for m in metrics {
+            let v = t
+                .metrics
+                .get(&m.name)
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(" {emph}{v}{emph} |"));
+        }
+        let status = match t.status {
+            TrialStatus::Complete => "ok",
+            TrialStatus::Pruned => "pruned",
+            TrialStatus::Failed => "failed",
+        };
+        out.push_str(&format!(" {status} |\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricValues;
+    use crate::param::ParamValue;
+    use crate::trial::Configuration;
+
+    fn trials() -> Vec<Trial> {
+        vec![
+            Trial::complete(
+                0,
+                Configuration::new().with("fw", ParamValue::Str("sb".into())),
+                MetricValues::new().with("reward", -0.45).with("time_min", 65.0),
+            ),
+            Trial::complete(
+                1,
+                Configuration::new().with("fw", ParamValue::Str("ray".into())),
+                MetricValues::new().with("reward", -0.73).with("time_min", 80.0),
+            ),
+        ]
+    }
+
+    fn metrics() -> Vec<MetricDef> {
+        vec![MetricDef::maximize("reward"), MetricDef::minimize("time_min")]
+    }
+
+    #[test]
+    fn header_and_rows_align() {
+        let md = trials_to_markdown(&trials(), &["fw"], &metrics(), None);
+        let lines: Vec<&str> = md.lines().collect();
+        assert!(lines.len() >= 4);
+        let cols = lines[0].matches('|').count();
+        for l in &lines[1..] {
+            assert_eq!(l.matches('|').count(), cols, "misaligned row: {l}");
+        }
+    }
+
+    #[test]
+    fn front_rows_are_bolded() {
+        let ts = trials();
+        let front = ParetoFront::compute(&ts, &metrics());
+        assert_eq!(front.indices(), &[0]);
+        let md = trials_to_markdown(&ts, &["fw"], &metrics(), Some(&front));
+        assert!(md.contains("**sb**"));
+        assert!(!md.contains("**ray**"));
+    }
+
+    #[test]
+    fn missing_values_render_dash() {
+        let t = Trial::complete(0, Configuration::new(), MetricValues::new());
+        let md = trials_to_markdown(&[t], &["fw"], &metrics(), None);
+        assert!(md.contains("| - |"));
+    }
+}

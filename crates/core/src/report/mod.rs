@@ -1,0 +1,12 @@
+//! Rendering study results: ASCII tables (Table I), CSV exports, and SVG
+//! scatter plots of Pareto fronts (Figures 4–6).
+
+pub mod csv;
+pub mod markdown;
+pub mod svg;
+pub mod table;
+
+pub use csv::trials_to_csv;
+pub use markdown::trials_to_markdown;
+pub use svg::ScatterPlot;
+pub use table::render_table;

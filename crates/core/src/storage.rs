@@ -1,0 +1,143 @@
+//! Trial journaling: append-only JSONL storage with resume support.
+//!
+//! Long studies (18 trainings × up to 85 simulated minutes each in the
+//! paper) must survive interruptions; the journal records every finished
+//! trial so a restarted study can skip completed work.
+
+use crate::trial::Trial;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Append-only JSONL trial store.
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Open (or create) a journal at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one trial (flushes to disk).
+    ///
+    /// The record is written with a single `write_all` of `line + "\n"`
+    /// on an `O_APPEND` descriptor, so concurrent appends from
+    /// `Study::run_parallel` workers cannot interleave within a line.
+    pub fn append(&self, trial: &Trial) -> std::io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        let mut line = serde_json::to_string(trial)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        f.flush()
+    }
+
+    /// Load all stored trials (empty when the file does not exist).
+    /// Malformed lines are skipped with a count in the result.
+    pub fn load(&self) -> std::io::Result<(Vec<Trial>, usize)> {
+        if !self.path.exists() {
+            return Ok((Vec::new(), 0));
+        }
+        let f = File::open(&self.path)?;
+        let mut trials = Vec::new();
+        let mut skipped = 0;
+        for line in BufReader::new(f).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<Trial>(&line) {
+                Ok(t) => trials.push(t),
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok((trials, skipped))
+    }
+
+    /// Delete the journal file if it exists.
+    pub fn clear(&self) -> std::io::Result<()> {
+        if self.path.exists() {
+            std::fs::remove_file(&self.path)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricValues;
+    use crate::param::ParamValue;
+    use crate::trial::Configuration;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("decision-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn trial(id: usize) -> Trial {
+        Trial::complete(
+            id,
+            Configuration::new().with("k", ParamValue::Int(id as i64)),
+            MetricValues::new().with("reward", -(id as f64) / 10.0),
+        )
+    }
+
+    #[test]
+    fn append_and_load_round_trip() {
+        let j = Journal::new(tmp("roundtrip"));
+        j.clear().unwrap();
+        j.append(&trial(0)).unwrap();
+        j.append(&trial(1)).unwrap();
+        let (loaded, skipped) = j.load().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(skipped, 0);
+        assert_eq!(loaded[1], trial(1));
+        j.clear().unwrap();
+    }
+
+    #[test]
+    fn loading_missing_file_is_empty() {
+        let j = Journal::new(tmp("missing"));
+        j.clear().unwrap();
+        let (loaded, skipped) = j.load().unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let path = tmp("malformed");
+        let j = Journal::new(&path);
+        j.clear().unwrap();
+        j.append(&trial(0)).unwrap();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "{{not json").unwrap();
+        }
+        j.append(&trial(1)).unwrap();
+        let (loaded, skipped) = j.load().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(skipped, 1);
+        j.clear().unwrap();
+    }
+
+    #[test]
+    fn clear_removes_the_file() {
+        let path = tmp("clear");
+        let j = Journal::new(&path);
+        j.append(&trial(0)).unwrap();
+        assert!(path.exists());
+        j.clear().unwrap();
+        assert!(!path.exists());
+        j.clear().unwrap(); // idempotent
+    }
+}

@@ -1,0 +1,507 @@
+//! The [`Study`]: wiring the methodology's five stages together.
+//!
+//! A study owns a parameter space (stage b), an explorer (stage c), a
+//! metric set (stage d) and a user-supplied objective that embodies the
+//! case study (stage a). Running it produces the trials that the ranking
+//! methods (stage e) and reports consume.
+
+use crate::explore::Explorer;
+use crate::metrics::{Direction, MetricDef, MetricValues};
+use crate::pruner::{NopPruner, Pruner};
+use crate::space::ParamSpace;
+use crate::storage::Journal;
+use crate::trial::{Configuration, Trial, TrialStatus};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Handle given to the objective while a trial runs: intermediate
+/// reporting (for pruning) and trial identity.
+pub struct TrialContext<'a> {
+    /// Sequential trial id.
+    pub trial_id: usize,
+    pruner: &'a dyn Pruner,
+    orient: Direction,
+    intermediate: Vec<(u64, f64)>,
+    pruned: bool,
+}
+
+impl TrialContext<'_> {
+    /// Report an intermediate objective value (bigger = better after the
+    /// study's orientation). Returns `true` when the pruner asks the
+    /// trial to stop; the objective should then return promptly (the
+    /// study records the trial as pruned).
+    pub fn report(&mut self, step: u64, value: f64) -> bool {
+        self.intermediate.push((step, value));
+        let oriented = self.orient.orient(value);
+        if self.pruner.should_prune(self.trial_id, step, oriented) {
+            self.pruned = true;
+        }
+        self.pruned
+    }
+
+    /// Whether the pruner has fired for this trial.
+    pub fn is_pruned(&self) -> bool {
+        self.pruned
+    }
+}
+
+/// The objective: evaluates one configuration into metric values.
+pub type Objective =
+    dyn Fn(&Configuration, &mut TrialContext<'_>) -> Result<MetricValues, String> + Send + Sync;
+
+/// A fully-specified decision-analysis study.
+pub struct Study {
+    name: String,
+    space: ParamSpace,
+    explorer: Mutex<Box<dyn Explorer>>,
+    metrics: Vec<MetricDef>,
+    objective: Arc<Objective>,
+    pruner: Arc<dyn Pruner>,
+    /// Direction used to orient intermediate reports (first metric's).
+    prune_metric_direction: Direction,
+    journal: Option<Journal>,
+    seed: u64,
+}
+
+impl Study {
+    /// Start building a study.
+    pub fn builder(name: impl Into<String>) -> StudyBuilder {
+        StudyBuilder {
+            name: name.into(),
+            space: None,
+            explorer: None,
+            metrics: Vec::new(),
+            objective: None,
+            pruner: Arc::new(NopPruner),
+            journal: None,
+            seed: 0,
+        }
+    }
+
+    /// Study name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The metric definitions.
+    pub fn metrics(&self) -> Vec<MetricDef> {
+        self.metrics.clone()
+    }
+
+    /// The parameter space.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn run_one(&self, id: usize, config: Configuration) -> Trial {
+        let mut ctx = TrialContext {
+            trial_id: id,
+            pruner: self.pruner.as_ref(),
+            orient: self.prune_metric_direction,
+            intermediate: Vec::new(),
+            pruned: false,
+        };
+        let result = (self.objective)(&config, &mut ctx);
+        let mut trial = match result {
+            Ok(metrics) if ctx.pruned => Trial {
+                id,
+                config,
+                metrics,
+                status: TrialStatus::Pruned,
+                intermediate: Vec::new(),
+                error: None,
+            },
+            Ok(metrics) => Trial::complete(id, config, metrics),
+            Err(e) => Trial {
+                id,
+                config,
+                metrics: MetricValues::new(),
+                status: TrialStatus::Failed,
+                intermediate: Vec::new(),
+                error: Some(e),
+            },
+        };
+        trial.intermediate = ctx.intermediate;
+        if trial.status == TrialStatus::Complete && !trial.metrics.covers(&self.metrics) {
+            trial.status = TrialStatus::Failed;
+            trial.error = Some(format!(
+                "objective did not report every study metric ({:?})",
+                self.metrics.iter().map(|m| m.name.as_str()).collect::<Vec<_>>()
+            ));
+        }
+        if let Some(j) = &self.journal {
+            // Journaling failures must not kill the study; surface them.
+            if let Err(e) = j.append(&trial) {
+                eprintln!("[decision] journal append failed: {e}");
+            }
+        }
+        trial
+    }
+
+    /// Run trials sequentially until the explorer's budget is exhausted.
+    ///
+    /// Resumes from the journal when one is configured: already-stored
+    /// trials count against the explorer budget and seed its history.
+    pub fn run(&self) -> Result<Vec<Trial>, String> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trials = self.load_previous()?;
+        let mut explorer = self.explorer.lock();
+        // Positional explorers burn one proposal per resumed trial;
+        // keyed explorers dedupe against the history themselves.
+        if !explorer.supports_keyed_resume() {
+            for _ in 0..trials.len() {
+                let _ = explorer.propose(&self.space, &trials, &mut rng);
+            }
+        }
+        while let Some(cfg) = explorer.propose(&self.space, &trials, &mut rng) {
+            let trial = self.run_one(trials.len(), cfg);
+            trials.push(trial);
+        }
+        Ok(trials)
+    }
+
+    /// Run trials in waves of `parallelism` on a rayon pool.
+    ///
+    /// Exploration stays sequential between waves (adaptive explorers see
+    /// the history of all previous waves), while objective evaluations
+    /// within a wave run concurrently — the "distributed hyperparameter
+    /// search" §III-C attributes to Optuna/Hyperopt.
+    pub fn run_parallel(&self, parallelism: usize) -> Result<Vec<Trial>, String> {
+        assert!(parallelism > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trials = self.load_previous()?;
+        let mut explorer = self.explorer.lock();
+        if !explorer.supports_keyed_resume() {
+            for _ in 0..trials.len() {
+                let _ = explorer.propose(&self.space, &trials, &mut rng);
+            }
+        }
+        loop {
+            let mut wave = Vec::with_capacity(parallelism);
+            for _ in 0..parallelism {
+                match explorer.propose(&self.space, &trials, &mut rng) {
+                    Some(cfg) => wave.push(cfg),
+                    None => break,
+                }
+            }
+            if wave.is_empty() {
+                break;
+            }
+            let base = trials.len();
+            let mut results: Vec<Trial> = wave
+                .into_par_iter()
+                .enumerate()
+                .map(|(k, cfg)| self.run_one(base + k, cfg))
+                .collect();
+            results.sort_by_key(|t| t.id);
+            trials.extend(results);
+        }
+        Ok(trials)
+    }
+
+    fn load_previous(&self) -> Result<Vec<Trial>, String> {
+        match &self.journal {
+            Some(j) => {
+                let (trials, skipped) = j.load().map_err(|e| e.to_string())?;
+                if skipped > 0 {
+                    eprintln!("[decision] journal: skipped {skipped} malformed lines");
+                }
+                Ok(trials)
+            }
+            None => Ok(Vec::new()),
+        }
+    }
+}
+
+/// Builder for [`Study`].
+pub struct StudyBuilder {
+    name: String,
+    space: Option<ParamSpace>,
+    explorer: Option<Box<dyn Explorer>>,
+    metrics: Vec<MetricDef>,
+    objective: Option<Arc<Objective>>,
+    pruner: Arc<dyn Pruner>,
+    journal: Option<Journal>,
+    seed: u64,
+}
+
+impl StudyBuilder {
+    /// Set the parameter space (stage b).
+    pub fn space(mut self, space: ParamSpace) -> Self {
+        self.space = Some(space);
+        self
+    }
+
+    /// Set the exploratory method (stage c).
+    pub fn explorer(mut self, explorer: impl Explorer + 'static) -> Self {
+        self.explorer = Some(Box::new(explorer));
+        self
+    }
+
+    /// Set a type-erased exploratory method (used by manifests, where the
+    /// explorer kind is decided at runtime).
+    pub fn explorer_boxed(mut self, explorer: Box<dyn Explorer>) -> Self {
+        self.explorer = Some(explorer);
+        self
+    }
+
+    /// Add an evaluation metric (stage d). The first metric's direction
+    /// orients intermediate reports for the pruner.
+    pub fn metric(mut self, metric: MetricDef) -> Self {
+        self.metrics.push(metric);
+        self
+    }
+
+    /// Set the objective (stage a — the case study).
+    pub fn objective<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&Configuration, &mut TrialContext<'_>) -> Result<MetricValues, String>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.objective = Some(Arc::new(f));
+        self
+    }
+
+    /// Install a pruner (Optuna-style early stopping).
+    pub fn pruner(mut self, pruner: impl Pruner + 'static) -> Self {
+        self.pruner = Arc::new(pruner);
+        self
+    }
+
+    /// Journal trials to a JSONL file and resume from it.
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Seed for the exploration RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<Study, String> {
+        let space = self.space.ok_or("study needs a parameter space")?;
+        if space.is_empty() {
+            return Err("parameter space is empty".into());
+        }
+        let explorer = self.explorer.ok_or("study needs an explorer")?;
+        if self.metrics.is_empty() {
+            return Err("study needs at least one metric".into());
+        }
+        let objective = self.objective.ok_or("study needs an objective")?;
+        let prune_metric_direction = self.metrics[0].direction;
+        Ok(Study {
+            name: self.name,
+            space,
+            explorer: Mutex::new(explorer),
+            metrics: self.metrics,
+            objective,
+            pruner: self.pruner,
+            prune_metric_direction,
+            journal: self.journal,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{GridSearch, RandomSearch};
+    use crate::pruner::MedianPruner;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder().categorical_int("k", [1, 2, 3]).categorical_int("j", [0, 1]).build()
+    }
+
+    fn quadratic(cfg: &Configuration, _ctx: &mut TrialContext<'_>) -> Result<MetricValues, String> {
+        let k = cfg.int("k").unwrap() as f64;
+        Ok(MetricValues::new().with("loss", (k - 2.0).powi(2)))
+    }
+
+    #[test]
+    fn sequential_run_exhausts_the_explorer() {
+        let study = Study::builder("t")
+            .space(space())
+            .explorer(RandomSearch::new(5))
+            .metric(MetricDef::minimize("loss"))
+            .objective(quadratic)
+            .build()
+            .unwrap();
+        let trials = study.run().unwrap();
+        assert_eq!(trials.len(), 5);
+        assert!(trials.iter().all(|t| t.is_complete()));
+        assert_eq!(trials.iter().map(|t| t.id).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn grid_study_covers_the_space() {
+        let study = Study::builder("t")
+            .space(space())
+            .explorer(GridSearch::new())
+            .metric(MetricDef::minimize("loss"))
+            .objective(quadratic)
+            .build()
+            .unwrap();
+        let trials = study.run().unwrap();
+        assert_eq!(trials.len(), 6);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_results() {
+        let mk = || {
+            Study::builder("t")
+                .space(space())
+                .explorer(GridSearch::new())
+                .metric(MetricDef::minimize("loss"))
+                .objective(quadratic)
+                .build()
+                .unwrap()
+        };
+        let seq = mk().run().unwrap();
+        let par = mk().run_parallel(3).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn objective_errors_become_failed_trials() {
+        let study = Study::builder("t")
+            .space(space())
+            .explorer(RandomSearch::new(3))
+            .metric(MetricDef::minimize("loss"))
+            .objective(|_, _| Err("boom".into()))
+            .build()
+            .unwrap();
+        let trials = study.run().unwrap();
+        assert!(trials.iter().all(|t| t.status == TrialStatus::Failed));
+        assert_eq!(trials[0].error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn missing_metrics_fail_the_trial() {
+        let study = Study::builder("t")
+            .space(space())
+            .explorer(RandomSearch::new(1))
+            .metric(MetricDef::minimize("loss"))
+            .metric(MetricDef::minimize("missing"))
+            .objective(quadratic)
+            .build()
+            .unwrap();
+        let trials = study.run().unwrap();
+        assert_eq!(trials[0].status, TrialStatus::Failed);
+    }
+
+    #[test]
+    fn pruning_marks_trials() {
+        // Objective reports its k value; median pruner with 2 startup
+        // trials prunes below-median reporters.
+        let study = Study::builder("t")
+            .space(ParamSpace::builder().categorical_int("k", [6, 5, 4, 3, 2, 1]).build())
+            .explorer(GridSearch::new())
+            .metric(MetricDef::maximize("score"))
+            .pruner(MedianPruner::with_startup(2))
+            .objective(|cfg, ctx| {
+                let k = cfg.int("k").unwrap() as f64;
+                if ctx.report(1, k) {
+                    return Ok(MetricValues::new().with("score", k));
+                }
+                Ok(MetricValues::new().with("score", k))
+            })
+            .build()
+            .unwrap();
+        let trials = study.run().unwrap();
+        assert!(
+            trials.iter().any(|t| t.status == TrialStatus::Pruned),
+            "later low-k trials should get pruned against the early high-k median"
+        );
+        assert!(trials.iter().all(|t| !t.intermediate.is_empty()));
+    }
+
+    #[test]
+    fn journal_resume_skips_completed_trials() {
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("decision-study-resume-{}", std::process::id()));
+            p
+        };
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mk = |calls: Arc<AtomicUsize>| {
+            Study::builder("t")
+                .space(space())
+                .explorer(GridSearch::new())
+                .metric(MetricDef::minimize("loss"))
+                .journal(Journal::new(&path))
+                .objective(move |cfg, ctx| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    quadratic(cfg, ctx)
+                })
+                .build()
+                .unwrap()
+        };
+        Journal::new(&path).clear().unwrap();
+        let first = mk(calls.clone()).run().unwrap();
+        assert_eq!(first.len(), 6);
+        assert_eq!(calls.load(Ordering::SeqCst), 6);
+        // Second run: everything is in the journal; no new objective calls.
+        let second = mk(calls.clone()).run().unwrap();
+        assert_eq!(second.len(), 6);
+        assert_eq!(calls.load(Ordering::SeqCst), 6, "resume must not re-run trials");
+        Journal::new(&path).clear().unwrap();
+    }
+
+    #[test]
+    fn parallel_run_with_journal_produces_clean_lines() {
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("decision-study-parallel-{}", std::process::id()));
+            p
+        };
+        Journal::new(&path).clear().unwrap();
+        let study = Study::builder("t")
+            .space(ParamSpace::builder().categorical_int("k", 0..24).build())
+            .explorer(GridSearch::new())
+            .metric(MetricDef::minimize("loss"))
+            .journal(Journal::new(&path))
+            .objective(|cfg, _| {
+                Ok(MetricValues::new().with("loss", cfg.int("k").unwrap() as f64))
+            })
+            .build()
+            .unwrap();
+        let trials = study.run_parallel(8).unwrap();
+        assert_eq!(trials.len(), 24);
+        let (loaded, skipped) = Journal::new(&path).load().unwrap();
+        assert_eq!(skipped, 0, "concurrent appends must not interleave");
+        assert_eq!(loaded.len(), 24);
+        Journal::new(&path).clear().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_incomplete_studies() {
+        assert!(Study::builder("t").build().is_err());
+        assert!(Study::builder("t").space(space()).build().is_err());
+        assert!(Study::builder("t")
+            .space(space())
+            .explorer(RandomSearch::new(1))
+            .build()
+            .is_err());
+        assert!(Study::builder("t")
+            .space(ParamSpace::builder().build())
+            .explorer(RandomSearch::new(1))
+            .metric(MetricDef::minimize("loss"))
+            .objective(quadratic)
+            .build()
+            .is_err());
+    }
+}

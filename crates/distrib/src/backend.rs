@@ -1,0 +1,110 @@
+//! The [`Backend`] trait, environment factories and the dispatch entry
+//! point.
+
+use crate::backends::{RllibLike, StableBaselinesLike, TfAgentsLike};
+use crate::framework::Framework;
+use crate::report::ExecReport;
+use crate::spec::ExecSpec;
+use cluster_sim::{ClusterSession, ClusterSpec};
+use gymrs::Environment;
+
+/// Creates per-worker environment instances.
+///
+/// Factories are `Send + Sync` because the RLlib-like backend builds
+/// environments inside worker threads.
+pub trait EnvFactory: Send + Sync {
+    /// Build a fresh environment seeded with `seed`.
+    fn make(&self, seed: u64) -> Box<dyn Environment>;
+}
+
+/// Closure adapter for [`EnvFactory`].
+pub struct FnEnvFactory<F>(pub F);
+
+impl<F> EnvFactory for FnEnvFactory<F>
+where
+    F: Fn(u64) -> Box<dyn Environment> + Send + Sync,
+{
+    fn make(&self, seed: u64) -> Box<dyn Environment> {
+        (self.0)(seed)
+    }
+}
+
+/// A training execution architecture.
+pub trait Backend {
+    /// The framework this backend models.
+    fn framework(&self) -> Framework;
+
+    /// Run the training described by `spec` on environments from
+    /// `factory`, narrating costs to `session`.
+    fn train(
+        &self,
+        spec: &ExecSpec,
+        factory: &dyn EnvFactory,
+        session: &mut ClusterSession,
+    ) -> ExecReport;
+}
+
+/// Build the backend for a framework.
+pub fn backend_for(framework: Framework) -> Box<dyn Backend> {
+    match framework {
+        Framework::RayRllib => Box::new(RllibLike),
+        Framework::StableBaselines => Box::new(StableBaselinesLike),
+        Framework::TfAgents => Box::new(TfAgentsLike),
+    }
+}
+
+/// Run a full training execution: validates the spec, builds the cluster
+/// session for the requested deployment, dispatches to the right backend
+/// and finalizes the usage accounting.
+pub fn run(spec: &ExecSpec, factory: &dyn EnvFactory) -> Result<ExecReport, String> {
+    spec.validate()?;
+    let cluster = ClusterSpec::paper_testbed(spec.deployment.nodes);
+    let mut session = ClusterSession::new(cluster);
+    let backend = backend_for(spec.framework);
+    let mut report = backend.train(spec, factory, &mut session);
+    report.usage = session.finish();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Deployment;
+    use gymrs::envs::GridWorld;
+    use rl_algos::Algorithm;
+
+    fn grid_factory() -> impl EnvFactory {
+        FnEnvFactory(|seed| {
+            let mut e = GridWorld::new(3);
+            e.seed(seed);
+            Box::new(e) as Box<dyn Environment>
+        })
+    }
+
+    #[test]
+    fn dispatch_builds_matching_backend() {
+        for f in Framework::ALL {
+            assert_eq!(backend_for(f).framework(), f);
+        }
+    }
+
+    #[test]
+    fn run_rejects_invalid_spec() {
+        let spec = ExecSpec::new(
+            Framework::TfAgents,
+            Algorithm::Ppo,
+            Deployment { nodes: 2, cores_per_node: 4 },
+            100,
+            0,
+        );
+        assert!(run(&spec, &grid_factory()).is_err());
+    }
+
+    #[test]
+    fn factory_seeds_environments() {
+        let f = grid_factory();
+        let mut a = f.make(1);
+        let mut b = f.make(1);
+        assert_eq!(a.reset(), b.reset());
+    }
+}

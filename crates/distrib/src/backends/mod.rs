@@ -1,0 +1,12 @@
+//! The three framework-like execution backends.
+
+pub mod common;
+pub mod impala;
+pub mod rllib;
+pub mod sb3;
+pub mod tfa;
+
+pub use impala::{train_impala, ImpalaOpts};
+pub use rllib::RllibLike;
+pub use sb3::StableBaselinesLike;
+pub use tfa::TfAgentsLike;

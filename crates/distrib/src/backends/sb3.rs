@@ -1,0 +1,274 @@
+//! The Stable-Baselines-like backend: synchronous vectorized environments.
+//!
+//! §V-b: "Stable Baselines provides parallelized environments through
+//! vectorization"; §VI-C: "one vectorized environment is used per CPU
+//! core". The learner steps `cores` sub-environments in lockstep, so the
+//! rollout batch is split into `cores` parallel segments: more cores means
+//! faster collection but *shorter per-environment segments*, the mechanism
+//! behind the paper's observation that less-vectorized configurations can
+//! reach slightly better rewards (§VI-C, solutions 14 vs 15/16).
+//!
+//! Everything runs on one node. Collection, inference and learning are
+//! strictly serialized (the SB3 training loop), which makes this the most
+//! deterministic — and reward-wise most reliable — backend.
+
+use crate::backend::{Backend, EnvFactory};
+use crate::framework::Framework;
+use crate::report::{ExecReport, TrainedModel};
+use crate::spec::ExecSpec;
+use crate::backends::common::{collect_segment, sac_step, worker_seed};
+use cluster_sim::ClusterSession;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_algos::buffer::RolloutBuffer;
+use rl_algos::ppo::PpoLearner;
+use rl_algos::sac::SacLearner;
+use rl_algos::Algorithm;
+
+/// See the module docs.
+pub struct StableBaselinesLike;
+
+impl Backend for StableBaselinesLike {
+    fn framework(&self) -> Framework {
+        Framework::StableBaselines
+    }
+
+    fn train(
+        &self,
+        spec: &ExecSpec,
+        factory: &dyn EnvFactory,
+        session: &mut ClusterSession,
+    ) -> ExecReport {
+        match spec.algorithm {
+            Algorithm::Ppo => train_ppo(spec, factory, session),
+            Algorithm::Sac => train_sac(spec, factory, session),
+        }
+    }
+}
+
+fn train_ppo(
+    spec: &ExecSpec,
+    factory: &dyn EnvFactory,
+    session: &mut ClusterSession,
+) -> ExecReport {
+    let profile = Framework::StableBaselines.profile();
+    let n_envs = spec.deployment.cores_per_node;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Build the vectorized sub-environments.
+    let mut envs: Vec<_> = (0..n_envs).map(|i| factory.make(worker_seed(spec.seed, i, 0))).collect();
+    let obs_dim = envs[0].observation_space().dim();
+    let aspace = envs[0].action_space();
+    let mut learner = PpoLearner::new(obs_dim, &aspace, spec.ppo.clone(), &mut rng);
+    let mut obs: Vec<Vec<f64>> = envs.iter_mut().map(|e| e.reset()).collect();
+
+    let batch = learner.config().n_steps;
+    let per_env = (batch / n_envs).max(1);
+
+    let mut env_steps = 0u64;
+    let mut env_work = 0u64;
+    let mut train_returns = Vec::new();
+
+    while (env_steps as usize) < spec.total_steps {
+        learner.anneal(env_steps as f64 / spec.total_steps as f64);
+        // --- Collection: lockstep vectorized stepping. SB3 collects
+        // per-env segments of `per_env` steps (total batch = cores × that).
+        let flops_before = learner.flops;
+        let mut merged = RolloutBuffer::with_capacity(per_env * n_envs);
+        let mut iter_env_work = 0u64;
+        let mut iter_infer_flops = 0u64;
+        for (i, env) in envs.iter_mut().enumerate() {
+            let seg = collect_segment(&learner.policy, env.as_mut(), &mut obs[i], per_env, &mut rng);
+            iter_env_work += seg.env_work;
+            iter_infer_flops += seg.infer_flops;
+            train_returns.extend(seg.episodes.iter().map(|e| e.0));
+            merged.extend(seg.rollout);
+        }
+        let steps = merged.len() as u64;
+        env_steps += steps;
+        env_work += iter_env_work;
+        learner.flops += iter_infer_flops;
+
+        // --- Update.
+        learner.update(&merged, &mut rng);
+        let update_flops = learner.flops - flops_before - iter_infer_flops;
+
+        // --- Narration: env stepping parallelized over the vectorized
+        // envs; inference serialized with the loop (vectorized BLAS uses
+        // the learner streams); learning likewise.
+        let node = session.spec().node;
+        let overhead_units = profile.per_step_overhead_units * steps as f64;
+        session.compute(0, iter_env_work as f64 + overhead_units, n_envs);
+        session.compute(0, node.flops_to_units(iter_infer_flops), profile.learner_streams);
+        session.compute(0, node.flops_to_units(update_flops), profile.learner_streams);
+        session.overhead(profile.per_iter_overhead_s);
+    }
+
+    ExecReport {
+        model: TrainedModel::Ppo(learner.policy.clone()),
+        usage: Default::default(),
+        env_steps,
+        env_work,
+        learn_flops: learner.flops,
+        train_returns,
+        updates: learner.updates,
+    }
+}
+
+fn train_sac(
+    spec: &ExecSpec,
+    factory: &dyn EnvFactory,
+    session: &mut ClusterSession,
+) -> ExecReport {
+    let profile = Framework::StableBaselines.profile();
+    let n_envs = spec.deployment.cores_per_node;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let mut envs: Vec<_> = (0..n_envs).map(|i| factory.make(worker_seed(spec.seed, i, 1))).collect();
+    let obs_dim = envs[0].observation_space().dim();
+    let aspace = envs[0].action_space();
+    let mut learner = SacLearner::new(obs_dim, &aspace, spec.sac.clone(), &mut rng);
+    let mut obs: Vec<Vec<f64>> = envs.iter_mut().map(|e| e.reset()).collect();
+    let mut ep_rets = vec![0.0; n_envs];
+
+    let mut env_steps = 0u64;
+    let mut env_work = 0u64;
+    let mut train_returns = Vec::new();
+    // Round size: one lockstep sweep over the vectorized envs.
+    let round = 32usize;
+
+    while (env_steps as usize) < spec.total_steps {
+        let flops_before = learner.flops;
+        let mut iter_env_work = 0u64;
+        for _ in 0..round {
+            for i in 0..n_envs {
+                if (env_steps as usize) >= spec.total_steps {
+                    break;
+                }
+                let (w, fin) =
+                    sac_step(&mut learner, envs[i].as_mut(), &mut obs[i], &mut ep_rets[i], &mut rng);
+                iter_env_work += w;
+                env_steps += 1;
+                if let Some(r) = fin {
+                    train_returns.push(r);
+                }
+            }
+        }
+        env_work += iter_env_work;
+        let update_flops = learner.flops - flops_before;
+        let steps = (round * n_envs) as u64;
+
+        let node = session.spec().node;
+        session.compute(0, iter_env_work as f64 + profile.per_step_overhead_units * steps as f64, n_envs);
+        session.compute(0, node.flops_to_units(update_flops), profile.learner_streams);
+        session.overhead(profile.per_iter_overhead_s * round as f64 / 256.0);
+    }
+
+    ExecReport {
+        model: TrainedModel::Sac(Box::new(learner)),
+        usage: Default::default(),
+        env_steps,
+        env_work,
+        learn_flops: 0,
+        train_returns,
+        updates: 0,
+    }
+    .with_learner_counts()
+}
+
+impl ExecReport {
+    /// Fill `learn_flops`/`updates` from a SAC model after construction
+    /// (the learner moves into the report).
+    fn with_learner_counts(mut self) -> Self {
+        if let TrainedModel::Sac(l) = &self.model {
+            self.learn_flops = l.flops;
+            self.updates = l.updates;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{run, FnEnvFactory};
+    use crate::spec::Deployment;
+    use gymrs::envs::{GridWorld, PointMass};
+    use gymrs::Environment;
+
+    fn grid_factory() -> impl EnvFactory {
+        FnEnvFactory(|seed| {
+            let mut e = GridWorld::new(3);
+            e.seed(seed);
+            Box::new(e) as Box<dyn Environment>
+        })
+    }
+
+    fn point_factory() -> impl EnvFactory {
+        FnEnvFactory(|seed| {
+            let mut e = PointMass::new();
+            e.seed(seed);
+            Box::new(e) as Box<dyn Environment>
+        })
+    }
+
+    fn spec(algorithm: Algorithm, cores: usize, steps: usize) -> ExecSpec {
+        let mut s = ExecSpec::new(
+            Framework::StableBaselines,
+            algorithm,
+            Deployment { nodes: 1, cores_per_node: cores },
+            steps,
+            7,
+        );
+        s.ppo = rl_algos::ppo::PpoConfig::fast_test();
+        s.sac = rl_algos::sac::SacConfig { start_steps: 64, ..rl_algos::sac::SacConfig::fast_test() };
+        s
+    }
+
+    #[test]
+    fn ppo_run_reports_consistent_accounting() {
+        let report = run(&spec(Algorithm::Ppo, 4, 1024), &grid_factory()).expect("runs");
+        assert!(report.env_steps >= 1024);
+        assert_eq!(report.env_work, report.env_steps, "grid world: 1 unit/step");
+        assert!(report.updates > 0);
+        assert!(report.usage.wall_s > 0.0);
+        assert!(report.usage.energy_j > 0.0);
+        assert_eq!(report.usage.bytes_moved, 0, "single node ships nothing");
+    }
+
+    #[test]
+    fn sac_run_reports_consistent_accounting() {
+        let report = run(&spec(Algorithm::Sac, 2, 300), &point_factory()).expect("runs");
+        assert!(report.env_steps >= 300);
+        assert!(report.updates > 0, "SAC must update after warmup");
+        assert!(report.usage.wall_s > 0.0);
+        assert!(report.learn_flops > 0);
+    }
+
+    #[test]
+    fn more_cores_is_faster_in_simulated_time() {
+        let two = run(&spec(Algorithm::Ppo, 2, 1024), &grid_factory()).expect("runs");
+        let four = run(&spec(Algorithm::Ppo, 4, 1024), &grid_factory()).expect("runs");
+        assert!(
+            four.usage.wall_s < two.usage.wall_s,
+            "4 cores {} should beat 2 cores {}",
+            four.usage.wall_s,
+            two.usage.wall_s
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = run(&spec(Algorithm::Ppo, 4, 512), &grid_factory()).expect("runs");
+        let b = run(&spec(Algorithm::Ppo, 4, 512), &grid_factory()).expect("runs");
+        assert_eq!(a.train_returns, b.train_returns, "SB3-like is deterministic");
+        assert_eq!(a.usage.wall_s, b.usage.wall_s);
+    }
+
+    #[test]
+    fn two_nodes_rejected() {
+        let mut s = spec(Algorithm::Ppo, 4, 512);
+        s.deployment.nodes = 2;
+        assert!(run(&s, &grid_factory()).is_err());
+    }
+}

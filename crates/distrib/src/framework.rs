@@ -1,0 +1,137 @@
+//! Framework identities and their cost profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The three frameworks of the paper's study (Table I column 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Framework {
+    /// Ray RLlib — distributed actor–learner.
+    RayRllib,
+    /// Stable Baselines — vectorized environments.
+    StableBaselines,
+    /// TF-Agents — parallel single-node driver.
+    TfAgents,
+}
+
+impl Framework {
+    /// All frameworks, in Table I order.
+    pub const ALL: [Framework; 3] =
+        [Framework::RayRllib, Framework::StableBaselines, Framework::TfAgents];
+
+    /// Whether the framework can spread training over multiple nodes
+    /// (§V-b: "Distributed training on 2 nodes is available with RLlib;
+    /// TF-Agents and Stable-Baselines parallelize on a single node").
+    pub fn supports_multi_node(self) -> bool {
+        matches!(self, Framework::RayRllib)
+    }
+
+    /// The cost profile used by the cluster narration.
+    ///
+    /// Calibrated against Table I's anchored cells (EXPERIMENTS.md): the
+    /// anchors imply the per-step framework path *dominates* the RK
+    /// integration cost (configuration 8, order 8, takes only ~26% longer
+    /// than configuration 2, order 3, at equal deployment), so the
+    /// overheads here are large relative to the ~7–43 derivative
+    /// evaluations a control step costs.
+    pub fn profile(self) -> FrameworkProfile {
+        match self {
+            // Ray: powerful but heavyweight — object store, scheduler
+            // round-trips, per-iteration synchronization. The configs 2/8
+            // ratio gives a raw B ≈ 134; the end-to-end narration adds
+            // learner, iteration and transfer overheads worth ~4–5
+            // simulated minutes at 200k steps, so the profile carries the
+            // net value that lands the *measured* anchors on target.
+            Framework::RayRllib => FrameworkProfile {
+                per_iter_overhead_s: 0.6,
+                per_step_overhead_units: 118.0,
+                learner_streams: 2,
+                name: "Ray RLlib",
+            },
+            // SB3: the leanest vectorized loop (derived from configs 14
+            // and 16), but inference/learning serialize with collection
+            // on the learner's threads.
+            Framework::StableBaselines => FrameworkProfile {
+                per_iter_overhead_s: 0.3,
+                per_step_overhead_units: 55.0,
+                learner_streams: 2,
+                name: "Stable Baselines",
+            },
+            // TF-Agents: slightly heavier per step than SB3 (config 11),
+            // but its parallel driver keeps every core busy through
+            // collection *and* learning — the §VI-B "cost-effective use
+            // of the CPUs" that makes it the power winner among the
+            // configurations the study sampled.
+            Framework::TfAgents => FrameworkProfile {
+                per_iter_overhead_s: 0.2,
+                per_step_overhead_units: 66.0,
+                learner_streams: 4,
+                name: "TF-Agents",
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Framework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.profile().name)
+    }
+}
+
+/// Per-framework cost constants (calibrated against Table I anchors; see
+/// EXPERIMENTS.md for the calibration notes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameworkProfile {
+    /// Glue/scheduling seconds charged per training iteration.
+    pub per_iter_overhead_s: f64,
+    /// Extra work units charged per environment step (serialization,
+    /// Python-side bookkeeping in the originals).
+    pub per_step_overhead_units: f64,
+    /// Cores the learner's linear algebra uses.
+    pub learner_streams: usize,
+    /// Display name.
+    pub name: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_rllib_is_multi_node() {
+        assert!(Framework::RayRllib.supports_multi_node());
+        assert!(!Framework::StableBaselines.supports_multi_node());
+        assert!(!Framework::TfAgents.supports_multi_node());
+    }
+
+    #[test]
+    fn per_step_overheads_follow_the_calibration() {
+        // SB3's vectorized loop is leanest, TF-Agents close behind, Ray's
+        // distributed machinery costs the most per step (EXPERIMENTS.md).
+        let sb = Framework::StableBaselines.profile().per_step_overhead_units;
+        let tfa = Framework::TfAgents.profile().per_step_overhead_units;
+        let ray = Framework::RayRllib.profile().per_step_overhead_units;
+        assert!(sb < tfa && tfa < ray, "{sb} {tfa} {ray}");
+    }
+
+    #[test]
+    fn tf_agents_keeps_all_cores_busy_in_learning() {
+        // The mechanism behind its low energy: learner uses every core.
+        assert_eq!(Framework::TfAgents.profile().learner_streams, 4);
+        assert!(Framework::StableBaselines.profile().learner_streams < 4);
+    }
+
+    #[test]
+    fn rllib_has_the_largest_iteration_overhead() {
+        let ray = Framework::RayRllib.profile();
+        for other in [Framework::TfAgents, Framework::StableBaselines] {
+            assert!(ray.per_iter_overhead_s > other.profile().per_iter_overhead_s);
+        }
+    }
+
+    #[test]
+    fn display_names_match_the_paper() {
+        assert_eq!(Framework::RayRllib.to_string(), "Ray RLlib");
+        assert_eq!(Framework::StableBaselines.to_string(), "Stable Baselines");
+        assert_eq!(Framework::TfAgents.to_string(), "TF-Agents");
+    }
+}

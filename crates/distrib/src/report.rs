@@ -1,0 +1,152 @@
+//! Backend training outcomes.
+
+use cluster_sim::Usage;
+use gymrs::{Action, Environment};
+use rl_algos::policy::ActorCritic;
+use rl_algos::sac::SacLearner;
+use serde::{Deserialize, Serialize};
+
+/// A trained model returned by a backend (evaluated later on the
+/// reference environment by the study harness).
+pub enum TrainedModel {
+    /// PPO actor-critic.
+    Ppo(ActorCritic),
+    /// SAC learner (kept whole: the greedy policy needs the actor net).
+    Sac(Box<SacLearner>),
+}
+
+impl TrainedModel {
+    /// Greedy action for evaluation rollouts.
+    pub fn act_greedy(&self, obs: &[f64]) -> Action {
+        match self {
+            TrainedModel::Ppo(p) => p.act_greedy(obs),
+            TrainedModel::Sac(l) => l.act_greedy(obs),
+        }
+    }
+
+    /// Evaluate the greedy policy: mean return over `episodes` episodes.
+    pub fn evaluate(&self, env: &mut dyn Environment, episodes: usize, max_steps: usize) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..episodes {
+            let mut obs = env.reset();
+            for _ in 0..max_steps {
+                let s = env.step(&self.act_greedy(&obs));
+                total += s.reward;
+                let done = s.done();
+                obs = s.obs;
+                if done {
+                    break;
+                }
+            }
+        }
+        total / episodes as f64
+    }
+}
+
+/// Everything a backend reports about one training execution.
+pub struct ExecReport {
+    /// The trained model.
+    pub model: TrainedModel,
+    /// Simulated resource usage (time, energy, traffic).
+    pub usage: Usage,
+    /// Environment steps actually executed.
+    pub env_steps: u64,
+    /// Environment work units consumed.
+    pub env_work: u64,
+    /// Learning FLOPs spent.
+    pub learn_flops: u64,
+    /// Returns of training episodes in completion order.
+    pub train_returns: Vec<f64>,
+    /// Gradient updates performed.
+    pub updates: u64,
+}
+
+impl ExecReport {
+    /// Summary row for logs.
+    pub fn summary(&self) -> ExecSummary {
+        ExecSummary {
+            minutes: self.usage.minutes(),
+            kilojoules: self.usage.kilojoules(),
+            env_steps: self.env_steps,
+            updates: self.updates,
+            mean_train_return: if self.train_returns.is_empty() {
+                f64::NAN
+            } else {
+                let tail = &self.train_returns[self.train_returns.len().saturating_sub(20)..];
+                tail.iter().sum::<f64>() / tail.len() as f64
+            },
+        }
+    }
+}
+
+/// Serializable summary of an execution.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExecSummary {
+    /// Simulated minutes (Table I unit).
+    pub minutes: f64,
+    /// Simulated kJ (Table I unit).
+    pub kilojoules: f64,
+    /// Environment steps.
+    pub env_steps: u64,
+    /// Gradient updates.
+    pub updates: u64,
+    /// Mean of the last ≤20 training-episode returns.
+    pub mean_train_return: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gymrs::envs::GridWorld;
+    use gymrs::Space;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trained_model_evaluates_on_env() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut rng);
+        let model = TrainedModel::Ppo(policy);
+        let mut env = GridWorld::new(3);
+        env.seed(2);
+        let r = model.evaluate(&mut env, 3, 50);
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn summary_handles_empty_returns() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut rng);
+        let report = ExecReport {
+            model: TrainedModel::Ppo(policy),
+            usage: Usage { wall_s: 60.0, energy_j: 3_000.0, ..Usage::default() },
+            env_steps: 10,
+            env_work: 10,
+            learn_flops: 0,
+            train_returns: vec![],
+            updates: 0,
+        };
+        let s = report.summary();
+        assert!((s.minutes - 1.0).abs() < 1e-12);
+        assert!((s.kilojoules - 3.0).abs() < 1e-12);
+        assert!(s.mean_train_return.is_nan());
+    }
+
+    #[test]
+    fn summary_means_last_twenty() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut rng);
+        let mut returns: Vec<f64> = vec![100.0; 5];
+        returns.extend(vec![1.0; 20]);
+        let report = ExecReport {
+            model: TrainedModel::Ppo(policy),
+            usage: Usage::default(),
+            env_steps: 0,
+            env_work: 0,
+            learn_flops: 0,
+            train_returns: returns,
+            updates: 0,
+        };
+        assert!((report.summary().mean_train_return - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Execution specifications: what to train, where.
+
+use crate::framework::Framework;
+use rl_algos::{Algorithm, PpoConfig, SacConfig};
+use serde::{Deserialize, Serialize};
+
+/// The system-level deployment parameters of the study (§V-b): number of
+/// nodes and CPU cores per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Nodes in use (1 or 2 in the paper).
+    pub nodes: usize,
+    /// Cores used on each node (2 or 4 in the paper).
+    pub cores_per_node: usize,
+}
+
+impl Deployment {
+    /// Total worker slots.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Validate against a framework's capabilities.
+    pub fn validate(&self, framework: Framework) -> Result<(), String> {
+        if self.nodes == 0 || self.cores_per_node == 0 {
+            return Err("deployment needs at least one node and one core".into());
+        }
+        if self.nodes > 1 && !framework.supports_multi_node() {
+            return Err(format!(
+                "{framework} parallelizes on a single node only (paper §V-b)"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A full training-execution request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecSpec {
+    /// Which framework architecture to use.
+    pub framework: Framework,
+    /// PPO or SAC.
+    pub algorithm: Algorithm,
+    /// Node/core assignment.
+    pub deployment: Deployment,
+    /// Total environment steps (the paper uses 200,000).
+    pub total_steps: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// PPO hyperparameters.
+    pub ppo: PpoConfig,
+    /// SAC hyperparameters.
+    pub sac: SacConfig,
+}
+
+impl ExecSpec {
+    /// A spec with framework defaults.
+    pub fn new(
+        framework: Framework,
+        algorithm: Algorithm,
+        deployment: Deployment,
+        total_steps: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            framework,
+            algorithm,
+            deployment,
+            total_steps,
+            seed,
+            ppo: PpoConfig::default(),
+            sac: SacConfig::default(),
+        }
+    }
+
+    /// Check deployment/framework consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.deployment.validate(self.framework)?;
+        if self.total_steps == 0 {
+            return Err("total_steps must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rllib_accepts_two_nodes() {
+        let d = Deployment { nodes: 2, cores_per_node: 4 };
+        assert!(d.validate(Framework::RayRllib).is_ok());
+        assert_eq!(d.total_cores(), 8);
+    }
+
+    #[test]
+    fn single_node_frameworks_reject_two_nodes() {
+        let d = Deployment { nodes: 2, cores_per_node: 4 };
+        assert!(d.validate(Framework::StableBaselines).is_err());
+        assert!(d.validate(Framework::TfAgents).is_err());
+        let d1 = Deployment { nodes: 1, cores_per_node: 2 };
+        assert!(d1.validate(Framework::StableBaselines).is_ok());
+    }
+
+    #[test]
+    fn degenerate_deployments_rejected() {
+        assert!(Deployment { nodes: 0, cores_per_node: 4 }.validate(Framework::RayRllib).is_err());
+        assert!(Deployment { nodes: 1, cores_per_node: 0 }.validate(Framework::TfAgents).is_err());
+    }
+
+    #[test]
+    fn spec_validation_covers_steps() {
+        let mut s = ExecSpec::new(
+            Framework::TfAgents,
+            Algorithm::Ppo,
+            Deployment { nodes: 1, cores_per_node: 4 },
+            1000,
+            0,
+        );
+        assert!(s.validate().is_ok());
+        s.total_steps = 0;
+        assert!(s.validate().is_err());
+    }
+}

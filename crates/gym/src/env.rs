@@ -1,0 +1,132 @@
+//! The [`Environment`] trait and step/action types.
+
+use crate::space::Space;
+use serde::{Deserialize, Serialize};
+
+/// An agent action: either a discrete index or a continuous vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Index into a [`Space::Discrete`].
+    Discrete(usize),
+    /// Vector in a [`Space::Box`].
+    Continuous(Vec<f64>),
+}
+
+impl Action {
+    /// The discrete index; panics on continuous actions.
+    pub fn discrete(&self) -> usize {
+        match self {
+            Action::Discrete(a) => *a,
+            Action::Continuous(_) => panic!("expected a discrete action"),
+        }
+    }
+
+    /// The continuous vector; panics on discrete actions.
+    pub fn continuous(&self) -> &[f64] {
+        match self {
+            Action::Continuous(a) => a,
+            Action::Discrete(_) => panic!("expected a continuous action"),
+        }
+    }
+}
+
+/// The result of one environment transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// Observation after the transition.
+    pub obs: Vec<f64>,
+    /// Scalar reward.
+    pub reward: f64,
+    /// The episode reached a terminal state (e.g. the package landed).
+    pub terminated: bool,
+    /// The episode was cut short (e.g. a time limit) without terminating.
+    pub truncated: bool,
+}
+
+impl Step {
+    /// Terminal or truncated.
+    pub fn done(&self) -> bool {
+        self.terminated || self.truncated
+    }
+}
+
+/// A gym-style environment.
+///
+/// Mirrors the `gym` API the paper's simulator exposes: `reset` starts an
+/// episode and returns the first observation, `step` applies an action.
+/// `Send` so vectorized/distributed drivers can move envs across threads.
+pub trait Environment: Send {
+    /// Observation space.
+    fn observation_space(&self) -> Space;
+
+    /// Action space.
+    fn action_space(&self) -> Space;
+
+    /// Reseed the environment's RNG (determinism across configurations is
+    /// the crux of the paper's §VI-D reproducibility discussion).
+    fn seed(&mut self, seed: u64);
+
+    /// Start a new episode; returns the initial observation.
+    fn reset(&mut self) -> Vec<f64>;
+
+    /// Apply an action.
+    fn step(&mut self, action: &Action) -> Step;
+
+    /// Work units consumed by the most recent `step` call — the abstract
+    /// cost the cluster simulator converts to time/energy. One unit is one
+    /// derivative evaluation of the parachute dynamics; plain environments
+    /// default to 1 unit per step.
+    fn last_step_work(&self) -> u64 {
+        1
+    }
+}
+
+/// Blanket impl so `Box<dyn Environment>` is itself an `Environment`.
+impl Environment for Box<dyn Environment> {
+    fn observation_space(&self) -> Space {
+        (**self).observation_space()
+    }
+    fn action_space(&self) -> Space {
+        (**self).action_space()
+    }
+    fn seed(&mut self, seed: u64) {
+        (**self).seed(seed)
+    }
+    fn reset(&mut self) -> Vec<f64> {
+        (**self).reset()
+    }
+    fn step(&mut self, action: &Action) -> Step {
+        (**self).step(action)
+    }
+    fn last_step_work(&self) -> u64 {
+        (**self).last_step_work()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_accessors() {
+        assert_eq!(Action::Discrete(2).discrete(), 2);
+        assert_eq!(Action::Continuous(vec![0.5]).continuous(), &[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a discrete action")]
+    fn wrong_accessor_panics() {
+        Action::Continuous(vec![1.0]).discrete();
+    }
+
+    #[test]
+    fn step_done_combines_flags() {
+        let mut s = Step { obs: vec![], reward: 0.0, terminated: false, truncated: false };
+        assert!(!s.done());
+        s.truncated = true;
+        assert!(s.done());
+        s.truncated = false;
+        s.terminated = true;
+        assert!(s.done());
+    }
+}

@@ -1,0 +1,9 @@
+//! Reference environments used to validate the RL algorithms.
+
+pub mod grid_world;
+pub mod pendulum;
+pub mod point_mass;
+
+pub use grid_world::GridWorld;
+pub use pendulum::Pendulum;
+pub use point_mass::PointMass;

@@ -1,0 +1,185 @@
+//! Episode runners and trajectory capture.
+
+use crate::env::{Action, Environment, Step};
+
+/// A recorded episode: aligned vectors of observations, actions, rewards.
+///
+/// `observations.len() == actions.len() + 1` (the final observation has no
+/// action taken from it).
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    /// Visited observations, including the terminal one.
+    pub observations: Vec<Vec<f64>>,
+    /// Actions taken.
+    pub actions: Vec<Action>,
+    /// Rewards received.
+    pub rewards: Vec<f64>,
+    /// True when the final transition terminated (vs. truncated).
+    pub terminated: bool,
+}
+
+impl Trajectory {
+    /// Total (undiscounted) return.
+    pub fn ret(&self) -> f64 {
+        self.rewards.iter().sum()
+    }
+
+    /// Episode length in steps.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True for a freshly-created trajectory.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Discounted return with factor `gamma`.
+    pub fn discounted_return(&self, gamma: f64) -> f64 {
+        self.rewards
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &r| r + gamma * acc)
+    }
+}
+
+/// Aggregate statistics over a batch of episodes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpisodeStats {
+    /// Number of episodes.
+    pub episodes: usize,
+    /// Mean return.
+    pub mean_return: f64,
+    /// Standard deviation of returns.
+    pub std_return: f64,
+    /// Minimum return.
+    pub min_return: f64,
+    /// Maximum return.
+    pub max_return: f64,
+    /// Mean episode length.
+    pub mean_length: f64,
+}
+
+impl EpisodeStats {
+    /// Compute statistics from raw `(return, length)` pairs.
+    pub fn from_episodes(eps: &[(f64, usize)]) -> Self {
+        if eps.is_empty() {
+            return Self::default();
+        }
+        let n = eps.len() as f64;
+        let mean = eps.iter().map(|e| e.0).sum::<f64>() / n;
+        let var = eps.iter().map(|e| (e.0 - mean).powi(2)).sum::<f64>() / n;
+        Self {
+            episodes: eps.len(),
+            mean_return: mean,
+            std_return: var.sqrt(),
+            min_return: eps.iter().map(|e| e.0).fold(f64::INFINITY, f64::min),
+            max_return: eps.iter().map(|e| e.0).fold(f64::NEG_INFINITY, f64::max),
+            mean_length: eps.iter().map(|e| e.1 as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Run one episode with `policy`, recording the full trajectory.
+///
+/// `max_steps` guards against environments that never terminate.
+///
+/// ```
+/// use gymrs::{run_episode, Action};
+/// use gymrs::envs::GridWorld;
+/// use gymrs::env::Environment;
+///
+/// let mut env = GridWorld::new(3);
+/// env.seed(0);
+/// let traj = run_episode(&mut env, |_obs| Action::Discrete(3), 100);
+/// assert_eq!(traj.observations.len(), traj.actions.len() + 1);
+/// ```
+pub fn run_episode<E: Environment>(
+    env: &mut E,
+    mut policy: impl FnMut(&[f64]) -> Action,
+    max_steps: usize,
+) -> Trajectory {
+    let mut traj = Trajectory::default();
+    let mut obs = env.reset();
+    traj.observations.push(obs.clone());
+    for _ in 0..max_steps {
+        let action = policy(&obs);
+        let Step { obs: next, reward, terminated, truncated } = env.step(&action);
+        traj.actions.push(action);
+        traj.rewards.push(reward);
+        traj.observations.push(next.clone());
+        obs = next;
+        if terminated || truncated {
+            traj.terminated = terminated;
+            break;
+        }
+    }
+    traj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs::GridWorld;
+
+    #[test]
+    fn trajectory_alignment_invariant() {
+        let mut env = GridWorld::new(3);
+        env.seed(0);
+        let t = run_episode(&mut env, |_| Action::Discrete(3), 50);
+        assert_eq!(t.observations.len(), t.actions.len() + 1);
+        assert_eq!(t.rewards.len(), t.actions.len());
+    }
+
+    #[test]
+    fn shortest_path_trajectory() {
+        let mut env = GridWorld::new(3);
+        env.seed(0);
+        let mut plan = vec![3usize, 3, 1, 1].into_iter();
+        let t = run_episode(&mut env, |_| Action::Discrete(plan.next().expect("plan")), 10);
+        assert_eq!(t.len(), 4);
+        assert!(t.terminated);
+        assert!((t.ret() - (1.0 - 0.04 * 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discounted_return_telescopes() {
+        let t = Trajectory {
+            observations: vec![vec![], vec![], vec![], vec![]],
+            actions: vec![Action::Discrete(0); 3],
+            rewards: vec![1.0, 2.0, 4.0],
+            terminated: true,
+        };
+        // 1 + 0.5*(2 + 0.5*4) = 3
+        assert!((t.discounted_return(0.5) - 3.0).abs() < 1e-12);
+        // gamma = 1 reduces to the plain return.
+        assert!((t.discounted_return(1.0) - t.ret()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_steps_bounds_episode() {
+        let mut env = GridWorld::new(5);
+        env.seed(0);
+        let t = run_episode(&mut env, |_| Action::Discrete(0), 7);
+        assert_eq!(t.len(), 7);
+        assert!(!t.terminated);
+    }
+
+    #[test]
+    fn stats_from_episodes() {
+        let s = EpisodeStats::from_episodes(&[(1.0, 10), (3.0, 20)]);
+        assert_eq!(s.episodes, 2);
+        assert!((s.mean_return - 2.0).abs() < 1e-12);
+        assert!((s.std_return - 1.0).abs() < 1e-12);
+        assert_eq!(s.min_return, 1.0);
+        assert_eq!(s.max_return, 3.0);
+        assert!((s.mean_length - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_batch_are_default() {
+        let s = EpisodeStats::from_episodes(&[]);
+        assert_eq!(s.episodes, 0);
+        assert_eq!(s.mean_return, 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Vectorized environments.
+//!
+//! Stable Baselines parallelizes training "through vectorization": the
+//! learner steps `n` sub-environments in lockstep, one per CPU core (the
+//! paper's §V-b and the §VI-C discussion of how the *number of vectorized
+//! environments* changes results). [`VecEnv`] reproduces that mechanism;
+//! [`VecEnv::step_parallel`] steps the sub-environments on scoped threads
+//! the way `SubprocVecEnv` uses worker processes.
+
+use crate::env::{Action, Environment, Step};
+use crate::space::Space;
+
+/// A set of sub-environments stepped in lockstep.
+///
+/// Episodes auto-reset: when a sub-environment finishes, its next
+/// observation is the first observation of a fresh episode, and the
+/// finished episode's return is reported in [`StepBatch::finished`].
+pub struct VecEnv<E: Environment> {
+    envs: Vec<E>,
+    obs: Vec<Vec<f64>>,
+    ep_return: Vec<f64>,
+    ep_len: Vec<usize>,
+    /// Total environment steps taken across all sub-envs.
+    pub total_steps: u64,
+    /// Total work units consumed across all sub-envs.
+    pub total_work: u64,
+}
+
+/// Result of stepping every sub-environment once.
+#[derive(Debug, Clone)]
+pub struct StepBatch {
+    /// Per-env step results (with auto-reset observations substituted).
+    pub steps: Vec<Step>,
+    /// `(env_index, episode_return, episode_length)` for episodes that
+    /// ended on this tick.
+    pub finished: Vec<(usize, f64, usize)>,
+}
+
+impl<E: Environment> VecEnv<E> {
+    /// Wrap `envs` (at least one) and seed them `base_seed + index`.
+    pub fn new(mut envs: Vec<E>, base_seed: u64) -> Self {
+        assert!(!envs.is_empty(), "VecEnv needs at least one sub-environment");
+        for (i, e) in envs.iter_mut().enumerate() {
+            e.seed(base_seed.wrapping_add(i as u64));
+        }
+        let n = envs.len();
+        Self {
+            envs,
+            obs: vec![Vec::new(); n],
+            ep_return: vec![0.0; n],
+            ep_len: vec![0; n],
+            total_steps: 0,
+            total_work: 0,
+        }
+    }
+
+    /// Number of sub-environments.
+    pub fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Always false (the constructor rejects empty sets).
+    pub fn is_empty(&self) -> bool {
+        self.envs.is_empty()
+    }
+
+    /// Observation space of the sub-environments.
+    pub fn observation_space(&self) -> Space {
+        self.envs[0].observation_space()
+    }
+
+    /// Action space of the sub-environments.
+    pub fn action_space(&self) -> Space {
+        self.envs[0].action_space()
+    }
+
+    /// Reset every sub-environment; returns the initial observations.
+    pub fn reset_all(&mut self) -> &[Vec<f64>] {
+        for (i, e) in self.envs.iter_mut().enumerate() {
+            self.obs[i] = e.reset();
+            self.ep_return[i] = 0.0;
+            self.ep_len[i] = 0;
+        }
+        &self.obs
+    }
+
+    /// Current observations (valid after `reset_all`/`step_all`).
+    pub fn observations(&self) -> &[Vec<f64>] {
+        &self.obs
+    }
+
+    /// Step every sub-environment once, sequentially.
+    pub fn step_all(&mut self, actions: &[Action]) -> StepBatch {
+        assert_eq!(actions.len(), self.envs.len(), "one action per sub-env");
+        let mut steps = Vec::with_capacity(self.envs.len());
+        let mut finished = Vec::new();
+        for (i, (env, action)) in self.envs.iter_mut().zip(actions).enumerate() {
+            let mut s = env.step(action);
+            self.total_steps += 1;
+            self.total_work += env.last_step_work();
+            self.ep_return[i] += s.reward;
+            self.ep_len[i] += 1;
+            if s.done() {
+                finished.push((i, self.ep_return[i], self.ep_len[i]));
+                self.ep_return[i] = 0.0;
+                self.ep_len[i] = 0;
+                s.obs = env.reset();
+            }
+            self.obs[i] = s.obs.clone();
+            steps.push(s);
+        }
+        StepBatch { steps, finished }
+    }
+
+    /// Step every sub-environment once, in parallel on scoped threads.
+    ///
+    /// Semantically identical to [`VecEnv::step_all`] — the reference tests
+    /// assert this — but overlaps the per-env compute the way a
+    /// multi-worker vectorized env does on a multi-core node.
+    pub fn step_parallel(&mut self, actions: &[Action]) -> StepBatch {
+        assert_eq!(actions.len(), self.envs.len(), "one action per sub-env");
+        let results: Vec<(Step, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .envs
+                .iter_mut()
+                .zip(actions)
+                .map(|(env, action)| {
+                    scope.spawn(move || {
+                        let s = env.step(action);
+                        let w = env.last_step_work();
+                        (s, w)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("env thread panicked")).collect()
+        });
+
+        let mut steps = Vec::with_capacity(results.len());
+        let mut finished = Vec::new();
+        for (i, (mut s, w)) in results.into_iter().enumerate() {
+            self.total_steps += 1;
+            self.total_work += w;
+            self.ep_return[i] += s.reward;
+            self.ep_len[i] += 1;
+            if s.done() {
+                finished.push((i, self.ep_return[i], self.ep_len[i]));
+                self.ep_return[i] = 0.0;
+                self.ep_len[i] = 0;
+                s.obs = self.envs[i].reset();
+            }
+            self.obs[i] = s.obs.clone();
+            steps.push(s);
+        }
+        StepBatch { steps, finished }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs::GridWorld;
+
+    fn make(n: usize) -> VecEnv<GridWorld> {
+        let mut v = VecEnv::new((0..n).map(|_| GridWorld::new(3)).collect(), 0);
+        v.reset_all();
+        v
+    }
+
+    #[test]
+    fn lockstep_advances_every_env() {
+        let mut v = make(4);
+        let batch = v.step_all(&vec![Action::Discrete(3); 4]);
+        assert_eq!(batch.steps.len(), 4);
+        assert_eq!(v.total_steps, 4);
+        // All identical deterministic envs: same observation everywhere.
+        for s in &batch.steps {
+            assert_eq!(s.obs, batch.steps[0].obs);
+        }
+    }
+
+    #[test]
+    fn auto_reset_reports_finished_episodes() {
+        let mut v = make(1);
+        // Right, right, down, down reaches the 3x3 goal.
+        let mut finished = Vec::new();
+        for a in [3, 3, 1, 1] {
+            let b = v.step_all(&[Action::Discrete(a)]);
+            finished.extend(b.finished);
+        }
+        assert_eq!(finished.len(), 1);
+        let (idx, ret, len) = finished[0];
+        assert_eq!(idx, 0);
+        assert_eq!(len, 4);
+        assert!((ret - (1.0 - 0.04 * 3.0)).abs() < 1e-12);
+        // After auto-reset the observation is the start state.
+        assert_eq!(v.observations()[0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let mut a = make(3);
+        let mut b = make(3);
+        let actions = vec![Action::Discrete(3), Action::Discrete(1), Action::Discrete(0)];
+        for _ in 0..6 {
+            let ba = a.step_all(&actions);
+            let bb = b.step_parallel(&actions);
+            assert_eq!(ba.steps, bb.steps);
+            assert_eq!(ba.finished, bb.finished);
+        }
+        assert_eq!(a.total_steps, b.total_steps);
+        assert_eq!(a.total_work, b.total_work);
+    }
+
+    #[test]
+    #[should_panic(expected = "one action per sub-env")]
+    fn wrong_action_count_panics() {
+        let mut v = make(2);
+        v.step_all(&[Action::Discrete(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sub-environment")]
+    fn empty_vec_env_rejected() {
+        let _ = VecEnv::<GridWorld>::new(Vec::new(), 0);
+    }
+
+    #[test]
+    fn work_accounting_accumulates() {
+        let mut v = make(2);
+        v.step_all(&vec![Action::Discrete(0); 2]);
+        v.step_all(&vec![Action::Discrete(0); 2]);
+        assert_eq!(v.total_work, 4); // GridWorld costs 1 unit per step
+    }
+}

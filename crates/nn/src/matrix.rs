@@ -1,0 +1,356 @@
+//! Dense row-major matrix of `f64` with the operations the MLPs require.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix, row-major.
+///
+/// A `1 × n` matrix doubles as a row vector; batches are stored one sample
+/// per row (`batch × features`), matching the convention of the Python
+/// frameworks the paper benchmarks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f64) -> Self {
+        Self { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Build from a flat row-major vector. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from nested rows (test convenience).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// A single-row matrix wrapping `v`.
+    pub fn row(v: &[f64]) -> Self {
+        Self { rows: 1, cols: v.len(), data: v.to_vec() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row_slice(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_slice_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Set every element to zero (reuses the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// `out = self · rhs`. Shapes: `(m×k) · (k×n) = (m×n)`.
+    ///
+    /// Uses the `i-k-j` loop order so the innermost loop streams over
+    /// contiguous rows of `rhs` and `out` (cache-friendly — see the
+    /// Rust Performance Book guidance on memory access patterns).
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self · rhs`, writing into a pre-allocated output.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul out shape mismatch");
+        out.fill_zero();
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose.
+    pub fn matmul_transpose_rhs(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_transpose_rhs shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (a, b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose.
+    pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "transpose_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &rhs.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise in-place scale.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Add a row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&mut self, bias: &[f64]) {
+        assert_eq!(bias.len(), self.cols, "bias broadcast length mismatch");
+        for i in 0..self.rows {
+            for (x, b) in self.row_slice_mut(i).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Sum over rows, producing a `cols`-length vector (bias gradient).
+    pub fn sum_rows(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (o, x) in out.iter_mut().zip(self.row_slice(i)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// True when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_result() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_transpose_rhs_equals_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.5, 1.0, -1.0]]);
+        assert_eq!(a.matmul_transpose_rhs(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_matmul_equals_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(a.transpose_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn bias_broadcast_and_sum_rows_are_adjoint() {
+        // sum_rows is the gradient of add_row_broadcast: check shapes/values.
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, -2.0]);
+        assert_eq!(a.sum_rows(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a, Matrix::full(2, 2, 2.0));
+        a.scale(-1.0);
+        assert_eq!(a, Matrix::full(2, 2, -2.0));
+    }
+
+    #[test]
+    fn frob_norm_of_unit_vectors() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.frob_norm() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn row_slice_matches_get() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.row_slice(1), &[3.0, 4.0]);
+        assert_eq!(a.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan() {
+        let mut a = Matrix::zeros(1, 2);
+        assert!(!a.has_non_finite());
+        a.set(0, 1, f64::NAN);
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(Matrix::zeros(0, 0).mean(), 0.0);
+        assert_eq!(Matrix::from_rows(&[&[1.0, 3.0]]).mean(), 2.0);
+    }
+}

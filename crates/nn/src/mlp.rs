@@ -1,0 +1,314 @@
+//! Sequential multilayer perceptrons with forward tapes.
+
+use crate::init::Init;
+use crate::layer::{Activation, Linear};
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network: a stack of [`Linear`] layers.
+///
+/// The paper's frameworks all default to two 64-unit hidden layers for
+/// both policy and value networks; [`Mlp::policy_default`] mirrors that.
+///
+/// ```
+/// use tinynn::{Matrix, Mlp};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let net = Mlp::policy_default(4, 2, &mut rng);
+/// let out = net.infer(&Matrix::row(&[0.1, 0.2, 0.3, 0.4]));
+/// assert_eq!(out.shape(), (1, 2));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+/// Activations recorded during a forward pass, needed for backprop.
+///
+/// `acts[0]` is the input batch; `acts[i+1]` is the output of layer `i`.
+#[derive(Debug, Clone)]
+pub struct Tape {
+    acts: Vec<Matrix>,
+}
+
+impl Tape {
+    /// The final network output.
+    pub fn output(&self) -> &Matrix {
+        self.acts.last().expect("tape is never empty")
+    }
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes; all hidden layers use
+    /// `hidden_act`, the output layer uses `out_act`.
+    ///
+    /// The output layer gets a small-uniform init so initial outputs are
+    /// near zero — standard practice for policy/value heads.
+    pub fn new(
+        sizes: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let hidden_init = match hidden_act {
+            Activation::Relu => Init::HeUniform,
+            _ => Init::XavierUniform,
+        };
+        let n = sizes.len() - 1;
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let last = i == n - 1;
+                let (act, init) = if last {
+                    (out_act, Init::Uniform(0.01))
+                } else {
+                    (hidden_act, hidden_init)
+                };
+                Linear::new(w[0], w[1], act, init, rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// The standard 64×64 tanh policy/value trunk used by the paper's
+    /// frameworks: `in_dim → 64 → 64 → out_dim`.
+    pub fn policy_default(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self::new(&[in_dim, 64, 64, out_dim], Activation::Tanh, Activation::Identity, rng)
+    }
+
+    /// Layer sizes `[in, h1, ..., out]` (for FLOP accounting).
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s: Vec<usize> = self.layers.iter().map(|l| l.in_dim()).collect();
+        s.push(self.layers.last().expect("non-empty").out_dim());
+        s
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Forward pass recording a tape for backprop.
+    pub fn forward(&self, x: &Matrix) -> Tape {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        for layer in &self.layers {
+            let y = layer.forward(acts.last().expect("non-empty"));
+            acts.push(y);
+        }
+        Tape { acts }
+    }
+
+    /// Forward pass without a tape (inference only).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut cur = None;
+        for layer in &self.layers {
+            cur = Some(match &cur {
+                None => layer.forward(x),
+                Some(prev) => layer.forward(prev),
+            });
+        }
+        cur.expect("non-empty network")
+    }
+
+    /// Backward pass from `dout` (gradient w.r.t. the network output),
+    /// accumulating parameter gradients; returns the input gradient.
+    pub fn backward(&mut self, tape: &Tape, dout: &Matrix) -> Matrix {
+        debug_assert_eq!(tape.acts.len(), self.layers.len() + 1);
+        let mut grad = dout.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            grad = layer.backward(&tape.acts[i], &tape.acts[i + 1], &grad);
+        }
+        grad
+    }
+
+    /// Zero all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Visit `(param, grad)` slices of every tensor — the optimizer hook.
+    pub fn visit_params(&mut self, mut f: impl FnMut(&mut [f64], &[f64])) {
+        for layer in &mut self.layers {
+            f(layer.w.as_mut_slice(), layer.gw.as_slice());
+            f(&mut layer.b, &layer.gb);
+        }
+    }
+
+    /// Visit gradient slices mutably (for clipping).
+    pub fn visit_grads_mut(&mut self, mut f: impl FnMut(&mut [f64])) {
+        for layer in &mut self.layers {
+            f(layer.gw.as_mut_slice());
+            f(&mut layer.gb);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Serialized parameter byte size — the payload the distributed
+    /// backends ship over the simulated network on weight sync.
+    pub fn param_bytes(&self) -> u64 {
+        (self.param_count() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Copy all parameters from another structurally identical network.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.sizes(), other.sizes(), "network shapes differ");
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            dst.w = src.w.clone();
+            dst.b = src.b.clone();
+        }
+    }
+
+    /// Polyak-average parameters: `self = tau * other + (1 - tau) * self`.
+    ///
+    /// Used for SAC target networks.
+    pub fn polyak_from(&mut self, other: &Mlp, tau: f64) {
+        assert_eq!(self.sizes(), other.sizes(), "network shapes differ");
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            for (d, s) in dst.w.as_mut_slice().iter_mut().zip(src.w.as_slice()) {
+                *d = tau * s + (1.0 - tau) * *d;
+            }
+            for (d, s) in dst.b.iter_mut().zip(&src.b) {
+                *d = tau * s + (1.0 - tau) * *d;
+            }
+        }
+    }
+
+    /// True if any parameter is NaN/inf (training-health check).
+    pub fn has_non_finite(&self) -> bool {
+        self.layers
+            .iter()
+            .any(|l| l.w.has_non_finite() || l.b.iter().any(|x| !x.is_finite()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make(rng_seed: u64) -> Mlp {
+        Mlp::new(
+            &[3, 8, 8, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut StdRng::seed_from_u64(rng_seed),
+        )
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let net = make(1);
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3], &[1.0, 0.0, -1.0]]);
+        assert_eq!(net.forward(&x).output(), &net.infer(&x));
+    }
+
+    #[test]
+    fn full_network_gradient_matches_finite_differences() {
+        let mut net = make(2);
+        let x = Matrix::from_rows(&[&[0.5, -0.4, 0.2]]);
+        let tape = net.forward(&x);
+        let dout = Matrix::full(1, 2, 1.0);
+        net.zero_grad();
+        let dx = net.backward(&tape, &dout);
+
+        let loss = |n: &Mlp| -> f64 { n.infer(&x).as_slice().iter().sum() };
+        let eps = 1e-6;
+
+        // Check a few first-layer weights (the deepest gradient path).
+        for (i, j) in [(0, 0), (1, 3), (2, 7)] {
+            let mut np = net.clone();
+            let v = np.layers[0].w.get(i, j);
+            np.layers[0].w.set(i, j, v + eps);
+            let mut nm = net.clone();
+            let v = nm.layers[0].w.get(i, j);
+            nm.layers[0].w.set(i, j, v - eps);
+            let num = (loss(&np) - loss(&nm)) / (2.0 * eps);
+            let ana = net.layers[0].gw.get(i, j);
+            assert!((num - ana).abs() < 1e-6, "dW0[{i}{j}]: {num} vs {ana}");
+        }
+
+        // Check input gradient.
+        for c in 0..3 {
+            let mut xp = x.clone();
+            xp.set(0, c, xp.get(0, c) + eps);
+            let mut xm = x.clone();
+            xm.set(0, c, xm.get(0, c) - eps);
+            let fp: f64 = net.infer(&xp).as_slice().iter().sum();
+            let fm: f64 = net.infer(&xm).as_slice().iter().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - dx.get(0, c)).abs() < 1e-6, "dx[{c}]");
+        }
+    }
+
+    #[test]
+    fn copy_params_makes_outputs_identical() {
+        let src = make(3);
+        let mut dst = make(4);
+        let x = Matrix::row(&[0.1, 0.2, 0.3]);
+        assert_ne!(src.infer(&x), dst.infer(&x));
+        dst.copy_params_from(&src);
+        assert_eq!(src.infer(&x), dst.infer(&x));
+    }
+
+    #[test]
+    fn polyak_with_tau_one_copies() {
+        let src = make(5);
+        let mut dst = make(6);
+        dst.polyak_from(&src, 1.0);
+        let x = Matrix::row(&[0.3, -0.3, 0.9]);
+        assert_eq!(src.infer(&x), dst.infer(&x));
+    }
+
+    #[test]
+    fn polyak_with_tau_zero_is_identity() {
+        let src = make(7);
+        let mut dst = make(8);
+        let before = dst.clone();
+        dst.polyak_from(&src, 0.0);
+        let x = Matrix::row(&[0.3, -0.3, 0.9]);
+        assert_eq!(before.infer(&x), dst.infer(&x));
+    }
+
+    #[test]
+    fn param_count_and_bytes() {
+        let net = make(9);
+        // 3*8+8 + 8*8+8 + 8*2+2 = 32 + 72 + 18 = 122
+        assert_eq!(net.param_count(), 122);
+        assert_eq!(net.param_bytes(), 122 * 8);
+    }
+
+    #[test]
+    fn sizes_round_trip() {
+        assert_eq!(make(1).sizes(), vec![3, 8, 8, 2]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_outputs() {
+        let net = make(10);
+        let json = serde_json::to_string(&net).expect("serialize");
+        let back: Mlp = serde_json::from_str(&json).expect("deserialize");
+        let x = Matrix::row(&[1.0, 2.0, 3.0]);
+        let (a, b) = (net.infer(&x), back.infer(&x));
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+        }
+    }
+}

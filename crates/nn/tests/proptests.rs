@@ -1,0 +1,98 @@
+//! Property-based tests for the tinynn numerical substrate.
+
+use proptest::prelude::*;
+use tinynn::{ops, Matrix};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)·C == A·(B·C) within floating-point tolerance.
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// The fused transpose products match their explicit counterparts.
+    #[test]
+    fn fused_transpose_products(a in matrix(3, 4), b in matrix(5, 4), c in matrix(3, 2)) {
+        let fused = a.matmul_transpose_rhs(&b);
+        let explicit = a.matmul(&b.transpose());
+        for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+        let fused2 = a.transpose_matmul(&c);
+        let explicit2 = a.transpose().matmul(&c);
+        for (x, y) in fused2.as_slice().iter().zip(explicit2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// axpy is linear: axpy(α, X) twice == axpy(2α, X).
+    #[test]
+    fn axpy_linearity(a in matrix(3, 3), b in matrix(3, 3), alpha in -2.0f64..2.0) {
+        let mut once = a.clone();
+        once.axpy(2.0 * alpha, &b);
+        let mut twice = a.clone();
+        twice.axpy(alpha, &b);
+        twice.axpy(alpha, &b);
+        for (x, y) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// softmax is invariant to adding a constant to all logits.
+    #[test]
+    fn softmax_shift_invariance(
+        logits in prop::collection::vec(-20.0f64..20.0, 2..6),
+        shift in -50.0f64..50.0,
+    ) {
+        let base = ops::softmax(&logits);
+        let shifted: Vec<f64> = logits.iter().map(|v| v + shift).collect();
+        let after = ops::softmax(&shifted);
+        for (x, y) in base.iter().zip(&after) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// log_sum_exp dominates the max and is bounded by max + ln n.
+    #[test]
+    fn log_sum_exp_bounds(xs in prop::collection::vec(-100.0f64..100.0, 1..8)) {
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = ops::log_sum_exp(&xs);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    /// Categorical log-prob gradients sum to zero over the simplex
+    /// (adding a constant to logits does not change probabilities).
+    #[test]
+    fn log_prob_gradient_sums_to_zero(
+        logits in prop::collection::vec(-5.0f64..5.0, 2..6),
+        action_idx in 0usize..6,
+    ) {
+        let action = action_idx % logits.len();
+        let probs = ops::softmax(&logits);
+        let mut grad = vec![0.0; logits.len()];
+        ops::d_log_prob_d_logits(&probs, action, &mut grad);
+        prop_assert!(grad.iter().sum::<f64>().abs() < 1e-10);
+    }
+}

@@ -1,0 +1,266 @@
+//! Adaptive step-size control for embedded Runge–Kutta pairs.
+//!
+//! The simulator itself uses fixed steps (one control interval per agent
+//! action), but adaptive integration is part of the SciPy interface the
+//! paper builds on, and the study's "accuracy vs. cost" coupling is easiest
+//! to validate against an adaptive reference solution. We implement the
+//! standard elementary controller with PI smoothing (Hairer, Nørsett &
+//! Wanner, II.4).
+
+use crate::stepper::{FixedStepper, TableauStepper};
+use crate::system::System;
+use crate::tableau::Tableau;
+use crate::Work;
+
+/// Tolerances and limits for the adaptive driver.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveOptions {
+    /// Absolute tolerance.
+    pub atol: f64,
+    /// Relative tolerance.
+    pub rtol: f64,
+    /// Initial step.
+    pub h0: f64,
+    /// Smallest step before we give up.
+    pub h_min: f64,
+    /// Largest allowed step.
+    pub h_max: f64,
+    /// Safety factor applied to the optimal step (classically 0.9).
+    pub safety: f64,
+    /// Max step growth per accepted step.
+    pub max_growth: f64,
+    /// Max number of steps (accepted + rejected) before aborting.
+    pub max_steps: u64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        Self {
+            atol: 1e-8,
+            rtol: 1e-8,
+            h0: 1e-2,
+            h_min: 1e-12,
+            h_max: 1.0,
+            safety: 0.9,
+            max_growth: 5.0,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Failure modes of an adaptive integration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptiveError {
+    /// Step size underflowed `h_min` while still rejecting.
+    StepSizeUnderflow,
+    /// `max_steps` exceeded before reaching `t1`.
+    TooManySteps,
+    /// The tableau has no embedded error estimate.
+    NoEmbeddedPair,
+}
+
+impl std::fmt::Display for AdaptiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptiveError::StepSizeUnderflow => write!(f, "step size underflow"),
+            AdaptiveError::TooManySteps => write!(f, "maximum step count exceeded"),
+            AdaptiveError::NoEmbeddedPair => {
+                write!(f, "tableau has no embedded error estimate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptiveError {}
+
+/// Adaptive integrator over an embedded RK pair.
+pub struct AdaptiveStepper {
+    inner: TableauStepper,
+    opts: AdaptiveOptions,
+    err_buf: Vec<f64>,
+    y_saved: Vec<f64>,
+    /// Error of the previous accepted step, for the PI controller.
+    prev_err_norm: f64,
+}
+
+impl AdaptiveStepper {
+    /// Create an adaptive driver.
+    ///
+    /// Fails with [`AdaptiveError::NoEmbeddedPair`] when the tableau lacks
+    /// an embedded estimate (e.g. classic RK4).
+    pub fn new(
+        tab: &'static Tableau,
+        dim: usize,
+        opts: AdaptiveOptions,
+    ) -> Result<Self, AdaptiveError> {
+        if tab.b_err.is_none() {
+            return Err(AdaptiveError::NoEmbeddedPair);
+        }
+        Ok(Self {
+            inner: TableauStepper::new(tab, dim),
+            opts,
+            err_buf: vec![0.0; dim],
+            y_saved: vec![0.0; dim],
+            prev_err_norm: 1.0,
+        })
+    }
+
+    /// Weighted RMS norm of the error estimate.
+    fn error_norm(&self, y_old: &[f64], y_new: &[f64]) -> f64 {
+        let n = y_old.len();
+        let mut acc = 0.0;
+        for d in 0..n {
+            let scale =
+                self.opts.atol + self.opts.rtol * y_old[d].abs().max(y_new[d].abs());
+            let e = self.err_buf[d] / scale;
+            acc += e * e;
+        }
+        (acc / n as f64).sqrt()
+    }
+
+    /// Integrate from `t0` to `t1`, adapting the step size.
+    ///
+    /// Returns the work done (including rejected steps).
+    pub fn integrate(
+        &mut self,
+        sys: &dyn System,
+        y: &mut [f64],
+        t0: f64,
+        t1: f64,
+    ) -> Result<Work, AdaptiveError> {
+        let order = self.inner.tableau().order as f64;
+        // Exponents of the PI controller (Gustafsson): beta ≈ 0.4/k.
+        let k = order; // error of the embedded (lower-order) solution ~ h^order
+        let alpha = 0.7 / k;
+        let beta = 0.4 / k;
+
+        let mut t = t0;
+        let mut h = self.opts.h0.min(t1 - t0).min(self.opts.h_max);
+        let mut work = Work::default();
+        self.inner.reset();
+        self.prev_err_norm = 1.0;
+
+        while t < t1 - 1e-14 {
+            if work.steps + work.rejected >= self.opts.max_steps {
+                return Err(AdaptiveError::TooManySteps);
+            }
+            let h_eff = h.min(t1 - t);
+            self.y_saved.copy_from_slice(y);
+            let w = self
+                .inner
+                .step_with_error(sys, t, h_eff, y, Some(&mut self.err_buf));
+            work.fn_evals += w.fn_evals;
+
+            let err = self.error_norm(&self.y_saved, y).max(1e-16);
+            if err <= 1.0 {
+                // Accept.
+                work.steps += 1;
+                t += h_eff;
+                let factor = (self.opts.safety
+                    * err.powf(-alpha)
+                    * self.prev_err_norm.powf(beta))
+                .min(self.opts.max_growth)
+                .max(0.2);
+                h = (h_eff * factor).min(self.opts.h_max);
+                self.prev_err_norm = err;
+            } else {
+                // Reject: restore state, shrink the step, drop FSAL cache.
+                work.rejected += 1;
+                y.copy_from_slice(&self.y_saved);
+                self.inner.reset();
+                h = (h_eff * (self.opts.safety * err.powf(-1.0 / k)).max(0.1))
+                    .max(self.opts.h_min);
+                if h <= self.opts.h_min {
+                    return Err(AdaptiveError::StepSizeUnderflow);
+                }
+            }
+        }
+        Ok(work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::FnSystem;
+    use crate::tableau::{BS23, DOPRI5, RK4};
+
+    #[test]
+    fn rejects_tableaus_without_embedded_pair() {
+        assert_eq!(
+            AdaptiveStepper::new(&RK4, 1, AdaptiveOptions::default()).err(),
+            Some(AdaptiveError::NoEmbeddedPair)
+        );
+    }
+
+    #[test]
+    fn reaches_requested_tolerance_on_decay() {
+        let sys = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0]);
+        for tab in [&BS23, &DOPRI5] {
+            let mut st = AdaptiveStepper::new(
+                tab,
+                1,
+                AdaptiveOptions { atol: 1e-9, rtol: 1e-9, ..Default::default() },
+            )
+            .unwrap();
+            let mut y = vec![1.0];
+            let work = st.integrate(&sys, &mut y, 0.0, 2.0).unwrap();
+            let err = (y[0] - (-2.0f64).exp()).abs();
+            assert!(err < 1e-6, "{}: err = {err}", tab.name);
+            assert!(work.steps > 0);
+        }
+    }
+
+    #[test]
+    fn tighter_tolerance_costs_more_work() {
+        let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        });
+        let run = |tol: f64| {
+            let mut st = AdaptiveStepper::new(
+                &DOPRI5,
+                2,
+                AdaptiveOptions { atol: tol, rtol: tol, ..Default::default() },
+            )
+            .unwrap();
+            let mut y = vec![1.0, 0.0];
+            st.integrate(&sys, &mut y, 0.0, 10.0).unwrap().fn_evals
+        };
+        assert!(run(1e-12) > run(1e-4));
+    }
+
+    #[test]
+    fn stiffish_problem_triggers_rejections() {
+        // y' = -50 (y - cos t): fast transient forces step rejections when
+        // started with a large h0.
+        let sys = FnSystem::new(1, |t, y: &[f64], dy: &mut [f64]| {
+            dy[0] = -50.0 * (y[0] - t.cos())
+        });
+        let mut st = AdaptiveStepper::new(
+            &BS23,
+            1,
+            AdaptiveOptions { h0: 0.5, atol: 1e-8, rtol: 1e-8, ..Default::default() },
+        )
+        .unwrap();
+        let mut y = vec![0.0];
+        let work = st.integrate(&sys, &mut y, 0.0, 1.0).unwrap();
+        assert!(work.rejected > 0, "expected at least one rejected step");
+    }
+
+    #[test]
+    fn max_steps_is_enforced() {
+        let sys = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0]);
+        let mut st = AdaptiveStepper::new(
+            &DOPRI5,
+            1,
+            AdaptiveOptions { max_steps: 3, h0: 1e-6, h_max: 1e-6, ..Default::default() },
+        )
+        .unwrap();
+        let mut y = vec![1.0];
+        assert_eq!(
+            st.integrate(&sys, &mut y, 0.0, 1.0).err(),
+            Some(AdaptiveError::TooManySteps)
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Fixed-step integration driven by Butcher tableaus.
+
+// Index loops here co-index several arrays; zip chains would obscure them.
+#![allow(clippy::needless_range_loop)]
+use crate::system::System;
+use crate::tableau::Tableau;
+use crate::Work;
+
+/// A stepper that advances a state by one fixed step `h`.
+///
+/// Implementations own their scratch buffers, so stepping performs no
+/// allocation after construction (see the hpc guidance: keep the hot loop
+/// allocation-free).
+pub trait FixedStepper: Send {
+    /// Nominal order of accuracy.
+    fn order(&self) -> u32;
+
+    /// Derivative evaluations consumed by one step (without FSAL reuse).
+    fn cost_per_step(&self) -> u64;
+
+    /// Human-readable method name.
+    fn name(&self) -> &'static str;
+
+    /// Advance `y` in place from `t` to `t + h`, returning the work done.
+    fn step(&mut self, sys: &dyn System, t: f64, h: f64, y: &mut [f64]) -> Work;
+
+    /// Forget any cached FSAL derivative (call when `t`/`y` jump).
+    fn reset(&mut self) {}
+}
+
+/// Generic explicit RK stepper driven by a [`Tableau`].
+pub struct TableauStepper {
+    tab: &'static Tableau,
+    /// Stage derivatives `k[i]`, each of length `dim`.
+    k: Vec<Vec<f64>>,
+    /// Scratch state for stage evaluations.
+    ytmp: Vec<f64>,
+    /// Cached `f(t_{n+1}, y_{n+1})` for FSAL reuse.
+    fsal_cache: Option<Vec<f64>>,
+    dim: usize,
+}
+
+impl TableauStepper {
+    /// Create a stepper for `dim`-dimensional systems.
+    pub fn new(tab: &'static Tableau, dim: usize) -> Self {
+        debug_assert!(tab.validate().is_ok());
+        Self {
+            tab,
+            k: vec![vec![0.0; dim]; tab.stages],
+            ytmp: vec![0.0; dim],
+            fsal_cache: None,
+            dim,
+        }
+    }
+
+    /// The tableau backing this stepper.
+    pub fn tableau(&self) -> &'static Tableau {
+        self.tab
+    }
+
+    /// Perform one step and additionally write the embedded error estimate
+    /// (scaled by `h`) into `err` if the tableau has an embedded pair.
+    ///
+    /// Returns the work done. Used by the adaptive driver.
+    pub fn step_with_error(
+        &mut self,
+        sys: &dyn System,
+        t: f64,
+        h: f64,
+        y: &mut [f64],
+        err: Option<&mut [f64]>,
+    ) -> Work {
+        let n = self.dim;
+        debug_assert_eq!(y.len(), n);
+        let s = self.tab.stages;
+        let mut work = Work { steps: 1, ..Work::default() };
+
+        // Stage 0 — reuse the FSAL derivative when available.
+        if let Some(cache) = self.fsal_cache.take() {
+            self.k[0].copy_from_slice(&cache);
+            self.fsal_cache = Some(cache);
+        } else {
+            let (k0, _) = self.k.split_at_mut(1);
+            sys.deriv(t, y, &mut k0[0]);
+            work.fn_evals += 1;
+        }
+
+        // Remaining stages.
+        for i in 1..s {
+            for d in 0..n {
+                let mut acc = 0.0;
+                for j in 0..i {
+                    acc += self.tab.a(i, j) * self.k[j][d];
+                }
+                self.ytmp[d] = y[d] + h * acc;
+            }
+            let (done, rest) = self.k.split_at_mut(i);
+            let _ = done;
+            sys.deriv(t + self.tab.c[i] * h, &self.ytmp, &mut rest[0]);
+            work.fn_evals += 1;
+        }
+
+        // Error estimate before overwriting y.
+        if let (Some(err), Some(be)) = (err, self.tab.b_err) {
+            for d in 0..n {
+                let mut acc = 0.0;
+                for (i, &w) in be.iter().enumerate() {
+                    acc += w * self.k[i][d];
+                }
+                err[d] = h * acc;
+            }
+        }
+
+        // Combine stages into the new state.
+        for d in 0..n {
+            let mut acc = 0.0;
+            for (i, &w) in self.tab.b.iter().enumerate() {
+                acc += w * self.k[i][d];
+            }
+            y[d] += h * acc;
+        }
+
+        // FSAL: k[s-1] is f(t+h, y_{n+1}).
+        if self.tab.fsal {
+            let cache = self
+                .fsal_cache
+                .get_or_insert_with(|| vec![0.0; n]);
+            cache.copy_from_slice(&self.k[s - 1]);
+        }
+
+        work
+    }
+}
+
+impl FixedStepper for TableauStepper {
+    fn order(&self) -> u32 {
+        self.tab.order
+    }
+
+    fn cost_per_step(&self) -> u64 {
+        self.tab.stages as u64
+    }
+
+    fn name(&self) -> &'static str {
+        self.tab.name
+    }
+
+    fn step(&mut self, sys: &dyn System, t: f64, h: f64, y: &mut [f64]) -> Work {
+        self.step_with_error(sys, t, h, y, None)
+    }
+
+    fn reset(&mut self) {
+        self.fsal_cache = None;
+    }
+}
+
+/// Integrate `sys` from `t0` to `t1` with (approximately) fixed step `h`,
+/// shrinking the final step to land exactly on `t1`.
+///
+/// The stepper is taken by `&dyn` so callers can mix methods at runtime —
+/// the paper's study treats the RK order as a tunable parameter.
+pub fn integrate_fixed(
+    stepper: &dyn StepperFactory,
+    sys: &dyn System,
+    y: &mut [f64],
+    t0: f64,
+    t1: f64,
+    h: f64,
+) -> Work {
+    let mut st = stepper.instantiate(y.len());
+    let mut work = Work::default();
+    let mut t = t0;
+    assert!(h > 0.0 && t1 > t0, "integrate_fixed requires forward integration");
+    while t < t1 - 1e-12 {
+        let step = h.min(t1 - t);
+        work += st.step(sys, t, step, y);
+        t += step;
+    }
+    work
+}
+
+/// Factory producing fresh steppers of a fixed method for a given dimension.
+///
+/// Steppers carry per-dimension scratch space, so the method selection
+/// (a cheap, clonable description) is separated from the stateful stepper.
+pub trait StepperFactory: Send + Sync {
+    /// Build a stepper for `dim`-dimensional systems.
+    fn instantiate(&self, dim: usize) -> Box<dyn FixedStepper>;
+    /// Nominal order of the produced steppers.
+    fn order(&self) -> u32;
+    /// Derivative evaluations per step (without FSAL savings).
+    fn cost_per_step(&self) -> u64;
+    /// Method name.
+    fn name(&self) -> &'static str;
+}
+
+/// Factory for tableau-based methods.
+#[derive(Debug, Clone, Copy)]
+pub struct TableauFactory(pub &'static Tableau);
+
+impl StepperFactory for TableauFactory {
+    fn instantiate(&self, dim: usize) -> Box<dyn FixedStepper> {
+        Box::new(TableauStepper::new(self.0, dim))
+    }
+    fn order(&self) -> u32 {
+        self.0.order
+    }
+    fn cost_per_step(&self) -> u64 {
+        self.0.stages as u64
+    }
+    fn name(&self) -> &'static str {
+        self.0.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::FnSystem;
+    use crate::tableau::{BS23, DOPRI5, EULER, HEUN2, RK4};
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0])
+    }
+
+    #[test]
+    fn euler_matches_hand_computation() {
+        let sys = decay();
+        let mut st = TableauStepper::new(&EULER, 1);
+        let mut y = vec![1.0];
+        st.step(&sys, 0.0, 0.1, &mut y);
+        // y1 = y0 + h * (-y0) = 0.9
+        assert!((y[0] - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rk4_is_accurate_on_decay() {
+        let sys = decay();
+        let mut y = vec![1.0];
+        integrate_fixed(&TableauFactory(&RK4), &sys, &mut y, 0.0, 1.0, 0.01);
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fsal_saves_one_eval_per_step_after_first() {
+        let sys = decay();
+        let mut st = TableauStepper::new(&DOPRI5, 1);
+        let mut y = vec![1.0];
+        let w1 = st.step(&sys, 0.0, 0.1, &mut y);
+        assert_eq!(w1.fn_evals, 7);
+        let w2 = st.step(&sys, 0.1, 0.1, &mut y);
+        assert_eq!(w2.fn_evals, 6, "FSAL should reuse the cached derivative");
+    }
+
+    #[test]
+    fn reset_clears_fsal_cache() {
+        let sys = decay();
+        let mut st = TableauStepper::new(&BS23, 1);
+        let mut y = vec![1.0];
+        st.step(&sys, 0.0, 0.1, &mut y);
+        st.reset();
+        let w = st.step(&sys, 0.1, 0.1, &mut y);
+        assert_eq!(w.fn_evals, 4, "after reset all stages must be recomputed");
+    }
+
+    #[test]
+    fn integrate_fixed_lands_exactly_on_t1() {
+        // h does not divide the interval: the last step must shrink.
+        let sys = FnSystem::new(1, |_t, _y: &[f64], dy: &mut [f64]| dy[0] = 1.0);
+        let mut y = vec![0.0];
+        integrate_fixed(&TableauFactory(&HEUN2), &sys, &mut y, 0.0, 1.0, 0.3);
+        // y' = 1 => y(1) = 1 regardless of the method.
+        assert!((y[0] - 1.0).abs() < 1e-12);
+    }
+
+    /// Measure empirical convergence order on y' = -y over [0, 1].
+    fn empirical_order(tab: &'static Tableau) -> f64 {
+        let sys = decay();
+        let exact = (-1.0f64).exp();
+        let err = |h: f64| -> f64 {
+            let mut y = vec![1.0];
+            integrate_fixed(&TableauFactory(tab), &sys, &mut y, 0.0, 1.0, h);
+            (y[0] - exact).abs().max(1e-17)
+        };
+        let e1 = err(0.05);
+        let e2 = err(0.025);
+        (e1 / e2).log2()
+    }
+
+    #[test]
+    fn convergence_orders_match_nominal() {
+        for (tab, lo, hi) in [
+            (&EULER, 0.8, 1.3),
+            (&HEUN2, 1.8, 2.3),
+            (&BS23, 2.7, 3.4),
+            (&RK4, 3.7, 4.4),
+            (&DOPRI5, 4.6, 5.6),
+        ] {
+            let p = empirical_order(tab);
+            assert!(
+                p > lo && p < hi,
+                "{}: empirical order {p}, expected in ({lo}, {hi})",
+                tab.name
+            );
+        }
+    }
+
+    #[test]
+    fn step_with_error_estimates_local_error_scale() {
+        // On y' = -y the embedded estimate should be within a couple of
+        // orders of magnitude of the true local error.
+        let sys = decay();
+        let mut st = TableauStepper::new(&DOPRI5, 1);
+        let mut y = vec![1.0];
+        let mut err = vec![0.0];
+        let h = 0.2;
+        st.step_with_error(&sys, 0.0, h, &mut y, Some(&mut err));
+        let true_err = (y[0] - (-h).exp()).abs();
+        assert!(err[0].abs() > true_err / 100.0);
+        assert!(err[0].abs() < 1e-4);
+    }
+}

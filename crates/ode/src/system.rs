@@ -1,0 +1,85 @@
+//! The [`System`] trait: right-hand side of an ODE `y' = f(t, y)`.
+
+/// A (possibly non-autonomous) system of first-order ODEs.
+///
+/// Implementors write the derivative of the state into `dydt`; the slice is
+/// pre-allocated by the stepper and has length [`System::dim`]. The hot loop
+/// of every stepper calls [`System::deriv`] with no allocation.
+pub trait System {
+    /// Dimension of the state vector.
+    fn dim(&self) -> usize;
+
+    /// Evaluate `dydt = f(t, y)`.
+    ///
+    /// `y.len() == dydt.len() == self.dim()`.
+    fn deriv(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+/// Blanket implementation so `&S` is a `System` whenever `S` is.
+impl<S: System + ?Sized> System for &S {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn deriv(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (**self).deriv(t, y, dydt)
+    }
+}
+
+/// Adapter turning a closure `(t, y, dydt)` into a [`System`].
+///
+/// ```
+/// use rk_ode::system::{FnSystem, System};
+/// let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+///     dy[0] = y[1];
+///     dy[1] = -y[0];
+/// });
+/// let mut dy = [0.0; 2];
+/// sys.deriv(0.0, &[1.0, 0.0], &mut dy);
+/// assert_eq!(dy, [0.0, -1.0]);
+/// ```
+pub struct FnSystem<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> FnSystem<F> {
+    /// Wrap a closure as a `dim`-dimensional system.
+    pub fn new(dim: usize, f: F) -> Self {
+        Self { dim, f }
+    }
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> System for FnSystem<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn deriv(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        debug_assert_eq!(y.len(), self.dim);
+        debug_assert_eq!(dydt.len(), self.dim);
+        (self.f)(t, y, dydt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_system_dim_and_deriv() {
+        let sys = FnSystem::new(1, |t, _y: &[f64], dy: &mut [f64]| dy[0] = t);
+        assert_eq!(sys.dim(), 1);
+        let mut dy = [0.0];
+        sys.deriv(2.5, &[0.0], &mut dy);
+        assert_eq!(dy[0], 2.5);
+    }
+
+    #[test]
+    fn reference_is_system() {
+        fn takes_system<S: System>(s: S) -> usize {
+            s.dim()
+        }
+        let sys = FnSystem::new(3, |_, _: &[f64], dy: &mut [f64]| dy.fill(0.0));
+        assert_eq!(takes_system(&sys), 3);
+        assert_eq!(takes_system(&sys), 3);
+    }
+}

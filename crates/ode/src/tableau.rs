@@ -1,0 +1,366 @@
+//! Butcher tableaus for explicit Runge–Kutta methods.
+//!
+//! A tableau holds the coefficients `(a, b, c)` of an explicit RK method
+//! plus, optionally, a second weight row `b_err` giving an embedded
+//! lower-order solution for error estimation (stored as the *difference*
+//! `b - b̂` so the error estimate is a single weighted sum of stages).
+
+/// Butcher tableau of an explicit Runge–Kutta method.
+///
+/// The `a` matrix is stored as a flat lower-triangular slice in row-major
+/// order: row `i` (for stage `i`, `1 <= i < stages`) occupies entries
+/// `[i*(i-1)/2 .. i*(i-1)/2 + i]`.
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    /// Human-readable method name, e.g. `"Bogacki-Shampine 3(2)"`.
+    pub name: &'static str,
+    /// Classical order of the higher-order solution.
+    pub order: u32,
+    /// Number of stages.
+    pub stages: usize,
+    /// Lower-triangular stage coefficients, flattened.
+    pub a: &'static [f64],
+    /// Weights of the propagated (higher-order) solution.
+    pub b: &'static [f64],
+    /// Stage nodes.
+    pub c: &'static [f64],
+    /// `b - b̂`: weights of the embedded error estimate, if any.
+    pub b_err: Option<&'static [f64]>,
+    /// First-Same-As-Last: the last stage equals `f(t+h, y_{n+1})` and can
+    /// seed the first stage of the next step.
+    pub fsal: bool,
+}
+
+impl Tableau {
+    /// Coefficient `a[i][j]` (stage `i`, `0 <= j < i`).
+    #[inline]
+    pub fn a(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(j < i && i < self.stages);
+        self.a[i * (i - 1) / 2 + j]
+    }
+
+    /// Validate structural consistency (lengths, row-sum condition).
+    ///
+    /// Returns a description of the first violated property, or `Ok(())`.
+    /// The row-sum condition `c_i = Σ_j a_ij` holds for all standard
+    /// explicit methods and is a cheap guard against coefficient typos.
+    pub fn validate(&self) -> Result<(), String> {
+        let s = self.stages;
+        if self.b.len() != s {
+            return Err(format!("{}: b has {} entries, want {}", self.name, self.b.len(), s));
+        }
+        if self.c.len() != s {
+            return Err(format!("{}: c has {} entries, want {}", self.name, self.c.len(), s));
+        }
+        if self.a.len() != s * (s - 1) / 2 {
+            return Err(format!(
+                "{}: a has {} entries, want {}",
+                self.name,
+                self.a.len(),
+                s * (s - 1) / 2
+            ));
+        }
+        if let Some(e) = self.b_err {
+            if e.len() != s {
+                return Err(format!("{}: b_err has {} entries, want {}", self.name, e.len(), s));
+            }
+        }
+        // Row-sum condition.
+        for i in 0..s {
+            let sum: f64 = (0..i).map(|j| self.a(i, j)).sum();
+            if (sum - self.c[i]).abs() > 1e-12 {
+                return Err(format!(
+                    "{}: row-sum violated at stage {i}: sum(a)={sum}, c={}",
+                    self.name, self.c[i]
+                ));
+            }
+        }
+        // Consistency: Σ b_i = 1.
+        let bsum: f64 = self.b.iter().sum();
+        if (bsum - 1.0).abs() > 1e-12 {
+            return Err(format!("{}: sum(b) = {bsum}, want 1", self.name));
+        }
+        // Error weights of an embedded pair must sum to 0 (b and b̂ both sum to 1).
+        if let Some(e) = self.b_err {
+            let esum: f64 = e.iter().sum();
+            if esum.abs() > 1e-12 {
+                return Err(format!("{}: sum(b_err) = {esum}, want 0", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Forward Euler — order 1, one stage.
+pub const EULER: Tableau = Tableau {
+    name: "Euler",
+    order: 1,
+    stages: 1,
+    a: &[],
+    b: &[1.0],
+    c: &[0.0],
+    b_err: None,
+    fsal: false,
+};
+
+/// Heun's method (explicit trapezoid) — order 2, two stages.
+pub const HEUN2: Tableau = Tableau {
+    name: "Heun 2",
+    order: 2,
+    stages: 2,
+    a: &[1.0],
+    b: &[0.5, 0.5],
+    c: &[0.0, 1.0],
+    b_err: None,
+    fsal: false,
+};
+
+/// Bogacki–Shampine 3(2) — order 3, four stages, FSAL.
+///
+/// This is SciPy's `RK23`; the paper's "3rd order Runge–Kutta".
+pub const BS23: Tableau = Tableau {
+    name: "Bogacki-Shampine 3(2)",
+    order: 3,
+    stages: 4,
+    a: &[
+        // stage 1
+        0.5,
+        // stage 2
+        0.0,
+        0.75,
+        // stage 3 (the propagated solution itself: FSAL)
+        2.0 / 9.0,
+        1.0 / 3.0,
+        4.0 / 9.0,
+    ],
+    b: &[2.0 / 9.0, 1.0 / 3.0, 4.0 / 9.0, 0.0],
+    c: &[0.0, 0.5, 0.75, 1.0],
+    // b - b̂ with b̂ = [7/24, 1/4, 1/3, 1/8]
+    b_err: Some(&[
+        2.0 / 9.0 - 7.0 / 24.0,
+        1.0 / 3.0 - 0.25,
+        4.0 / 9.0 - 1.0 / 3.0,
+        -0.125,
+    ]),
+    fsal: true,
+};
+
+/// Classic Runge–Kutta — order 4, four stages.
+pub const RK4: Tableau = Tableau {
+    name: "Classic RK4",
+    order: 4,
+    stages: 4,
+    a: &[
+        0.5, //
+        0.0, 0.5, //
+        0.0, 0.0, 1.0,
+    ],
+    b: &[1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0],
+    c: &[0.0, 0.5, 0.5, 1.0],
+    b_err: None,
+    fsal: false,
+};
+
+/// Dormand–Prince 5(4) — order 5, seven stages, FSAL.
+///
+/// This is SciPy's `RK45`; the paper's "5th order Runge–Kutta".
+pub const DOPRI5: Tableau = Tableau {
+    name: "Dormand-Prince 5(4)",
+    order: 5,
+    stages: 7,
+    a: &[
+        // stage 1
+        0.2,
+        // stage 2
+        3.0 / 40.0,
+        9.0 / 40.0,
+        // stage 3
+        44.0 / 45.0,
+        -56.0 / 15.0,
+        32.0 / 9.0,
+        // stage 4
+        19372.0 / 6561.0,
+        -25360.0 / 2187.0,
+        64448.0 / 6561.0,
+        -212.0 / 729.0,
+        // stage 5
+        9017.0 / 3168.0,
+        -355.0 / 33.0,
+        46732.0 / 5247.0,
+        49.0 / 176.0,
+        -5103.0 / 18656.0,
+        // stage 6 (= b row: FSAL)
+        35.0 / 384.0,
+        0.0,
+        500.0 / 1113.0,
+        125.0 / 192.0,
+        -2187.0 / 6784.0,
+        11.0 / 84.0,
+    ],
+    b: &[
+        35.0 / 384.0,
+        0.0,
+        500.0 / 1113.0,
+        125.0 / 192.0,
+        -2187.0 / 6784.0,
+        11.0 / 84.0,
+        0.0,
+    ],
+    c: &[0.0, 0.2, 0.3, 0.8, 8.0 / 9.0, 1.0, 1.0],
+    // b - b̂ with b̂ = [5179/57600, 0, 7571/16695, 393/640, -92097/339200, 187/2100, 1/40]
+    b_err: Some(&[
+        35.0 / 384.0 - 5179.0 / 57600.0,
+        0.0,
+        500.0 / 1113.0 - 7571.0 / 16695.0,
+        125.0 / 192.0 - 393.0 / 640.0,
+        -2187.0 / 6784.0 + 92097.0 / 339200.0,
+        11.0 / 84.0 - 187.0 / 2100.0,
+        -1.0 / 40.0,
+    ]),
+    fsal: true,
+};
+
+/// Cash–Karp 5(4) — order 5, six stages (no FSAL). An alternative
+/// embedded pair with the same order as Dormand–Prince, kept for
+/// cross-validating the adaptive driver against a second coefficient set.
+pub const CASH_KARP: Tableau = Tableau {
+    name: "Cash-Karp 5(4)",
+    order: 5,
+    stages: 6,
+    a: &[
+        // stage 1
+        0.2,
+        // stage 2
+        3.0 / 40.0,
+        9.0 / 40.0,
+        // stage 3
+        0.3,
+        -0.9,
+        1.2,
+        // stage 4
+        -11.0 / 54.0,
+        2.5,
+        -70.0 / 27.0,
+        35.0 / 27.0,
+        // stage 5
+        1631.0 / 55296.0,
+        175.0 / 512.0,
+        575.0 / 13824.0,
+        44275.0 / 110592.0,
+        253.0 / 4096.0,
+    ],
+    b: &[
+        37.0 / 378.0,
+        0.0,
+        250.0 / 621.0,
+        125.0 / 594.0,
+        0.0,
+        512.0 / 1771.0,
+    ],
+    c: &[0.0, 0.2, 0.3, 0.6, 1.0, 0.875],
+    // b - b̂ with b̂ = [2825/27648, 0, 18575/48384, 13525/55296, 277/14336, 1/4]
+    b_err: Some(&[
+        37.0 / 378.0 - 2825.0 / 27648.0,
+        0.0,
+        250.0 / 621.0 - 18575.0 / 48384.0,
+        125.0 / 594.0 - 13525.0 / 55296.0,
+        -277.0 / 14336.0,
+        512.0 / 1771.0 - 0.25,
+    ]),
+    fsal: false,
+};
+
+/// All built-in tableaus, for enumeration in tests and benches.
+pub const ALL_TABLEAUS: &[&Tableau] = &[&EULER, &HEUN2, &BS23, &RK4, &DOPRI5, &CASH_KARP];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tableaus_validate() {
+        for t in ALL_TABLEAUS {
+            t.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn a_indexing_matches_layout() {
+        // DOPRI5 stage 4, column 2 is 64448/6561.
+        assert_eq!(DOPRI5.a(4, 2), 64448.0 / 6561.0);
+        // BS23 stage 2, column 1 is 0.75.
+        assert_eq!(BS23.a(2, 1), 0.75);
+    }
+
+    #[test]
+    fn fsal_last_stage_matches_b_row() {
+        // For an FSAL method, the last row of `a` equals `b[..stages-1]`.
+        for t in [&BS23, &DOPRI5] {
+            assert!(t.fsal);
+            let s = t.stages;
+            for j in 0..s - 1 {
+                assert!(
+                    (t.a(s - 1, j) - t.b[j]).abs() < 1e-15,
+                    "{}: a[{},{}] != b[{}]",
+                    t.name,
+                    s - 1,
+                    j,
+                    j
+                );
+            }
+            assert_eq!(t.b[s - 1], 0.0);
+        }
+    }
+
+    #[test]
+    fn cash_karp_and_dopri5_agree_at_order_five() {
+        // Two independent coefficient sets of the same order must agree
+        // to high accuracy on a smooth problem — a strong typo check.
+        use crate::stepper::{integrate_fixed, TableauFactory};
+        use crate::system::FnSystem;
+        let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        });
+        let run = |tab: &'static Tableau| {
+            let mut y = vec![1.0, 0.0];
+            integrate_fixed(&TableauFactory(tab), &sys, &mut y, 0.0, 3.0, 0.05);
+            y
+        };
+        let a = run(&DOPRI5);
+        let b = run(&CASH_KARP);
+        assert!((a[0] - b[0]).abs() < 1e-8 && (a[1] - b[1]).abs() < 1e-8);
+        // And both near the exact solution (cos 3, -sin 3).
+        assert!((a[0] - 3.0f64.cos()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn validate_catches_bad_row_sum() {
+        const BAD: Tableau = Tableau {
+            name: "bad",
+            order: 2,
+            stages: 2,
+            a: &[0.9],
+            b: &[0.5, 0.5],
+            c: &[0.0, 1.0],
+            b_err: None,
+            fsal: false,
+        };
+        assert!(BAD.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_weights() {
+        const BAD: Tableau = Tableau {
+            name: "bad-b",
+            order: 1,
+            stages: 1,
+            a: &[],
+            b: &[0.9],
+            c: &[0.0],
+            b_err: None,
+            fsal: false,
+        };
+        assert!(BAD.validate().is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the integrator substrate.
+
+use proptest::prelude::*;
+use rk_ode::stepper::{integrate_fixed, TableauFactory};
+use rk_ode::system::FnSystem;
+use rk_ode::tableau::{ALL_TABLEAUS, BS23, DOPRI5};
+use rk_ode::{AdaptiveOptions, AdaptiveStepper, RkOrder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every tableau integrates linear decay with an error bounded by its
+    /// order's worst case, for arbitrary rates and step sizes.
+    #[test]
+    fn all_tableaus_converge_on_decay(lambda in 0.1f64..3.0, h in 0.005f64..0.05) {
+        let sys = FnSystem::new(1, move |_t, y: &[f64], dy: &mut [f64]| dy[0] = -lambda * y[0]);
+        let exact = (-lambda).exp();
+        for tab in ALL_TABLEAUS {
+            let mut y = vec![1.0];
+            integrate_fixed(&TableauFactory(tab), &sys, &mut y, 0.0, 1.0, h);
+            // Even Euler at h=0.05, λ=3 errs below ~0.15; higher orders
+            // are far tighter. Use a generous per-order envelope.
+            let bound = 3.0 * (lambda * h).powi(tab.order as i32);
+            prop_assert!(
+                (y[0] - exact).abs() < bound.max(1e-12),
+                "{}: err {} vs bound {}", tab.name, (y[0] - exact).abs(), bound
+            );
+        }
+    }
+
+    /// Halving the step never increases the error (smooth problem, all
+    /// study orders).
+    #[test]
+    fn halving_steps_never_hurts(lambda in 0.2f64..2.0) {
+        let sys = FnSystem::new(1, move |_t, y: &[f64], dy: &mut [f64]| dy[0] = -lambda * y[0]);
+        let exact = (-lambda).exp();
+        for order in RkOrder::ALL {
+            let err = |h: f64| {
+                let mut y = vec![1.0];
+                integrate_fixed(order.factory().as_ref(), &sys, &mut y, 0.0, 1.0, h);
+                (y[0] - exact).abs()
+            };
+            let coarse = err(0.2);
+            let fine = err(0.1);
+            // Below ~1e-12 both errors sit in floating-point roundoff and
+            // the ordering is meaningless; allow that absolute floor.
+            prop_assert!(fine <= coarse * 1.01 + 1e-12, "{order}: {fine} vs {coarse}");
+        }
+    }
+
+    /// Integration is time-translation invariant for autonomous systems.
+    #[test]
+    fn autonomous_translation_invariance(t0 in -5.0f64..5.0) {
+        let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        });
+        let mut a = vec![0.7, -0.3];
+        integrate_fixed(&TableauFactory(&DOPRI5), &sys, &mut a, 0.0, 1.5, 0.05);
+        let mut b = vec![0.7, -0.3];
+        integrate_fixed(&TableauFactory(&DOPRI5), &sys, &mut b, t0, t0 + 1.5, 0.05);
+        prop_assert!((a[0] - b[0]).abs() < 1e-12 && (a[1] - b[1]).abs() < 1e-12);
+    }
+
+    /// The adaptive driver respects tolerances across a range of
+    /// stiffness-light problems and both embedded pairs.
+    #[test]
+    fn adaptive_meets_tolerance(lambda in 0.2f64..4.0, tol_exp in 5i32..10) {
+        let tol = 10.0f64.powi(-tol_exp);
+        let sys = FnSystem::new(1, move |_t, y: &[f64], dy: &mut [f64]| dy[0] = -lambda * y[0]);
+        let exact = (-2.0 * lambda).exp();
+        for tab in [&BS23, &DOPRI5] {
+            let mut st = AdaptiveStepper::new(
+                tab,
+                1,
+                AdaptiveOptions { atol: tol, rtol: tol, ..Default::default() },
+            ).expect("embedded pair");
+            let mut y = vec![1.0];
+            let work = st.integrate(&sys, &mut y, 0.0, 2.0).expect("integrates");
+            // Global error within a couple orders of magnitude of the
+            // local tolerance (standard adaptive-integration contract).
+            prop_assert!((y[0] - exact).abs() < tol * 1e3 + 1e-12,
+                "{}: err {}", tab.name, (y[0] - exact).abs());
+            prop_assert!(work.steps > 0);
+        }
+    }
+
+    /// Work counters are exact: fn_evals equals the number of derivative
+    /// callbacks for any tableau and step count.
+    #[test]
+    fn work_counter_is_exact(steps in 1usize..20) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        for order in RkOrder::ALL {
+            let count = AtomicU64::new(0);
+            let sys = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| {
+                count.fetch_add(1, Ordering::Relaxed);
+                dy[0] = -y[0];
+            });
+            let mut y = vec![1.0];
+            let h = 1.0 / steps as f64;
+            let work = integrate_fixed(order.factory().as_ref(), &sys, &mut y, 0.0, 1.0, h);
+            prop_assert_eq!(work.fn_evals, count.load(Ordering::Relaxed), "{}", order);
+            prop_assert_eq!(work.steps, steps as u64);
+        }
+    }
+}

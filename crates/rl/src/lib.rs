@@ -1,0 +1,74 @@
+//! # rl-algos — PPO and SAC from scratch
+//!
+//! The two learning algorithms of the paper's study (§V-b): Proximal
+//! Policy Optimization (Schulman et al., 2017) and Soft Actor-Critic
+//! (Haarnoja et al., 2018), implemented on the `tinynn` substrate against
+//! `gymrs` environments.
+//!
+//! Layout:
+//!
+//! * [`gae`] — generalized advantage estimation;
+//! * [`buffer`] — on-policy rollout storage and the off-policy replay
+//!   ring buffer;
+//! * [`policy`] — actor-critic policy heads (categorical / diagonal
+//!   Gaussian) shared by the trainers;
+//! * [`ppo`] — the clipped-surrogate PPO learner;
+//! * [`sac`] — twin-critic SAC with automatic entropy temperature;
+//! * [`trainer`] — a single-node training loop driving either algorithm
+//!   on any environment (the distributed drivers live in `dist-exec`).
+//!
+//! Both learners expose *pure update* APIs (`update_from_rollout`,
+//! `update_from_batch`) so the distributed backends can feed them data
+//! collected elsewhere — exactly the separation of acting from learning
+//! the paper describes for distributed RL architectures (§II-A).
+
+pub mod a2c;
+pub mod buffer;
+pub mod gae;
+pub mod impala;
+pub mod policy;
+pub mod ppo;
+pub mod sac;
+pub mod schedules;
+pub mod vtrace;
+pub mod trainer;
+
+pub use a2c::{A2cConfig, A2cLearner, A2cStats};
+pub use buffer::{ReplayBuffer, RolloutBuffer, Transition};
+pub use impala::{ImpalaConfig, ImpalaLearner, ImpalaStats};
+pub use policy::{ActorCritic, PolicyHead};
+pub use ppo::{PpoConfig, PpoLearner, PpoStats};
+pub use sac::{SacConfig, SacLearner, SacStats};
+pub use schedules::Schedule;
+pub use vtrace::{vtrace, VtraceConfig, VtraceResult};
+pub use trainer::{train, EvalSpec, TrainProgress, TrainReport, TrainSpec};
+
+/// Which of the paper's two algorithms a configuration uses (Table I's
+/// "Algorithm" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Algorithm {
+    /// Proximal Policy Optimization.
+    Ppo,
+    /// Soft Actor-Critic.
+    Sac,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Ppo => write!(f, "PPO"),
+            Algorithm::Sac => write!(f, "SAC"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_display_matches_paper() {
+        assert_eq!(Algorithm::Ppo.to_string(), "PPO");
+        assert_eq!(Algorithm::Sac.to_string(), "SAC");
+    }
+}

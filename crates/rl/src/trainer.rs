@@ -1,0 +1,321 @@
+//! Single-node training loop driving PPO or SAC on any environment.
+//!
+//! This is the non-distributed baseline; the three framework-like
+//! distributed drivers live in the `dist-exec` crate and reuse the same
+//! learners.
+
+use crate::buffer::Transition;
+use crate::ppo::{PpoConfig, PpoLearner};
+use crate::sac::{SacConfig, SacLearner};
+use crate::Algorithm;
+use gymrs::rollout::EpisodeStats;
+use gymrs::{Action, Environment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// What to train.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainSpec {
+    /// PPO or SAC.
+    pub algorithm: Algorithm,
+    /// Total environment steps (the paper's study uses 200,000).
+    pub total_steps: usize,
+    /// PPO hyperparameters (used when `algorithm == Ppo`).
+    pub ppo: PpoConfig,
+    /// SAC hyperparameters (used when `algorithm == Sac`).
+    pub sac: SacConfig,
+    /// Master seed (environment, networks, exploration).
+    pub seed: u64,
+}
+
+impl TrainSpec {
+    /// PPO with defaults.
+    pub fn ppo(total_steps: usize, seed: u64) -> Self {
+        Self {
+            algorithm: Algorithm::Ppo,
+            total_steps,
+            ppo: PpoConfig::default(),
+            sac: SacConfig::default(),
+            seed,
+        }
+    }
+
+    /// SAC with defaults.
+    pub fn sac(total_steps: usize, seed: u64) -> Self {
+        Self { algorithm: Algorithm::Sac, ..Self::ppo(total_steps, seed) }
+    }
+}
+
+/// Final-evaluation settings.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EvalSpec {
+    /// Number of greedy evaluation episodes.
+    pub episodes: usize,
+    /// Hard per-episode step cap.
+    pub max_steps: usize,
+}
+
+impl Default for EvalSpec {
+    fn default() -> Self {
+        Self { episodes: 10, max_steps: 10_000 }
+    }
+}
+
+/// Periodic progress sample emitted during training.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainProgress {
+    /// Environment steps so far.
+    pub steps: u64,
+    /// Mean return of recent finished episodes, if any finished.
+    pub recent_return: Option<f64>,
+}
+
+/// Outcome of a training run, including the work accounting the cluster
+/// simulator converts into time and energy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Greedy evaluation on the evaluation environment.
+    pub eval_mean_return: f64,
+    /// Standard deviation of evaluation returns.
+    pub eval_std_return: f64,
+    /// Environment steps executed.
+    pub env_steps: u64,
+    /// Environment work units (derivative evaluations) consumed.
+    pub env_work: u64,
+    /// Learning FLOPs spent (forward+backward passes).
+    pub learn_flops: u64,
+    /// Gradient updates performed.
+    pub updates: u64,
+    /// Returns of training episodes, in completion order.
+    pub train_returns: Vec<f64>,
+    /// Progress samples.
+    pub progress: Vec<TrainProgress>,
+}
+
+/// A trained policy wrapper for greedy evaluation.
+pub enum TrainedPolicy<'a> {
+    /// PPO policy.
+    Ppo(&'a PpoLearner),
+    /// SAC policy.
+    Sac(&'a SacLearner),
+}
+
+impl TrainedPolicy<'_> {
+    /// Greedy action.
+    pub fn act_greedy(&self, obs: &[f64]) -> Action {
+        match self {
+            TrainedPolicy::Ppo(l) => l.policy.act_greedy(obs),
+            TrainedPolicy::Sac(l) => l.act_greedy(obs),
+        }
+    }
+}
+
+/// Evaluate a greedy policy on `env`.
+pub fn evaluate(
+    policy: &TrainedPolicy<'_>,
+    env: &mut dyn Environment,
+    spec: &EvalSpec,
+) -> EpisodeStats {
+    let mut episodes = Vec::with_capacity(spec.episodes);
+    for _ in 0..spec.episodes {
+        let mut obs = env.reset();
+        let mut ret = 0.0;
+        let mut len = 0usize;
+        for _ in 0..spec.max_steps {
+            let s = env.step(&policy.act_greedy(&obs));
+            ret += s.reward;
+            len += 1;
+            let done = s.done();
+            obs = s.obs;
+            if done {
+                break;
+            }
+        }
+        episodes.push((ret, len));
+    }
+    EpisodeStats::from_episodes(&episodes)
+}
+
+/// Train on `env`, evaluate greedily on `eval_env`.
+///
+/// `eval_env` lets callers score the policy under different dynamics than
+/// it trained on — the reproduction evaluates on the reference (order-8)
+/// airdrop environment regardless of the training RK order (DESIGN.md §3).
+pub fn train(
+    env: &mut dyn Environment,
+    eval_env: &mut dyn Environment,
+    spec: &TrainSpec,
+    eval: &EvalSpec,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    env.seed(spec.seed.wrapping_add(1));
+    eval_env.seed(spec.seed.wrapping_add(2));
+    let obs_dim = env.observation_space().dim();
+    let aspace = env.action_space();
+
+    let mut env_steps = 0u64;
+    let mut env_work = 0u64;
+    let mut train_returns = Vec::new();
+    let mut progress = Vec::new();
+
+    let report = match spec.algorithm {
+        Algorithm::Ppo => {
+            let mut learner = PpoLearner::new(obs_dim, &aspace, spec.ppo.clone(), &mut rng);
+            let mut obs = env.reset();
+            while (env_steps as usize) < spec.total_steps {
+                learner.anneal(env_steps as f64 / spec.total_steps as f64);
+                let n = spec.ppo.n_steps.min(spec.total_steps - env_steps as usize);
+                let out = learner.collect(env, &mut obs, n, &mut rng);
+                env_steps += n as u64;
+                env_work += out.env_work;
+                train_returns.extend(out.episodes.iter().map(|e| e.0));
+                learner.update(&out.rollout, &mut rng);
+                progress.push(TrainProgress {
+                    steps: env_steps,
+                    recent_return: mean_tail(&train_returns, 10),
+                });
+            }
+            let stats = evaluate(&TrainedPolicy::Ppo(&learner), eval_env, eval);
+            (stats, learner.flops, learner.updates)
+        }
+        Algorithm::Sac => {
+            let mut learner = SacLearner::new(obs_dim, &aspace, spec.sac.clone(), &mut rng);
+            let mut obs = env.reset();
+            let mut ep_ret = 0.0;
+            while (env_steps as usize) < spec.total_steps {
+                let a = learner.act(&obs, &mut rng);
+                let s = env.step(&a);
+                env_steps += 1;
+                env_work += env.last_step_work();
+                ep_ret += s.reward;
+                let t = Transition {
+                    obs: std::mem::take(&mut obs),
+                    action: a.continuous().to_vec(),
+                    reward: s.reward,
+                    next_obs: s.obs.clone(),
+                    terminated: s.terminated,
+                };
+                learner.observe(t, &mut rng);
+                if s.done() {
+                    train_returns.push(ep_ret);
+                    ep_ret = 0.0;
+                    obs = env.reset();
+                } else {
+                    obs = s.obs;
+                }
+                if env_steps.is_multiple_of(1000) {
+                    progress.push(TrainProgress {
+                        steps: env_steps,
+                        recent_return: mean_tail(&train_returns, 10),
+                    });
+                }
+            }
+            let stats = evaluate(&TrainedPolicy::Sac(&learner), eval_env, eval);
+            (stats, learner.flops, learner.updates)
+        }
+    };
+
+    let (stats, learn_flops, updates) = report;
+    TrainReport {
+        eval_mean_return: stats.mean_return,
+        eval_std_return: stats.std_return,
+        env_steps,
+        env_work,
+        learn_flops,
+        updates,
+        train_returns,
+        progress,
+    }
+}
+
+fn mean_tail(xs: &[f64], n: usize) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let tail = &xs[xs.len().saturating_sub(n)..];
+    Some(tail.iter().sum::<f64>() / tail.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gymrs::envs::{GridWorld, PointMass};
+
+    #[test]
+    fn ppo_train_loop_produces_consistent_report() {
+        let mut env = GridWorld::new(3);
+        let mut eval_env = GridWorld::new(3);
+        let spec = TrainSpec {
+            ppo: PpoConfig::fast_test(),
+            ..TrainSpec::ppo(1024, 3)
+        };
+        let report = train(&mut env, &mut eval_env, &spec, &EvalSpec::default());
+        assert_eq!(report.env_steps, 1024);
+        assert_eq!(report.env_work, 1024);
+        assert!(report.updates > 0);
+        assert!(report.learn_flops > 0);
+        assert!(!report.progress.is_empty());
+        assert!(report.eval_mean_return.is_finite());
+    }
+
+    #[test]
+    fn sac_train_loop_produces_consistent_report() {
+        let mut env = PointMass::new();
+        let mut eval_env = PointMass::new();
+        let spec = TrainSpec {
+            sac: SacConfig { start_steps: 100, ..SacConfig::fast_test() },
+            ..TrainSpec::sac(600, 5)
+        };
+        let report = train(&mut env, &mut eval_env, &spec, &EvalSpec { episodes: 3, max_steps: 100 });
+        assert_eq!(report.env_steps, 600);
+        assert!(report.updates > 0);
+        assert!(report.eval_mean_return.is_finite());
+        assert!(!report.train_returns.is_empty());
+    }
+
+    #[test]
+    fn seeded_training_is_reproducible() {
+        let run = || {
+            let mut env = GridWorld::new(3);
+            let mut eval_env = GridWorld::new(3);
+            let spec = TrainSpec { ppo: PpoConfig::fast_test(), ..TrainSpec::ppo(512, 9) };
+            train(&mut env, &mut eval_env, &spec, &EvalSpec { episodes: 3, max_steps: 200 })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.eval_mean_return, b.eval_mean_return);
+        assert_eq!(a.train_returns, b.train_returns);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut env = GridWorld::new(3);
+            let mut eval_env = GridWorld::new(3);
+            let spec = TrainSpec { ppo: PpoConfig::fast_test(), ..TrainSpec::ppo(512, seed) };
+            train(&mut env, &mut eval_env, &spec, &EvalSpec { episodes: 3, max_steps: 200 })
+        };
+        assert_ne!(run(1).train_returns, run(2).train_returns);
+    }
+
+    #[test]
+    fn lr_schedule_is_applied_during_training() {
+        use crate::schedules::Schedule;
+        let mut env = GridWorld::new(3);
+        let mut eval_env = GridWorld::new(3);
+        let mut spec = TrainSpec { ppo: PpoConfig::fast_test(), ..TrainSpec::ppo(768, 3) };
+        spec.ppo.lr_schedule = Some(Schedule::linear_to_zero(spec.ppo.lr));
+        // Training must complete and remain finite under annealing.
+        let report = train(&mut env, &mut eval_env, &spec, &EvalSpec { episodes: 2, max_steps: 100 });
+        assert!(report.eval_mean_return.is_finite());
+        assert!(report.updates > 0);
+    }
+
+    #[test]
+    fn mean_tail_behaviour() {
+        assert_eq!(mean_tail(&[], 5), None);
+        assert_eq!(mean_tail(&[2.0, 4.0], 5), Some(3.0));
+        assert_eq!(mean_tail(&[0.0, 0.0, 6.0], 1), Some(6.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! The §III-C extension: drive the methodology with an Optuna-style
+//! workflow — a TPE-like sampler plus a median pruner — to tune PPO's
+//! learning rate and entropy bonus on the point-mass task, and compare
+//! against plain Random Search.
+//!
+//! ```text
+//! cargo run --release --example hyperparameter_search
+//! ```
+
+use rl_decision_tools::decision::prelude::*;
+use rl_decision_tools::gymrs::envs::PointMass;
+use rl_decision_tools::gymrs::Environment;
+use rl_decision_tools::rl_algos::ppo::{PpoConfig, PpoLearner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Train PPO briefly with the configured hyperparameters; report the mean
+/// training return of the final iterations, giving the pruner an
+/// intermediate value after every iteration.
+fn objective(cfg: &Configuration, ctx: &mut TrialContext) -> Result<MetricValues, String> {
+    let lr = cfg.float("lr").ok_or("lr missing")?;
+    let ent = cfg.float("ent_coef").ok_or("ent_coef missing")?;
+    let seed = 100 + ctx.trial_id as u64;
+    let mut env = PointMass::new();
+    env.seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ppo = PpoConfig {
+        lr,
+        ent_coef: ent,
+        hidden: vec![32, 32],
+        n_steps: 512,
+        epochs: 6,
+        ..PpoConfig::default()
+    };
+    let mut learner = PpoLearner::new(4, &env.action_space(), ppo, &mut rng);
+    let mut obs = env.reset();
+    let mut recent = -10.0;
+    for iter in 0..8u64 {
+        let out = learner.collect(&mut env, &mut obs, 512, &mut rng);
+        if !out.episodes.is_empty() {
+            recent = out.episodes.iter().map(|e| e.0).sum::<f64>() / out.episodes.len() as f64;
+        }
+        learner.update(&out.rollout, &mut rng);
+        if ctx.report(iter, recent) {
+            // Pruned: return what we have so far.
+            return Ok(MetricValues::new().with("return", recent));
+        }
+    }
+    Ok(MetricValues::new().with("return", recent))
+}
+
+fn run_search(explorer: impl Explorer + 'static, prune: bool, label: &str) {
+    let space = ParamSpace::builder()
+        .log_float("lr", 1e-5, 3e-3)
+        .float("ent_coef", 0.0, 0.02)
+        .build();
+    let mut builder = Study::builder(label)
+        .space(space)
+        .explorer(explorer)
+        .metric(MetricDef::maximize("return"))
+        .seed(3)
+        .objective(objective);
+    if prune {
+        builder = builder.pruner(MedianPruner::new());
+    }
+    let study = builder.build().expect("valid study");
+    let trials = study.run().expect("study runs");
+
+    let complete = trials.iter().filter(|t| t.is_complete()).count();
+    let pruned = trials.iter().filter(|t| t.status == TrialStatus::Pruned).count();
+    let best = SortedRanking::by(MetricDef::maximize("return")).best(&trials);
+    print!("{label:<28} {complete:>3} complete, {pruned:>2} pruned | ");
+    match best {
+        Some(i) => println!(
+            "best return {:+.3} at {}",
+            trials[i].metrics.get("return").unwrap_or(f64::NAN),
+            trials[i].config
+        ),
+        None => println!("no completed trials"),
+    }
+}
+
+fn main() {
+    let budget = 14;
+    println!("Tuning PPO (lr, ent_coef) on PointMass, {budget} trials each:\n");
+    run_search(RandomSearch::new(budget), false, "random search");
+    run_search(
+        TpeLite::new(budget, "return", Direction::Maximize),
+        true,
+        "tpe-lite + median pruner",
+    );
+    println!("\n(The TPE run concentrates trials near good learning rates and the median");
+    println!(" pruner abandons clearly-bad ones early — Optuna's behaviour per §III-C.)");
+}

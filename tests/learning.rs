@@ -1,0 +1,139 @@
+//! Learning-quality integration tests: the RL algorithms must actually
+//! learn the airdrop task, and the paper's qualitative algorithm/
+//! deployment findings must emerge from real training.
+
+use rl_decision_tools::airdrop_sim::{AirdropConfig, AirdropEnv};
+use rl_decision_tools::dist_exec::{run, Deployment, ExecSpec, FnEnvFactory, Framework};
+use rl_decision_tools::gymrs::{Action, Environment};
+use rl_decision_tools::rl_algos::ppo::PpoConfig;
+use rl_decision_tools::rl_algos::sac::SacConfig;
+use rl_decision_tools::rl_algos::Algorithm;
+
+fn env_cfg() -> AirdropConfig {
+    AirdropConfig { altitude_limits: (30.0, 100.0), ..AirdropConfig::default() }
+}
+
+fn factory() -> FnEnvFactory<impl Fn(u64) -> Box<dyn Environment> + Send + Sync> {
+    FnEnvFactory(|seed| {
+        let mut env = AirdropEnv::new(env_cfg());
+        env.seed(seed);
+        Box::new(env) as Box<dyn Environment>
+    })
+}
+
+fn spec(framework: Framework, algorithm: Algorithm, nodes: usize, steps: usize) -> ExecSpec {
+    let mut s = ExecSpec::new(
+        framework,
+        algorithm,
+        Deployment { nodes, cores_per_node: 4 },
+        steps,
+        21,
+    );
+    s.ppo = PpoConfig { n_steps: 1024, epochs: 6, ..PpoConfig::default() };
+    s.sac = SacConfig { batch: 64, update_every: 4, start_steps: 256, ..SacConfig::default() };
+    s
+}
+
+/// Mean landing reward of a straight-glide (uncontrolled) baseline.
+fn straight_glide_baseline(episodes: usize) -> f64 {
+    let mut env = AirdropEnv::new(env_cfg().reference());
+    env.seed(777);
+    let mut total = 0.0;
+    for _ in 0..episodes {
+        env.reset();
+        loop {
+            let s = env.step(&Action::Continuous(vec![0.0]));
+            if s.done() {
+                total += s.reward;
+                break;
+            }
+        }
+    }
+    total / episodes as f64
+}
+
+fn eval(report: &rl_decision_tools::dist_exec::ExecReport, episodes: usize) -> f64 {
+    let mut eval_env = AirdropEnv::new(env_cfg().reference());
+    eval_env.seed(777);
+    report.model.evaluate(&mut eval_env, episodes, 10_000)
+}
+
+#[test]
+fn ppo_learns_to_steer_the_canopy() {
+    // ~12k steps of PPO must clearly beat gliding straight down-range.
+    let report = run(&spec(Framework::StableBaselines, Algorithm::Ppo, 1, 12_000), &factory())
+        .expect("training runs");
+    let trained = eval(&report, 10);
+    let baseline = straight_glide_baseline(10);
+    assert!(
+        trained > baseline + 0.1,
+        "PPO ({trained:.3}) must beat the straight glide ({baseline:.3})"
+    );
+}
+
+#[test]
+fn ppo_beats_sac_at_the_papers_budget_scale() {
+    // §VI-D: "SAC was inefficient … failing in learning tasks". At a
+    // short, equal budget PPO's on-policy updates win decisively on this
+    // task.
+    let ppo = run(&spec(Framework::StableBaselines, Algorithm::Ppo, 1, 10_000), &factory())
+        .expect("ppo runs");
+    let sac = run(&spec(Framework::StableBaselines, Algorithm::Sac, 1, 10_000), &factory())
+        .expect("sac runs");
+    let ppo_r = eval(&ppo, 10);
+    let sac_r = eval(&sac, 10);
+    assert!(ppo_r > sac_r, "PPO {ppo_r:.3} must beat SAC {sac_r:.3}");
+}
+
+#[test]
+fn sac_costs_far_more_simulated_time_than_ppo() {
+    // The other half of the SAC finding: its update path dominates the
+    // simulated computation time. Use an update cadence closer to the
+    // paper's defaults (batch 128, update every step) so the cost shape
+    // shows at a short budget.
+    let ppo = run(&spec(Framework::TfAgents, Algorithm::Ppo, 1, 1_500), &factory())
+        .expect("ppo runs");
+    let mut sac_spec = spec(Framework::TfAgents, Algorithm::Sac, 1, 1_500);
+    sac_spec.sac = SacConfig { batch: 128, update_every: 1, start_steps: 256, ..SacConfig::default() };
+    let sac = run(&sac_spec, &factory()).expect("sac runs");
+    assert!(
+        sac.usage.wall_s > 1.5 * ppo.usage.wall_s,
+        "SAC {:.0}s vs PPO {:.0}s simulated",
+        sac.usage.wall_s,
+        ppo.usage.wall_s
+    );
+}
+
+#[test]
+fn distributing_rllib_trades_reward_for_speed() {
+    // §VI-D configs 7 vs 8: two nodes are faster in simulated time but
+    // reach a weaker policy (stale broadcasts + merge nondeterminism).
+    let one = run(&spec(Framework::RayRllib, Algorithm::Ppo, 1, 10_000), &factory())
+        .expect("1 node runs");
+    let two = run(&spec(Framework::RayRllib, Algorithm::Ppo, 2, 10_000), &factory())
+        .expect("2 nodes run");
+    assert!(
+        two.usage.wall_s < one.usage.wall_s,
+        "2 nodes must be faster: {:.0}s vs {:.0}s",
+        two.usage.wall_s,
+        one.usage.wall_s
+    );
+    // Reward comparison is noisy at this budget; require only that the
+    // single-node run is not decisively worse.
+    let r1 = eval(&one, 10);
+    let r2 = eval(&two, 10);
+    assert!(r1 > r2 - 0.15, "1 node {r1:.3} vs 2 nodes {r2:.3}");
+}
+
+#[test]
+fn same_seed_same_policy_on_synchronous_backends() {
+    for framework in [Framework::StableBaselines, Framework::TfAgents] {
+        let a = run(&spec(framework, Algorithm::Ppo, 1, 3_000), &factory()).expect("runs");
+        let b = run(&spec(framework, Algorithm::Ppo, 1, 3_000), &factory()).expect("runs");
+        assert_eq!(
+            a.train_returns, b.train_returns,
+            "{framework} must be reproducible"
+        );
+        assert_eq!(eval(&a, 5), eval(&b, 5));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests on the workspace's core invariants.
+
+use proptest::prelude::*;
+use rl_decision_tools::decision::prelude::*;
+use rl_decision_tools::decision::rank::pareto::{dominates, non_dominated_ranks};
+use rl_decision_tools::rk_ode::{integrate_fixed, FnSystem, RkOrder};
+use rl_decision_tools::rl_algos::gae::gae;
+use rl_decision_tools::tinynn::ops;
+
+fn trial(i: usize, reward: f64, time: f64) -> Trial {
+    Trial::complete(
+        i,
+        Configuration::new().with("i", ParamValue::Int(i as i64)),
+        MetricValues::new().with("reward", reward).with("time_min", time),
+    )
+}
+
+fn metrics() -> Vec<MetricDef> {
+    vec![MetricDef::maximize("reward"), MetricDef::minimize("time_min")]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No front member is dominated; every non-member is dominated by a
+    /// member.
+    #[test]
+    fn pareto_front_invariants(points in prop::collection::vec((-1.0f64..1.0, 1.0f64..100.0), 1..40)) {
+        let trials: Vec<Trial> =
+            points.iter().enumerate().map(|(i, &(r, t))| trial(i, r, t)).collect();
+        let m = metrics();
+        let front = ParetoFront::compute(&trials, &m);
+        prop_assert!(!front.is_empty());
+        for &i in front.indices() {
+            for (j, other) in trials.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(other, &trials[i], &m));
+                }
+            }
+        }
+        for (j, t) in trials.iter().enumerate() {
+            if !front.contains(j) {
+                prop_assert!(front.indices().iter().any(|&i| dominates(&trials[i], t, &m)));
+            }
+        }
+    }
+
+    /// Non-dominated sorting produces ranks consistent with dominance:
+    /// a dominator always has a strictly lower rank.
+    #[test]
+    fn nds_ranks_respect_dominance(points in prop::collection::vec((-1.0f64..1.0, 1.0f64..100.0), 2..30)) {
+        let trials: Vec<Trial> =
+            points.iter().enumerate().map(|(i, &(r, t))| trial(i, r, t)).collect();
+        let m = metrics();
+        let ranks = non_dominated_ranks(&trials, &m);
+        for i in 0..trials.len() {
+            for j in 0..trials.len() {
+                if i != j && dominates(&trials[i], &trials[j], &m) {
+                    prop_assert!(ranks[i].unwrap() < ranks[j].unwrap());
+                }
+            }
+        }
+    }
+
+    /// GAE with λ=1, no dones: advantages + values telescope to the
+    /// discounted reward sum plus the bootstrap tail.
+    #[test]
+    fn gae_lambda_one_telescopes(
+        rewards in prop::collection::vec(-1.0f64..1.0, 1..20),
+        gamma in 0.5f64..0.999,
+    ) {
+        let n = rewards.len();
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut next_values: Vec<f64> = values[1..].to_vec();
+        next_values.push(0.123);
+        let dones = vec![false; n];
+        let (adv, rets) = gae(&rewards, &values, &dones, &next_values, gamma, 1.0);
+        // ret[0] must equal the Monte-Carlo return bootstrapped at the tail.
+        let mut mc = 0.0;
+        for (k, &r) in rewards.iter().enumerate() {
+            mc += gamma.powi(k as i32) * r;
+        }
+        mc += gamma.powi(n as i32) * next_values[n - 1];
+        prop_assert!((rets[0] - mc).abs() < 1e-9, "ret {} vs mc {}", rets[0], mc);
+        prop_assert!((adv[0] - (mc - values[0])).abs() < 1e-9);
+    }
+
+    /// Softmax + log-softmax consistency for arbitrary logits.
+    #[test]
+    fn softmax_consistency(logits in prop::collection::vec(-30.0f64..30.0, 2..8)) {
+        let p = ops::softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let lp = ops::log_softmax(&logits);
+        for (a, b) in p.iter().zip(&lp) {
+            prop_assert!((a.ln() - b).abs() < 1e-9);
+        }
+        let h = ops::categorical_entropy(&p);
+        prop_assert!(h >= -1e-12 && h <= (logits.len() as f64).ln() + 1e-9);
+    }
+
+    /// Space sampling always produces contained configurations, and grids
+    /// enumerate exactly the cardinality.
+    #[test]
+    fn space_sample_contained(seed in 0u64..1000, k in 2usize..5) {
+        use rand::SeedableRng;
+        let space = ParamSpace::builder()
+            .categorical_int("a", 0..k as i64)
+            .int("b", -3, 3)
+            .float("x", 0.0, 2.0)
+            .build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        prop_assert!(space.contains(&cfg));
+    }
+
+    /// Higher RK order never yields larger error on a smooth reference
+    /// problem (fixed step, same cost budget not required).
+    #[test]
+    fn rk_order_error_monotonicity(lambda in 0.2f64..2.0) {
+        let sys = FnSystem::new(1, move |_t, y: &[f64], dy: &mut [f64]| dy[0] = -lambda * y[0]);
+        let exact = (-lambda * 1.0f64).exp();
+        let mut errs = Vec::new();
+        for order in RkOrder::ALL {
+            let mut y = vec![1.0];
+            integrate_fixed(order.factory().as_ref(), &sys, &mut y, 0.0, 1.0, 0.2);
+            errs.push((y[0] - exact).abs());
+        }
+        prop_assert!(errs[0] >= errs[1] * 0.99, "order 3 err {} vs order 5 err {}", errs[0], errs[1]);
+        prop_assert!(errs[1] >= errs[2] * 0.99, "order 5 err {} vs order 8 err {}", errs[1], errs[2]);
+    }
+
+    /// Cluster compute-time monotonicity: more work never takes less
+    /// time; more streams never take more time.
+    #[test]
+    fn cluster_monotonicity(units in 1.0f64..1e6, streams in 1usize..8) {
+        use rl_decision_tools::cluster_sim::{ClusterSession, ClusterSpec};
+        let s = ClusterSession::new(ClusterSpec::paper_testbed(1));
+        let t1 = s.compute_duration(units, streams);
+        let t2 = s.compute_duration(units * 2.0, streams);
+        prop_assert!(t2 >= t1);
+        let t3 = s.compute_duration(units, streams + 1);
+        // Stream scaling helps only up to the core count and divisibility:
+        // going from 4 to 5 streams on 4 cores packs 2 streams onto one
+        // core (ratio (2/5)/(1/4) = 1.6), the worst uneven-packing case.
+        prop_assert!(t3 <= t1 * 1.61, "t3 {} vs t1 {}", t3, t1);
+    }
+
+    /// Hypervolume is monotone under adding points.
+    #[test]
+    fn hypervolume_monotone(points in prop::collection::vec((0.1f64..1.0, 1.0f64..99.0), 1..20)) {
+        use rl_decision_tools::decision::rank::hypervolume_2d;
+        let m = metrics();
+        let all: Vec<Trial> =
+            points.iter().enumerate().map(|(i, &(r, t))| trial(i, r, t)).collect();
+        let half: Vec<Trial> = all[..all.len() / 2].to_vec();
+        let hv_all = hypervolume_2d(&all, &m[0], &m[1], (0.0, 100.0));
+        let hv_half = hypervolume_2d(&half, &m[0], &m[1], (0.0, 100.0));
+        prop_assert!(hv_all + 1e-12 >= hv_half);
+    }
+}
