@@ -134,7 +134,13 @@ impl System for ParafoilDynamics {
 
 /// Initial state for a drop: position `(x, y)` at altitude `z`, flying at
 /// trim along heading `psi`.
-pub fn initial_state(x: f64, y: f64, z: f64, psi: f64, params: &ParafoilParams) -> [f64; STATE_DIM] {
+pub fn initial_state(
+    x: f64,
+    y: f64,
+    z: f64,
+    psi: f64,
+    params: &ParafoilParams,
+) -> [f64; STATE_DIM] {
     let (s, c) = psi.sin_cos();
     [x, y, z, params.va0 * c, params.va0 * s, -params.vz0, psi, 0.0, 0.0]
 }
@@ -232,11 +238,7 @@ mod tests {
         let err = |order: RkOrder| -> f64 {
             let mut y = y0;
             integrate(&dyns, &mut y, 4.0, order, 0.5);
-            y.iter()
-                .zip(reference.iter())
-                .map(|(a, b)| (a - b).powi(2))
-                .sum::<f64>()
-                .sqrt()
+            y.iter().zip(reference.iter()).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt()
         };
 
         let e3 = err(RkOrder::Three);

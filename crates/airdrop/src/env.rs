@@ -419,8 +419,8 @@ mod tests {
     fn steering_toward_target_beats_gliding_straight() {
         // A simple proportional heading controller should land much closer
         // than an uncontrolled straight glide, averaged over episodes.
-        let cfg = AirdropConfig { altitude_limits: (100.0, 300.0), ..AirdropConfig::default() }
-            .eval();
+        let cfg =
+            AirdropConfig { altitude_limits: (100.0, 300.0), ..AirdropConfig::default() }.eval();
         let mut env = env_with(cfg, 29);
         let mut controlled = 0.0;
         let mut straight = 0.0;
@@ -494,9 +494,11 @@ mod tests {
             let w = wrap_angle(a);
             assert!(w > -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
             // Same direction.
-            assert!(((w - a).rem_euclid(std::f64::consts::TAU)).abs() < 1e-9
-                || ((w - a).rem_euclid(std::f64::consts::TAU) - std::f64::consts::TAU).abs()
-                    < 1e-9);
+            assert!(
+                ((w - a).rem_euclid(std::f64::consts::TAU)).abs() < 1e-9
+                    || ((w - a).rem_euclid(std::f64::consts::TAU) - std::f64::consts::TAU).abs()
+                        < 1e-9
+            );
         }
     }
 }

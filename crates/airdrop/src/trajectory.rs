@@ -72,8 +72,7 @@ impl TrajectoryRecorder {
         let mut grid = vec![vec![b' '; width]; height];
         let place = |x: f64, y: f64| -> (usize, usize) {
             let cx = ((x - xmin) / (xmax - xmin).max(1e-9) * (width - 1) as f64).round() as usize;
-            let cy =
-                ((y - ymin) / (ymax - ymin).max(1e-9) * (height - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin).max(1e-9) * (height - 1) as f64).round() as usize;
             (cx.min(width - 1), cy.min(height - 1))
         };
         for s in &self.samples {
@@ -124,7 +123,8 @@ mod tests {
         for i in 0..5 {
             // Offset from the origin so the drop marker does not coincide
             // with the target marker in the ASCII map test.
-            let s = sample(i as f64, 30.0 + i as f64 * 3.0, 40.0 + i as f64 * 4.0, 100.0 - i as f64);
+            let s =
+                sample(i as f64, 30.0 + i as f64 * 3.0, 40.0 + i as f64 * 4.0, 100.0 - i as f64);
             r.samples.push(s);
         }
         r

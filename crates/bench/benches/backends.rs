@@ -20,13 +20,8 @@ fn factory() -> FnEnvFactory<impl Fn(u64) -> Box<dyn Environment> + Send + Sync>
 }
 
 fn short_spec(framework: Framework, nodes: usize) -> ExecSpec {
-    let mut spec = ExecSpec::new(
-        framework,
-        Algorithm::Ppo,
-        Deployment { nodes, cores_per_node: 2 },
-        512,
-        5,
-    );
+    let mut spec =
+        ExecSpec::new(framework, Algorithm::Ppo, Deployment { nodes, cores_per_node: 2 }, 512, 5);
     spec.ppo = PpoConfig { n_steps: 256, epochs: 2, hidden: vec![32, 32], ..PpoConfig::default() };
     spec
 }
@@ -46,9 +41,7 @@ fn bench_backends(c: &mut Criterion) {
     }
     group.bench_function("rllib_2_nodes", |b| {
         let f = factory();
-        b.iter(|| {
-            black_box(run(&short_spec(Framework::RayRllib, 2), &f).expect("runs").env_steps)
-        });
+        b.iter(|| black_box(run(&short_spec(Framework::RayRllib, 2), &f).expect("runs").env_steps));
     });
     group.finish();
 }

@@ -1,10 +1,11 @@
 //! tinynn substrate costs: the 64×64 policy networks' forward/backward
 //! passes that the learning-side cost model charges for.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
 use tinynn::{Activation, Adam, Matrix, Mlp, Optimizer};
 
 fn policy_net(rng: &mut StdRng) -> Mlp {
@@ -71,9 +72,96 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
+fn bench_policy_eval_per_row_vs_batched(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = policy_net(&mut rng);
+    let mut group = c.benchmark_group("policy_eval");
+    for batch in [16usize, 64] {
+        let x = Matrix::full(batch, 11, 0.3);
+        group.bench_with_input(BenchmarkId::new("per_row", batch), &batch, |b, _| {
+            b.iter(|| {
+                for i in 0..batch {
+                    black_box(net.infer(&Matrix::row(x.row_slice(i))));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", batch), &batch, |b, _| {
+            b.iter(|| black_box(net.infer(&x)));
+        });
+    }
+    group.finish();
+}
+
+/// Median-of-3 nanoseconds per call, auto-calibrated so each timed block
+/// runs at least ~20 ms (plain `Instant` — no criterion machinery, so the
+/// result is trivially machine-readable).
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let el = t.elapsed();
+        if el.as_millis() >= 20 || iters >= 1 << 22 {
+            return el.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+/// The batch-size sweep behind the repo's perf trajectory: per-row vs
+/// batched forward passes of the 64×64 policy net, written to
+/// `BENCH_nn.json` at the workspace root.
+fn emit_batch_sweep() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = policy_net(&mut rng);
+    let mut results = Vec::new();
+    for batch in [1usize, 4, 16, 64, 256] {
+        let x = Matrix::full(batch, 11, 0.3);
+        let rows: Vec<Matrix> = (0..batch).map(|i| Matrix::row(x.row_slice(i))).collect();
+        let per_row_ns = time_ns(|| {
+            for r in &rows {
+                black_box(net.infer(r));
+            }
+        });
+        let batched_ns = time_ns(|| {
+            black_box(net.infer(&x));
+        });
+        results.push(serde_json::json!({
+            "batch": batch,
+            "per_row_ns": per_row_ns,
+            "batched_ns": batched_ns,
+            "speedup": per_row_ns / batched_ns,
+        }));
+    }
+    let report = serde_json::json!({
+        "bench": "batched_policy_eval",
+        "net": [11, 64, 64, 1],
+        "unit": "ns_per_batch",
+        "results": results,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
+    let body = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Err(e) = std::fs::write(path, body + "\n") {
+        eprintln!("BENCH_nn.json not written: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(40);
-    targets = bench_forward, bench_forward_backward, bench_adam_step, bench_matmul
+    targets = bench_forward, bench_forward_backward, bench_adam_step, bench_matmul,
+        bench_policy_eval_per_row_vs_batched
 }
-criterion_main!(benches);
+
+fn main() {
+    emit_batch_sweep();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use decision::prelude::*;
-use decision::rank::pareto::non_dominated_ranks;
 use decision::rank::hypervolume_2d;
+use decision::rank::pareto::non_dominated_ranks;
 use std::hint::black_box;
 
 fn make_trials(n: usize) -> Vec<Trial> {

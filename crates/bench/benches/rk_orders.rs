@@ -16,21 +16,17 @@ fn bench_rk_orders(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("rk_control_step");
     for order in RkOrder::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(order),
-            &order,
-            |b, &order| {
-                let mut stepper = order.stepper_for(STATE_DIM);
-                b.iter(|| {
-                    let mut y = y0;
-                    // One 0.5 s control interval in two 0.25 s substeps.
-                    stepper.reset();
-                    let w1 = stepper.step(&dyns, 0.0, 0.25, &mut y);
-                    let w2 = stepper.step(&dyns, 0.25, 0.25, &mut y);
-                    black_box((y, w1 + w2))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, &order| {
+            let mut stepper = order.stepper_for(STATE_DIM);
+            b.iter(|| {
+                let mut y = y0;
+                // One 0.5 s control interval in two 0.25 s substeps.
+                stepper.reset();
+                let w1 = stepper.step(&dyns, 0.0, 0.25, &mut y);
+                let w2 = stepper.step(&dyns, 0.25, 0.25, &mut y);
+                black_box((y, w1 + w2))
+            });
+        });
     }
     group.finish();
 }

@@ -102,10 +102,7 @@ fn main() {
     if want("impala") {
         println!("Extension: staleness handling at 2 nodes (RK3, 4 cores/node)");
         // RLlib-like: stale remote actors, uncorrected PPO.
-        run(
-            "RLlib-like (PPO)",
-            &base(RkOrder::Three, Framework::RayRllib, Algorithm::Ppo, 2, 4),
-        );
+        run("RLlib-like (PPO)", &base(RkOrder::Three, Framework::RayRllib, Algorithm::Ppo, 2, 4));
         // IMPALA-like: much staler actors, V-trace corrected.
         use airdrop_sim::{AirdropConfig, AirdropEnv};
         use cluster_sim::{ClusterSession, ClusterSpec};
@@ -120,10 +117,8 @@ fn main() {
         };
         let alt = opts.altitude_limits;
         let factory = FnEnvFactory(move |seed| {
-            let mut env = AirdropEnv::new(AirdropConfig {
-                altitude_limits: alt,
-                ..AirdropConfig::default()
-            });
+            let mut env =
+                AirdropEnv::new(AirdropConfig { altitude_limits: alt, ..AirdropConfig::default() });
             env.seed(seed);
             Box::new(env) as Box<dyn Environment>
         });
@@ -147,10 +142,7 @@ fn main() {
     if want("algo") {
         println!("Ablation: algorithm (Stable Baselines, RK3, 1x4) — §VI-D PPO vs SAC");
         for algo in [Algorithm::Ppo, Algorithm::Sac] {
-            run(
-                &format!("{algo}"),
-                &base(RkOrder::Three, Framework::StableBaselines, algo, 1, 4),
-            );
+            run(&format!("{algo}"), &base(RkOrder::Three, Framework::StableBaselines, algo, 1, 4));
         }
     }
 }

@@ -26,11 +26,9 @@ fn surrogate_reward(row: &PaperRow) -> f64 {
         Algorithm::Ppo => -0.75 + 0.25 * (row.rk_order.order() as f64).ln() / (8.0f64).ln(),
     };
     let staleness = if row.nodes > 1 { -0.12 } else { 0.0 };
-    let hash = (row.rk_order.order() as f64 * 3.7
-        + row.cores as f64 * 1.3
-        + row.nodes as f64 * 2.1)
-        .sin()
-        * 0.03;
+    let hash =
+        (row.rk_order.order() as f64 * 3.7 + row.cores as f64 * 1.3 + row.nodes as f64 * 2.1).sin()
+            * 0.03;
     base + staleness + hash
 }
 
@@ -105,9 +103,7 @@ fn main() {
         ("grid search (capped)", Box::new(move || Box::new(GridSearch::with_limit(budget)))),
         (
             "tpe-lite (reward)",
-            Box::new(move || {
-                Box::new(TpeLite::new(budget, "reward", Direction::Maximize))
-            }),
+            Box::new(move || Box::new(TpeLite::new(budget, "reward", Direction::Maximize))),
         ),
     ];
     for (name, make) in entries {

@@ -108,10 +108,7 @@ fn main() {
             "RK8 costs more time than RK3 (config 17 vs 14, SB)".into(),
             get(17, "time_min").zip(get(14, "time_min")).map(|(a, b)| a > b),
         ),
-        (
-            "config 11 is the PPO power minimum".into(),
-            ppo_power_min_is(&trials, 11),
-        ),
+        ("config 11 is the PPO power minimum".into(), ppo_power_min_is(&trials, 11)),
     ];
     for (label, verdict) in checks {
         let mark = match verdict {

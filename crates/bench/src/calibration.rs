@@ -79,8 +79,7 @@ pub fn predicted_mean_watts(row: &PaperRow) -> f64 {
     let streams = row.cores as f64; // per node
     let u_collect = (streams / node.cores as f64).min(1.0);
     let m = cluster_sim::PowerModel::new(node);
-    let collect_w =
-        row.nodes as f64 * (m.watts(u_collect * node.cores as f64) - node.idle_watts);
+    let collect_w = row.nodes as f64 * (m.watts(u_collect * node.cores as f64) - node.idle_watts);
     let learn_w = (m.watts(profile.learner_streams as f64) - node.idle_watts).max(0.0);
     let learn_share = match row.algorithm {
         Algorithm::Ppo => 0.07,
@@ -97,8 +96,8 @@ pub fn predicted_kilojoules(row: &PaperRow) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dist_exec::Framework;
     use crate::paper::TABLE1;
+    use dist_exec::Framework;
 
     fn row(id: usize) -> &'static PaperRow {
         PaperRow::by_id(id).unwrap()
@@ -158,11 +157,7 @@ mod tests {
         let p11 = predicted_kilojoules(row(11));
         for r in TABLE1.iter().filter(|r| r.algorithm == Algorithm::Ppo && r.id != 11) {
             // Allow ties within 5% (fillers were back-computed).
-            assert!(
-                predicted_kilojoules(r) > p11 * 0.95,
-                "config {} undercuts config 11",
-                r.id
-            );
+            assert!(predicted_kilojoules(r) > p11 * 0.95, "config {} undercuts config 11", r.id);
         }
     }
 

@@ -118,8 +118,7 @@ impl HarnessOpts {
                 "--out" => opts.out_dir = Some(PathBuf::from(take("--out")?)),
                 "--no-out" => opts.out_dir = None,
                 "--replicas" => {
-                    opts.replicas =
-                        take("--replicas")?.parse().map_err(|e| format!("{e}"))?;
+                    opts.replicas = take("--replicas")?.parse().map_err(|e| format!("{e}"))?;
                     if opts.replicas == 0 {
                         return Err("--replicas must be at least 1".into());
                     }
@@ -161,8 +160,7 @@ fn train_env_config(row: &PaperRow, opts: &HarnessOpts) -> AirdropConfig {
 
 /// Reference evaluation environment (identical drops across rows).
 fn eval_env_config(opts: &HarnessOpts) -> AirdropConfig {
-    AirdropConfig { altitude_limits: opts.altitude_limits, ..AirdropConfig::default() }
-        .reference()
+    AirdropConfig { altitude_limits: opts.altitude_limits, ..AirdropConfig::default() }.reference()
 }
 
 /// PPO hyperparameters used by every framework (their shared defaults,
@@ -287,8 +285,8 @@ pub fn run_table1_study(opts: &HarnessOpts) -> Result<Vec<Trial>, String> {
         .seed(opts.seed)
         .objective(move |cfg: &Configuration, _ctx: &mut TrialContext| {
             let row = PaperRow::from_config(cfg)?;
-            let canonical = PaperRow::by_id(row.id)
-                .ok_or_else(|| format!("unknown draw id {}", row.id))?;
+            let canonical =
+                PaperRow::by_id(row.id).ok_or_else(|| format!("unknown draw id {}", row.id))?;
             eprintln!(
                 "[table1] running solution {:>2}: {} {} RK{} {}x{} cores",
                 row.id,
@@ -382,13 +380,9 @@ mod tests {
 
     #[test]
     fn replicas_flag_parses_and_rejects_zero() {
-        let o = HarnessOpts::from_args(["--replicas", "3"].iter().map(|s| s.to_string()))
-            .unwrap();
+        let o = HarnessOpts::from_args(["--replicas", "3"].iter().map(|s| s.to_string())).unwrap();
         assert_eq!(o.replicas, 3);
-        assert!(HarnessOpts::from_args(
-            ["--replicas", "0"].iter().map(|s| s.to_string())
-        )
-        .is_err());
+        assert!(HarnessOpts::from_args(["--replicas", "0"].iter().map(|s| s.to_string())).is_err());
     }
 
     #[test]

@@ -42,24 +42,222 @@ use RkOrder::{Eight as Rk8, Five as Rk5, Three as Rk3};
 
 /// Table I (DESIGN.md §4 reconstruction).
 pub const TABLE1: [PaperRow; 18] = [
-    PaperRow { id: 1, rk_order: Rk3, framework: Ray, algorithm: Ppo, nodes: 1, cores: 4, reward: -0.70, time_min: 87.0, power_kj: 215.0, anchored: false },
-    PaperRow { id: 2, rk_order: Rk3, framework: Ray, algorithm: Ppo, nodes: 2, cores: 4, reward: -0.65, time_min: 46.0, power_kj: 201.0, anchored: true },
-    PaperRow { id: 3, rk_order: Rk3, framework: Ray, algorithm: Sac, nodes: 2, cores: 4, reward: -2.80, time_min: 247.0, power_kj: 520.0, anchored: false },
-    PaperRow { id: 4, rk_order: Rk5, framework: Ray, algorithm: Ppo, nodes: 2, cores: 4, reward: -0.60, time_min: 52.0, power_kj: 210.0, anchored: true },
-    PaperRow { id: 5, rk_order: Rk5, framework: Ray, algorithm: Ppo, nodes: 2, cores: 4, reward: -0.55, time_min: 49.0, power_kj: 200.0, anchored: true },
-    PaperRow { id: 6, rk_order: Rk5, framework: Ray, algorithm: Sac, nodes: 1, cores: 4, reward: -2.10, time_min: 280.0, power_kj: 560.0, anchored: false },
-    PaperRow { id: 7, rk_order: Rk8, framework: Ray, algorithm: Ppo, nodes: 1, cores: 4, reward: -0.52, time_min: 85.0, power_kj: 230.0, anchored: true },
-    PaperRow { id: 8, rk_order: Rk8, framework: Ray, algorithm: Ppo, nodes: 2, cores: 4, reward: -0.73, time_min: 58.0, power_kj: 240.0, anchored: true },
-    PaperRow { id: 9, rk_order: Rk3, framework: Tfa, algorithm: Sac, nodes: 1, cores: 4, reward: -2.30, time_min: 230.0, power_kj: 480.0, anchored: false },
-    PaperRow { id: 10, rk_order: Rk3, framework: Tfa, algorithm: Ppo, nodes: 1, cores: 2, reward: -0.70, time_min: 98.0, power_kj: 159.0, anchored: false },
-    PaperRow { id: 11, rk_order: Rk3, framework: Tfa, algorithm: Ppo, nodes: 1, cores: 4, reward: -0.51, time_min: 49.4, power_kj: 120.0, anchored: true },
-    PaperRow { id: 12, rk_order: Rk8, framework: Tfa, algorithm: Ppo, nodes: 1, cores: 4, reward: -0.54, time_min: 73.0, power_kj: 180.0, anchored: false },
-    PaperRow { id: 13, rk_order: Rk8, framework: Tfa, algorithm: Sac, nodes: 1, cores: 4, reward: -1.90, time_min: 300.0, power_kj: 600.0, anchored: false },
-    PaperRow { id: 14, rk_order: Rk3, framework: Sb, algorithm: Ppo, nodes: 1, cores: 2, reward: -0.47, time_min: 85.0, power_kj: 133.0, anchored: true },
-    PaperRow { id: 15, rk_order: Rk3, framework: Sb, algorithm: Sac, nodes: 1, cores: 4, reward: -2.50, time_min: 260.0, power_kj: 540.0, anchored: false },
-    PaperRow { id: 16, rk_order: Rk8, framework: Sb, algorithm: Ppo, nodes: 1, cores: 4, reward: -0.45, time_min: 65.0, power_kj: 154.0, anchored: true },
-    PaperRow { id: 17, rk_order: Rk8, framework: Sb, algorithm: Ppo, nodes: 1, cores: 2, reward: -0.50, time_min: 131.0, power_kj: 212.0, anchored: false },
-    PaperRow { id: 18, rk_order: Rk8, framework: Sb, algorithm: Sac, nodes: 1, cores: 4, reward: -2.40, time_min: 310.0, power_kj: 620.0, anchored: false },
+    PaperRow {
+        id: 1,
+        rk_order: Rk3,
+        framework: Ray,
+        algorithm: Ppo,
+        nodes: 1,
+        cores: 4,
+        reward: -0.70,
+        time_min: 87.0,
+        power_kj: 215.0,
+        anchored: false,
+    },
+    PaperRow {
+        id: 2,
+        rk_order: Rk3,
+        framework: Ray,
+        algorithm: Ppo,
+        nodes: 2,
+        cores: 4,
+        reward: -0.65,
+        time_min: 46.0,
+        power_kj: 201.0,
+        anchored: true,
+    },
+    PaperRow {
+        id: 3,
+        rk_order: Rk3,
+        framework: Ray,
+        algorithm: Sac,
+        nodes: 2,
+        cores: 4,
+        reward: -2.80,
+        time_min: 247.0,
+        power_kj: 520.0,
+        anchored: false,
+    },
+    PaperRow {
+        id: 4,
+        rk_order: Rk5,
+        framework: Ray,
+        algorithm: Ppo,
+        nodes: 2,
+        cores: 4,
+        reward: -0.60,
+        time_min: 52.0,
+        power_kj: 210.0,
+        anchored: true,
+    },
+    PaperRow {
+        id: 5,
+        rk_order: Rk5,
+        framework: Ray,
+        algorithm: Ppo,
+        nodes: 2,
+        cores: 4,
+        reward: -0.55,
+        time_min: 49.0,
+        power_kj: 200.0,
+        anchored: true,
+    },
+    PaperRow {
+        id: 6,
+        rk_order: Rk5,
+        framework: Ray,
+        algorithm: Sac,
+        nodes: 1,
+        cores: 4,
+        reward: -2.10,
+        time_min: 280.0,
+        power_kj: 560.0,
+        anchored: false,
+    },
+    PaperRow {
+        id: 7,
+        rk_order: Rk8,
+        framework: Ray,
+        algorithm: Ppo,
+        nodes: 1,
+        cores: 4,
+        reward: -0.52,
+        time_min: 85.0,
+        power_kj: 230.0,
+        anchored: true,
+    },
+    PaperRow {
+        id: 8,
+        rk_order: Rk8,
+        framework: Ray,
+        algorithm: Ppo,
+        nodes: 2,
+        cores: 4,
+        reward: -0.73,
+        time_min: 58.0,
+        power_kj: 240.0,
+        anchored: true,
+    },
+    PaperRow {
+        id: 9,
+        rk_order: Rk3,
+        framework: Tfa,
+        algorithm: Sac,
+        nodes: 1,
+        cores: 4,
+        reward: -2.30,
+        time_min: 230.0,
+        power_kj: 480.0,
+        anchored: false,
+    },
+    PaperRow {
+        id: 10,
+        rk_order: Rk3,
+        framework: Tfa,
+        algorithm: Ppo,
+        nodes: 1,
+        cores: 2,
+        reward: -0.70,
+        time_min: 98.0,
+        power_kj: 159.0,
+        anchored: false,
+    },
+    PaperRow {
+        id: 11,
+        rk_order: Rk3,
+        framework: Tfa,
+        algorithm: Ppo,
+        nodes: 1,
+        cores: 4,
+        reward: -0.51,
+        time_min: 49.4,
+        power_kj: 120.0,
+        anchored: true,
+    },
+    PaperRow {
+        id: 12,
+        rk_order: Rk8,
+        framework: Tfa,
+        algorithm: Ppo,
+        nodes: 1,
+        cores: 4,
+        reward: -0.54,
+        time_min: 73.0,
+        power_kj: 180.0,
+        anchored: false,
+    },
+    PaperRow {
+        id: 13,
+        rk_order: Rk8,
+        framework: Tfa,
+        algorithm: Sac,
+        nodes: 1,
+        cores: 4,
+        reward: -1.90,
+        time_min: 300.0,
+        power_kj: 600.0,
+        anchored: false,
+    },
+    PaperRow {
+        id: 14,
+        rk_order: Rk3,
+        framework: Sb,
+        algorithm: Ppo,
+        nodes: 1,
+        cores: 2,
+        reward: -0.47,
+        time_min: 85.0,
+        power_kj: 133.0,
+        anchored: true,
+    },
+    PaperRow {
+        id: 15,
+        rk_order: Rk3,
+        framework: Sb,
+        algorithm: Sac,
+        nodes: 1,
+        cores: 4,
+        reward: -2.50,
+        time_min: 260.0,
+        power_kj: 540.0,
+        anchored: false,
+    },
+    PaperRow {
+        id: 16,
+        rk_order: Rk8,
+        framework: Sb,
+        algorithm: Ppo,
+        nodes: 1,
+        cores: 4,
+        reward: -0.45,
+        time_min: 65.0,
+        power_kj: 154.0,
+        anchored: true,
+    },
+    PaperRow {
+        id: 17,
+        rk_order: Rk8,
+        framework: Sb,
+        algorithm: Ppo,
+        nodes: 1,
+        cores: 2,
+        reward: -0.50,
+        time_min: 131.0,
+        power_kj: 212.0,
+        anchored: false,
+    },
+    PaperRow {
+        id: 18,
+        rk_order: Rk8,
+        framework: Sb,
+        algorithm: Sac,
+        nodes: 1,
+        cores: 4,
+        reward: -2.40,
+        time_min: 310.0,
+        power_kj: 620.0,
+        anchored: false,
+    },
 ];
 
 impl PaperRow {

@@ -20,11 +20,7 @@ pub fn render_gantt(
     title: &str,
     span: Option<f64>,
 ) -> String {
-    let total: f64 = trace
-        .iter()
-        .map(|e| e.start_end().1)
-        .fold(0.0, f64::max)
-        .max(1e-9);
+    let total: f64 = trace.iter().map(|e| e.start_end().1).fold(0.0, f64::max).max(1e-9);
     let window = span.unwrap_or(total).min(total).max(1e-9);
 
     let lanes = spec.nodes + 1; // nodes + network/overhead lane
@@ -46,11 +42,7 @@ pub fn render_gantt(
     // Lane labels and separators.
     for lane in 0..lanes {
         let y = mt + lane as f64 * lane_h;
-        let label = if lane < spec.nodes {
-            format!("node {lane}")
-        } else {
-            "net/ovh".to_string()
-        };
+        let label = if lane < spec.nodes { format!("node {lane}") } else { "net/ovh".to_string() };
         s.push_str(&format!(
             r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="end">{}</text>"#,
             ml - 8.0,

@@ -31,7 +31,9 @@ impl PowerModel {
         let busy = busy.clamp(0.0, self.spec.cores as f64);
         let u = busy / self.spec.cores as f64;
         self.spec.idle_watts
-            + self.spec.cores as f64 * self.spec.active_watts_per_core * u.powf(self.spec.power_gamma)
+            + self.spec.cores as f64
+                * self.spec.active_watts_per_core
+                * u.powf(self.spec.power_gamma)
     }
 
     /// Energy (J) for `busy` cores active over `seconds`.
@@ -101,8 +103,7 @@ mod tests {
         let m = model();
         assert!((m.joules(2.0, 10.0) - 10.0 * m.watts(2.0)).abs() < 1e-9);
         assert!(
-            (m.active_joules(2.0, 10.0) - (m.joules(2.0, 10.0) - m.joules(0.0, 10.0))).abs()
-                < 1e-9
+            (m.active_joules(2.0, 10.0) - (m.joules(2.0, 10.0) - m.joules(0.0, 10.0))).abs() < 1e-9
         );
     }
 

@@ -177,11 +177,7 @@ impl ClusterSession {
         let wire = self.spec.network.transfer_time(bytes);
         let t = if self.spec.nodes > 1 { wire } else { wire / 20.0 };
         if self.trace_enabled {
-            self.trace.push(PhaseEvent::Transfer {
-                start_s: self.clock_s,
-                duration_s: t,
-                bytes,
-            });
+            self.trace.push(PhaseEvent::Transfer { start_s: self.clock_s, duration_s: t, bytes });
         }
         self.clock_s += t;
         self.usage.network_s += t;

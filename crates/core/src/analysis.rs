@@ -95,8 +95,7 @@ impl ParamEffect {
             .map(|(value, ts)| {
                 let mut stats = BTreeMap::new();
                 for m in metrics {
-                    let vals: Vec<f64> =
-                        ts.iter().filter_map(|t| t.metrics.get(&m.name)).collect();
+                    let vals: Vec<f64> = ts.iter().filter_map(|t| t.metrics.get(&m.name)).collect();
                     if !vals.is_empty() {
                         stats.insert(m.name.clone(), LevelStats::from_values(&vals));
                     }
@@ -188,12 +187,12 @@ impl ParamEffect {
 }
 
 /// Compute the effects of every parameter in the space.
-pub fn all_effects(trials: &[Trial], space: &ParamSpace, metrics: &[MetricDef]) -> Vec<ParamEffect> {
-    space
-        .params()
-        .iter()
-        .map(|p| ParamEffect::compute(trials, &p.name, metrics))
-        .collect()
+pub fn all_effects(
+    trials: &[Trial],
+    space: &ParamSpace,
+    metrics: &[MetricDef],
+) -> Vec<ParamEffect> {
+    space.params().iter().map(|p| ParamEffect::compute(trials, &p.name, metrics)).collect()
 }
 
 #[cfg(test)]
@@ -258,10 +257,7 @@ mod tests {
     fn cores_effect_matches_paper_narrative() {
         // §VI-D: more cores → faster.
         let eff = ParamEffect::compute(&sample(), "cores", &metrics());
-        assert_eq!(
-            eff.best_level(&MetricDef::minimize("time_min")),
-            Some(&ParamValue::Int(4))
-        );
+        assert_eq!(eff.best_level(&MetricDef::minimize("time_min")), Some(&ParamValue::Int(4)));
     }
 
     #[test]
@@ -271,7 +267,8 @@ mod tests {
         bad.status = TrialStatus::Failed;
         trials.push(bad);
         let eff = ParamEffect::compute(&trials, "framework", &metrics());
-        let (_, stats) = eff.levels.iter().find(|(v, _)| v == &ParamValue::Str("sb".into())).unwrap();
+        let (_, stats) =
+            eff.levels.iter().find(|(v, _)| v == &ParamValue::Str("sb".into())).unwrap();
         assert_eq!(stats.get("reward").unwrap().n, 2, "failed trial must not count");
     }
 

@@ -59,14 +59,10 @@ impl Constraint {
             Constraint::MetricAtLeast { metric, bound } => {
                 trial.metrics.get(metric).map(|v| v >= *bound).unwrap_or(false)
             }
-            Constraint::ParamAtMost { param, bound } => trial
-                .config
-                .float(param)
-                .map(|v| v <= *bound)
-                .unwrap_or(false),
-            Constraint::ParamEquals { param, value } => {
-                trial.config.get(param) == Some(value)
+            Constraint::ParamAtMost { param, bound } => {
+                trial.config.float(param).map(|v| v <= *bound).unwrap_or(false)
             }
+            Constraint::ParamEquals { param, value } => trial.config.get(param) == Some(value),
         }
     }
 }
@@ -119,12 +115,7 @@ impl ConstraintSet {
 
     /// Indices of the feasible trials.
     pub fn filter_indices(&self, trials: &[Trial]) -> Vec<usize> {
-        trials
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| self.feasible(t))
-            .map(|(i, _)| i)
-            .collect()
+        trials.iter().enumerate().filter(|(_, t)| self.feasible(t)).map(|(i, _)| i).collect()
     }
 
     /// The feasible trials, cloned (convenient input for the ranking
@@ -174,9 +165,8 @@ mod tests {
 
     #[test]
     fn constraints_conjoin() {
-        let cs = ConstraintSet::new()
-            .metric_at_most("power_kj", 160.0)
-            .metric_at_least("reward", -0.5);
+        let cs =
+            ConstraintSet::new().metric_at_most("power_kj", 160.0).metric_at_least("reward", -0.5);
         assert_eq!(cs.filter_indices(&table()), vec![0, 1]);
     }
 
@@ -206,15 +196,13 @@ mod tests {
     fn constrained_pareto_front_changes_the_decision() {
         // Unconstrained reward/power front vs. a 140 kJ budget.
         let trials = table();
-        let metrics =
-            [MetricDef::maximize("reward"), MetricDef::minimize("power_kj")];
+        let metrics = [MetricDef::maximize("reward"), MetricDef::minimize("power_kj")];
         let full = ParetoFront::compute(&trials, &metrics);
         assert!(full.contains(0), "best reward is on the unconstrained front");
 
         let feasible = ConstraintSet::new().metric_at_most("power_kj", 140.0).filter(&trials);
         let constrained = ParetoFront::compute(&feasible, &metrics);
-        let ids: Vec<usize> =
-            constrained.indices().iter().map(|&i| feasible[i].id).collect();
+        let ids: Vec<usize> = constrained.indices().iter().map(|&i| feasible[i].id).collect();
         assert!(!ids.contains(&0), "over-budget solution must drop out");
         assert!(ids.contains(&1));
     }

@@ -166,8 +166,7 @@ impl Explorer for PresetList {
         // already appears in the history (e.g. loaded from a journal) are
         // skipped, so a partially-complete study re-runs exactly the
         // missing rows regardless of journal ordering.
-        let seen: BTreeSet<String> =
-            history.iter().map(|t| t.config.canonical_key()).collect();
+        let seen: BTreeSet<String> = history.iter().map(|t| t.config.canonical_key()).collect();
         while let Some(cfg) = self.configs.pop_front() {
             if !seen.contains(&cfg.canonical_key()) {
                 return Some(cfg);
@@ -219,7 +218,13 @@ impl TpeLite {
         }
     }
 
-    fn score(&self, cfg: &Configuration, good: &[&Trial], bad: &[&Trial], space: &ParamSpace) -> f64 {
+    fn score(
+        &self,
+        cfg: &Configuration,
+        good: &[&Trial],
+        bad: &[&Trial],
+        space: &ParamSpace,
+    ) -> f64 {
         let mut score = 0.0;
         for p in space.params() {
             let v = match cfg.get(&p.name) {
@@ -390,11 +395,9 @@ mod tests {
             .map(|&s| run_explorer(TpeLite::new(budget, "loss", Direction::Minimize), budget, s))
             .sum::<f64>()
             / seeds.len() as f64;
-        let rnd_mean: f64 = seeds
-            .iter()
-            .map(|&s| run_explorer(RandomSearch::new(budget), budget, s))
-            .sum::<f64>()
-            / seeds.len() as f64;
+        let rnd_mean: f64 =
+            seeds.iter().map(|&s| run_explorer(RandomSearch::new(budget), budget, s)).sum::<f64>()
+                / seeds.len() as f64;
         assert!(
             tpe_mean <= rnd_mean * 1.05,
             "TPE mean best {tpe_mean} should not lose to random {rnd_mean}"

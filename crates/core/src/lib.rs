@@ -46,8 +46,8 @@
 
 pub mod analysis;
 pub mod constraint;
-pub mod manifest;
 pub mod explore;
+pub mod manifest;
 pub mod metrics;
 pub mod param;
 pub mod pruner;

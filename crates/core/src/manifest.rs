@@ -312,16 +312,12 @@ impl StudyManifest {
         }
         let space = self.build_space()?;
         let explorer = self.build_explorer();
-        let mut builder = Study::builder(self.name.clone())
-            .space(space)
-            .seed(self.seed)
-            .objective(objective);
+        let mut builder =
+            Study::builder(self.name.clone()).space(space).seed(self.seed).objective(objective);
         builder = builder.explorer_boxed(explorer);
         for m in &self.metrics {
-            builder = builder.metric(MetricDef {
-                name: m.name.clone(),
-                direction: m.direction.into(),
-            });
+            builder =
+                builder.metric(MetricDef { name: m.name.clone(), direction: m.direction.into() });
         }
         match self.pruner {
             PrunerSpec::None => builder = builder.pruner(NopPruner),
@@ -458,9 +454,9 @@ mod tests {
             );
             let m: StudyManifest = serde_json::from_str(&json).expect("parse");
             let study = m
-                .into_study(|cfg, _| {
-                    Ok(MetricValues::new().with("m", cfg.int("k").unwrap() as f64))
-                })
+                .into_study(
+                    |cfg, _| Ok(MetricValues::new().with("m", cfg.int("k").unwrap() as f64)),
+                )
                 .expect("study");
             assert!(!study.run().expect("runs").is_empty());
         }

@@ -103,9 +103,7 @@ impl MetricValues {
 
     /// Whether every given metric has a finite value here.
     pub fn covers(&self, metrics: &[MetricDef]) -> bool {
-        metrics
-            .iter()
-            .all(|m| self.get(&m.name).map(f64::is_finite).unwrap_or(false))
+        metrics.iter().all(|m| self.get(&m.name).map(f64::is_finite).unwrap_or(false))
     }
 
     /// Iterate `(name, value)` in name order.

@@ -119,9 +119,7 @@ impl Domain {
         match (self, v) {
             (Domain::Categorical(set), v) => set.contains(v),
             (Domain::IntRange { lo, hi }, ParamValue::Int(i)) => lo <= i && i <= hi,
-            (Domain::FloatRange { lo, hi, .. }, ParamValue::Float(f)) => {
-                *lo <= *f && *f <= *hi
-            }
+            (Domain::FloatRange { lo, hi, .. }, ParamValue::Float(f)) => *lo <= *f && *f <= *hi,
             _ => false,
         }
     }

@@ -62,11 +62,8 @@ impl Pruner for MedianPruner {
     fn should_prune(&self, trial: usize, step: u64, value: f64) -> bool {
         let mut h = self.history.lock();
         let at_step = h.entry(step).or_default();
-        let others: Vec<f64> = at_step
-            .iter()
-            .filter(|(t, _)| **t != trial)
-            .map(|(_, v)| *v)
-            .collect();
+        let others: Vec<f64> =
+            at_step.iter().filter(|(t, _)| **t != trial).map(|(_, v)| *v).collect();
         at_step.insert(trial, value);
 
         if step < self.n_warmup_steps || others.len() < self.n_startup_trials {

@@ -98,8 +98,7 @@ mod tests {
         // A: (2, 30) -> oriented (2, 70); B: (3, 60) -> (3, 40).
         // Union area = 3*40 + (2-0)*? … compute: ascending x: (2,70),(3,40).
         // hv = (2-0)*max(70,40) + (3-2)*40 = 140 + 40 = 180.
-        let hv =
-            hypervolume_2d(&[t(0, 2.0, 30.0), t(1, 3.0, 60.0)], &mx, &my, (0.0, 100.0));
+        let hv = hypervolume_2d(&[t(0, 2.0, 30.0), t(1, 3.0, 60.0)], &mx, &my, (0.0, 100.0));
         assert!((hv - 180.0).abs() < 1e-9, "hv = {hv}");
     }
 

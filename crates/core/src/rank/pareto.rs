@@ -79,10 +79,8 @@ impl ParetoFront {
 /// eligible trials, `None` for ineligible ones.
 pub fn non_dominated_ranks(trials: &[Trial], metrics: &[MetricDef]) -> Vec<Option<usize>> {
     let n = trials.len();
-    let eligible: Vec<bool> = trials
-        .iter()
-        .map(|t| t.is_complete() && t.metrics.covers(metrics))
-        .collect();
+    let eligible: Vec<bool> =
+        trials.iter().map(|t| t.is_complete() && t.metrics.covers(metrics)).collect();
 
     let mut dominated_by = vec![0usize; n]; // count of dominators
     let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -103,9 +101,7 @@ pub fn non_dominated_ranks(trials: &[Trial], metrics: &[MetricDef]) -> Vec<Optio
     }
 
     let mut rank = vec![None; n];
-    let mut current: Vec<usize> = (0..n)
-        .filter(|&i| eligible[i] && dominated_by[i] == 0)
-        .collect();
+    let mut current: Vec<usize> = (0..n).filter(|&i| eligible[i] && dominated_by[i] == 0).collect();
     let mut level = 0;
     while !current.is_empty() {
         let mut next = Vec::new();
@@ -188,12 +184,12 @@ mod tests {
     fn paper_fig4_shape() {
         // A miniature of Figure 4: solutions 2, 5, 11, 16 non-dominated.
         let trials = vec![
-            t(0, -0.78, 72.0),  // 1 dominated
-            t(1, -0.65, 46.0),  // 2 fastest: on front
-            t(2, -0.55, 49.0),  // 5 trade-off: on front
-            t(3, -0.58, 49.5),  // 11-ish: dominated by (2)? -0.55@49 dominates -0.58@49.5
-            t(4, -0.45, 65.0),  // 16 best reward: on front
-            t(5, -0.52, 85.0),  // 7 dominated by 16 (worse both)
+            t(0, -0.78, 72.0), // 1 dominated
+            t(1, -0.65, 46.0), // 2 fastest: on front
+            t(2, -0.55, 49.0), // 5 trade-off: on front
+            t(3, -0.58, 49.5), // 11-ish: dominated by (2)? -0.55@49 dominates -0.58@49.5
+            t(4, -0.45, 65.0), // 16 best reward: on front
+            t(5, -0.52, 85.0), // 7 dominated by 16 (worse both)
         ];
         let front = ParetoFront::compute(&trials, &metrics());
         assert_eq!(front.indices(), &[1, 2, 4]);

@@ -85,10 +85,7 @@ impl WeightedSum {
         let mut idx: Vec<usize> =
             scores.iter().enumerate().filter(|(_, s)| s.is_some()).map(|(i, _)| i).collect();
         idx.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
         });
         idx
     }
@@ -141,11 +138,8 @@ mod tests {
 
     #[test]
     fn unrankable_trials_get_none() {
-        let partial = Trial::complete(
-            0,
-            Configuration::new(),
-            MetricValues::new().with("reward", 0.5),
-        );
+        let partial =
+            Trial::complete(0, Configuration::new(), MetricValues::new().with("reward", 0.5));
         let trials = vec![partial, t(1, 0.5, 10.0)];
         let s = scalarizer(1.0, 1.0).scores(&trials);
         assert!(s[0].is_none());

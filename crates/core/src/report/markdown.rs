@@ -35,11 +35,7 @@ pub fn trials_to_markdown(
             out.push_str(&format!(" {emph}{v}{emph} |"));
         }
         for m in metrics {
-            let v = t
-                .metrics
-                .get(&m.name)
-                .map(|v| format!("{v:.2}"))
-                .unwrap_or_else(|| "-".into());
+            let v = t.metrics.get(&m.name).map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into());
             out.push_str(&format!(" {emph}{v}{emph} |"));
         }
         let status = match t.status {

@@ -129,10 +129,8 @@ impl ScatterPlot {
             pts.iter().filter(|(i, _, _)| front.contains(*i)).cloned().collect();
         front_pts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         if front_pts.len() >= 2 {
-            let path: Vec<String> = front_pts
-                .iter()
-                .map(|(_, x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y)))
-                .collect();
+            let path: Vec<String> =
+                front_pts.iter().map(|(_, x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y))).collect();
             s.push_str(&format!(
                 r##"<polyline points="{}" fill="none" stroke="#d62728" stroke-width="1.5" stroke-dasharray="5,3"/>"##,
                 path.join(" ")

@@ -20,10 +20,7 @@ pub fn render_table(trials: &[Trial], params: &[&str], metrics: &[MetricDef]) ->
         }
         for m in metrics {
             row.push(
-                t.metrics
-                    .get(&m.name)
-                    .map(|v| format!("{v:.2}"))
-                    .unwrap_or_else(|| "-".into()),
+                t.metrics.get(&m.name).map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
             );
         }
         row.push(
@@ -107,8 +104,19 @@ mod tests {
     #[test]
     fn table_contains_every_cell() {
         let s = render_table(&sample_trials(), &["rk_order", "framework"], &metrics());
-        for needle in ["rk_order", "framework", "reward", "time_min", "RLlib", "SB",
-                       "-0.65", "-0.45", "46.00", "65.00", "ok"] {
+        for needle in [
+            "rk_order",
+            "framework",
+            "reward",
+            "time_min",
+            "RLlib",
+            "SB",
+            "-0.65",
+            "-0.45",
+            "46.00",
+            "65.00",
+            "ok",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
     }

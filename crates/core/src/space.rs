@@ -88,9 +88,7 @@ impl ParamSpace {
 
     /// Whether a configuration assigns a valid value to every parameter.
     pub fn contains(&self, cfg: &Configuration) -> bool {
-        self.params.iter().all(|p| {
-            cfg.get(&p.name).map(|v| p.domain.contains(v)).unwrap_or(false)
-        })
+        self.params.iter().all(|p| cfg.get(&p.name).map(|v| p.domain.contains(v)).unwrap_or(false))
     }
 
     /// Parameters with a given role tag.
@@ -115,15 +113,8 @@ impl ParamSpaceBuilder {
 
     fn push(mut self, name: impl Into<String>, domain: Domain) -> Self {
         let name = name.into();
-        assert!(
-            !self.params.iter().any(|p| p.name == name),
-            "duplicate parameter name: {name}"
-        );
-        self.params.push(ParamDef::new(
-            name,
-            self.kind.unwrap_or(ParamKind::Algorithm),
-            domain,
-        ));
+        assert!(!self.params.iter().any(|p| p.name == name), "duplicate parameter name: {name}");
+        self.params.push(ParamDef::new(name, self.kind.unwrap_or(ParamKind::Algorithm), domain));
         self
     }
 
@@ -133,8 +124,7 @@ impl ParamSpaceBuilder {
         name: impl Into<String>,
         values: impl IntoIterator<Item = S>,
     ) -> Self {
-        let vals: Vec<ParamValue> =
-            values.into_iter().map(|s| ParamValue::Str(s.into())).collect();
+        let vals: Vec<ParamValue> = values.into_iter().map(|s| ParamValue::Str(s.into())).collect();
         assert!(!vals.is_empty(), "categorical domain must be non-empty");
         self.push(name, Domain::Categorical(vals))
     }
@@ -170,10 +160,7 @@ impl ParamSpaceBuilder {
 
     /// Add a boolean parameter.
     pub fn bool(self, name: impl Into<String>) -> Self {
-        self.push(
-            name,
-            Domain::Categorical(vec![ParamValue::Bool(false), ParamValue::Bool(true)]),
-        )
+        self.push(name, Domain::Categorical(vec![ParamValue::Bool(false), ParamValue::Bool(true)]))
     }
 
     /// Finish.

@@ -474,9 +474,7 @@ mod tests {
             .explorer(GridSearch::new())
             .metric(MetricDef::minimize("loss"))
             .journal(Journal::new(&path))
-            .objective(|cfg, _| {
-                Ok(MetricValues::new().with("loss", cfg.int("k").unwrap() as f64))
-            })
+            .objective(|cfg, _| Ok(MetricValues::new().with("loss", cfg.int("k").unwrap() as f64)))
             .build()
             .unwrap();
         let trials = study.run_parallel(8).unwrap();
@@ -491,11 +489,7 @@ mod tests {
     fn builder_rejects_incomplete_studies() {
         assert!(Study::builder("t").build().is_err());
         assert!(Study::builder("t").space(space()).build().is_err());
-        assert!(Study::builder("t")
-            .space(space())
-            .explorer(RandomSearch::new(1))
-            .build()
-            .is_err());
+        assert!(Study::builder("t").space(space()).explorer(RandomSearch::new(1)).build().is_err());
         assert!(Study::builder("t")
             .space(ParamSpace::builder().build())
             .explorer(RandomSearch::new(1))

@@ -127,7 +127,14 @@ pub struct Trial {
 impl Trial {
     /// A completed trial.
     pub fn complete(id: usize, config: Configuration, metrics: MetricValues) -> Self {
-        Self { id, config, metrics, status: TrialStatus::Complete, intermediate: Vec::new(), error: None }
+        Self {
+            id,
+            config,
+            metrics,
+            status: TrialStatus::Complete,
+            intermediate: Vec::new(),
+            error: None,
+        }
     }
 
     /// Whether the trial finished with metrics.
@@ -158,12 +165,8 @@ mod tests {
 
     #[test]
     fn canonical_key_is_order_independent() {
-        let a = Configuration::new()
-            .with("x", ParamValue::Int(1))
-            .with("y", ParamValue::Int(2));
-        let b = Configuration::new()
-            .with("y", ParamValue::Int(2))
-            .with("x", ParamValue::Int(1));
+        let a = Configuration::new().with("x", ParamValue::Int(1)).with("y", ParamValue::Int(2));
+        let b = Configuration::new().with("y", ParamValue::Int(2)).with("x", ParamValue::Int(1));
         assert_eq!(a.canonical_key(), b.canonical_key());
     }
 

@@ -1,9 +1,10 @@
 //! Shared machinery of the backends: policy-driven collection that does
 //! not need the learner, SAC interaction helpers, and narration utilities.
 
-use gymrs::{Action, Environment};
+use gymrs::{Action, Environment, VecEnv};
 use rand::Rng;
 use rl_algos::buffer::{RolloutBuffer, Transition};
+use rl_algos::collect::collect_lockstep;
 use rl_algos::policy::ActorCritic;
 use rl_algos::sac::SacLearner;
 use tinynn::forward_flops;
@@ -39,14 +40,26 @@ pub fn collect_segment(
     let mut episodes = Vec::new();
     let mut ep_ret = 0.0;
     let mut ep_len = 0usize;
+    // One step's bootstrap value V(s') is the next step's V(s): cache it
+    // so the critic runs once per step instead of twice (deterministic
+    // critic, no rng draws — trajectories are bitwise unchanged).
+    let mut value = policy.value(obs);
+    let mut critic_rows = 1usize;
     for _ in 0..n {
-        let (action, log_prob, value) = policy.act(obs, rng);
+        let d = policy.dist(obs);
+        let action = d.sample(rng);
+        let log_prob = d.log_prob(&action);
         let s = env.step(&action);
         env_work += env.last_step_work();
         ep_ret += s.reward;
         ep_len += 1;
         let done = s.done();
-        let next_value = if s.terminated { 0.0 } else { policy.value(&s.obs) };
+        let next_value = if s.terminated {
+            0.0
+        } else {
+            critic_rows += 1;
+            policy.value(&s.obs)
+        };
         rollout.push(
             std::mem::take(obs),
             action,
@@ -62,8 +75,11 @@ pub fn collect_segment(
             ep_ret = 0.0;
             ep_len = 0;
             *obs = env.reset();
+            value = policy.value(obs);
+            critic_rows += 1;
         } else {
             *obs = s.obs;
+            value = next_value;
         }
     }
     // Close the segment for GAE concatenation.
@@ -72,8 +88,28 @@ pub fn collect_segment(
     }
     let a = policy.actor.sizes();
     let c = policy.critic.sizes();
-    let infer_flops = forward_flops(&a, n) + 2 * forward_flops(&c, n);
+    let infer_flops = forward_flops(&a, n) + forward_flops(&c, critic_rows);
     Segment { rollout, env_work, episodes, infer_flops }
+}
+
+/// Collect `ticks` lockstep sweeps from a vectorized environment with
+/// batched policy evaluation — the fast path for backends that drive
+/// several sub-environments per worker (Stable-Baselines-style
+/// vectorization, TF-Agents-style batched drivers). Segment tails are
+/// closed per sub-env by the collector, so the merged rollout
+/// concatenates into learner updates exactly like per-env segments.
+pub fn collect_segment_vec<E: Environment>(
+    policy: &ActorCritic,
+    venv: &mut VecEnv<E>,
+    ticks: usize,
+    rng: &mut impl Rng,
+) -> Segment {
+    let out = collect_lockstep(policy, venv, ticks, rng);
+    let a = policy.actor.sizes();
+    let c = policy.critic.sizes();
+    let infer_flops =
+        forward_flops(&a, out.actor_rows as usize) + forward_flops(&c, out.critic_rows as usize);
+    Segment { rollout: out.rollout, env_work: out.env_work, episodes: out.episodes, infer_flops }
 }
 
 /// One SAC interaction step: act, step the env, feed the learner.
@@ -187,12 +223,36 @@ mod tests {
     }
 
     #[test]
+    fn vectorized_segment_matches_sequential_on_one_env() {
+        // With one sub-environment the batched segment collector must
+        // reproduce collect_segment exactly (same rng order, bitwise
+        // identical batched kernels, and both close the tail).
+        let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut StdRng::seed_from_u64(5));
+        let mut env = GridWorld::new(4);
+        env.seed(9);
+        let mut obs = env.reset();
+        let seq = collect_segment(&policy, &mut env, &mut obs, 60, &mut StdRng::seed_from_u64(13));
+
+        let mut venv = VecEnv::new(vec![GridWorld::new(4)], 9);
+        venv.reset_all();
+        let vec_seg = collect_segment_vec(&policy, &mut venv, 60, &mut StdRng::seed_from_u64(13));
+
+        assert_eq!(vec_seg.rollout.obs, seq.rollout.obs);
+        assert_eq!(vec_seg.rollout.actions, seq.rollout.actions);
+        assert_eq!(vec_seg.rollout.dones, seq.rollout.dones);
+        assert_eq!(vec_seg.rollout.values, seq.rollout.values);
+        assert_eq!(vec_seg.rollout.next_values, seq.rollout.next_values);
+        assert_eq!(vec_seg.rollout.log_probs, seq.rollout.log_probs);
+        assert_eq!(vec_seg.env_work, seq.env_work);
+        assert_eq!(vec_seg.episodes, seq.episodes);
+    }
+
+    #[test]
     fn sac_step_feeds_learner_and_tracks_episodes() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut env = PointMass::new();
         env.seed(4);
-        let mut learner =
-            SacLearner::new(4, &env.action_space(), SacConfig::fast_test(), &mut rng);
+        let mut learner = SacLearner::new(4, &env.action_space(), SacConfig::fast_test(), &mut rng);
         let mut obs = env.reset();
         let mut ep_ret = 0.0;
         let mut finished = 0;

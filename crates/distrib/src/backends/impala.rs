@@ -238,8 +238,7 @@ mod tests {
             actor_sync_period: 6,
         };
         let (report, _) = run(&opts);
-        let tail =
-            &report.train_returns[report.train_returns.len().saturating_sub(15)..];
+        let tail = &report.train_returns[report.train_returns.len().saturating_sub(15)..];
         let mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
         // Random wandering scores far below zero on the 3x3 grid; a
         // partially-converged policy sits well above it even with the

@@ -162,8 +162,7 @@ fn train_ppo(
         // --- Narration: nodes collect concurrently; remote experience
         // crosses the wire; the learner updates on node 0.
         let node_spec = session.spec().node;
-        let per_node_overhead =
-            profile.per_step_overhead_units * (per_worker * cores) as f64;
+        let per_node_overhead = profile.per_step_overhead_units * (per_worker * cores) as f64;
         let work: Vec<NodeWork> = (0..nodes)
             .map(|n| NodeWork {
                 node: n,
@@ -234,8 +233,13 @@ fn train_sac(
                 if (env_steps as usize) >= spec.total_steps {
                     break;
                 }
-                let (units, fin) =
-                    sac_step(&mut learner, envs[w].as_mut(), &mut obs[w], &mut ep_rets[w], &mut rng);
+                let (units, fin) = sac_step(
+                    &mut learner,
+                    envs[w].as_mut(),
+                    &mut obs[w],
+                    &mut ep_rets[w],
+                    &mut rng,
+                );
                 let node = w / cores;
                 node_env_work[node] += units;
                 if node != 0 {
@@ -305,7 +309,8 @@ mod tests {
             13,
         );
         s.ppo = rl_algos::ppo::PpoConfig::fast_test();
-        s.sac = rl_algos::sac::SacConfig { start_steps: 64, ..rl_algos::sac::SacConfig::fast_test() };
+        s.sac =
+            rl_algos::sac::SacConfig { start_steps: 64, ..rl_algos::sac::SacConfig::fast_test() };
         s
     }
 
@@ -359,27 +364,19 @@ mod tests {
         // learner phase and overhead.
         use cluster_sim::{ClusterSession, ClusterSpec, PhaseEvent};
         let spec = spec(Algorithm::Ppo, 2, 2, 512);
-        let mut session =
-            ClusterSession::new(ClusterSpec::paper_testbed(2)).with_trace();
+        let mut session = ClusterSession::new(ClusterSpec::paper_testbed(2)).with_trace();
         let backend = RllibLike;
         let factory = grid_factory();
         let _report = backend.train(&spec, &factory, &mut session);
         let trace = session.trace().to_vec();
         assert!(!trace.is_empty());
-        let computes = trace
-            .iter()
-            .filter(|e| matches!(e, PhaseEvent::Compute { .. }))
-            .count();
-        let transfers = trace
-            .iter()
-            .filter(|e| matches!(e, PhaseEvent::Transfer { .. }))
-            .count();
+        let computes = trace.iter().filter(|e| matches!(e, PhaseEvent::Compute { .. })).count();
+        let transfers = trace.iter().filter(|e| matches!(e, PhaseEvent::Transfer { .. })).count();
         assert!(computes >= 2, "collection + learner phases per iteration");
         assert!(transfers >= 1, "experience/weights must cross the wire");
         // The two-node collection phases must carry demands for both nodes.
-        let has_two_node_phase = trace.iter().any(|e| {
-            matches!(e, PhaseEvent::Compute { work, .. } if work.len() == 2)
-        });
+        let has_two_node_phase =
+            trace.iter().any(|e| matches!(e, PhaseEvent::Compute { work, .. } if work.len() == 2));
         assert!(has_two_node_phase, "concurrent collection spans both nodes");
     }
 

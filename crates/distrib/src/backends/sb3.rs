@@ -13,14 +13,14 @@
 //! deterministic — and reward-wise most reliable — backend.
 
 use crate::backend::{Backend, EnvFactory};
+use crate::backends::common::{collect_segment_vec, sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
 use crate::spec::ExecSpec;
-use crate::backends::common::{collect_segment, sac_step, worker_seed};
 use cluster_sim::ClusterSession;
+use gymrs::VecEnv;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rl_algos::buffer::RolloutBuffer;
 use rl_algos::ppo::PpoLearner;
 use rl_algos::sac::SacLearner;
 use rl_algos::Algorithm;
@@ -55,12 +55,13 @@ fn train_ppo(
     let n_envs = spec.deployment.cores_per_node;
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
-    // Build the vectorized sub-environments.
-    let mut envs: Vec<_> = (0..n_envs).map(|i| factory.make(worker_seed(spec.seed, i, 0))).collect();
-    let obs_dim = envs[0].observation_space().dim();
-    let aspace = envs[0].action_space();
+    // Build the vectorized sub-environments (pre-seeded worker streams).
+    let envs: Vec<_> = (0..n_envs).map(|i| factory.make(worker_seed(spec.seed, i, 0))).collect();
+    let mut venv = VecEnv::new_preseeded(envs);
+    let obs_dim = venv.observation_space().dim();
+    let aspace = venv.action_space();
     let mut learner = PpoLearner::new(obs_dim, &aspace, spec.ppo.clone(), &mut rng);
-    let mut obs: Vec<Vec<f64>> = envs.iter_mut().map(|e| e.reset()).collect();
+    venv.reset_all();
 
     let batch = learner.config().n_steps;
     let per_env = (batch / n_envs).max(1);
@@ -71,19 +72,15 @@ fn train_ppo(
 
     while (env_steps as usize) < spec.total_steps {
         learner.anneal(env_steps as f64 / spec.total_steps as f64);
-        // --- Collection: lockstep vectorized stepping. SB3 collects
-        // per-env segments of `per_env` steps (total batch = cores × that).
+        // --- Collection: lockstep vectorized stepping with batched policy
+        // evaluation — one actor + one critic forward per tick over all
+        // `cores` sub-environments (total batch = cores × per_env).
         let flops_before = learner.flops;
-        let mut merged = RolloutBuffer::with_capacity(per_env * n_envs);
-        let mut iter_env_work = 0u64;
-        let mut iter_infer_flops = 0u64;
-        for (i, env) in envs.iter_mut().enumerate() {
-            let seg = collect_segment(&learner.policy, env.as_mut(), &mut obs[i], per_env, &mut rng);
-            iter_env_work += seg.env_work;
-            iter_infer_flops += seg.infer_flops;
-            train_returns.extend(seg.episodes.iter().map(|e| e.0));
-            merged.extend(seg.rollout);
-        }
+        let seg = collect_segment_vec(&learner.policy, &mut venv, per_env, &mut rng);
+        let iter_env_work = seg.env_work;
+        let iter_infer_flops = seg.infer_flops;
+        train_returns.extend(seg.episodes.iter().map(|e| e.0));
+        let merged = seg.rollout;
         let steps = merged.len() as u64;
         env_steps += steps;
         env_work += iter_env_work;
@@ -124,7 +121,8 @@ fn train_sac(
     let n_envs = spec.deployment.cores_per_node;
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
-    let mut envs: Vec<_> = (0..n_envs).map(|i| factory.make(worker_seed(spec.seed, i, 1))).collect();
+    let mut envs: Vec<_> =
+        (0..n_envs).map(|i| factory.make(worker_seed(spec.seed, i, 1))).collect();
     let obs_dim = envs[0].observation_space().dim();
     let aspace = envs[0].action_space();
     let mut learner = SacLearner::new(obs_dim, &aspace, spec.sac.clone(), &mut rng);
@@ -145,8 +143,13 @@ fn train_sac(
                 if (env_steps as usize) >= spec.total_steps {
                     break;
                 }
-                let (w, fin) =
-                    sac_step(&mut learner, envs[i].as_mut(), &mut obs[i], &mut ep_rets[i], &mut rng);
+                let (w, fin) = sac_step(
+                    &mut learner,
+                    envs[i].as_mut(),
+                    &mut obs[i],
+                    &mut ep_rets[i],
+                    &mut rng,
+                );
                 iter_env_work += w;
                 env_steps += 1;
                 if let Some(r) = fin {
@@ -159,7 +162,11 @@ fn train_sac(
         let steps = (round * n_envs) as u64;
 
         let node = session.spec().node;
-        session.compute(0, iter_env_work as f64 + profile.per_step_overhead_units * steps as f64, n_envs);
+        session.compute(
+            0,
+            iter_env_work as f64 + profile.per_step_overhead_units * steps as f64,
+            n_envs,
+        );
         session.compute(0, node.flops_to_units(update_flops), profile.learner_streams);
         session.overhead(profile.per_iter_overhead_s * round as f64 / 256.0);
     }
@@ -221,7 +228,8 @@ mod tests {
             7,
         );
         s.ppo = rl_algos::ppo::PpoConfig::fast_test();
-        s.sac = rl_algos::sac::SacConfig { start_steps: 64, ..rl_algos::sac::SacConfig::fast_test() };
+        s.sac =
+            rl_algos::sac::SacConfig { start_steps: 64, ..rl_algos::sac::SacConfig::fast_test() };
         s
     }
 

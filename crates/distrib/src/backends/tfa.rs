@@ -2,22 +2,22 @@
 //!
 //! TF-Agents trains on a single node but overlaps environment stepping
 //! *and* policy inference across CPU cores (its parallel driver /
-//! `ParallelPyEnvironment`). We reproduce that with scoped worker threads,
-//! each holding a read-only snapshot of the policy and a private
-//! environment. The framework's per-step path is the leanest of the three,
-//! which is where the paper's "lowest power consumption" observation comes
-//! from (§VI-B, solution 11).
+//! `ParallelPyEnvironment`). We reproduce that with a lockstep batched
+//! driver: one `VecEnv` fans environment steps across cores while the
+//! policy evaluates all workers' observations in a single batched
+//! forward per tick. The framework's per-step path is the leanest of the
+//! three, which is where the paper's "lowest power consumption"
+//! observation comes from (§VI-B, solution 11).
 
 use crate::backend::{Backend, EnvFactory};
-use crate::backends::common::{collect_segment, sac_step, worker_seed, Segment};
+use crate::backends::common::{collect_segment_vec, sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
 use crate::spec::ExecSpec;
 use cluster_sim::ClusterSession;
-use gymrs::Environment;
+use gymrs::{Environment, VecEnv};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rl_algos::buffer::RolloutBuffer;
 use rl_algos::ppo::PpoLearner;
 use rl_algos::sac::SacLearner;
 use rl_algos::Algorithm;
@@ -52,12 +52,13 @@ fn train_ppo(
     let workers = spec.deployment.cores_per_node;
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
-    let mut envs: Vec<Box<dyn Environment>> =
+    let envs: Vec<Box<dyn Environment>> =
         (0..workers).map(|i| factory.make(worker_seed(spec.seed, i, 0))).collect();
-    let obs_dim = envs[0].observation_space().dim();
-    let aspace = envs[0].action_space();
+    let mut venv = VecEnv::new_preseeded(envs);
+    let obs_dim = venv.observation_space().dim();
+    let aspace = venv.action_space();
     let mut learner = PpoLearner::new(obs_dim, &aspace, spec.ppo.clone(), &mut rng);
-    let mut obs: Vec<Vec<f64>> = envs.iter_mut().map(|e| e.reset()).collect();
+    venv.reset_all();
 
     let batch = learner.config().n_steps;
     let per_worker = (batch / workers).max(1);
@@ -68,37 +69,18 @@ fn train_ppo(
     let mut round = 0u64;
 
     while (env_steps as usize) < spec.total_steps {
-        // --- Parallel collection on scoped threads: each worker drives
-        // its private env with a policy snapshot; merge in worker order
-        // (deterministic — the driver gathers results synchronously).
-        let policy = learner.policy.clone();
-        let segments: Vec<Segment> = std::thread::scope(|scope| {
-            let handles: Vec<_> = envs
-                .iter_mut()
-                .zip(obs.iter_mut())
-                .enumerate()
-                .map(|(i, (env, obs))| {
-                    let policy = &policy;
-                    let seed = worker_seed(spec.seed, i, round + 1000);
-                    scope.spawn(move || {
-                        let mut wrng = StdRng::seed_from_u64(seed);
-                        collect_segment(policy, env.as_mut(), obs, per_worker, &mut wrng)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("collector thread")).collect()
-        });
+        // --- Parallel collection: the driver batches all `workers`
+        // environments through one actor/critic forward per tick (the
+        // batched-driver analogue of TF-Agents overlapping stepping and
+        // inference), and `VecEnv` fans the env steps across cores.
+        let mut wrng = StdRng::seed_from_u64(worker_seed(spec.seed, 0, round + 1000));
+        let seg = collect_segment_vec(&learner.policy, &mut venv, per_worker, &mut wrng);
         round += 1;
 
-        let mut merged = RolloutBuffer::with_capacity(per_worker * workers);
-        let mut iter_env_work = 0u64;
-        let mut iter_infer_flops = 0u64;
-        for seg in segments {
-            iter_env_work += seg.env_work;
-            iter_infer_flops += seg.infer_flops;
-            train_returns.extend(seg.episodes.iter().map(|e| e.0));
-            merged.extend(seg.rollout);
-        }
+        let iter_env_work = seg.env_work;
+        let iter_infer_flops = seg.infer_flops;
+        train_returns.extend(seg.episodes.iter().map(|e| e.0));
+        let merged = seg.rollout;
         let steps = merged.len() as u64;
         env_steps += steps;
         env_work += iter_env_work;
@@ -113,9 +95,8 @@ fn train_ppo(
         // full node's BLAS threads.
         let node = session.spec().node;
         let overhead_units = profile.per_step_overhead_units * steps as f64;
-        let collect_units = iter_env_work as f64
-            + node.flops_to_units(iter_infer_flops)
-            + overhead_units;
+        let collect_units =
+            iter_env_work as f64 + node.flops_to_units(iter_infer_flops) + overhead_units;
         session.compute(0, collect_units, workers);
         session.compute(0, node.flops_to_units(update_flops), profile.learner_streams);
         session.overhead(profile.per_iter_overhead_s);
@@ -162,8 +143,13 @@ fn train_sac(
                 if (env_steps as usize) >= spec.total_steps {
                     break;
                 }
-                let (w, fin) =
-                    sac_step(&mut learner, envs[i].as_mut(), &mut obs[i], &mut ep_rets[i], &mut rng);
+                let (w, fin) = sac_step(
+                    &mut learner,
+                    envs[i].as_mut(),
+                    &mut obs[i],
+                    &mut ep_rets[i],
+                    &mut rng,
+                );
                 iter_env_work += w;
                 env_steps += 1;
                 if let Some(r) = fin {
@@ -222,7 +208,8 @@ mod tests {
             11,
         );
         s.ppo = rl_algos::ppo::PpoConfig::fast_test();
-        s.sac = rl_algos::sac::SacConfig { start_steps: 64, ..rl_algos::sac::SacConfig::fast_test() };
+        s.sac =
+            rl_algos::sac::SacConfig { start_steps: 64, ..rl_algos::sac::SacConfig::fast_test() };
         s
     }
 

@@ -26,9 +26,7 @@ impl Deployment {
             return Err("deployment needs at least one node and one core".into());
         }
         if self.nodes > 1 && !framework.supports_multi_node() {
-            return Err(format!(
-                "{framework} parallelizes on a single node only (paper §V-b)"
-            ));
+            return Err(format!("{framework} parallelizes on a single node only (paper §V-b)"));
         }
         Ok(())
     }

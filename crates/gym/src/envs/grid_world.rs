@@ -30,7 +30,15 @@ impl GridWorld {
     /// An `n × n` grid with an episode cap of `4 n²` steps.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2);
-        Self { n, x: 0, y: 0, steps: 0, max_steps: 4 * n * n, slip: 0.0, rng: StdRng::seed_from_u64(0) }
+        Self {
+            n,
+            x: 0,
+            y: 0,
+            steps: 0,
+            max_steps: 4 * n * n,
+            slip: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
     }
 
     /// Grid side length.

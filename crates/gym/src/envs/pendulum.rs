@@ -61,10 +61,7 @@ impl Pendulum {
 
 impl Environment for Pendulum {
     fn observation_space(&self) -> Space {
-        Space::Box {
-            low: vec![-1.0, -1.0, -1.0],
-            high: vec![1.0, 1.0, 1.0],
-        }
+        Space::Box { low: vec![-1.0, -1.0, -1.0], high: vec![1.0, 1.0, 1.0] }
     }
 
     fn action_space(&self) -> Space {
@@ -88,23 +85,15 @@ impl Environment for Pendulum {
         let (m, l) = (1.0, 1.0);
         // θ measured from upright; gravity accelerates away from it.
         let theta_err = self.angle_error();
-        let reward = -(theta_err * theta_err
-            + 0.1 * self.theta_dot * self.theta_dot
-            + 0.001 * u * u)
-            / self.horizon as f64
-            * 10.0;
-        self.theta_dot += (3.0 * self.g / (2.0 * l) * theta_err.sin()
-            + 3.0 / (m * l * l) * u)
-            * dt;
+        let reward =
+            -(theta_err * theta_err + 0.1 * self.theta_dot * self.theta_dot + 0.001 * u * u)
+                / self.horizon as f64
+                * 10.0;
+        self.theta_dot += (3.0 * self.g / (2.0 * l) * theta_err.sin() + 3.0 / (m * l * l) * u) * dt;
         self.theta_dot = self.theta_dot.clamp(-8.0, 8.0);
         self.theta += self.theta_dot * dt;
         self.t += 1;
-        Step {
-            obs: self.obs(),
-            reward,
-            terminated: false,
-            truncated: self.t >= self.horizon,
-        }
+        Step { obs: self.obs(), reward, terminated: false, truncated: self.t >= self.horizon }
     }
 }
 

@@ -84,12 +84,7 @@ impl Environment for PointMass {
         let dist = (self.pos[0].powi(2) + self.pos[1].powi(2)).sqrt();
         let effort = ax * ax + ay * ay;
         let reward = -(dist + 0.1 * effort) / self.horizon as f64;
-        Step {
-            obs: self.obs(),
-            reward,
-            terminated: false,
-            truncated: self.t >= self.horizon,
-        }
+        Step { obs: self.obs(), reward, terminated: false, truncated: self.t >= self.horizon }
     }
 }
 

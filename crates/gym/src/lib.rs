@@ -25,7 +25,7 @@ pub mod vec_env;
 pub mod wrappers;
 
 pub use env::{Action, Environment, Step};
-pub use rollout::{run_episode, EpisodeStats, Trajectory};
+pub use rollout::{run_episode, run_episodes_vec, EpisodeStats, Trajectory};
 pub use space::Space;
-pub use vec_env::VecEnv;
+pub use vec_env::{StepBatch, VecEnv};
 pub use wrappers::{Monitor, NormalizeObs, NormalizeReward, RewardScale, TimeLimit};

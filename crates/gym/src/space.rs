@@ -25,10 +25,7 @@ impl Space {
 
     /// An unbounded box in `R^dim`.
     pub fn unbounded_box(dim: usize) -> Self {
-        Space::Box {
-            low: vec![f64::NEG_INFINITY; dim],
-            high: vec![f64::INFINITY; dim],
-        }
+        Space::Box { low: vec![f64::NEG_INFINITY; dim], high: vec![f64::INFINITY; dim] }
     }
 
     /// Flat dimensionality: number of choices for `Discrete`, number of
@@ -51,9 +48,7 @@ impl Space {
             Space::Discrete(_) => false,
             Space::Box { low, high } => {
                 a.len() == low.len()
-                    && a.iter()
-                        .zip(low.iter().zip(high))
-                        .all(|(&x, (&l, &h))| x >= l && x <= h)
+                    && a.iter().zip(low.iter().zip(high)).all(|(&x, (&l, &h))| x >= l && x <= h)
             }
         }
     }

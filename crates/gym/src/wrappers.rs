@@ -70,7 +70,14 @@ impl<E: Environment> NormalizeObs<E> {
     /// Wrap `inner`; statistics start empty and update on every obs.
     pub fn new(inner: E) -> Self {
         let dim = inner.observation_space().dim();
-        Self { inner, count: 0.0, mean: vec![0.0; dim], m2: vec![0.0; dim], clip: 10.0, frozen: false }
+        Self {
+            inner,
+            count: 0.0,
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+            clip: 10.0,
+            frozen: false,
+        }
     }
 
     fn update(&mut self, obs: &[f64]) {

@@ -94,14 +94,20 @@ impl Linear {
 
     /// Forward pass; returns the activated output (`batch × out_dim`).
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut z = x.matmul(&self.w);
-        z.add_row_broadcast(&self.b);
+        let mut out = Matrix::default();
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Forward pass writing into a reusable output buffer (resized here).
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
         if self.act != Activation::Identity {
-            for v in z.as_mut_slice() {
+            for v in out.as_mut_slice() {
                 *v = self.act.apply(*v);
             }
         }
-        z
     }
 
     /// Backward pass.
@@ -112,21 +118,37 @@ impl Linear {
     ///
     /// Accumulates into `gw`/`gb` and returns the gradient w.r.t. `x`.
     pub fn backward(&mut self, x: &Matrix, y: &Matrix, dy: &Matrix) -> Matrix {
+        let mut dz = Matrix::default();
+        let mut dx = Matrix::default();
+        self.backward_into(x, y, dy, &mut dz, &mut dx);
+        dx
+    }
+
+    /// Backward pass using caller-provided scratch: `dz` holds the
+    /// pre-activation gradient, `dx` receives the input gradient. Both are
+    /// resized here, so an [`Mlp`](crate::Mlp) can thread the same two
+    /// buffers through every layer and every update without reallocating.
+    pub fn backward_into(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        dy: &Matrix,
+        dz: &mut Matrix,
+        dx: &mut Matrix,
+    ) {
         debug_assert_eq!(x.shape(), (dy.rows(), self.in_dim()));
         debug_assert_eq!(dy.shape(), (x.rows(), self.out_dim()));
         // dz = dy ⊙ act'(y)
-        let mut dz = dy.clone();
+        dz.copy_resize_from(dy);
         if self.act != Activation::Identity {
             for (g, &out) in dz.as_mut_slice().iter_mut().zip(y.as_slice()) {
                 *g *= self.act.deriv_from_output(out);
             }
         }
         // gw += xᵀ · dz ; gb += Σ_rows dz ; dx = dz · Wᵀ
-        self.gw.axpy(1.0, &x.transpose_matmul(&dz));
-        for (g, s) in self.gb.iter_mut().zip(dz.sum_rows()) {
-            *g += s;
-        }
-        dz.matmul_transpose_rhs(&self.w)
+        x.transpose_matmul_acc(dz, &mut self.gw);
+        dz.sum_rows_into(&mut self.gb);
+        dz.matmul_transpose_rhs_into(&self.w, dx);
     }
 
     /// Zero the accumulated gradients.

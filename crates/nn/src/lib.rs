@@ -18,10 +18,12 @@
 //!   policy distributions with log-prob/entropy gradients;
 //! * [`ops`] — softmax/log-softmax and friends with backward helpers.
 //!
-//! Networks are deliberately small (the paper's policies are the default
-//! 64×64 MLPs of the Python frameworks), so clarity and testability win
-//! over micro-optimisation; the matmul still uses the cache-friendly
-//! `i-k-j` loop order per the hpc-parallel guidance.
+//! Networks are small (the paper's policies are the default 64×64 MLPs of
+//! the Python frameworks) but they are evaluated millions of times per
+//! study, so the dense kernels are register-blocked (`i-k-j` order with
+//! the `k` loop unrolled 4×), parallelised with rayon above a size
+//! threshold, and every hot path has an `_into` variant that reuses
+//! caller-held buffers — see the "Performance" section of DESIGN.md.
 
 pub mod dist;
 pub mod init;
@@ -33,19 +35,15 @@ pub mod optim;
 
 pub use dist::{Categorical, DiagGaussian, SquashedGaussian};
 pub use layer::{Activation, Linear};
-pub use matrix::Matrix;
-pub use mlp::Mlp;
+pub use matrix::{Matrix, PAR_THRESHOLD};
+pub use mlp::{Mlp, Tape};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 
 /// Count of floating-point operations for a forward pass of an MLP with
 /// the given layer sizes and batch size — consumed by the cluster cost
 /// model to convert learning work into simulated time.
 pub fn forward_flops(sizes: &[usize], batch: usize) -> u64 {
-    sizes
-        .windows(2)
-        .map(|w| 2 * (w[0] * w[1] + w[1]) as u64)
-        .sum::<u64>()
-        * batch as u64
+    sizes.windows(2).map(|w| 2 * (w[0] * w[1] + w[1]) as u64).sum::<u64>() * batch as u64
 }
 
 /// Approximate backward-pass cost: conventionally 2× the forward cost.

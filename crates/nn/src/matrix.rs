@@ -1,17 +1,88 @@
 //! Dense row-major matrix of `f64` with the operations the MLPs require.
+//!
+//! The three matmul kernels ([`Matrix::matmul_into`],
+//! [`Matrix::matmul_transpose_rhs_into`], [`Matrix::transpose_matmul_into`])
+//! are register-blocked: the shared `k` dimension is unrolled 4× so every
+//! sweep over an output row performs four multiply-adds per load/store of
+//! the accumulator, and the innermost loops run over contiguous slices so
+//! the compiler can autovectorize them. Above [`PAR_THRESHOLD`]
+//! multiply-add operations the row loop is split across the rayon global
+//! pool.
+//!
+//! Determinism contract: the accumulation order for an output row depends
+//! only on the shared dimensions (`k`, `n`), never on the number of rows
+//! `m` being multiplied, and the parallel path assigns whole rows to
+//! threads. Evaluating a `batch × features` matrix therefore produces
+//! bitwise the same rows as evaluating each row on its own — the property
+//! the batched policy API (`act_batch` vs per-row `act`) relies on.
 
 use serde::{Deserialize, Serialize};
+
+/// Multiply-add count (`m·k·n`) above which the matmul kernels parallelise
+/// their row loop over the rayon global pool. Below it the sequential
+/// kernel wins: fork/join overhead is tens of microseconds, a 64×64×64
+/// product is single-digit microseconds.
+pub const PAR_THRESHOLD: usize = 1 << 20;
 
 /// A dense `rows × cols` matrix, row-major.
 ///
 /// A `1 × n` matrix doubles as a row vector; batches are stored one sample
 /// per row (`batch × features`), matching the convention of the Python
 /// frameworks the paper benchmarks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+/// Accumulate `a_row · b` into `out_row` (which the caller has zeroed),
+/// with the `k` loop unrolled 4×. Accumulation order depends only on
+/// `k`/`n` — see the module-level determinism contract.
+#[inline]
+fn row_matmul_acc(a_row: &[f64], b: &[f64], out_row: &mut [f64], k: usize, n: usize) {
+    let mut p = 0;
+    while p + 4 <= k {
+        let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+        let b0 = &b[p * n..(p + 1) * n];
+        let b1 = &b[(p + 1) * n..(p + 2) * n];
+        let b2 = &b[(p + 2) * n..(p + 3) * n];
+        let b3 = &b[(p + 3) * n..(p + 4) * n];
+        for j in 0..n {
+            out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+        p += 4;
+    }
+    while p < k {
+        let a = a_row[p];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += a * bv;
+        }
+        p += 1;
+    }
+}
+
+/// Dot product with four independent accumulators (breaks the FP add
+/// dependency chain so the loop pipelines/vectorizes).
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let k = a.len().min(b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let mut p = 0;
+    while p + 4 <= k {
+        s0 += a[p] * b[p];
+        s1 += a[p + 1] * b[p + 1];
+        s2 += a[p + 2] * b[p + 2];
+        s3 += a[p + 3] * b[p + 3];
+        p += 4;
+    }
+    let mut acc = ((s0 + s1) + s2) + s3;
+    while p < k {
+        acc += a[p] * b[p];
+        p += 1;
+    }
+    acc
 }
 
 impl Matrix {
@@ -121,76 +192,176 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Reshape to `rows × cols`, all zeros, reusing the allocation.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape to `rows × cols` without zeroing; every element must be
+    /// overwritten by the caller before being read.
+    fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become a copy of `src`, reusing the allocation.
+    pub fn copy_resize_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Become a `rows × cols` matrix with the given flat row-major
+    /// contents, reusing the allocation. Panics if the length mismatches.
+    pub fn copy_from_flat(&mut self, rows: usize, cols: usize, data: &[f64]) {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
+
     /// `out = self · rhs`. Shapes: `(m×k) · (k×n) = (m×n)`.
-    ///
-    /// Uses the `i-k-j` loop order so the innermost loop streams over
-    /// contiguous rows of `rhs` and `out` (cache-friendly — see the
-    /// Rust Performance Book guidance on memory access patterns).
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let mut out = Matrix::default();
         self.matmul_into(rhs, &mut out);
         out
     }
 
-    /// `out = self · rhs`, writing into a pre-allocated output.
+    /// `out = self · rhs`, writing into `out` (resized and zeroed here, so
+    /// a scratch buffer can be reused across calls of varying batch size).
+    ///
+    /// Register-blocked `i-k-j` kernel: the `k` loop is unrolled 4× so the
+    /// inner sweep performs four multiply-adds per accumulator traffic,
+    /// streaming contiguous rows of `rhs` and `out`. Rows are distributed
+    /// over the rayon pool above [`PAR_THRESHOLD`] multiply-adds.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
-        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul out shape mismatch");
-        out.fill_zero();
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+        out.resize_zeroed(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        if m > 1 && m * k * n >= PAR_THRESHOLD {
+            use rayon::prelude::*;
+            let b = &rhs.data;
+            out.data
+                .par_chunks_mut(n)
+                .zip(self.data.par_chunks(k))
+                .for_each(|(out_row, a_row)| row_matmul_acc(a_row, b, out_row, k, n));
+        } else {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                row_matmul_acc(a_row, &rhs.data, out_row, k, n);
             }
         }
     }
 
     /// `self · rhsᵀ` without materialising the transpose.
     pub fn matmul_transpose_rhs(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_transpose_rhs_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self · rhsᵀ` without materialising the transpose.
+    ///
+    /// Both operands are walked along their contiguous rows (no packing
+    /// needed in row-major layout); each output element is a [`dot`] with
+    /// four independent accumulators. Row-parallel above [`PAR_THRESHOLD`].
+    pub fn matmul_transpose_rhs_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.cols, "matmul_transpose_rhs shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        out.resize_for_overwrite(m, n);
+        if m > 1 && n > 0 && m * k * n >= PAR_THRESHOLD {
+            use rayon::prelude::*;
+            let b = &rhs.data;
+            out.data.par_chunks_mut(n).zip(self.data.par_chunks(k.max(1))).for_each(
+                |(out_row, a_row)| {
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o = dot(a_row, &b[j * k..(j + 1) * k]);
+                    }
+                },
+            );
+        } else {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for j in 0..n {
+                    out.data[i * n + j] = dot(a_row, &rhs.data[j * k..(j + 1) * k]);
                 }
-                out.data[i * n + j] = acc;
             }
         }
-        out
     }
 
     /// `selfᵀ · rhs` without materialising the transpose.
     pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.transpose_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = selfᵀ · rhs` without materialising the transpose.
+    pub fn transpose_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "transpose_matmul shape mismatch");
+        out.resize_zeroed(self.cols, rhs.cols);
+        self.transpose_matmul_acc_impl(rhs, out);
+    }
+
+    /// `out += selfᵀ · rhs` — accumulating form used for weight gradients
+    /// (`gw += xᵀ · dz`), eliminating the temporary + `axpy` round trip.
+    /// `out` must already have shape `self.cols × rhs.cols`.
+    pub fn transpose_matmul_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "transpose_matmul shape mismatch");
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "transpose_matmul_acc out shape mismatch");
+        self.transpose_matmul_acc_impl(rhs, out);
+    }
+
+    /// Shared `out += selfᵀ · rhs` kernel. The `k` (row) loop is unrolled
+    /// 4× so each pass over `out` folds in four rank-1 updates, quartering
+    /// the accumulator traffic of the naive outer-product loop.
+    fn transpose_matmul_acc_impl(&self, rhs: &Matrix, out: &mut Matrix) {
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &rhs.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let a = &self.data;
+        let b = &rhs.data;
+        let mut p = 0;
+        while p + 4 <= k {
+            let a0 = &a[p * m..(p + 1) * m];
+            let a1 = &a[(p + 1) * m..(p + 2) * m];
+            let a2 = &a[(p + 2) * m..(p + 3) * m];
+            let a3 = &a[(p + 3) * m..(p + 4) * m];
+            let b0 = &b[p * n..(p + 1) * n];
+            let b1 = &b[(p + 1) * n..(p + 2) * n];
+            let b2 = &b[(p + 2) * n..(p + 3) * n];
+            let b3 = &b[(p + 3) * n..(p + 4) * n];
+            for i in 0..m {
+                let (c0, c1, c2, c3) = (a0[i], a1[i], a2[i], a3[i]);
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                for j in 0..n {
+                    out_row[j] += c0 * b0[j] + c1 * b1[j] + c2 * b2[j] + c3 * b3[j];
                 }
             }
+            p += 4;
         }
-        out
+        while p < k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &c) in a_row.iter().enumerate() {
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += c * bv;
+                }
+            }
+            p += 1;
+        }
     }
 
     /// Transposed copy.
@@ -221,11 +392,7 @@ impl Matrix {
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Add a row vector to every row (bias broadcast).
@@ -241,12 +408,18 @@ impl Matrix {
     /// Sum over rows, producing a `cols`-length vector (bias gradient).
     pub fn sum_rows(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Accumulate the column sums into `out` (`out += Σ_rows self`).
+    pub fn sum_rows_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.cols, "sum_rows_into length mismatch");
         for i in 0..self.rows {
             for (o, x) in out.iter_mut().zip(self.row_slice(i)) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Frobenius norm.
@@ -273,12 +446,86 @@ impl Matrix {
 mod tests {
     use super::*;
 
+    /// Naive triple-loop reference multiply for kernel validation.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let data = (0..rows * cols).map(|_| next()).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
     #[test]
     fn matmul_matches_hand_result() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = a.matmul(&b);
         assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference() {
+        for (m, k, n) in [(1, 7, 5), (3, 8, 4), (5, 9, 6), (2, 16, 3), (4, 1, 1)] {
+            let a = lcg_matrix(m, k, (m * 100 + k * 10 + n) as u64);
+            let b = lcg_matrix(k, n, (n * 100 + m) as u64);
+            let fast = a.matmul(&b);
+            let slow = naive_matmul(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y} at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_rows_are_batch_invariant() {
+        // Row r of a batched product must be bitwise identical to the
+        // product of that single row — the act_batch determinism contract.
+        let a = lcg_matrix(6, 13, 42);
+        let b = lcg_matrix(13, 9, 43);
+        let batched = a.matmul(&b);
+        for r in 0..a.rows() {
+            let single = Matrix::row(a.row_slice(r)).matmul(&b);
+            assert_eq!(single.as_slice(), batched.row_slice(r));
+        }
+    }
+
+    #[test]
+    fn matmul_handles_degenerate_shapes() {
+        // k = 0: the product is all zeros.
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        assert_eq!(a.matmul(&b), Matrix::zeros(3, 4));
+        // m = 0 and n = 0 produce empty outputs without panicking.
+        assert_eq!(Matrix::zeros(0, 5).matmul(&Matrix::zeros(5, 2)).shape(), (0, 2));
+        assert_eq!(Matrix::zeros(2, 5).matmul(&Matrix::zeros(5, 0)).shape(), (2, 0));
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_across_shapes() {
+        let mut out = Matrix::zeros(1, 1);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+        // Shrink and regrow; stale contents must not leak into the result.
+        Matrix::row(&[1.0, 0.0]).matmul_into(&b, &mut out);
+        assert_eq!(out, Matrix::from_rows(&[&[5.0, 6.0]]));
     }
 
     #[test]
@@ -296,6 +543,22 @@ mod tests {
     }
 
     #[test]
+    fn transpose_matmul_acc_accumulates() {
+        let a = lcg_matrix(6, 3, 7);
+        let b = lcg_matrix(6, 2, 8);
+        let once = a.transpose_matmul(&b);
+        let mut acc = once.clone();
+        a.transpose_matmul_acc(&b, &mut acc);
+        let mut doubled = once.clone();
+        doubled.scale(2.0);
+        // Accumulating into a non-zero buffer associates partial sums
+        // differently than a fresh product, so compare with a tolerance.
+        for (x, y) in acc.as_slice().iter().zip(doubled.as_slice()) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
     fn transpose_involution() {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         assert_eq!(a.transpose().transpose(), a);
@@ -307,6 +570,26 @@ mod tests {
         let mut a = Matrix::zeros(3, 2);
         a.add_row_broadcast(&[1.0, -2.0]);
         assert_eq!(a.sum_rows(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn sum_rows_into_accumulates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut acc = vec![10.0, 20.0];
+        a.sum_rows_into(&mut acc);
+        assert_eq!(acc, vec![14.0, 26.0]);
+    }
+
+    #[test]
+    fn copy_resize_and_flat_helpers() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut dst = Matrix::zeros(5, 5);
+        dst.copy_resize_from(&src);
+        assert_eq!(dst, src);
+        dst.copy_from_flat(1, 4, &[9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(dst, Matrix::from_rows(&[&[9.0, 8.0, 7.0, 6.0]]));
+        dst.resize_zeroed(2, 2);
+        assert_eq!(dst, Matrix::zeros(2, 2));
     }
 
     #[test]
@@ -338,6 +621,26 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_rows() {
+        // 128×128×128 = 2M multiply-adds: crosses PAR_THRESHOLD, so this
+        // exercises the rayon row split. Each row must still be bitwise
+        // identical to its single-row product.
+        let a = lcg_matrix(128, 128, 1);
+        let b = lcg_matrix(128, 128, 2);
+        assert!(a.rows() * a.cols() * b.cols() >= PAR_THRESHOLD);
+        let big = a.matmul(&b);
+        for r in [0, 63, 127] {
+            let single = Matrix::row(a.row_slice(r)).matmul(&b);
+            assert_eq!(single.as_slice(), big.row_slice(r));
+        }
+        let tr = a.matmul_transpose_rhs(&b);
+        for r in [0, 127] {
+            let single = Matrix::row(a.row_slice(r)).matmul_transpose_rhs(&b);
+            assert_eq!(single.as_slice(), tr.row_slice(r));
+        }
     }
 
     #[test]

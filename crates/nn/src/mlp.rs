@@ -24,20 +24,44 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Linear>,
+    /// Reused backprop buffers — never serialized, rebuilt lazily.
+    #[serde(skip)]
+    scratch: Scratch,
+}
+
+/// Reusable gradient buffers so [`Mlp::backward`] stops allocating one
+/// matrix per layer per call (PPO runs `epochs × minibatches` backward
+/// passes per rollout — the churn was measurable).
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Pre-activation gradient, reused by every layer.
+    dz: Matrix,
+    /// Gradient flowing backward (ping).
+    grad_a: Matrix,
+    /// Gradient flowing backward (pong).
+    grad_b: Matrix,
 }
 
 /// Activations recorded during a forward pass, needed for backprop.
 ///
 /// `acts[0]` is the input batch; `acts[i+1]` is the output of layer `i`.
-#[derive(Debug, Clone)]
+/// A `Tape` can be reused across forward passes ([`Mlp::forward_into`])
+/// so the per-layer activation buffers are allocated once per learner,
+/// not once per minibatch.
+#[derive(Debug, Clone, Default)]
 pub struct Tape {
     acts: Vec<Matrix>,
 }
 
 impl Tape {
+    /// An empty tape, ready to be filled by [`Mlp::forward_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// The final network output.
     pub fn output(&self) -> &Matrix {
-        self.acts.last().expect("tape is never empty")
+        self.acts.last().expect("tape is empty — run a forward pass first")
     }
 }
 
@@ -64,15 +88,12 @@ impl Mlp {
             .enumerate()
             .map(|(i, w)| {
                 let last = i == n - 1;
-                let (act, init) = if last {
-                    (out_act, Init::Uniform(0.01))
-                } else {
-                    (hidden_act, hidden_init)
-                };
+                let (act, init) =
+                    if last { (out_act, Init::Uniform(0.01)) } else { (hidden_act, hidden_init) };
                 Linear::new(w[0], w[1], act, init, rng)
             })
             .collect();
-        Self { layers }
+        Self { layers, scratch: Scratch::default() }
     }
 
     /// The standard 64×64 tanh policy/value trunk used by the paper's
@@ -100,35 +121,72 @@ impl Mlp {
 
     /// Forward pass recording a tape for backprop.
     pub fn forward(&self, x: &Matrix) -> Tape {
-        let mut acts = Vec::with_capacity(self.layers.len() + 1);
-        acts.push(x.clone());
-        for layer in &self.layers {
-            let y = layer.forward(acts.last().expect("non-empty"));
-            acts.push(y);
+        let mut tape = Tape::new();
+        self.forward_into(x, &mut tape);
+        tape
+    }
+
+    /// Forward pass recording into a reusable tape: the per-layer
+    /// activation buffers are resized in place, so a learner that keeps a
+    /// `Tape` around performs zero allocations per minibatch in steady
+    /// state.
+    pub fn forward_into(&self, x: &Matrix, tape: &mut Tape) {
+        let want = self.layers.len() + 1;
+        tape.acts.resize_with(want, Matrix::default);
+        tape.acts[0].copy_resize_from(x);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (prev, rest) = tape.acts.split_at_mut(i + 1);
+            layer.forward_into(&prev[i], &mut rest[0]);
         }
-        Tape { acts }
     }
 
     /// Forward pass without a tape (inference only).
+    ///
+    /// Ping-pongs between two buffers, so the pass costs two allocations
+    /// regardless of depth; [`Mlp::infer_into`] brings that to zero.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let mut cur = None;
-        for layer in &self.layers {
-            cur = Some(match &cur {
-                None => layer.forward(x),
-                Some(prev) => layer.forward(prev),
-            });
+        let mut ping = Matrix::default();
+        let mut pong = Matrix::default();
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i == 0 {
+                layer.forward_into(x, &mut ping);
+            } else {
+                layer.forward_into(&ping, &mut pong);
+                std::mem::swap(&mut ping, &mut pong);
+            }
         }
-        cur.expect("non-empty network")
+        ping
+    }
+
+    /// Inference reusing a caller-held tape; returns the output batch.
+    /// The hot path for batched policy evaluation: no allocations once the
+    /// tape has warmed up.
+    pub fn infer_into<'t>(&self, x: &Matrix, tape: &'t mut Tape) -> &'t Matrix {
+        self.forward_into(x, tape);
+        tape.output()
     }
 
     /// Backward pass from `dout` (gradient w.r.t. the network output),
     /// accumulating parameter gradients; returns the input gradient.
+    ///
+    /// Intermediate gradients live in the network's scratch buffers; only
+    /// the returned input-gradient matrix is allocated fresh.
     pub fn backward(&mut self, tape: &Tape, dout: &Matrix) -> Matrix {
         debug_assert_eq!(tape.acts.len(), self.layers.len() + 1);
-        let mut grad = dout.clone();
+        let mut grad = std::mem::take(&mut self.scratch.grad_a);
+        grad.copy_resize_from(dout);
+        let mut next = std::mem::take(&mut self.scratch.grad_b);
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
-            grad = layer.backward(&tape.acts[i], &tape.acts[i + 1], &grad);
+            layer.backward_into(
+                &tape.acts[i],
+                &tape.acts[i + 1],
+                &grad,
+                &mut self.scratch.dz,
+                &mut next,
+            );
+            std::mem::swap(&mut grad, &mut next);
         }
+        self.scratch.grad_b = next;
         grad
     }
 
@@ -192,9 +250,7 @@ impl Mlp {
 
     /// True if any parameter is NaN/inf (training-health check).
     pub fn has_non_finite(&self) -> bool {
-        self.layers
-            .iter()
-            .any(|l| l.w.has_non_finite() || l.b.iter().any(|x| !x.is_finite()))
+        self.layers.iter().any(|l| l.w.has_non_finite() || l.b.iter().any(|x| !x.is_finite()))
     }
 }
 
@@ -218,6 +274,34 @@ mod tests {
         let net = make(1);
         let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3], &[1.0, 0.0, -1.0]]);
         assert_eq!(net.forward(&x).output(), &net.infer(&x));
+    }
+
+    #[test]
+    fn reused_tape_and_infer_into_agree_with_fresh_passes() {
+        let net = make(1);
+        let x1 = Matrix::from_rows(&[&[0.1, -0.2, 0.3], &[1.0, 0.0, -1.0]]);
+        let x2 = Matrix::from_rows(&[&[0.7, 0.7, -0.7]]);
+        let mut tape = Tape::new();
+        net.forward_into(&x1, &mut tape);
+        assert_eq!(tape.output(), &net.infer(&x1));
+        // Shrinking the batch must fully overwrite the reused buffers.
+        assert_eq!(net.infer_into(&x2, &mut tape), &net.infer(&x2));
+        // And growing it again must too.
+        net.forward_into(&x1, &mut tape);
+        assert_eq!(tape.output(), &net.infer(&x1));
+    }
+
+    #[test]
+    fn batched_rows_match_per_row_inference() {
+        // The determinism contract behind act_batch: row r of a batched
+        // forward is bitwise identical to inferring that row alone.
+        let net = make(12);
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3], &[1.0, 0.0, -1.0], &[0.4, 0.5, 0.6]]);
+        let batched = net.infer(&x);
+        for r in 0..x.rows() {
+            let single = net.infer(&Matrix::row(x.row_slice(r)));
+            assert_eq!(single.as_slice(), batched.row_slice(r));
+        }
     }
 
     #[test]

@@ -47,11 +47,7 @@ pub fn d_log_prob_d_logits(probs: &[f64], action: usize, out: &mut [f64]) {
 
 /// Entropy of a categorical distribution given its probabilities.
 pub fn categorical_entropy(probs: &[f64]) -> f64 {
-    -probs
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| p * p.ln())
-        .sum::<f64>()
+    -probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>()
 }
 
 /// Gradient of the entropy w.r.t. the logits:
@@ -136,8 +132,7 @@ mod tests {
             lp[i] += eps;
             let mut lm = logits.clone();
             lm[i] -= eps;
-            let num = (categorical_entropy(&softmax(&lp))
-                - categorical_entropy(&softmax(&lm)))
+            let num = (categorical_entropy(&softmax(&lp)) - categorical_entropy(&softmax(&lm)))
                 / (2.0 * eps);
             assert!((num - grad[i]).abs() < 1e-6, "i={i}");
         }

@@ -160,8 +160,7 @@ mod tests {
     /// Train y = 2x - 1 on a 1-layer net; both optimizers must converge.
     fn fit_line(mut opt: impl Optimizer) -> f64 {
         let mut rng = StdRng::seed_from_u64(11);
-        let mut net =
-            Mlp::new(&[1, 1], Activation::Identity, Activation::Identity, &mut rng);
+        let mut net = Mlp::new(&[1, 1], Activation::Identity, Activation::Identity, &mut rng);
         let xs = Matrix::from_rows(&[&[-1.0], &[0.0], &[1.0], &[2.0]]);
         let ys = [-3.0, -1.0, 1.0, 3.0];
         let mut loss = f64::MAX;

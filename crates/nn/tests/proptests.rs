@@ -1,11 +1,45 @@
 //! Property-based tests for the tinynn numerical substrate.
 
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 use tinynn::{ops, Matrix};
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-10.0f64..10.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// A compatible `(m×k, k×n)` pair with random shapes, including the
+/// degenerate ones the blocked kernels special-case: single-row inputs
+/// (`m == 1`) and empty inner dimensions (`k == 0`).
+fn matmul_pair(max: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=max, 0usize..=max, 1usize..=max)
+        .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+}
+
+/// Schoolbook triple loop: the reference the blocked kernels must match.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, s);
+        }
+    }
+    out
+}
+
+fn assert_close(got: &Matrix, want: &Matrix, tol: f64) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.shape(), want.shape());
+    for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+        prop_assert!((x - y).abs() < tol, "{x} vs {y}");
+    }
+    Ok(())
 }
 
 proptest! {
@@ -94,5 +128,57 @@ proptest! {
         let mut grad = vec![0.0; logits.len()];
         ops::d_log_prob_d_logits(&probs, action, &mut grad);
         prop_assert!(grad.iter().sum::<f64>().abs() < 1e-10);
+    }
+
+    /// The register-blocked kernel matches the schoolbook triple loop on
+    /// arbitrary shapes, including 1×n rows and k = 0 inner dimensions.
+    #[test]
+    fn blocked_matmul_matches_naive((a, b) in matmul_pair(9)) {
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-9)?;
+    }
+
+    /// Fused A·Bᵀ agrees with the naive product on random shapes.
+    #[test]
+    fn blocked_matmul_transpose_rhs_matches_naive(
+        (a, b) in (1usize..=9, 0usize..=9, 1usize..=9)
+            .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(n, k)))
+    ) {
+        assert_close(&a.matmul_transpose_rhs(&b), &naive_matmul(&a, &b.transpose()), 1e-9)?;
+    }
+
+    /// Fused Aᵀ·B agrees with the naive product on random shapes.
+    #[test]
+    fn blocked_transpose_matmul_matches_naive(
+        (a, b) in (0usize..=9, 1usize..=9, 1usize..=9)
+            .prop_flat_map(|(k, m, n)| (matrix(k, m), matrix(k, n)))
+    ) {
+        assert_close(&a.transpose_matmul(&b), &naive_matmul(&a.transpose(), &b), 1e-9)?;
+    }
+
+    /// Batching rows never changes them: each row of a batched product is
+    /// bitwise identical to the same row multiplied on its own. This is
+    /// the determinism contract `act_batch` relies on.
+    #[test]
+    fn batched_rows_are_bitwise_single_rows((a, b) in matmul_pair(9)) {
+        let batched = a.matmul(&b);
+        for i in 0..a.rows() {
+            let single = Matrix::row(a.row_slice(i)).matmul(&b);
+            prop_assert_eq!(single.as_slice(), batched.row_slice(i));
+        }
+    }
+}
+
+proptest! {
+    // Large operands: few cases, but each crosses PAR_THRESHOLD so the
+    // rayon row-parallel path runs against the naive reference.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The row-parallel path agrees with the schoolbook reference.
+    #[test]
+    fn parallel_matmul_matches_naive((a, b) in (matrix(272, 64), matrix(64, 64))) {
+        assert!(272 * 64 * 64 >= tinynn::PAR_THRESHOLD, "shape must trigger the parallel path");
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_close(&out, &naive_matmul(&a, &b), 1e-9)?;
     }
 }

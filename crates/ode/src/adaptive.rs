@@ -110,8 +110,7 @@ impl AdaptiveStepper {
         let n = y_old.len();
         let mut acc = 0.0;
         for d in 0..n {
-            let scale =
-                self.opts.atol + self.opts.rtol * y_old[d].abs().max(y_new[d].abs());
+            let scale = self.opts.atol + self.opts.rtol * y_old[d].abs().max(y_new[d].abs());
             let e = self.err_buf[d] / scale;
             acc += e * e;
         }
@@ -146,9 +145,7 @@ impl AdaptiveStepper {
             }
             let h_eff = h.min(t1 - t);
             self.y_saved.copy_from_slice(y);
-            let w = self
-                .inner
-                .step_with_error(sys, t, h_eff, y, Some(&mut self.err_buf));
+            let w = self.inner.step_with_error(sys, t, h_eff, y, Some(&mut self.err_buf));
             work.fn_evals += w.fn_evals;
 
             let err = self.error_norm(&self.y_saved, y).max(1e-16);
@@ -156,11 +153,9 @@ impl AdaptiveStepper {
                 // Accept.
                 work.steps += 1;
                 t += h_eff;
-                let factor = (self.opts.safety
-                    * err.powf(-alpha)
-                    * self.prev_err_norm.powf(beta))
-                .min(self.opts.max_growth)
-                .max(0.2);
+                let factor = (self.opts.safety * err.powf(-alpha) * self.prev_err_norm.powf(beta))
+                    .min(self.opts.max_growth)
+                    .max(0.2);
                 h = (h_eff * factor).min(self.opts.h_max);
                 self.prev_err_norm = err;
             } else {
@@ -168,8 +163,7 @@ impl AdaptiveStepper {
                 work.rejected += 1;
                 y.copy_from_slice(&self.y_saved);
                 self.inner.reset();
-                h = (h_eff * (self.opts.safety * err.powf(-1.0 / k)).max(0.1))
-                    .max(self.opts.h_min);
+                h = (h_eff * (self.opts.safety * err.powf(-1.0 / k)).max(0.1)).max(self.opts.h_min);
                 if h <= self.opts.h_min {
                     return Err(AdaptiveError::StepSizeUnderflow);
                 }
@@ -234,9 +228,7 @@ mod tests {
     fn stiffish_problem_triggers_rejections() {
         // y' = -50 (y - cos t): fast transient forces step rejections when
         // started with a large h0.
-        let sys = FnSystem::new(1, |t, y: &[f64], dy: &mut [f64]| {
-            dy[0] = -50.0 * (y[0] - t.cos())
-        });
+        let sys = FnSystem::new(1, |t, y: &[f64], dy: &mut [f64]| dy[0] = -50.0 * (y[0] - t.cos()));
         let mut st = AdaptiveStepper::new(
             &BS23,
             1,
@@ -258,9 +250,6 @@ mod tests {
         )
         .unwrap();
         let mut y = vec![1.0];
-        assert_eq!(
-            st.integrate(&sys, &mut y, 0.0, 1.0).err(),
-            Some(AdaptiveError::TooManySteps)
-        );
+        assert_eq!(st.integrate(&sys, &mut y, 0.0, 1.0).err(), Some(AdaptiveError::TooManySteps));
     }
 }

@@ -173,11 +173,7 @@ mod tests {
         let sys = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0]);
         let mut y = vec![1.0];
         integrate_fixed(&Gbs8Factory, &sys, &mut y, 0.0, 1.0, 0.125);
-        assert!(
-            (y[0] - (-1.0f64).exp()).abs() < 1e-12,
-            "err = {}",
-            (y[0] - (-1.0f64).exp()).abs()
-        );
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-12, "err = {}", (y[0] - (-1.0f64).exp()).abs());
     }
 
     #[test]

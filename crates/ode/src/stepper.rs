@@ -122,9 +122,7 @@ impl TableauStepper {
 
         // FSAL: k[s-1] is f(t+h, y_{n+1}).
         if self.tab.fsal {
-            let cache = self
-                .fsal_cache
-                .get_or_insert_with(|| vec![0.0; n]);
+            let cache = self.fsal_cache.get_or_insert_with(|| vec![0.0; n]);
             cache.copy_from_slice(&self.k[s - 1]);
         }
 

@@ -136,12 +136,7 @@ pub const BS23: Tableau = Tableau {
     b: &[2.0 / 9.0, 1.0 / 3.0, 4.0 / 9.0, 0.0],
     c: &[0.0, 0.5, 0.75, 1.0],
     // b - b̂ with b̂ = [7/24, 1/4, 1/3, 1/8]
-    b_err: Some(&[
-        2.0 / 9.0 - 7.0 / 24.0,
-        1.0 / 3.0 - 0.25,
-        4.0 / 9.0 - 1.0 / 3.0,
-        -0.125,
-    ]),
+    b_err: Some(&[2.0 / 9.0 - 7.0 / 24.0, 1.0 / 3.0 - 0.25, 4.0 / 9.0 - 1.0 / 3.0, -0.125]),
     fsal: true,
 };
 
@@ -197,15 +192,7 @@ pub const DOPRI5: Tableau = Tableau {
         -2187.0 / 6784.0,
         11.0 / 84.0,
     ],
-    b: &[
-        35.0 / 384.0,
-        0.0,
-        500.0 / 1113.0,
-        125.0 / 192.0,
-        -2187.0 / 6784.0,
-        11.0 / 84.0,
-        0.0,
-    ],
+    b: &[35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0, 0.0],
     c: &[0.0, 0.2, 0.3, 0.8, 8.0 / 9.0, 1.0, 1.0],
     // b - b̂ with b̂ = [5179/57600, 0, 7571/16695, 393/640, -92097/339200, 187/2100, 1/40]
     b_err: Some(&[
@@ -249,14 +236,7 @@ pub const CASH_KARP: Tableau = Tableau {
         44275.0 / 110592.0,
         253.0 / 4096.0,
     ],
-    b: &[
-        37.0 / 378.0,
-        0.0,
-        250.0 / 621.0,
-        125.0 / 594.0,
-        0.0,
-        512.0 / 1771.0,
-    ],
+    b: &[37.0 / 378.0, 0.0, 250.0 / 621.0, 125.0 / 594.0, 0.0, 512.0 / 1771.0],
     c: &[0.0, 0.2, 0.3, 0.6, 1.0, 0.875],
     // b - b̂ with b̂ = [2825/27648, 0, 18575/48384, 13525/55296, 277/14336, 1/4]
     b_err: Some(&[

@@ -126,9 +126,10 @@ impl A2cLearner {
 
         // ---- Actor: L = -(log π) A - ent H.
         let tape = self.policy.actor.forward(&x);
-        let out = tape.output().clone();
+        let out = tape.output();
         let mut dout = Matrix::zeros(n, act_dim);
         let mut dls = vec![0.0; self.policy.log_std.len()];
+        let mut g = vec![0.0; act_dim];
         for i in 0..n {
             let d = self.policy.dist_from_actor_row(out.row_slice(i));
             let action = &rollout.actions[i];
@@ -139,7 +140,6 @@ impl A2cLearner {
             match (&d, action) {
                 (Dist::Categorical(c), Action::Discrete(act)) => {
                     let drow = dout.row_slice_mut(i);
-                    let mut g = vec![0.0; act_dim];
                     c.d_log_prob_d_logits(*act, &mut g);
                     for (o, gi) in drow.iter_mut().zip(&g) {
                         *o += -a * gi * inv_n;
@@ -153,7 +153,6 @@ impl A2cLearner {
                 }
                 (Dist::Gaussian(gss), Action::Continuous(act)) => {
                     let drow = dout.row_slice_mut(i);
-                    let mut g = vec![0.0; act_dim];
                     gss.d_log_prob_d_mean(act, &mut g);
                     for (o, gi) in drow.iter_mut().zip(&g) {
                         *o += -a * gi * inv_n;
@@ -174,7 +173,7 @@ impl A2cLearner {
 
         // ---- Critic.
         let vtape = self.policy.critic.forward(&x);
-        let v = vtape.output().clone();
+        let v = vtape.output();
         let mut dv = Matrix::zeros(n, 1);
         for i in 0..n {
             let err = v.get(i, 0) - rets[i];
@@ -332,8 +331,7 @@ mod tests {
     #[should_panic(expected = "empty rollout")]
     fn empty_rollout_panics() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut learner =
-            A2cLearner::new(2, &Space::Discrete(2), A2cConfig::default(), &mut rng);
+        let mut learner = A2cLearner::new(2, &Space::Discrete(2), A2cConfig::default(), &mut rng);
         learner.update(&RolloutBuffer::default());
     }
 

@@ -271,14 +271,8 @@ mod tests {
         rb.push(vec![1.0], Action::Discrete(0), -1.0, false, false, 0.4, 0.3, 0.0);
         rb.push(vec![2.0], Action::Discrete(0), 2.0, true, true, 0.3, 0.0, 0.0);
         let (adv, ret) = rb.advantages(0.99, 0.95);
-        let (adv2, ret2) = crate::gae::gae(
-            &rb.rewards,
-            &rb.values,
-            &rb.dones,
-            &rb.next_values,
-            0.99,
-            0.95,
-        );
+        let (adv2, ret2) =
+            crate::gae::gae(&rb.rewards, &rb.values, &rb.dones, &rb.next_values, 0.99, 0.95);
         assert_eq!(adv, adv2);
         assert_eq!(ret, ret2);
     }

@@ -94,7 +94,12 @@ pub struct ImpalaLearner {
 
 impl ImpalaLearner {
     /// Create a learner.
-    pub fn new(obs_dim: usize, action_space: &Space, cfg: ImpalaConfig, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        obs_dim: usize,
+        action_space: &Space,
+        cfg: ImpalaConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
         let policy = ActorCritic::new(obs_dim, action_space, &cfg.hidden, rng);
         let k = policy.log_std.len();
         Self {
@@ -131,7 +136,7 @@ impl ImpalaLearner {
 
         // ---- Target log-probs under the current policy.
         let tape = self.policy.actor.forward(&x);
-        let out = tape.output().clone();
+        let out = tape.output();
         let mut target_lp = Vec::with_capacity(n);
         let mut dists = Vec::with_capacity(n);
         for i in 0..n {
@@ -166,6 +171,7 @@ impl ImpalaLearner {
         // ---- Actor step: L = -(log π) Â_vtrace - ent H.
         let mut dout = Matrix::zeros(n, act_dim);
         let mut dls = vec![0.0; self.policy.log_std.len()];
+        let mut g = vec![0.0; act_dim];
         for i in 0..n {
             let a = adv[i];
             stats.policy_loss += -target_lp[i] * a * inv_n;
@@ -173,7 +179,6 @@ impl ImpalaLearner {
             match (&dists[i], &rollout.actions[i]) {
                 (Dist::Categorical(c), Action::Discrete(act)) => {
                     let drow = dout.row_slice_mut(i);
-                    let mut g = vec![0.0; act_dim];
                     c.d_log_prob_d_logits(*act, &mut g);
                     for (o, gi) in drow.iter_mut().zip(&g) {
                         *o += -a * gi * inv_n;
@@ -187,7 +192,6 @@ impl ImpalaLearner {
                 }
                 (Dist::Gaussian(gss), Action::Continuous(act)) => {
                     let drow = dout.row_slice_mut(i);
-                    let mut g = vec![0.0; act_dim];
                     gss.d_log_prob_d_mean(act, &mut g);
                     for (o, gi) in drow.iter_mut().zip(&g) {
                         *o += -a * gi * inv_n;
@@ -208,7 +212,7 @@ impl ImpalaLearner {
 
         // ---- Critic toward the V-trace targets.
         let vtape = self.policy.critic.forward(&x);
-        let v = vtape.output().clone();
+        let v = vtape.output();
         let mut dv = Matrix::zeros(n, 1);
         for i in 0..n {
             let err = v.get(i, 0) - vt.vs[i];

@@ -10,6 +10,8 @@
 //! * [`gae`] — generalized advantage estimation;
 //! * [`buffer`] — on-policy rollout storage and the off-policy replay
 //!   ring buffer;
+//! * [`collect`] — lockstep batched collection over vectorized envs
+//!   (one actor/critic forward per tick, however many sub-envs);
 //! * [`policy`] — actor-critic policy heads (categorical / diagonal
 //!   Gaussian) shared by the trainers;
 //! * [`ppo`] — the clipped-surrogate PPO learner;
@@ -24,24 +26,26 @@
 
 pub mod a2c;
 pub mod buffer;
+pub mod collect;
 pub mod gae;
 pub mod impala;
 pub mod policy;
 pub mod ppo;
 pub mod sac;
 pub mod schedules;
-pub mod vtrace;
 pub mod trainer;
+pub mod vtrace;
 
 pub use a2c::{A2cConfig, A2cLearner, A2cStats};
 pub use buffer::{ReplayBuffer, RolloutBuffer, Transition};
+pub use collect::{collect_lockstep, LockstepOutcome};
 pub use impala::{ImpalaConfig, ImpalaLearner, ImpalaStats};
 pub use policy::{ActorCritic, PolicyHead};
 pub use ppo::{PpoConfig, PpoLearner, PpoStats};
 pub use sac::{SacConfig, SacLearner, SacStats};
 pub use schedules::Schedule;
-pub use vtrace::{vtrace, VtraceConfig, VtraceResult};
 pub use trainer::{train, EvalSpec, TrainProgress, TrainReport, TrainSpec};
+pub use vtrace::{vtrace, VtraceConfig, VtraceResult};
 
 /// Which of the paper's two algorithms a configuration uses (Table I's
 /// "Algorithm" column).

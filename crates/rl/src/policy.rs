@@ -134,15 +134,26 @@ impl ActorCritic {
     pub fn dist_from_actor_row(&self, row: &[f64]) -> Dist {
         match self.head {
             PolicyHead::Categorical { .. } => Dist::Categorical(Categorical::from_logits(row)),
-            PolicyHead::Gaussian { .. } => {
-                Dist::Gaussian(DiagGaussian::new(row, &self.log_std))
-            }
+            PolicyHead::Gaussian { .. } => Dist::Gaussian(DiagGaussian::new(row, &self.log_std)),
         }
     }
 
     /// Critic value of a single observation.
     pub fn value(&self, obs: &[f64]) -> f64 {
         self.critic.infer(&Matrix::row(obs)).get(0, 0)
+    }
+
+    /// Distributions for a batch of observations (one per matrix row),
+    /// derived from a single batched actor forward pass.
+    pub fn dists_batch(&self, obs: &Matrix) -> Vec<Dist> {
+        let out = self.actor.infer(obs);
+        (0..out.rows()).map(|r| self.dist_from_actor_row(out.row_slice(r))).collect()
+    }
+
+    /// Critic values for a batch of observations (one per matrix row),
+    /// from a single batched critic forward pass.
+    pub fn value_batch(&self, obs: &Matrix) -> Vec<f64> {
+        self.critic.infer(obs).as_slice().to_vec()
     }
 
     /// Sample an action; returns `(action, log_prob, value)`.
@@ -153,9 +164,36 @@ impl ActorCritic {
         (a, lp, self.value(obs))
     }
 
+    /// Sample actions for a whole batch of observations with one actor
+    /// and one critic forward pass; returns `(action, log_prob, value)`
+    /// per row.
+    ///
+    /// Row `i` consumes `rng` exactly as a sequential [`ActorCritic::act`]
+    /// on row `i` would, and the matmul kernels guarantee batched rows are
+    /// bitwise identical to single-row evaluation, so this agrees with the
+    /// per-row path exactly — the vectorized collectors rely on it.
+    pub fn act_batch(&self, obs: &Matrix, rng: &mut impl Rng) -> Vec<(Action, f64, f64)> {
+        let dists = self.dists_batch(obs);
+        let values = self.value_batch(obs);
+        dists
+            .into_iter()
+            .zip(values)
+            .map(|(d, v)| {
+                let a = d.sample(rng);
+                let lp = d.log_prob(&a);
+                (a, lp, v)
+            })
+            .collect()
+    }
+
     /// Greedy action for evaluation.
     pub fn act_greedy(&self, obs: &[f64]) -> Action {
         self.dist(obs).mode()
+    }
+
+    /// Greedy actions for a batch of observations (batched evaluation).
+    pub fn act_greedy_batch(&self, obs: &Matrix) -> Vec<Action> {
+        self.dists_batch(obs).iter().map(Dist::mode).collect()
     }
 
     /// Zero gradients on all components.
@@ -250,10 +288,7 @@ mod tests {
     #[test]
     fn param_bytes_include_log_std() {
         let p = gaussian_policy();
-        assert_eq!(
-            p.param_bytes(),
-            p.actor.param_bytes() + p.critic.param_bytes() + 16
-        );
+        assert_eq!(p.param_bytes(), p.actor.param_bytes() + p.critic.param_bytes() + 16);
     }
 
     #[test]
@@ -271,5 +306,55 @@ mod tests {
     fn mismatched_action_log_prob_panics() {
         let p = gaussian_policy();
         p.dist(&[0.0; 3]).log_prob(&Action::Discrete(0));
+    }
+
+    #[test]
+    fn act_batch_matches_per_row_act() {
+        let rows: [&[f64]; 4] =
+            [&[0.1, 0.2, 0.3], &[-1.0, 0.5, 0.0], &[0.7, -0.7, 0.7], &[0.0, 0.0, 0.0]];
+        let obs = Matrix::from_rows(&rows);
+        for p in [gaussian_policy(), categorical_policy()] {
+            let batched = p.act_batch(&obs, &mut StdRng::seed_from_u64(11));
+            // Same seed, per-row path: actions and rng consumption must
+            // line up row for row, log-probs/values to 1e-12.
+            let mut rng = StdRng::seed_from_u64(11);
+            for (i, row) in rows.iter().enumerate() {
+                let (a, lp, v) = p.act(row, &mut rng);
+                assert_eq!(a, batched[i].0, "action row {i}");
+                assert!((lp - batched[i].1).abs() < 1e-12, "log_prob row {i}");
+                assert!((v - batched[i].2).abs() < 1e-12, "value row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_batch_matches_per_row_value() {
+        let p = gaussian_policy();
+        let rows: [&[f64]; 3] = [&[0.3, 0.1, -0.2], &[1.0, 1.0, 1.0], &[-0.4, 0.0, 0.9]];
+        let obs = Matrix::from_rows(&rows);
+        let vals = p.value_batch(&obs);
+        assert_eq!(vals.len(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            assert!((p.value(row) - vals[i]).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn act_greedy_batch_matches_per_row_greedy() {
+        let p = categorical_policy();
+        let rows: [&[f64]; 2] = [&[0.1, 0.1, 0.1], &[-0.5, 0.3, 0.8]];
+        let obs = Matrix::from_rows(&rows);
+        let batched = p.act_greedy_batch(&obs);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(batched[i], p.act_greedy(row), "row {i}");
+        }
+    }
+
+    #[test]
+    fn act_batch_handles_empty_batch() {
+        let p = gaussian_policy();
+        let obs = Matrix::zeros(0, 3);
+        assert!(p.act_batch(&obs, &mut StdRng::seed_from_u64(1)).is_empty());
+        assert!(p.value_batch(&obs).is_empty());
     }
 }

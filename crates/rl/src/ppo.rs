@@ -12,13 +12,14 @@
 // Index loops here co-index several arrays; zip chains would obscure them.
 #![allow(clippy::needless_range_loop)]
 use crate::buffer::RolloutBuffer;
+use crate::collect::collect_lockstep;
 use crate::gae;
 use crate::policy::{ActorCritic, Dist, PolicyHead};
-use gymrs::{Action, Environment, Space};
+use gymrs::{Action, Environment, Space, VecEnv};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use tinynn::{backward_flops, clip_grad_norm, forward_flops, Adam, Matrix, Optimizer};
+use tinynn::{backward_flops, clip_grad_norm, forward_flops, Adam, Matrix, Optimizer, Tape};
 
 /// PPO hyperparameters (defaults follow the frameworks' shared defaults).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -121,6 +122,9 @@ pub struct PpoLearner {
     pub updates: u64,
     /// Accumulated learning FLOPs (forward + backward), for the cost model.
     pub flops: u64,
+    // Reused forward tapes — allocated once, resized per minibatch.
+    atape: Tape,
+    vtape: Tape,
 }
 
 impl PpoLearner {
@@ -138,6 +142,8 @@ impl PpoLearner {
             cfg,
             updates: 0,
             flops: 0,
+            atape: Tape::new(),
+            vtape: Tape::new(),
         }
     }
 
@@ -151,6 +157,12 @@ impl PpoLearner {
     ///
     /// Episode boundaries auto-reset; the final step bootstraps with the
     /// critic's value of the carried observation.
+    ///
+    /// The bootstrap value `V(s')` of one step is exactly the current
+    /// value `V(s)` of the next, so it is cached instead of recomputed —
+    /// the critic runs roughly once per step instead of twice, with
+    /// bitwise-identical results (the critic is deterministic and draws
+    /// nothing from `rng`).
     pub fn collect(
         &mut self,
         env: &mut dyn Environment,
@@ -163,8 +175,12 @@ impl PpoLearner {
         let mut episodes = Vec::new();
         let mut ep_ret = 0.0;
         let mut ep_len = 0usize;
+        let mut value = self.policy.value(obs);
+        let mut critic_rows = 1usize;
         for _ in 0..n_steps {
-            let (action, log_prob, value) = self.policy.act(obs, rng);
+            let d = self.policy.dist(obs);
+            let action = d.sample(rng);
+            let log_prob = d.log_prob(&action);
             let s = env.step(&action);
             env_work += env.last_step_work();
             ep_ret += s.reward;
@@ -175,6 +191,7 @@ impl PpoLearner {
             let next_value = if s.terminated {
                 0.0
             } else {
+                critic_rows += 1;
                 self.policy.value(&s.obs)
             };
             rollout.push(
@@ -192,16 +209,39 @@ impl PpoLearner {
                 ep_ret = 0.0;
                 ep_len = 0;
                 *obs = env.reset();
+                value = self.policy.value(obs);
+                critic_rows += 1;
             } else {
                 *obs = s.obs;
+                value = next_value;
             }
         }
-        // Inference cost of collection: one actor + ~two critic passes per
-        // step (act() evaluates V(s), plus bootstrap values).
+        // Inference cost of collection: one actor pass per step plus the
+        // critic rows actually evaluated.
         let a_sizes = self.policy.actor.sizes();
         let c_sizes = self.policy.critic.sizes();
-        self.flops += forward_flops(&a_sizes, n_steps) + 2 * forward_flops(&c_sizes, n_steps);
+        self.flops += forward_flops(&a_sizes, n_steps) + forward_flops(&c_sizes, critic_rows);
         CollectOutcome { rollout, env_work, episodes }
+    }
+
+    /// Collect `ticks` lockstep sweeps from a vectorized environment with
+    /// *batched* policy evaluation: one actor and one critic forward per
+    /// tick regardless of the number of sub-environments. See
+    /// [`collect_lockstep`] for the exact semantics (per-env segments
+    /// concatenated, tails closed, truncation bootstrapped from the
+    /// pre-reset observation).
+    pub fn collect_vec<E: Environment>(
+        &mut self,
+        venv: &mut VecEnv<E>,
+        ticks: usize,
+        rng: &mut impl Rng,
+    ) -> CollectOutcome {
+        let out = collect_lockstep(&self.policy, venv, ticks, rng);
+        let a_sizes = self.policy.actor.sizes();
+        let c_sizes = self.policy.critic.sizes();
+        self.flops += forward_flops(&a_sizes, out.actor_rows as usize)
+            + forward_flops(&c_sizes, out.critic_rows as usize);
+        CollectOutcome { rollout: out.rollout, env_work: out.env_work, episodes: out.episodes }
     }
 
     /// One PPO update over a rollout (epochs × minibatches).
@@ -221,23 +261,30 @@ impl PpoLearner {
             PolicyHead::Categorical { n } => n,
             PolicyHead::Gaussian { dim } => dim,
         };
+        let obs_dim = rollout.obs[0].len();
+
+        // Minibatch buffers, reused across every epoch × minibatch pass.
+        let mut x = Matrix::default();
+        let mut dout = Matrix::default();
+        let mut dv = Matrix::default();
+        let mut g = vec![0.0; act_dim];
+        let mut dls = vec![0.0; self.policy.log_std.len()];
 
         for _epoch in 0..self.cfg.epochs {
             idx.shuffle(rng);
             for chunk in idx.chunks(self.cfg.minibatch) {
                 let mb = chunk.len();
                 // Assemble the minibatch observation matrix.
-                let obs_dim = rollout.obs[chunk[0]].len();
-                let mut x = Matrix::zeros(mb, obs_dim);
+                x.resize_zeroed(mb, obs_dim);
                 for (r, &i) in chunk.iter().enumerate() {
                     x.row_slice_mut(r).copy_from_slice(&rollout.obs[i]);
                 }
 
                 // ---- Actor pass ----
-                let tape = self.policy.actor.forward(&x);
-                let out = tape.output().clone();
-                let mut dout = Matrix::zeros(mb, act_dim);
-                let mut dls = vec![0.0; self.policy.log_std.len()];
+                self.policy.actor.forward_into(&x, &mut self.atape);
+                let out = self.atape.output();
+                dout.resize_zeroed(mb, act_dim);
+                dls.fill(0.0);
                 let inv_mb = 1.0 / mb as f64;
 
                 for (r, &i) in chunk.iter().enumerate() {
@@ -263,7 +310,6 @@ impl PpoLearner {
                     match (&d, action) {
                         (Dist::Categorical(c), Action::Discrete(act)) => {
                             let drow = dout.row_slice_mut(r);
-                            let mut g = vec![0.0; act_dim];
                             c.d_log_prob_d_logits(*act, &mut g);
                             for (o, gi) in drow.iter_mut().zip(&g) {
                                 *o += dlp * gi * inv_mb;
@@ -277,7 +323,6 @@ impl PpoLearner {
                         }
                         (Dist::Gaussian(gss), Action::Continuous(act)) => {
                             let drow = dout.row_slice_mut(r);
-                            let mut g = vec![0.0; act_dim];
                             gss.d_log_prob_d_mean(act, &mut g);
                             for (o, gi) in drow.iter_mut().zip(&g) {
                                 *o += dlp * gi * inv_mb;
@@ -294,22 +339,22 @@ impl PpoLearner {
                 }
 
                 self.policy.actor.zero_grad();
-                self.policy.actor.backward(&tape, &dout);
+                self.policy.actor.backward(&self.atape, &dout);
                 clip_grad_norm(&mut self.policy.actor, self.cfg.max_grad_norm);
                 self.actor_opt.step(&mut self.policy.actor);
                 self.step_log_std(&dls);
 
                 // ---- Critic pass ----
-                let vtape = self.policy.critic.forward(&x);
-                let v = vtape.output().clone();
-                let mut dv = Matrix::zeros(mb, 1);
+                self.policy.critic.forward_into(&x, &mut self.vtape);
+                let v = self.vtape.output();
+                dv.resize_zeroed(mb, 1);
                 for (r, &i) in chunk.iter().enumerate() {
                     let err = v.get(r, 0) - rets[i];
                     stats.value_loss += 0.5 * err * err;
                     dv.set(r, 0, self.cfg.vf_coef * err * inv_mb);
                 }
                 self.policy.critic.zero_grad();
-                self.policy.critic.backward(&vtape, &dv);
+                self.policy.critic.backward(&self.vtape, &dv);
                 clip_grad_norm(&mut self.policy.critic, self.cfg.max_grad_norm);
                 self.critic_opt.step(&mut self.policy.critic);
 
@@ -464,8 +509,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut env = PointMass::new();
         env.seed(3);
-        let mut learner =
-            PpoLearner::new(4, &env.action_space(), PpoConfig::fast_test(), &mut rng);
+        let mut learner = PpoLearner::new(4, &env.action_space(), PpoConfig::fast_test(), &mut rng);
         let mut obs = env.reset();
         let out = learner.collect(&mut env, &mut obs, 256, &mut rng);
         let stats1 = learner.update(&out.rollout, &mut rng);
@@ -482,8 +526,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut env = GridWorld::new(3);
         env.seed(5);
-        let mut learner =
-            PpoLearner::new(2, &env.action_space(), PpoConfig::fast_test(), &mut rng);
+        let mut learner = PpoLearner::new(2, &env.action_space(), PpoConfig::fast_test(), &mut rng);
         let mut obs = env.reset();
         let out = learner.collect(&mut env, &mut obs, 300, &mut rng);
         assert_eq!(out.rollout.len(), 300);
@@ -498,12 +541,46 @@ mod tests {
     }
 
     #[test]
+    fn collect_vec_matches_sequential_collect() {
+        // A single-sub-env VecEnv collection must reproduce the per-step
+        // collector exactly: the batched kernels are row-bitwise
+        // deterministic and the rng draw order is identical.
+        let cfg = PpoConfig::fast_test();
+        let mut learner_a = PpoLearner::new(
+            2,
+            &gymrs::Space::Discrete(4),
+            cfg.clone(),
+            &mut StdRng::seed_from_u64(21),
+        );
+        let mut learner_b =
+            PpoLearner::new(2, &gymrs::Space::Discrete(4), cfg, &mut StdRng::seed_from_u64(21));
+
+        let mut env = GridWorld::new(3);
+        env.seed(7);
+        let mut obs = env.reset();
+        let seq = learner_a.collect(&mut env, &mut obs, 200, &mut StdRng::seed_from_u64(33));
+
+        let mut venv = gymrs::VecEnv::new(vec![GridWorld::new(3)], 7);
+        venv.reset_all();
+        let vec_out = learner_b.collect_vec(&mut venv, 200, &mut StdRng::seed_from_u64(33));
+
+        assert_eq!(vec_out.rollout.obs, seq.rollout.obs);
+        assert_eq!(vec_out.rollout.actions, seq.rollout.actions);
+        assert_eq!(vec_out.rollout.rewards, seq.rollout.rewards);
+        assert_eq!(vec_out.rollout.values, seq.rollout.values);
+        assert_eq!(vec_out.rollout.next_values, seq.rollout.next_values);
+        assert_eq!(vec_out.rollout.log_probs, seq.rollout.log_probs);
+        assert_eq!(vec_out.env_work, seq.env_work);
+        assert_eq!(vec_out.episodes, seq.episodes);
+        assert!(learner_b.flops > 0);
+    }
+
+    #[test]
     fn flops_accounting_grows_with_work() {
         let mut rng = StdRng::seed_from_u64(6);
         let mut env = GridWorld::new(3);
         env.seed(6);
-        let mut learner =
-            PpoLearner::new(2, &env.action_space(), PpoConfig::fast_test(), &mut rng);
+        let mut learner = PpoLearner::new(2, &env.action_space(), PpoConfig::fast_test(), &mut rng);
         assert_eq!(learner.flops, 0);
         let mut obs = env.reset();
         let out = learner.collect(&mut env, &mut obs, 64, &mut rng);
@@ -518,12 +595,8 @@ mod tests {
     #[should_panic(expected = "empty rollout")]
     fn empty_rollout_panics() {
         let mut rng = StdRng::seed_from_u64(8);
-        let mut learner = PpoLearner::new(
-            2,
-            &gymrs::Space::Discrete(2),
-            PpoConfig::fast_test(),
-            &mut rng,
-        );
+        let mut learner =
+            PpoLearner::new(2, &gymrs::Space::Discrete(2), PpoConfig::fast_test(), &mut rng);
         learner.update(&RolloutBuffer::default(), &mut rng);
     }
 

@@ -13,7 +13,9 @@ use gymrs::{Action, Space};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use tinynn::dist::{SquashedGaussian, LOG_STD_MAX, LOG_STD_MIN};
-use tinynn::{backward_flops, clip_grad_norm, forward_flops, Activation, Adam, Matrix, Mlp, Optimizer};
+use tinynn::{
+    backward_flops, clip_grad_norm, forward_flops, Activation, Adam, Matrix, Mlp, Optimizer,
+};
 
 /// SAC hyperparameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -182,7 +184,9 @@ impl SacLearner {
     /// warmup phase, stochastic policy afterwards).
     pub fn act(&self, obs: &[f64], rng: &mut impl Rng) -> Action {
         if (self.steps_observed as usize) < self.cfg.start_steps {
-            return Action::Continuous((0..self.act_dim).map(|_| rng.gen_range(-1.0..=1.0)).collect());
+            return Action::Continuous(
+                (0..self.act_dim).map(|_| rng.gen_range(-1.0..=1.0)).collect(),
+            );
         }
         Action::Continuous(self.policy_dist(obs).rsample(rng).action)
     }
@@ -246,7 +250,7 @@ impl SacLearner {
         // gradient buffers can be safely reused below).
         let obs_mat = rows(&batch, |t| &t.obs);
         let actor_tape = self.actor.forward(&obs_mat);
-        let actor_out = actor_tape.output().clone();
+        let actor_out = actor_tape.output();
         let mut cur_in = Matrix::zeros(b, self.obs_dim + self.act_dim);
         let mut samples = Vec::with_capacity(b);
         let mut dists = Vec::with_capacity(b);
@@ -263,8 +267,8 @@ impl SacLearner {
         // dQmin/da via the critics' input gradients.
         let q1_tape = self.q1.forward(&cur_in);
         let q2_tape = self.q2.forward(&cur_in);
-        let q1v = q1_tape.output().clone();
-        let q2v = q2_tape.output().clone();
+        let q1v = q1_tape.output();
+        let q2v = q2_tape.output();
         let ones = Matrix::full(b, 1, 1.0);
         self.q1.zero_grad();
         self.q2.zero_grad();
@@ -317,7 +321,7 @@ impl SacLearner {
         let mut q_loss = 0.0;
         for (q, opt) in [(&mut self.q1, &mut self.q1_opt), (&mut self.q2, &mut self.q2_opt)] {
             let tape = q.forward(&stored_in);
-            let out = tape.output().clone();
+            let out = tape.output();
             let mut dq = Matrix::zeros(b, 1);
             for i in 0..b {
                 let err = out.get(i, 0) - y[i];

@@ -246,10 +246,7 @@ mod tests {
     fn ppo_train_loop_produces_consistent_report() {
         let mut env = GridWorld::new(3);
         let mut eval_env = GridWorld::new(3);
-        let spec = TrainSpec {
-            ppo: PpoConfig::fast_test(),
-            ..TrainSpec::ppo(1024, 3)
-        };
+        let spec = TrainSpec { ppo: PpoConfig::fast_test(), ..TrainSpec::ppo(1024, 3) };
         let report = train(&mut env, &mut eval_env, &spec, &EvalSpec::default());
         assert_eq!(report.env_steps, 1024);
         assert_eq!(report.env_work, 1024);
@@ -267,7 +264,8 @@ mod tests {
             sac: SacConfig { start_steps: 100, ..SacConfig::fast_test() },
             ..TrainSpec::sac(600, 5)
         };
-        let report = train(&mut env, &mut eval_env, &spec, &EvalSpec { episodes: 3, max_steps: 100 });
+        let report =
+            train(&mut env, &mut eval_env, &spec, &EvalSpec { episodes: 3, max_steps: 100 });
         assert_eq!(report.env_steps, 600);
         assert!(report.updates > 0);
         assert!(report.eval_mean_return.is_finite());
@@ -307,7 +305,8 @@ mod tests {
         let mut spec = TrainSpec { ppo: PpoConfig::fast_test(), ..TrainSpec::ppo(768, 3) };
         spec.ppo.lr_schedule = Some(Schedule::linear_to_zero(spec.ppo.lr));
         // Training must complete and remain finite under annealing.
-        let report = train(&mut env, &mut eval_env, &spec, &EvalSpec { episodes: 2, max_steps: 100 });
+        let report =
+            train(&mut env, &mut eval_env, &spec, &EvalSpec { episodes: 2, max_steps: 100 });
         assert!(report.eval_mean_return.is_finite());
         assert!(report.updates > 0);
     }

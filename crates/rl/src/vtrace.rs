@@ -121,15 +121,8 @@ mod tests {
         let values = vec![0.2, 0.4, -0.1, 0.3];
         let dones = vec![false, false, false, false];
         let next_values = vec![0.4, -0.1, 0.3, 0.25];
-        let res = vtrace(
-            &lp,
-            &lp,
-            &rewards,
-            &values,
-            &next_values,
-            &dones,
-            &VtraceConfig::default(),
-        );
+        let res =
+            vtrace(&lp, &lp, &rewards, &values, &next_values, &dones, &VtraceConfig::default());
         let (_, rets) = gae(&rewards, &values, &dones, &next_values, 0.99, 1.0);
         for (t, (v, ret)) in res.vs.iter().zip(&rets).enumerate() {
             assert!((v - ret).abs() < 1e-12, "v[{t}]: {v} vs {ret}");
@@ -154,15 +147,8 @@ mod tests {
 
     #[test]
     fn low_ratio_discounts_the_correction() {
-        let res = vtrace(
-            &[-0.1],
-            &[-5.0],
-            &[1.0],
-            &[0.0],
-            &[0.0],
-            &[true],
-            &VtraceConfig::default(),
-        );
+        let res =
+            vtrace(&[-0.1], &[-5.0], &[1.0], &[0.0], &[0.0], &[true], &VtraceConfig::default());
         assert!(res.rhos[0] < 0.01);
         assert!(res.vs[0].abs() < 0.01);
     }
@@ -209,9 +195,8 @@ mod tests {
         let rewards: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5).collect();
         let values: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 / 7.0).collect();
         let dones: Vec<bool> = (0..n).map(|i| i % 17 == 16).collect();
-        let next_values: Vec<f64> = (0..n)
-            .map(|i| if dones[i] { 0.0 } else { values[(i + 1) % n] })
-            .collect();
+        let next_values: Vec<f64> =
+            (0..n).map(|i| if dones[i] { 0.0 } else { values[(i + 1) % n] }).collect();
         let res = vtrace(
             &behaviour,
             &target,
@@ -235,11 +220,21 @@ mod tests {
         let next_values = vec![0.0; 4];
         let dones = vec![false; 4];
         let loose = vtrace(
-            &behaviour, &target, &rewards, &values, &next_values, &dones,
+            &behaviour,
+            &target,
+            &rewards,
+            &values,
+            &next_values,
+            &dones,
             &VtraceConfig { rho_clip: 5.0, c_clip: 1.0, gamma: 0.99 },
         );
         let tight = vtrace(
-            &behaviour, &target, &rewards, &values, &next_values, &dones,
+            &behaviour,
+            &target,
+            &rewards,
+            &values,
+            &next_values,
+            &dones,
             &VtraceConfig { rho_clip: 0.5, c_clip: 1.0, gamma: 0.99 },
         );
         assert!(loose.vs[0] > tight.vs[0], "{} vs {}", loose.vs[0], tight.vs[0]);
@@ -279,9 +274,7 @@ mod tests {
         for (i, want) in res1.vs.iter().chain(res2.vs.iter()).enumerate() {
             assert!((merged.vs[i] - want).abs() < 1e-12, "vs[{i}]");
         }
-        for (i, want) in
-            res1.pg_advantages.iter().chain(res2.pg_advantages.iter()).enumerate()
-        {
+        for (i, want) in res1.pg_advantages.iter().chain(res2.pg_advantages.iter()).enumerate() {
             assert!((merged.pg_advantages[i] - want).abs() < 1e-12, "pg[{i}]");
         }
     }

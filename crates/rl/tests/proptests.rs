@@ -1,0 +1,101 @@
+//! Property-based tests for the batched policy-evaluation path.
+//!
+//! The batched kernels in `tinynn` are row-deterministic — a row of a
+//! batched product is bitwise identical to the same row multiplied on
+//! its own — so `act_batch`/`value_batch` must agree with their per-row
+//! counterparts to machine precision regardless of batch size, policy
+//! head, or observation contents.
+
+use gymrs::{Action, Space};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_algos::policy::ActorCritic;
+use tinynn::Matrix;
+
+fn obs_batch(batch: usize, dim: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f64..5.0, batch * dim)
+        .prop_map(move |data| Matrix::from_vec(batch, dim, data))
+}
+
+fn actions_match(a: &Action, b: &Action, tol: f64) -> bool {
+    match (a, b) {
+        (Action::Discrete(x), Action::Discrete(y)) => x == y,
+        (Action::Continuous(x), Action::Continuous(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(u, v)| (u - v).abs() < tol)
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Discrete head: `act_batch` with one rng stream reproduces per-row
+    /// `act` with an identically seeded stream to 1e-12 (the same draws
+    /// happen in the same order; values/log-probs are deterministic).
+    #[test]
+    fn act_batch_matches_per_row_act_discrete(
+        obs in (1usize..=8, 2usize..=4).prop_flat_map(|(b, d)| obs_batch(b, d)),
+        policy_seed in 0u64..1000,
+        act_seed in 0u64..1000,
+    ) {
+        let dim = obs.cols();
+        let policy = ActorCritic::new(
+            dim,
+            &Space::Discrete(3),
+            &[8],
+            &mut StdRng::seed_from_u64(policy_seed),
+        );
+        let batched = policy.act_batch(&obs, &mut StdRng::seed_from_u64(act_seed));
+        let mut rng = StdRng::seed_from_u64(act_seed);
+        for (i, (ba, blp, bv)) in batched.iter().enumerate() {
+            let (a, lp, v) = policy.act(obs.row_slice(i), &mut rng);
+            prop_assert!(actions_match(ba, &a, 1e-12));
+            prop_assert!((blp - lp).abs() < 1e-12, "log_prob {blp} vs {lp}");
+            prop_assert!((bv - v).abs() < 1e-12, "value {bv} vs {v}");
+        }
+    }
+
+    /// Continuous (diagonal Gaussian) head: same contract.
+    #[test]
+    fn act_batch_matches_per_row_act_continuous(
+        obs in (1usize..=8, 2usize..=4).prop_flat_map(|(b, d)| obs_batch(b, d)),
+        policy_seed in 0u64..1000,
+        act_seed in 0u64..1000,
+    ) {
+        let dim = obs.cols();
+        let space = Space::Box { low: vec![-1.0; 2], high: vec![1.0; 2] };
+        let policy =
+            ActorCritic::new(dim, &space, &[8], &mut StdRng::seed_from_u64(policy_seed));
+        let batched = policy.act_batch(&obs, &mut StdRng::seed_from_u64(act_seed));
+        let mut rng = StdRng::seed_from_u64(act_seed);
+        for (i, (ba, blp, bv)) in batched.iter().enumerate() {
+            let (a, lp, v) = policy.act(obs.row_slice(i), &mut rng);
+            prop_assert!(actions_match(ba, &a, 1e-12));
+            prop_assert!((blp - lp).abs() < 1e-12, "log_prob {blp} vs {lp}");
+            prop_assert!((bv - v).abs() < 1e-12, "value {bv} vs {v}");
+        }
+    }
+
+    /// `value_batch` consumes no randomness and matches per-row `value`.
+    #[test]
+    fn value_batch_matches_per_row_value(
+        obs in (1usize..=12, 2usize..=4).prop_flat_map(|(b, d)| obs_batch(b, d)),
+        policy_seed in 0u64..1000,
+    ) {
+        let dim = obs.cols();
+        let policy = ActorCritic::new(
+            dim,
+            &Space::Discrete(4),
+            &[8, 8],
+            &mut StdRng::seed_from_u64(policy_seed),
+        );
+        let batched = policy.value_batch(&obs);
+        prop_assert_eq!(batched.len(), obs.rows());
+        for (i, bv) in batched.iter().enumerate() {
+            let v = policy.value(obs.row_slice(i));
+            prop_assert!((bv - v).abs() < 1e-12, "value {bv} vs {v}");
+        }
+    }
+}

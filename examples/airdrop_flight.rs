@@ -6,9 +6,7 @@
 //! cargo run --release --example airdrop_flight
 //! ```
 
-use rl_decision_tools::airdrop_sim::{
-    AirdropConfig, AirdropEnv, TrajectoryRecorder,
-};
+use rl_decision_tools::airdrop_sim::{AirdropConfig, AirdropEnv, TrajectoryRecorder};
 use rl_decision_tools::gymrs::{Action, Environment};
 use rl_decision_tools::rk_ode::RkOrder;
 
@@ -50,8 +48,11 @@ fn main() {
         env.distance_to_target());
     println!("Ground track ('o' drop, 'x' landing, 'T' target):\n");
     println!("{}", recorder.ascii_ground_track(64, 24));
-    println!("Track length {:.0} units, drop distance {:.0} units\n",
-        recorder.track_length(), env.drop_distance());
+    println!(
+        "Track length {:.0} units, drop distance {:.0} units\n",
+        recorder.track_length(),
+        env.drop_distance()
+    );
 
     // --- The RK-order accuracy/cost coupling (§IV-B) in open loop: fly a
     // fixed steering program at each order and compare the landing point
@@ -71,16 +72,13 @@ fn main() {
         (env.state().to_vec(), env.total_work)
     };
     let base = AirdropConfig { altitude_limits: (500.0, 500.0), ..AirdropConfig::default() }.eval();
-    let (ref_state, _) = fly(AirdropConfig { rk_order: RkOrder::Eight, substep: 0.05, ..base.clone() });
+    let (ref_state, _) =
+        fly(AirdropConfig { rk_order: RkOrder::Eight, substep: 0.05, ..base.clone() });
     println!("{:>6} {:>22} {:>18}", "order", "state error vs ref", "work units/flight");
     for order in RkOrder::ALL {
         let (state, work) = fly(AirdropConfig { rk_order: order, ..base.clone() });
-        let err: f64 = state
-            .iter()
-            .zip(&ref_state)
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 =
+            state.iter().zip(&ref_state).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
         println!("{:>6} {:>19.2e} u {:>16} u", order.to_string(), err, work);
     }
     println!("\n(Lower orders integrate the same open-loop flight less accurately and cost");

@@ -11,19 +11,14 @@
 //! ```
 
 use rl_decision_tools::airdrop_sim::{AirdropConfig, AirdropEnv};
-use rl_decision_tools::dist_exec::{
-    run, Deployment, ExecSpec, FnEnvFactory, Framework,
-};
+use rl_decision_tools::dist_exec::{run, Deployment, ExecSpec, FnEnvFactory, Framework};
 use rl_decision_tools::gymrs::Environment;
 use rl_decision_tools::rl_algos::ppo::PpoConfig;
 use rl_decision_tools::rl_algos::Algorithm;
 
 fn main() {
     let steps = 6_000;
-    let env_cfg = AirdropConfig {
-        altitude_limits: (30.0, 120.0),
-        ..AirdropConfig::default()
-    };
+    let env_cfg = AirdropConfig { altitude_limits: (30.0, 120.0), ..AirdropConfig::default() };
     let factory = {
         let env_cfg = env_cfg.clone();
         FnEnvFactory(move |seed| {

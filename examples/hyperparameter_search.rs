@@ -7,12 +7,12 @@
 //! cargo run --release --example hyperparameter_search
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rl_decision_tools::decision::prelude::*;
 use rl_decision_tools::gymrs::envs::PointMass;
 use rl_decision_tools::gymrs::Environment;
 use rl_decision_tools::rl_algos::ppo::{PpoConfig, PpoLearner};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Train PPO briefly with the configured hyperparameters; report the mean
 /// training return of the final iterations, giving the pruner an
@@ -50,10 +50,8 @@ fn objective(cfg: &Configuration, ctx: &mut TrialContext) -> Result<MetricValues
 }
 
 fn run_search(explorer: impl Explorer + 'static, prune: bool, label: &str) {
-    let space = ParamSpace::builder()
-        .log_float("lr", 1e-5, 3e-3)
-        .float("ent_coef", 0.0, 0.02)
-        .build();
+    let space =
+        ParamSpace::builder().log_float("lr", 1e-5, 3e-3).float("ent_coef", 0.0, 0.02).build();
     let mut builder = Study::builder(label)
         .space(space)
         .explorer(explorer)

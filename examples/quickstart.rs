@@ -63,8 +63,12 @@ fn main() -> Result<(), String> {
     let front = ParetoFront::compute(&trials, &study.metrics());
     println!("Non-dominated configurations (3-metric Pareto front):");
     for &i in front.indices() {
-        println!("  #{:<2} {}  ->  {:?}", i + 1, trials[i].config,
-            trials[i].metrics.iter().collect::<Vec<_>>());
+        println!(
+            "  #{:<2} {}  ->  {:?}",
+            i + 1,
+            trials[i].config,
+            trials[i].metrics.iter().collect::<Vec<_>>()
+        );
     }
 
     // Alternative rankings.

@@ -48,18 +48,13 @@ fn contested_cluster_scenario_pins_two_cores() {
 
 #[test]
 fn parameter_effects_reproduce_section_vi_d() {
-    let trials: Vec<Trial> = paper_trials()
-        .into_iter()
-        .filter(|t| t.config.str("algorithm") == Some("PPO"))
-        .collect();
+    let trials: Vec<Trial> =
+        paper_trials().into_iter().filter(|t| t.config.str("algorithm") == Some("PPO")).collect();
     let metrics = paper_metrics();
 
     // "using all the available CPU cores speeds-up the training"
     let cores = ParamEffect::compute(&trials, "cores", &metrics);
-    assert_eq!(
-        cores.best_level(&MetricDef::minimize("time_min")),
-        Some(&ParamValue::Int(4))
-    );
+    assert_eq!(cores.best_level(&MetricDef::minimize("time_min")), Some(&ParamValue::Int(4)));
 
     // "RLlib is a good candidate to deal with the computation time"
     let fw = ParamEffect::compute(&trials, "framework", &metrics);
@@ -90,10 +85,8 @@ fn parameter_effects_reproduce_section_vi_d() {
 fn weighted_sum_and_pareto_agree_on_strong_winners() {
     // Any weighted-sum winner must lie on the Pareto front (a classic
     // scalarization property for positive weights).
-    let trials: Vec<Trial> = paper_trials()
-        .into_iter()
-        .filter(|t| t.config.str("algorithm") == Some("PPO"))
-        .collect();
+    let trials: Vec<Trial> =
+        paper_trials().into_iter().filter(|t| t.config.str("algorithm") == Some("PPO")).collect();
     let metrics = paper_metrics();
     let front = ParetoFront::compute(&trials, &metrics);
     for (wr, wt, wp) in [(0.6, 0.2, 0.2), (0.2, 0.6, 0.2), (0.2, 0.2, 0.6), (1.0, 1.0, 1.0)] {
@@ -119,11 +112,8 @@ fn hypervolume_ranks_the_three_figures_consistently() {
     let my = MetricDef::minimize("time_min");
     let all = hypervolume_2d(&trials, &mx, &my, (-3.0, 400.0));
     for id in [2usize, 5, 11, 16] {
-        let single: Vec<Trial> = trials
-            .iter()
-            .filter(|t| t.config.int("draw") == Some(id as i64))
-            .cloned()
-            .collect();
+        let single: Vec<Trial> =
+            trials.iter().filter(|t| t.config.int("draw") == Some(id as i64)).cloned().collect();
         let hv = hypervolume_2d(&single, &mx, &my, (-3.0, 400.0));
         assert!(hv < all, "config {id} alone cannot dominate the full front");
     }

@@ -22,13 +22,8 @@ fn factory() -> FnEnvFactory<impl Fn(u64) -> Box<dyn Environment> + Send + Sync>
 }
 
 fn spec(framework: Framework, algorithm: Algorithm, nodes: usize, steps: usize) -> ExecSpec {
-    let mut s = ExecSpec::new(
-        framework,
-        algorithm,
-        Deployment { nodes, cores_per_node: 4 },
-        steps,
-        21,
-    );
+    let mut s =
+        ExecSpec::new(framework, algorithm, Deployment { nodes, cores_per_node: 4 }, steps, 21);
     s.ppo = PpoConfig { n_steps: 1024, epochs: 6, ..PpoConfig::default() };
     s.sac = SacConfig { batch: 64, update_every: 4, start_steps: 256, ..SacConfig::default() };
     s
@@ -91,10 +86,11 @@ fn sac_costs_far_more_simulated_time_than_ppo() {
     // simulated computation time. Use an update cadence closer to the
     // paper's defaults (batch 128, update every step) so the cost shape
     // shows at a short budget.
-    let ppo = run(&spec(Framework::TfAgents, Algorithm::Ppo, 1, 1_500), &factory())
-        .expect("ppo runs");
+    let ppo =
+        run(&spec(Framework::TfAgents, Algorithm::Ppo, 1, 1_500), &factory()).expect("ppo runs");
     let mut sac_spec = spec(Framework::TfAgents, Algorithm::Sac, 1, 1_500);
-    sac_spec.sac = SacConfig { batch: 128, update_every: 1, start_steps: 256, ..SacConfig::default() };
+    sac_spec.sac =
+        SacConfig { batch: 128, update_every: 1, start_steps: 256, ..SacConfig::default() };
     let sac = run(&sac_spec, &factory()).expect("sac runs");
     assert!(
         sac.usage.wall_s > 1.5 * ppo.usage.wall_s,
@@ -130,10 +126,7 @@ fn same_seed_same_policy_on_synchronous_backends() {
     for framework in [Framework::StableBaselines, Framework::TfAgents] {
         let a = run(&spec(framework, Algorithm::Ppo, 1, 3_000), &factory()).expect("runs");
         let b = run(&spec(framework, Algorithm::Ppo, 1, 3_000), &factory()).expect("runs");
-        assert_eq!(
-            a.train_returns, b.train_returns,
-            "{framework} must be reproducible"
-        );
+        assert_eq!(a.train_returns, b.train_returns, "{framework} must be reproducible");
         assert_eq!(eval(&a, 5), eval(&b, 5));
     }
 }

@@ -81,8 +81,8 @@ fn figure_artifacts_are_emitted() {
     let trials = run_table1_study(&opts).expect("study runs");
 
     let (x, y) = figures::fig4_metrics();
-    let ids =
-        bench::harness::emit_figure("fig4_test", "test figure", &trials, x, y, &opts).expect("emit");
+    let ids = bench::harness::emit_figure("fig4_test", "test figure", &trials, x, y, &opts)
+        .expect("emit");
     assert!(!ids.is_empty());
     let svg = std::fs::read_to_string(dir.join("fig4_test.svg")).expect("svg written");
     assert!(svg.contains("<svg") && svg.contains("Pareto front"));
