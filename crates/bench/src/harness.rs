@@ -14,7 +14,9 @@ use crate::paper::PaperRow;
 use airdrop_sim::{AirdropConfig, AirdropEnv};
 use decision::prelude::*;
 use decision::storage::Journal;
-use dist_exec::{run as run_backend, Deployment, ExecSpec, FnEnvFactory};
+use dist_exec::{
+    run_observed, Deployment, ExecSpec, FnEnvFactory, IterationSnapshot, NullObserver, Observer,
+};
 use gymrs::Environment;
 use rl_algos::ppo::PpoConfig;
 use rl_algos::sac::SacConfig;
@@ -45,6 +47,12 @@ pub struct HarnessOpts {
     /// configuration once; replicas tame the seed noise our scaled-down
     /// budget would otherwise leave on the reward axis.
     pub replicas: usize,
+    /// Install a median pruner on the Table I study: per-iteration reward
+    /// reports from the execution runtime feed
+    /// [`decision::pruner::MedianPruner`], so clearly-losing rows stop
+    /// early. Off by default — the paper trains every configuration to
+    /// completion.
+    pub prune: bool,
 }
 
 impl Default for HarnessOpts {
@@ -57,6 +65,7 @@ impl Default for HarnessOpts {
             out_dir: Some(PathBuf::from("results")),
             only: None,
             replicas: 1,
+            prune: false,
         }
     }
 }
@@ -81,7 +90,8 @@ impl HarnessOpts {
     /// Parse CLI arguments (shared by all harness binaries).
     ///
     /// Supported flags: `--steps N`, `--seed N`, `--paper`, `--smoke`,
-    /// `--out DIR`, `--only 2,5,11,16`, `--eval-episodes N`.
+    /// `--out DIR`, `--only 2,5,11,16`, `--eval-episodes N`,
+    /// `--replicas N`, `--prune`.
     pub fn from_args(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut opts = Self::default();
         let mut args = args.peekable();
@@ -98,6 +108,7 @@ impl HarnessOpts {
                         out_dir: opts.out_dir.clone(),
                         replicas: opts.replicas,
                         seed: opts.seed,
+                        prune: opts.prune,
                         ..Self::paper()
                     };
                 }
@@ -106,9 +117,11 @@ impl HarnessOpts {
                         out_dir: opts.out_dir.clone(),
                         replicas: opts.replicas,
                         seed: opts.seed,
+                        prune: opts.prune,
                         ..Self::smoke()
                     };
                 }
+                "--prune" => opts.prune = true,
                 "--steps" => opts.steps = take("--steps")?.parse().map_err(|e| format!("{e}"))?,
                 "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("{e}"))?,
                 "--eval-episodes" => {
@@ -189,9 +202,48 @@ pub fn harness_sac(opts: &HarnessOpts) -> SacConfig {
     }
 }
 
+/// Bridges the execution runtime's per-iteration snapshots to the
+/// `decision` crate's [`TrialContext`]: the recent mean training return
+/// is reported against the iteration clock (every configuration reports
+/// at iterations 1, 2, 3, … so [`MedianPruner`]'s same-step comparison
+/// finds peers even when rollout sizes differ), and the pruner's verdict
+/// flows back to the driver, which stops the trial's backends
+/// mid-training. One code path therefore feeds both the cluster trace
+/// and the pruning curve.
+struct PrunerBridge<'a, 'b> {
+    ctx: &'a mut TrialContext<'b>,
+}
+
+/// Returns reported to the pruner are smoothed over this many episodes.
+const REPORT_WINDOW: usize = 20;
+
+impl Observer for PrunerBridge<'_, '_> {
+    fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
+        let returns = snapshot.train_returns;
+        if returns.is_empty() {
+            return false;
+        }
+        let tail = &returns[returns.len().saturating_sub(REPORT_WINDOW)..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        self.ctx.report(snapshot.iteration, mean)
+    }
+}
+
 /// Run one Table I row; returns the study metrics (averaged over
 /// `opts.replicas` independently-seeded trainings).
 pub fn run_row(row: &PaperRow, opts: &HarnessOpts) -> Result<MetricValues, String> {
+    run_row_with(row, opts, None)
+}
+
+/// [`run_row`] with an optional trial context: when given, the first
+/// replica streams per-iteration returns to the study's pruner and the
+/// remaining replicas are skipped if it fires (the trial is recorded as
+/// pruned; partial averages are still returned).
+pub fn run_row_with(
+    row: &PaperRow,
+    opts: &HarnessOpts,
+    mut ctx: Option<&mut TrialContext<'_>>,
+) -> Result<MetricValues, String> {
     let mut reward_sum = 0.0;
     let mut time_sum = 0.0;
     let mut power_sum = 0.0;
@@ -199,8 +251,18 @@ pub fn run_row(row: &PaperRow, opts: &HarnessOpts) -> Result<MetricValues, Strin
     let mut env_steps_last = 0.0;
     let mut bytes_last = 0.0;
     let mut rewards = Vec::with_capacity(opts.replicas);
+    let mut ran = 0usize;
     for k in 0..opts.replicas {
-        let m = run_row_once(row, opts, k as u64)?;
+        let m = match ctx.as_deref_mut() {
+            // Only the first replica reports: the pruner compares trials
+            // on one seed's learning curve, not a moving mixture.
+            Some(ctx) if k == 0 => {
+                let mut bridge = PrunerBridge { ctx };
+                run_row_once(row, opts, k as u64, &mut bridge)?
+            }
+            _ => run_row_once(row, opts, k as u64, &mut NullObserver)?,
+        };
+        ran += 1;
         let r = m.get("reward").unwrap_or(f64::NAN);
         rewards.push(r);
         reward_sum += r;
@@ -209,8 +271,11 @@ pub fn run_row(row: &PaperRow, opts: &HarnessOpts) -> Result<MetricValues, Strin
         raw_minutes += m.get("raw_minutes").unwrap_or(0.0);
         env_steps_last = m.get("env_steps").unwrap_or(0.0);
         bytes_last = m.get("bytes_moved").unwrap_or(0.0);
+        if ctx.as_ref().is_some_and(|c| c.is_pruned()) {
+            break;
+        }
     }
-    let n = opts.replicas as f64;
+    let n = ran as f64;
     let mean_reward = reward_sum / n;
     let reward_std = (rewards.iter().map(|r| (r - mean_reward).powi(2)).sum::<f64>() / n).sqrt();
     Ok(MetricValues::new()
@@ -224,7 +289,12 @@ pub fn run_row(row: &PaperRow, opts: &HarnessOpts) -> Result<MetricValues, Strin
 }
 
 /// One training replica of a row.
-fn run_row_once(row: &PaperRow, opts: &HarnessOpts, replica: u64) -> Result<MetricValues, String> {
+fn run_row_once(
+    row: &PaperRow,
+    opts: &HarnessOpts,
+    replica: u64,
+    observer: &mut dyn Observer,
+) -> Result<MetricValues, String> {
     let mut spec = ExecSpec::new(
         row.framework,
         row.algorithm,
@@ -242,7 +312,7 @@ fn run_row_once(row: &PaperRow, opts: &HarnessOpts, replica: u64) -> Result<Metr
         Box::new(env) as Box<dyn Environment>
     });
 
-    let report = run_backend(&spec, &factory)?;
+    let report = run_observed(&spec, &factory, observer)?;
 
     // Score on the reference dynamics with identical drops for every row.
     let mut eval_env = AirdropEnv::new(eval_env_config(opts));
@@ -283,7 +353,7 @@ pub fn run_table1_study(opts: &HarnessOpts) -> Result<Vec<Trial>, String> {
         .metric(MetricDef::minimize("time_min"))
         .metric(MetricDef::minimize("power_kj"))
         .seed(opts.seed)
-        .objective(move |cfg: &Configuration, _ctx: &mut TrialContext| {
+        .objective(move |cfg: &Configuration, ctx: &mut TrialContext| {
             let row = PaperRow::from_config(cfg)?;
             let canonical =
                 PaperRow::by_id(row.id).ok_or_else(|| format!("unknown draw id {}", row.id))?;
@@ -296,8 +366,11 @@ pub fn run_table1_study(opts: &HarnessOpts) -> Result<Vec<Trial>, String> {
                 canonical.nodes,
                 canonical.cores
             );
-            run_row(canonical, &opts2)
+            run_row_with(canonical, &opts2, Some(ctx))
         });
+    if opts.prune {
+        builder = builder.pruner(MedianPruner::with_startup(5));
+    }
     if let Some(path) = opts.journal_path() {
         builder = builder.journal(Journal::new(path));
     }
@@ -413,6 +486,43 @@ mod tests {
         assert!(metrics.get("time_min").unwrap() > 0.0);
         assert!(metrics.get("power_kj").unwrap() > 0.0);
         assert!(metrics.get("env_steps").unwrap() as usize >= opts.steps);
+    }
+
+    #[test]
+    fn pruner_verdict_stops_training_mid_trial() {
+        // An always-fire pruner wired through the PrunerBridge must stop
+        // the backend after its first iteration: far fewer env steps than
+        // the requested budget, and the trial recorded as pruned.
+        struct AlwaysPrune;
+        impl decision::pruner::Pruner for AlwaysPrune {
+            fn should_prune(&self, _trial: usize, _step: u64, _value: f64) -> bool {
+                true
+            }
+            fn name(&self) -> &'static str {
+                "always"
+            }
+        }
+        let opts = HarnessOpts { steps: 6_000, ..HarnessOpts::smoke() };
+        let row = *TABLE1.iter().find(|r| r.id == 16).unwrap();
+        let opts2 = opts.clone();
+        let study = Study::builder("prune-bridge")
+            .space(PaperRow::space())
+            .explorer(PresetList::new(vec![row.to_config()]))
+            .metric(MetricDef::maximize("reward"))
+            .pruner(AlwaysPrune)
+            .objective(move |_cfg, ctx| run_row_with(&row, &opts2, Some(ctx)))
+            .build()
+            .unwrap();
+        let trials = study.run().unwrap();
+        assert_eq!(trials.len(), 1);
+        assert_eq!(trials[0].status, TrialStatus::Pruned);
+        assert!(!trials[0].intermediate.is_empty(), "bridge must report iterations");
+        let steps = trials[0].metrics.get("env_steps").unwrap_or(f64::NAN);
+        assert!(
+            steps < opts.steps as f64,
+            "pruned trial ran {steps} steps, expected fewer than {}",
+            opts.steps
+        );
     }
 
     #[test]

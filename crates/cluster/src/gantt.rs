@@ -14,6 +14,11 @@ use crate::spec::ClusterSpec;
 /// `span` limits the rendered window to the first `span` seconds of the
 /// run (`None` renders everything — fine for short traces, huge for full
 /// trainings).
+///
+/// The trace must satisfy the [`PhaseEvent`] ordering invariant
+/// (non-overlapping, sorted by `start_s`): rendering stops at the first
+/// phase past the window, so out-of-order traces would drop phases.
+/// Traces recorded by `ClusterSession` uphold this by construction.
 pub fn render_gantt(
     spec: &ClusterSpec,
     trace: &[PhaseEvent],

@@ -42,6 +42,6 @@ pub mod usage;
 
 pub use gantt::render_gantt;
 pub use power::PowerModel;
-pub use session::{ClusterSession, PhaseEvent};
+pub use session::{ClusterSession, NodeWork, PhaseEvent, SessionEvent};
 pub use spec::{ClusterSpec, NetworkSpec, NodeSpec};
 pub use usage::Usage;

@@ -21,7 +21,7 @@ use crate::spec::ClusterSpec;
 use crate::usage::Usage;
 
 /// A compute demand on one node (used by [`ClusterSession::concurrent`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeWork {
     /// Node index (`< spec.nodes`).
     pub node: usize,
@@ -31,7 +31,43 @@ pub struct NodeWork {
     pub streams: usize,
 }
 
+/// An accounting event: the event-sourced form of the narration API.
+///
+/// Execution runtimes emit these instead of calling the imperative
+/// [`ClusterSession`] methods directly; [`ClusterSession::apply`] folds
+/// them into the clock, the energy integral and (when tracing is on) the
+/// [`PhaseEvent`] trace. One event maps to exactly one phase, so a trace
+/// replayed from a stream of events is identical to one narrated
+/// imperatively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// Compute proceeding on one or more nodes at once.
+    Compute {
+        /// Per-node demands (non-empty).
+        work: Vec<NodeWork>,
+    },
+    /// A blocking inter-node transfer.
+    Transfer {
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Framework bookkeeping time.
+    Overhead {
+        /// Duration (s).
+        seconds: f64,
+    },
+}
+
 /// One recorded phase of a session — the execution trace entry.
+///
+/// # Trace ordering invariant
+///
+/// The session clock only moves forward, so recorded phases are
+/// **non-overlapping and sorted by `start_s`**: each phase starts exactly
+/// where the previous one ended. Consumers such as
+/// [`crate::gantt::render_gantt`] rely on this to stop scanning at the
+/// first phase past their window; [`ClusterSession`] debug-asserts it on
+/// every push.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhaseEvent {
     /// A compute phase: per-node `(node, units, streams)` demands, with
@@ -122,6 +158,34 @@ impl ClusterSession {
         self.clock_s
     }
 
+    /// Fold one accounting event into the session; returns the wall time
+    /// the event consumed. See [`SessionEvent`].
+    pub fn apply(&mut self, event: &SessionEvent) -> f64 {
+        match event {
+            SessionEvent::Compute { work } => self.concurrent(work),
+            SessionEvent::Transfer { bytes } => self.transfer(*bytes),
+            SessionEvent::Overhead { seconds } => {
+                self.overhead(*seconds);
+                *seconds
+            }
+        }
+    }
+
+    /// Push a trace entry, upholding the ordering invariant documented on
+    /// [`PhaseEvent`]: phases tile the clock, so each new phase must start
+    /// where the previous one ended.
+    fn record(&mut self, event: PhaseEvent) {
+        debug_assert!(
+            self.trace.last().map(|prev| {
+                let (_, prev_end) = prev.start_end();
+                let (start, _) = event.start_end();
+                start >= prev_end - 1e-9
+            }) != Some(false),
+            "trace phases must be non-overlapping and sorted by start_s"
+        );
+        self.trace.push(event);
+    }
+
     /// Duration of `units` of work over `streams` streams on one node.
     ///
     /// Streams beyond the core count time-share: 6 streams on 4 cores run
@@ -156,7 +220,7 @@ impl ClusterSession {
             wall = wall.max(d);
         }
         if self.trace_enabled {
-            self.trace.push(PhaseEvent::Compute {
+            self.record(PhaseEvent::Compute {
                 start_s: self.clock_s,
                 duration_s: wall,
                 work: work.iter().map(|w| (w.node, w.units, w.streams)).collect(),
@@ -177,7 +241,7 @@ impl ClusterSession {
         let wire = self.spec.network.transfer_time(bytes);
         let t = if self.spec.nodes > 1 { wire } else { wire / 20.0 };
         if self.trace_enabled {
-            self.trace.push(PhaseEvent::Transfer { start_s: self.clock_s, duration_s: t, bytes });
+            self.record(PhaseEvent::Transfer { start_s: self.clock_s, duration_s: t, bytes });
         }
         self.clock_s += t;
         self.usage.network_s += t;
@@ -191,7 +255,7 @@ impl ClusterSession {
     pub fn overhead(&mut self, seconds: f64) {
         assert!(seconds >= 0.0);
         if self.trace_enabled {
-            self.trace.push(PhaseEvent::Overhead { start_s: self.clock_s, duration_s: seconds });
+            self.record(PhaseEvent::Overhead { start_s: self.clock_s, duration_s: seconds });
         }
         self.active_j += self.power.active_joules(1.0, seconds);
         self.clock_s += seconds;
@@ -381,6 +445,61 @@ mod tests {
     fn out_of_range_node_panics() {
         let mut s = session(1);
         s.compute(1, 10.0, 1);
+    }
+
+    #[test]
+    fn apply_matches_imperative_narration() {
+        // The event-sourced path must be indistinguishable from calling
+        // the narration methods directly — same usage, same trace.
+        let events = [
+            SessionEvent::Compute {
+                work: vec![
+                    NodeWork { node: 0, units: 12_000.0, streams: 4 },
+                    NodeWork { node: 1, units: 7_000.0, streams: 2 },
+                ],
+            },
+            SessionEvent::Transfer { bytes: 300_000 },
+            SessionEvent::Compute { work: vec![NodeWork { node: 0, units: 900.0, streams: 2 }] },
+            SessionEvent::Overhead { seconds: 0.7 },
+        ];
+        let mut folded = ClusterSession::new(ClusterSpec::paper_testbed(2)).with_trace();
+        for e in &events {
+            folded.apply(e);
+        }
+
+        let mut narrated = ClusterSession::new(ClusterSpec::paper_testbed(2)).with_trace();
+        narrated.concurrent(&[
+            NodeWork { node: 0, units: 12_000.0, streams: 4 },
+            NodeWork { node: 1, units: 7_000.0, streams: 2 },
+        ]);
+        narrated.transfer(300_000);
+        narrated.compute(0, 900.0, 2);
+        narrated.overhead(0.7);
+
+        assert_eq!(folded.trace(), narrated.trace());
+        let (uf, un) = (folded.finish(), narrated.finish());
+        assert_eq!(uf.wall_s.to_bits(), un.wall_s.to_bits());
+        assert_eq!(uf.energy_j.to_bits(), un.energy_j.to_bits());
+        assert_eq!(uf.bytes_moved, un.bytes_moved);
+        assert_eq!(uf.compute_phases, un.compute_phases);
+    }
+
+    #[test]
+    fn trace_is_sorted_and_non_overlapping() {
+        // The PhaseEvent ordering invariant render_gantt relies on.
+        let mut s = ClusterSession::new(ClusterSpec::paper_testbed(2)).with_trace();
+        for k in 1..=5u64 {
+            s.concurrent(&[NodeWork { node: 0, units: 500.0 * k as f64, streams: 4 }]);
+            s.transfer(10_000 * k);
+            s.overhead(0.1);
+        }
+        let trace = s.trace();
+        for pair in trace.windows(2) {
+            let (_, prev_end) = pair[0].start_end();
+            let (start, end) = pair[1].start_end();
+            assert!(start >= prev_end - 1e-9, "phases overlap: {pair:?}");
+            assert!(end >= start);
+        }
     }
 
     #[test]

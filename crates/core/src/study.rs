@@ -64,6 +64,8 @@ pub struct Study {
     prune_metric_direction: Direction,
     journal: Option<Journal>,
     seed: u64,
+    /// Upper bound on concurrent trials in [`Study::run_parallel`].
+    max_concurrent_trials: Option<usize>,
 }
 
 impl Study {
@@ -78,6 +80,7 @@ impl Study {
             pruner: Arc::new(NopPruner),
             journal: None,
             seed: 0,
+            max_concurrent_trials: None,
         }
     }
 
@@ -169,8 +172,17 @@ impl Study {
     /// the history of all previous waves), while objective evaluations
     /// within a wave run concurrently — the "distributed hyperparameter
     /// search" §III-C attributes to Optuna/Hyperopt.
+    ///
+    /// The requested `parallelism` is clamped by the builder's
+    /// [`StudyBuilder::max_concurrent_trials`] cap when one is set: each
+    /// trial spins up its own simulated cluster (worker actors pinned to
+    /// threads), so an uncapped wave would oversubscribe the host.
     pub fn run_parallel(&self, parallelism: usize) -> Result<Vec<Trial>, String> {
         assert!(parallelism > 0);
+        let parallelism = match self.max_concurrent_trials {
+            Some(cap) => parallelism.min(cap.max(1)),
+            None => parallelism,
+        };
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut trials = self.load_previous()?;
         let mut explorer = self.explorer.lock();
@@ -226,6 +238,7 @@ pub struct StudyBuilder {
     pruner: Arc<dyn Pruner>,
     journal: Option<Journal>,
     seed: u64,
+    max_concurrent_trials: Option<usize>,
 }
 
 impl StudyBuilder {
@@ -285,6 +298,17 @@ impl StudyBuilder {
         self
     }
 
+    /// Cap the number of trials evaluated concurrently by
+    /// [`Study::run_parallel`], regardless of the parallelism it is
+    /// called with. Each trial owns a full simulated cluster whose
+    /// worker actors occupy real threads, so studies driving the
+    /// distributed backends should cap waves near the host's core
+    /// count. Values below 1 are treated as 1.
+    pub fn max_concurrent_trials(mut self, cap: usize) -> Self {
+        self.max_concurrent_trials = Some(cap);
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> Result<Study, String> {
         let space = self.space.ok_or("study needs a parameter space")?;
@@ -307,6 +331,7 @@ impl StudyBuilder {
             prune_metric_direction,
             journal: self.journal,
             seed: self.seed,
+            max_concurrent_trials: self.max_concurrent_trials,
         })
     }
 }
@@ -372,6 +397,45 @@ mod tests {
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.config, b.config);
             assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn max_concurrent_trials_caps_the_wave_width() {
+        use std::sync::atomic::AtomicUsize as Au;
+        let live = Arc::new(Au::new(0));
+        let peak = Arc::new(Au::new(0));
+        let (l, p) = (live.clone(), peak.clone());
+        let study = Study::builder("t")
+            .space(ParamSpace::builder().categorical_int("k", 0..12).build())
+            .explorer(GridSearch::new())
+            .metric(MetricDef::minimize("loss"))
+            .max_concurrent_trials(2)
+            .objective(move |cfg, _| {
+                let now = l.fetch_add(1, Ordering::SeqCst) + 1;
+                peak_update(&p, now);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                l.fetch_sub(1, Ordering::SeqCst);
+                Ok(MetricValues::new().with("loss", cfg.int("k").unwrap() as f64))
+            })
+            .build()
+            .unwrap();
+        let trials = study.run_parallel(8).unwrap();
+        assert_eq!(trials.len(), 12);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "observed {} concurrent trials despite a cap of 2",
+            peak.load(Ordering::SeqCst)
+        );
+
+        fn peak_update(p: &Au, now: usize) {
+            let mut seen = p.load(Ordering::SeqCst);
+            while now > seen {
+                match p.compare_exchange(seen, now, Ordering::SeqCst, Ordering::SeqCst) {
+                    Ok(_) => break,
+                    Err(s) => seen = s,
+                }
+            }
         }
     }
 

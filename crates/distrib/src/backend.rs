@@ -4,6 +4,7 @@
 use crate::backends::{RllibLike, StableBaselinesLike, TfAgentsLike};
 use crate::framework::Framework;
 use crate::report::ExecReport;
+use crate::runtime::{NullObserver, Observer};
 use crate::spec::ExecSpec;
 use cluster_sim::{ClusterSession, ClusterSpec};
 use gymrs::Environment;
@@ -35,12 +36,15 @@ pub trait Backend {
     fn framework(&self) -> Framework;
 
     /// Run the training described by `spec` on environments from
-    /// `factory`, narrating costs to `session`.
+    /// `factory`, narrating costs to `session` and reporting
+    /// per-iteration progress to `observer` (which may stop the trial
+    /// early, e.g. for pruning).
     fn train(
         &self,
         spec: &ExecSpec,
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
+        observer: &mut dyn Observer,
     ) -> ExecReport;
 }
 
@@ -57,11 +61,21 @@ pub fn backend_for(framework: Framework) -> Box<dyn Backend> {
 /// session for the requested deployment, dispatches to the right backend
 /// and finalizes the usage accounting.
 pub fn run(spec: &ExecSpec, factory: &dyn EnvFactory) -> Result<ExecReport, String> {
+    run_observed(spec, factory, &mut NullObserver)
+}
+
+/// [`run`] with a progress [`Observer`] tapping every iteration — the
+/// entry point for studies that prune trials on live reward reports.
+pub fn run_observed(
+    spec: &ExecSpec,
+    factory: &dyn EnvFactory,
+    observer: &mut dyn Observer,
+) -> Result<ExecReport, String> {
     spec.validate()?;
     let cluster = ClusterSpec::paper_testbed(spec.deployment.nodes);
     let mut session = ClusterSession::new(cluster);
     let backend = backend_for(spec.framework);
-    let mut report = backend.train(spec, factory, &mut session);
+    let mut report = backend.train(spec, factory, &mut session, observer);
     report.usage = session.finish();
     Ok(report)
 }

@@ -3,26 +3,31 @@
 //!
 //! Architecture: rollout actors across 1–2 nodes refresh their policy
 //! snapshot only every [`ImpalaOpts::actor_sync_period`] iterations (far
-//! staler than the RLlib-like backend's 2), and the central learner
-//! corrects the resulting off-policyness with V-trace. This is the
-//! paper's §VI-D trade-off (distribute ⇒ faster but less accurate)
-//! attacked at the algorithm level instead of the deployment level.
+//! staler than the RLlib-like backend's 2) via [`SyncPolicy::Periodic`],
+//! and the central learner corrects the resulting off-policyness with
+//! V-trace. This is the paper's §VI-D trade-off (distribute ⇒ faster but
+//! less accurate) attacked at the algorithm level instead of the
+//! deployment level.
+//!
+//! Collection is asynchronous in *execution* (actors finish in any order;
+//! [`crate::runtime::WaveOutcome::arrival`] records the completion order)
+//! but the runtime drains segments into worker-index order before the
+//! learner sees them, so training is bitwise reproducible regardless of
+//! scheduling.
 //!
 //! Not part of [`crate::framework::Framework`] (Table I's space is the
 //! paper's); drive it directly via [`train_impala`].
 
 use crate::backend::EnvFactory;
-use crate::backends::common::{collect_segment, worker_seed, Segment};
+use crate::backends::common::worker_seed;
 use crate::framework::FrameworkProfile;
 use crate::report::{ExecReport, TrainedModel};
+use crate::runtime::{merge_wave, Collector, Driver, Observer, Runtime, SyncPolicy, WorkerSpec};
 use crate::spec::Deployment;
-use cluster_sim::{session::NodeWork, ClusterSession};
+use cluster_sim::{ClusterSession, NodeWork, SessionEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rl_algos::buffer::RolloutBuffer;
 use rl_algos::impala::{ImpalaConfig, ImpalaLearner};
-use rl_algos::policy::ActorCritic;
-use std::sync::mpsc;
 
 /// IMPALA execution options.
 #[derive(Debug, Clone)]
@@ -67,6 +72,7 @@ pub fn train_impala(
     opts: &ImpalaOpts,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
+    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = impala_profile();
     let nodes = opts.deployment.nodes;
@@ -80,113 +86,74 @@ pub fn train_impala(
     drop(probe);
     let mut learner = ImpalaLearner::new(obs_dim, &aspace, opts.config.clone(), &mut rng);
 
-    struct Actor {
-        env: Box<dyn gymrs::Environment>,
-        obs: Vec<f64>,
-        policy: ActorCritic,
-        node: usize,
-    }
-    let mut actors: Vec<Actor> = (0..n_workers)
+    let specs: Vec<WorkerSpec> = (0..n_workers)
         .map(|w| {
             let mut env = factory.make(worker_seed(opts.seed, w, 0));
             let obs = env.reset();
-            Actor { env, obs, policy: learner.policy.clone(), node: w / cores }
+            WorkerSpec { node: w / cores, collector: Collector::PerEnv { env, obs } }
         })
         .collect();
+    let mut runtime = Runtime::spawn(specs, &learner.policy);
+    let mut driver = Driver::new(session, observer);
 
     let per_worker = (opts.config.n_steps / n_workers).max(1);
-    let mut env_steps = 0u64;
-    let mut env_work = 0u64;
-    let mut train_returns = Vec::new();
-    let mut iteration = 0u64;
+    let sync = SyncPolicy::Periodic { period: opts.actor_sync_period };
 
-    while (env_steps as usize) < opts.total_steps {
-        // Snapshot refresh on the IMPALA cadence only.
-        if iteration.is_multiple_of(opts.actor_sync_period) {
-            let mut broadcast = 0u64;
-            for a in actors.iter_mut() {
-                a.policy.copy_params_from(&learner.policy);
-                if a.node != 0 {
-                    broadcast += learner.policy.param_bytes();
-                }
-            }
-            if broadcast > 0 {
-                session.transfer(broadcast);
-            }
-        }
+    while (driver.env_steps() as usize) < opts.total_steps {
+        // Snapshot refresh on the IMPALA cadence only; every actor runs
+        // stale in between (V-trace absorbs the lag).
+        driver.broadcast(&mut runtime, &learner.policy, sync);
 
-        // Fully asynchronous collection: merge in completion order.
-        let seeds: Vec<u64> =
-            (0..n_workers).map(|w| worker_seed(opts.seed, w, iteration + 1)).collect();
-        let results: Vec<(usize, Segment)> = std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, Segment)>();
-            for (i, a) in actors.iter_mut().enumerate() {
-                let tx = tx.clone();
-                let seed = seeds[i];
-                let policy = &a.policy;
-                let env = &mut a.env;
-                let obs = &mut a.obs;
-                scope.spawn(move || {
-                    let mut wrng = StdRng::seed_from_u64(seed);
-                    let seg = collect_segment(policy, env.as_mut(), obs, per_worker, &mut wrng);
-                    tx.send((i, seg)).expect("learner receives");
-                });
-            }
-            drop(tx);
-            rx.into_iter().collect()
-        });
+        // Asynchronous collection, drained into worker-index order.
+        let rngs: Vec<StdRng> = (0..n_workers)
+            .map(|w| StdRng::seed_from_u64(worker_seed(opts.seed, w, driver.iteration() + 1)))
+            .collect();
+        let outcome = runtime.collect_round(driver.iteration(), per_worker, rngs);
+        let wave = merge_wave(outcome, nodes);
+        driver.note_returns(wave.returns);
+        let merged = wave.merged;
+        driver.note_steps(merged.len() as u64, wave.node_env_work.iter().sum());
+        learner.flops += wave.node_infer_flops.iter().sum::<u64>();
 
-        let mut merged = RolloutBuffer::with_capacity(per_worker * n_workers);
-        let mut node_env_work = vec![0u64; nodes];
-        let mut node_infer = vec![0u64; nodes];
-        let mut shipped = 0u64;
-        for (i, seg) in results {
-            let node = i / cores;
-            node_env_work[node] += seg.env_work;
-            node_infer[node] += seg.infer_flops;
-            if node != 0 {
-                shipped += seg.rollout.payload_bytes();
-            }
-            train_returns.extend(seg.episodes.iter().map(|e| e.0));
-            merged.extend(seg.rollout);
-        }
-        env_steps += merged.len() as u64;
-        env_work += node_env_work.iter().sum::<u64>();
-        learner.flops += node_infer.iter().sum::<u64>();
-
-        let node_spec = session.spec().node;
+        let node_spec = driver.cluster().node;
         let work: Vec<NodeWork> = (0..nodes)
             .map(|n| NodeWork {
                 node: n,
-                units: node_env_work[n] as f64
-                    + node_spec.flops_to_units(node_infer[n])
+                units: wave.node_env_work[n] as f64
+                    + node_spec.flops_to_units(wave.node_infer_flops[n])
                     + profile.per_step_overhead_units * (per_worker * cores) as f64,
                 streams: cores,
             })
             .collect();
-        session.concurrent(&work);
-        if shipped > 0 {
-            session.transfer(shipped);
+        driver.apply(&SessionEvent::Compute { work });
+        if wave.shipped_bytes > 0 {
+            driver.apply(&SessionEvent::Transfer { bytes: wave.shipped_bytes });
         }
 
         let flops_before = learner.flops;
         learner.update(&merged);
-        session.compute(
-            0,
-            node_spec.flops_to_units(learner.flops - flops_before),
-            profile.learner_streams,
-        );
-        session.overhead(profile.per_iter_overhead_s);
-        iteration += 1;
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: node_spec.flops_to_units(learner.flops - flops_before),
+                streams: profile.learner_streams,
+            }],
+        });
+        driver.apply(&SessionEvent::Overhead { seconds: profile.per_iter_overhead_s });
+        if driver.end_iteration() {
+            break;
+        }
     }
+    runtime.shutdown();
 
+    let stats = driver.finish();
     ExecReport {
         model: TrainedModel::Ppo(learner.policy.clone()),
         usage: Default::default(),
-        env_steps,
-        env_work,
+        env_steps: stats.env_steps,
+        env_work: stats.env_work,
         learn_flops: learner.flops,
-        train_returns,
+        train_returns: stats.train_returns,
         updates: learner.updates,
     }
 }
@@ -195,6 +162,7 @@ pub fn train_impala(
 mod tests {
     use super::*;
     use crate::backend::FnEnvFactory;
+    use crate::runtime::NullObserver;
     use cluster_sim::ClusterSpec;
     use gymrs::envs::GridWorld;
     use gymrs::Environment;
@@ -209,7 +177,7 @@ mod tests {
 
     fn run(opts: &ImpalaOpts) -> (ExecReport, cluster_sim::Usage) {
         let mut session = ClusterSession::new(ClusterSpec::paper_testbed(opts.deployment.nodes));
-        let mut report = train_impala(opts, &grid_factory(), &mut session);
+        let mut report = train_impala(opts, &grid_factory(), &mut session, &mut NullObserver);
         let usage = session.finish();
         report.usage = usage;
         (report, usage)
@@ -263,5 +231,20 @@ mod tests {
             u_rare.bytes_moved,
             u_freq.bytes_moved
         );
+    }
+
+    #[test]
+    fn multi_worker_runs_are_bitwise_reproducible() {
+        let opts = ImpalaOpts {
+            deployment: Deployment { nodes: 2, cores_per_node: 4 },
+            total_steps: 2_048,
+            config: ImpalaConfig { hidden: vec![16, 16], n_steps: 256, ..Default::default() },
+            ..Default::default()
+        };
+        let (a, ua) = run(&opts);
+        let (b, ub) = run(&opts);
+        assert_eq!(a.train_returns, b.train_returns);
+        assert_eq!(ua.wall_s.to_bits(), ub.wall_s.to_bits());
+        assert_eq!(ua.energy_j.to_bits(), ub.energy_j.to_bits());
     }
 }

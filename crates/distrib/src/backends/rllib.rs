@@ -2,34 +2,37 @@
 //! learner.
 //!
 //! RLlib separates acting from learning (§II-A): rollout workers — here,
-//! real threads pinned to simulated nodes — collect experience in
-//! parallel, ship it to the learner on node 0, and receive fresh weights
-//! back. This is the only backend that scales past one node (§V-b), and
-//! the one whose 2-node deployments reproduce the paper's §VI-D findings:
+//! long-lived runtime actors pinned to simulated nodes — collect
+//! experience in parallel, ship it to the learner on node 0, and receive
+//! fresh weights back on the [`SyncPolicy::RemotePeriodic`] cadence. This
+//! is the only backend that scales past one node (§V-b), and the one whose
+//! 2-node deployments reproduce the paper's §VI-D findings:
 //!
 //! * collection overlaps across nodes ⇒ best computation times
 //!   (solutions 2, 5 in Fig. 4);
 //! * experience and weight traffic crosses the 1 Gbps link, and the second
 //!   node's idle power accrues ⇒ more energy than single-node peers;
 //! * remote workers run on a *stale* policy snapshot (weights broadcast
-//!   every other iteration) and their rollouts merge in completion order
-//!   ⇒ slightly degraded, less reproducible rewards (solutions 7 vs 8).
+//!   every other iteration) ⇒ slightly degraded rewards (solutions 7 vs 8).
+//!
+//! The runtime drains every collection round into worker-index order, so
+//! unlike the real framework (and this backend before the runtime), the
+//! 2-node merge no longer depends on completion order: reports are bitwise
+//! reproducible at every deployment.
 
 use crate::backend::{Backend, EnvFactory};
-use crate::backends::common::{collect_segment, sac_step, worker_seed, Segment};
+use crate::backends::common::{sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
+use crate::runtime::{merge_wave, Collector, Driver, Observer, Runtime, SyncPolicy, WorkerSpec};
 use crate::spec::ExecSpec;
-use cluster_sim::{session::NodeWork, ClusterSession};
+use cluster_sim::{ClusterSession, NodeWork, SessionEvent};
 use gymrs::Environment;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rl_algos::buffer::RolloutBuffer;
-use rl_algos::policy::ActorCritic;
 use rl_algos::ppo::PpoLearner;
 use rl_algos::sac::SacLearner;
 use rl_algos::Algorithm;
-use std::sync::mpsc;
 
 /// How many iterations a remote node keeps a weight snapshot before the
 /// learner broadcasts a fresh one (1 ⇒ fully synchronous).
@@ -48,25 +51,20 @@ impl Backend for RllibLike {
         spec: &ExecSpec,
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
+        observer: &mut dyn Observer,
     ) -> ExecReport {
         match spec.algorithm {
-            Algorithm::Ppo => train_ppo(spec, factory, session),
-            Algorithm::Sac => train_sac(spec, factory, session),
+            Algorithm::Ppo => train_ppo(spec, factory, session, observer),
+            Algorithm::Sac => train_sac(spec, factory, session, observer),
         }
     }
-}
-
-struct Worker {
-    env: Box<dyn Environment>,
-    obs: Vec<f64>,
-    policy: ActorCritic,
-    node: usize,
 }
 
 fn train_ppo(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
+    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = Framework::RayRllib.profile();
     let nodes = spec.deployment.nodes;
@@ -74,126 +72,91 @@ fn train_ppo(
     let n_workers = nodes * cores;
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
-    // Bring up the worker set.
+    // Bring up the worker set: one per-env actor per core, pinned to its
+    // node, alive for the whole trial.
     let probe = factory.make(0);
     let obs_dim = probe.observation_space().dim();
     let aspace = probe.action_space();
     drop(probe);
     let mut learner = PpoLearner::new(obs_dim, &aspace, spec.ppo.clone(), &mut rng);
-    let mut workers: Vec<Worker> = (0..n_workers)
+    let specs: Vec<WorkerSpec> = (0..n_workers)
         .map(|w| {
             let mut env = factory.make(worker_seed(spec.seed, w, 0));
             let obs = env.reset();
-            Worker { env, obs, policy: learner.policy.clone(), node: w / cores }
+            WorkerSpec { node: w / cores, collector: Collector::PerEnv { env, obs } }
         })
         .collect();
+    let mut runtime = Runtime::spawn(specs, &learner.policy);
+    let mut driver = Driver::new(session, observer);
 
     let batch = learner.config().n_steps;
     let per_worker = (batch / n_workers).max(1);
-    let payload_probe = per_worker; // steps per shipped segment
+    let sync = SyncPolicy::RemotePeriodic { period: REMOTE_SYNC_PERIOD };
 
-    let mut env_steps = 0u64;
-    let mut env_work = 0u64;
-    let mut train_returns = Vec::new();
-    let mut iteration = 0u64;
-
-    while (env_steps as usize) < spec.total_steps {
+    while (driver.env_steps() as usize) < spec.total_steps {
         // --- Weight sync: local workers every iteration; remote nodes on
-        // their broadcast period (stale in between).
-        let remote_sync = iteration.is_multiple_of(REMOTE_SYNC_PERIOD);
-        let mut broadcast_bytes = 0u64;
-        for w in workers.iter_mut() {
-            if w.node == 0 || remote_sync {
-                w.policy.copy_params_from(&learner.policy);
-                if w.node != 0 {
-                    broadcast_bytes += learner.policy.param_bytes();
-                }
-            }
-        }
-        if broadcast_bytes > 0 {
-            session.transfer(broadcast_bytes);
-        }
+        // their broadcast period (stale in between). Weights crossing the
+        // wire are narrated as one transfer.
+        driver.broadcast(&mut runtime, &learner.policy, sync);
 
-        // --- Parallel collection. Merge order: worker order on one node
-        // (Ray's sync sampler), completion order across nodes (the real
-        // source of the paper's reproducibility caveat).
-        let seeds: Vec<u64> =
-            (0..n_workers).map(|w| worker_seed(spec.seed, w, iteration + 1)).collect();
-        let mut results: Vec<(usize, Segment)> = std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, Segment)>();
-            for (i, w) in workers.iter_mut().enumerate() {
-                let tx = tx.clone();
-                let seed = seeds[i];
-                let policy = &w.policy;
-                let env = &mut w.env;
-                let obs = &mut w.obs;
-                scope.spawn(move || {
-                    let mut wrng = StdRng::seed_from_u64(seed);
-                    let seg = collect_segment(policy, env.as_mut(), obs, per_worker, &mut wrng);
-                    tx.send((i, seg)).expect("learner receives");
-                });
-            }
-            drop(tx);
-            rx.into_iter().collect()
-        });
-        if nodes == 1 {
-            results.sort_by_key(|(i, _)| *i);
-        }
-
-        let mut merged = RolloutBuffer::with_capacity(per_worker * n_workers);
-        let mut node_env_work = vec![0u64; nodes];
-        let mut node_infer_flops = vec![0u64; nodes];
-        let mut shipped_bytes = 0u64;
-        for (i, seg) in results {
-            let node = i / cores;
-            node_env_work[node] += seg.env_work;
-            node_infer_flops[node] += seg.infer_flops;
-            if node != 0 {
-                shipped_bytes += seg.rollout.payload_bytes();
-            }
-            train_returns.extend(seg.episodes.iter().map(|e| e.0));
-            merged.extend(seg.rollout);
-        }
+        // --- Parallel collection, merged deterministically by worker
+        // index (the runtime's reproducibility improvement over Ray's
+        // completion-order merge).
+        let rngs: Vec<StdRng> = (0..n_workers)
+            .map(|w| StdRng::seed_from_u64(worker_seed(spec.seed, w, driver.iteration() + 1)))
+            .collect();
+        let outcome = runtime.collect_round(driver.iteration(), per_worker, rngs);
+        let wave = merge_wave(outcome, nodes);
+        driver.note_returns(wave.returns);
+        let merged = wave.merged;
         let steps = merged.len() as u64;
-        env_steps += steps;
-        env_work += node_env_work.iter().sum::<u64>();
-        learner.flops += node_infer_flops.iter().sum::<u64>();
+        driver.note_steps(steps, wave.node_env_work.iter().sum());
+        learner.flops += wave.node_infer_flops.iter().sum::<u64>();
 
         // --- Narration: nodes collect concurrently; remote experience
         // crosses the wire; the learner updates on node 0.
-        let node_spec = session.spec().node;
+        let node_spec = driver.cluster().node;
         let per_node_overhead = profile.per_step_overhead_units * (per_worker * cores) as f64;
         let work: Vec<NodeWork> = (0..nodes)
             .map(|n| NodeWork {
                 node: n,
-                units: node_env_work[n] as f64
-                    + node_spec.flops_to_units(node_infer_flops[n])
+                units: wave.node_env_work[n] as f64
+                    + node_spec.flops_to_units(wave.node_infer_flops[n])
                     + per_node_overhead,
                 streams: cores,
             })
             .collect();
-        session.concurrent(&work);
-        if shipped_bytes > 0 {
-            session.transfer(shipped_bytes);
+        driver.apply(&SessionEvent::Compute { work });
+        if wave.shipped_bytes > 0 {
+            driver.apply(&SessionEvent::Transfer { bytes: wave.shipped_bytes });
         }
 
         let flops_before = learner.flops;
         learner.update(&merged, &mut rng);
         let update_flops = learner.flops - flops_before;
-        session.compute(0, node_spec.flops_to_units(update_flops), profile.learner_streams);
-        session.overhead(profile.per_iter_overhead_s);
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: node_spec.flops_to_units(update_flops),
+                streams: profile.learner_streams,
+            }],
+        });
+        driver.apply(&SessionEvent::Overhead { seconds: profile.per_iter_overhead_s });
 
-        iteration += 1;
-        let _ = payload_probe;
+        if driver.end_iteration() {
+            break;
+        }
     }
+    runtime.shutdown();
 
+    let stats = driver.finish();
     ExecReport {
         model: TrainedModel::Ppo(learner.policy.clone()),
         usage: Default::default(),
-        env_steps,
-        env_work,
+        env_steps: stats.env_steps,
+        env_work: stats.env_work,
         learn_flops: learner.flops,
-        train_returns,
+        train_returns: stats.train_returns,
         updates: learner.updates,
     }
 }
@@ -202,6 +165,7 @@ fn train_sac(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
+    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = Framework::RayRllib.profile();
     let nodes = spec.deployment.nodes;
@@ -217,20 +181,22 @@ fn train_sac(
     let mut obs: Vec<Vec<f64>> = envs.iter_mut().map(|e| e.reset()).collect();
     let mut ep_rets = vec![0.0; n_workers];
 
-    let mut env_steps = 0u64;
-    let mut env_work = 0u64;
-    let mut train_returns = Vec::new();
+    // SAC keeps the learner in the interaction loop; the driver owns the
+    // bookkeeping and narrates the distributed shape (concurrent nodes,
+    // experience/weight traffic) exactly as before.
+    let mut driver = Driver::new(session, observer);
     let round = 32usize;
     // Approximate per-transition payload for the experience shipping.
     let transition_bytes = (obs_dim * 2 + 4) as u64 * 8;
 
-    while (env_steps as usize) < spec.total_steps {
+    while (driver.env_steps() as usize) < spec.total_steps {
         let flops_before = learner.flops;
         let mut node_env_work = vec![0u64; nodes];
         let mut remote_steps = 0u64;
+        let mut iter_steps = 0u64;
         for _ in 0..round {
             for w in 0..n_workers {
-                if (env_steps as usize) >= spec.total_steps {
+                if (driver.env_steps() + iter_steps) as usize >= spec.total_steps {
                     break;
                 }
                 let (units, fin) = sac_step(
@@ -245,16 +211,16 @@ fn train_sac(
                 if node != 0 {
                     remote_steps += 1;
                 }
-                env_steps += 1;
+                iter_steps += 1;
                 if let Some(r) = fin {
-                    train_returns.push(r);
+                    driver.note_return(r);
                 }
             }
         }
-        env_work += node_env_work.iter().sum::<u64>();
+        driver.note_steps(iter_steps, node_env_work.iter().sum());
         let update_flops = learner.flops - flops_before;
 
-        let node_spec = session.spec().node;
+        let node_spec = driver.cluster().node;
         let work: Vec<NodeWork> = (0..nodes)
             .map(|n| NodeWork {
                 node: n,
@@ -263,24 +229,37 @@ fn train_sac(
                 streams: cores,
             })
             .collect();
-        session.concurrent(&work);
+        driver.apply(&SessionEvent::Compute { work });
         if remote_steps > 0 {
-            session.transfer(remote_steps * transition_bytes);
-            session.transfer(learner.param_bytes()); // weight broadcast
+            driver.apply(&SessionEvent::Transfer { bytes: remote_steps * transition_bytes });
+            // Weight broadcast back to the remote interaction workers.
+            driver.apply(&SessionEvent::Transfer { bytes: learner.param_bytes() });
         }
-        session.compute(0, node_spec.flops_to_units(update_flops), profile.learner_streams);
-        session.overhead(profile.per_iter_overhead_s * round as f64 / 256.0);
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: node_spec.flops_to_units(update_flops),
+                streams: profile.learner_streams,
+            }],
+        });
+        driver.apply(&SessionEvent::Overhead {
+            seconds: profile.per_iter_overhead_s * round as f64 / 256.0,
+        });
+        if driver.end_iteration() {
+            break;
+        }
     }
 
+    let stats = driver.finish();
     let learn_flops = learner.flops;
     let updates = learner.updates;
     ExecReport {
         model: TrainedModel::Sac(Box::new(learner)),
         usage: Default::default(),
-        env_steps,
-        env_work,
+        env_steps: stats.env_steps,
+        env_work: stats.env_work,
         learn_flops,
-        train_returns,
+        train_returns: stats.train_returns,
         updates,
     }
 }
@@ -289,6 +268,7 @@ fn train_sac(
 mod tests {
     use super::*;
     use crate::backend::{run, FnEnvFactory};
+    use crate::runtime::NullObserver;
     use crate::spec::Deployment;
     use gymrs::envs::{GridWorld, PointMass};
 
@@ -358,6 +338,17 @@ mod tests {
     }
 
     #[test]
+    fn two_nodes_are_reproducible_on_the_runtime() {
+        // Pre-runtime, the 2-node merge followed completion order and
+        // reward trajectories drifted between runs; the runtime's
+        // index-order drain makes every deployment bitwise reproducible.
+        let a = run(&spec(Algorithm::Ppo, 2, 2, 512), &grid_factory()).expect("runs");
+        let b = run(&spec(Algorithm::Ppo, 2, 2, 512), &grid_factory()).expect("runs");
+        assert_eq!(a.train_returns, b.train_returns);
+        assert_eq!(a.usage.wall_s.to_bits(), b.usage.wall_s.to_bits());
+    }
+
+    #[test]
     fn two_node_trace_interleaves_compute_and_transfers() {
         // Narration structure: each iteration produces a concurrent
         // compute phase across both nodes, experience transfers, a
@@ -367,7 +358,7 @@ mod tests {
         let mut session = ClusterSession::new(ClusterSpec::paper_testbed(2)).with_trace();
         let backend = RllibLike;
         let factory = grid_factory();
-        let _report = backend.train(&spec, &factory, &mut session);
+        let _report = backend.train(&spec, &factory, &mut session, &mut NullObserver);
         let trace = session.trace().to_vec();
         assert!(!trace.is_empty());
         let computes = trace.iter().filter(|e| matches!(e, PhaseEvent::Compute { .. })).count();

@@ -9,15 +9,20 @@
 //! reach slightly better rewards (§VI-C, solutions 14 vs 15/16).
 //!
 //! Everything runs on one node. Collection, inference and learning are
-//! strictly serialized (the SB3 training loop), which makes this the most
-//! deterministic — and reward-wise most reliable — backend.
+//! strictly serialized (the SB3 training loop): the backend drives a
+//! single vectorized runtime worker with [`SyncPolicy::EveryRound`], and
+//! the learner's *master* rng rides the collect command so the draw order
+//! (collect, then update, one stream) is exactly the SB3 loop's. This
+//! remains the most deterministic — and reward-wise most reliable —
+//! backend.
 
 use crate::backend::{Backend, EnvFactory};
-use crate::backends::common::{collect_segment_vec, sac_step, worker_seed};
+use crate::backends::common::{sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
+use crate::runtime::{merge_wave, Collector, Driver, Observer, Runtime, SyncPolicy, WorkerSpec};
 use crate::spec::ExecSpec;
-use cluster_sim::ClusterSession;
+use cluster_sim::{ClusterSession, NodeWork, SessionEvent};
 use gymrs::VecEnv;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,10 +43,11 @@ impl Backend for StableBaselinesLike {
         spec: &ExecSpec,
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
+        observer: &mut dyn Observer,
     ) -> ExecReport {
         match spec.algorithm {
-            Algorithm::Ppo => train_ppo(spec, factory, session),
-            Algorithm::Sac => train_sac(spec, factory, session),
+            Algorithm::Ppo => train_ppo(spec, factory, session, observer),
+            Algorithm::Sac => train_sac(spec, factory, session, observer),
         }
     }
 }
@@ -50,6 +56,7 @@ fn train_ppo(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
+    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = Framework::StableBaselines.profile();
     let n_envs = spec.deployment.cores_per_node;
@@ -66,24 +73,31 @@ fn train_ppo(
     let batch = learner.config().n_steps;
     let per_env = (batch / n_envs).max(1);
 
-    let mut env_steps = 0u64;
-    let mut env_work = 0u64;
-    let mut train_returns = Vec::new();
+    // One vectorized worker actor owns the whole VecEnv: SB3's training
+    // loop is a single process, so the runtime holds one actor on node 0.
+    let mut runtime = Runtime::spawn(
+        vec![WorkerSpec { node: 0, collector: Collector::Vectorized { venv } }],
+        &learner.policy,
+    );
+    let mut driver = Driver::new(session, observer);
 
-    while (env_steps as usize) < spec.total_steps {
-        learner.anneal(env_steps as f64 / spec.total_steps as f64);
+    while (driver.env_steps() as usize) < spec.total_steps {
+        learner.anneal(driver.env_steps() as f64 / spec.total_steps as f64);
         // --- Collection: lockstep vectorized stepping with batched policy
         // evaluation — one actor + one critic forward per tick over all
-        // `cores` sub-environments (total batch = cores × per_env).
+        // `cores` sub-environments (total batch = cores × per_env). The
+        // master rng rides along and comes back advanced.
         let flops_before = learner.flops;
-        let seg = collect_segment_vec(&learner.policy, &mut venv, per_env, &mut rng);
-        let iter_env_work = seg.env_work;
-        let iter_infer_flops = seg.infer_flops;
-        train_returns.extend(seg.episodes.iter().map(|e| e.0));
-        let merged = seg.rollout;
+        driver.broadcast(&mut runtime, &learner.policy, SyncPolicy::EveryRound);
+        let outcome = runtime.collect_round(driver.iteration(), per_env, vec![rng]);
+        let wave = merge_wave(outcome, 1);
+        rng = wave.rngs.into_iter().next().expect("one worker");
+        let iter_env_work = wave.node_env_work[0];
+        let iter_infer_flops = wave.node_infer_flops[0];
+        driver.note_returns(wave.returns);
+        let merged = wave.merged;
         let steps = merged.len() as u64;
-        env_steps += steps;
-        env_work += iter_env_work;
+        driver.note_steps(steps, iter_env_work);
         learner.flops += iter_infer_flops;
 
         // --- Update.
@@ -93,21 +107,44 @@ fn train_ppo(
         // --- Narration: env stepping parallelized over the vectorized
         // envs; inference serialized with the loop (vectorized BLAS uses
         // the learner streams); learning likewise.
-        let node = session.spec().node;
+        let node = driver.cluster().node;
         let overhead_units = profile.per_step_overhead_units * steps as f64;
-        session.compute(0, iter_env_work as f64 + overhead_units, n_envs);
-        session.compute(0, node.flops_to_units(iter_infer_flops), profile.learner_streams);
-        session.compute(0, node.flops_to_units(update_flops), profile.learner_streams);
-        session.overhead(profile.per_iter_overhead_s);
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: iter_env_work as f64 + overhead_units,
+                streams: n_envs,
+            }],
+        });
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: node.flops_to_units(iter_infer_flops),
+                streams: profile.learner_streams,
+            }],
+        });
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: node.flops_to_units(update_flops),
+                streams: profile.learner_streams,
+            }],
+        });
+        driver.apply(&SessionEvent::Overhead { seconds: profile.per_iter_overhead_s });
+        if driver.end_iteration() {
+            break;
+        }
     }
+    runtime.shutdown();
 
+    let stats = driver.finish();
     ExecReport {
         model: TrainedModel::Ppo(learner.policy.clone()),
         usage: Default::default(),
-        env_steps,
-        env_work,
+        env_steps: stats.env_steps,
+        env_work: stats.env_work,
         learn_flops: learner.flops,
-        train_returns,
+        train_returns: stats.train_returns,
         updates: learner.updates,
     }
 }
@@ -116,6 +153,7 @@ fn train_sac(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
+    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = Framework::StableBaselines.profile();
     let n_envs = spec.deployment.cores_per_node;
@@ -129,18 +167,21 @@ fn train_sac(
     let mut obs: Vec<Vec<f64>> = envs.iter_mut().map(|e| e.reset()).collect();
     let mut ep_rets = vec![0.0; n_envs];
 
-    let mut env_steps = 0u64;
-    let mut env_work = 0u64;
-    let mut train_returns = Vec::new();
+    // SAC keeps the learner in the interaction loop (every step feeds the
+    // replay buffer and may trigger updates), so there is no detachable
+    // collection to hand to runtime actors; the driver still owns all
+    // bookkeeping and narration.
+    let mut driver = Driver::new(session, observer);
     // Round size: one lockstep sweep over the vectorized envs.
     let round = 32usize;
 
-    while (env_steps as usize) < spec.total_steps {
+    while (driver.env_steps() as usize) < spec.total_steps {
         let flops_before = learner.flops;
         let mut iter_env_work = 0u64;
+        let mut iter_steps = 0u64;
         for _ in 0..round {
             for i in 0..n_envs {
-                if (env_steps as usize) >= spec.total_steps {
+                if (driver.env_steps() + iter_steps) as usize >= spec.total_steps {
                     break;
                 }
                 let (w, fin) = sac_step(
@@ -151,33 +192,47 @@ fn train_sac(
                     &mut rng,
                 );
                 iter_env_work += w;
-                env_steps += 1;
+                iter_steps += 1;
                 if let Some(r) = fin {
-                    train_returns.push(r);
+                    driver.note_return(r);
                 }
             }
         }
-        env_work += iter_env_work;
+        driver.note_steps(iter_steps, iter_env_work);
         let update_flops = learner.flops - flops_before;
         let steps = (round * n_envs) as u64;
 
-        let node = session.spec().node;
-        session.compute(
-            0,
-            iter_env_work as f64 + profile.per_step_overhead_units * steps as f64,
-            n_envs,
-        );
-        session.compute(0, node.flops_to_units(update_flops), profile.learner_streams);
-        session.overhead(profile.per_iter_overhead_s * round as f64 / 256.0);
+        let node = driver.cluster().node;
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: iter_env_work as f64 + profile.per_step_overhead_units * steps as f64,
+                streams: n_envs,
+            }],
+        });
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: node.flops_to_units(update_flops),
+                streams: profile.learner_streams,
+            }],
+        });
+        driver.apply(&SessionEvent::Overhead {
+            seconds: profile.per_iter_overhead_s * round as f64 / 256.0,
+        });
+        if driver.end_iteration() {
+            break;
+        }
     }
 
+    let stats = driver.finish();
     ExecReport {
         model: TrainedModel::Sac(Box::new(learner)),
         usage: Default::default(),
-        env_steps,
-        env_work,
+        env_steps: stats.env_steps,
+        env_work: stats.env_work,
         learn_flops: 0,
-        train_returns,
+        train_returns: stats.train_returns,
         updates: 0,
     }
     .with_learner_counts()
@@ -278,5 +333,23 @@ mod tests {
         let mut s = spec(Algorithm::Ppo, 4, 512);
         s.deployment.nodes = 2;
         assert!(run(&s, &grid_factory()).is_err());
+    }
+
+    #[test]
+    fn observer_can_stop_a_trial_early() {
+        use crate::backend::run_observed;
+        use crate::runtime::IterationSnapshot;
+        struct StopAfter(u64);
+        impl Observer for StopAfter {
+            fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
+                snapshot.iteration >= self.0
+            }
+        }
+        let full = run(&spec(Algorithm::Ppo, 4, 2048), &grid_factory()).expect("runs");
+        let mut stopper = StopAfter(1);
+        let stopped = run_observed(&spec(Algorithm::Ppo, 4, 2048), &grid_factory(), &mut stopper)
+            .expect("runs");
+        assert!(stopped.env_steps < full.env_steps, "early stop consumed fewer steps");
+        assert!(stopped.env_steps > 0);
     }
 }

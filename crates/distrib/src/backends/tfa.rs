@@ -3,18 +3,20 @@
 //! TF-Agents trains on a single node but overlaps environment stepping
 //! *and* policy inference across CPU cores (its parallel driver /
 //! `ParallelPyEnvironment`). We reproduce that with a lockstep batched
-//! driver: one `VecEnv` fans environment steps across cores while the
-//! policy evaluates all workers' observations in a single batched
-//! forward per tick. The framework's per-step path is the leanest of the
-//! three, which is where the paper's "lowest power consumption"
-//! observation comes from (§VI-B, solution 11).
+//! driver: one vectorized runtime actor fans environment steps across
+//! cores while the policy evaluates all workers' observations in a single
+//! batched forward per tick, refreshed with [`SyncPolicy::EveryRound`].
+//! The framework's per-step path is the leanest of the three, which is
+//! where the paper's "lowest power consumption" observation comes from
+//! (§VI-B, solution 11).
 
 use crate::backend::{Backend, EnvFactory};
-use crate::backends::common::{collect_segment_vec, sac_step, worker_seed};
+use crate::backends::common::{sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
+use crate::runtime::{merge_wave, Collector, Driver, Observer, Runtime, SyncPolicy, WorkerSpec};
 use crate::spec::ExecSpec;
-use cluster_sim::ClusterSession;
+use cluster_sim::{ClusterSession, NodeWork, SessionEvent};
 use gymrs::{Environment, VecEnv};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,10 +37,11 @@ impl Backend for TfAgentsLike {
         spec: &ExecSpec,
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
+        observer: &mut dyn Observer,
     ) -> ExecReport {
         match spec.algorithm {
-            Algorithm::Ppo => train_ppo(spec, factory, session),
-            Algorithm::Sac => train_sac(spec, factory, session),
+            Algorithm::Ppo => train_ppo(spec, factory, session, observer),
+            Algorithm::Sac => train_sac(spec, factory, session, observer),
         }
     }
 }
@@ -47,6 +50,7 @@ fn train_ppo(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
+    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = Framework::TfAgents.profile();
     let workers = spec.deployment.cores_per_node;
@@ -63,27 +67,31 @@ fn train_ppo(
     let batch = learner.config().n_steps;
     let per_worker = (batch / workers).max(1);
 
-    let mut env_steps = 0u64;
-    let mut env_work = 0u64;
-    let mut train_returns = Vec::new();
-    let mut round = 0u64;
+    // One vectorized actor models the parallel driver: collection runs on
+    // a fresh per-round worker stream, decoupled from the learner's rng.
+    let mut runtime = Runtime::spawn(
+        vec![WorkerSpec { node: 0, collector: Collector::Vectorized { venv } }],
+        &learner.policy,
+    );
+    let mut driver = Driver::new(session, observer);
 
-    while (env_steps as usize) < spec.total_steps {
+    while (driver.env_steps() as usize) < spec.total_steps {
         // --- Parallel collection: the driver batches all `workers`
         // environments through one actor/critic forward per tick (the
         // batched-driver analogue of TF-Agents overlapping stepping and
-        // inference), and `VecEnv` fans the env steps across cores.
-        let mut wrng = StdRng::seed_from_u64(worker_seed(spec.seed, 0, round + 1000));
-        let seg = collect_segment_vec(&learner.policy, &mut venv, per_worker, &mut wrng);
-        round += 1;
+        // inference), and the vectorized actor fans env steps across
+        // cores.
+        driver.broadcast(&mut runtime, &learner.policy, SyncPolicy::EveryRound);
+        let wrng = StdRng::seed_from_u64(worker_seed(spec.seed, 0, driver.iteration() + 1000));
+        let outcome = runtime.collect_round(driver.iteration(), per_worker, vec![wrng]);
+        let wave = merge_wave(outcome, 1);
 
-        let iter_env_work = seg.env_work;
-        let iter_infer_flops = seg.infer_flops;
-        train_returns.extend(seg.episodes.iter().map(|e| e.0));
-        let merged = seg.rollout;
+        let iter_env_work = wave.node_env_work[0];
+        let iter_infer_flops = wave.node_infer_flops[0];
+        driver.note_returns(wave.returns);
+        let merged = wave.merged;
         let steps = merged.len() as u64;
-        env_steps += steps;
-        env_work += iter_env_work;
+        driver.note_steps(steps, iter_env_work);
         learner.flops += iter_infer_flops;
 
         let flops_before = learner.flops;
@@ -93,22 +101,35 @@ fn train_ppo(
         // --- Narration: env work AND inference overlap across the
         // workers (this is the driver's whole point); learning uses the
         // full node's BLAS threads.
-        let node = session.spec().node;
+        let node = driver.cluster().node;
         let overhead_units = profile.per_step_overhead_units * steps as f64;
         let collect_units =
             iter_env_work as f64 + node.flops_to_units(iter_infer_flops) + overhead_units;
-        session.compute(0, collect_units, workers);
-        session.compute(0, node.flops_to_units(update_flops), profile.learner_streams);
-        session.overhead(profile.per_iter_overhead_s);
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork { node: 0, units: collect_units, streams: workers }],
+        });
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: node.flops_to_units(update_flops),
+                streams: profile.learner_streams,
+            }],
+        });
+        driver.apply(&SessionEvent::Overhead { seconds: profile.per_iter_overhead_s });
+        if driver.end_iteration() {
+            break;
+        }
     }
+    runtime.shutdown();
 
+    let stats = driver.finish();
     ExecReport {
         model: TrainedModel::Ppo(learner.policy.clone()),
         usage: Default::default(),
-        env_steps,
-        env_work,
+        env_steps: stats.env_steps,
+        env_work: stats.env_work,
         learn_flops: learner.flops,
-        train_returns,
+        train_returns: stats.train_returns,
         updates: learner.updates,
     }
 }
@@ -117,6 +138,7 @@ fn train_sac(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
+    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = Framework::TfAgents.profile();
     let workers = spec.deployment.cores_per_node;
@@ -130,17 +152,18 @@ fn train_sac(
     let mut obs: Vec<Vec<f64>> = envs.iter_mut().map(|e| e.reset()).collect();
     let mut ep_rets = vec![0.0; workers];
 
-    let mut env_steps = 0u64;
-    let mut env_work = 0u64;
-    let mut train_returns = Vec::new();
+    // SAC keeps the learner in the interaction loop (see the SB3 backend);
+    // bookkeeping and narration still flow through the driver.
+    let mut driver = Driver::new(session, observer);
     let round = 32usize;
 
-    while (env_steps as usize) < spec.total_steps {
+    while (driver.env_steps() as usize) < spec.total_steps {
         let flops_before = learner.flops;
         let mut iter_env_work = 0u64;
+        let mut iter_steps = 0u64;
         for _ in 0..round {
             for i in 0..workers {
-                if (env_steps as usize) >= spec.total_steps {
+                if (driver.env_steps() + iter_steps) as usize >= spec.total_steps {
                     break;
                 }
                 let (w, fin) = sac_step(
@@ -151,35 +174,49 @@ fn train_sac(
                     &mut rng,
                 );
                 iter_env_work += w;
-                env_steps += 1;
+                iter_steps += 1;
                 if let Some(r) = fin {
-                    train_returns.push(r);
+                    driver.note_return(r);
                 }
             }
         }
-        env_work += iter_env_work;
+        driver.note_steps(iter_steps, iter_env_work);
         let update_flops = learner.flops - flops_before;
         let steps = (round * workers) as u64;
 
-        let node = session.spec().node;
-        session.compute(
-            0,
-            iter_env_work as f64 + profile.per_step_overhead_units * steps as f64,
-            workers,
-        );
-        session.compute(0, node.flops_to_units(update_flops), profile.learner_streams);
-        session.overhead(profile.per_iter_overhead_s * round as f64 / 256.0);
+        let node = driver.cluster().node;
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: iter_env_work as f64 + profile.per_step_overhead_units * steps as f64,
+                streams: workers,
+            }],
+        });
+        driver.apply(&SessionEvent::Compute {
+            work: vec![NodeWork {
+                node: 0,
+                units: node.flops_to_units(update_flops),
+                streams: profile.learner_streams,
+            }],
+        });
+        driver.apply(&SessionEvent::Overhead {
+            seconds: profile.per_iter_overhead_s * round as f64 / 256.0,
+        });
+        if driver.end_iteration() {
+            break;
+        }
     }
 
+    let stats = driver.finish();
     let learn_flops = learner.flops;
     let updates = learner.updates;
     ExecReport {
         model: TrainedModel::Sac(Box::new(learner)),
         usage: Default::default(),
-        env_steps,
-        env_work,
+        env_steps: stats.env_steps,
+        env_work: stats.env_work,
         learn_flops,
-        train_returns,
+        train_returns: stats.train_returns,
         updates,
     }
 }

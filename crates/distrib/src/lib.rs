@@ -24,15 +24,23 @@
 //!   (best reward, §VI-A) but serializes inference and learning;
 //! * TF-Agents-like has the smallest framework overhead per step (lowest
 //!   power, §VI-B).
+//!
+//! All backends execute on one actor-style [`runtime`]: long-lived worker
+//! threads pinned to simulated nodes, typed command/event channels, and a
+//! [`runtime::Driver`] that owns the iteration bookkeeping and narrates
+//! every cost as a `cluster_sim::SessionEvent`. The backends themselves
+//! are thin driver policies over that shared machinery.
 
 pub mod backend;
 pub mod backends;
 pub mod framework;
 pub mod report;
+pub mod runtime;
 pub mod spec;
 
-pub use backend::{run, Backend, EnvFactory, FnEnvFactory};
+pub use backend::{run, run_observed, Backend, EnvFactory, FnEnvFactory};
 pub use backends::{train_impala, ImpalaOpts};
 pub use framework::{Framework, FrameworkProfile};
 pub use report::{ExecReport, TrainedModel};
+pub use runtime::{IterationSnapshot, NullObserver, Observer, Runtime, SyncPolicy};
 pub use spec::{Deployment, ExecSpec};

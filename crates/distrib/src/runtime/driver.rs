@@ -1,0 +1,345 @@
+//! The driver side of the runtime: weight-sync policies, deterministic
+//! wave merging, iteration bookkeeping and the observer hook.
+//!
+//! A [`Driver`] wraps the trial's `ClusterSession` and an [`Observer`]
+//! and owns the bookkeeping every backend used to duplicate: environment
+//! step/work counters, the training-return log, and the iteration index.
+//! Backends narrate costs exclusively through [`Driver::apply`] — one
+//! [`SessionEvent`] per phase — so the cluster trace and the per-iteration
+//! reward reports come from one code path.
+//!
+//! The [`SyncPolicy`] matrix captures how each framework keeps its
+//! workers' policy snapshots fresh:
+//!
+//! | Backend | Policy | Meaning |
+//! |---|---|---|
+//! | Stable-Baselines-like | [`SyncPolicy::EveryRound`] | strict synchrony: every worker refreshed before every collection |
+//! | TF-Agents-like | [`SyncPolicy::EveryRound`] | same single-node synchrony |
+//! | RLlib-like | [`SyncPolicy::RemotePeriodic`] | node-0 workers every round; remote nodes only every `period`-th round (stale in between) |
+//! | IMPALA-like | [`SyncPolicy::Periodic`] | *all* actors refresh only every `period`-th round; V-trace absorbs the staleness |
+
+use super::{RoundOutcome, Runtime};
+use cluster_sim::{ClusterSession, ClusterSpec, SessionEvent};
+use rand::rngs::StdRng;
+use rl_algos::buffer::RolloutBuffer;
+use rl_algos::policy::ActorCritic;
+
+/// What a backend reports to its [`Observer`] after each iteration.
+pub struct IterationSnapshot<'a> {
+    /// Iterations completed so far (1 after the first).
+    pub iteration: u64,
+    /// Environment steps consumed so far.
+    pub env_steps: u64,
+    /// Finished-episode returns logged so far, in merge order.
+    pub train_returns: &'a [f64],
+    /// Simulated wall-clock seconds elapsed so far.
+    pub wall_s: f64,
+}
+
+/// Receives per-iteration progress reports from a running backend.
+///
+/// This is how study-level concerns (pruning, live reward curves) tap the
+/// training loop without the backends knowing about them.
+pub trait Observer {
+    /// Called after every completed iteration. Return `true` to stop the
+    /// trial early (e.g. a pruner decided the trial is hopeless).
+    fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool;
+}
+
+/// The do-nothing observer: never stops a trial.
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_iteration(&mut self, _snapshot: &IterationSnapshot<'_>) -> bool {
+        false
+    }
+}
+
+/// When a driver pushes fresh weights to which workers. See the module
+/// docs for the per-framework matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Every worker, every round (fully synchronous backends).
+    EveryRound,
+    /// Workers on the learner's node (node 0) every round; workers on
+    /// remote nodes only when `round` is a multiple of `period`.
+    RemotePeriodic {
+        /// Rounds between remote-node refreshes.
+        period: u64,
+    },
+    /// All workers, but only when `round` is a multiple of `period`
+    /// (IMPALA-style bulk refresh; no one is fresh in between).
+    Periodic {
+        /// Rounds between bulk refreshes.
+        period: u64,
+    },
+}
+
+impl SyncPolicy {
+    /// Worker indices to refresh before collection round `round`, given
+    /// each worker's node assignment.
+    pub fn recipients(&self, round: u64, worker_nodes: &[usize]) -> Vec<usize> {
+        match self {
+            SyncPolicy::EveryRound => (0..worker_nodes.len()).collect(),
+            SyncPolicy::RemotePeriodic { period } => {
+                if round.is_multiple_of(*period) {
+                    (0..worker_nodes.len()).collect()
+                } else {
+                    worker_nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &node)| node == 0)
+                        .map(|(w, _)| w)
+                        .collect()
+                }
+            }
+            SyncPolicy::Periodic { period } => {
+                if round.is_multiple_of(*period) {
+                    (0..worker_nodes.len()).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+/// A collection round merged into learner-ready form, deterministically
+/// (worker-index order, regardless of completion order).
+pub struct WaveOutcome {
+    /// All segments concatenated in worker-index order.
+    pub merged: RolloutBuffer,
+    /// Finished-episode returns in merge order.
+    pub returns: Vec<f64>,
+    /// Environment work units per node.
+    pub node_env_work: Vec<u64>,
+    /// Collection-inference FLOPs per node.
+    pub node_infer_flops: Vec<u64>,
+    /// Experience bytes shipped from remote nodes to the learner.
+    pub shipped_bytes: u64,
+    /// Worker indices in completion order (for asynchrony narration).
+    pub arrival: Vec<usize>,
+    /// Each worker's sampling rng, advanced past its segment.
+    pub rngs: Vec<StdRng>,
+}
+
+/// Merge a [`RoundOutcome`] into a [`WaveOutcome`].
+pub fn merge_wave(outcome: RoundOutcome, nodes: usize) -> WaveOutcome {
+    let total: usize = outcome.segments.iter().map(|s| s.segment.rollout.len()).sum();
+    let mut merged = RolloutBuffer::with_capacity(total);
+    let mut returns = Vec::new();
+    let mut node_env_work = vec![0u64; nodes];
+    let mut node_infer_flops = vec![0u64; nodes];
+    let mut shipped_bytes = 0u64;
+    let mut rngs = Vec::with_capacity(outcome.segments.len());
+    for ws in outcome.segments {
+        debug_assert!(ws.node < nodes);
+        node_env_work[ws.node] += ws.segment.env_work;
+        node_infer_flops[ws.node] += ws.segment.infer_flops;
+        if ws.node != 0 {
+            shipped_bytes += ws.segment.rollout.payload_bytes();
+        }
+        returns.extend(ws.segment.episodes.iter().map(|e| e.0));
+        merged.extend(ws.segment.rollout);
+        rngs.push(ws.rng);
+    }
+    WaveOutcome {
+        merged,
+        returns,
+        node_env_work,
+        node_infer_flops,
+        shipped_bytes,
+        arrival: outcome.arrival,
+        rngs,
+    }
+}
+
+/// Per-trial driver state: the session, the observer, and the counters
+/// every backend needs. See the module docs.
+pub struct Driver<'a> {
+    session: &'a mut ClusterSession,
+    observer: &'a mut dyn Observer,
+    iteration: u64,
+    env_steps: u64,
+    env_work: u64,
+    train_returns: Vec<f64>,
+}
+
+/// The driver's accumulated counters, surrendered by [`Driver::finish`].
+pub struct DriverStats {
+    /// Total environment steps.
+    pub env_steps: u64,
+    /// Total environment work units.
+    pub env_work: u64,
+    /// All logged training returns.
+    pub train_returns: Vec<f64>,
+}
+
+impl<'a> Driver<'a> {
+    /// Wrap a session and an observer for one trial.
+    pub fn new(session: &'a mut ClusterSession, observer: &'a mut dyn Observer) -> Self {
+        Self {
+            session,
+            observer,
+            iteration: 0,
+            env_steps: 0,
+            env_work: 0,
+            train_returns: Vec::new(),
+        }
+    }
+
+    /// The simulated cluster being narrated to.
+    pub fn cluster(&self) -> &ClusterSpec {
+        self.session.spec()
+    }
+
+    /// Iterations completed.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Environment steps consumed.
+    pub fn env_steps(&self) -> u64 {
+        self.env_steps
+    }
+
+    /// Returns logged so far.
+    pub fn returns(&self) -> &[f64] {
+        &self.train_returns
+    }
+
+    /// Narrate one event to the cluster session. Returns the simulated
+    /// duration of the phase.
+    pub fn apply(&mut self, event: &SessionEvent) -> f64 {
+        self.session.apply(event)
+    }
+
+    /// Refresh worker snapshots per `policy` and narrate the broadcast:
+    /// weights crossing to remote nodes become one [`SessionEvent::Transfer`].
+    pub fn broadcast(
+        &mut self,
+        runtime: &mut Runtime,
+        policy: &ActorCritic,
+        sync: SyncPolicy,
+    ) -> u64 {
+        let recipients = sync.recipients(self.iteration, runtime.worker_nodes());
+        let bytes = runtime.broadcast_weights(self.iteration, policy, &recipients);
+        if bytes > 0 {
+            self.apply(&SessionEvent::Transfer { bytes });
+        }
+        bytes
+    }
+
+    /// Account a batch of environment steps and their work units.
+    pub fn note_steps(&mut self, steps: u64, work: u64) {
+        self.env_steps += steps;
+        self.env_work += work;
+    }
+
+    /// Log one finished-episode return.
+    pub fn note_return(&mut self, ret: f64) {
+        self.train_returns.push(ret);
+    }
+
+    /// Log a batch of finished-episode returns (merge order).
+    pub fn note_returns<I: IntoIterator<Item = f64>>(&mut self, rets: I) {
+        self.train_returns.extend(rets);
+    }
+
+    /// Close the current iteration: bump the counter and report progress
+    /// to the observer. Returns `true` if the observer wants the trial
+    /// stopped early.
+    pub fn end_iteration(&mut self) -> bool {
+        self.iteration += 1;
+        let snapshot = IterationSnapshot {
+            iteration: self.iteration,
+            env_steps: self.env_steps,
+            train_returns: &self.train_returns,
+            wall_s: self.session.now(),
+        };
+        self.observer.on_iteration(&snapshot)
+    }
+
+    /// Surrender the accumulated counters.
+    pub fn finish(self) -> DriverStats {
+        DriverStats {
+            env_steps: self.env_steps,
+            env_work: self.env_work,
+            train_returns: self.train_returns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::ClusterSpec;
+
+    #[test]
+    fn every_round_refreshes_everyone() {
+        let nodes = [0, 0, 1, 1];
+        for round in 0..4 {
+            assert_eq!(SyncPolicy::EveryRound.recipients(round, &nodes), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn remote_periodic_staggers_remote_nodes() {
+        let nodes = [0, 0, 1, 1];
+        let policy = SyncPolicy::RemotePeriodic { period: 2 };
+        assert_eq!(policy.recipients(0, &nodes), vec![0, 1, 2, 3], "sync round");
+        assert_eq!(policy.recipients(1, &nodes), vec![0, 1], "stale round: node 0 only");
+        assert_eq!(policy.recipients(2, &nodes), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn periodic_refreshes_nobody_between_syncs() {
+        let nodes = [0, 0, 1, 1];
+        let policy = SyncPolicy::Periodic { period: 4 };
+        assert_eq!(policy.recipients(0, &nodes), vec![0, 1, 2, 3]);
+        for round in 1..4 {
+            assert!(policy.recipients(round, &nodes).is_empty());
+        }
+        assert_eq!(policy.recipients(4, &nodes), vec![0, 1, 2, 3]);
+    }
+
+    struct StopAfter(u64);
+    impl Observer for StopAfter {
+        fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
+            snapshot.iteration >= self.0
+        }
+    }
+
+    #[test]
+    fn driver_counts_and_reports_to_observer() {
+        let mut session = ClusterSession::new(ClusterSpec::paper_testbed(1));
+        let mut observer = StopAfter(2);
+        let mut driver = Driver::new(&mut session, &mut observer);
+        driver.note_steps(128, 128);
+        driver.note_return(1.5);
+        assert!(!driver.end_iteration(), "observer stops only at iteration 2");
+        driver.note_steps(128, 128);
+        assert!(driver.end_iteration());
+        let stats = driver.finish();
+        assert_eq!(stats.env_steps, 256);
+        assert_eq!(stats.env_work, 256);
+        assert_eq!(stats.train_returns, vec![1.5]);
+    }
+
+    #[test]
+    fn driver_snapshot_carries_simulated_time() {
+        struct SawTime(f64);
+        impl Observer for SawTime {
+            fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
+                self.0 = snapshot.wall_s;
+                false
+            }
+        }
+        let mut session = ClusterSession::new(ClusterSpec::paper_testbed(1));
+        let mut observer = SawTime(0.0);
+        let mut driver = Driver::new(&mut session, &mut observer);
+        driver.apply(&SessionEvent::Overhead { seconds: 2.5 });
+        driver.end_iteration();
+        assert!(observer.0 >= 2.5);
+    }
+}

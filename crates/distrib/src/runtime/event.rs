@@ -1,0 +1,75 @@
+//! Typed command/event messages between the driver and worker actors.
+//!
+//! Commands flow driver → worker over a per-worker channel; events flow
+//! worker → driver over one shared channel. Large payloads (policies,
+//! segments) are boxed so the enums stay channel-friendly.
+//!
+//! RNG streams ride along with the messages: a [`Command::Collect`]
+//! carries the rng the worker must sample actions from, and the matching
+//! [`Event::SegmentReady`] hands it back. This is what lets the
+//! Stable-Baselines-like backend round-trip its *master* rng through the
+//! vectorized collection worker and keep the exact pre-runtime draw order
+//! (collect, then update, from one stream).
+
+use crate::backends::common::Segment;
+use rand::rngs::StdRng;
+use rl_algos::policy::ActorCritic;
+
+/// A driver-issued order to one worker actor.
+pub enum Command {
+    /// Collect a segment for `round`: `steps` collector-native steps
+    /// (env steps for per-env workers, lockstep ticks for vectorized
+    /// ones), sampling from `rng`.
+    Collect {
+        /// Iteration index (for event correlation).
+        round: u64,
+        /// Steps/ticks to collect.
+        steps: usize,
+        /// The action-sampling stream; returned in the matching
+        /// [`Event::SegmentReady`].
+        rng: StdRng,
+    },
+    /// Replace the worker's policy snapshot with fresh learner weights.
+    /// The worker acknowledges with an [`Event::Heartbeat`].
+    UpdateWeights {
+        /// Iteration index.
+        round: u64,
+        /// The new weights (boxed: policies are large).
+        policy: Box<ActorCritic>,
+    },
+    /// Stop the worker loop; the thread exits.
+    Shutdown,
+}
+
+/// A worker-emitted event.
+pub enum Event {
+    /// A collection order finished.
+    SegmentReady {
+        /// Worker index.
+        worker: usize,
+        /// Simulated node the worker is pinned to.
+        node: usize,
+        /// Iteration index echoed from the command.
+        round: u64,
+        /// The collected segment (boxed: rollouts are large).
+        segment: Box<Segment>,
+        /// The action-sampling stream, advanced past this segment.
+        rng: StdRng,
+    },
+    /// Liveness/acknowledgement signal (sent after a weight update).
+    Heartbeat {
+        /// Worker index.
+        worker: usize,
+        /// Iteration index echoed from the command.
+        round: u64,
+    },
+    /// The worker's collection panicked; the worker thread is gone.
+    WorkerFailed {
+        /// Worker index.
+        worker: usize,
+        /// Iteration index of the failed command.
+        round: u64,
+        /// Panic payload rendered to text.
+        reason: String,
+    },
+}

@@ -1,0 +1,352 @@
+//! The actor-style execution runtime shared by every backend.
+//!
+//! A [`Runtime`] owns a set of long-lived worker actors — real threads
+//! pinned to simulated nodes — and the typed channels connecting them to
+//! the driver: per-worker [`Command`] senders and one shared [`Event`]
+//! receiver. Workers are spawned **once per trial** and keep their
+//! environment, observation and policy-snapshot state across iterations;
+//! the per-iteration `std::thread::scope` + channel churn of the old
+//! backends is gone.
+//!
+//! Determinism: collection results are drained into worker-index order
+//! regardless of completion order, and every worker samples from an
+//! explicitly passed rng stream (see [`crate::backends::common::worker_seed`]).
+//! Reports are therefore bitwise independent of thread scheduling; the
+//! *completion* order is still observable via [`RoundOutcome::arrival`]
+//! for backends that want to narrate asynchrony (IMPALA-style).
+//!
+//! Concurrency: at most [`Runtime::window`] collection commands are in
+//! flight at once, capped by `std::thread::available_parallelism` — a
+//! 2×4 deployment on a 4-core host no longer oversubscribes the machine
+//! with 8 simultaneously-collecting threads.
+
+pub mod driver;
+pub mod event;
+pub mod worker;
+
+pub use driver::{
+    merge_wave, Driver, DriverStats, IterationSnapshot, NullObserver, Observer, SyncPolicy,
+    WaveOutcome,
+};
+pub use event::{Command, Event};
+pub use worker::Collector;
+
+use crate::backends::common::Segment;
+use rand::rngs::StdRng;
+use rl_algos::policy::ActorCritic;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Blueprint for one worker actor.
+pub struct WorkerSpec {
+    /// Simulated node the worker is pinned to.
+    pub node: usize,
+    /// The environment state the worker will own.
+    pub collector: Collector,
+}
+
+struct WorkerHandle {
+    commands: mpsc::Sender<Command>,
+    join: Option<JoinHandle<()>>,
+    node: usize,
+}
+
+/// One worker's contribution to a collection round.
+pub struct WorkerSegment {
+    /// Worker index.
+    pub worker: usize,
+    /// The worker's node.
+    pub node: usize,
+    /// The collected segment.
+    pub segment: Segment,
+    /// The sampling rng, advanced past the segment.
+    pub rng: StdRng,
+}
+
+/// All segments of one collection round.
+pub struct RoundOutcome {
+    /// Segments sorted by worker index (the deterministic merge order).
+    pub segments: Vec<WorkerSegment>,
+    /// Worker indices in completion order (scheduling-dependent).
+    pub arrival: Vec<usize>,
+}
+
+/// The worker actor pool plus its channels. See the module docs.
+pub struct Runtime {
+    workers: Vec<WorkerHandle>,
+    events: mpsc::Receiver<Event>,
+    nodes: Vec<usize>,
+    window: usize,
+}
+
+impl Runtime {
+    /// Spawn one long-lived actor thread per [`WorkerSpec`], each holding
+    /// a clone of `initial_policy`.
+    pub fn spawn(specs: Vec<WorkerSpec>, initial_policy: &ActorCritic) -> Self {
+        assert!(!specs.is_empty(), "runtime needs at least one worker");
+        let (event_tx, events) = mpsc::channel::<Event>();
+        let nodes: Vec<usize> = specs.iter().map(|s| s.node).collect();
+        let workers: Vec<WorkerHandle> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let (commands, cmd_rx) = mpsc::channel::<Command>();
+                let tx = event_tx.clone();
+                let policy = initial_policy.clone();
+                let stagger = test_hooks::stagger_for(i);
+                let node = spec.node;
+                let collector = spec.collector;
+                let join = std::thread::Builder::new()
+                    .name(format!("rt-worker-{i}"))
+                    .spawn(move || {
+                        worker::worker_loop(i, node, collector, policy, cmd_rx, tx, stagger)
+                    })
+                    .expect("spawn runtime worker");
+                WorkerHandle { commands, join: Some(join), node }
+            })
+            .collect();
+        let window = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { workers, events, nodes, window }
+    }
+
+    /// Number of worker actors.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Node assignment of every worker, by worker index.
+    pub fn worker_nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// Maximum collection commands in flight at once.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Override the dispatch window (tests; clamped to ≥ 1).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Run one collection round: dispatch a [`Command::Collect`] to every
+    /// worker (at most [`Self::window`] outstanding at a time), drain the
+    /// [`Event::SegmentReady`]s, and return the segments in worker-index
+    /// order. `rngs` supplies one sampling stream per worker.
+    ///
+    /// Panics if a worker reports [`Event::WorkerFailed`] — the same
+    /// propagation the old scoped-thread collection had.
+    pub fn collect_round(&mut self, round: u64, steps: usize, rngs: Vec<StdRng>) -> RoundOutcome {
+        let n = self.workers.len();
+        assert_eq!(rngs.len(), n, "one rng stream per worker");
+        let mut queue: VecDeque<(usize, StdRng)> = rngs.into_iter().enumerate().collect();
+        let mut segments: Vec<Option<WorkerSegment>> = (0..n).map(|_| None).collect();
+        let mut arrival = Vec::with_capacity(n);
+        let mut outstanding = 0usize;
+        let mut completed = 0usize;
+        while completed < n {
+            while outstanding < self.window {
+                match queue.pop_front() {
+                    Some((w, rng)) => {
+                        self.workers[w]
+                            .commands
+                            .send(Command::Collect { round, steps, rng })
+                            .expect("worker accepts collect");
+                        outstanding += 1;
+                    }
+                    None => break,
+                }
+            }
+            match self.events.recv().expect("a worker event arrives") {
+                Event::SegmentReady { worker, node, round: r, segment, rng } => {
+                    debug_assert_eq!(r, round, "stale segment");
+                    segments[worker] = Some(WorkerSegment { worker, node, segment: *segment, rng });
+                    arrival.push(worker);
+                    outstanding -= 1;
+                    completed += 1;
+                }
+                Event::Heartbeat { .. } => {} // stray ack; ignore
+                Event::WorkerFailed { worker, round: r, reason } => {
+                    panic!("runtime worker {worker} failed in round {r}: {reason}")
+                }
+            }
+        }
+        let segments = segments.into_iter().map(|s| s.expect("all workers reported")).collect();
+        RoundOutcome { segments, arrival }
+    }
+
+    /// Send fresh weights to `recipients` (worker indices) and wait for
+    /// their [`Event::Heartbeat`] acks. Returns the bytes that crossed
+    /// the interconnect: one policy payload per recipient on a node
+    /// other than 0 (the learner's node).
+    pub fn broadcast_weights(
+        &mut self,
+        round: u64,
+        policy: &ActorCritic,
+        recipients: &[usize],
+    ) -> u64 {
+        let mut bytes = 0u64;
+        for &w in recipients {
+            self.workers[w]
+                .commands
+                .send(Command::UpdateWeights { round, policy: Box::new(policy.clone()) })
+                .expect("worker accepts weights");
+            if self.workers[w].node != 0 {
+                bytes += policy.param_bytes();
+            }
+        }
+        let mut acks = 0usize;
+        while acks < recipients.len() {
+            match self.events.recv().expect("a worker event arrives") {
+                Event::Heartbeat { .. } => acks += 1,
+                Event::WorkerFailed { worker, round: r, reason } => {
+                    panic!("runtime worker {worker} failed in round {r}: {reason}")
+                }
+                Event::SegmentReady { .. } => {
+                    unreachable!("no collection outstanding during a broadcast")
+                }
+            }
+        }
+        bytes
+    }
+
+    fn shutdown_inner(&mut self) {
+        for w in &self.workers {
+            let _ = w.commands.send(Command::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+
+    /// Stop and join every worker. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Test-only scheduling hooks.
+///
+/// Hidden from docs and semver guarantees; integration tests use this to
+/// inject artificial per-worker completion delays and prove that reports
+/// are independent of worker completion order.
+#[doc(hidden)]
+pub mod test_hooks {
+    use parking_lot::Mutex;
+    use std::time::Duration;
+
+    static STAGGER_MS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    /// Delay worker `i`'s collections by `ms[i]` milliseconds (workers
+    /// beyond the slice are undelayed). Global: affects every runtime
+    /// spawned afterwards in this process.
+    pub fn set_stagger_ms(ms: Vec<u64>) {
+        *STAGGER_MS.lock() = ms;
+    }
+
+    /// Remove all injected delays.
+    pub fn clear_stagger() {
+        STAGGER_MS.lock().clear();
+    }
+
+    pub(super) fn stagger_for(worker: usize) -> Option<Duration> {
+        STAGGER_MS.lock().get(worker).copied().filter(|&ms| ms > 0).map(Duration::from_millis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gymrs::envs::GridWorld;
+    use gymrs::{Environment, Space};
+    use rand::SeedableRng;
+
+    fn specs(nodes: &[usize]) -> (Vec<WorkerSpec>, ActorCritic) {
+        let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut StdRng::seed_from_u64(5));
+        let specs = nodes
+            .iter()
+            .map(|&node| {
+                let mut env = GridWorld::new(3);
+                env.seed(node as u64 + 1);
+                let obs = env.reset();
+                WorkerSpec { node, collector: Collector::PerEnv { env: Box::new(env), obs } }
+            })
+            .collect();
+        (specs, policy)
+    }
+
+    #[test]
+    fn collect_round_returns_worker_index_order() {
+        let (specs, policy) = specs(&[0, 0, 1, 1]);
+        let mut rt = Runtime::spawn(specs, &policy);
+        let rngs = (0..4).map(StdRng::seed_from_u64).collect();
+        let outcome = rt.collect_round(0, 16, rngs);
+        let order: Vec<usize> = outcome.segments.iter().map(|s| s.worker).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(outcome.segments[2].node, 1);
+        assert_eq!(outcome.arrival.len(), 4);
+        for s in &outcome.segments {
+            assert_eq!(s.segment.rollout.len(), 16);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn narrow_window_limits_dispatch_but_completes() {
+        let (specs, policy) = specs(&[0, 0, 0]);
+        let mut rt = Runtime::spawn(specs, &policy).with_window(1);
+        assert_eq!(rt.window(), 1);
+        let rngs = (0..3).map(StdRng::seed_from_u64).collect();
+        let outcome = rt.collect_round(0, 8, rngs);
+        // Serial dispatch: completion order IS worker order.
+        assert_eq!(outcome.arrival, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn window_is_clamped_to_one() {
+        let (specs, policy) = specs(&[0]);
+        let rt = Runtime::spawn(specs, &policy).with_window(0);
+        assert_eq!(rt.window(), 1);
+    }
+
+    #[test]
+    fn broadcast_counts_only_remote_bytes() {
+        let (specs, policy) = specs(&[0, 1]);
+        let mut rt = Runtime::spawn(specs, &policy);
+        assert_eq!(rt.broadcast_weights(0, &policy, &[0]), 0, "node 0 is local");
+        assert_eq!(rt.broadcast_weights(0, &policy, &[0, 1]), policy.param_bytes());
+    }
+
+    #[test]
+    fn collection_uses_broadcast_weights() {
+        // After a broadcast, workers collect with the *new* snapshot:
+        // identical to a fresh runtime spawned with that policy.
+        let (specs_a, old) = specs(&[0]);
+        let fresh = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut StdRng::seed_from_u64(99));
+        let mut a = Runtime::spawn(specs_a, &old);
+        a.broadcast_weights(0, &fresh, &[0]);
+        let seg_a = a.collect_round(0, 16, vec![StdRng::seed_from_u64(7)]);
+
+        let (specs_b, _) = specs(&[0]);
+        let mut b = Runtime::spawn(specs_b, &fresh);
+        let seg_b = b.collect_round(0, 16, vec![StdRng::seed_from_u64(7)]);
+        assert_eq!(
+            seg_a.segments[0].segment.rollout.actions,
+            seg_b.segments[0].segment.rollout.actions
+        );
+        assert_eq!(
+            seg_a.segments[0].segment.rollout.values,
+            seg_b.segments[0].segment.rollout.values
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The worker actor: a long-lived thread owning environment state and a
+//! policy snapshot, processing [`Command`]s until shutdown.
+//!
+//! Workers are spawned once per trial (not per iteration — the old
+//! backends re-spawned scoped threads every collection wave) and keep
+//! their environment and observation state across rounds, exactly like
+//! the persistent rollout workers of the real frameworks.
+
+use super::event::{Command, Event};
+use crate::backends::common::{collect_segment, collect_segment_vec, Segment};
+use gymrs::{Environment, VecEnv};
+use rand::rngs::StdRng;
+use rl_algos::policy::ActorCritic;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+/// The environment state a worker owns: one environment with a carried
+/// observation (distributed rollout workers), or a whole vectorized
+/// environment (single-node lockstep drivers).
+pub enum Collector {
+    /// One environment stepped by [`collect_segment`]; `steps` in a
+    /// [`Command::Collect`] counts environment steps.
+    PerEnv {
+        /// The worker's environment.
+        env: Box<dyn Environment>,
+        /// Observation carried between rounds.
+        obs: Vec<f64>,
+    },
+    /// A vectorized environment stepped in lockstep by
+    /// [`collect_segment_vec`]; `steps` counts lockstep ticks (each tick
+    /// advances every sub-environment once).
+    Vectorized {
+        /// The vectorized environment.
+        venv: VecEnv<Box<dyn Environment>>,
+    },
+}
+
+impl Collector {
+    fn collect(&mut self, policy: &ActorCritic, steps: usize, rng: &mut StdRng) -> Segment {
+        match self {
+            Collector::PerEnv { env, obs } => {
+                collect_segment(policy, env.as_mut(), obs, steps, rng)
+            }
+            Collector::Vectorized { venv } => collect_segment_vec(policy, venv, steps, rng),
+        }
+    }
+}
+
+/// The worker loop: block on the command channel, act, emit events.
+/// Runs until [`Command::Shutdown`], a dropped command channel, or a
+/// panic (reported as [`Event::WorkerFailed`]).
+pub(super) fn worker_loop(
+    worker: usize,
+    node: usize,
+    mut collector: Collector,
+    mut policy: ActorCritic,
+    commands: Receiver<Command>,
+    events: Sender<Event>,
+    stagger: Option<Duration>,
+) {
+    while let Ok(cmd) = commands.recv() {
+        match cmd {
+            Command::Collect { round, steps, mut rng } => {
+                if let Some(delay) = stagger {
+                    std::thread::sleep(delay);
+                }
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| collector.collect(&policy, steps, &mut rng)));
+                match result {
+                    Ok(segment) => {
+                        let ev = Event::SegmentReady {
+                            worker,
+                            node,
+                            round,
+                            segment: Box::new(segment),
+                            rng,
+                        };
+                        if events.send(ev).is_err() {
+                            break; // driver gone
+                        }
+                    }
+                    Err(payload) => {
+                        let reason = panic_text(payload.as_ref());
+                        let _ = events.send(Event::WorkerFailed { worker, round, reason });
+                        break;
+                    }
+                }
+            }
+            Command::UpdateWeights { round, policy: fresh } => {
+                policy.copy_params_from(&fresh);
+                if events.send(Event::Heartbeat { worker, round }).is_err() {
+                    break;
+                }
+            }
+            Command::Shutdown => break,
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}

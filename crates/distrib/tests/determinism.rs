@@ -1,0 +1,105 @@
+//! Determinism regression tests for the actor-style execution runtime.
+//!
+//! The runtime drains worker segments into worker-index order before any
+//! learner sees them, so training must be bitwise reproducible no matter
+//! how the OS schedules the worker threads. These tests force adversarial
+//! schedules with the runtime's test-only stagger hook (artificial
+//! per-worker delays injected before each collect) and assert that the
+//! multi-node RLlib-like and IMPALA-like backends report *identical*
+//! rewards, simulated wall-clock and energy with and without the skew.
+//!
+//! The stagger hook is process-global, so every test that touches it
+//! serializes on [`HOOK_LOCK`].
+
+use dist_exec::backend::{run, EnvFactory, FnEnvFactory};
+use dist_exec::runtime::test_hooks;
+use dist_exec::spec::{Deployment, ExecSpec};
+use dist_exec::{train_impala, Framework, ImpalaOpts, NullObserver};
+use gymrs::envs::GridWorld;
+use gymrs::Environment;
+use rl_algos::Algorithm;
+use std::sync::Mutex;
+
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+fn grid_factory() -> impl EnvFactory {
+    FnEnvFactory(|seed| {
+        let mut e = GridWorld::new(3);
+        e.seed(seed);
+        Box::new(e) as Box<dyn Environment>
+    })
+}
+
+/// Bitwise fingerprint of a training run: every training return plus the
+/// simulated wall-clock and energy, all as raw bits.
+fn fingerprint(returns: &[f64], wall_s: f64, energy_j: f64) -> Vec<u64> {
+    let mut bits: Vec<u64> = returns.iter().map(|v| v.to_bits()).collect();
+    bits.push(wall_s.to_bits());
+    bits.push(energy_j.to_bits());
+    bits
+}
+
+fn run_rllib_two_nodes() -> Vec<u64> {
+    let mut spec = ExecSpec::new(
+        Framework::RayRllib,
+        Algorithm::Ppo,
+        Deployment { nodes: 2, cores_per_node: 2 },
+        512,
+        13,
+    );
+    spec.ppo = rl_algos::ppo::PpoConfig::fast_test();
+    let report = run(&spec, &grid_factory()).expect("rllib runs");
+    fingerprint(&report.train_returns, report.usage.wall_s, report.usage.energy_j)
+}
+
+fn run_impala_two_nodes() -> Vec<u64> {
+    let opts = ImpalaOpts {
+        deployment: Deployment { nodes: 2, cores_per_node: 4 },
+        total_steps: 1_024,
+        seed: 13,
+        config: rl_algos::impala::ImpalaConfig {
+            hidden: vec![16, 16],
+            n_steps: 256,
+            ..Default::default()
+        },
+        actor_sync_period: 4,
+    };
+    let mut session = cluster_sim::ClusterSession::new(cluster_sim::ClusterSpec::paper_testbed(2));
+    let report = train_impala(&opts, &grid_factory(), &mut session, &mut NullObserver);
+    let usage = session.finish();
+    fingerprint(&report.train_returns, usage.wall_s, usage.energy_j)
+}
+
+/// Run `f` with workers skewed so that *later* workers answer *first*
+/// (reversed delays), then with no skew, and demand identical bits.
+fn assert_schedule_independent(label: &str, f: fn() -> Vec<u64>) {
+    let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Worker 0 is slowest: completion order is the reverse of index
+    // order, the worst case for a merge that must end up in index order.
+    test_hooks::set_stagger_ms(vec![40, 30, 20, 10, 0, 0, 0, 0]);
+    let skewed = f();
+    test_hooks::clear_stagger();
+    let clean = f();
+    assert_eq!(
+        skewed, clean,
+        "{label}: reports must be bitwise identical regardless of worker completion order"
+    );
+}
+
+#[test]
+fn rllib_reports_are_independent_of_worker_completion_order() {
+    assert_schedule_independent("rllib 2n2c ppo", run_rllib_two_nodes);
+}
+
+#[test]
+fn impala_reports_are_independent_of_worker_completion_order() {
+    assert_schedule_independent("impala 2n4c", run_impala_two_nodes);
+}
+
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    test_hooks::clear_stagger();
+    assert_eq!(run_rllib_two_nodes(), run_rllib_two_nodes());
+    assert_eq!(run_impala_two_nodes(), run_impala_two_nodes());
+}
