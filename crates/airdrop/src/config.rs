@@ -18,7 +18,7 @@ pub enum ActionMode {
 ///
 /// The fields mirror §IV-B: wind activation, gust activation, gust
 /// probability, drop-altitude limits, and the Runge–Kutta order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AirdropConfig {
     /// Enable the constant wind field.
     pub wind_enabled: bool,

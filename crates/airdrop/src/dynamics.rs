@@ -82,6 +82,48 @@ impl ParafoilParams {
     }
 }
 
+/// Per-lane derivative kernel, shared *verbatim* by the scalar
+/// [`ParafoilDynamics`] and the batched SoA dynamics
+/// ([`crate::batch::BatchedAirdropDynamics`]) — the scalar/batched
+/// bitwise-parity contract reduces to "both paths call this function
+/// with the same inputs". The body is branch-free straight-line
+/// arithmetic (including [`crate::fastmath::sin_cos`]) so the batched
+/// lane loop vectorizes.
+///
+/// Returns the non-trivial components `(v̇x, v̇y, v̇z, ψ̈, δ̇)`; the
+/// position and heading derivatives are the velocity and heading-rate
+/// states themselves.
+#[inline(always)]
+pub(crate) fn deriv_lane(
+    p: &ParafoilParams,
+    command: f64,
+    wind: (f64, f64),
+    v: (f64, f64, f64),
+    psi: f64,
+    psi_dot: f64,
+    delta: f64,
+) -> (f64, f64, f64, f64, f64) {
+    let va = p.airspeed(delta);
+    let vzr = p.sink_rate(delta);
+    let (spsi, cpsi) = crate::fastmath::sin_cos(psi);
+
+    // Aerodynamic equilibrium velocity (air mass frame + wind).
+    let vdx = va * cpsi + wind.0;
+    let vdy = va * spsi + wind.1;
+    let vdz = -vzr;
+
+    (
+        // Velocity relaxation toward equilibrium.
+        (vdx - v.0) / p.tau_v,
+        (vdy - v.1) / p.tau_v,
+        (vdz - v.2) / p.tau_v,
+        // Heading-rate dynamics.
+        (p.k_turn * delta - psi_dot) / p.tau_psi,
+        // Actuator lag toward the held command.
+        (command.clamp(-1.0, 1.0) - delta) / p.tau_delta,
+    )
+}
+
 /// The ODE right-hand side for one control interval.
 ///
 /// The commanded deflection `command` and the wind vector are held
@@ -103,32 +145,24 @@ impl System for ParafoilDynamics {
     }
 
     fn deriv(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
-        let p = &self.params;
         let (vx, vy, vz) = (y[3], y[4], y[5]);
         let (psi, psi_dot, delta) = (y[6], y[7], y[8]);
-
-        let va = p.airspeed(delta);
-        let vzr = p.sink_rate(delta);
-        let (spsi, cpsi) = psi.sin_cos();
-
-        // Aerodynamic equilibrium velocity (air mass frame + wind).
-        let vdx = va * cpsi + self.wind.0;
-        let vdy = va * spsi + self.wind.1;
-        let vdz = -vzr;
+        let (ax, ay, az, alpha, ddelta) =
+            deriv_lane(&self.params, self.command, self.wind, (vx, vy, vz), psi, psi_dot, delta);
 
         // Position.
         dydt[0] = vx;
         dydt[1] = vy;
         dydt[2] = vz;
         // Velocity relaxation.
-        dydt[3] = (vdx - vx) / p.tau_v;
-        dydt[4] = (vdy - vy) / p.tau_v;
-        dydt[5] = (vdz - vz) / p.tau_v;
+        dydt[3] = ax;
+        dydt[4] = ay;
+        dydt[5] = az;
         // Heading dynamics.
         dydt[6] = psi_dot;
-        dydt[7] = (p.k_turn * delta - psi_dot) / p.tau_psi;
-        // Actuator lag toward the held command.
-        dydt[8] = (self.command.clamp(-1.0, 1.0) - delta) / p.tau_delta;
+        dydt[7] = alpha;
+        // Actuator lag.
+        dydt[8] = ddelta;
     }
 }
 

@@ -102,24 +102,78 @@ impl AirdropEnv {
     }
 
     fn observation(&self) -> Vec<f64> {
+        let mut out = vec![0.0; Self::OBS_DIM];
+        self.write_observation(&mut out);
+        out
+    }
+
+    /// Write the current observation into `out` (length
+    /// [`AirdropEnv::OBS_DIM`]) without allocating — the buffer-reuse
+    /// entry the batched lockstep path uses every tick.
+    pub fn write_observation(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), Self::OBS_DIM, "observation buffer size");
         let p = &self.params;
         let (x, y) = (self.state[0], self.state[1]);
         let dist = self.distance_to_target();
         let bearing = (-y).atan2(-x); // direction from package to target
         let be = wrap_angle(bearing - self.state[6]);
-        vec![
-            dist / 500.0,
-            be.sin(),
-            be.cos(),
-            self.state[2] / 500.0,
-            self.state[3] / p.va0,
-            self.state[4] / p.va0,
-            self.state[5] / p.vz0,
-            self.state[7] / p.k_turn,
-            self.state[8],
-            self.wind.gust().0 / p.va0,
-            self.wind.gust().1 / p.va0,
-        ]
+        out[0] = dist / 500.0;
+        out[1] = be.sin();
+        out[2] = be.cos();
+        out[3] = self.state[2] / 500.0;
+        out[4] = self.state[3] / p.va0;
+        out[5] = self.state[4] / p.va0;
+        out[6] = self.state[5] / p.vz0;
+        out[7] = self.state[7] / p.k_turn;
+        out[8] = self.state[8];
+        out[9] = self.wind.gust().0 / p.va0;
+        out[10] = self.wind.gust().1 / p.va0;
+    }
+
+    /// Begin a control interval: validate episode liveness, decode the
+    /// command and draw this interval's wind (advancing the env RNG
+    /// exactly as the scalar `step` does). Shared by the scalar path and
+    /// the batched lockstep path so both consume identical randomness.
+    pub(crate) fn interval_begin(&mut self, action: &Action) -> (f64, (f64, f64)) {
+        assert!(!self.done, "step() called on a finished episode; call reset()");
+        let command = self.command_from_action(action);
+        let wind = self.wind.sample(&mut self.rng);
+        (command, wind)
+    }
+
+    /// Finish a control interval after the dynamics were integrated
+    /// (scalar or batched): work accounting, reward shaping, termination.
+    pub(crate) fn interval_finish(&mut self, landed: bool, fn_evals: u64) -> (f64, bool, bool) {
+        self.last_work = fn_evals;
+        self.total_work += fn_evals;
+        self.t += 1;
+
+        let potential = self.potential();
+        let shaping = if self.config.shaping { potential - self.prev_potential } else { 0.0 };
+        self.prev_potential = potential;
+
+        let truncated = !landed && self.t >= self.max_steps;
+        let reward = if landed {
+            // Terminal objective: how close the landing was (§IV-A).
+            // With shaping the per-step deltas have already paid out the
+            // approach; the terminal extra is zero because Φ is continuous
+            // at touchdown. Without shaping, the full objective lands here.
+            if self.config.shaping {
+                shaping
+            } else {
+                potential
+            }
+        } else {
+            shaping
+        };
+        self.done = landed || truncated;
+        (reward, landed, truncated)
+    }
+
+    /// Mutable physical state — the batched path scatters integrated
+    /// lanes back through this.
+    pub(crate) fn state_mut(&mut self) -> &mut [f64; STATE_DIM] {
+        &mut self.state
     }
 
     fn command_from_action(&self, action: &Action) -> f64 {
@@ -190,9 +244,7 @@ impl Environment for AirdropEnv {
     }
 
     fn step(&mut self, action: &Action) -> Step {
-        assert!(!self.done, "step() called on a finished episode; call reset()");
-        let command = self.command_from_action(action);
-        let wind = self.wind.sample(&mut self.rng);
+        let (command, wind) = self.interval_begin(action);
         let dyns = ParafoilDynamics { params: self.params, command, wind };
 
         // Integrate the control interval in fixed substeps, watching for
@@ -222,35 +274,24 @@ impl Environment for AirdropEnv {
                 break;
             }
         }
-        self.last_work = work.fn_evals;
-        self.total_work += work.fn_evals;
-        self.t += 1;
+        let (reward, terminated, truncated) = self.interval_finish(landed, work.fn_evals);
 
-        let potential = self.potential();
-        let shaping = if self.config.shaping { potential - self.prev_potential } else { 0.0 };
-        self.prev_potential = potential;
-
-        let truncated = !landed && self.t >= self.max_steps;
-        let reward = if landed {
-            // Terminal objective: how close the landing was (§IV-A).
-            // With shaping the per-step deltas have already paid out the
-            // approach; the terminal extra is zero because Φ is continuous
-            // at touchdown. Without shaping, the full objective lands here.
-            if self.config.shaping {
-                shaping
-            } else {
-                potential
-            }
-        } else {
-            shaping
-        };
-        self.done = landed || truncated;
-
-        Step { obs: self.observation(), reward, terminated: landed, truncated }
+        Step { obs: self.observation(), reward, terminated, truncated }
     }
 
     fn last_step_work(&self) -> u64 {
         self.last_work
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn lockstep_batcher(
+        &self,
+        n_envs: usize,
+    ) -> Option<Box<dyn gymrs::vec_env::AnyLockstepBatcher>> {
+        Some(Box::new(crate::batch::AirdropBatch::new(self.config.clone(), n_envs)))
     }
 }
 

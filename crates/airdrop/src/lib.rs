@@ -37,12 +37,15 @@
 //! assert!(steps > 0 && obs.len() == AirdropEnv::OBS_DIM);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod dynamics;
 pub mod env;
+pub mod fastmath;
 pub mod trajectory;
 pub mod wind;
 
+pub use batch::{AirdropBatch, BatchedAirdropDynamics};
 pub use config::{ActionMode, AirdropConfig};
 pub use dynamics::{ParafoilDynamics, ParafoilParams, STATE_DIM};
 pub use env::AirdropEnv;

@@ -1,0 +1,105 @@
+//! End-to-end bitwise parity of the batched lockstep fast path.
+//!
+//! Two `VecEnv<AirdropEnv>`s built identically — one on the batched path
+//! (default), one forced scalar — must produce bit-for-bit identical
+//! observations, rewards, episode accounting and work across many control
+//! intervals, for every RK order, with gusts drawing per-env randomness,
+//! and across episode boundaries (auto-reset invalidates the batch
+//! stepper's per-lane FSAL cache exactly like the scalar stepper reset).
+//!
+//! Fingerprints are compared between two in-process runs, never against
+//! stored constants: the trajectories route through `libm` sin/cos whose
+//! bit patterns are platform-dependent.
+
+use airdrop_sim::{AirdropConfig, AirdropEnv};
+use gymrs::{Action, VecEnv};
+use rk_ode::RkOrder;
+
+fn venv(cfg: &AirdropConfig, n: usize, batched: bool) -> VecEnv<AirdropEnv> {
+    let envs: Vec<AirdropEnv> = (0..n).map(|_| AirdropEnv::new(cfg.clone())).collect();
+    let mut v = VecEnv::new(envs, 37);
+    v.set_batched(batched);
+    v.reset_all();
+    v
+}
+
+/// Drive `v` for `ticks` lockstep sweeps with a deterministic steering
+/// pattern and fingerprint every bit of observable behavior.
+fn fingerprint(v: &mut VecEnv<AirdropEnv>, ticks: usize) -> Vec<u64> {
+    let n = v.len();
+    let mut fp = Vec::new();
+    for tick in 0..ticks {
+        let actions: Vec<Action> = (0..n)
+            .map(|i| Action::Continuous(vec![((tick * 7 + i * 3) as f64 * 0.21).sin()]))
+            .collect();
+        v.step_lockstep(&actions);
+        let batch = v.last_tick();
+        for s in &batch.steps {
+            fp.push(s.reward.to_bits());
+            fp.push(u64::from(s.terminated) | u64::from(s.truncated) << 1);
+            fp.push(s.work);
+        }
+        for (i, ret, len) in &batch.finished {
+            fp.push(*i as u64);
+            fp.push(ret.to_bits());
+            fp.push(*len as u64);
+        }
+        for o in batch.final_obs.iter().flatten() {
+            fp.extend(o.iter().map(|x| x.to_bits()));
+        }
+        for o in v.observations() {
+            fp.extend(o.iter().map(|x| x.to_bits()));
+        }
+    }
+    fp.push(v.total_steps);
+    fp.push(v.total_work);
+    fp
+}
+
+#[test]
+fn batched_path_is_bitwise_identical_for_every_order() {
+    for order in RkOrder::ALL {
+        let cfg = AirdropConfig {
+            rk_order: order,
+            // Low drops finish episodes within the run, exercising
+            // auto-reset and per-lane FSAL invalidation mid-sweep.
+            altitude_limits: (20.0, 45.0),
+            gusts_enabled: true,
+            gust_probability: 0.25,
+            gust_strength: 2.0,
+            ..AirdropConfig::default()
+        };
+        let ticks = 120;
+        let mut scalar = venv(&cfg, 5, false);
+        let mut batched = venv(&cfg, 5, true);
+        assert!(!scalar.is_batched());
+        assert!(batched.is_batched(), "AirdropEnv must install a batcher");
+        let a = fingerprint(&mut scalar, ticks);
+        let b = fingerprint(&mut batched, ticks);
+        assert_eq!(a.len(), b.len(), "{order}: fingerprint shape diverged");
+        assert_eq!(a, b, "{order}: batched path diverged from scalar");
+    }
+}
+
+#[test]
+fn batched_path_matches_scalar_with_constant_wind() {
+    let cfg = AirdropConfig {
+        wind_enabled: true,
+        wind: (1.2, -0.6),
+        altitude_limits: (60.0, 90.0),
+        ..AirdropConfig::default()
+    }
+    .eval();
+    let mut scalar = venv(&cfg, 3, false);
+    let mut batched = venv(&cfg, 3, true);
+    assert_eq!(fingerprint(&mut scalar, 200), fingerprint(&mut batched, 200));
+}
+
+#[test]
+fn single_lane_batch_matches_scalar() {
+    // n = 1 exercises the degenerate SoA layout (stride 1).
+    let cfg = AirdropConfig { altitude_limits: (25.0, 25.0), ..AirdropConfig::default() };
+    let mut scalar = venv(&cfg, 1, false);
+    let mut batched = venv(&cfg, 1, true);
+    assert_eq!(fingerprint(&mut scalar, 150), fingerprint(&mut batched, 150));
+}

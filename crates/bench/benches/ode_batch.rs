@@ -1,0 +1,104 @@
+//! Batched vs scalar ODE fast path: env-step throughput by Runge–Kutta
+//! order × batch size.
+//!
+//! Running this bench writes `BENCH_ode.json` at the workspace root: for
+//! every RK order the paper studies and a sweep of vectorized-environment
+//! counts, the ns/env-step of the scalar lockstep sweep (one dynamic
+//! dispatch and one 9-dim integration per sub-environment per substep)
+//! against the batched fast path (one monomorphized SoA integrator call
+//! per substep across all lanes), plus the resulting speedup. The two
+//! paths are bitwise-identical — the airdrop parity tests and the ODE
+//! proptests pin that down — so the speedup is free accuracy-wise.
+//!
+//! `BENCH_SMOKE=1` shrinks the grid and tick counts to a seconds-long CI
+//! smoke run.
+
+use airdrop_sim::{AirdropConfig, AirdropEnv};
+use gymrs::{Action, VecEnv};
+use rk_ode::RkOrder;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn make_vec(order: RkOrder, n: usize, batched: bool) -> VecEnv<AirdropEnv> {
+    let cfg = AirdropConfig {
+        rk_order: order,
+        // Drop high so measurement ticks stay mid-episode (no resets).
+        altitude_limits: (400.0, 400.0),
+        ..AirdropConfig::default()
+    };
+    let envs: Vec<AirdropEnv> = (0..n).map(|_| AirdropEnv::new(cfg.clone())).collect();
+    let mut v = VecEnv::new(envs, 11);
+    if !batched {
+        v.set_batched(false);
+        // The scalar baseline is the sequential per-env sweep.
+        v.set_parallel_threshold(u64::MAX);
+    }
+    v.reset_all();
+    v
+}
+
+fn actions(n: usize) -> Vec<Action> {
+    (0..n).map(|i| Action::Continuous(vec![((i as f64) * 0.37).sin() * 0.8])).collect()
+}
+
+/// Best (minimum) ns per env-step over `reps` timed runs of `ticks`
+/// lockstep sweeps each — the minimum is the noise-robust statistic for
+/// a throughput microbench on a shared core.
+fn measure(order: RkOrder, n: usize, batched: bool, ticks: usize, reps: usize) -> f64 {
+    let mut v = make_vec(order, n, batched);
+    let acts = actions(n);
+    for _ in 0..ticks.min(16) {
+        v.step_lockstep(&acts); // warm caches and buffers
+    }
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..ticks {
+                v.step_lockstep(&acts);
+                black_box(v.last_tick().steps.len());
+            }
+            t0.elapsed().as_nanos() as f64 / (ticks * n) as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let batches: &[usize] = if smoke { &[1, 8] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let (ticks, reps) = if smoke { (40, 3) } else { (200, 9) };
+
+    let mut results = Vec::new();
+    for order in RkOrder::ALL {
+        for &n in batches {
+            let scalar = measure(order, n, false, ticks, reps);
+            let batched = measure(order, n, true, ticks, reps);
+            let speedup = scalar / batched;
+            println!(
+                "{order} n={n:3}  scalar {scalar:9.1} ns/env-step  batched {batched:9.1} \
+                 ns/env-step  speedup {speedup:.2}x"
+            );
+            results.push(serde_json::json!({
+                "rk_order": order.order(),
+                "n_envs": n,
+                "scalar_ns_per_env_step": scalar,
+                "batched_ns_per_env_step": batched,
+                "speedup": speedup,
+            }));
+        }
+    }
+
+    let report = serde_json::json!({
+        "bench": "ode_batch_fast_path",
+        "unit": "ns_per_env_step_min",
+        "ticks_per_sample": ticks,
+        "smoke": smoke,
+        "results": results,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ode.json");
+    let body = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Err(e) = std::fs::write(path, body + "\n") {
+        eprintln!("BENCH_ode.json not written: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}

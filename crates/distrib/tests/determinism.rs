@@ -103,3 +103,84 @@ fn repeated_runs_are_bitwise_identical() {
     assert_eq!(run_rllib_two_nodes(), run_rllib_two_nodes());
     assert_eq!(run_impala_two_nodes(), run_impala_two_nodes());
 }
+
+// ---- batched ODE fast path -------------------------------------------
+//
+// The backends drive airdrop environments through `VecEnv`s of boxed
+// envs; with batching auto-detected those take one SoA integrator call
+// per substep instead of n scalar integrations. The fast path promises
+// bitwise-identical training — these regressions run each backend with
+// the batcher enabled and disabled (the `gymrs` auto-batch test hook,
+// process-global, hence HOOK_LOCK) and demand identical report bits.
+
+fn airdrop_factory() -> impl EnvFactory {
+    FnEnvFactory(|seed| {
+        let mut e = airdrop_sim::AirdropEnv::new(airdrop_sim::AirdropConfig::fast_test());
+        e.seed(seed);
+        Box::new(e) as Box<dyn Environment>
+    })
+}
+
+fn run_airdrop(framework: Framework) -> Vec<u64> {
+    // SB3 and TF-Agents parallelize on one node only (paper §V-b).
+    let nodes = if framework == Framework::RayRllib { 2 } else { 1 };
+    let mut spec =
+        ExecSpec::new(framework, Algorithm::Ppo, Deployment { nodes, cores_per_node: 2 }, 384, 17);
+    spec.ppo = rl_algos::ppo::PpoConfig::fast_test();
+    let report = run(&spec, &airdrop_factory()).expect("backend runs");
+    fingerprint(&report.train_returns, report.usage.wall_s, report.usage.energy_j)
+}
+
+fn run_airdrop_impala() -> Vec<u64> {
+    let opts = ImpalaOpts {
+        deployment: Deployment { nodes: 2, cores_per_node: 2 },
+        total_steps: 512,
+        seed: 17,
+        config: rl_algos::impala::ImpalaConfig {
+            hidden: vec![16, 16],
+            n_steps: 128,
+            ..Default::default()
+        },
+        actor_sync_period: 4,
+    };
+    let mut session = cluster_sim::ClusterSession::new(cluster_sim::ClusterSpec::paper_testbed(2));
+    let report = train_impala(&opts, &airdrop_factory(), &mut session, &mut NullObserver);
+    let usage = session.finish();
+    fingerprint(&report.train_returns, usage.wall_s, usage.energy_j)
+}
+
+/// Run `f` with the batched lockstep fast path enabled and disabled and
+/// demand bitwise-identical reports. Restores the hook either way.
+fn assert_batching_invisible(label: &str, f: fn() -> Vec<u64>) {
+    let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    test_hooks::clear_stagger();
+    gymrs::vec_env::test_hooks::set_auto_batch(true);
+    let batched = f();
+    gymrs::vec_env::test_hooks::set_auto_batch(false);
+    let scalar = f();
+    gymrs::vec_env::test_hooks::set_auto_batch(true);
+    assert_eq!(
+        batched, scalar,
+        "{label}: the batched ODE fast path must not change a single bit of the report"
+    );
+}
+
+#[test]
+fn sb3_airdrop_report_is_independent_of_ode_batching() {
+    assert_batching_invisible("sb3 1n2c ppo airdrop", || run_airdrop(Framework::StableBaselines));
+}
+
+#[test]
+fn tfa_airdrop_report_is_independent_of_ode_batching() {
+    assert_batching_invisible("tfa 1n2c ppo airdrop", || run_airdrop(Framework::TfAgents));
+}
+
+#[test]
+fn rllib_airdrop_report_is_independent_of_ode_batching() {
+    assert_batching_invisible("rllib 2n2c ppo airdrop", || run_airdrop(Framework::RayRllib));
+}
+
+#[test]
+fn impala_airdrop_report_is_independent_of_ode_batching() {
+    assert_batching_invisible("impala 2n2c airdrop", run_airdrop_impala);
+}

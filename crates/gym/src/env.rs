@@ -79,6 +79,25 @@ pub trait Environment: Send {
     fn last_step_work(&self) -> u64 {
         1
     }
+
+    /// Downcast hook for the batched lockstep fast path. Environments
+    /// that participate in batched integration override this to return
+    /// `Some(self)`; the default opts out.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+
+    /// Build a batcher that can advance `n_envs` homogeneous copies of
+    /// this environment in one call (see
+    /// [`crate::vec_env::AnyLockstepBatcher`]). The default — no batcher —
+    /// keeps every environment on the scalar path.
+    fn lockstep_batcher(
+        &self,
+        n_envs: usize,
+    ) -> Option<Box<dyn crate::vec_env::AnyLockstepBatcher>> {
+        let _ = n_envs;
+        None
+    }
 }
 
 /// Blanket impl so `Box<dyn Environment>` is itself an `Environment`.
@@ -100,6 +119,15 @@ impl Environment for Box<dyn Environment> {
     }
     fn last_step_work(&self) -> u64 {
         (**self).last_step_work()
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
+    }
+    fn lockstep_batcher(
+        &self,
+        n_envs: usize,
+    ) -> Option<Box<dyn crate::vec_env::AnyLockstepBatcher>> {
+        (**self).lockstep_batcher(n_envs)
     }
 }
 

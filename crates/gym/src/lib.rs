@@ -27,5 +27,5 @@ pub mod wrappers;
 pub use env::{Action, Environment, Step};
 pub use rollout::{run_episode, run_episodes_vec, EpisodeStats, Trajectory};
 pub use space::Space;
-pub use vec_env::{StepBatch, VecEnv};
+pub use vec_env::{AnyLockstepBatcher, EnvLanes, LaneStep, StepBatch, TickBatch, VecEnv};
 pub use wrappers::{Monitor, NormalizeObs, NormalizeReward, RewardScale, TimeLimit};

@@ -13,12 +13,140 @@
 
 use crate::env::{Action, Environment, Step};
 use crate::space::Space;
+use std::any::Any;
 
 /// Default work-unit threshold (per lockstep sweep) above which
 /// [`VecEnv::step_parallel`] uses the rayon pool. One work unit is one
 /// derivative evaluation of the parachute dynamics — a few hundred of
 /// them outweigh the pool's fork/join cost.
 pub const DEFAULT_PARALLEL_THRESHOLD: u64 = 256;
+
+/// Random-access view over the sub-environments handed to an
+/// [`AnyLockstepBatcher`]. Each lane resolves through
+/// [`Environment::as_any_mut`], so a batcher can downcast to the concrete
+/// environment type without the `VecEnv` knowing it.
+pub trait EnvLanes {
+    /// Number of lanes (sub-environments).
+    fn len(&self) -> usize;
+    /// Whether there are no lanes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Mutable downcast handle for lane `i`; `None` when the environment
+    /// type opted out of batching.
+    fn lane(&mut self, i: usize) -> Option<&mut dyn Any>;
+}
+
+/// [`EnvLanes`] over a plain slice of environments — works both for
+/// `VecEnv<AirdropEnv>` and `VecEnv<Box<dyn Environment>>` (the boxed
+/// blanket impl forwards `as_any_mut` to the concrete type).
+struct SliceLanes<'a, E: Environment>(&'a mut [E]);
+
+impl<E: Environment> EnvLanes for SliceLanes<'_, E> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn lane(&mut self, i: usize) -> Option<&mut dyn Any> {
+        self.0[i].as_any_mut()
+    }
+}
+
+/// Per-lane result of one lockstep tick — [`Step`] minus the observation
+/// allocation (observations land in the `VecEnv`'s reusable buffers).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaneStep {
+    /// Scalar reward.
+    pub reward: f64,
+    /// The episode reached a terminal state.
+    pub terminated: bool,
+    /// The episode was cut short without terminating.
+    pub truncated: bool,
+    /// Work units consumed by this lane's transition.
+    pub work: u64,
+}
+
+impl LaneStep {
+    /// Terminal or truncated.
+    pub fn done(&self) -> bool {
+        self.terminated || self.truncated
+    }
+}
+
+/// Result of one lockstep tick, allocation-free in steady state: the
+/// per-lane vectors are reused across ticks, and `final_obs` entries only
+/// allocate on ticks where an episode actually ends.
+#[derive(Debug, Default)]
+pub struct TickBatch {
+    /// Per-env step results (auto-reset already applied to the
+    /// observation cache; see [`VecEnv::observations`]).
+    pub steps: Vec<LaneStep>,
+    /// `(env_index, episode_return, episode_length)` for episodes that
+    /// ended on this tick.
+    pub finished: Vec<(usize, f64, usize)>,
+    /// For sub-envs whose episode ended on this tick, the observation the
+    /// episode actually ended in; `None` for envs that did not finish.
+    pub final_obs: Vec<Option<Vec<f64>>>,
+}
+
+impl TickBatch {
+    fn begin(&mut self, n: usize) {
+        self.steps.clear();
+        self.steps.resize(n, LaneStep::default());
+        self.finished.clear();
+        self.final_obs.clear();
+        self.final_obs.resize(n, None);
+    }
+}
+
+/// Type-erased batched lockstep executor.
+///
+/// A batcher advances all lanes through one control interval in a single
+/// call — for the airdrop simulator this means one batched ODE step per
+/// substep instead of `n` scalar integrations. The contract:
+///
+/// * apply `actions[i]` to lane `i`, leaving the environment's own state
+///   (RNG, episode counters, …) exactly as its scalar `step` would;
+/// * write the post-step observation into `obs[i]` (resizing only on the
+///   first call) and fill `steps[i]` — but do **not** auto-reset done
+///   lanes; the `VecEnv` owns episode bookkeeping;
+/// * return `false` without mutating anything if the lanes are not the
+///   homogeneous environment set the batcher was built for — the `VecEnv`
+///   then drops the batcher and falls back to the scalar path.
+pub trait AnyLockstepBatcher: Send {
+    /// Advance every lane one control interval. See the trait docs for
+    /// the mutation/fallback contract.
+    fn step_lockstep(
+        &mut self,
+        lanes: &mut dyn EnvLanes,
+        actions: &[Action],
+        obs: &mut [Vec<f64>],
+        steps: &mut [LaneStep],
+    ) -> bool;
+
+    /// Invalidate per-lane integrator caches (FSAL) after the lane's
+    /// environment was reset — mirrors the scalar stepper reset inside
+    /// `Environment::reset`.
+    fn reset_lane(&mut self, lane: usize);
+}
+
+/// Test-only process switches.
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static AUTO_BATCH: AtomicBool = AtomicBool::new(true);
+
+    /// Toggle automatic batcher detection in [`super::VecEnv`]
+    /// constructors (default on). Regression tests flip this to compare
+    /// the batched fast path against the scalar path in-process.
+    pub fn set_auto_batch(on: bool) {
+        AUTO_BATCH.store(on, Ordering::SeqCst);
+    }
+
+    /// Current auto-batch setting.
+    pub fn auto_batch() -> bool {
+        AUTO_BATCH.load(Ordering::SeqCst)
+    }
+}
 
 /// A set of sub-environments stepped in lockstep.
 ///
@@ -33,6 +161,8 @@ pub struct VecEnv<E: Environment> {
     ep_return: Vec<f64>,
     ep_len: Vec<usize>,
     parallel_threshold: u64,
+    batcher: Option<Box<dyn AnyLockstepBatcher>>,
+    tick: TickBatch,
     /// Total environment steps taken across all sub-envs.
     pub total_steps: u64,
     /// Total work units consumed across all sub-envs.
@@ -68,12 +198,15 @@ impl<E: Environment> VecEnv<E> {
     pub fn new_preseeded(envs: Vec<E>) -> Self {
         assert!(!envs.is_empty(), "VecEnv needs at least one sub-environment");
         let n = envs.len();
+        let batcher = if test_hooks::auto_batch() { envs[0].lockstep_batcher(n) } else { None };
         Self {
             envs,
             obs: vec![Vec::new(); n],
             ep_return: vec![0.0; n],
             ep_len: vec![0; n],
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            batcher,
+            tick: TickBatch::default(),
             total_steps: 0,
             total_work: 0,
         }
@@ -84,6 +217,25 @@ impl<E: Environment> VecEnv<E> {
     /// forces the sequential fallback).
     pub fn set_parallel_threshold(&mut self, units: u64) {
         self.parallel_threshold = units;
+    }
+
+    /// Enable/disable the batched lockstep fast path. Toggle before
+    /// stepping: a batcher installed mid-run starts with cold integrator
+    /// caches, which the scalar path would still have warm.
+    pub fn set_batched(&mut self, on: bool) {
+        if on {
+            if self.batcher.is_none() {
+                self.batcher = self.envs[0].lockstep_batcher(self.envs.len());
+            }
+        } else {
+            self.batcher = None;
+        }
+    }
+
+    /// Whether [`VecEnv::step_lockstep`] currently takes the batched
+    /// fast path.
+    pub fn is_batched(&self) -> bool {
+        self.batcher.is_some()
     }
 
     /// Number of sub-environments.
@@ -112,6 +264,9 @@ impl<E: Environment> VecEnv<E> {
             self.obs[i] = e.reset();
             self.ep_return[i] = 0.0;
             self.ep_len[i] = 0;
+            if let Some(b) = &mut self.batcher {
+                b.reset_lane(i);
+            }
         }
         &self.obs
     }
@@ -161,8 +316,7 @@ impl<E: Environment> VecEnv<E> {
     /// environments lose more to fork/join than they gain from overlap.
     pub fn step_parallel(&mut self, actions: &[Action]) -> StepBatch {
         assert_eq!(actions.len(), self.envs.len(), "one action per sub-env");
-        let avg_work =
-            if self.total_steps > 0 { (self.total_work / self.total_steps).max(1) } else { 1 };
+        let avg_work = self.total_work.checked_div(self.total_steps).unwrap_or(1).max(1);
         if (self.envs.len() as u64).saturating_mul(avg_work) < self.parallel_threshold {
             return self.step_all(actions);
         }
@@ -178,6 +332,77 @@ impl<E: Environment> VecEnv<E> {
             })
             .collect();
         self.finish_batch(results)
+    }
+
+    /// Step every sub-environment one control interval, preferring the
+    /// batched fast path (one batched ODE step per substep across all
+    /// lanes) and falling back to [`VecEnv::step_parallel`] when no
+    /// batcher is installed or the sub-envs turn out heterogeneous.
+    ///
+    /// The result is available through [`VecEnv::last_tick`] — split off
+    /// from the call so the tick buffers can be reused allocation-free
+    /// (the batched path performs zero heap allocations on ticks where no
+    /// episode ends). Batched and scalar paths are bitwise-identical; the
+    /// ODE-level proptests and the backend determinism regression pin
+    /// that down.
+    pub fn step_lockstep(&mut self, actions: &[Action]) {
+        assert_eq!(actions.len(), self.envs.len(), "one action per sub-env");
+        if let Some(mut b) = self.batcher.take() {
+            self.tick.begin(self.envs.len());
+            let ok = b.step_lockstep(
+                &mut SliceLanes(&mut self.envs),
+                actions,
+                &mut self.obs,
+                &mut self.tick.steps,
+            );
+            if ok {
+                self.batcher = Some(b);
+                self.settle_tick();
+                return;
+            }
+            // The batcher refused these lanes (heterogeneous set or a
+            // foreign env type): drop it and stay scalar from now on.
+        }
+        let batch = self.step_parallel(actions);
+        self.tick.steps.clear();
+        for (i, s) in batch.steps.iter().enumerate() {
+            self.tick.steps.push(LaneStep {
+                reward: s.reward,
+                terminated: s.terminated,
+                truncated: s.truncated,
+                work: self.envs[i].last_step_work(),
+            });
+        }
+        self.tick.finished = batch.finished;
+        self.tick.final_obs = batch.final_obs;
+    }
+
+    /// Result of the most recent [`VecEnv::step_lockstep`] call.
+    pub fn last_tick(&self) -> &TickBatch {
+        &self.tick
+    }
+
+    /// Episode bookkeeping for the batched path: totals, auto-reset,
+    /// integrator-cache invalidation for reset lanes. Mirrors
+    /// [`VecEnv::finish_batch`] exactly.
+    fn settle_tick(&mut self) {
+        for i in 0..self.envs.len() {
+            let s = self.tick.steps[i];
+            self.total_steps += 1;
+            self.total_work += s.work;
+            self.ep_return[i] += s.reward;
+            self.ep_len[i] += 1;
+            if s.done() {
+                self.tick.finished.push((i, self.ep_return[i], self.ep_len[i]));
+                self.ep_return[i] = 0.0;
+                self.ep_len[i] = 0;
+                let fresh = self.envs[i].reset();
+                self.tick.final_obs[i] = Some(std::mem::replace(&mut self.obs[i], fresh));
+                if let Some(b) = &mut self.batcher {
+                    b.reset_lane(i);
+                }
+            }
+        }
     }
 
     /// Shared bookkeeping: episode accounting, auto-reset, observation

@@ -1,0 +1,656 @@
+//! Batched fixed-step integration: advance `n` independent copies of the
+//! same system in one call.
+//!
+//! States are laid out structure-of-arrays (SoA): component `d` of lane
+//! (environment) `e` lives at `y[d * n_lanes + e]`, so every inner loop of
+//! the stage math walks contiguous lanes and vectorizes. The derivative is
+//! evaluated once per stage for *all* lanes through [`BatchSystem`], and
+//! the steppers are generic over the system type — no per-derivative
+//! virtual dispatch anywhere on the batched path.
+//!
+//! ## Determinism contract
+//!
+//! For every lane, the batched steppers execute exactly the floating-point
+//! operations of the scalar steppers ([`crate::stepper::TableauStepper`],
+//! [`crate::extrapolation::Gbs8Stepper`]) in the same order — per-lane
+//! accumulations never mix lanes, stage combinations accumulate in the
+//! same stage order, and FSAL caches are tracked per lane. Batched results
+//! are therefore *bitwise identical* to `n` independent scalar
+//! integrations; the proptests in `tests/proptests.rs` pin this down for
+//! every tableau and the order-8 extrapolation method.
+//!
+//! Lanes can be masked inactive (e.g. an environment that already
+//! touched down mid-interval): inactive lanes keep their state, consume
+//! no work and leave their FSAL cache untouched, exactly as if the scalar
+//! stepper had simply not been called for them.
+
+// Index loops here co-index several arrays; zip chains would obscure them.
+#![allow(clippy::needless_range_loop)]
+use crate::extrapolation::SEQUENCE;
+use crate::methods::RkOrder;
+use crate::tableau::Tableau;
+use crate::Work;
+
+/// An ODE right-hand side evaluated for `n_lanes` independent states at
+/// once, in SoA layout (`y[d * n_lanes + e]`).
+///
+/// Implementations must compute each lane independently — lane `e` of
+/// `dydt` may depend only on lane `e` of `y` — and must perform, per lane,
+/// the same floating-point operations as the scalar system they batch.
+pub trait BatchSystem {
+    /// State dimension of one lane.
+    fn dim(&self) -> usize;
+
+    /// Number of lanes.
+    fn n_lanes(&self) -> usize;
+
+    /// Write the derivative of every lane: `dydt[d*n + e] = f_d(t, y_e)`.
+    fn deriv_batch(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+/// Batched explicit RK stepper driven by a [`Tableau`].
+///
+/// The batched counterpart of [`crate::stepper::TableauStepper`]: one
+/// contiguous `stages × dim × n_lanes` stage buffer, per-lane FSAL caches
+/// and per-lane work counters.
+pub struct BatchTableauStepper {
+    tab: &'static Tableau,
+    dim: usize,
+    n: usize,
+    /// Stage derivatives: stage `i`, component `d`, lane `e` at
+    /// `(i*dim + d)*n + e`.
+    k: Vec<f64>,
+    /// Scratch state for stage evaluations (SoA, `dim × n`).
+    ytmp: Vec<f64>,
+    /// Stage accumulator block (SoA, `dim × n`).
+    acc: Vec<f64>,
+    /// Cached `f(t_{n+1}, y_{n+1})` per lane (SoA, `dim × n`).
+    fsal: Vec<f64>,
+    fsal_valid: Vec<bool>,
+}
+
+impl BatchTableauStepper {
+    /// Create a batched stepper for `n` lanes of a `dim`-dimensional system.
+    pub fn new(tab: &'static Tableau, dim: usize, n: usize) -> Self {
+        debug_assert!(tab.validate().is_ok());
+        assert!(n > 0, "batched stepper needs at least one lane");
+        Self {
+            tab,
+            dim,
+            n,
+            k: vec![0.0; tab.stages * dim * n],
+            ytmp: vec![0.0; dim * n],
+            acc: vec![0.0; dim * n],
+            fsal: vec![0.0; dim * n],
+            fsal_valid: vec![false; n],
+        }
+    }
+
+    /// The tableau backing this stepper.
+    pub fn tableau(&self) -> &'static Tableau {
+        self.tab
+    }
+
+    /// Advance every *active* lane of `y` (SoA, `dim × n_lanes`) from `t`
+    /// to `t + h`, accumulating each lane's cost into `work[e]`.
+    ///
+    /// Inactive lanes are left untouched (state, work and FSAL cache).
+    /// Per-lane work matches what the scalar stepper would report: a lane
+    /// with a valid FSAL cache is charged `stages - 1` evaluations even
+    /// when another lane's cache miss forces a full-batch stage-0
+    /// evaluation.
+    pub fn step<S: BatchSystem>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        h: f64,
+        y: &mut [f64],
+        active: &[bool],
+        work: &mut [Work],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime. The body
+            // performs only IEEE-exact operations, so the wide compilation
+            // returns bitwise-identical results to the baseline one.
+            return unsafe { self.step_avx2(sys, t, h, y, active, work) };
+        }
+        self.step_inner(sys, t, h, y, active, work)
+    }
+
+    /// The stepper body compiled with AVX2 enabled: 4-wide f64 lanes for
+    /// the stage math and, when the system's `deriv_batch` inlines here,
+    /// the derivative loop too. Exactly [`Self::step_inner`] otherwise.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn step_avx2<S: BatchSystem>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        h: f64,
+        y: &mut [f64],
+        active: &[bool],
+        work: &mut [Work],
+    ) {
+        self.step_inner(sys, t, h, y, active, work)
+    }
+
+    #[inline(always)]
+    fn step_inner<S: BatchSystem>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        h: f64,
+        y: &mut [f64],
+        active: &[bool],
+        work: &mut [Work],
+    ) {
+        let (dim, n) = (self.dim, self.n);
+        debug_assert_eq!(y.len(), dim * n);
+        debug_assert_eq!(active.len(), n);
+        debug_assert_eq!(work.len(), n);
+        let s = self.tab.stages;
+        let lane_len = dim * n;
+
+        for e in 0..n {
+            if active[e] {
+                work[e].steps += 1;
+            }
+        }
+
+        // Stage 0 — per-lane FSAL reuse. If every lane has a valid cache
+        // the evaluation is skipped outright; otherwise evaluate the whole
+        // batch and overwrite the cached lanes, charging only the misses.
+        let all_valid = self.tab.fsal && self.fsal_valid.iter().all(|&v| v);
+        if all_valid {
+            self.k[..lane_len].copy_from_slice(&self.fsal);
+        } else {
+            sys.deriv_batch(t, y, &mut self.k[..lane_len]);
+            if self.tab.fsal {
+                for e in 0..n {
+                    if self.fsal_valid[e] {
+                        for d in 0..dim {
+                            self.k[d * n + e] = self.fsal[d * n + e];
+                        }
+                    } else if active[e] {
+                        work[e].fn_evals += 1;
+                    }
+                }
+            } else {
+                for e in 0..n {
+                    if active[e] {
+                        work[e].fn_evals += 1;
+                    }
+                }
+            }
+        }
+
+        // Remaining stages. Per lane this is the scalar stepper's
+        // `acc = Σ_j a(i,j) k_j; ytmp = y + h*acc` with the identical
+        // accumulation order — the j-loop runs outermost, so for every
+        // (component, lane) the partial sums accumulate in stage order,
+        // and lanes never mix. Each j pass sweeps one contiguous
+        // `dim × n` stage block.
+        for i in 1..s {
+            {
+                let (done, _) = self.k.split_at(i * lane_len);
+                self.acc.fill(0.0);
+                for j in 0..i {
+                    let a = self.tab.a(i, j);
+                    let kj = &done[j * lane_len..][..lane_len];
+                    for (acc, &kv) in self.acc.iter_mut().zip(kj) {
+                        *acc += a * kv;
+                    }
+                }
+                for (yt, (&yv, &av)) in self.ytmp.iter_mut().zip(y.iter().zip(self.acc.iter())) {
+                    *yt = yv + h * av;
+                }
+            }
+            let (_, rest) = self.k.split_at_mut(i * lane_len);
+            sys.deriv_batch(t + self.tab.c[i] * h, &self.ytmp, &mut rest[..lane_len]);
+            for e in 0..n {
+                if active[e] {
+                    work[e].fn_evals += 1;
+                }
+            }
+        }
+
+        // Combine stages into the new state — active lanes only.
+        self.acc.fill(0.0);
+        for (i, &w) in self.tab.b.iter().enumerate() {
+            let ki = &self.k[i * lane_len..][..lane_len];
+            for (acc, &kv) in self.acc.iter_mut().zip(ki) {
+                *acc += w * kv;
+            }
+        }
+        for d in 0..dim {
+            let yd = &mut y[d * n..][..n];
+            let ad = &self.acc[d * n..][..n];
+            for e in 0..n {
+                if active[e] {
+                    yd[e] += h * ad[e];
+                }
+            }
+        }
+
+        // FSAL: k[s-1] is f(t+h, y_{n+1}) — cache it for active lanes.
+        if self.tab.fsal {
+            for e in 0..n {
+                if active[e] {
+                    for d in 0..dim {
+                        self.fsal[d * n + e] = self.k[((s - 1) * dim + d) * n + e];
+                    }
+                    self.fsal_valid[e] = true;
+                }
+            }
+        }
+    }
+
+    /// Forget lane `e`'s FSAL cache (call when that lane's state jumps,
+    /// e.g. on an environment reset).
+    pub fn reset_lane(&mut self, e: usize) {
+        self.fsal_valid[e] = false;
+    }
+
+    /// Forget every lane's FSAL cache.
+    pub fn reset_all(&mut self) {
+        self.fsal_valid.fill(false);
+    }
+}
+
+/// Batched order-8 stepper: GBS extrapolation of the modified midpoint
+/// rule, the counterpart of [`crate::extrapolation::Gbs8Stepper`].
+///
+/// No FSAL structure — every step costs the full
+/// `1 + Σ n_j` evaluations per active lane, like the scalar method.
+pub struct BatchGbs8Stepper {
+    dim: usize,
+    n: usize,
+    /// Extrapolation tableau rows, each SoA `dim × n`.
+    table: Vec<Vec<f64>>,
+    z_prev: Vec<f64>,
+    z_cur: Vec<f64>,
+    z_next: Vec<f64>,
+    f0: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl BatchGbs8Stepper {
+    /// Create a batched stepper for `n` lanes of a `dim`-dimensional system.
+    pub fn new(dim: usize, n: usize) -> Self {
+        assert!(n > 0, "batched stepper needs at least one lane");
+        Self {
+            dim,
+            n,
+            table: vec![vec![0.0; dim * n]; SEQUENCE.len()],
+            z_prev: vec![0.0; dim * n],
+            z_cur: vec![0.0; dim * n],
+            z_next: vec![0.0; dim * n],
+            f0: vec![0.0; dim * n],
+            scratch: vec![0.0; dim * n],
+        }
+    }
+
+    /// See [`BatchTableauStepper::step`]; identical contract, order-8 math.
+    pub fn step<S: BatchSystem>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        bigh: f64,
+        y: &mut [f64],
+        active: &[bool],
+        work: &mut [Work],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime. The body
+            // performs only IEEE-exact operations, so the wide compilation
+            // returns bitwise-identical results to the baseline one.
+            return unsafe { self.step_avx2(sys, t, bigh, y, active, work) };
+        }
+        self.step_inner(sys, t, bigh, y, active, work)
+    }
+
+    /// The stepper body compiled with AVX2 enabled; see
+    /// [`BatchTableauStepper::step_avx2`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn step_avx2<S: BatchSystem>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        bigh: f64,
+        y: &mut [f64],
+        active: &[bool],
+        work: &mut [Work],
+    ) {
+        self.step_inner(sys, t, bigh, y, active, work)
+    }
+
+    #[inline(always)]
+    fn step_inner<S: BatchSystem>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        bigh: f64,
+        y: &mut [f64],
+        active: &[bool],
+        work: &mut [Work],
+    ) {
+        let (dim, n) = (self.dim, self.n);
+        debug_assert_eq!(y.len(), dim * n);
+        let lane_len = dim * n;
+        let charge = |work: &mut [Work], active: &[bool]| {
+            for e in 0..n {
+                if active[e] {
+                    work[e].fn_evals += 1;
+                }
+            }
+        };
+
+        for e in 0..n {
+            if active[e] {
+                work[e].steps += 1;
+            }
+        }
+
+        sys.deriv_batch(t, y, &mut self.f0);
+        charge(work, active);
+
+        for (row, &nsub) in SEQUENCE.iter().enumerate() {
+            let h = bigh / nsub as f64;
+
+            // z0 = y; z1 = y + h f(t, y)
+            self.z_prev.copy_from_slice(y);
+            for i in 0..lane_len {
+                self.z_cur[i] = y[i] + h * self.f0[i];
+            }
+
+            // z_{m+1} = z_{m-1} + 2 h f(t + m h, z_m)
+            for m in 1..nsub {
+                sys.deriv_batch(t + m as f64 * h, &self.z_cur, &mut self.scratch);
+                charge(work, active);
+                for i in 0..lane_len {
+                    self.z_next[i] = self.z_prev[i] + 2.0 * h * self.scratch[i];
+                }
+                std::mem::swap(&mut self.z_prev, &mut self.z_cur);
+                std::mem::swap(&mut self.z_cur, &mut self.z_next);
+            }
+
+            // Gragg smoothing: S = (z_n + z_{n-1} + h f(t+H, z_n)) / 2
+            sys.deriv_batch(t + bigh, &self.z_cur, &mut self.scratch);
+            charge(work, active);
+            for i in 0..lane_len {
+                self.table[row][i] = 0.5 * (self.z_cur[i] + self.z_prev[i] + h * self.scratch[i]);
+            }
+        }
+
+        // Aitken–Neville extrapolation in (H/n)², element-wise per lane —
+        // the same column-by-column, bottom-up sweep as the scalar stepper.
+        for k in 1..SEQUENCE.len() {
+            for j in (k..SEQUENCE.len()).rev() {
+                let r = (SEQUENCE[j] as f64 / SEQUENCE[j - k] as f64).powi(2);
+                let (lo, hi) = self.table.split_at_mut(j);
+                let prev = &lo[j - 1];
+                let cur = &mut hi[0];
+                for i in 0..lane_len {
+                    cur[i] += (cur[i] - prev[i]) / (r - 1.0);
+                }
+            }
+        }
+
+        let last = &self.table[SEQUENCE.len() - 1];
+        for d in 0..dim {
+            for e in 0..n {
+                if active[e] {
+                    y[d * n + e] = last[d * n + e];
+                }
+            }
+        }
+    }
+}
+
+/// A batched stepper of any study order, monomorphized over the system.
+///
+/// The enum match happens once per sub-step; the inner loops are fully
+/// monomorphic. Build with [`RkOrder::batch_stepper`].
+pub enum AnyBatchStepper {
+    /// Tableau-driven explicit RK (orders 3 and 5 in the study).
+    Tableau(BatchTableauStepper),
+    /// GBS extrapolation (the study's order 8).
+    Gbs8(BatchGbs8Stepper),
+}
+
+impl AnyBatchStepper {
+    /// Batched stepper for `order`, `n` lanes of a `dim`-dim system.
+    pub fn new(order: RkOrder, dim: usize, n: usize) -> Self {
+        match order {
+            RkOrder::Three => {
+                AnyBatchStepper::Tableau(BatchTableauStepper::new(&crate::tableau::BS23, dim, n))
+            }
+            RkOrder::Five => {
+                AnyBatchStepper::Tableau(BatchTableauStepper::new(&crate::tableau::DOPRI5, dim, n))
+            }
+            RkOrder::Eight => AnyBatchStepper::Gbs8(BatchGbs8Stepper::new(dim, n)),
+        }
+    }
+
+    /// See [`BatchTableauStepper::step`].
+    pub fn step<S: BatchSystem>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        h: f64,
+        y: &mut [f64],
+        active: &[bool],
+        work: &mut [Work],
+    ) {
+        match self {
+            AnyBatchStepper::Tableau(st) => st.step(sys, t, h, y, active, work),
+            AnyBatchStepper::Gbs8(st) => st.step(sys, t, h, y, active, work),
+        }
+    }
+
+    /// Forget lane `e`'s FSAL cache (no-op for methods without FSAL).
+    pub fn reset_lane(&mut self, e: usize) {
+        if let AnyBatchStepper::Tableau(st) = self {
+            st.reset_lane(e);
+        }
+    }
+
+    /// Forget every lane's FSAL cache.
+    pub fn reset_all(&mut self) {
+        if let AnyBatchStepper::Tableau(st) = self {
+            st.reset_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extrapolation::Gbs8Stepper;
+    use crate::stepper::TableauStepper;
+    use crate::system::FnSystem;
+    use crate::tableau::{ALL_TABLEAUS, DOPRI5};
+
+    /// Nonlinear scalar reference: dy_d = sin(y_d)·c - y_{d-1} (cyclic).
+    fn lane_deriv(c: f64, y: &[f64], dydt: &mut [f64]) {
+        let dim = y.len();
+        for d in 0..dim {
+            let prev = y[(d + dim - 1) % dim];
+            dydt[d] = y[d].sin() * c - prev;
+        }
+    }
+
+    struct TestBatch {
+        dim: usize,
+        coeffs: Vec<f64>,
+    }
+
+    impl BatchSystem for TestBatch {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn n_lanes(&self) -> usize {
+            self.coeffs.len()
+        }
+        fn deriv_batch(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+            let n = self.coeffs.len();
+            let mut lane = [0.0; 8];
+            let mut out = [0.0; 8];
+            for (e, &c) in self.coeffs.iter().enumerate() {
+                for d in 0..self.dim {
+                    lane[d] = y[d * n + e];
+                }
+                lane_deriv(c, &lane[..self.dim], &mut out[..self.dim]);
+                for d in 0..self.dim {
+                    dydt[d * n + e] = out[d];
+                }
+            }
+        }
+    }
+
+    fn soa_from_lanes(lanes: &[Vec<f64>]) -> Vec<f64> {
+        let n = lanes.len();
+        let dim = lanes[0].len();
+        let mut y = vec![0.0; dim * n];
+        for (e, lane) in lanes.iter().enumerate() {
+            for d in 0..dim {
+                y[d * n + e] = lane[d];
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise_for_every_tableau() {
+        let dim = 3;
+        let coeffs = vec![0.7, -0.4, 1.3, 0.05];
+        let n = coeffs.len();
+        let lanes: Vec<Vec<f64>> = (0..n)
+            .map(|e| (0..dim).map(|d| 0.3 * (e as f64 + 1.0) + 0.1 * d as f64).collect())
+            .collect();
+
+        for tab in ALL_TABLEAUS {
+            let sys = TestBatch { dim, coeffs: coeffs.clone() };
+            let mut bst = BatchTableauStepper::new(tab, dim, n);
+            let mut y = soa_from_lanes(&lanes);
+            let active = vec![true; n];
+            let mut work = vec![Work::default(); n];
+            for s in 0..4 {
+                bst.step(&sys, 0.1 * s as f64, 0.1, &mut y, &active, &mut work);
+            }
+
+            for (e, lane) in lanes.iter().enumerate() {
+                let c = coeffs[e];
+                let scalar_sys =
+                    FnSystem::new(dim, move |_t, y: &[f64], dy: &mut [f64]| lane_deriv(c, y, dy));
+                let mut st = TableauStepper::new(tab, dim);
+                let mut ys = lane.clone();
+                let mut w = Work::default();
+                for s in 0..4 {
+                    w += st.step_sys(&scalar_sys, 0.1 * s as f64, 0.1, &mut ys);
+                }
+                for d in 0..dim {
+                    assert_eq!(
+                        y[d * n + e].to_bits(),
+                        ys[d].to_bits(),
+                        "{}: lane {e} component {d}",
+                        tab.name
+                    );
+                }
+                assert_eq!(work[e], w, "{}: lane {e} work", tab.name);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_gbs8_matches_scalar_bitwise() {
+        let dim = 2;
+        let coeffs = vec![0.9, -0.2, 0.4];
+        let n = coeffs.len();
+        let lanes: Vec<Vec<f64>> =
+            (0..n).map(|e| vec![1.0 + 0.2 * e as f64, -0.5 * e as f64]).collect();
+
+        let sys = TestBatch { dim, coeffs: coeffs.clone() };
+        let mut bst = BatchGbs8Stepper::new(dim, n);
+        let mut y = soa_from_lanes(&lanes);
+        let active = vec![true; n];
+        let mut work = vec![Work::default(); n];
+        for s in 0..3 {
+            bst.step(&sys, 0.2 * s as f64, 0.2, &mut y, &active, &mut work);
+        }
+
+        for (e, lane) in lanes.iter().enumerate() {
+            let c = coeffs[e];
+            let scalar_sys =
+                FnSystem::new(dim, move |_t, y: &[f64], dy: &mut [f64]| lane_deriv(c, y, dy));
+            let mut st = Gbs8Stepper::new(dim);
+            let mut ys = lane.clone();
+            let mut w = Work::default();
+            for s in 0..3 {
+                w += st.step_sys(&scalar_sys, 0.2 * s as f64, 0.2, &mut ys);
+            }
+            for d in 0..dim {
+                assert_eq!(y[d * n + e].to_bits(), ys[d].to_bits(), "lane {e} component {d}");
+            }
+            assert_eq!(work[e], w, "lane {e} work");
+        }
+    }
+
+    #[test]
+    fn inactive_lanes_are_frozen_and_free() {
+        let dim = 2;
+        let coeffs = vec![0.5, 0.5];
+        let sys = TestBatch { dim, coeffs };
+        let mut st = BatchTableauStepper::new(&DOPRI5, dim, 2);
+        let mut y = soa_from_lanes(&[vec![1.0, 2.0], vec![1.0, 2.0]]);
+        let frozen: Vec<f64> = (0..dim).map(|d| y[d * 2 + 1]).collect();
+        let active = vec![true, false];
+        let mut work = vec![Work::default(); 2];
+        st.step(&sys, 0.0, 0.1, &mut y, &active, &mut work);
+        for d in 0..dim {
+            assert_eq!(y[d * 2 + 1], frozen[d], "inactive lane must not move");
+            assert_ne!(y[d * 2], frozen[d], "active lane must move");
+        }
+        assert_eq!(work[1], Work::default(), "inactive lane consumes no work");
+        assert_eq!(work[0].fn_evals, 7);
+    }
+
+    #[test]
+    fn mixed_fsal_caches_charge_only_misses() {
+        let dim = 1;
+        let coeffs = vec![0.3, 0.3];
+        let sys = TestBatch { dim, coeffs };
+        let mut st = BatchTableauStepper::new(&DOPRI5, dim, 2);
+        let mut y = vec![1.0, 1.0];
+        let active = vec![true; 2];
+        let mut work = vec![Work::default(); 2];
+        st.step(&sys, 0.0, 0.1, &mut y, &active, &mut work);
+        assert_eq!(work[0].fn_evals, 7);
+        // Invalidate lane 1's cache only: lane 0 keeps the FSAL saving.
+        st.reset_lane(1);
+        let mut work2 = vec![Work::default(); 2];
+        st.step(&sys, 0.1, 0.1, &mut y, &active, &mut work2);
+        assert_eq!(work2[0].fn_evals, 6, "cached lane pays stages-1");
+        assert_eq!(work2[1].fn_evals, 7, "reset lane pays the full cost");
+    }
+
+    #[test]
+    fn any_batch_stepper_dispatches_every_order() {
+        for order in RkOrder::ALL {
+            let dim = 2;
+            let sys = TestBatch { dim, coeffs: vec![0.4, -0.4] };
+            let mut st = AnyBatchStepper::new(order, dim, 2);
+            let mut y = soa_from_lanes(&[vec![1.0, 0.5], vec![0.2, -0.3]]);
+            let before = y.clone();
+            let mut work = vec![Work::default(); 2];
+            st.step(&sys, 0.0, 0.1, &mut y, &[true, true], &mut work);
+            assert_ne!(y, before, "{order}: states must advance");
+            assert!(work[0].fn_evals > 0 && work[1].fn_evals > 0);
+            st.reset_lane(0);
+            st.reset_all();
+        }
+    }
+}

@@ -23,7 +23,9 @@ use crate::Work;
 
 /// Modified-midpoint sub-step counts. Must be even and increasing; four
 /// entries cancel error terms up to `h⁶`, leaving order 8.
-const SEQUENCE: [usize; 4] = [2, 4, 6, 8];
+/// Shared with the batched stepper in [`crate::batch`], which must run the
+/// same sequence to stay bitwise-identical to this scalar path.
+pub(crate) const SEQUENCE: [usize; 4] = [2, 4, 6, 8];
 
 /// Order-8 stepper: GBS extrapolation of the modified midpoint rule.
 pub struct Gbs8Stepper {
@@ -53,13 +55,47 @@ impl Gbs8Stepper {
         }
     }
 
+    /// Monomorphized step: like [`FixedStepper::step`] but generic over
+    /// the system, so the derivative evaluation inlines into the midpoint
+    /// loops. The `&dyn` trait method instantiates this with
+    /// `S = dyn System`, so both paths are bitwise identical.
+    pub fn step_sys<S: System + ?Sized>(&mut self, sys: &S, t: f64, h: f64, y: &mut [f64]) -> Work {
+        debug_assert_eq!(y.len(), self.dim);
+        let mut work = Work { steps: 1, ..Work::default() };
+
+        sys.deriv(t, y, &mut self.f0);
+        work.fn_evals += 1;
+
+        for (row, &n) in SEQUENCE.iter().enumerate() {
+            work.fn_evals += self.midpoint(sys, t, h, y, n, row);
+        }
+
+        // Aitken–Neville extrapolation in (H/n)². After processing, the
+        // last row holds the order-8 value. Work column-by-column, updating
+        // rows bottom-up so each combination uses pre-update neighbours.
+        for k in 1..SEQUENCE.len() {
+            for j in (k..SEQUENCE.len()).rev() {
+                let r = (SEQUENCE[j] as f64 / SEQUENCE[j - k] as f64).powi(2);
+                let (lo, hi) = self.table.split_at_mut(j);
+                let prev = &lo[j - 1];
+                let cur = &mut hi[0];
+                for d in 0..self.dim {
+                    cur[d] += (cur[d] - prev[d]) / (r - 1.0);
+                }
+            }
+        }
+
+        y.copy_from_slice(&self.table[SEQUENCE.len() - 1]);
+        work
+    }
+
     /// One modified-midpoint integration of `sys` over `[t, t+bigh]` with
     /// `n` sub-steps, writing the (smoothed) result into `out`.
     ///
     /// Assumes `self.f0` already holds `f(t, y)`.
-    fn midpoint(
+    fn midpoint<S: System + ?Sized>(
         &mut self,
-        sys: &dyn System,
+        sys: &S,
         t: f64,
         bigh: f64,
         y: &[f64],
@@ -113,33 +149,7 @@ impl FixedStepper for Gbs8Stepper {
     }
 
     fn step(&mut self, sys: &dyn System, t: f64, h: f64, y: &mut [f64]) -> Work {
-        debug_assert_eq!(y.len(), self.dim);
-        let mut work = Work { steps: 1, ..Work::default() };
-
-        sys.deriv(t, y, &mut self.f0);
-        work.fn_evals += 1;
-
-        for (row, &n) in SEQUENCE.iter().enumerate() {
-            work.fn_evals += self.midpoint(sys, t, h, y, n, row);
-        }
-
-        // Aitken–Neville extrapolation in (H/n)². After processing, the
-        // last row holds the order-8 value. Work column-by-column, updating
-        // rows bottom-up so each combination uses pre-update neighbours.
-        for k in 1..SEQUENCE.len() {
-            for j in (k..SEQUENCE.len()).rev() {
-                let r = (SEQUENCE[j] as f64 / SEQUENCE[j - k] as f64).powi(2);
-                let (lo, hi) = self.table.split_at_mut(j);
-                let prev = &lo[j - 1];
-                let cur = &mut hi[0];
-                for d in 0..self.dim {
-                    cur[d] += (cur[d] - prev[d]) / (r - 1.0);
-                }
-            }
-        }
-
-        y.copy_from_slice(&self.table[SEQUENCE.len() - 1]);
-        work
+        self.step_sys(sys, t, h, y)
     }
 }
 

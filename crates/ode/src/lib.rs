@@ -36,6 +36,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod batch;
 pub mod extrapolation;
 pub mod methods;
 pub mod problems;
@@ -44,8 +45,9 @@ pub mod system;
 pub mod tableau;
 
 pub use adaptive::{AdaptiveOptions, AdaptiveStepper};
+pub use batch::{AnyBatchStepper, BatchGbs8Stepper, BatchSystem, BatchTableauStepper};
 pub use methods::RkOrder;
-pub use stepper::{integrate_fixed, FixedStepper, TableauStepper};
+pub use stepper::{integrate_fixed, integrate_fixed_with, FixedStepper, TableauStepper};
 pub use system::{FnSystem, System};
 pub use tableau::Tableau;
 

@@ -66,6 +66,13 @@ impl RkOrder {
         self.factory().instantiate(dim)
     }
 
+    /// Build a batched stepper advancing `n_lanes` independent
+    /// `dim`-dimensional states per call (SoA layout; bitwise-identical
+    /// to `n_lanes` scalar steppers — see [`crate::batch`]).
+    pub fn batch_stepper(self, dim: usize, n_lanes: usize) -> crate::batch::AnyBatchStepper {
+        crate::batch::AnyBatchStepper::new(self, dim, n_lanes)
+    }
+
     /// Derivative evaluations per integration step — the work-unit cost the
     /// cluster simulator charges per simulator step.
     pub fn cost_per_step(self) -> u64 {

@@ -1,4 +1,18 @@
 //! Fixed-step integration driven by Butcher tableaus.
+//!
+//! The stepper exposes two call surfaces over one implementation:
+//!
+//! * the object-safe [`FixedStepper`] trait (`&dyn System` derivatives),
+//!   used where methods are mixed at runtime — the paper treats the RK
+//!   order as a tunable parameter;
+//! * generic `*_sys` methods ([`TableauStepper::step_sys`]) that
+//!   monomorphize over the concrete system type, so the derivative call
+//!   inlines into the stage loops with no virtual dispatch.
+//!
+//! Both paths run the *same* code — the trait method instantiates the
+//! generic one with `S = dyn System` — so their results are bitwise
+//! identical by construction. The batched steppers in [`crate::batch`]
+//! rely on the same guarantee.
 
 // Index loops here co-index several arrays; zip chains would obscure them.
 #![allow(clippy::needless_range_loop)]
@@ -29,14 +43,19 @@ pub trait FixedStepper: Send {
 }
 
 /// Generic explicit RK stepper driven by a [`Tableau`].
+///
+/// Stage derivatives live in one contiguous `stages × dim` buffer (stage
+/// `i` at `k[i*dim..(i+1)*dim]`), so the stage-combination loops walk flat
+/// memory instead of chasing per-stage heap pointers.
 pub struct TableauStepper {
     tab: &'static Tableau,
-    /// Stage derivatives `k[i]`, each of length `dim`.
-    k: Vec<Vec<f64>>,
+    /// Stage derivatives, flattened: stage `i`, component `d` at `i*dim + d`.
+    k: Vec<f64>,
     /// Scratch state for stage evaluations.
     ytmp: Vec<f64>,
-    /// Cached `f(t_{n+1}, y_{n+1})` for FSAL reuse.
-    fsal_cache: Option<Vec<f64>>,
+    /// Cached `f(t_{n+1}, y_{n+1})` for FSAL reuse (valid when `fsal_valid`).
+    fsal: Vec<f64>,
+    fsal_valid: bool,
     dim: usize,
 }
 
@@ -46,9 +65,10 @@ impl TableauStepper {
         debug_assert!(tab.validate().is_ok());
         Self {
             tab,
-            k: vec![vec![0.0; dim]; tab.stages],
+            k: vec![0.0; tab.stages * dim],
             ytmp: vec![0.0; dim],
-            fsal_cache: None,
+            fsal: vec![0.0; dim],
+            fsal_valid: false,
             dim,
         }
     }
@@ -56,6 +76,12 @@ impl TableauStepper {
     /// The tableau backing this stepper.
     pub fn tableau(&self) -> &'static Tableau {
         self.tab
+    }
+
+    /// Monomorphized step: like [`FixedStepper::step`] but generic over the
+    /// system, so the derivative evaluation inlines into the stage loops.
+    pub fn step_sys<S: System + ?Sized>(&mut self, sys: &S, t: f64, h: f64, y: &mut [f64]) -> Work {
+        self.step_with_error_sys(sys, t, h, y, None)
     }
 
     /// Perform one step and additionally write the embedded error estimate
@@ -70,33 +96,47 @@ impl TableauStepper {
         y: &mut [f64],
         err: Option<&mut [f64]>,
     ) -> Work {
+        self.step_with_error_sys(sys, t, h, y, err)
+    }
+
+    /// Generic form of [`TableauStepper::step_with_error`]; the `&dyn`
+    /// entry points instantiate this with `S = dyn System`, so both paths
+    /// execute identical floating-point operations.
+    pub fn step_with_error_sys<S: System + ?Sized>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        h: f64,
+        y: &mut [f64],
+        err: Option<&mut [f64]>,
+    ) -> Work {
         let n = self.dim;
         debug_assert_eq!(y.len(), n);
         let s = self.tab.stages;
         let mut work = Work { steps: 1, ..Work::default() };
 
         // Stage 0 — reuse the FSAL derivative when available.
-        if let Some(cache) = self.fsal_cache.take() {
-            self.k[0].copy_from_slice(&cache);
-            self.fsal_cache = Some(cache);
+        if self.fsal_valid {
+            self.k[..n].copy_from_slice(&self.fsal);
         } else {
-            let (k0, _) = self.k.split_at_mut(1);
-            sys.deriv(t, y, &mut k0[0]);
+            sys.deriv(t, y, &mut self.k[..n]);
             work.fn_evals += 1;
         }
 
         // Remaining stages.
         for i in 1..s {
-            for d in 0..n {
-                let mut acc = 0.0;
-                for j in 0..i {
-                    acc += self.tab.a(i, j) * self.k[j][d];
+            {
+                let (done, _) = self.k.split_at(i * n);
+                for d in 0..n {
+                    let mut acc = 0.0;
+                    for j in 0..i {
+                        acc += self.tab.a(i, j) * done[j * n + d];
+                    }
+                    self.ytmp[d] = y[d] + h * acc;
                 }
-                self.ytmp[d] = y[d] + h * acc;
             }
-            let (done, rest) = self.k.split_at_mut(i);
-            let _ = done;
-            sys.deriv(t + self.tab.c[i] * h, &self.ytmp, &mut rest[0]);
+            let (_, rest) = self.k.split_at_mut(i * n);
+            sys.deriv(t + self.tab.c[i] * h, &self.ytmp, &mut rest[..n]);
             work.fn_evals += 1;
         }
 
@@ -105,7 +145,7 @@ impl TableauStepper {
             for d in 0..n {
                 let mut acc = 0.0;
                 for (i, &w) in be.iter().enumerate() {
-                    acc += w * self.k[i][d];
+                    acc += w * self.k[i * n + d];
                 }
                 err[d] = h * acc;
             }
@@ -115,15 +155,15 @@ impl TableauStepper {
         for d in 0..n {
             let mut acc = 0.0;
             for (i, &w) in self.tab.b.iter().enumerate() {
-                acc += w * self.k[i][d];
+                acc += w * self.k[i * n + d];
             }
             y[d] += h * acc;
         }
 
         // FSAL: k[s-1] is f(t+h, y_{n+1}).
         if self.tab.fsal {
-            let cache = self.fsal_cache.get_or_insert_with(|| vec![0.0; n]);
-            cache.copy_from_slice(&self.k[s - 1]);
+            self.fsal.copy_from_slice(&self.k[(s - 1) * n..]);
+            self.fsal_valid = true;
         }
 
         work
@@ -144,19 +184,21 @@ impl FixedStepper for TableauStepper {
     }
 
     fn step(&mut self, sys: &dyn System, t: f64, h: f64, y: &mut [f64]) -> Work {
-        self.step_with_error(sys, t, h, y, None)
+        self.step_with_error_sys(sys, t, h, y, None)
     }
 
     fn reset(&mut self) {
-        self.fsal_cache = None;
+        self.fsal_valid = false;
     }
 }
 
 /// Integrate `sys` from `t0` to `t1` with (approximately) fixed step `h`,
 /// shrinking the final step to land exactly on `t1`.
 ///
-/// The stepper is taken by `&dyn` so callers can mix methods at runtime —
-/// the paper's study treats the RK order as a tunable parameter.
+/// Instantiates a fresh stepper from the factory. Callers integrating
+/// repeatedly should hold a stepper and use [`integrate_fixed_with`]
+/// instead — it reuses the scratch buffers instead of re-allocating them
+/// on every call.
 pub fn integrate_fixed(
     stepper: &dyn StepperFactory,
     sys: &dyn System,
@@ -166,6 +208,23 @@ pub fn integrate_fixed(
     h: f64,
 ) -> Work {
     let mut st = stepper.instantiate(y.len());
+    integrate_fixed_with(st.as_mut(), sys, y, t0, t1, h)
+}
+
+/// [`integrate_fixed`] over a caller-owned stepper: no allocation per
+/// call, and the stepper's FSAL cache carries across the sub-steps.
+///
+/// The stepper is *not* reset on entry; callers integrating a different
+/// trajectory (or after a state jump) must call [`FixedStepper::reset`]
+/// first, exactly as with manual stepping.
+pub fn integrate_fixed_with(
+    st: &mut dyn FixedStepper,
+    sys: &dyn System,
+    y: &mut [f64],
+    t0: f64,
+    t1: f64,
+    h: f64,
+) -> Work {
     let mut work = Work::default();
     let mut t = t0;
     assert!(h > 0.0 && t1 > t0, "integrate_fixed requires forward integration");
@@ -259,6 +318,46 @@ mod tests {
         st.reset();
         let w = st.step(&sys, 0.1, 0.1, &mut y);
         assert_eq!(w.fn_evals, 4, "after reset all stages must be recomputed");
+    }
+
+    #[test]
+    fn generic_and_dyn_paths_are_bitwise_identical() {
+        // The `&dyn System` trait entry point instantiates the same
+        // generic code; a multi-step trajectory must match to the bit,
+        // FSAL cache included.
+        let sys = decay();
+        let mut a = TableauStepper::new(&DOPRI5, 1);
+        let mut b = TableauStepper::new(&DOPRI5, 1);
+        let mut ya = vec![1.0];
+        let mut yb = vec![1.0];
+        for i in 0..5 {
+            let t = 0.1 * i as f64;
+            let wa = FixedStepper::step(&mut a, &sys, t, 0.1, &mut ya);
+            let wb = b.step_sys(&sys, t, 0.1, &mut yb);
+            assert_eq!(wa, wb);
+            assert_eq!(ya[0].to_bits(), yb[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn integrate_fixed_with_reuses_the_stepper() {
+        let sys = decay();
+        let mut st = TableauStepper::new(&DOPRI5, 1);
+        let mut y = vec![1.0];
+        let w1 = integrate_fixed_with(&mut st, &sys, &mut y, 0.0, 1.0, 0.1);
+        // Second call continues the same trajectory: the FSAL cache is
+        // still warm, so the first step saves one evaluation.
+        let w2 = integrate_fixed_with(&mut st, &sys, &mut y, 1.0, 2.0, 0.1);
+        assert_eq!(w1.steps, w2.steps);
+        assert_eq!(w2.fn_evals, w1.fn_evals - 1, "warm FSAL saves the first eval");
+
+        // And it matches the factory-based entry point bit for bit.
+        let mut y2 = vec![1.0];
+        let mut z = vec![1.0];
+        let mut st2 = TableauStepper::new(&DOPRI5, 1);
+        integrate_fixed_with(&mut st2, &sys, &mut y2, 0.0, 1.0, 0.1);
+        integrate_fixed(&TableauFactory(&DOPRI5), &sys, &mut z, 0.0, 1.0, 0.1);
+        assert_eq!(y2[0].to_bits(), z[0].to_bits());
     }
 
     #[test]

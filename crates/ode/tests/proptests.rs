@@ -1,10 +1,51 @@
 //! Property-based tests of the integrator substrate.
 
 use proptest::prelude::*;
-use rk_ode::stepper::{integrate_fixed, TableauFactory};
+use rk_ode::batch::{BatchGbs8Stepper, BatchSystem, BatchTableauStepper};
+use rk_ode::extrapolation::Gbs8Stepper;
+use rk_ode::stepper::{integrate_fixed, TableauFactory, TableauStepper};
 use rk_ode::system::FnSystem;
 use rk_ode::tableau::{ALL_TABLEAUS, BS23, DOPRI5};
-use rk_ode::{AdaptiveOptions, AdaptiveStepper, RkOrder};
+use rk_ode::{AdaptiveOptions, AdaptiveStepper, RkOrder, Work};
+
+/// Nonlinear per-lane reference dynamics: couples all components so stage
+/// order matters, parameterized per lane so lanes genuinely differ.
+fn lane_deriv(c: f64, y: &[f64], dydt: &mut [f64]) {
+    let dim = y.len();
+    for d in 0..dim {
+        let prev = y[(d + dim - 1) % dim];
+        dydt[d] = (y[d] * c).sin() - 0.5 * prev + c;
+    }
+}
+
+/// SoA batch wrapper over `lane_deriv`, one coefficient per lane.
+struct LaneBatch {
+    dim: usize,
+    coeffs: Vec<f64>,
+}
+
+impl BatchSystem for LaneBatch {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn n_lanes(&self) -> usize {
+        self.coeffs.len()
+    }
+    fn deriv_batch(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+        let n = self.coeffs.len();
+        let mut lane = [0.0; 8];
+        let mut out = [0.0; 8];
+        for (e, &c) in self.coeffs.iter().enumerate() {
+            for d in 0..self.dim {
+                lane[d] = y[d * n + e];
+            }
+            lane_deriv(c, &lane[..self.dim], &mut out[..self.dim]);
+            for d in 0..self.dim {
+                dydt[d * n + e] = out[d];
+            }
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -82,6 +123,121 @@ proptest! {
             prop_assert!((y[0] - exact).abs() < tol * 1e3 + 1e-12,
                 "{}: err {}", tab.name, (y[0] - exact).abs());
             prop_assert!(work.steps > 0);
+        }
+    }
+
+    /// The batched tableau stepper is bitwise-equal to n independent
+    /// scalar [`TableauStepper`] runs for *every* tableau — including
+    /// FSAL reuse across steps and behavior after a mid-run reset of one
+    /// lane (the batched analogue of an environment reset).
+    #[test]
+    fn batch_tableau_stepper_matches_scalar_bitwise(
+        dim in 1usize..5,
+        n in 1usize..6,
+        inits in prop::collection::vec(-1.5f64..1.5, 32),
+        coeffs in prop::collection::vec(-1.2f64..1.2, 8),
+        h in 0.01f64..0.3,
+        steps in 1usize..6,
+        reset_lane in 0usize..8,
+        reset_after in 0usize..6,
+    ) {
+        let coeffs: Vec<f64> = (0..n).map(|e| coeffs[e % coeffs.len()]).collect();
+        let init = |e: usize, d: usize| inits[(e * dim + d) % inits.len()];
+        let reset_lane = reset_lane % n;
+
+        for tab in ALL_TABLEAUS {
+            // Batched run.
+            let sys = LaneBatch { dim, coeffs: coeffs.clone() };
+            let mut bst = BatchTableauStepper::new(tab, dim, n);
+            let mut y = vec![0.0; dim * n];
+            for e in 0..n {
+                for d in 0..dim {
+                    y[d * n + e] = init(e, d);
+                }
+            }
+            let active = vec![true; n];
+            let mut bwork = vec![Work::default(); n];
+            for s in 0..steps {
+                if s == reset_after {
+                    bst.reset_lane(reset_lane);
+                }
+                bst.step(&sys, s as f64 * h, h, &mut y, &active, &mut bwork);
+            }
+
+            // n independent scalar runs with the same reset schedule.
+            for e in 0..n {
+                let c = coeffs[e];
+                let scalar = FnSystem::new(dim, move |_t, y: &[f64], dy: &mut [f64]| {
+                    lane_deriv(c, y, dy)
+                });
+                let mut st = TableauStepper::new(tab, dim);
+                let mut ys: Vec<f64> = (0..dim).map(|d| init(e, d)).collect();
+                let mut w = Work::default();
+                for s in 0..steps {
+                    if s == reset_after && e == reset_lane {
+                        rk_ode::FixedStepper::reset(&mut st);
+                    }
+                    w += st.step_sys(&scalar, s as f64 * h, h, &mut ys);
+                }
+                for d in 0..dim {
+                    prop_assert_eq!(
+                        y[d * n + e].to_bits(),
+                        ys[d].to_bits(),
+                        "{}: lane {} component {}", tab.name, e, d
+                    );
+                }
+                prop_assert_eq!(bwork[e], w, "{}: lane {} work", tab.name, e);
+            }
+        }
+    }
+
+    /// The batched order-8 (GBS extrapolation, the study's DOP853 slot)
+    /// stepper is bitwise-equal to n independent scalar runs.
+    #[test]
+    fn batch_gbs8_matches_scalar_bitwise(
+        dim in 1usize..5,
+        n in 1usize..5,
+        inits in prop::collection::vec(-1.2f64..1.2, 32),
+        coeffs in prop::collection::vec(-1.0f64..1.0, 8),
+        h in 0.05f64..0.4,
+        steps in 1usize..4,
+    ) {
+        let coeffs: Vec<f64> = (0..n).map(|e| coeffs[e % coeffs.len()]).collect();
+        let init = |e: usize, d: usize| inits[(e * dim + d) % inits.len()];
+
+        let sys = LaneBatch { dim, coeffs: coeffs.clone() };
+        let mut bst = BatchGbs8Stepper::new(dim, n);
+        let mut y = vec![0.0; dim * n];
+        for e in 0..n {
+            for d in 0..dim {
+                y[d * n + e] = init(e, d);
+            }
+        }
+        let active = vec![true; n];
+        let mut bwork = vec![Work::default(); n];
+        for s in 0..steps {
+            bst.step(&sys, s as f64 * h, h, &mut y, &active, &mut bwork);
+        }
+
+        for e in 0..n {
+            let c = coeffs[e];
+            let scalar = FnSystem::new(dim, move |_t, y: &[f64], dy: &mut [f64]| {
+                lane_deriv(c, y, dy)
+            });
+            let mut st = Gbs8Stepper::new(dim);
+            let mut ys: Vec<f64> = (0..dim).map(|d| init(e, d)).collect();
+            let mut w = Work::default();
+            for s in 0..steps {
+                w += st.step_sys(&scalar, s as f64 * h, h, &mut ys);
+            }
+            for d in 0..dim {
+                prop_assert_eq!(
+                    y[d * n + e].to_bits(),
+                    ys[d].to_bits(),
+                    "gbs8: lane {} component {}", e, d
+                );
+            }
+            prop_assert_eq!(bwork[e], w, "gbs8: lane {} work", e);
         }
     }
 

@@ -16,7 +16,12 @@
 //! cached instead of recomputed — roughly halving critic forwards versus
 //! naive per-step collection. Only truncated episodes need an extra
 //! critic row (their bootstrap state is the *pre-reset* observation,
-//! preserved by [`gymrs::StepBatch::final_obs`]).
+//! preserved by [`gymrs::TickBatch::final_obs`]).
+//!
+//! Environment stepping goes through [`VecEnv::step_lockstep`], which
+//! takes the batched ODE fast path when the sub-environments support it
+//! (one batched integrator call per substep across all lanes) and is
+//! bitwise-identical to the scalar sweep either way.
 
 use crate::buffer::RolloutBuffer;
 use crate::policy::ActorCritic;
@@ -91,7 +96,8 @@ pub fn collect_lockstep<E: Environment>(
         // The pre-step observations go into the buffers; grab them before
         // the sweep overwrites the env cache.
         let step_obs: Vec<Vec<f64>> = venv.observations().to_vec();
-        let batch = venv.step_parallel(&actions);
+        venv.step_lockstep(&actions);
+        let batch = venv.last_tick();
 
         // One batched critic pass over the post-step (auto-reset)
         // observations serves double duty: bootstrap values for non-done
