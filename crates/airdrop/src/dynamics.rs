@@ -182,7 +182,7 @@ pub fn initial_state(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rk_ode::{integrate_fixed, RkOrder};
+    use rk_ode::{Integration, RkOrder};
 
     fn integrate(
         dyns: &ParafoilDynamics,
@@ -191,7 +191,7 @@ mod tests {
         order: RkOrder,
         h: f64,
     ) -> rk_ode::Work {
-        integrate_fixed(dyns.factory_helper(order).as_ref(), dyns, y, 0.0, t, h)
+        Integration::new(dyns.factory_helper(order).as_ref()).step(h).run(dyns, y, 0.0, t)
     }
 
     impl ParafoilDynamics {

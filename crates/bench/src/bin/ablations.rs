@@ -15,6 +15,7 @@
 
 use bench::paper::PaperRow;
 use bench::{run_row, HarnessOpts};
+use decision::prelude::metric_keys;
 use dist_exec::Framework;
 use rk_ode::RkOrder;
 use rl_algos::Algorithm;
@@ -56,9 +57,9 @@ fn main() {
     let run = |label: &str, row: &PaperRow| match run_row(row, &opts) {
         Ok(m) => println!(
             "  {label:<28} reward {:>7.2}   time {:>7.1} min   power {:>7.0} kJ",
-            m.get("reward").unwrap_or(f64::NAN),
-            m.get("time_min").unwrap_or(f64::NAN),
-            m.get("power_kj").unwrap_or(f64::NAN),
+            m.get_key(metric_keys::REWARD).unwrap_or(f64::NAN),
+            m.get_key(metric_keys::TIME_MIN).unwrap_or(f64::NAN),
+            m.get_key(metric_keys::POWER_KJ).unwrap_or(f64::NAN),
         ),
         Err(e) => println!("  {label:<28} FAILED: {e}"),
     };

@@ -35,9 +35,9 @@ fn surrogate_reward(row: &PaperRow) -> f64 {
 fn objective(cfg: &Configuration, _ctx: &mut TrialContext) -> Result<MetricValues, String> {
     let row = PaperRow::from_config(cfg)?;
     Ok(MetricValues::new()
-        .with("reward", surrogate_reward(&row))
-        .with("time_min", predicted_minutes(&row))
-        .with("power_kj", predicted_kilojoules(&row)))
+        .with_key(metric_keys::REWARD, surrogate_reward(&row))
+        .with_key(metric_keys::TIME_MIN, predicted_minutes(&row))
+        .with_key(metric_keys::POWER_KJ, predicted_kilojoules(&row)))
 }
 
 /// The full §V-b space, with a dummy draw id domain so `from_config` works.
@@ -49,9 +49,9 @@ fn run_study(explorer: Box<dyn Explorer>, seed: u64) -> Vec<Trial> {
     Study::builder("explorer-ablation")
         .space(space())
         .explorer_boxed(explorer)
-        .metric(MetricDef::maximize("reward"))
-        .metric(MetricDef::minimize("time_min"))
-        .metric(MetricDef::minimize("power_kj"))
+        .metric(MetricDef::maximize_key(metric_keys::REWARD))
+        .metric(MetricDef::minimize_key(metric_keys::TIME_MIN))
+        .metric(MetricDef::minimize_key(metric_keys::POWER_KJ))
         .seed(seed)
         .objective(objective)
         .build()
@@ -61,8 +61,8 @@ fn run_study(explorer: Box<dyn Explorer>, seed: u64) -> Vec<Trial> {
 }
 
 fn mean_hypervolume(make: impl Fn() -> Box<dyn Explorer>, seeds: u64) -> (f64, f64) {
-    let mx = MetricDef::maximize("reward");
-    let my = MetricDef::minimize("time_min");
+    let mx = MetricDef::maximize_key(metric_keys::REWARD);
+    let my = MetricDef::minimize_key(metric_keys::TIME_MIN);
     let reference = (-3.0, 400.0); // worse than any surrogate outcome
     let mut hvs = Vec::new();
     for seed in 0..seeds {
@@ -103,7 +103,9 @@ fn main() {
         ("grid search (capped)", Box::new(move || Box::new(GridSearch::with_limit(budget)))),
         (
             "tpe-lite (reward)",
-            Box::new(move || Box::new(TpeLite::new(budget, "reward", Direction::Maximize))),
+            Box::new(move || {
+                Box::new(TpeLite::new(budget, metric_keys::REWARD.name(), Direction::Maximize))
+            }),
         ),
     ];
     for (name, make) in entries {
@@ -125,16 +127,16 @@ fn main() {
                 i,
                 r.to_config(),
                 MetricValues::new()
-                    .with("reward", surrogate_reward(r))
-                    .with("time_min", predicted_minutes(r))
-                    .with("power_kj", predicted_kilojoules(r)),
+                    .with_key(metric_keys::REWARD, surrogate_reward(r))
+                    .with_key(metric_keys::TIME_MIN, predicted_minutes(r))
+                    .with_key(metric_keys::POWER_KJ, predicted_kilojoules(r)),
             )
         })
         .collect();
     let hv = hypervolume_2d(
         &paper_trials,
-        &MetricDef::maximize("reward"),
-        &MetricDef::minimize("time_min"),
+        &MetricDef::maximize_key(metric_keys::REWARD),
+        &MetricDef::minimize_key(metric_keys::TIME_MIN),
         (-3.0, 400.0),
     );
     println!("\nTable I's actual 18 draws score {hv:.1} on the same surrogate.");

@@ -4,14 +4,14 @@
 //! Reuses `table1`'s journal when present (same `--steps`/`--seed`), so
 //! running `table1` first avoids re-training.
 
-use decision::prelude::MetricDef;
+use decision::prelude::{metric_keys, MetricDef};
 
 fn main() {
     bench::figdriver::run_figure(
         "fig4",
         "Reward vs. Computation Time trade-off (Fig. 4)",
-        MetricDef::minimize("time_min"),
-        MetricDef::maximize("reward"),
+        MetricDef::minimize_key(metric_keys::TIME_MIN),
+        MetricDef::maximize_key(metric_keys::REWARD),
         &[2, 5, 11, 16],
     );
 }

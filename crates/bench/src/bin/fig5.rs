@@ -1,14 +1,14 @@
 //! Reproduce **Figure 5**: the Power Consumption vs. Computation Time
 //! Pareto front (paper front: solutions 2, 5, 11).
 
-use decision::prelude::MetricDef;
+use decision::prelude::{metric_keys, MetricDef};
 
 fn main() {
     bench::figdriver::run_figure(
         "fig5",
         "Power Consumption vs. Computation Time trade-off (Fig. 5)",
-        MetricDef::minimize("time_min"),
-        MetricDef::minimize("power_kj"),
+        MetricDef::minimize_key(metric_keys::TIME_MIN),
+        MetricDef::minimize_key(metric_keys::POWER_KJ),
         &[2, 5, 11],
     );
 }

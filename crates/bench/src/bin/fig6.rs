@@ -1,14 +1,14 @@
 //! Reproduce **Figure 6**: the Reward vs. Power Consumption Pareto front
 //! (paper front: solutions 11, 14, 16).
 
-use decision::prelude::MetricDef;
+use decision::prelude::{metric_keys, MetricDef};
 
 fn main() {
     bench::figdriver::run_figure(
         "fig6",
         "Reward vs. Power Consumption trade-off (Fig. 6)",
-        MetricDef::minimize("power_kj"),
-        MetricDef::maximize("reward"),
+        MetricDef::minimize_key(metric_keys::POWER_KJ),
+        MetricDef::maximize_key(metric_keys::REWARD),
         &[11, 14, 16],
     );
 }

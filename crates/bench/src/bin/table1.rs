@@ -43,9 +43,9 @@ fn main() {
             &trials,
             &["draw", "rk_order", "framework", "algorithm", "nodes", "cores"],
             &[
-                MetricDef::maximize("reward"),
-                MetricDef::minimize("time_min"),
-                MetricDef::minimize("power_kj"),
+                MetricDef::maximize_key(metric_keys::REWARD),
+                MetricDef::minimize_key(metric_keys::TIME_MIN),
+                MetricDef::minimize_key(metric_keys::POWER_KJ),
             ],
         )
     );
@@ -58,7 +58,7 @@ fn main() {
     for t in &trials {
         let id = t.config.int("draw").unwrap_or(0) as usize;
         let Some(row) = PaperRow::by_id(id) else { continue };
-        let m = |k: &str| t.metrics.get(k).unwrap_or(f64::NAN);
+        let m = |k: MetricKey| t.metrics.get_key(k).unwrap_or(f64::NAN);
         println!(
             "{:>3} {:>10} {:>4} RK{} {}x{}   {:>8.2} / {:>5.2}    {:>9.1} / {:>6.1}    {:>8.0} / {:>5.0}{}",
             id,
@@ -67,11 +67,11 @@ fn main() {
             row.rk_order.order(),
             row.nodes,
             row.cores,
-            m("reward"),
+            m(metric_keys::REWARD),
             row.reward,
-            m("time_min"),
+            m(metric_keys::TIME_MIN),
             row.time_min,
-            m("power_kj"),
+            m(metric_keys::POWER_KJ),
             row.power_kj,
             if row.anchored { "  *anchored" } else { "" }
         );
@@ -80,11 +80,11 @@ fn main() {
     // Shape checks the paper's §VI-D narrative makes, printed as a
     // verdict list (the bench is a reproduction, not a unit test, so we
     // report rather than assert).
-    let get = |id: usize, k: &str| -> Option<f64> {
+    let get = |id: usize, k: MetricKey| -> Option<f64> {
         trials
             .iter()
             .find(|t| t.config.int("draw") == Some(id as i64))
-            .and_then(|t| t.metrics.get(k))
+            .and_then(|t| t.metrics.get_key(k))
     };
     println!("\nShape checks (paper §VI):");
     let checks: Vec<(String, Option<bool>)> = vec![
@@ -94,19 +94,19 @@ fn main() {
         ),
         (
             "2 nodes faster than 1 (config 2 vs 1, RLlib RK3)".into(),
-            get(2, "time_min").zip(get(1, "time_min")).map(|(a, b)| a < b),
+            get(2, metric_keys::TIME_MIN).zip(get(1, metric_keys::TIME_MIN)).map(|(a, b)| a < b),
         ),
         (
             "1 node better reward than 2 (config 7 vs 8, RLlib RK8)".into(),
-            get(7, "reward").zip(get(8, "reward")).map(|(a, b)| a > b),
+            get(7, metric_keys::REWARD).zip(get(8, metric_keys::REWARD)).map(|(a, b)| a > b),
         ),
         (
             "4 cores faster than 2 (config 11 vs 10, TF-Agents RK3)".into(),
-            get(11, "time_min").zip(get(10, "time_min")).map(|(a, b)| a < b),
+            get(11, metric_keys::TIME_MIN).zip(get(10, metric_keys::TIME_MIN)).map(|(a, b)| a < b),
         ),
         (
             "RK8 costs more time than RK3 (config 17 vs 14, SB)".into(),
-            get(17, "time_min").zip(get(14, "time_min")).map(|(a, b)| a > b),
+            get(17, metric_keys::TIME_MIN).zip(get(14, metric_keys::TIME_MIN)).map(|(a, b)| a > b),
         ),
         ("config 11 is the PPO power minimum".into(), ppo_power_min_is(&trials, 11)),
     ];
@@ -124,7 +124,7 @@ fn best_reward(trials: &[Trial], algo: &str) -> Option<f64> {
     trials
         .iter()
         .filter(|t| t.config.str("algorithm") == Some(algo))
-        .filter_map(|t| t.metrics.get("reward"))
+        .filter_map(|t| t.metrics.get_key(metric_keys::REWARD))
         .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
 }
 
@@ -134,7 +134,7 @@ fn ppo_power_min_is(trials: &[Trial], id: usize) -> Option<bool> {
         if t.config.str("algorithm") != Some("PPO") {
             continue;
         }
-        let p = t.metrics.get("power_kj")?;
+        let p = t.metrics.get_key(metric_keys::POWER_KJ)?;
         let d = t.config.int("draw")? as usize;
         if best.map(|(_, bp)| p < bp).unwrap_or(true) {
             best = Some((d, p));

@@ -1,0 +1,214 @@
+//! CI smoke check for the telemetry pipeline: run one short trial with a
+//! [`telemetry::RingRecorder`] attached, export the JSON-lines trace,
+//! validate every line against the checked-in schema
+//! (`crates/bench/schemas/telemetry_trace.schema.json`), and verify the
+//! round-tripped trace rolls up to the exact usage the backend reported.
+//!
+//! ```text
+//! cargo run --release -p bench --bin telemetry_smoke
+//! cargo run --release -p bench --bin telemetry_smoke -- --out results
+//! ```
+//!
+//! Exits non-zero on any schema violation or rollup mismatch.
+
+use airdrop_sim::{AirdropConfig, AirdropEnv};
+use bench::harness::{harness_ppo, harness_sac};
+use bench::paper::PaperRow;
+use bench::HarnessOpts;
+use cluster_sim::{ClusterSpec, Usage};
+use dist_exec::{run_recorded, Deployment, ExecSpec, FnEnvFactory};
+use gymrs::Environment;
+use serde_json::Value;
+use std::sync::Arc;
+
+/// The schema the trace is validated against, checked in next to the
+/// crate so CI diffs format changes explicitly.
+const SCHEMA: &str = include_str!("../../schemas/telemetry_trace.schema.json");
+
+fn main() {
+    let opts = match HarnessOpts::from_args(std::env::args().skip(1)) {
+        Ok(o) => HarnessOpts { steps: o.steps.min(1_500), ..o },
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let smoke = HarnessOpts::smoke();
+    let opts = HarnessOpts {
+        altitude_limits: smoke.altitude_limits,
+        eval_episodes: smoke.eval_episodes,
+        ..opts
+    };
+    let row = PaperRow::by_id(16).expect("Table I row 16");
+    eprintln!(
+        "[telemetry_smoke] {} {} RK{} {}x{} cores, {} steps",
+        row.framework,
+        row.algorithm,
+        row.rk_order.order(),
+        row.nodes,
+        row.cores,
+        opts.steps
+    );
+
+    let mut spec = ExecSpec::new(
+        row.framework,
+        row.algorithm,
+        Deployment { nodes: row.nodes, cores_per_node: row.cores },
+        opts.steps,
+        opts.seed,
+    );
+    spec.ppo = harness_ppo(&opts);
+    spec.sac = harness_sac(&opts);
+    let env_cfg = AirdropConfig {
+        altitude_limits: opts.altitude_limits,
+        ..AirdropConfig::paper_study(row.rk_order)
+    };
+    let factory = FnEnvFactory(move |seed| {
+        let mut env = AirdropEnv::new(env_cfg.clone());
+        env.seed(seed);
+        Box::new(env) as Box<dyn Environment>
+    });
+
+    let ring = Arc::new(telemetry::RingRecorder::new());
+    let report = match run_recorded(&spec, &factory, ring.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: trial failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let snap = ring.snapshot();
+    let trace = telemetry::export::to_json_lines(&snap);
+    let schema: Value = serde_json::from_str(SCHEMA).expect("schema file is valid JSON");
+
+    let mut lines = 0usize;
+    for (lineno, line) in trace.lines().enumerate() {
+        let value: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => fail(lineno, line, &format!("not valid JSON: {e}")),
+        };
+        if let Err(why) = validate(&schema, &schema, &value) {
+            fail(lineno, line, &why);
+        }
+        lines += 1;
+    }
+
+    // The exporter must round-trip to an identical snapshot, and the
+    // rolled-up usage must match the report bit for bit (the ISSUE's
+    // acceptance criterion: Table I time/power can come from telemetry).
+    let back = match telemetry::export::from_json_lines(&trace) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: exported trace failed to parse back: {e}");
+            std::process::exit(1);
+        }
+    };
+    if back != snap {
+        eprintln!("error: JSON-lines round trip changed the snapshot");
+        std::process::exit(1);
+    }
+    let rolled = Usage::from_snapshot(&back, &ClusterSpec::paper_testbed(row.nodes));
+    if rolled.wall_s.to_bits() != report.usage.wall_s.to_bits()
+        || rolled.energy_j.to_bits() != report.usage.energy_j.to_bits()
+    {
+        eprintln!(
+            "error: rollup mismatch: rolled ({}, {}) vs reported ({}, {})",
+            rolled.wall_s, rolled.energy_j, report.usage.wall_s, report.usage.energy_j
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(dir) = &opts.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("telemetry_trace.jsonl"), &trace))
+        {
+            eprintln!("error: writing trace: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "telemetry_smoke PASS: {lines} trace lines valid, rollup bitwise-equal \
+         (wall {:.3}s, {:.1} kJ, {} env steps)",
+        rolled.wall_s,
+        rolled.energy_j / 1e3,
+        report.env_steps
+    );
+}
+
+fn fail(lineno: usize, line: &str, why: &str) -> ! {
+    eprintln!("error: trace line {} violates the schema: {why}", lineno + 1);
+    eprintln!("  {line}");
+    std::process::exit(1);
+}
+
+/// Validate `value` against the subset of JSON Schema the checked-in
+/// trace schema uses: `type` (string or array), `const`, `enum`,
+/// `required`, `properties`, `oneOf` and `$ref` into `#/definitions/`.
+fn validate(root: &Value, schema: &Value, value: &Value) -> Result<(), String> {
+    if let Some(reference) = schema.get("$ref").and_then(Value::as_str) {
+        let name = reference
+            .strip_prefix("#/definitions/")
+            .ok_or_else(|| format!("unsupported $ref '{reference}'"))?;
+        let target = root
+            .get("definitions")
+            .and_then(|d| d.get(name))
+            .ok_or_else(|| format!("dangling $ref '{reference}'"))?;
+        return validate(root, target, value);
+    }
+    if let Some(expected) = schema.get("const") {
+        if expected != value {
+            return Err(format!("expected {expected}, got {value}"));
+        }
+    }
+    if let Some(options) = schema.get("enum").and_then(Value::as_array) {
+        if !options.contains(value) {
+            return Err(format!("{value} not in {options:?}"));
+        }
+    }
+    if let Some(ty) = schema.get("type") {
+        let names: Vec<&str> = match ty {
+            Value::String(s) => vec![s.as_str()],
+            Value::Array(a) => a.iter().filter_map(Value::as_str).collect(),
+            _ => return Err("bad 'type' in schema".into()),
+        };
+        if !names.iter().any(|n| type_matches(n, value)) {
+            return Err(format!("{value} is not of type {names:?}"));
+        }
+    }
+    if let Some(variants) = schema.get("oneOf").and_then(Value::as_array) {
+        let hits = variants.iter().filter(|v| validate(root, v, value).is_ok()).count();
+        if hits != 1 {
+            return Err(format!("matched {hits} of {} oneOf variants", variants.len()));
+        }
+    }
+    if let Some(required) = schema.get("required").and_then(Value::as_array) {
+        for name in required.iter().filter_map(Value::as_str) {
+            if value.get(name).is_none() {
+                return Err(format!("missing required field '{name}'"));
+            }
+        }
+    }
+    if let Some(props) = schema.get("properties").and_then(Value::as_object) {
+        for (name, sub) in props {
+            if let Some(v) = value.get(name) {
+                validate(root, sub, v).map_err(|e| format!("field '{name}': {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn type_matches(name: &str, value: &Value) -> bool {
+    match name {
+        "object" => value.is_object(),
+        "array" => value.is_array(),
+        "string" => value.is_string(),
+        "integer" => value.as_i64().is_some() || value.as_u64().is_some(),
+        "number" => value.is_number(),
+        "boolean" => value.is_boolean(),
+        "null" => value.is_null(),
+        _ => false,
+    }
+}

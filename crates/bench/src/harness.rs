@@ -12,15 +12,18 @@
 
 use crate::paper::PaperRow;
 use airdrop_sim::{AirdropConfig, AirdropEnv};
+use cluster_sim::{ClusterSpec, Usage};
 use decision::prelude::*;
 use decision::storage::Journal;
 use dist_exec::{
-    run_observed, Deployment, ExecSpec, FnEnvFactory, IterationSnapshot, NullObserver, Observer,
+    report_mean, run_instrumented, Deployment, ExecSpec, FnEnvFactory, IterationSnapshot,
+    NullObserver, Observer,
 };
 use gymrs::Environment;
 use rl_algos::ppo::PpoConfig;
 use rl_algos::sac::SacConfig;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The paper's training budget (§V-a).
 pub const PAPER_STEPS: usize = 200_000;
@@ -214,18 +217,16 @@ struct PrunerBridge<'a, 'b> {
     ctx: &'a mut TrialContext<'b>,
 }
 
-/// Returns reported to the pruner are smoothed over this many episodes.
-const REPORT_WINDOW: usize = 20;
-
 impl Observer for PrunerBridge<'_, '_> {
     fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
         let returns = snapshot.train_returns;
         if returns.is_empty() {
             return false;
         }
-        let tail = &returns[returns.len().saturating_sub(REPORT_WINDOW)..];
-        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-        self.ctx.report(snapshot.iteration, mean)
+        // Same tail mean ([`dist_exec::REPORT_WINDOW`] episodes) as the
+        // driver's TRIAL_ITERATION telemetry event, so the pruning curve
+        // matches the recorded trace exactly.
+        self.ctx.report(snapshot.iteration, report_mean(returns))
     }
 }
 
@@ -263,14 +264,14 @@ pub fn run_row_with(
             _ => run_row_once(row, opts, k as u64, &mut NullObserver)?,
         };
         ran += 1;
-        let r = m.get("reward").unwrap_or(f64::NAN);
+        let r = m.get_key(metric_keys::REWARD).unwrap_or(f64::NAN);
         rewards.push(r);
         reward_sum += r;
-        time_sum += m.get("time_min").unwrap_or(0.0);
-        power_sum += m.get("power_kj").unwrap_or(0.0);
-        raw_minutes += m.get("raw_minutes").unwrap_or(0.0);
-        env_steps_last = m.get("env_steps").unwrap_or(0.0);
-        bytes_last = m.get("bytes_moved").unwrap_or(0.0);
+        time_sum += m.get_key(metric_keys::TIME_MIN).unwrap_or(0.0);
+        power_sum += m.get_key(metric_keys::POWER_KJ).unwrap_or(0.0);
+        raw_minutes += m.get_key(metric_keys::RAW_MINUTES).unwrap_or(0.0);
+        env_steps_last = m.get_key(metric_keys::ENV_STEPS).unwrap_or(0.0);
+        bytes_last = m.get_key(metric_keys::BYTES_MOVED).unwrap_or(0.0);
         if ctx.as_ref().is_some_and(|c| c.is_pruned()) {
             break;
         }
@@ -279,13 +280,13 @@ pub fn run_row_with(
     let mean_reward = reward_sum / n;
     let reward_std = (rewards.iter().map(|r| (r - mean_reward).powi(2)).sum::<f64>() / n).sqrt();
     Ok(MetricValues::new()
-        .with("reward", mean_reward)
-        .with("reward_std", reward_std)
-        .with("time_min", time_sum / n)
-        .with("power_kj", power_sum / n)
-        .with("raw_minutes", raw_minutes / n)
-        .with("env_steps", env_steps_last)
-        .with("bytes_moved", bytes_last))
+        .with_key(metric_keys::REWARD, mean_reward)
+        .with_key(metric_keys::REWARD_STD, reward_std)
+        .with_key(metric_keys::TIME_MIN, time_sum / n)
+        .with_key(metric_keys::POWER_KJ, power_sum / n)
+        .with_key(metric_keys::RAW_MINUTES, raw_minutes / n)
+        .with_key(metric_keys::ENV_STEPS, env_steps_last)
+        .with_key(metric_keys::BYTES_MOVED, bytes_last))
 }
 
 /// One training replica of a row.
@@ -312,7 +313,17 @@ fn run_row_once(
         Box::new(env) as Box<dyn Environment>
     });
 
-    let report = run_observed(&spec, &factory, observer)?;
+    // Record the whole execution trace; Computation Time and Power
+    // Consumption are then rebuilt from the recorder's rollup rather than
+    // read off the session's internal accounting. The two are
+    // bitwise-identical by construction (the debug assertions check it).
+    let ring = Arc::new(telemetry::RingRecorder::new());
+    let report = run_instrumented(&spec, &factory, ring.clone(), observer)?;
+    let snap = ring.snapshot();
+    let usage = Usage::from_snapshot(&snap, &ClusterSpec::paper_testbed(row.nodes));
+    debug_assert_eq!(usage.wall_s.to_bits(), report.usage.wall_s.to_bits());
+    debug_assert_eq!(usage.energy_j.to_bits(), report.usage.energy_j.to_bits());
+    let env_steps = snap.counter(dist_exec::keys::ENV_STEPS.name()).unwrap_or(report.env_steps);
 
     // Score on the reference dynamics with identical drops for every row.
     let mut eval_env = AirdropEnv::new(eval_env_config(opts));
@@ -322,14 +333,14 @@ fn run_row_once(
     // Backends round the budget up to whole rollout batches; extrapolate
     // from the steps actually executed so the 200k-step projection is
     // unbiased.
-    let scale = PAPER_STEPS as f64 / report.env_steps.max(1) as f64;
+    let scale = PAPER_STEPS as f64 / env_steps.max(1) as f64;
     Ok(MetricValues::new()
-        .with("reward", reward)
-        .with("time_min", report.usage.minutes() * scale)
-        .with("power_kj", report.usage.kilojoules() * scale)
-        .with("raw_minutes", report.usage.minutes())
-        .with("env_steps", report.env_steps as f64)
-        .with("bytes_moved", report.usage.bytes_moved as f64))
+        .with_key(metric_keys::REWARD, reward)
+        .with_key(metric_keys::TIME_MIN, usage.minutes() * scale)
+        .with_key(metric_keys::POWER_KJ, usage.kilojoules() * scale)
+        .with_key(metric_keys::RAW_MINUTES, usage.minutes())
+        .with_key(metric_keys::ENV_STEPS, env_steps as f64)
+        .with_key(metric_keys::BYTES_MOVED, usage.bytes_moved as f64))
 }
 
 /// Run the full Table I study (or the `--only` subset) through the
@@ -349,9 +360,9 @@ pub fn run_table1_study(opts: &HarnessOpts) -> Result<Vec<Trial>, String> {
     let mut builder = Study::builder("airdrop-table1")
         .space(PaperRow::space())
         .explorer(PresetList::new(configs))
-        .metric(MetricDef::maximize("reward"))
-        .metric(MetricDef::minimize("time_min"))
-        .metric(MetricDef::minimize("power_kj"))
+        .metric(MetricDef::maximize_key(metric_keys::REWARD))
+        .metric(MetricDef::minimize_key(metric_keys::TIME_MIN))
+        .metric(MetricDef::minimize_key(metric_keys::POWER_KJ))
         .seed(opts.seed)
         .objective(move |cfg: &Configuration, ctx: &mut TrialContext| {
             let row = PaperRow::from_config(cfg)?;

@@ -9,7 +9,11 @@
 //!   Pareto fronts; they reuse `table1`'s journal when present, so
 //!   `table1 && fig4 && fig5 && fig6` trains only once;
 //! * `ablations` — the §VI-D single-factor sweeps (RK order, node count,
-//!   core count, vectorization).
+//!   core count, vectorization);
+//! * `telemetry_smoke` — CI gate: one short recorded trial whose
+//!   JSON-lines trace is validated against
+//!   `schemas/telemetry_trace.schema.json` and rolled back up to the
+//!   reported usage bit for bit.
 //!
 //! Criterion microbenches live in `benches/` (one per substrate cost the
 //! paper's evaluation leans on).
@@ -19,5 +23,5 @@ pub mod figdriver;
 pub mod harness;
 pub mod paper;
 
-pub use harness::{run_row, run_table1_study, HarnessOpts, PAPER_STEPS};
+pub use harness::{run_row, run_row_with, run_table1_study, HarnessOpts, PAPER_STEPS};
 pub use paper::{PaperRow, TABLE1};

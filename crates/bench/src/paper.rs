@@ -333,9 +333,9 @@ impl PaperRow {
             self.id - 1,
             self.to_config(),
             MetricValues::new()
-                .with("reward", self.reward)
-                .with("time_min", self.time_min)
-                .with("power_kj", self.power_kj),
+                .with_key(metric_keys::REWARD, self.reward)
+                .with_key(metric_keys::TIME_MIN, self.time_min)
+                .with_key(metric_keys::POWER_KJ, self.power_kj),
         )
     }
 }
@@ -346,17 +346,26 @@ pub mod figures {
 
     /// Figure 4: Reward vs. Computation Time.
     pub fn fig4_metrics() -> (MetricDef, MetricDef) {
-        (MetricDef::minimize("time_min"), MetricDef::maximize("reward"))
+        (
+            MetricDef::minimize_key(metric_keys::TIME_MIN),
+            MetricDef::maximize_key(metric_keys::REWARD),
+        )
     }
 
     /// Figure 5: Power Consumption vs. Computation Time.
     pub fn fig5_metrics() -> (MetricDef, MetricDef) {
-        (MetricDef::minimize("time_min"), MetricDef::minimize("power_kj"))
+        (
+            MetricDef::minimize_key(metric_keys::TIME_MIN),
+            MetricDef::minimize_key(metric_keys::POWER_KJ),
+        )
     }
 
     /// Figure 6: Reward vs. Power Consumption.
     pub fn fig6_metrics() -> (MetricDef, MetricDef) {
-        (MetricDef::minimize("power_kj"), MetricDef::maximize("reward"))
+        (
+            MetricDef::minimize_key(metric_keys::POWER_KJ),
+            MetricDef::maximize_key(metric_keys::REWARD),
+        )
     }
 }
 

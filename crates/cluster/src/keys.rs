@@ -1,0 +1,47 @@
+//! Telemetry keys recorded by [`crate::ClusterSession`].
+//!
+//! The session mirrors its internal accounting into these instruments in
+//! the exact arithmetic order it updates its own state, so a per-trial
+//! rollup built from a snapshot ([`crate::rollup`]) reproduces
+//! [`crate::ClusterSession::finish`] bit for bit.
+
+use telemetry::Key;
+
+/// f64 accumulator: simulated wall-clock seconds (mirrors the session
+/// clock, one add per phase).
+pub const WALL_S: Key = Key("session.wall_s");
+
+/// f64 accumulator: marginal-above-idle active energy in joules (one add
+/// per busy interval, in narration order).
+pub const ACTIVE_J: Key = Key("session.active_j");
+
+/// f64 accumulator: seconds spent in compute/overhead phases.
+pub const COMPUTE_S: Key = Key("session.compute_s");
+
+/// f64 accumulator: seconds spent in blocking transfers.
+pub const NETWORK_S: Key = Key("session.network_s");
+
+/// Counter: payload bytes moved between processes.
+pub const BYTES_MOVED: Key = Key("session.bytes_moved");
+
+/// Counter: number of blocking transfers.
+pub const TRANSFERS: Key = Key("session.transfers");
+
+/// Counter: number of compute phases.
+pub const COMPUTE_PHASES: Key = Key("session.compute_phases");
+
+/// Event: one busy interval on one node. Fields: [`PHASE_BUSY`] (busy
+/// cores, f64) and [`PHASE_SECONDS`] (duration). Replaying these through
+/// [`crate::PowerModel::active_joules`] reproduces the session's active
+/// energy exactly.
+pub const PHASE: Key = Key("session.phase");
+
+/// Event field on [`PHASE`]: busy cores during the interval.
+pub const PHASE_BUSY: Key = Key("busy");
+
+/// Event field on [`PHASE`]: interval duration in seconds.
+pub const PHASE_SECONDS: Key = Key("seconds");
+
+/// Gauge: per-interval busy fraction of one node (`busy / cores`),
+/// sampled once per busy interval.
+pub const BUSY_FRACTION: Key = Key("session.busy_fraction");

@@ -35,7 +35,9 @@
 //! ```
 
 pub mod gantt;
+pub mod keys;
 pub mod power;
+pub mod rollup;
 pub mod session;
 pub mod spec;
 pub mod usage;

@@ -16,9 +16,12 @@
 //! than the single-node one — the effect behind the paper's §VI-B
 //! observation that intra-node parallelism is the more efficient choice.
 
+use crate::keys;
 use crate::power::PowerModel;
 use crate::spec::ClusterSpec;
 use crate::usage::Usage;
+use std::fmt;
+use telemetry::{SharedRecorder, Value};
 
 /// A compute demand on one node (used by [`ClusterSession::concurrent`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,7 +113,13 @@ impl PhaseEvent {
 }
 
 /// Simulated execution of one training run on the cluster.
-#[derive(Debug, Clone)]
+///
+/// Every accounting update is mirrored into the session's
+/// [`telemetry::Recorder`] (a [`telemetry::NullRecorder`] by default) in
+/// the same arithmetic order, so [`crate::rollup::Usage::from_snapshot`]
+/// rebuilds [`ClusterSession::finish`]'s report bit for bit from a
+/// recorded snapshot.
+#[derive(Clone)]
 pub struct ClusterSession {
     spec: ClusterSpec,
     power: PowerModel,
@@ -119,11 +128,30 @@ pub struct ClusterSession {
     usage: Usage,
     trace: Vec<PhaseEvent>,
     trace_enabled: bool,
+    recorder: SharedRecorder,
+}
+
+impl fmt::Debug for ClusterSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterSession")
+            .field("spec", &self.spec)
+            .field("clock_s", &self.clock_s)
+            .field("active_j", &self.active_j)
+            .field("usage", &self.usage)
+            .field("trace_enabled", &self.trace_enabled)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ClusterSession {
     /// Start a session on the given cluster.
     pub fn new(spec: ClusterSpec) -> Self {
+        Self::with_recorder(spec, telemetry::null_recorder())
+    }
+
+    /// Start a session whose accounting is mirrored into `recorder` (see
+    /// [`crate::keys`] for the instruments written).
+    pub fn with_recorder(spec: ClusterSpec, recorder: SharedRecorder) -> Self {
         let power = PowerModel::new(spec.node);
         Self {
             spec,
@@ -133,7 +161,20 @@ impl ClusterSession {
             usage: Usage::default(),
             trace: Vec::new(),
             trace_enabled: false,
+            recorder,
         }
+    }
+
+    /// Replace the session's recorder (phases already narrated are not
+    /// re-recorded).
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// A clone of the session's recorder handle, for sharing with the
+    /// other instrumented layers of a run (drivers, runtimes, envs).
+    pub fn recorder(&self) -> SharedRecorder {
+        self.recorder.clone()
     }
 
     /// Enable phase tracing (off by default — long trainings produce many
@@ -216,7 +257,14 @@ impl ClusterSession {
             assert!(w.node < self.spec.nodes, "node {} out of range", w.node);
             let d = self.compute_duration(w.units, w.streams);
             let busy = w.streams.min(self.spec.node.cores) as f64;
-            self.active_j += self.power.active_joules(busy, d);
+            let joules = self.power.active_joules(busy, d);
+            self.active_j += joules;
+            self.recorder.accum_add(keys::ACTIVE_J, joules);
+            self.recorder.event(
+                keys::PHASE,
+                &[(keys::PHASE_BUSY, Value::F64(busy)), (keys::PHASE_SECONDS, Value::F64(d))],
+            );
+            self.recorder.gauge_set(keys::BUSY_FRACTION, busy / self.spec.node.cores as f64);
             wall = wall.max(d);
         }
         if self.trace_enabled {
@@ -229,6 +277,9 @@ impl ClusterSession {
         self.clock_s += wall;
         self.usage.compute_s += wall;
         self.usage.compute_phases += 1;
+        self.recorder.accum_add(keys::WALL_S, wall);
+        self.recorder.accum_add(keys::COMPUTE_S, wall);
+        self.recorder.counter_add(keys::COMPUTE_PHASES, 1);
         wall
     }
 
@@ -247,6 +298,10 @@ impl ClusterSession {
         self.usage.network_s += t;
         self.usage.bytes_moved += bytes;
         self.usage.transfers += 1;
+        self.recorder.accum_add(keys::WALL_S, t);
+        self.recorder.accum_add(keys::NETWORK_S, t);
+        self.recorder.counter_add(keys::BYTES_MOVED, bytes);
+        self.recorder.counter_add(keys::TRANSFERS, 1);
         t
     }
 
@@ -257,9 +312,17 @@ impl ClusterSession {
         if self.trace_enabled {
             self.record(PhaseEvent::Overhead { start_s: self.clock_s, duration_s: seconds });
         }
-        self.active_j += self.power.active_joules(1.0, seconds);
+        let joules = self.power.active_joules(1.0, seconds);
+        self.active_j += joules;
         self.clock_s += seconds;
         self.usage.compute_s += seconds;
+        self.recorder.accum_add(keys::ACTIVE_J, joules);
+        self.recorder.event(
+            keys::PHASE,
+            &[(keys::PHASE_BUSY, Value::F64(1.0)), (keys::PHASE_SECONDS, Value::F64(seconds))],
+        );
+        self.recorder.accum_add(keys::WALL_S, seconds);
+        self.recorder.accum_add(keys::COMPUTE_S, seconds);
     }
 
     /// Finish the session: fold in the idle energy of every allocated node

@@ -63,14 +63,14 @@ pub mod prelude {
     pub use crate::analysis::{all_effects, ParamEffect};
     pub use crate::constraint::{Constraint, ConstraintSet};
     pub use crate::explore::{Explorer, GridSearch, PresetList, RandomSearch, TpeLite};
-    pub use crate::metrics::{Direction, MetricDef, MetricValues};
+    pub use crate::metrics::{keys as metric_keys, Direction, MetricDef, MetricKey, MetricValues};
     pub use crate::param::{Domain, ParamDef, ParamKind, ParamValue};
     pub use crate::pruner::{MedianPruner, NopPruner, Pruner};
     pub use crate::rank::pareto::ParetoFront;
     pub use crate::rank::sorted::SortedRanking;
     pub use crate::rank::weighted::WeightedSum;
     pub use crate::space::ParamSpace;
-    pub use crate::study::{Study, StudyBuilder, TrialContext};
+    pub use crate::study::{study_keys, Study, StudyBuilder, TrialContext};
     pub use crate::trial::{Configuration, Trial, TrialStatus};
 }
 

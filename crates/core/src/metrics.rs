@@ -7,6 +7,53 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// A typed metric name: a newtype over `&'static str` shared by metric
+/// definitions, per-trial [`MetricValues`] and the telemetry rollup, so
+/// that the well-known names below are spelled once and checked by the
+/// compiler instead of stringly re-typed at every call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricKey(pub &'static str);
+
+impl MetricKey {
+    /// The underlying metric name.
+    pub fn name(self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// Well-known metric keys used across the study and bench crates.
+pub mod keys {
+    use super::MetricKey;
+
+    /// Final policy reward (the paper's Reward metric; maximize).
+    pub const REWARD: MetricKey = MetricKey("reward");
+
+    /// Std-dev of the final reward across evaluation episodes.
+    pub const REWARD_STD: MetricKey = MetricKey("reward_std");
+
+    /// Computation Time in minutes (Table I; minimize).
+    pub const TIME_MIN: MetricKey = MetricKey("time_min");
+
+    /// Power Consumption in kilojoules (Table I; minimize).
+    pub const POWER_KJ: MetricKey = MetricKey("power_kj");
+
+    /// Unscaled simulated minutes of the shortened benchmark run.
+    pub const RAW_MINUTES: MetricKey = MetricKey("raw_minutes");
+
+    /// Environment steps actually consumed by the trial.
+    pub const ENV_STEPS: MetricKey = MetricKey("env_steps");
+
+    /// Bytes shipped across the simulated interconnect.
+    pub const BYTES_MOVED: MetricKey = MetricKey("bytes_moved");
+}
 
 /// Whether larger or smaller values are better.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,12 +110,22 @@ impl MetricDef {
         Self { name: name.into(), direction: Direction::Minimize }
     }
 
+    /// A typed-key metric to maximize.
+    pub fn maximize_key(key: MetricKey) -> Self {
+        Self::maximize(key.name())
+    }
+
+    /// A typed-key metric to minimize.
+    pub fn minimize_key(key: MetricKey) -> Self {
+        Self::minimize(key.name())
+    }
+
     /// The paper's three study metrics (§V-d).
     pub fn paper_metrics() -> Vec<MetricDef> {
         vec![
-            MetricDef::maximize("reward"),
-            MetricDef::minimize("time_min"),
-            MetricDef::minimize("power_kj"),
+            MetricDef::maximize_key(keys::REWARD),
+            MetricDef::minimize_key(keys::TIME_MIN),
+            MetricDef::minimize_key(keys::POWER_KJ),
         ]
     }
 }
@@ -99,6 +156,21 @@ impl MetricValues {
     /// Look a value up.
     pub fn get(&self, name: &str) -> Option<f64> {
         self.values.get(name).copied()
+    }
+
+    /// Builder-style insertion under a typed key.
+    pub fn with_key(self, key: MetricKey, v: f64) -> Self {
+        self.with(key.name(), v)
+    }
+
+    /// Insert a value under a typed key.
+    pub fn set_key(&mut self, key: MetricKey, v: f64) {
+        self.set(key.name(), v);
+    }
+
+    /// Look a typed key up.
+    pub fn get_key(&self, key: MetricKey) -> Option<f64> {
+        self.get(key.name())
     }
 
     /// Whether every given metric has a finite value here.
@@ -166,5 +238,15 @@ mod tests {
         let names: Vec<&str> = v.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b"]);
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn typed_keys_alias_string_names() {
+        let mut v = MetricValues::new().with_key(keys::REWARD, -0.5);
+        v.set_key(keys::TIME_MIN, 46.0);
+        assert_eq!(v.get("reward"), Some(-0.5));
+        assert_eq!(v.get_key(keys::TIME_MIN), Some(46.0));
+        assert_eq!(keys::POWER_KJ.to_string(), "power_kj");
+        assert_eq!(MetricDef::maximize_key(keys::REWARD), MetricDef::maximize("reward"));
     }
 }

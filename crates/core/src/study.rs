@@ -16,6 +16,24 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use std::sync::Arc;
+use telemetry::SharedRecorder;
+
+/// Telemetry keys for the trial lifecycle recorded by [`Study`].
+pub mod study_keys {
+    use telemetry::Key;
+
+    /// Span: one objective evaluation (open while the trial runs).
+    pub const TRIAL: Key = Key("study.trial");
+
+    /// Counter: trials that completed with full metric coverage.
+    pub const TRIALS_COMPLETE: Key = Key("study.trials_complete");
+
+    /// Counter: trials stopped early by the pruner.
+    pub const TRIALS_PRUNED: Key = Key("study.trials_pruned");
+
+    /// Counter: trials that errored or missed a study metric.
+    pub const TRIALS_FAILED: Key = Key("study.trials_failed");
+}
 
 /// Handle given to the objective while a trial runs: intermediate
 /// reporting (for pruning) and trial identity.
@@ -66,6 +84,7 @@ pub struct Study {
     seed: u64,
     /// Upper bound on concurrent trials in [`Study::run_parallel`].
     max_concurrent_trials: Option<usize>,
+    recorder: SharedRecorder,
 }
 
 impl Study {
@@ -81,6 +100,7 @@ impl Study {
             journal: None,
             seed: 0,
             max_concurrent_trials: None,
+            recorder: telemetry::null_recorder(),
         }
     }
 
@@ -107,7 +127,9 @@ impl Study {
             intermediate: Vec::new(),
             pruned: false,
         };
+        let span = self.recorder.span_begin(study_keys::TRIAL);
         let result = (self.objective)(&config, &mut ctx);
+        self.recorder.span_end(span);
         let mut trial = match result {
             Ok(metrics) if ctx.pruned => Trial {
                 id,
@@ -134,6 +156,14 @@ impl Study {
                 "objective did not report every study metric ({:?})",
                 self.metrics.iter().map(|m| m.name.as_str()).collect::<Vec<_>>()
             ));
+        }
+        if self.recorder.enabled() {
+            let outcome = match trial.status {
+                TrialStatus::Complete => study_keys::TRIALS_COMPLETE,
+                TrialStatus::Pruned => study_keys::TRIALS_PRUNED,
+                TrialStatus::Failed => study_keys::TRIALS_FAILED,
+            };
+            self.recorder.counter_add(outcome, 1);
         }
         if let Some(j) = &self.journal {
             // Journaling failures must not kill the study; surface them.
@@ -239,6 +269,7 @@ pub struct StudyBuilder {
     journal: Option<Journal>,
     seed: u64,
     max_concurrent_trials: Option<usize>,
+    recorder: SharedRecorder,
 }
 
 impl StudyBuilder {
@@ -309,6 +340,15 @@ impl StudyBuilder {
         self
     }
 
+    /// Install a telemetry recorder. The study opens a
+    /// [`study_keys::TRIAL`] span around every objective evaluation and
+    /// counts trial outcomes under the [`study_keys`] counters. Defaults
+    /// to the no-op [`telemetry::null_recorder`].
+    pub fn recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> Result<Study, String> {
         let space = self.space.ok_or("study needs a parameter space")?;
@@ -332,6 +372,7 @@ impl StudyBuilder {
             journal: self.journal,
             seed: self.seed,
             max_concurrent_trials: self.max_concurrent_trials,
+            recorder: self.recorder,
         })
     }
 }
@@ -547,6 +588,35 @@ mod tests {
         assert_eq!(skipped, 0, "concurrent appends must not interleave");
         assert_eq!(loaded.len(), 24);
         Journal::new(&path).clear().unwrap();
+    }
+
+    #[test]
+    fn recorder_sees_trial_lifecycle() {
+        let ring = Arc::new(telemetry::RingRecorder::new());
+        let study = Study::builder("t")
+            .space(ParamSpace::builder().categorical_int("k", [1, 2, 3, 4]).build())
+            .explorer(GridSearch::new())
+            .metric(MetricDef::maximize("score"))
+            .recorder(ring.clone())
+            .objective(|cfg, ctx| {
+                let k = cfg.int("k").unwrap();
+                if k == 2 {
+                    return Err("boom".into());
+                }
+                if k == 3 {
+                    ctx.pruned = true;
+                }
+                Ok(MetricValues::new().with("score", k as f64))
+            })
+            .build()
+            .unwrap();
+        let trials = study.run().unwrap();
+        assert_eq!(trials.len(), 4);
+        let snap = ring.snapshot();
+        assert_eq!(snap.counter(study_keys::TRIALS_COMPLETE.name()), Some(2));
+        assert_eq!(snap.counter(study_keys::TRIALS_FAILED.name()), Some(1));
+        assert_eq!(snap.counter(study_keys::TRIALS_PRUNED.name()), Some(1));
+        assert_eq!(snap.spans_named(study_keys::TRIAL.name()).count(), 4);
     }
 
     #[test]

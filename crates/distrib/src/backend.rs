@@ -8,6 +8,7 @@ use crate::runtime::{NullObserver, Observer};
 use crate::spec::ExecSpec;
 use cluster_sim::{ClusterSession, ClusterSpec};
 use gymrs::Environment;
+use telemetry::SharedRecorder;
 
 /// Creates per-worker environment instances.
 ///
@@ -61,19 +62,51 @@ pub fn backend_for(framework: Framework) -> Box<dyn Backend> {
 /// session for the requested deployment, dispatches to the right backend
 /// and finalizes the usage accounting.
 pub fn run(spec: &ExecSpec, factory: &dyn EnvFactory) -> Result<ExecReport, String> {
-    run_observed(spec, factory, &mut NullObserver)
+    run_instrumented(spec, factory, telemetry::null_recorder(), &mut NullObserver)
 }
 
-/// [`run`] with a progress [`Observer`] tapping every iteration — the
-/// entry point for studies that prune trials on live reward reports.
+/// [`run`] with a telemetry recorder tapping the whole stack: the cluster
+/// session's accounting, the driver's [`crate::keys::TRIAL_ITERATION`]
+/// events and step counters, the runtime's dispatch traffic and the
+/// vectorized environments' tick counters all land on `recorder`. A
+/// recorder answering `true` from
+/// [`should_stop`](telemetry::Recorder::should_stop) ends the trial at
+/// the next iteration boundary — the recorder-native replacement for the
+/// deprecated [`Observer`] pruning hook.
+pub fn run_recorded(
+    spec: &ExecSpec,
+    factory: &dyn EnvFactory,
+    recorder: SharedRecorder,
+) -> Result<ExecReport, String> {
+    run_instrumented(spec, factory, recorder, &mut NullObserver)
+}
+
+/// [`run`] with a progress [`Observer`] tapping every iteration.
+///
+/// Deprecated shim, kept for one release: new code should implement
+/// [`telemetry::Recorder`] (reacting to [`crate::keys::TRIAL_ITERATION`]
+/// events, stopping via `should_stop`) and call [`run_recorded`];
+/// [`crate::runtime::RecorderObserver`] bridges the other direction.
 pub fn run_observed(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     observer: &mut dyn Observer,
 ) -> Result<ExecReport, String> {
+    run_instrumented(spec, factory, telemetry::null_recorder(), observer)
+}
+
+/// The full-control entry point behind [`run`], [`run_recorded`] and
+/// [`run_observed`]: both a recorder and an observer. Either side may
+/// stop the trial early.
+pub fn run_instrumented(
+    spec: &ExecSpec,
+    factory: &dyn EnvFactory,
+    recorder: SharedRecorder,
+    observer: &mut dyn Observer,
+) -> Result<ExecReport, String> {
     spec.validate()?;
     let cluster = ClusterSpec::paper_testbed(spec.deployment.nodes);
-    let mut session = ClusterSession::new(cluster);
+    let mut session = ClusterSession::with_recorder(cluster, recorder);
     let backend = backend_for(spec.framework);
     let mut report = backend.train(spec, factory, &mut session, observer);
     report.usage = session.finish();
@@ -120,5 +153,103 @@ mod tests {
         let mut a = f.make(1);
         let mut b = f.make(1);
         assert_eq!(a.reset(), b.reset());
+    }
+
+    fn fast_spec(framework: Framework) -> ExecSpec {
+        let mut s = ExecSpec::new(
+            framework,
+            Algorithm::Ppo,
+            Deployment { nodes: 1, cores_per_node: 2 },
+            512,
+            7,
+        );
+        s.ppo = rl_algos::ppo::PpoConfig::fast_test();
+        s
+    }
+
+    #[test]
+    fn recorded_rollup_reproduces_report_usage_bitwise() {
+        use crate::run_recorded;
+        use cluster_sim::Usage;
+        use std::sync::Arc;
+        for framework in Framework::ALL {
+            let ring = Arc::new(telemetry::RingRecorder::new());
+            let report =
+                run_recorded(&fast_spec(framework), &grid_factory(), ring.clone()).expect("runs");
+            let snap = ring.snapshot();
+            let rolled = Usage::from_snapshot(&snap, &ClusterSpec::paper_testbed(1));
+            assert_eq!(
+                rolled.wall_s.to_bits(),
+                report.usage.wall_s.to_bits(),
+                "{framework:?}: wall-clock must come out of the recorder bit for bit"
+            );
+            assert_eq!(
+                rolled.energy_j.to_bits(),
+                report.usage.energy_j.to_bits(),
+                "{framework:?}: energy must come out of the recorder bit for bit"
+            );
+            assert_eq!(snap.counter(crate::keys::ENV_STEPS.name()), Some(report.env_steps));
+            assert_eq!(snap.counter(crate::keys::ENV_WORK.name()), Some(report.env_work));
+            let iterations = snap.events_named(crate::keys::TRIAL_ITERATION.name()).count();
+            assert!(iterations > 0, "{framework:?}: trial lifecycle events recorded");
+        }
+    }
+
+    #[test]
+    fn recorder_should_stop_ends_the_trial_early() {
+        use crate::run_recorded;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        use telemetry::{Key, Recorder, SpanId, Value};
+
+        /// Stops after two TRIAL_ITERATION events.
+        #[derive(Default)]
+        struct StopAfterTwo(AtomicU64);
+        impl Recorder for StopAfterTwo {
+            fn counter_add(&self, _: Key, _: u64) {}
+            fn accum_add(&self, _: Key, _: f64) {}
+            fn gauge_set(&self, _: Key, _: f64) {}
+            fn span_begin(&self, _: Key) -> SpanId {
+                SpanId(0)
+            }
+            fn span_end(&self, _: SpanId) {}
+            fn event(&self, key: Key, _: &[(Key, Value)]) {
+                if key == crate::keys::TRIAL_ITERATION {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            fn should_stop(&self) -> bool {
+                self.0.load(Ordering::SeqCst) >= 2
+            }
+        }
+
+        let full = run(&fast_spec(Framework::StableBaselines), &grid_factory()).expect("runs");
+        let stopped = run_recorded(
+            &fast_spec(Framework::StableBaselines),
+            &grid_factory(),
+            Arc::new(StopAfterTwo::default()),
+        )
+        .expect("runs");
+        assert!(stopped.env_steps < full.env_steps, "recorder stop consumed fewer steps");
+        assert!(stopped.env_steps > 0);
+    }
+
+    #[test]
+    fn recorder_observer_bridges_events_and_stop() {
+        use crate::runtime::{IterationSnapshot, RecorderObserver};
+        use std::sync::Arc;
+        let ring = Arc::new(telemetry::RingRecorder::new());
+        let mut obs = RecorderObserver(ring.as_ref());
+        let snap = IterationSnapshot {
+            iteration: 3,
+            env_steps: 96,
+            train_returns: &[1.0, 2.0],
+            wall_s: 1.25,
+        };
+        assert!(!obs.on_iteration(&snap), "ring recorder never stops a trial");
+        let events = ring.snapshot();
+        let e = &events.events_named(crate::keys::TRIAL_ITERATION.name()).next().unwrap();
+        assert_eq!(e.field_u64(crate::keys::F_ITERATION.name()), Some(3));
+        assert_eq!(e.field_f64(crate::keys::F_MEAN_RETURN.name()), Some(1.5));
     }
 }

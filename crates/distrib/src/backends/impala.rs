@@ -94,6 +94,7 @@ pub fn train_impala(
         })
         .collect();
     let mut runtime = Runtime::spawn(specs, &learner.policy);
+    runtime.set_recorder(session.recorder());
     let mut driver = Driver::new(session, observer);
 
     let per_worker = (opts.config.n_steps / n_workers).max(1);

@@ -87,6 +87,7 @@ fn train_ppo(
         })
         .collect();
     let mut runtime = Runtime::spawn(specs, &learner.policy);
+    runtime.set_recorder(session.recorder());
     let mut driver = Driver::new(session, observer);
 
     let batch = learner.config().n_steps;

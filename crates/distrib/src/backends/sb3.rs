@@ -63,8 +63,10 @@ fn train_ppo(
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
     // Build the vectorized sub-environments (pre-seeded worker streams).
+    let recorder = session.recorder();
     let envs: Vec<_> = (0..n_envs).map(|i| factory.make(worker_seed(spec.seed, i, 0))).collect();
     let mut venv = VecEnv::new_preseeded(envs);
+    venv.set_recorder(recorder.clone());
     let obs_dim = venv.observation_space().dim();
     let aspace = venv.action_space();
     let mut learner = PpoLearner::new(obs_dim, &aspace, spec.ppo.clone(), &mut rng);
@@ -79,6 +81,7 @@ fn train_ppo(
         vec![WorkerSpec { node: 0, collector: Collector::Vectorized { venv } }],
         &learner.policy,
     );
+    runtime.set_recorder(recorder);
     let mut driver = Driver::new(session, observer);
 
     while (driver.env_steps() as usize) < spec.total_steps {

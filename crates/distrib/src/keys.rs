@@ -1,0 +1,47 @@
+//! Telemetry keys recorded by the execution [`runtime`](crate::runtime).
+//!
+//! `driver.*` names describe trial-level progress emitted by
+//! [`Driver`](crate::runtime::Driver); `runtime.*` names describe the
+//! actor pool's channel traffic.
+
+use telemetry::Key;
+
+/// Event: one completed training iteration. Fields: [`F_ITERATION`],
+/// [`F_ENV_STEPS`], [`F_WALL_S`], [`F_MEAN_RETURN`].
+pub const TRIAL_ITERATION: Key = Key("driver.iteration");
+
+/// Counter: environment steps consumed (mirrors `Driver::env_steps`).
+pub const ENV_STEPS: Key = Key("driver.env_steps");
+
+/// Counter: environment work units consumed (mirrors `Driver::env_work`).
+pub const ENV_WORK: Key = Key("driver.env_work");
+
+/// [`TRIAL_ITERATION`] field: iterations completed (1-based).
+pub const F_ITERATION: Key = Key("iteration");
+
+/// [`TRIAL_ITERATION`] field: environment steps consumed so far.
+pub const F_ENV_STEPS: Key = Key("env_steps");
+
+/// [`TRIAL_ITERATION`] field: simulated wall-clock seconds elapsed.
+pub const F_WALL_S: Key = Key("wall_s");
+
+/// [`TRIAL_ITERATION`] field: mean of the last
+/// [`REPORT_WINDOW`](crate::runtime::driver::REPORT_WINDOW) training
+/// returns (NaN before the first finished episode).
+pub const F_MEAN_RETURN: Key = Key("mean_return");
+
+/// Counter: commands dispatched to worker actors.
+pub const RT_COMMANDS: Key = Key("runtime.commands");
+
+/// Counter: events drained from worker actors.
+pub const RT_EVENTS: Key = Key("runtime.events");
+
+/// Gauge: collection commands in flight over the dispatch window
+/// (1.0 = the window is saturated).
+pub const RT_OCCUPANCY: Key = Key("runtime.occupancy");
+
+/// Counter: weight broadcasts issued.
+pub const RT_BROADCASTS: Key = Key("runtime.broadcasts");
+
+/// Counter: weight bytes that crossed the interconnect.
+pub const RT_BROADCAST_BYTES: Key = Key("runtime.broadcast_bytes");

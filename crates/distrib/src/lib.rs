@@ -34,13 +34,18 @@
 pub mod backend;
 pub mod backends;
 pub mod framework;
+pub mod keys;
 pub mod report;
 pub mod runtime;
 pub mod spec;
 
-pub use backend::{run, run_observed, Backend, EnvFactory, FnEnvFactory};
+pub use backend::{
+    run, run_instrumented, run_observed, run_recorded, Backend, EnvFactory, FnEnvFactory,
+};
 pub use backends::{train_impala, ImpalaOpts};
 pub use framework::{Framework, FrameworkProfile};
 pub use report::{ExecReport, TrainedModel};
-pub use runtime::{IterationSnapshot, NullObserver, Observer, Runtime, SyncPolicy};
+pub use runtime::{
+    IterationSnapshot, NullObserver, Observer, RecorderObserver, Runtime, SyncPolicy, REPORT_WINDOW,
+};
 pub use spec::{Deployment, ExecSpec};

@@ -69,12 +69,7 @@ impl ExecReport {
             kilojoules: self.usage.kilojoules(),
             env_steps: self.env_steps,
             updates: self.updates,
-            mean_train_return: if self.train_returns.is_empty() {
-                f64::NAN
-            } else {
-                let tail = &self.train_returns[self.train_returns.len().saturating_sub(20)..];
-                tail.iter().sum::<f64>() / tail.len() as f64
-            },
+            mean_train_return: crate::runtime::report_mean(&self.train_returns),
         }
     }
 }

@@ -19,10 +19,24 @@
 //! | IMPALA-like | [`SyncPolicy::Periodic`] | *all* actors refresh only every `period`-th round; V-trace absorbs the staleness |
 
 use super::{RoundOutcome, Runtime};
+use crate::keys;
 use cluster_sim::{ClusterSession, ClusterSpec, SessionEvent};
 use rand::rngs::StdRng;
 use rl_algos::buffer::RolloutBuffer;
 use rl_algos::policy::ActorCritic;
+use telemetry::{Recorder, SharedRecorder, Value};
+
+/// How many trailing training returns the per-iteration progress reports
+/// average over ([`IterationSnapshot`] consumers and the
+/// [`keys::TRIAL_ITERATION`] `mean_return` field use the same window).
+pub const REPORT_WINDOW: usize = 20;
+
+/// Mean of the last [`REPORT_WINDOW`] returns; NaN before the first
+/// finished episode.
+pub fn report_mean(returns: &[f64]) -> f64 {
+    let tail = &returns[returns.len().saturating_sub(REPORT_WINDOW)..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
 
 /// What a backend reports to its [`Observer`] after each iteration.
 pub struct IterationSnapshot<'a> {
@@ -52,6 +66,33 @@ pub struct NullObserver;
 impl Observer for NullObserver {
     fn on_iteration(&mut self, _snapshot: &IterationSnapshot<'_>) -> bool {
         false
+    }
+}
+
+/// Adapter folding the legacy [`Observer`] hook into telemetry: each
+/// iteration report becomes a [`keys::TRIAL_ITERATION`] event on the
+/// wrapped recorder, and the recorder's
+/// [`should_stop`](telemetry::Recorder::should_stop) answer becomes the
+/// early-stop decision.
+///
+/// Existing observers keep working unchanged — the [`Observer`] trait is
+/// deprecated in favor of passing a recorder (see
+/// [`crate::backend::run_recorded`]) and will be dropped once the bench
+/// harness has fully migrated.
+pub struct RecorderObserver<'r>(pub &'r dyn Recorder);
+
+impl Observer for RecorderObserver<'_> {
+    fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
+        self.0.event(
+            keys::TRIAL_ITERATION,
+            &[
+                (keys::F_ITERATION, Value::U64(snapshot.iteration)),
+                (keys::F_ENV_STEPS, Value::U64(snapshot.env_steps)),
+                (keys::F_WALL_S, Value::F64(snapshot.wall_s)),
+                (keys::F_MEAN_RETURN, Value::F64(report_mean(snapshot.train_returns))),
+            ],
+        );
+        self.0.should_stop()
     }
 }
 
@@ -159,6 +200,7 @@ pub fn merge_wave(outcome: RoundOutcome, nodes: usize) -> WaveOutcome {
 pub struct Driver<'a> {
     session: &'a mut ClusterSession,
     observer: &'a mut dyn Observer,
+    recorder: SharedRecorder,
     iteration: u64,
     env_steps: u64,
     env_work: u64,
@@ -176,16 +218,26 @@ pub struct DriverStats {
 }
 
 impl<'a> Driver<'a> {
-    /// Wrap a session and an observer for one trial.
+    /// Wrap a session and an observer for one trial. The driver inherits
+    /// the session's recorder, so trial-level telemetry
+    /// ([`keys::TRIAL_ITERATION`] events, step/work counters) lands in
+    /// the same stream as the cluster accounting.
     pub fn new(session: &'a mut ClusterSession, observer: &'a mut dyn Observer) -> Self {
+        let recorder = session.recorder();
         Self {
             session,
             observer,
+            recorder,
             iteration: 0,
             env_steps: 0,
             env_work: 0,
             train_returns: Vec::new(),
         }
+    }
+
+    /// The recorder trial-level telemetry is routed to (the session's).
+    pub fn recorder(&self) -> SharedRecorder {
+        self.recorder.clone()
     }
 
     /// The simulated cluster being narrated to.
@@ -234,6 +286,10 @@ impl<'a> Driver<'a> {
     pub fn note_steps(&mut self, steps: u64, work: u64) {
         self.env_steps += steps;
         self.env_work += work;
+        if self.recorder.enabled() {
+            self.recorder.counter_add(keys::ENV_STEPS, steps);
+            self.recorder.counter_add(keys::ENV_WORK, work);
+        }
     }
 
     /// Log one finished-episode return.
@@ -246,9 +302,11 @@ impl<'a> Driver<'a> {
         self.train_returns.extend(rets);
     }
 
-    /// Close the current iteration: bump the counter and report progress
-    /// to the observer. Returns `true` if the observer wants the trial
-    /// stopped early.
+    /// Close the current iteration: bump the counter, emit the
+    /// [`keys::TRIAL_ITERATION`] event, and report progress to the
+    /// observer. Returns `true` if the observer — or the recorder, via
+    /// [`should_stop`](telemetry::Recorder::should_stop) — wants the
+    /// trial stopped early.
     pub fn end_iteration(&mut self) -> bool {
         self.iteration += 1;
         let snapshot = IterationSnapshot {
@@ -257,7 +315,18 @@ impl<'a> Driver<'a> {
             train_returns: &self.train_returns,
             wall_s: self.session.now(),
         };
-        self.observer.on_iteration(&snapshot)
+        if self.recorder.enabled() {
+            self.recorder.event(
+                keys::TRIAL_ITERATION,
+                &[
+                    (keys::F_ITERATION, Value::U64(snapshot.iteration)),
+                    (keys::F_ENV_STEPS, Value::U64(snapshot.env_steps)),
+                    (keys::F_WALL_S, Value::F64(snapshot.wall_s)),
+                    (keys::F_MEAN_RETURN, Value::F64(report_mean(snapshot.train_returns))),
+                ],
+            );
+        }
+        self.observer.on_iteration(&snapshot) || self.recorder.should_stop()
     }
 
     /// Surrender the accumulated counters.

@@ -25,18 +25,20 @@ pub mod event;
 pub mod worker;
 
 pub use driver::{
-    merge_wave, Driver, DriverStats, IterationSnapshot, NullObserver, Observer, SyncPolicy,
-    WaveOutcome,
+    merge_wave, report_mean, Driver, DriverStats, IterationSnapshot, NullObserver, Observer,
+    RecorderObserver, SyncPolicy, WaveOutcome, REPORT_WINDOW,
 };
 pub use event::{Command, Event};
 pub use worker::Collector;
 
 use crate::backends::common::Segment;
+use crate::keys;
 use rand::rngs::StdRng;
 use rl_algos::policy::ActorCritic;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
+use telemetry::SharedRecorder;
 
 /// Blueprint for one worker actor.
 pub struct WorkerSpec {
@@ -78,6 +80,7 @@ pub struct Runtime {
     events: mpsc::Receiver<Event>,
     nodes: Vec<usize>,
     window: usize,
+    recorder: SharedRecorder,
 }
 
 impl Runtime {
@@ -107,7 +110,13 @@ impl Runtime {
             })
             .collect();
         let window = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { workers, events, nodes, window }
+        Self { workers, events, nodes, window, recorder: telemetry::null_recorder() }
+    }
+
+    /// Route dispatch counters and the occupancy gauge (see
+    /// [`crate::keys`]) to `recorder`. Defaults to the null recorder.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
     }
 
     /// Number of worker actors.
@@ -146,7 +155,9 @@ impl Runtime {
         let mut arrival = Vec::with_capacity(n);
         let mut outstanding = 0usize;
         let mut completed = 0usize;
+        let recording = self.recorder.enabled();
         while completed < n {
+            let mut dispatched = 0u64;
             while outstanding < self.window {
                 match queue.pop_front() {
                     Some((w, rng)) => {
@@ -155,9 +166,17 @@ impl Runtime {
                             .send(Command::Collect { round, steps, rng })
                             .expect("worker accepts collect");
                         outstanding += 1;
+                        dispatched += 1;
                     }
                     None => break,
                 }
+            }
+            if recording {
+                if dispatched > 0 {
+                    self.recorder.counter_add(keys::RT_COMMANDS, dispatched);
+                }
+                self.recorder
+                    .gauge_set(keys::RT_OCCUPANCY, outstanding as f64 / self.window as f64);
             }
             match self.events.recv().expect("a worker event arrives") {
                 Event::SegmentReady { worker, node, round: r, segment, rng } => {
@@ -166,6 +185,9 @@ impl Runtime {
                     arrival.push(worker);
                     outstanding -= 1;
                     completed += 1;
+                    if recording {
+                        self.recorder.counter_add(keys::RT_EVENTS, 1);
+                    }
                 }
                 Event::Heartbeat { .. } => {} // stray ack; ignore
                 Event::WorkerFailed { worker, round: r, reason } => {
@@ -196,6 +218,12 @@ impl Runtime {
             if self.workers[w].node != 0 {
                 bytes += policy.param_bytes();
             }
+        }
+        if self.recorder.enabled() && !recipients.is_empty() {
+            self.recorder.counter_add(keys::RT_COMMANDS, recipients.len() as u64);
+            self.recorder.counter_add(keys::RT_EVENTS, recipients.len() as u64);
+            self.recorder.counter_add(keys::RT_BROADCASTS, 1);
+            self.recorder.counter_add(keys::RT_BROADCAST_BYTES, bytes);
         }
         let mut acks = 0usize;
         while acks < recipients.len() {

@@ -1,0 +1,16 @@
+//! Telemetry keys recorded by [`crate::vec_env::VecEnv`].
+
+use telemetry::Key;
+
+/// Counter: lockstep ticks (one per dispatch across all sub-envs).
+pub const TICKS: Key = Key("vecenv.ticks");
+
+/// Counter: individual environment steps (ticks × sub-envs).
+pub const STEPS: Key = Key("vecenv.steps");
+
+/// Counter: work units consumed by environment transitions (one unit is
+/// one derivative evaluation of the dynamics).
+pub const WORK: Key = Key("vecenv.work");
+
+/// Counter: episodes finished (terminated or truncated, auto-reset).
+pub const EPISODES: Key = Key("vecenv.episodes");

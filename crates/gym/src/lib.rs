@@ -19,6 +19,7 @@
 
 pub mod env;
 pub mod envs;
+pub mod keys;
 pub mod rollout;
 pub mod space;
 pub mod vec_env;

@@ -12,8 +12,10 @@
 //! overhead would dominate cheap environments like `GridWorld`.
 
 use crate::env::{Action, Environment, Step};
+use crate::keys;
 use crate::space::Space;
 use std::any::Any;
+use telemetry::SharedRecorder;
 
 /// Default work-unit threshold (per lockstep sweep) above which
 /// [`VecEnv::step_parallel`] uses the rayon pool. One work unit is one
@@ -167,6 +169,7 @@ pub struct VecEnv<E: Environment> {
     pub total_steps: u64,
     /// Total work units consumed across all sub-envs.
     pub total_work: u64,
+    recorder: SharedRecorder,
 }
 
 /// Result of stepping every sub-environment once.
@@ -209,7 +212,15 @@ impl<E: Environment> VecEnv<E> {
             tick: TickBatch::default(),
             total_steps: 0,
             total_work: 0,
+            recorder: telemetry::null_recorder(),
         }
+    }
+
+    /// Route per-tick counters (see [`crate::keys`]) to `recorder`.
+    /// Defaults to the null recorder, which keeps the step path free of
+    /// instrumentation cost beyond one branch per tick.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
     }
 
     /// Override the work threshold at which [`VecEnv::step_parallel`]
@@ -386,10 +397,12 @@ impl<E: Environment> VecEnv<E> {
     /// integrator-cache invalidation for reset lanes. Mirrors
     /// [`VecEnv::finish_batch`] exactly.
     fn settle_tick(&mut self) {
+        let mut tick_work = 0u64;
         for i in 0..self.envs.len() {
             let s = self.tick.steps[i];
             self.total_steps += 1;
             self.total_work += s.work;
+            tick_work += s.work;
             self.ep_return[i] += s.reward;
             self.ep_len[i] += 1;
             if s.done() {
@@ -403,6 +416,21 @@ impl<E: Environment> VecEnv<E> {
                 }
             }
         }
+        self.record_tick(tick_work, self.tick.finished.len() as u64);
+    }
+
+    /// One counter bundle per lockstep sweep — aggregated locally first,
+    /// so the recorder sees four adds per tick, not four per sub-env.
+    fn record_tick(&self, tick_work: u64, episodes: u64) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        self.recorder.counter_add(keys::TICKS, 1);
+        self.recorder.counter_add(keys::STEPS, self.envs.len() as u64);
+        self.recorder.counter_add(keys::WORK, tick_work);
+        if episodes > 0 {
+            self.recorder.counter_add(keys::EPISODES, episodes);
+        }
     }
 
     /// Shared bookkeeping: episode accounting, auto-reset, observation
@@ -412,9 +440,11 @@ impl<E: Environment> VecEnv<E> {
         let mut steps = Vec::with_capacity(results.len());
         let mut finished = Vec::new();
         let mut final_obs = vec![None; results.len()];
+        let mut tick_work = 0u64;
         for (i, (mut s, w)) in results.into_iter().enumerate() {
             self.total_steps += 1;
             self.total_work += w;
+            tick_work += w;
             self.ep_return[i] += s.reward;
             self.ep_len[i] += 1;
             if s.done() {
@@ -426,6 +456,7 @@ impl<E: Environment> VecEnv<E> {
             self.obs[i].clone_from(&s.obs);
             steps.push(s);
         }
+        self.record_tick(tick_work, finished.len() as u64);
         StepBatch { steps, finished, final_obs }
     }
 }
@@ -572,5 +603,22 @@ mod tests {
         v.step_all(&vec![Action::Discrete(0); 2]);
         v.step_all(&vec![Action::Discrete(0); 2]);
         assert_eq!(v.total_work, 4); // GridWorld costs 1 unit per step
+    }
+
+    #[test]
+    fn recorder_counters_match_internal_totals() {
+        let ring = std::sync::Arc::new(telemetry::RingRecorder::new());
+        let mut v = make(2);
+        v.set_recorder(ring.clone());
+        // Both identical envs reach the 3x3 goal on tick 4 (right, right,
+        // down, down), so two episodes finish; tick 5 runs post-reset.
+        for a in [3, 3, 1, 1, 0] {
+            v.step_all(&vec![Action::Discrete(a); 2]);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.counter(keys::TICKS.name()), Some(5));
+        assert_eq!(snap.counter(keys::STEPS.name()), Some(v.total_steps));
+        assert_eq!(snap.counter(keys::WORK.name()), Some(v.total_work));
+        assert_eq!(snap.counter(keys::EPISODES.name()), Some(2));
     }
 }

@@ -38,6 +38,7 @@
 pub mod adaptive;
 pub mod batch;
 pub mod extrapolation;
+pub mod keys;
 pub mod methods;
 pub mod problems;
 pub mod stepper;
@@ -47,7 +48,9 @@ pub mod tableau;
 pub use adaptive::{AdaptiveOptions, AdaptiveStepper};
 pub use batch::{AnyBatchStepper, BatchGbs8Stepper, BatchSystem, BatchTableauStepper};
 pub use methods::RkOrder;
-pub use stepper::{integrate_fixed, integrate_fixed_with, FixedStepper, TableauStepper};
+pub use stepper::{
+    integrate_fixed, integrate_fixed_with, FixedStepper, Integration, TableauStepper,
+};
 pub use system::{FnSystem, System};
 pub use tableau::Tableau;
 

@@ -16,9 +16,11 @@
 
 // Index loops here co-index several arrays; zip chains would obscure them.
 #![allow(clippy::needless_range_loop)]
+use crate::keys;
 use crate::system::System;
 use crate::tableau::Tableau;
 use crate::Work;
+use telemetry::Recorder;
 
 /// A stepper that advances a state by one fixed step `h`.
 ///
@@ -192,13 +194,113 @@ impl FixedStepper for TableauStepper {
     }
 }
 
+/// Builder-style configuration of a fixed-step integration run: the
+/// single entry point behind the historical `integrate_fixed` /
+/// `integrate_fixed_with` pair.
+///
+/// The builder separates the three orthogonal choices those free
+/// functions conflated — the *method* (a [`StepperFactory`]), the *step
+/// size*, and the *observer* (a [`telemetry::Recorder`]) — and offers
+/// both execution modes over one loop: [`Integration::run`] instantiates
+/// a fresh stepper, [`Integration::run_with`] drives a caller-owned,
+/// reusable one.
+///
+/// ```
+/// use rk_ode::{Integration, RkOrder};
+/// use rk_ode::system::FnSystem;
+///
+/// let sys = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0]);
+/// let mut y = vec![1.0];
+/// let work = Integration::new(RkOrder::Five.factory().as_ref())
+///     .step(1e-2)
+///     .run(&sys, &mut y, 0.0, 1.0);
+/// assert!((y[0] - (-1.0f64).exp()).abs() < 1e-10);
+/// assert!(work.fn_evals > 0);
+/// ```
+#[derive(Clone, Copy)]
+pub struct Integration<'a> {
+    factory: Option<&'a dyn StepperFactory>,
+    h: f64,
+    recorder: Option<&'a dyn Recorder>,
+}
+
+impl<'a> Integration<'a> {
+    /// An integration using `factory`'s method. The step size defaults to
+    /// unset; call [`Integration::step`] before running.
+    pub fn new(factory: &'a dyn StepperFactory) -> Self {
+        Integration { factory: Some(factory), h: 0.0, recorder: None }
+    }
+
+    /// An integration with no method of its own, for driving a
+    /// caller-owned stepper via [`Integration::run_with`] only
+    /// ([`Integration::run`] panics without a factory).
+    pub fn reusing() -> Self {
+        Integration { factory: None, h: 0.0, recorder: None }
+    }
+
+    /// Set the (approximately) fixed step size; the final step shrinks to
+    /// land exactly on `t1`.
+    pub fn step(mut self, h: f64) -> Self {
+        self.h = h;
+        self
+    }
+
+    /// Report the run's aggregate [`Work`] to `recorder` (see
+    /// [`crate::keys`]). Counters are recorded once per run, after the
+    /// loop, so instrumentation adds nothing to the per-step cost.
+    pub fn recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Integrate `sys` from `t0` to `t1`, instantiating a fresh stepper.
+    ///
+    /// Callers integrating repeatedly should hold a stepper and use
+    /// [`Integration::run_with`] instead — it reuses the scratch buffers
+    /// instead of re-allocating them on every call.
+    pub fn run(&self, sys: &dyn System, y: &mut [f64], t0: f64, t1: f64) -> Work {
+        let factory = self.factory.expect("Integration::run requires a stepper factory");
+        let mut st = factory.instantiate(y.len());
+        self.run_with(st.as_mut(), sys, y, t0, t1)
+    }
+
+    /// Integrate over a caller-owned stepper: no allocation per call, and
+    /// the stepper's FSAL cache carries across the sub-steps.
+    ///
+    /// The stepper is *not* reset on entry; callers integrating a
+    /// different trajectory (or after a state jump) must call
+    /// [`FixedStepper::reset`] first, exactly as with manual stepping.
+    pub fn run_with(
+        &self,
+        st: &mut dyn FixedStepper,
+        sys: &dyn System,
+        y: &mut [f64],
+        t0: f64,
+        t1: f64,
+    ) -> Work {
+        let h = self.h;
+        let mut work = Work::default();
+        let mut t = t0;
+        assert!(h > 0.0 && t1 > t0, "integrate_fixed requires forward integration");
+        while t < t1 - 1e-12 {
+            let step = h.min(t1 - t);
+            work += st.step(sys, t, step, y);
+            t += step;
+        }
+        if let Some(recorder) = self.recorder {
+            recorder.counter_add(keys::STEPS, work.steps);
+            recorder.counter_add(keys::FN_EVALS, work.fn_evals);
+            recorder.counter_add(keys::REJECTED, work.rejected);
+        }
+        work
+    }
+}
+
 /// Integrate `sys` from `t0` to `t1` with (approximately) fixed step `h`,
 /// shrinking the final step to land exactly on `t1`.
 ///
-/// Instantiates a fresh stepper from the factory. Callers integrating
-/// repeatedly should hold a stepper and use [`integrate_fixed_with`]
-/// instead — it reuses the scratch buffers instead of re-allocating them
-/// on every call.
+/// Thin wrapper over [`Integration`]; prefer the builder in new code (it
+/// also takes a recorder and a reusable stepper).
 pub fn integrate_fixed(
     stepper: &dyn StepperFactory,
     sys: &dyn System,
@@ -207,16 +309,11 @@ pub fn integrate_fixed(
     t1: f64,
     h: f64,
 ) -> Work {
-    let mut st = stepper.instantiate(y.len());
-    integrate_fixed_with(st.as_mut(), sys, y, t0, t1, h)
+    Integration::new(stepper).step(h).run(sys, y, t0, t1)
 }
 
-/// [`integrate_fixed`] over a caller-owned stepper: no allocation per
-/// call, and the stepper's FSAL cache carries across the sub-steps.
-///
-/// The stepper is *not* reset on entry; callers integrating a different
-/// trajectory (or after a state jump) must call [`FixedStepper::reset`]
-/// first, exactly as with manual stepping.
+/// [`integrate_fixed`] over a caller-owned stepper — a thin wrapper over
+/// [`Integration::run_with`]; see there for the reset contract.
 pub fn integrate_fixed_with(
     st: &mut dyn FixedStepper,
     sys: &dyn System,
@@ -225,15 +322,7 @@ pub fn integrate_fixed_with(
     t1: f64,
     h: f64,
 ) -> Work {
-    let mut work = Work::default();
-    let mut t = t0;
-    assert!(h > 0.0 && t1 > t0, "integrate_fixed requires forward integration");
-    while t < t1 - 1e-12 {
-        let step = h.min(t1 - t);
-        work += st.step(sys, t, step, y);
-        t += step;
-    }
-    work
+    Integration::reusing().step(h).run_with(st, sys, y, t0, t1)
 }
 
 /// Factory producing fresh steppers of a fixed method for a given dimension.
@@ -415,5 +504,53 @@ mod tests {
         let true_err = (y[0] - (-h).exp()).abs();
         assert!(err[0].abs() > true_err / 100.0);
         assert!(err[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn integration_builder_matches_free_function_bitwise() {
+        let sys = decay();
+        let factory = TableauFactory(&DOPRI5);
+
+        let mut y_free = vec![1.0];
+        let work_free = integrate_fixed(&factory, &sys, &mut y_free, 0.0, 1.0, 0.013);
+
+        let mut y_builder = vec![1.0];
+        let work_builder =
+            Integration::new(&factory).step(0.013).run(&sys, &mut y_builder, 0.0, 1.0);
+
+        assert_eq!(y_free[0].to_bits(), y_builder[0].to_bits());
+        assert_eq!(work_free, work_builder);
+    }
+
+    #[test]
+    fn integration_reusing_drives_a_caller_owned_stepper() {
+        let sys = decay();
+        let mut st = TableauStepper::new(&RK4, 1);
+        let mut y = vec![1.0];
+        let runner = Integration::reusing().step(0.01);
+        let w1 = runner.run_with(&mut st, &sys, &mut y, 0.0, 0.5);
+        let w2 = runner.run_with(&mut st, &sys, &mut y, 0.5, 1.0);
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-9);
+        assert_eq!((w1 + w2).steps, 100);
+    }
+
+    #[test]
+    fn integration_records_work_counters() {
+        let sys = decay();
+        let ring = telemetry::RingRecorder::new();
+        let factory = TableauFactory(&RK4);
+        let work =
+            Integration::new(&factory).step(0.1).recorder(&ring).run(&sys, &mut [1.0f64], 0.0, 1.0);
+        let snap = ring.snapshot();
+        assert_eq!(snap.counter(keys::STEPS.name()), Some(work.steps));
+        assert_eq!(snap.counter(keys::FN_EVALS.name()), Some(work.fn_evals));
+        assert_eq!(snap.counter(keys::REJECTED.name()), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a stepper factory")]
+    fn integration_run_without_factory_panics() {
+        let sys = decay();
+        Integration::reusing().step(0.1).run(&sys, &mut [1.0f64], 0.0, 1.0);
     }
 }

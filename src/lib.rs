@@ -16,6 +16,8 @@
 //! * [`rl_algos`] — PPO and SAC.
 //! * [`cluster_sim`] — the simulated 2-node cluster (time/power model).
 //! * [`dist_exec`] — the three framework-like execution backends.
+//! * [`telemetry`] — the unified instrumentation layer (recorders,
+//!   ring-buffer traces, JSON-lines/Prometheus exporters).
 
 pub use airdrop_sim;
 pub use cluster_sim;
@@ -24,4 +26,5 @@ pub use dist_exec;
 pub use gymrs;
 pub use rk_ode;
 pub use rl_algos;
+pub use telemetry;
 pub use tinynn;
