@@ -52,7 +52,8 @@ fn main() {
         let cluster = ClusterSpec::paper_testbed(nodes);
         let mut session = ClusterSession::new(cluster.clone()).with_trace();
         let backend = backend_for(framework);
-        let _report = backend.train(&spec, &factory, &mut session, &mut NullObserver);
+        let _report =
+            backend.train(&spec, &factory, &mut session, &mut NullObserver).expect("trains");
         let trace = session.trace().to_vec();
         let usage = session.finish();
         let title = format!(

@@ -251,6 +251,7 @@ pub fn run_row_with(
     let mut raw_minutes = 0.0;
     let mut env_steps_last = 0.0;
     let mut bytes_last = 0.0;
+    let mut degraded_sum = 0.0;
     let mut rewards = Vec::with_capacity(opts.replicas);
     let mut ran = 0usize;
     for k in 0..opts.replicas {
@@ -272,6 +273,7 @@ pub fn run_row_with(
         raw_minutes += m.get_key(metric_keys::RAW_MINUTES).unwrap_or(0.0);
         env_steps_last = m.get_key(metric_keys::ENV_STEPS).unwrap_or(0.0);
         bytes_last = m.get_key(metric_keys::BYTES_MOVED).unwrap_or(0.0);
+        degraded_sum += m.get_key(metric_keys::DEGRADED).unwrap_or(0.0);
         if ctx.as_ref().is_some_and(|c| c.is_pruned()) {
             break;
         }
@@ -286,7 +288,8 @@ pub fn run_row_with(
         .with_key(metric_keys::POWER_KJ, power_sum / n)
         .with_key(metric_keys::RAW_MINUTES, raw_minutes / n)
         .with_key(metric_keys::ENV_STEPS, env_steps_last)
-        .with_key(metric_keys::BYTES_MOVED, bytes_last))
+        .with_key(metric_keys::BYTES_MOVED, bytes_last)
+        .with_key(metric_keys::DEGRADED, degraded_sum / n))
 }
 
 /// One training replica of a row.
@@ -340,7 +343,8 @@ fn run_row_once(
         .with_key(metric_keys::POWER_KJ, usage.kilojoules() * scale)
         .with_key(metric_keys::RAW_MINUTES, usage.minutes())
         .with_key(metric_keys::ENV_STEPS, env_steps as f64)
-        .with_key(metric_keys::BYTES_MOVED, usage.bytes_moved as f64))
+        .with_key(metric_keys::BYTES_MOVED, usage.bytes_moved as f64)
+        .with_key(metric_keys::DEGRADED, if report.degraded { 1.0 } else { 0.0 }))
 }
 
 /// Run the full Table I study (or the `--only` subset) through the

@@ -2,7 +2,7 @@
 //!
 //! "Power consumption is an important metric for constrained devices.
 //! […] the use of the computing platform by several operational projects
-//! at the same time [makes] the processing units a disputed resource. In
+//! at the same time \[makes\] the processing units a disputed resource. In
 //! that case, our methodology allows to find solutions that best fit the
 //! number of available resources at the moment."
 //!

@@ -53,6 +53,11 @@ pub mod keys {
 
     /// Bytes shipped across the simulated interconnect.
     pub const BYTES_MOVED: MetricKey = MetricKey("bytes_moved");
+
+    /// Fraction of replicas that finished degraded (a worker was
+    /// quarantined mid-trial and the survivors absorbed its share):
+    /// 0.0 = every replica ran on the full worker set.
+    pub const DEGRADED: MetricKey = MetricKey("degraded");
 }
 
 /// Whether larger or smaller values are better.

@@ -40,13 +40,16 @@ pub trait Backend {
     /// `factory`, narrating costs to `session` and reporting
     /// per-iteration progress to `observer` (which may stop the trial
     /// early, e.g. for pruning).
+    ///
+    /// Worker failures the spec's [`FaultPolicy`](crate::runtime::FaultPolicy)
+    /// cannot absorb surface as `Err` — backends never panic the study.
     fn train(
         &self,
         spec: &ExecSpec,
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
         observer: &mut dyn Observer,
-    ) -> ExecReport;
+    ) -> Result<ExecReport, String>;
 }
 
 /// Build the backend for a framework.
@@ -108,7 +111,7 @@ pub fn run_instrumented(
     let cluster = ClusterSpec::paper_testbed(spec.deployment.nodes);
     let mut session = ClusterSession::with_recorder(cluster, recorder);
     let backend = backend_for(spec.framework);
-    let mut report = backend.train(spec, factory, &mut session, observer);
+    let mut report = backend.train(spec, factory, &mut session, observer)?;
     report.usage = session.finish();
     Ok(report)
 }

@@ -22,7 +22,9 @@ use crate::backend::EnvFactory;
 use crate::backends::common::worker_seed;
 use crate::framework::FrameworkProfile;
 use crate::report::{ExecReport, TrainedModel};
-use crate::runtime::{merge_wave, Collector, Driver, Observer, Runtime, SyncPolicy, WorkerSpec};
+use crate::runtime::{
+    merge_wave, Collector, Driver, FaultPolicy, Observer, Runtime, SyncPolicy, WorkerSpec,
+};
 use crate::spec::Deployment;
 use cluster_sim::{ClusterSession, NodeWork, SessionEvent};
 use rand::rngs::StdRng;
@@ -43,6 +45,8 @@ pub struct ImpalaOpts {
     /// Iterations between actor snapshot refreshes (IMPALA tolerates
     /// large values; the RLlib-like backend uses 2 for its remote nodes).
     pub actor_sync_period: u64,
+    /// How the runtime reacts to actor failures.
+    pub fault: FaultPolicy,
 }
 
 impl Default for ImpalaOpts {
@@ -53,6 +57,7 @@ impl Default for ImpalaOpts {
             seed: 0,
             config: ImpalaConfig::default(),
             actor_sync_period: 4,
+            fault: FaultPolicy::default(),
         }
     }
 }
@@ -67,13 +72,14 @@ fn impala_profile() -> FrameworkProfile {
     }
 }
 
-/// Train with the IMPALA architecture; see the module docs.
+/// Train with the IMPALA architecture; see the module docs. Worker
+/// failures the [`FaultPolicy`] cannot absorb surface as `Err`.
 pub fn train_impala(
     opts: &ImpalaOpts,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
     observer: &mut dyn Observer,
-) -> ExecReport {
+) -> Result<ExecReport, String> {
     let profile = impala_profile();
     let nodes = opts.deployment.nodes;
     let cores = opts.deployment.cores_per_node;
@@ -86,30 +92,38 @@ pub fn train_impala(
     drop(probe);
     let mut learner = ImpalaLearner::new(obs_dim, &aspace, opts.config.clone(), &mut rng);
 
-    let specs: Vec<WorkerSpec> = (0..n_workers)
+    let specs: Vec<WorkerSpec<'_>> = (0..n_workers)
         .map(|w| {
             let mut env = factory.make(worker_seed(opts.seed, w, 0));
             let obs = env.reset();
-            WorkerSpec { node: w / cores, collector: Collector::PerEnv { env, obs } }
+            WorkerSpec::new(w / cores, Collector::PerEnv { env, obs }).with_respawn(move || {
+                let mut env = factory.make(worker_seed(opts.seed, w, 0));
+                let obs = env.reset();
+                Collector::PerEnv { env, obs }
+            })
         })
         .collect();
-    let mut runtime = Runtime::spawn(specs, &learner.policy);
+    let mut runtime = Runtime::spawn(specs, &learner.policy).with_fault_policy(opts.fault);
     runtime.set_recorder(session.recorder());
     let mut driver = Driver::new(session, observer);
 
-    let per_worker = (opts.config.n_steps / n_workers).max(1);
     let sync = SyncPolicy::Periodic { period: opts.actor_sync_period };
 
     while (driver.env_steps() as usize) < opts.total_steps {
         // Snapshot refresh on the IMPALA cadence only; every actor runs
         // stale in between (V-trace absorbs the lag).
-        driver.broadcast(&mut runtime, &learner.policy, sync);
+        driver.broadcast(&mut runtime, &learner.policy, sync)?;
+
+        // Lane redistribution: surviving actors absorb a quarantined
+        // actor's share of the round batch.
+        let per_worker = (opts.config.n_steps / runtime.active_workers().max(1)).max(1);
 
         // Asynchronous collection, drained into worker-index order.
         let rngs: Vec<StdRng> = (0..n_workers)
             .map(|w| StdRng::seed_from_u64(worker_seed(opts.seed, w, driver.iteration() + 1)))
             .collect();
-        let outcome = runtime.collect_round(driver.iteration(), per_worker, rngs);
+        let outcome = runtime.collect_round(driver.iteration(), per_worker, rngs)?;
+        driver.note_faults(&outcome.faults);
         let wave = merge_wave(outcome, nodes);
         driver.note_returns(wave.returns);
         let merged = wave.merged;
@@ -148,7 +162,7 @@ pub fn train_impala(
     runtime.shutdown();
 
     let stats = driver.finish();
-    ExecReport {
+    Ok(ExecReport {
         model: TrainedModel::Ppo(learner.policy.clone()),
         usage: Default::default(),
         env_steps: stats.env_steps,
@@ -156,7 +170,8 @@ pub fn train_impala(
         learn_flops: learner.flops,
         train_returns: stats.train_returns,
         updates: learner.updates,
-    }
+        degraded: stats.degraded,
+    })
 }
 
 #[cfg(test)]
@@ -178,7 +193,8 @@ mod tests {
 
     fn run(opts: &ImpalaOpts) -> (ExecReport, cluster_sim::Usage) {
         let mut session = ClusterSession::new(ClusterSpec::paper_testbed(opts.deployment.nodes));
-        let mut report = train_impala(opts, &grid_factory(), &mut session, &mut NullObserver);
+        let mut report =
+            train_impala(opts, &grid_factory(), &mut session, &mut NullObserver).expect("runs");
         let usage = session.finish();
         report.usage = usage;
         (report, usage)
@@ -205,6 +221,7 @@ mod tests {
             seed: 9,
             config: ImpalaConfig { hidden: vec![32, 32], n_steps: 512, ..Default::default() },
             actor_sync_period: 6,
+            ..Default::default()
         };
         let (report, _) = run(&opts);
         let tail = &report.train_returns[report.train_returns.len().saturating_sub(15)..];

@@ -52,10 +52,10 @@ impl Backend for RllibLike {
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
         observer: &mut dyn Observer,
-    ) -> ExecReport {
+    ) -> Result<ExecReport, String> {
         match spec.algorithm {
             Algorithm::Ppo => train_ppo(spec, factory, session, observer),
-            Algorithm::Sac => train_sac(spec, factory, session, observer),
+            Algorithm::Sac => Ok(train_sac(spec, factory, session, observer)),
         }
     }
 }
@@ -65,7 +65,7 @@ fn train_ppo(
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
     observer: &mut dyn Observer,
-) -> ExecReport {
+) -> Result<ExecReport, String> {
     let profile = Framework::RayRllib.profile();
     let nodes = spec.deployment.nodes;
     let cores = spec.deployment.cores_per_node;
@@ -79,26 +79,36 @@ fn train_ppo(
     let aspace = probe.action_space();
     drop(probe);
     let mut learner = PpoLearner::new(obs_dim, &aspace, spec.ppo.clone(), &mut rng);
-    let specs: Vec<WorkerSpec> = (0..n_workers)
+    // Per-env rollout actors, each with a respawn factory rebuilding the
+    // worker's environment from its original seed after a thread death.
+    let specs: Vec<WorkerSpec<'_>> = (0..n_workers)
         .map(|w| {
             let mut env = factory.make(worker_seed(spec.seed, w, 0));
             let obs = env.reset();
-            WorkerSpec { node: w / cores, collector: Collector::PerEnv { env, obs } }
+            WorkerSpec::new(w / cores, Collector::PerEnv { env, obs }).with_respawn(move || {
+                let mut env = factory.make(worker_seed(spec.seed, w, 0));
+                let obs = env.reset();
+                Collector::PerEnv { env, obs }
+            })
         })
         .collect();
-    let mut runtime = Runtime::spawn(specs, &learner.policy);
+    let mut runtime = Runtime::spawn(specs, &learner.policy).with_fault_policy(spec.fault);
     runtime.set_recorder(session.recorder());
     let mut driver = Driver::new(session, observer);
 
     let batch = learner.config().n_steps;
-    let per_worker = (batch / n_workers).max(1);
     let sync = SyncPolicy::RemotePeriodic { period: REMOTE_SYNC_PERIOD };
 
     while (driver.env_steps() as usize) < spec.total_steps {
         // --- Weight sync: local workers every iteration; remote nodes on
         // their broadcast period (stale in between). Weights crossing the
         // wire are narrated as one transfer.
-        driver.broadcast(&mut runtime, &learner.policy, sync);
+        driver.broadcast(&mut runtime, &learner.policy, sync)?;
+
+        // Lane redistribution: the round batch is divided across the
+        // *healthy* workers, so a quarantined worker's share moves to the
+        // survivors instead of shrinking the batch.
+        let per_worker = (batch / runtime.active_workers().max(1)).max(1);
 
         // --- Parallel collection, merged deterministically by worker
         // index (the runtime's reproducibility improvement over Ray's
@@ -106,7 +116,8 @@ fn train_ppo(
         let rngs: Vec<StdRng> = (0..n_workers)
             .map(|w| StdRng::seed_from_u64(worker_seed(spec.seed, w, driver.iteration() + 1)))
             .collect();
-        let outcome = runtime.collect_round(driver.iteration(), per_worker, rngs);
+        let outcome = runtime.collect_round(driver.iteration(), per_worker, rngs)?;
+        driver.note_faults(&outcome.faults);
         let wave = merge_wave(outcome, nodes);
         driver.note_returns(wave.returns);
         let merged = wave.merged;
@@ -151,7 +162,7 @@ fn train_ppo(
     runtime.shutdown();
 
     let stats = driver.finish();
-    ExecReport {
+    Ok(ExecReport {
         model: TrainedModel::Ppo(learner.policy.clone()),
         usage: Default::default(),
         env_steps: stats.env_steps,
@@ -159,7 +170,8 @@ fn train_ppo(
         learn_flops: learner.flops,
         train_returns: stats.train_returns,
         updates: learner.updates,
-    }
+        degraded: stats.degraded,
+    })
 }
 
 fn train_sac(
@@ -262,6 +274,7 @@ fn train_sac(
         learn_flops,
         train_returns: stats.train_returns,
         updates,
+        degraded: stats.degraded,
     }
 }
 
@@ -359,7 +372,8 @@ mod tests {
         let mut session = ClusterSession::new(ClusterSpec::paper_testbed(2)).with_trace();
         let backend = RllibLike;
         let factory = grid_factory();
-        let _report = backend.train(&spec, &factory, &mut session, &mut NullObserver);
+        let _report =
+            backend.train(&spec, &factory, &mut session, &mut NullObserver).expect("runs");
         let trace = session.trace().to_vec();
         assert!(!trace.is_empty());
         let computes = trace.iter().filter(|e| matches!(e, PhaseEvent::Compute { .. })).count();

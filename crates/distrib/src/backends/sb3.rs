@@ -44,10 +44,10 @@ impl Backend for StableBaselinesLike {
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
         observer: &mut dyn Observer,
-    ) -> ExecReport {
+    ) -> Result<ExecReport, String> {
         match spec.algorithm {
             Algorithm::Ppo => train_ppo(spec, factory, session, observer),
-            Algorithm::Sac => train_sac(spec, factory, session, observer),
+            Algorithm::Sac => Ok(train_sac(spec, factory, session, observer)),
         }
     }
 }
@@ -57,7 +57,7 @@ fn train_ppo(
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
     observer: &mut dyn Observer,
-) -> ExecReport {
+) -> Result<ExecReport, String> {
     let profile = Framework::StableBaselines.profile();
     let n_envs = spec.deployment.cores_per_node;
     let mut rng = StdRng::seed_from_u64(spec.seed);
@@ -77,10 +77,23 @@ fn train_ppo(
 
     // One vectorized worker actor owns the whole VecEnv: SB3's training
     // loop is a single process, so the runtime holds one actor on node 0.
+    // The respawn factory rebuilds the VecEnv with the original worker
+    // seeds; the master rng survives failures on the driver side (it is
+    // cloned before every dispatch).
+    let respawn_recorder = recorder.clone();
+    let spawn_venv = move || {
+        let envs: Vec<_> =
+            (0..n_envs).map(|i| factory.make(worker_seed(spec.seed, i, 0))).collect();
+        let mut venv = VecEnv::new_preseeded(envs);
+        venv.set_recorder(respawn_recorder.clone());
+        venv.reset_all();
+        Collector::Vectorized { venv }
+    };
     let mut runtime = Runtime::spawn(
-        vec![WorkerSpec { node: 0, collector: Collector::Vectorized { venv } }],
+        vec![WorkerSpec::new(0, Collector::Vectorized { venv }).with_respawn(spawn_venv)],
         &learner.policy,
-    );
+    )
+    .with_fault_policy(spec.fault);
     runtime.set_recorder(recorder);
     let mut driver = Driver::new(session, observer);
 
@@ -91,8 +104,9 @@ fn train_ppo(
         // `cores` sub-environments (total batch = cores × per_env). The
         // master rng rides along and comes back advanced.
         let flops_before = learner.flops;
-        driver.broadcast(&mut runtime, &learner.policy, SyncPolicy::EveryRound);
-        let outcome = runtime.collect_round(driver.iteration(), per_env, vec![rng]);
+        driver.broadcast(&mut runtime, &learner.policy, SyncPolicy::EveryRound)?;
+        let outcome = runtime.collect_round(driver.iteration(), per_env, vec![rng])?;
+        driver.note_faults(&outcome.faults);
         let wave = merge_wave(outcome, 1);
         rng = wave.rngs.into_iter().next().expect("one worker");
         let iter_env_work = wave.node_env_work[0];
@@ -141,7 +155,7 @@ fn train_ppo(
     runtime.shutdown();
 
     let stats = driver.finish();
-    ExecReport {
+    Ok(ExecReport {
         model: TrainedModel::Ppo(learner.policy.clone()),
         usage: Default::default(),
         env_steps: stats.env_steps,
@@ -149,7 +163,8 @@ fn train_ppo(
         learn_flops: learner.flops,
         train_returns: stats.train_returns,
         updates: learner.updates,
-    }
+        degraded: stats.degraded,
+    })
 }
 
 fn train_sac(
@@ -237,6 +252,7 @@ fn train_sac(
         learn_flops: 0,
         train_returns: stats.train_returns,
         updates: 0,
+        degraded: stats.degraded,
     }
     .with_learner_counts()
 }

@@ -38,10 +38,10 @@ impl Backend for TfAgentsLike {
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
         observer: &mut dyn Observer,
-    ) -> ExecReport {
+    ) -> Result<ExecReport, String> {
         match spec.algorithm {
             Algorithm::Ppo => train_ppo(spec, factory, session, observer),
-            Algorithm::Sac => train_sac(spec, factory, session, observer),
+            Algorithm::Sac => Ok(train_sac(spec, factory, session, observer)),
         }
     }
 }
@@ -51,7 +51,7 @@ fn train_ppo(
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
     observer: &mut dyn Observer,
-) -> ExecReport {
+) -> Result<ExecReport, String> {
     let profile = Framework::TfAgents.profile();
     let workers = spec.deployment.cores_per_node;
     let mut rng = StdRng::seed_from_u64(spec.seed);
@@ -71,10 +71,20 @@ fn train_ppo(
 
     // One vectorized actor models the parallel driver: collection runs on
     // a fresh per-round worker stream, decoupled from the learner's rng.
+    let respawn_recorder = recorder.clone();
+    let spawn_venv = move || {
+        let envs: Vec<Box<dyn Environment>> =
+            (0..workers).map(|i| factory.make(worker_seed(spec.seed, i, 0))).collect();
+        let mut venv = VecEnv::new_preseeded(envs);
+        venv.set_recorder(respawn_recorder.clone());
+        venv.reset_all();
+        Collector::Vectorized { venv }
+    };
     let mut runtime = Runtime::spawn(
-        vec![WorkerSpec { node: 0, collector: Collector::Vectorized { venv } }],
+        vec![WorkerSpec::new(0, Collector::Vectorized { venv }).with_respawn(spawn_venv)],
         &learner.policy,
-    );
+    )
+    .with_fault_policy(spec.fault);
     runtime.set_recorder(recorder);
     let mut driver = Driver::new(session, observer);
 
@@ -84,9 +94,10 @@ fn train_ppo(
         // batched-driver analogue of TF-Agents overlapping stepping and
         // inference), and the vectorized actor fans env steps across
         // cores.
-        driver.broadcast(&mut runtime, &learner.policy, SyncPolicy::EveryRound);
+        driver.broadcast(&mut runtime, &learner.policy, SyncPolicy::EveryRound)?;
         let wrng = StdRng::seed_from_u64(worker_seed(spec.seed, 0, driver.iteration() + 1000));
-        let outcome = runtime.collect_round(driver.iteration(), per_worker, vec![wrng]);
+        let outcome = runtime.collect_round(driver.iteration(), per_worker, vec![wrng])?;
+        driver.note_faults(&outcome.faults);
         let wave = merge_wave(outcome, 1);
 
         let iter_env_work = wave.node_env_work[0];
@@ -126,7 +137,7 @@ fn train_ppo(
     runtime.shutdown();
 
     let stats = driver.finish();
-    ExecReport {
+    Ok(ExecReport {
         model: TrainedModel::Ppo(learner.policy.clone()),
         usage: Default::default(),
         env_steps: stats.env_steps,
@@ -134,7 +145,8 @@ fn train_ppo(
         learn_flops: learner.flops,
         train_returns: stats.train_returns,
         updates: learner.updates,
-    }
+        degraded: stats.degraded,
+    })
 }
 
 fn train_sac(
@@ -221,6 +233,7 @@ fn train_sac(
         learn_flops,
         train_returns: stats.train_returns,
         updates,
+        degraded: stats.degraded,
     }
 }
 

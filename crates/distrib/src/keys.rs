@@ -45,3 +45,35 @@ pub const RT_BROADCASTS: Key = Key("runtime.broadcasts");
 
 /// Counter: weight bytes that crossed the interconnect.
 pub const RT_BROADCAST_BYTES: Key = Key("runtime.broadcast_bytes");
+
+/// Counter: failed round-commands re-dispatched by the fault policy.
+pub const RT_RETRIES: Key = Key("runtime.retries");
+
+/// Counter: dead worker threads rebuilt from their respawn factory.
+pub const RT_RESPAWNS: Key = Key("runtime.respawns");
+
+/// Counter: commands that outlived the fault policy's receive timeout.
+pub const RT_TIMEOUTS: Key = Key("runtime.timeouts");
+
+/// Counter: workers quarantined after the recovery ladder was exhausted.
+pub const RT_QUARANTINES: Key = Key("runtime.quarantines");
+
+/// Accumulator: simulated seconds of retry backoff charged to the trial.
+pub const RT_BACKOFF_S: Key = Key("runtime.backoff_s");
+
+/// Event: a worker left the active set for good. Fields: [`F_WORKER`],
+/// [`F_NODE`], [`F_ROUND`], [`F_CAUSE`].
+pub const WORKER_QUARANTINED: Key = Key("worker.quarantined");
+
+/// [`WORKER_QUARANTINED`] field: worker index.
+pub const F_WORKER: Key = Key("worker");
+
+/// [`WORKER_QUARANTINED`] field: the worker's simulated node.
+pub const F_NODE: Key = Key("node");
+
+/// [`WORKER_QUARANTINED`] field: the round the quarantine happened in.
+pub const F_ROUND: Key = Key("round");
+
+/// [`WORKER_QUARANTINED`] field: why — see
+/// [`FaultCause::as_str`](crate::runtime::FaultCause::as_str).
+pub const F_CAUSE: Key = Key("cause");

@@ -46,6 +46,7 @@ pub use backends::{train_impala, ImpalaOpts};
 pub use framework::{Framework, FrameworkProfile};
 pub use report::{ExecReport, TrainedModel};
 pub use runtime::{
-    IterationSnapshot, NullObserver, Observer, RecorderObserver, Runtime, SyncPolicy, REPORT_WINDOW,
+    report_mean, FaultCause, FaultLog, FaultPolicy, IterationSnapshot, NullObserver, Observer,
+    RecorderObserver, Runtime, RuntimeError, SyncPolicy, REPORT_WINDOW,
 };
 pub use spec::{Deployment, ExecSpec};

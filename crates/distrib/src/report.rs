@@ -59,6 +59,9 @@ pub struct ExecReport {
     pub train_returns: Vec<f64>,
     /// Gradient updates performed.
     pub updates: u64,
+    /// True when the trial survived a worker quarantine: the numbers are
+    /// real but came from a reduced worker set (DegradedResult).
+    pub degraded: bool,
 }
 
 impl ExecReport {
@@ -70,6 +73,7 @@ impl ExecReport {
             env_steps: self.env_steps,
             updates: self.updates,
             mean_train_return: crate::runtime::report_mean(&self.train_returns),
+            degraded: self.degraded,
         }
     }
 }
@@ -87,6 +91,9 @@ pub struct ExecSummary {
     pub updates: u64,
     /// Mean of the last ≤20 training-episode returns.
     pub mean_train_return: f64,
+    /// True when a worker quarantine degraded the execution.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 #[cfg(test)]
@@ -120,6 +127,7 @@ mod tests {
             learn_flops: 0,
             train_returns: vec![],
             updates: 0,
+            degraded: false,
         };
         let s = report.summary();
         assert!((s.minutes - 1.0).abs() < 1e-12);
@@ -141,6 +149,7 @@ mod tests {
             learn_flops: 0,
             train_returns: returns,
             updates: 0,
+            degraded: false,
         };
         assert!((report.summary().mean_train_return - 1.0).abs() < 1e-12);
     }

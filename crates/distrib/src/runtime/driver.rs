@@ -18,6 +18,7 @@
 //! | RLlib-like | [`SyncPolicy::RemotePeriodic`] | node-0 workers every round; remote nodes only every `period`-th round (stale in between) |
 //! | IMPALA-like | [`SyncPolicy::Periodic`] | *all* actors refresh only every `period`-th round; V-trace absorbs the staleness |
 
+use super::fault::{FaultLog, RuntimeError};
 use super::{RoundOutcome, Runtime};
 use crate::keys;
 use cluster_sim::{ClusterSession, ClusterSpec, SessionEvent};
@@ -205,6 +206,7 @@ pub struct Driver<'a> {
     env_steps: u64,
     env_work: u64,
     train_returns: Vec<f64>,
+    degraded: bool,
 }
 
 /// The driver's accumulated counters, surrendered by [`Driver::finish`].
@@ -215,6 +217,9 @@ pub struct DriverStats {
     pub env_work: u64,
     /// All logged training returns.
     pub train_returns: Vec<f64>,
+    /// True when any worker was quarantined mid-trial: the result is
+    /// real but came from a reduced worker set.
+    pub degraded: bool,
 }
 
 impl<'a> Driver<'a> {
@@ -232,6 +237,7 @@ impl<'a> Driver<'a> {
             env_steps: 0,
             env_work: 0,
             train_returns: Vec::new(),
+            degraded: false,
         }
     }
 
@@ -268,18 +274,39 @@ impl<'a> Driver<'a> {
 
     /// Refresh worker snapshots per `policy` and narrate the broadcast:
     /// weights crossing to remote nodes become one [`SessionEvent::Transfer`].
+    /// Faults absorbed mid-broadcast land in the accounting via
+    /// [`Self::note_faults`].
     pub fn broadcast(
         &mut self,
-        runtime: &mut Runtime,
+        runtime: &mut Runtime<'_>,
         policy: &ActorCritic,
         sync: SyncPolicy,
-    ) -> u64 {
+    ) -> Result<u64, RuntimeError> {
         let recipients = sync.recipients(self.iteration, runtime.worker_nodes());
-        let bytes = runtime.broadcast_weights(self.iteration, policy, &recipients);
-        if bytes > 0 {
-            self.apply(&SessionEvent::Transfer { bytes });
+        let outcome = runtime.broadcast_weights(self.iteration, policy, &recipients)?;
+        if outcome.bytes > 0 {
+            self.apply(&SessionEvent::Transfer { bytes: outcome.bytes });
         }
-        bytes
+        self.note_faults(&outcome.faults);
+        Ok(outcome.bytes)
+    }
+
+    /// Fold a round's [`FaultLog`] into the trial accounting: retry
+    /// backoff is charged to simulated time as [`SessionEvent::Overhead`]
+    /// (so `Usage::from_snapshot` and `session.finish()` keep agreeing
+    /// bitwise), and any quarantine latches the degraded flag.
+    pub fn note_faults(&mut self, faults: &FaultLog) {
+        if faults.backoff_s > 0.0 {
+            self.apply(&SessionEvent::Overhead { seconds: faults.backoff_s });
+        }
+        if !faults.quarantined.is_empty() {
+            self.degraded = true;
+        }
+    }
+
+    /// True once any worker has been quarantined this trial.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Account a batch of environment steps and their work units.
@@ -335,6 +362,7 @@ impl<'a> Driver<'a> {
             env_steps: self.env_steps,
             env_work: self.env_work,
             train_returns: self.train_returns,
+            degraded: self.degraded,
         }
     }
 }
@@ -393,6 +421,31 @@ mod tests {
         assert_eq!(stats.env_steps, 256);
         assert_eq!(stats.env_work, 256);
         assert_eq!(stats.train_returns, vec![1.5]);
+    }
+
+    #[test]
+    fn note_faults_charges_backoff_and_latches_degraded() {
+        use super::super::fault::{FaultCause, Quarantine};
+        let mut session = ClusterSession::new(ClusterSpec::paper_testbed(1));
+        let mut observer = NullObserver;
+        let mut driver = Driver::new(&mut session, &mut observer);
+        assert!(!driver.is_degraded());
+        let mut faults = FaultLog { retries: 1, backoff_s: 0.5, ..FaultLog::default() };
+        driver.note_faults(&faults);
+        assert!(!driver.is_degraded(), "retries alone do not degrade the result");
+        faults.quarantined.push(Quarantine {
+            worker: 1,
+            node: 0,
+            round: 3,
+            cause: FaultCause::Panicked,
+        });
+        driver.note_faults(&faults);
+        assert!(driver.is_degraded());
+        driver.end_iteration();
+        let stats = driver.finish();
+        assert!(stats.degraded);
+        // Both backoff charges landed in simulated time.
+        assert!(session.now() >= 1.0);
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! Stable-Baselines-like backend round-trip its *master* rng through the
 //! vectorized collection worker and keep the exact pre-runtime draw order
 //! (collect, then update, from one stream).
+//!
+//! Every event echoes the round of the command that caused it. The
+//! driver uses that echo to drop *stale* events — a quarantined-then-woken
+//! worker may answer long after its round closed — and
+//! [`Event::order_key`] defines the deterministic merge order
+//! (`(round, worker)`) the runtime drains segments into.
 
 use crate::backends::common::Segment;
 use rand::rngs::StdRng;
@@ -63,13 +69,142 @@ pub enum Event {
         /// Iteration index echoed from the command.
         round: u64,
     },
-    /// The worker's collection panicked; the worker thread is gone.
+    /// The worker's command panicked.
     WorkerFailed {
         /// Worker index.
         worker: usize,
         /// Iteration index of the failed command.
         round: u64,
-        /// Panic payload rendered to text.
+        /// Panic payload rendered to text (see [`panic_text`]).
         reason: String,
+        /// `true` when the worker thread is exiting (only a respawn can
+        /// recover it); `false` when the panic was contained and the
+        /// thread keeps serving commands (a retry suffices).
+        fatal: bool,
     },
+}
+
+impl Event {
+    /// The emitting worker's index.
+    pub fn worker(&self) -> usize {
+        match self {
+            Event::SegmentReady { worker, .. }
+            | Event::Heartbeat { worker, .. }
+            | Event::WorkerFailed { worker, .. } => *worker,
+        }
+    }
+
+    /// The round echoed from the causing command.
+    pub fn round(&self) -> u64 {
+        match self {
+            Event::SegmentReady { round, .. }
+            | Event::Heartbeat { round, .. }
+            | Event::WorkerFailed { round, .. } => *round,
+        }
+    }
+
+    /// The deterministic merge key: `(round, worker)`. Draining
+    /// segments into ascending `order_key` order is what makes reports
+    /// independent of completion order.
+    pub fn order_key(&self) -> (u64, usize) {
+        (self.round(), self.worker())
+    }
+}
+
+/// Render a caught panic payload as text: `&str` and `String` payloads
+/// verbatim, anything else as an opaque marker.
+pub fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, panic_any};
+
+    /// Run `f`, which must panic, and return the payload with the
+    /// default "thread panicked" stderr chatter suppressed for the call.
+    fn capture_panic<F: FnOnce() + std::panic::UnwindSafe>(f: F) -> Box<dyn std::any::Any + Send> {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let payload = catch_unwind(f).expect_err("closure must panic");
+        std::panic::set_hook(prev);
+        payload
+    }
+
+    #[test]
+    fn panic_text_renders_str_payloads() {
+        let payload = capture_panic(|| panic!("static boom"));
+        assert_eq!(panic_text(payload.as_ref()), "static boom");
+    }
+
+    #[test]
+    fn panic_text_renders_string_payloads() {
+        let round = 7;
+        let payload = capture_panic(move || panic!("boom in round {round}"));
+        assert_eq!(panic_text(payload.as_ref()), "boom in round 7");
+    }
+
+    #[test]
+    fn panic_text_marks_opaque_payloads() {
+        let payload = capture_panic(|| panic_any(42usize));
+        assert_eq!(panic_text(payload.as_ref()), "worker panicked");
+        let payload = capture_panic(|| panic_any(vec![1u8, 2, 3]));
+        assert_eq!(panic_text(payload.as_ref()), "worker panicked");
+    }
+
+    fn segment_ready(worker: usize, round: u64) -> Event {
+        let segment = Segment {
+            rollout: rl_algos::buffer::RolloutBuffer::with_capacity(0),
+            env_work: 0,
+            episodes: Vec::new(),
+            infer_flops: 0,
+        };
+        Event::SegmentReady {
+            worker,
+            node: 0,
+            round,
+            segment: Box::new(segment),
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    #[test]
+    fn events_echo_worker_and_round() {
+        let e = segment_ready(3, 9);
+        assert_eq!(e.worker(), 3);
+        assert_eq!(e.round(), 9);
+        let h = Event::Heartbeat { worker: 1, round: 4 };
+        assert_eq!((h.worker(), h.round()), (1, 4));
+        let f = Event::WorkerFailed { worker: 2, round: 5, reason: "x".into(), fatal: true };
+        assert_eq!((f.worker(), f.round()), (2, 5));
+    }
+
+    #[test]
+    fn order_key_sorts_rounds_before_workers() {
+        // The merge invariant: all of round r precedes all of round r+1,
+        // and within a round, worker index decides — regardless of the
+        // (scheduling-dependent) completion order the events arrived in.
+        let arrived = [
+            segment_ready(2, 1),
+            segment_ready(0, 1),
+            Event::Heartbeat { worker: 3, round: 0 },
+            segment_ready(1, 0),
+            Event::WorkerFailed { worker: 0, round: 0, reason: "x".into(), fatal: false },
+        ];
+        let mut keys: Vec<(u64, usize)> = arrived.iter().map(Event::order_key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![(0, 0), (0, 1), (0, 3), (1, 0), (1, 2)]);
+        // Sorting is stable under permutation: same key set, same order.
+        let mut reversed: Vec<(u64, usize)> = arrived.iter().rev().map(Event::order_key).collect();
+        reversed.sort_unstable();
+        assert_eq!(keys, reversed);
+    }
 }

@@ -19,9 +19,17 @@
 //! flight at once, capped by `std::thread::available_parallelism` — a
 //! 2×4 deployment on a 4-core host no longer oversubscribes the machine
 //! with 8 simultaneously-collecting threads.
+//!
+//! Fault tolerance: worker failures never panic the driver. A
+//! [`FaultPolicy`] decides between bounded retry (with deterministic
+//! exponential backoff charged to *simulated* time), thread respawn (via
+//! [`WorkerSpec::with_respawn`]) and quarantine-with-degradation; hung
+//! workers surface through the policy's receive timeout. See
+//! [`fault`] for the recovery ladder and the test-only injection layer.
 
 pub mod driver;
 pub mod event;
+pub mod fault;
 pub mod worker;
 
 pub use driver::{
@@ -29,6 +37,9 @@ pub use driver::{
     RecorderObserver, SyncPolicy, WaveOutcome, REPORT_WINDOW,
 };
 pub use event::{Command, Event};
+#[cfg(any(test, feature = "fault-inject"))]
+pub use fault::{clear_plan, install_plan, FaultKind, FaultPlan, InjectedFault};
+pub use fault::{FaultCause, FaultLog, FaultPolicy, Quarantine, RuntimeError};
 pub use worker::Collector;
 
 use crate::backends::common::Segment;
@@ -36,16 +47,39 @@ use crate::keys;
 use rand::rngs::StdRng;
 use rl_algos::policy::ActorCritic;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
-use telemetry::SharedRecorder;
+use std::time::Instant;
+use telemetry::{SharedRecorder, Value};
+
+/// Rebuilds a worker's [`Collector`] after its thread died.
+pub type RespawnFn<'f> = Box<dyn Fn() -> Collector + 'f>;
 
 /// Blueprint for one worker actor.
-pub struct WorkerSpec {
-    /// Simulated node the worker is pinned to.
-    pub node: usize,
-    /// The environment state the worker will own.
-    pub collector: Collector,
+pub struct WorkerSpec<'f> {
+    node: usize,
+    collector: Collector,
+    respawn: Option<RespawnFn<'f>>,
+}
+
+impl<'f> WorkerSpec<'f> {
+    /// A worker pinned to `node`, owning `collector`.
+    pub fn new(node: usize, collector: Collector) -> Self {
+        Self { node, collector, respawn: None }
+    }
+
+    /// Attach a factory that rebuilds the collector if the worker thread
+    /// dies; without one, a dead thread can only be quarantined.
+    pub fn with_respawn(mut self, factory: impl Fn() -> Collector + 'f) -> Self {
+        self.respawn = Some(Box::new(factory));
+        self
+    }
+
+    /// The simulated node this worker is pinned to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
 }
 
 struct WorkerHandle {
@@ -69,48 +103,115 @@ pub struct WorkerSegment {
 /// All segments of one collection round.
 pub struct RoundOutcome {
     /// Segments sorted by worker index (the deterministic merge order).
+    /// Quarantined workers contribute nothing, so under degradation this
+    /// holds fewer than `n_workers` entries — still index-ordered.
     pub segments: Vec<WorkerSegment>,
     /// Worker indices in completion order (scheduling-dependent).
     pub arrival: Vec<usize>,
+    /// What the fault policy absorbed during this round. Hand to
+    /// [`Driver::note_faults`] so backoff lands in the accounting.
+    pub faults: FaultLog,
+}
+
+impl std::fmt::Debug for RoundOutcome {
+    /// Segments hold rollout buffers; show shape, not contents.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundOutcome")
+            .field("segments", &self.segments.len())
+            .field("arrival", &self.arrival)
+            .field("faults", &self.faults)
+            .finish()
+    }
+}
+
+/// Result of a weight broadcast.
+pub struct BroadcastOutcome {
+    /// Bytes that crossed the interconnect (one policy payload per
+    /// healthy recipient on a node other than 0).
+    pub bytes: u64,
+    /// What the fault policy absorbed during the broadcast.
+    pub faults: FaultLog,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Healthy,
+    Quarantined(FaultCause),
+}
+
+/// An outstanding collection command: everything needed to retry it
+/// deterministically (the pre-dispatch rng) and to notice it hanging.
+struct InFlight {
+    rng: StdRng,
+    attempts: u32,
+    deadline: Option<Instant>,
 }
 
 /// The worker actor pool plus its channels. See the module docs.
-pub struct Runtime {
+pub struct Runtime<'f> {
     workers: Vec<WorkerHandle>,
+    respawners: Vec<Option<RespawnFn<'f>>>,
+    health: Vec<Health>,
     events: mpsc::Receiver<Event>,
+    event_tx: mpsc::Sender<Event>,
     nodes: Vec<usize>,
     window: usize,
     recorder: SharedRecorder,
+    policy: FaultPolicy,
+    /// Latest broadcast weights; respawned workers boot from this.
+    snapshot: Box<ActorCritic>,
+    #[cfg(any(test, feature = "fault-inject"))]
+    plan: Option<std::sync::Arc<fault::FaultPlan>>,
 }
 
-impl Runtime {
+impl<'f> Runtime<'f> {
     /// Spawn one long-lived actor thread per [`WorkerSpec`], each holding
     /// a clone of `initial_policy`.
-    pub fn spawn(specs: Vec<WorkerSpec>, initial_policy: &ActorCritic) -> Self {
+    pub fn spawn(specs: Vec<WorkerSpec<'f>>, initial_policy: &ActorCritic) -> Self {
         assert!(!specs.is_empty(), "runtime needs at least one worker");
         let (event_tx, events) = mpsc::channel::<Event>();
+        #[cfg(any(test, feature = "fault-inject"))]
+        let plan = fault::current_plan();
         let nodes: Vec<usize> = specs.iter().map(|s| s.node).collect();
+        let mut respawners = Vec::with_capacity(specs.len());
         let workers: Vec<WorkerHandle> = specs
             .into_iter()
             .enumerate()
             .map(|(i, spec)| {
+                respawners.push(spec.respawn);
                 let (commands, cmd_rx) = mpsc::channel::<Command>();
                 let tx = event_tx.clone();
                 let policy = initial_policy.clone();
-                let stagger = test_hooks::stagger_for(i);
                 let node = spec.node;
                 let collector = spec.collector;
+                let ctx = worker::WorkerCtx {
+                    stagger: test_hooks::stagger_for(i),
+                    #[cfg(any(test, feature = "fault-inject"))]
+                    plan: plan.clone(),
+                };
                 let join = std::thread::Builder::new()
                     .name(format!("rt-worker-{i}"))
-                    .spawn(move || {
-                        worker::worker_loop(i, node, collector, policy, cmd_rx, tx, stagger)
-                    })
+                    .spawn(move || worker::worker_loop(i, node, collector, policy, cmd_rx, tx, ctx))
                     .expect("spawn runtime worker");
                 WorkerHandle { commands, join: Some(join), node }
             })
             .collect();
         let window = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { workers, events, nodes, window, recorder: telemetry::null_recorder() }
+        let health = vec![Health::Healthy; workers.len()];
+        Self {
+            workers,
+            respawners,
+            health,
+            events,
+            event_tx,
+            nodes,
+            window,
+            recorder: telemetry::null_recorder(),
+            policy: FaultPolicy::default(),
+            snapshot: Box::new(initial_policy.clone()),
+            #[cfg(any(test, feature = "fault-inject"))]
+            plan,
+        }
     }
 
     /// Route dispatch counters and the occupancy gauge (see
@@ -119,7 +220,7 @@ impl Runtime {
         self.recorder = recorder;
     }
 
-    /// Number of worker actors.
+    /// Number of worker actors (healthy or not).
     pub fn n_workers(&self) -> usize {
         self.workers.len()
     }
@@ -140,35 +241,257 @@ impl Runtime {
         self
     }
 
+    /// Replace the fault policy (builder form).
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active fault policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Is `worker` still receiving commands?
+    pub fn is_healthy(&self, worker: usize) -> bool {
+        self.health[worker] == Health::Healthy
+    }
+
+    /// Workers still receiving commands. Backends divide the round batch
+    /// by this, which is what redistributes a quarantined worker's lanes
+    /// across the survivors.
+    pub fn active_workers(&self) -> usize {
+        self.health.iter().filter(|h| **h == Health::Healthy).count()
+    }
+
+    /// True once any worker has been quarantined (the trial result is
+    /// degraded).
+    pub fn is_degraded(&self) -> bool {
+        self.active_workers() < self.workers.len()
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        self.policy.recv_timeout().map(|t| Instant::now() + t)
+    }
+
+    /// Wait for the next event, bounded by `deadline`. `Ok(None)` means
+    /// the deadline expired.
+    fn recv_until(&self, deadline: Option<Instant>) -> Result<Option<Event>, RuntimeError> {
+        let Some(deadline) = deadline else {
+            return self.events.recv().map(Some).map_err(|_| RuntimeError::Disconnected);
+        };
+        let now = Instant::now();
+        if deadline <= now {
+            return Ok(None);
+        }
+        match self.events.recv_timeout(deadline - now) {
+            Ok(ev) => Ok(Some(ev)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RuntimeError::Disconnected),
+        }
+    }
+
+    /// Rebuild a dead worker's thread from its respawn factory, booting
+    /// it from the latest broadcast snapshot. Returns `false` when no
+    /// factory is attached (or it failed).
+    fn respawn_worker(&mut self, worker: usize) -> bool {
+        let Some(make) = self.respawners[worker].as_ref() else {
+            return false;
+        };
+        let Ok(collector) = catch_unwind(AssertUnwindSafe(&**make)) else {
+            return false;
+        };
+        let (commands, cmd_rx) = mpsc::channel::<Command>();
+        let tx = self.event_tx.clone();
+        let policy = (*self.snapshot).clone();
+        let node = self.workers[worker].node;
+        let ctx = worker::WorkerCtx {
+            stagger: test_hooks::stagger_for(worker),
+            #[cfg(any(test, feature = "fault-inject"))]
+            plan: self.plan.clone(),
+        };
+        let spawned = std::thread::Builder::new()
+            .name(format!("rt-worker-{worker}"))
+            .spawn(move || worker::worker_loop(worker, node, collector, policy, cmd_rx, tx, ctx));
+        match spawned {
+            Ok(join) => {
+                self.workers[worker] = WorkerHandle { commands, join: Some(join), node };
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Reap a thread that announced (or demonstrated) its death.
+    fn reap(&mut self, worker: usize) {
+        if let Some(join) = self.workers[worker].join.take() {
+            let _ = join.join();
+        }
+    }
+
+    fn quarantine(&mut self, worker: usize, round: u64, cause: FaultCause, faults: &mut FaultLog) {
+        self.health[worker] = Health::Quarantined(cause);
+        let node = self.workers[worker].node;
+        faults.quarantined.push(Quarantine { worker, node, round, cause });
+        if self.recorder.enabled() {
+            self.recorder.counter_add(keys::RT_QUARANTINES, 1);
+            self.recorder.event(
+                keys::WORKER_QUARANTINED,
+                &[
+                    (keys::F_WORKER, Value::U64(worker as u64)),
+                    (keys::F_NODE, Value::U64(node as u64)),
+                    (keys::F_ROUND, Value::U64(round)),
+                    (keys::F_CAUSE, Value::Str(cause.as_str())),
+                ],
+            );
+        }
+    }
+
+    /// Terminal failure handling: quarantine under a degrading policy,
+    /// error otherwise.
+    fn quarantine_or_err(
+        &mut self,
+        worker: usize,
+        round: u64,
+        cause: FaultCause,
+        reason: &str,
+        faults: &mut FaultLog,
+    ) -> Result<(), RuntimeError> {
+        if self.policy.quarantine {
+            self.quarantine(worker, round, cause, faults);
+            return Ok(());
+        }
+        Err(match cause {
+            FaultCause::TimedOut => RuntimeError::WorkerTimedOut { worker, round },
+            _ => RuntimeError::WorkerFailed { worker, round, reason: reason.to_string() },
+        })
+    }
+
+    /// React to a failed round-command: retry (respawning first if the
+    /// thread died) while budget remains, else quarantine or error.
+    /// Returns the refreshed in-flight entry when a retry was dispatched.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &mut self,
+        worker: usize,
+        round: u64,
+        steps: usize,
+        mut entry: InFlight,
+        fatal: bool,
+        reason: &str,
+        faults: &mut FaultLog,
+    ) -> Result<Option<InFlight>, RuntimeError> {
+        if fatal {
+            self.reap(worker);
+        }
+        let cause = if fatal { FaultCause::Dead } else { FaultCause::Panicked };
+        if entry.attempts >= self.policy.max_retries {
+            self.quarantine_or_err(worker, round, cause, reason, faults)?;
+            return Ok(None);
+        }
+        // Deterministic exponential backoff, charged to simulated time by
+        // Driver::note_faults — no real sleeping.
+        let backoff = self.policy.backoff_s(entry.attempts);
+        entry.attempts += 1;
+        faults.backoff_s += backoff;
+        if fatal {
+            if !self.respawn_worker(worker) {
+                self.quarantine_or_err(worker, round, FaultCause::Dead, reason, faults)?;
+                return Ok(None);
+            }
+            faults.respawns += 1;
+            if self.recorder.enabled() {
+                self.recorder.counter_add(keys::RT_RESPAWNS, 1);
+            }
+        }
+        let cmd = Command::Collect { round, steps, rng: entry.rng.clone() };
+        if self.workers[worker].commands.send(cmd).is_err() {
+            self.reap(worker);
+            self.quarantine_or_err(worker, round, FaultCause::Dead, reason, faults)?;
+            return Ok(None);
+        }
+        faults.retries += 1;
+        if self.recorder.enabled() {
+            self.recorder.counter_add(keys::RT_RETRIES, 1);
+            self.recorder.counter_add(keys::RT_COMMANDS, 1);
+            self.recorder.accum_add(keys::RT_BACKOFF_S, backoff);
+        }
+        entry.deadline = self.deadline();
+        Ok(Some(entry))
+    }
+
+    /// First dispatch of a round-command to `worker`. `Ok(None)` means
+    /// the worker was quarantined instead (dead thread, no respawn).
+    fn dispatch(
+        &mut self,
+        worker: usize,
+        round: u64,
+        steps: usize,
+        rng: StdRng,
+        faults: &mut FaultLog,
+    ) -> Result<Option<InFlight>, RuntimeError> {
+        let cmd = Command::Collect { round, steps, rng: rng.clone() };
+        if self.workers[worker].commands.send(cmd).is_ok() {
+            return Ok(Some(InFlight { rng, attempts: 0, deadline: self.deadline() }));
+        }
+        // The thread died outside a round (defensive): respawn or give up.
+        self.reap(worker);
+        if self.respawn_worker(worker) {
+            faults.respawns += 1;
+            if self.recorder.enabled() {
+                self.recorder.counter_add(keys::RT_RESPAWNS, 1);
+            }
+            let retry = Command::Collect { round, steps, rng: rng.clone() };
+            if self.workers[worker].commands.send(retry).is_ok() {
+                return Ok(Some(InFlight { rng, attempts: 0, deadline: self.deadline() }));
+            }
+        }
+        self.quarantine_or_err(worker, round, FaultCause::Dead, "worker thread is dead", faults)?;
+        Ok(None)
+    }
+
     /// Run one collection round: dispatch a [`Command::Collect`] to every
-    /// worker (at most [`Self::window`] outstanding at a time), drain the
-    /// [`Event::SegmentReady`]s, and return the segments in worker-index
-    /// order. `rngs` supplies one sampling stream per worker.
+    /// healthy worker (at most [`Self::window`] outstanding at a time),
+    /// drain the [`Event::SegmentReady`]s, and return the segments in
+    /// worker-index order. `rngs` supplies one sampling stream per worker
+    /// (quarantined workers' streams are skipped, keeping indexing
+    /// stable).
     ///
-    /// Panics if a worker reports [`Event::WorkerFailed`] — the same
-    /// propagation the old scoped-thread collection had.
-    pub fn collect_round(&mut self, round: u64, steps: usize, rngs: Vec<StdRng>) -> RoundOutcome {
+    /// Failures go through the [`FaultPolicy`] ladder; an absorbed fault
+    /// shows up in [`RoundOutcome::faults`], an unabsorbed one as an
+    /// `Err`. This never panics.
+    pub fn collect_round(
+        &mut self,
+        round: u64,
+        steps: usize,
+        rngs: Vec<StdRng>,
+    ) -> Result<RoundOutcome, RuntimeError> {
         let n = self.workers.len();
         assert_eq!(rngs.len(), n, "one rng stream per worker");
-        let mut queue: VecDeque<(usize, StdRng)> = rngs.into_iter().enumerate().collect();
+        let mut faults = FaultLog::default();
+        let mut queue: VecDeque<(usize, StdRng)> =
+            rngs.into_iter().enumerate().filter(|(w, _)| self.is_healthy(*w)).collect();
+        if queue.is_empty() {
+            return Err(RuntimeError::NoHealthyWorkers { round });
+        }
         let mut segments: Vec<Option<WorkerSegment>> = (0..n).map(|_| None).collect();
-        let mut arrival = Vec::with_capacity(n);
+        let mut arrival = Vec::with_capacity(queue.len());
+        let mut in_flight: Vec<Option<InFlight>> = (0..n).map(|_| None).collect();
         let mut outstanding = 0usize;
-        let mut completed = 0usize;
+        let mut remaining = queue.len();
         let recording = self.recorder.enabled();
-        while completed < n {
+        while remaining > 0 {
+            // Fill the dispatch window.
             let mut dispatched = 0u64;
             while outstanding < self.window {
-                match queue.pop_front() {
-                    Some((w, rng)) => {
-                        self.workers[w]
-                            .commands
-                            .send(Command::Collect { round, steps, rng })
-                            .expect("worker accepts collect");
+                let Some((w, rng)) = queue.pop_front() else { break };
+                match self.dispatch(w, round, steps, rng, &mut faults)? {
+                    Some(entry) => {
+                        in_flight[w] = Some(entry);
                         outstanding += 1;
                         dispatched += 1;
                     }
-                    None => break,
+                    None => remaining -= 1, // quarantined at dispatch
                 }
             }
             if recording {
@@ -178,73 +501,176 @@ impl Runtime {
                 self.recorder
                     .gauge_set(keys::RT_OCCUPANCY, outstanding as f64 / self.window as f64);
             }
-            match self.events.recv().expect("a worker event arrives") {
+            if remaining == 0 {
+                break;
+            }
+            let next_deadline = in_flight.iter().flatten().filter_map(|f| f.deadline).min();
+            let Some(ev) = self.recv_until(next_deadline)? else {
+                // Deadline expired: every overdue worker is hung. No
+                // retry — the old thread may still wake and double-drive
+                // the collector — so the ladder goes straight to
+                // quarantine (or error).
+                let now = Instant::now();
+                let overdue: Vec<usize> = in_flight
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.as_ref().and_then(|f| f.deadline).is_some_and(|d| d <= now))
+                    .map(|(w, _)| w)
+                    .collect();
+                for w in overdue {
+                    in_flight[w] = None;
+                    outstanding -= 1;
+                    remaining -= 1;
+                    faults.timeouts += 1;
+                    if recording {
+                        self.recorder.counter_add(keys::RT_TIMEOUTS, 1);
+                    }
+                    self.quarantine_or_err(w, round, FaultCause::TimedOut, "hung", &mut faults)?;
+                }
+                continue;
+            };
+            match ev {
                 Event::SegmentReady { worker, node, round: r, segment, rng } => {
-                    debug_assert_eq!(r, round, "stale segment");
+                    if r != round || !self.is_healthy(worker) || in_flight[worker].is_none() {
+                        continue; // stale: late answer from a hung/retired command
+                    }
+                    in_flight[worker] = None;
+                    outstanding -= 1;
+                    remaining -= 1;
                     segments[worker] = Some(WorkerSegment { worker, node, segment: *segment, rng });
                     arrival.push(worker);
-                    outstanding -= 1;
-                    completed += 1;
                     if recording {
                         self.recorder.counter_add(keys::RT_EVENTS, 1);
                     }
                 }
                 Event::Heartbeat { .. } => {} // stray ack; ignore
-                Event::WorkerFailed { worker, round: r, reason } => {
-                    panic!("runtime worker {worker} failed in round {r}: {reason}")
+                Event::WorkerFailed { worker, round: r, reason, fatal } => {
+                    if r != round || !self.is_healthy(worker) || in_flight[worker].is_none() {
+                        if fatal {
+                            self.reap(worker); // stale death announcement
+                        }
+                        continue;
+                    }
+                    let entry = in_flight[worker].take().expect("checked in flight");
+                    outstanding -= 1;
+                    match self.recover(worker, round, steps, entry, fatal, &reason, &mut faults)? {
+                        Some(entry) => {
+                            in_flight[worker] = Some(entry);
+                            outstanding += 1;
+                        }
+                        None => remaining -= 1, // quarantined
+                    }
                 }
             }
         }
-        let segments = segments.into_iter().map(|s| s.expect("all workers reported")).collect();
-        RoundOutcome { segments, arrival }
+        let segments: Vec<WorkerSegment> = segments.into_iter().flatten().collect();
+        if segments.is_empty() {
+            return Err(RuntimeError::NoHealthyWorkers { round });
+        }
+        Ok(RoundOutcome { segments, arrival, faults })
     }
 
     /// Send fresh weights to `recipients` (worker indices) and wait for
-    /// their [`Event::Heartbeat`] acks. Returns the bytes that crossed
-    /// the interconnect: one policy payload per recipient on a node
-    /// other than 0 (the learner's node).
+    /// their [`Event::Heartbeat`] acks. [`BroadcastOutcome::bytes`]
+    /// counts the interconnect traffic: one policy payload per healthy
+    /// recipient on a node other than 0 (the learner's node).
+    ///
+    /// Quarantined recipients are skipped; a recipient that fails or
+    /// hangs mid-broadcast goes through the [`FaultPolicy`] (broadcasts
+    /// are not retried — the next sync round refreshes the worker).
     pub fn broadcast_weights(
         &mut self,
         round: u64,
         policy: &ActorCritic,
         recipients: &[usize],
-    ) -> u64 {
+    ) -> Result<BroadcastOutcome, RuntimeError> {
+        *self.snapshot = policy.clone();
+        let mut faults = FaultLog::default();
         let mut bytes = 0u64;
+        let mut awaiting: Vec<usize> = Vec::with_capacity(recipients.len());
         for &w in recipients {
-            self.workers[w]
-                .commands
-                .send(Command::UpdateWeights { round, policy: Box::new(policy.clone()) })
-                .expect("worker accepts weights");
+            if !self.is_healthy(w) {
+                continue;
+            }
+            let cmd = Command::UpdateWeights { round, policy: Box::new(policy.clone()) };
+            if self.workers[w].commands.send(cmd).is_err() {
+                // Dead thread: a respawned worker boots straight from the
+                // fresh snapshot, so no ack is owed.
+                self.reap(w);
+                if self.respawn_worker(w) {
+                    faults.respawns += 1;
+                    if self.recorder.enabled() {
+                        self.recorder.counter_add(keys::RT_RESPAWNS, 1);
+                    }
+                    if self.workers[w].node != 0 {
+                        bytes += policy.param_bytes();
+                    }
+                } else {
+                    self.quarantine_or_err(w, round, FaultCause::Dead, "dead", &mut faults)?;
+                }
+                continue;
+            }
+            awaiting.push(w);
             if self.workers[w].node != 0 {
                 bytes += policy.param_bytes();
             }
         }
-        if self.recorder.enabled() && !recipients.is_empty() {
-            self.recorder.counter_add(keys::RT_COMMANDS, recipients.len() as u64);
-            self.recorder.counter_add(keys::RT_EVENTS, recipients.len() as u64);
+        if self.recorder.enabled() && !awaiting.is_empty() {
+            self.recorder.counter_add(keys::RT_COMMANDS, awaiting.len() as u64);
+            self.recorder.counter_add(keys::RT_EVENTS, awaiting.len() as u64);
             self.recorder.counter_add(keys::RT_BROADCASTS, 1);
             self.recorder.counter_add(keys::RT_BROADCAST_BYTES, bytes);
         }
-        let mut acks = 0usize;
-        while acks < recipients.len() {
-            match self.events.recv().expect("a worker event arrives") {
-                Event::Heartbeat { .. } => acks += 1,
-                Event::WorkerFailed { worker, round: r, reason } => {
-                    panic!("runtime worker {worker} failed in round {r}: {reason}")
+        let deadline = self.deadline();
+        while !awaiting.is_empty() {
+            let Some(ev) = self.recv_until(deadline)? else {
+                // Every remaining ack is overdue.
+                for w in std::mem::take(&mut awaiting) {
+                    faults.timeouts += 1;
+                    if self.recorder.enabled() {
+                        self.recorder.counter_add(keys::RT_TIMEOUTS, 1);
+                    }
+                    self.quarantine_or_err(w, round, FaultCause::TimedOut, "hung", &mut faults)?;
+                }
+                continue;
+            };
+            match ev {
+                Event::Heartbeat { worker, round: r } => {
+                    if r == round {
+                        awaiting.retain(|&w| w != worker);
+                    }
                 }
                 Event::SegmentReady { .. } => {
-                    unreachable!("no collection outstanding during a broadcast")
+                    // Stale: a hung worker's late collection answer.
+                }
+                Event::WorkerFailed { worker, round: r, reason, fatal } => {
+                    if fatal {
+                        self.reap(worker);
+                    }
+                    if r != round || !awaiting.contains(&worker) {
+                        continue; // stale failure
+                    }
+                    awaiting.retain(|&w| w != worker);
+                    let cause = if fatal { FaultCause::Dead } else { FaultCause::Panicked };
+                    self.quarantine_or_err(worker, round, cause, &reason, &mut faults)?;
                 }
             }
         }
-        bytes
+        Ok(BroadcastOutcome { bytes, faults })
     }
 
     fn shutdown_inner(&mut self) {
         for w in &self.workers {
             let _ = w.commands.send(Command::Shutdown);
         }
-        for w in &mut self.workers {
+        let health = std::mem::take(&mut self.health);
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            // A worker quarantined for a hang may never wake; joining it
+            // would block shutdown forever. Leak it — once the event
+            // channel closes, its next send fails and the thread exits.
+            if matches!(health.get(i), Some(Health::Quarantined(FaultCause::TimedOut))) {
+                continue;
+            }
             if let Some(join) = w.join.take() {
                 let _ = join.join();
             }
@@ -257,7 +683,7 @@ impl Runtime {
     }
 }
 
-impl Drop for Runtime {
+impl Drop for Runtime<'_> {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
@@ -294,21 +720,28 @@ pub mod test_hooks {
 
 #[cfg(test)]
 mod tests {
+    use super::fault::{clear_plan, install_plan, FaultKind, FaultPlan};
     use super::*;
     use gymrs::envs::GridWorld;
     use gymrs::{Environment, Space};
+    use parking_lot::Mutex;
     use rand::SeedableRng;
 
-    fn specs(nodes: &[usize]) -> (Vec<WorkerSpec>, ActorCritic) {
+    /// Serializes tests that touch the process-global fault plan.
+    static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+    fn grid_collector(seed: u64) -> Collector {
+        let mut env = GridWorld::new(3);
+        env.seed(seed);
+        let obs = env.reset();
+        Collector::PerEnv { env: Box::new(env), obs }
+    }
+
+    fn specs(nodes: &[usize]) -> (Vec<WorkerSpec<'static>>, ActorCritic) {
         let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut StdRng::seed_from_u64(5));
         let specs = nodes
             .iter()
-            .map(|&node| {
-                let mut env = GridWorld::new(3);
-                env.seed(node as u64 + 1);
-                let obs = env.reset();
-                WorkerSpec { node, collector: Collector::PerEnv { env: Box::new(env), obs } }
-            })
+            .map(|&node| WorkerSpec::new(node, grid_collector(node as u64 + 1)))
             .collect();
         (specs, policy)
     }
@@ -318,11 +751,12 @@ mod tests {
         let (specs, policy) = specs(&[0, 0, 1, 1]);
         let mut rt = Runtime::spawn(specs, &policy);
         let rngs = (0..4).map(StdRng::seed_from_u64).collect();
-        let outcome = rt.collect_round(0, 16, rngs);
+        let outcome = rt.collect_round(0, 16, rngs).expect("collects");
         let order: Vec<usize> = outcome.segments.iter().map(|s| s.worker).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
         assert_eq!(outcome.segments[2].node, 1);
         assert_eq!(outcome.arrival.len(), 4);
+        assert!(outcome.faults.is_clean());
         for s in &outcome.segments {
             assert_eq!(s.segment.rollout.len(), 16);
         }
@@ -335,7 +769,7 @@ mod tests {
         let mut rt = Runtime::spawn(specs, &policy).with_window(1);
         assert_eq!(rt.window(), 1);
         let rngs = (0..3).map(StdRng::seed_from_u64).collect();
-        let outcome = rt.collect_round(0, 8, rngs);
+        let outcome = rt.collect_round(0, 8, rngs).expect("collects");
         // Serial dispatch: completion order IS worker order.
         assert_eq!(outcome.arrival, vec![0, 1, 2]);
     }
@@ -351,8 +785,11 @@ mod tests {
     fn broadcast_counts_only_remote_bytes() {
         let (specs, policy) = specs(&[0, 1]);
         let mut rt = Runtime::spawn(specs, &policy);
-        assert_eq!(rt.broadcast_weights(0, &policy, &[0]), 0, "node 0 is local");
-        assert_eq!(rt.broadcast_weights(0, &policy, &[0, 1]), policy.param_bytes());
+        let local = rt.broadcast_weights(0, &policy, &[0]).expect("acks");
+        assert_eq!(local.bytes, 0, "node 0 is local");
+        let both = rt.broadcast_weights(0, &policy, &[0, 1]).expect("acks");
+        assert_eq!(both.bytes, policy.param_bytes());
+        assert!(both.faults.is_clean());
     }
 
     #[test]
@@ -362,12 +799,12 @@ mod tests {
         let (specs_a, old) = specs(&[0]);
         let fresh = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut StdRng::seed_from_u64(99));
         let mut a = Runtime::spawn(specs_a, &old);
-        a.broadcast_weights(0, &fresh, &[0]);
-        let seg_a = a.collect_round(0, 16, vec![StdRng::seed_from_u64(7)]);
+        a.broadcast_weights(0, &fresh, &[0]).expect("acks");
+        let seg_a = a.collect_round(0, 16, vec![StdRng::seed_from_u64(7)]).expect("collects");
 
         let (specs_b, _) = specs(&[0]);
         let mut b = Runtime::spawn(specs_b, &fresh);
-        let seg_b = b.collect_round(0, 16, vec![StdRng::seed_from_u64(7)]);
+        let seg_b = b.collect_round(0, 16, vec![StdRng::seed_from_u64(7)]).expect("collects");
         assert_eq!(
             seg_a.segments[0].segment.rollout.actions,
             seg_b.segments[0].segment.rollout.actions
@@ -376,5 +813,138 @@ mod tests {
             seg_a.segments[0].segment.rollout.values,
             seg_b.segments[0].segment.rollout.values
         );
+    }
+
+    #[test]
+    fn failure_without_policy_is_an_err_not_a_panic() {
+        let _guard = PLAN_LOCK.lock();
+        install_plan(FaultPlan::new().fault(1, 0, FaultKind::Panic));
+        let (specs, policy) = specs(&[0, 0]);
+        let mut rt = Runtime::spawn(specs, &policy);
+        clear_plan();
+        let rngs = (0..2).map(StdRng::seed_from_u64).collect();
+        let err = rt.collect_round(0, 8, rngs).expect_err("fail-fast surfaces the failure");
+        match err {
+            RuntimeError::WorkerFailed { worker, round, ref reason } => {
+                assert_eq!((worker, round), (1, 0));
+                assert!(reason.contains("injected panic"), "payload text: {reason}");
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+        // The runtime is still shut-downable without hanging.
+        rt.shutdown();
+    }
+
+    #[test]
+    fn retry_absorbs_a_contained_panic() {
+        let _guard = PLAN_LOCK.lock();
+        install_plan(FaultPlan::new().fault(0, 1, FaultKind::Panic));
+        let (specs, policy) = specs(&[0, 0]);
+        let mut rt = Runtime::spawn(specs, &policy)
+            .with_fault_policy(FaultPolicy { max_retries: 1, ..FaultPolicy::resilient() });
+        clear_plan();
+        let clean = rt.collect_round(0, 8, (0..2).map(StdRng::seed_from_u64).collect());
+        assert!(clean.expect("round 0 is clean").faults.is_clean());
+        let outcome =
+            rt.collect_round(1, 8, (0..2).map(StdRng::seed_from_u64).collect()).expect("retried");
+        assert_eq!(outcome.segments.len(), 2, "both workers contribute after the retry");
+        assert_eq!(outcome.faults.retries, 1);
+        assert_eq!(
+            outcome.faults.backoff_s.to_bits(),
+            rt.fault_policy().backoff_s(0).to_bits(),
+            "first attempt charges the base backoff"
+        );
+        assert!(!rt.is_degraded());
+    }
+
+    #[test]
+    fn respawn_recovers_a_dead_thread() {
+        let _guard = PLAN_LOCK.lock();
+        install_plan(FaultPlan::new().fault(1, 0, FaultKind::Crash));
+        let (mut specs, policy) = specs(&[0, 0]);
+        specs[1] = WorkerSpec::new(0, grid_collector(2)).with_respawn(|| grid_collector(2));
+        let mut rt = Runtime::spawn(specs, &policy)
+            .with_fault_policy(FaultPolicy { max_retries: 1, ..FaultPolicy::resilient() });
+        clear_plan();
+        let outcome =
+            rt.collect_round(0, 8, (0..2).map(StdRng::seed_from_u64).collect()).expect("respawned");
+        assert_eq!(outcome.segments.len(), 2);
+        assert_eq!(outcome.faults.respawns, 1);
+        assert!(!rt.is_degraded());
+        // The respawned worker keeps serving later rounds.
+        let again = rt.collect_round(1, 8, (0..2).map(StdRng::seed_from_u64).collect());
+        assert!(again.expect("healthy").faults.is_clean());
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_and_degrade() {
+        let _guard = PLAN_LOCK.lock();
+        install_plan(FaultPlan::new().fault(2, 0, FaultKind::Panic));
+        let (specs, policy) = specs(&[0, 0, 0]);
+        let mut rt = Runtime::spawn(specs, &policy).with_fault_policy(FaultPolicy {
+            max_retries: 0,
+            quarantine: true,
+            ..FaultPolicy::resilient()
+        });
+        clear_plan();
+        let outcome =
+            rt.collect_round(0, 8, (0..3).map(StdRng::seed_from_u64).collect()).expect("degrades");
+        assert_eq!(outcome.segments.len(), 2, "survivors still merge");
+        let order: Vec<usize> = outcome.segments.iter().map(|s| s.worker).collect();
+        assert_eq!(order, vec![0, 1], "index order on the surviving set");
+        assert_eq!(outcome.faults.quarantined.len(), 1);
+        assert_eq!(outcome.faults.quarantined[0].worker, 2);
+        assert_eq!(outcome.faults.quarantined[0].cause, FaultCause::Panicked);
+        assert!(rt.is_degraded());
+        assert_eq!(rt.active_workers(), 2);
+        // Later rounds skip the quarantined worker without stalling.
+        let later =
+            rt.collect_round(1, 8, (0..3).map(StdRng::seed_from_u64).collect()).expect("collects");
+        assert_eq!(later.segments.len(), 2);
+    }
+
+    #[test]
+    fn injected_hang_surfaces_as_worker_timed_out() {
+        let _guard = PLAN_LOCK.lock();
+        install_plan(FaultPlan::new().fault(0, 0, FaultKind::Hang { millis: 300 }));
+        let (specs, policy) = specs(&[0, 0]);
+        let mut rt = Runtime::spawn(specs, &policy).with_fault_policy(FaultPolicy {
+            recv_timeout_ms: Some(40),
+            ..FaultPolicy::fail_fast()
+        });
+        clear_plan();
+        let err = rt.collect_round(0, 8, (0..2).map(StdRng::seed_from_u64).collect());
+        match err.expect_err("the hang must time out") {
+            RuntimeError::WorkerTimedOut { worker, round } => {
+                assert_eq!((worker, round), (0, 0));
+            }
+            other => panic!("expected WorkerTimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hang_quarantine_drops_the_stale_answer() {
+        let _guard = PLAN_LOCK.lock();
+        install_plan(FaultPlan::new().fault(0, 0, FaultKind::Hang { millis: 120 }));
+        let (specs, policy) = specs(&[0, 0]);
+        let mut rt = Runtime::spawn(specs, &policy).with_fault_policy(FaultPolicy {
+            recv_timeout_ms: Some(40),
+            quarantine: true,
+            ..FaultPolicy::resilient()
+        });
+        clear_plan();
+        let outcome =
+            rt.collect_round(0, 8, (0..2).map(StdRng::seed_from_u64).collect()).expect("degrades");
+        assert_eq!(outcome.segments.len(), 1, "only the healthy worker contributes");
+        assert_eq!(outcome.faults.timeouts, 1);
+        assert_eq!(outcome.faults.quarantined[0].cause, FaultCause::TimedOut);
+        // Give the hung thread time to wake and emit its stale segment,
+        // then collect again: the stale answer must not corrupt round 1.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let later =
+            rt.collect_round(1, 8, (0..2).map(StdRng::seed_from_u64).collect()).expect("collects");
+        assert_eq!(later.segments.len(), 1);
+        assert_eq!(later.segments[0].worker, 1);
+        assert!(later.faults.is_clean());
     }
 }

@@ -5,8 +5,17 @@
 //! backends re-spawned scoped threads every collection wave) and keep
 //! their environment and observation state across rounds, exactly like
 //! the persistent rollout workers of the real frameworks.
+//!
+//! Fault containment: a panic inside a collection is caught, reported as
+//! a non-fatal [`Event::WorkerFailed`], and the worker *keeps serving
+//! commands* after resetting its environment state — the driver decides
+//! whether to retry, respawn or quarantine (see
+//! [`super::fault::FaultPolicy`]). Only an injected crash (or a send on a
+//! dead event channel) ends the thread.
 
-use super::event::{Command, Event};
+use super::event::{panic_text, Command, Event};
+#[cfg(any(test, feature = "fault-inject"))]
+use super::fault::{FaultKind, FaultPlan};
 use crate::backends::common::{collect_segment, collect_segment_vec, Segment};
 use gymrs::{Environment, VecEnv};
 use rand::rngs::StdRng;
@@ -45,11 +54,38 @@ impl Collector {
             Collector::Vectorized { venv } => collect_segment_vec(policy, venv, steps, rng),
         }
     }
+
+    /// Re-enter a known-good state after a contained panic: reset the
+    /// environment(s) and the carried observation.
+    pub fn reset(&mut self) {
+        match self {
+            Collector::PerEnv { env, obs } => *obs = env.reset(),
+            Collector::Vectorized { venv } => {
+                venv.reset_all();
+            }
+        }
+    }
+}
+
+/// Per-worker context the runtime threads into [`worker_loop`]: the
+/// test-hook stagger delay and (in fault-inject builds) the snapshot of
+/// the installed `FaultPlan`.
+pub(super) struct WorkerCtx {
+    pub(super) stagger: Option<Duration>,
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub(super) plan: Option<std::sync::Arc<FaultPlan>>,
+}
+
+impl WorkerCtx {
+    #[cfg(any(test, feature = "fault-inject"))]
+    fn injected(&self, worker: usize, round: u64) -> Option<FaultKind> {
+        self.plan.as_ref().and_then(|p| p.take(worker, round))
+    }
 }
 
 /// The worker loop: block on the command channel, act, emit events.
-/// Runs until [`Command::Shutdown`], a dropped command channel, or a
-/// panic (reported as [`Event::WorkerFailed`]).
+/// Runs until [`Command::Shutdown`] or a dropped channel; contained
+/// panics are reported (non-fatally) and survived.
 pub(super) fn worker_loop(
     worker: usize,
     node: usize,
@@ -57,16 +93,43 @@ pub(super) fn worker_loop(
     mut policy: ActorCritic,
     commands: Receiver<Command>,
     events: Sender<Event>,
-    stagger: Option<Duration>,
+    ctx: WorkerCtx,
 ) {
     while let Ok(cmd) = commands.recv() {
         match cmd {
             Command::Collect { round, steps, mut rng } => {
-                if let Some(delay) = stagger {
+                if let Some(delay) = ctx.stagger {
                     std::thread::sleep(delay);
                 }
-                let result =
-                    catch_unwind(AssertUnwindSafe(|| collector.collect(&policy, steps, &mut rng)));
+                #[cfg(any(test, feature = "fault-inject"))]
+                let fault = ctx.injected(worker, round);
+                #[cfg(any(test, feature = "fault-inject"))]
+                match fault {
+                    Some(FaultKind::Slow { millis }) | Some(FaultKind::Hang { millis }) => {
+                        // A slow worker answers late; a hung worker
+                        // answers after the driver's timeout already
+                        // fired — either way the work proceeds below and
+                        // the driver decides what is stale.
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                    Some(FaultKind::Crash) => {
+                        let _ = events.send(Event::WorkerFailed {
+                            worker,
+                            round,
+                            reason: format!("injected crash in round {round}"),
+                            fatal: true,
+                        });
+                        return; // the thread dies: only a respawn recovers it
+                    }
+                    Some(FaultKind::Panic) | None => {}
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(any(test, feature = "fault-inject"))]
+                    if matches!(fault, Some(FaultKind::Panic)) {
+                        panic!("injected panic in round {round}");
+                    }
+                    collector.collect(&policy, steps, &mut rng)
+                }));
                 match result {
                     Ok(segment) => {
                         let ev = Event::SegmentReady {
@@ -81,9 +144,14 @@ pub(super) fn worker_loop(
                         }
                     }
                     Err(payload) => {
+                        // Contained: reset to a known-good state and keep
+                        // serving. The driver may retry this round.
                         let reason = panic_text(payload.as_ref());
-                        let _ = events.send(Event::WorkerFailed { worker, round, reason });
-                        break;
+                        collector.reset();
+                        let failed = Event::WorkerFailed { worker, round, reason, fatal: false };
+                        if events.send(failed).is_err() {
+                            break;
+                        }
                     }
                 }
             }
@@ -95,15 +163,5 @@ pub(super) fn worker_loop(
             }
             Command::Shutdown => break,
         }
-    }
-}
-
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "worker panicked".to_string()
     }
 }

@@ -1,6 +1,7 @@
 //! Execution specifications: what to train, where.
 
 use crate::framework::Framework;
+use crate::runtime::FaultPolicy;
 use rl_algos::{Algorithm, PpoConfig, SacConfig};
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +50,11 @@ pub struct ExecSpec {
     pub ppo: PpoConfig,
     /// SAC hyperparameters.
     pub sac: SacConfig,
+    /// How the runtime reacts to worker failures. Defaults to
+    /// [`FaultPolicy::fail_fast`] — the pre-fault-tolerance behavior,
+    /// minus the panic: an unhandled failure becomes a study `Err`.
+    #[serde(default)]
+    pub fault: FaultPolicy,
 }
 
 impl ExecSpec {
@@ -68,6 +74,7 @@ impl ExecSpec {
             seed,
             ppo: PpoConfig::default(),
             sac: SacConfig::default(),
+            fault: FaultPolicy::default(),
         }
     }
 

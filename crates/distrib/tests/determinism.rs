@@ -63,9 +63,11 @@ fn run_impala_two_nodes() -> Vec<u64> {
             ..Default::default()
         },
         actor_sync_period: 4,
+        ..Default::default()
     };
     let mut session = cluster_sim::ClusterSession::new(cluster_sim::ClusterSpec::paper_testbed(2));
-    let report = train_impala(&opts, &grid_factory(), &mut session, &mut NullObserver);
+    let report =
+        train_impala(&opts, &grid_factory(), &mut session, &mut NullObserver).expect("impala runs");
     let usage = session.finish();
     fingerprint(&report.train_returns, usage.wall_s, usage.energy_j)
 }
@@ -142,9 +144,11 @@ fn run_airdrop_impala() -> Vec<u64> {
             ..Default::default()
         },
         actor_sync_period: 4,
+        ..Default::default()
     };
     let mut session = cluster_sim::ClusterSession::new(cluster_sim::ClusterSpec::paper_testbed(2));
-    let report = train_impala(&opts, &airdrop_factory(), &mut session, &mut NullObserver);
+    let report = train_impala(&opts, &airdrop_factory(), &mut session, &mut NullObserver)
+        .expect("impala runs");
     let usage = session.finish();
     fingerprint(&report.train_returns, usage.wall_s, usage.energy_j)
 }
@@ -183,4 +187,49 @@ fn rllib_airdrop_report_is_independent_of_ode_batching() {
 #[test]
 fn impala_airdrop_report_is_independent_of_ode_batching() {
     assert_batching_invisible("impala 2n2c airdrop", run_airdrop_impala);
+}
+
+// ---- degraded runs ----------------------------------------------------
+//
+// A worker quarantined mid-study must not cost determinism: the merge
+// over the *surviving* worker set stays in worker-index order, so the
+// degraded run is as schedule-independent as a clean one. Needs the
+// fault-injection layer, so it only compiles with `--features
+// fault-inject` (the CI chaos job runs it).
+
+#[cfg(feature = "fault-inject")]
+fn run_rllib_with_midstudy_quarantine() -> Vec<u64> {
+    use dist_exec::runtime::{clear_plan, install_plan, FaultKind, FaultPlan};
+    use dist_exec::FaultPolicy;
+
+    // Enough consecutive crashes at (worker 3, round 1) to exhaust the
+    // resilient policy's retries and quarantine the worker mid-study.
+    let mut plan = FaultPlan::new();
+    for _ in 0..=FaultPolicy::resilient().max_retries {
+        plan = plan.fault(3, 1, FaultKind::Crash);
+    }
+    install_plan(plan);
+
+    let mut spec = ExecSpec::new(
+        Framework::RayRllib,
+        Algorithm::Ppo,
+        Deployment { nodes: 2, cores_per_node: 2 },
+        1_024,
+        13,
+    );
+    spec.ppo = rl_algos::ppo::PpoConfig::fast_test();
+    spec.fault = FaultPolicy::resilient();
+    let report = run(&spec, &grid_factory()).expect("the degraded study must still complete");
+    clear_plan();
+    assert!(report.degraded, "the quarantine must be reported");
+    fingerprint(&report.train_returns, report.usage.wall_s, report.usage.energy_j)
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn quarantine_mid_study_keeps_the_surviving_merge_schedule_independent() {
+    assert_schedule_independent(
+        "rllib 2n2c ppo, worker 3 quarantined in round 1",
+        run_rllib_with_midstudy_quarantine,
+    );
 }

@@ -1,0 +1,317 @@
+//! Chaos suite for the fault-tolerant execution runtime.
+//!
+//! Every test installs a deterministic [`FaultPlan`] (schedule-addressed
+//! worker panics, crashes, hangs and slowdowns), runs real training
+//! through the public backend entry points, and asserts the three
+//! invariants the fault policy promises:
+//!
+//! 1. **No study abort** — faults the policy can absorb never surface;
+//!    faults it cannot absorb surface as `Err`, never as a panic.
+//! 2. **Merge determinism** — the surviving-worker merge stays in
+//!    worker-index order, so a faulted run repeated under the same plan
+//!    is bitwise identical, and a quarantined worker's absence looks
+//!    exactly like a smaller clean deployment.
+//! 3. **Accounting reconciliation** — the telemetry snapshot rolls up to
+//!    the cluster session's usage bit for bit even when retry backoff
+//!    and quarantines land in the books mid-trial.
+//!
+//! The fault plan is process-global (like the stagger test hook), so
+//! every test serializes on [`PLAN_LOCK`].
+
+#![cfg(feature = "fault-inject")]
+
+use cluster_sim::{ClusterSession, ClusterSpec, Usage};
+use dist_exec::backend::{run_recorded, EnvFactory, FnEnvFactory};
+use dist_exec::runtime::{
+    clear_plan, install_plan, Collector, FaultKind, FaultPlan, FaultPolicy, Runtime, RuntimeError,
+    WorkerSpec,
+};
+use dist_exec::{train_impala, Deployment, ExecSpec, Framework, ImpalaOpts, NullObserver};
+use gymrs::envs::GridWorld;
+use gymrs::{Environment, Space};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_algos::policy::ActorCritic;
+use rl_algos::Algorithm;
+use std::sync::{Arc, Mutex};
+
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+fn grid_factory() -> impl EnvFactory {
+    FnEnvFactory(|seed| {
+        let mut e = GridWorld::new(3);
+        e.seed(seed);
+        Box::new(e) as Box<dyn Environment>
+    })
+}
+
+/// Bitwise fingerprint of one training run.
+fn fingerprint(returns: &[f64], usage: &Usage) -> Vec<u64> {
+    let mut bits: Vec<u64> = returns.iter().map(|v| v.to_bits()).collect();
+    bits.push(usage.wall_s.to_bits());
+    bits.push(usage.energy_j.to_bits());
+    bits.push(usage.bytes_moved);
+    bits
+}
+
+/// The four backends, addressed uniformly for the chaos sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Sb3,
+    Tfa,
+    Rllib,
+    Impala,
+}
+
+const TARGETS: [Target; 4] = [Target::Sb3, Target::Tfa, Target::Rllib, Target::Impala];
+
+impl Target {
+    /// Runtime actors this target spawns (the fault plan's worker-index
+    /// address space). SB3/TF-Agents run one vectorized actor.
+    fn workers(self) -> usize {
+        match self {
+            Target::Sb3 | Target::Tfa => 1,
+            Target::Rllib | Target::Impala => 4,
+        }
+    }
+
+    fn nodes(self) -> usize {
+        match self {
+            Target::Sb3 | Target::Tfa => 1,
+            Target::Rllib | Target::Impala => 2,
+        }
+    }
+
+    /// Collection rounds each chaos run executes (1024 steps / 256 per
+    /// round) — the fault plan's round address space.
+    fn rounds(self) -> u64 {
+        4
+    }
+}
+
+/// Run one full training on `target` under the currently installed
+/// fault plan, assert the telemetry rollup reconciles with the session
+/// accounting bitwise, and return `(fingerprint, degraded)`.
+fn run_target(target: Target, fault: FaultPolicy) -> Result<(Vec<u64>, bool), String> {
+    let deployment = Deployment { nodes: target.nodes(), cores_per_node: 2 };
+    let ring = Arc::new(telemetry::RingRecorder::new());
+    let (returns, usage, degraded) = match target {
+        Target::Impala => {
+            let opts = ImpalaOpts {
+                deployment,
+                total_steps: 1_024,
+                seed: 23,
+                config: rl_algos::impala::ImpalaConfig {
+                    hidden: vec![16, 16],
+                    n_steps: 256,
+                    ..Default::default()
+                },
+                actor_sync_period: 2,
+                fault,
+            };
+            let mut session =
+                ClusterSession::with_recorder(ClusterSpec::paper_testbed(2), ring.clone());
+            let report = train_impala(&opts, &grid_factory(), &mut session, &mut NullObserver)?;
+            (report.train_returns, session.finish(), report.degraded)
+        }
+        _ => {
+            let framework = match target {
+                Target::Sb3 => Framework::StableBaselines,
+                Target::Tfa => Framework::TfAgents,
+                _ => Framework::RayRllib,
+            };
+            let mut spec = ExecSpec::new(framework, Algorithm::Ppo, deployment, 1_024, 23);
+            spec.ppo = rl_algos::ppo::PpoConfig::fast_test();
+            spec.fault = fault;
+            let report = run_recorded(&spec, &grid_factory(), ring.clone())?;
+            (report.train_returns, report.usage, report.degraded)
+        }
+    };
+
+    // Invariant 3: the recorder's view of the trial rolls up to the
+    // session's usage bit for bit, faults and all.
+    let rolled =
+        Usage::from_snapshot(&ring.snapshot(), &ClusterSpec::paper_testbed(target.nodes()));
+    assert_eq!(
+        rolled.wall_s.to_bits(),
+        usage.wall_s.to_bits(),
+        "{target:?}: telemetry wall-clock must reconcile under faults"
+    );
+    assert_eq!(
+        rolled.energy_j.to_bits(),
+        usage.energy_j.to_bits(),
+        "{target:?}: telemetry energy must reconcile under faults"
+    );
+
+    Ok((fingerprint(&returns, &usage), degraded))
+}
+
+/// A policy generous enough to absorb every chaos schedule: more
+/// retries than any schedule has faults at one address.
+fn chaos_policy() -> FaultPolicy {
+    FaultPolicy {
+        max_retries: 4,
+        backoff_base_s: 0.25,
+        backoff_factor: 2.0,
+        quarantine: true,
+        recv_timeout_ms: Some(5_000),
+    }
+}
+
+/// Enough consecutive crashes at one `(worker, round)` address to blow
+/// through [`FaultPolicy::resilient`]'s retry budget and quarantine the
+/// worker even though a respawn factory is available.
+fn lethal_plan(worker: usize, round: u64) -> FaultPlan {
+    let retries = FaultPolicy::resilient().max_retries as usize;
+    let mut plan = FaultPlan::new();
+    for _ in 0..=retries {
+        plan = plan.fault(worker, round, FaultKind::Crash);
+    }
+    plan
+}
+
+// ---- tentpole acceptance: kill one worker at round k ------------------
+
+#[test]
+fn killed_worker_degrades_but_completes_and_reproduces() {
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for target in [Target::Rllib, Target::Impala] {
+        install_plan(lethal_plan(1, 1));
+        let (a, degraded_a) = run_target(target, FaultPolicy::resilient())
+            .unwrap_or_else(|e| panic!("{target:?}: study aborted: {e}"));
+        install_plan(lethal_plan(1, 1));
+        let (b, degraded_b) = run_target(target, FaultPolicy::resilient())
+            .unwrap_or_else(|e| panic!("{target:?}: study aborted: {e}"));
+        clear_plan();
+        assert!(degraded_a, "{target:?}: a quarantine must set the DegradedResult flag");
+        assert_eq!(degraded_a, degraded_b);
+        assert_eq!(a, b, "{target:?}: a degraded run must still be bitwise reproducible");
+    }
+}
+
+#[test]
+fn quarantined_merge_matches_a_smaller_clean_runtime() {
+    // Runtime-level form of the acceptance bar: kill the *last* of three
+    // workers and the surviving merge must be bitwise the one a clean
+    // two-worker runtime produces — same segments, same order.
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut StdRng::seed_from_u64(5));
+    let collector = |w: u64| {
+        let mut env = GridWorld::new(3);
+        env.seed(w + 1);
+        let obs = env.reset();
+        Collector::PerEnv { env: Box::new(env), obs }
+    };
+    let rngs = |n: usize, round: u64| -> Vec<StdRng> {
+        (0..n).map(|w| StdRng::seed_from_u64(100 * round + w as u64)).collect()
+    };
+
+    install_plan(lethal_plan(2, 0));
+    let specs = (0..3).map(|w| WorkerSpec::new(0, collector(w))).collect();
+    let mut faulted = Runtime::spawn(specs, &policy).with_fault_policy(FaultPolicy::resilient());
+    clear_plan();
+
+    let specs = (0..2).map(|w| WorkerSpec::new(0, collector(w))).collect();
+    let mut clean = Runtime::spawn(specs, &policy);
+
+    for round in 0..2u64 {
+        let f = faulted.collect_round(round, 16, rngs(3, round)).expect("survivors collect");
+        let c = clean.collect_round(round, 16, rngs(2, round)).expect("clean collects");
+        if round == 0 {
+            assert_eq!(f.faults.quarantined.len(), 1, "worker 2 must be quarantined in round 0");
+            assert_eq!(f.faults.quarantined[0].worker, 2);
+        }
+        assert!(faulted.is_degraded());
+        assert_eq!(faulted.active_workers(), 2);
+        assert_eq!(f.segments.len(), c.segments.len(), "round {round}: surviving-worker set");
+        for (fs, cs) in f.segments.iter().zip(&c.segments) {
+            assert_eq!(fs.worker, cs.worker, "round {round}: index-ordered merge");
+            assert_eq!(fs.segment.rollout.actions, cs.segment.rollout.actions);
+            assert_eq!(
+                bits(&fs.segment.rollout.values),
+                bits(&cs.segment.rollout.values),
+                "round {round}, worker {}: values must match bitwise",
+                fs.worker
+            );
+            assert_eq!(bits(&fs.segment.rollout.log_probs), bits(&cs.segment.rollout.log_probs));
+            assert_eq!(bits(&fs.segment.rollout.rewards), bits(&cs.segment.rollout.rewards));
+        }
+    }
+    faulted.shutdown();
+    clean.shutdown();
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+// ---- hangs ------------------------------------------------------------
+
+#[test]
+fn hung_worker_is_quarantined_under_a_resilient_policy() {
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    install_plan(FaultPlan::new().fault(3, 1, FaultKind::Hang { millis: 600 }));
+    let policy = FaultPolicy { recv_timeout_ms: Some(100), ..FaultPolicy::resilient() };
+    let (_, degraded) = run_target(Target::Rllib, policy).expect("the study must survive a hang");
+    clear_plan();
+    assert!(degraded, "a timed-out worker is a quarantine, hence a degraded result");
+}
+
+#[test]
+fn hung_worker_fails_fast_by_default() {
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    install_plan(FaultPlan::new().fault(3, 1, FaultKind::Hang { millis: 600 }));
+    let policy = FaultPolicy { recv_timeout_ms: Some(100), ..FaultPolicy::fail_fast() };
+    let err = run_target(Target::Rllib, policy).expect_err("fail-fast must surface the hang");
+    clear_plan();
+    assert!(err.contains("timed out"), "error names the hang: {err}");
+    assert_eq!(
+        err,
+        RuntimeError::WorkerTimedOut { worker: 3, round: 1 }.to_string(),
+        "the error carries the worker and round"
+    );
+}
+
+// ---- satellite: failures are errors, never panics ---------------------
+
+#[test]
+fn failures_error_instead_of_panicking_on_every_backend() {
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for target in TARGETS {
+        install_plan(FaultPlan::new().fault(0, 0, FaultKind::Crash));
+        let err = run_target(target, FaultPolicy::fail_fast())
+            .expect_err("fail-fast turns the crash into an Err");
+        assert!(
+            err.contains("worker 0") && err.contains("round 0"),
+            "{target:?}: error locates the failure: {err}"
+        );
+    }
+    clear_plan();
+}
+
+// ---- chaos sweep ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// 16 seeded random fault schedules × 4 backends = 64 chaos runs,
+    /// each executed twice: none may abort, and each pair must agree
+    /// bitwise (the telemetry reconciliation runs inside `run_target`).
+    #[test]
+    fn random_fault_schedules_never_abort_and_stay_deterministic(seed in 0u64..1 << 16) {
+        let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for target in TARGETS {
+            let plan = FaultPlan::random(seed, target.workers(), target.rounds(), 2);
+            install_plan(plan.clone());
+            let (a, degraded_a) = run_target(target, chaos_policy())
+                .unwrap_or_else(|e| panic!("{target:?} seed {seed}: study aborted: {e}"));
+            install_plan(plan);
+            let (b, degraded_b) = run_target(target, chaos_policy())
+                .unwrap_or_else(|e| panic!("{target:?} seed {seed}: repeat aborted: {e}"));
+            clear_plan();
+            prop_assert_eq!(&a, &b, "{:?} seed {}: chaos runs must be bitwise identical", target, seed);
+            prop_assert_eq!(degraded_a, degraded_b);
+        }
+    }
+}
