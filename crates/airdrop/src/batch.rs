@@ -50,19 +50,10 @@ impl BatchedAirdropDynamics {
         self.wind_x[e] = wind.0;
         self.wind_y[e] = wind.1;
     }
-}
 
-impl BatchSystem for BatchedAirdropDynamics {
-    fn dim(&self) -> usize {
-        STATE_DIM
-    }
-
-    fn n_lanes(&self) -> usize {
-        self.commands.len()
-    }
-
-    #[inline]
-    fn deriv_batch(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+    /// The lane loop shared by every ISA version of the derivative.
+    #[inline(always)]
+    fn deriv_lanes(&self, y: &[f64], dydt: &mut [f64]) {
         let p = &self.params;
         let n = self.commands.len();
         // Length facts let the compiler drop every bounds check in the
@@ -71,17 +62,19 @@ impl BatchSystem for BatchedAirdropDynamics {
         assert_eq!(dydt.len(), STATE_DIM * n);
         assert_eq!(self.wind_x.len(), n);
         assert_eq!(self.wind_y.len(), n);
+        // Hoisted out of the lane loop: the lanes share parameters, so
+        // three divides replace 5·n and the loop body is division-free.
+        let inv_taus = p.inv_taus();
         for e in 0..n {
             let (vx, vy, vz) = (y[3 * n + e], y[4 * n + e], y[5 * n + e]);
             let (psi, psi_dot, delta) = (y[6 * n + e], y[7 * n + e], y[8 * n + e]);
             let (ax, ay, az, alpha, ddelta) = crate::dynamics::deriv_lane(
                 p,
+                inv_taus,
                 self.commands[e],
                 (self.wind_x[e], self.wind_y[e]),
                 (vx, vy, vz),
-                psi,
-                psi_dot,
-                delta,
+                (psi, psi_dot, delta),
             );
 
             // Position.
@@ -99,6 +92,48 @@ impl BatchSystem for BatchedAirdropDynamics {
             dydt[8 * n + e] = ddelta;
         }
     }
+
+    /// 256-bit compilation of the lane loop, used on *both* AVX tiers.
+    /// `inline(never)` is load-bearing: it keeps this body from being
+    /// inlined back into the AVX-512 stepper, where LLVM would
+    /// re-vectorize it 512-bit — measured slower than 256-bit for this
+    /// body (the sin/cos quadrant fix-up is 64-bit integer work that
+    /// prices 512-bit vectors above 256-bit ones on current Xeons).
+    /// Every operation in the loop is IEEE exact-rounded, so each
+    /// compilation is bitwise-identical to the scalar one.
+    #[cfg(target_arch = "x86_64")]
+    #[inline(never)]
+    #[target_feature(enable = "avx2")]
+    unsafe fn deriv_lanes_avx2(&self, y: &[f64], dydt: &mut [f64]) {
+        self.deriv_lanes(y, dydt)
+    }
+}
+
+impl BatchSystem for BatchedAirdropDynamics {
+    fn dim(&self) -> usize {
+        STATE_DIM
+    }
+
+    fn n_lanes(&self) -> usize {
+        self.commands.len()
+    }
+
+    fn deriv_batch(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+        // Dispatch once per call, not per lane. On any AVX tier the
+        // 256-bit compilation wins (see `deriv_lanes_avx2`), so the
+        // AVX-512 stepper deliberately runs its derivative at 256 bits
+        // while the stage microkernels stay at 512. Forced-scalar
+        // (`RLDT_SIMD=scalar`) takes the portable body; every tier
+        // produces identical bits.
+        #[cfg(target_arch = "x86_64")]
+        if simd_kernels::Isa::cached() >= simd_kernels::Isa::Avx2 {
+            // SAFETY: the Avx2 tier is only reported when the CPU has
+            // avx2 (Isa::cached clamps to Isa::detect).
+            unsafe { self.deriv_lanes_avx2(y, dydt) };
+            return;
+        }
+        self.deriv_lanes(y, dydt);
+    }
 }
 
 /// [`AnyLockstepBatcher`] for `n` [`AirdropEnv`]s sharing one
@@ -110,8 +145,9 @@ pub struct AirdropBatch {
     n: usize,
     stepper: AnyBatchStepper,
     dyns: BatchedAirdropDynamics,
-    /// SoA state, `y[d * n + e]`.
-    y: Vec<f64>,
+    /// SoA state, `y[d * n + e]`; 64-byte aligned to keep the stepper's
+    /// vector loads over it split-free.
+    y: simd_kernels::AlignedF64,
     /// Pre-substep `x, y, z` rows for touchdown interpolation.
     prev_xyz: Vec<f64>,
     active: Vec<bool>,
@@ -134,7 +170,7 @@ impl AirdropBatch {
             dyns: BatchedAirdropDynamics::new(params, n),
             config,
             n,
-            y: vec![0.0; STATE_DIM * n],
+            y: simd_kernels::AlignedF64::zeroed(STATE_DIM * n),
             prev_xyz: vec![0.0; 3 * n],
             active: vec![false; n],
             landed: vec![false; n],

@@ -80,6 +80,20 @@ impl ParafoilParams {
     pub fn sink_rate(&self, delta: f64) -> f64 {
         self.vz0 * (1.0 + self.brake_sink * delta * delta)
     }
+
+    /// Reciprocals of the relaxation time constants
+    /// `(1/τ_v, 1/τ_ψ, 1/τ_δ)`.
+    ///
+    /// [`deriv_lane`] multiplies by these instead of dividing: the five
+    /// per-lane divides were the throughput floor of the batched
+    /// derivative (`vdivpd` is unpipelined), and the compiler cannot hoist
+    /// a reciprocal itself because `x / τ` and `x · (1/τ)` differ in the
+    /// last ulp. Both the scalar and the batched path compute the
+    /// reciprocals with this one function and feed them through the same
+    /// kernel, so scalar/batched bitwise parity is unaffected.
+    pub(crate) fn inv_taus(&self) -> (f64, f64, f64) {
+        (1.0 / self.tau_v, 1.0 / self.tau_psi, 1.0 / self.tau_delta)
+    }
 }
 
 /// Per-lane derivative kernel, shared *verbatim* by the scalar
@@ -96,12 +110,11 @@ impl ParafoilParams {
 #[inline(always)]
 pub(crate) fn deriv_lane(
     p: &ParafoilParams,
+    inv_taus: (f64, f64, f64),
     command: f64,
     wind: (f64, f64),
     v: (f64, f64, f64),
-    psi: f64,
-    psi_dot: f64,
-    delta: f64,
+    (psi, psi_dot, delta): (f64, f64, f64),
 ) -> (f64, f64, f64, f64, f64) {
     let va = p.airspeed(delta);
     let vzr = p.sink_rate(delta);
@@ -112,15 +125,17 @@ pub(crate) fn deriv_lane(
     let vdy = va * spsi + wind.1;
     let vdz = -vzr;
 
+    // `inv_taus` must come from `ParafoilParams::inv_taus` in every
+    // caller — division-free relaxation, same bits on both paths.
     (
         // Velocity relaxation toward equilibrium.
-        (vdx - v.0) / p.tau_v,
-        (vdy - v.1) / p.tau_v,
-        (vdz - v.2) / p.tau_v,
+        (vdx - v.0) * inv_taus.0,
+        (vdy - v.1) * inv_taus.0,
+        (vdz - v.2) * inv_taus.0,
         // Heading-rate dynamics.
-        (p.k_turn * delta - psi_dot) / p.tau_psi,
+        (p.k_turn * delta - psi_dot) * inv_taus.1,
         // Actuator lag toward the held command.
-        (command.clamp(-1.0, 1.0) - delta) / p.tau_delta,
+        (command.clamp(-1.0, 1.0) - delta) * inv_taus.2,
     )
 }
 
@@ -147,8 +162,15 @@ impl System for ParafoilDynamics {
     fn deriv(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
         let (vx, vy, vz) = (y[3], y[4], y[5]);
         let (psi, psi_dot, delta) = (y[6], y[7], y[8]);
-        let (ax, ay, az, alpha, ddelta) =
-            deriv_lane(&self.params, self.command, self.wind, (vx, vy, vz), psi, psi_dot, delta);
+        let inv_taus = self.params.inv_taus();
+        let (ax, ay, az, alpha, ddelta) = deriv_lane(
+            &self.params,
+            inv_taus,
+            self.command,
+            self.wind,
+            (vx, vy, vz),
+            (psi, psi_dot, delta),
+        );
 
         // Position.
         dydt[0] = vx;

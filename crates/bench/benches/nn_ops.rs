@@ -138,10 +138,13 @@ fn emit_batch_sweep() {
             "speedup": per_row_ns / batched_ns,
         }));
     }
+    let isa = simd_kernels::Isa::cached();
     let report = serde_json::json!({
         "bench": "batched_policy_eval",
         "net": [11, 64, 64, 1],
         "unit": "ns_per_batch",
+        "isa": isa.name(),
+        "f64_lane_width": isa.f64_lanes(),
         "results": results,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");

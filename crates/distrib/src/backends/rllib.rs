@@ -163,7 +163,7 @@ fn train_ppo(
 
     let stats = driver.finish();
     Ok(ExecReport {
-        model: TrainedModel::Ppo(learner.policy.clone()),
+        model: TrainedModel::Ppo(Box::new(learner.policy.clone())),
         usage: Default::default(),
         env_steps: stats.env_steps,
         env_work: stats.env_work,

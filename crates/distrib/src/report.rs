@@ -9,8 +9,8 @@ use serde::{Deserialize, Serialize};
 /// A trained model returned by a backend (evaluated later on the
 /// reference environment by the study harness).
 pub enum TrainedModel {
-    /// PPO actor-critic.
-    Ppo(ActorCritic),
+    /// PPO actor-critic (boxed: the nets dwarf the enum's other variant).
+    Ppo(Box<ActorCritic>),
     /// SAC learner (kept whole: the greedy policy needs the actor net).
     Sac(Box<SacLearner>),
 }
@@ -108,7 +108,7 @@ mod tests {
     fn trained_model_evaluates_on_env() {
         let mut rng = StdRng::seed_from_u64(1);
         let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut rng);
-        let model = TrainedModel::Ppo(policy);
+        let model = TrainedModel::Ppo(Box::new(policy));
         let mut env = GridWorld::new(3);
         env.seed(2);
         let r = model.evaluate(&mut env, 3, 50);
@@ -120,7 +120,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut rng);
         let report = ExecReport {
-            model: TrainedModel::Ppo(policy),
+            model: TrainedModel::Ppo(Box::new(policy)),
             usage: Usage { wall_s: 60.0, energy_j: 3_000.0, ..Usage::default() },
             env_steps: 10,
             env_work: 10,
@@ -142,7 +142,7 @@ mod tests {
         let mut returns: Vec<f64> = vec![100.0; 5];
         returns.extend(vec![1.0; 20]);
         let report = ExecReport {
-            model: TrainedModel::Ppo(policy),
+            model: TrainedModel::Ppo(Box::new(policy)),
             usage: Usage::default(),
             env_steps: 0,
             env_work: 0,

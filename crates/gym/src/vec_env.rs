@@ -201,7 +201,16 @@ impl<E: Environment> VecEnv<E> {
     pub fn new_preseeded(envs: Vec<E>) -> Self {
         assert!(!envs.is_empty(), "VecEnv needs at least one sub-environment");
         let n = envs.len();
-        let batcher = if test_hooks::auto_batch() { envs[0].lockstep_batcher(n) } else { None };
+        // Auto-install the batched fast path only above the calibrated
+        // scalar/SIMD crossover: tiny batches (n = 1–2 by default) pay
+        // more in SoA bookkeeping than they gain in lane parallelism.
+        // `set_batched(true)` bypasses the gate for explicit opt-in.
+        let batcher = if test_hooks::auto_batch() && n >= simd_kernels::crossover::batch_crossover()
+        {
+            envs[0].lockstep_batcher(n)
+        } else {
+            None
+        };
         Self {
             envs,
             obs: vec![Vec::new(); n],
@@ -219,8 +228,28 @@ impl<E: Environment> VecEnv<E> {
     /// Route per-tick counters (see [`crate::keys`]) to `recorder`.
     /// Defaults to the null recorder, which keeps the step path free of
     /// instrumentation cost beyond one branch per tick.
+    ///
+    /// Attaching an enabled recorder also emits one [`keys::DISPATCH`]
+    /// event capturing the kernel dispatch decision: the ISA tier the
+    /// SIMD microkernels run on, its `f64` lane width, the scalar/batched
+    /// crossover, and whether this `VecEnv` took the batched path.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.recorder = recorder;
+        if self.recorder.enabled() {
+            let isa = simd_kernels::Isa::cached();
+            self.recorder.event(
+                keys::DISPATCH,
+                &[
+                    (keys::DISPATCH_ISA, telemetry::Value::Str(isa.name())),
+                    (keys::DISPATCH_LANES, telemetry::Value::U64(isa.f64_lanes() as u64)),
+                    (
+                        keys::DISPATCH_CROSSOVER,
+                        telemetry::Value::U64(simd_kernels::crossover::batch_crossover() as u64),
+                    ),
+                    (keys::DISPATCH_BATCHED, telemetry::Value::Bool(self.batcher.is_some())),
+                ],
+            );
+        }
     }
 
     /// Override the work threshold at which [`VecEnv::step_parallel`]
@@ -416,16 +445,19 @@ impl<E: Environment> VecEnv<E> {
                 }
             }
         }
-        self.record_tick(tick_work, self.tick.finished.len() as u64);
+        self.record_tick(tick_work, self.tick.finished.len() as u64, true);
     }
 
     /// One counter bundle per lockstep sweep — aggregated locally first,
-    /// so the recorder sees four adds per tick, not four per sub-env.
-    fn record_tick(&self, tick_work: u64, episodes: u64) {
+    /// so the recorder sees a handful of adds per tick, not per sub-env.
+    /// `batched` records which path served the tick.
+    fn record_tick(&self, tick_work: u64, episodes: u64, batched: bool) {
         if !self.recorder.enabled() {
             return;
         }
         self.recorder.counter_add(keys::TICKS, 1);
+        self.recorder
+            .counter_add(if batched { keys::BATCHED_TICKS } else { keys::SCALAR_TICKS }, 1);
         self.recorder.counter_add(keys::STEPS, self.envs.len() as u64);
         self.recorder.counter_add(keys::WORK, tick_work);
         if episodes > 0 {
@@ -456,7 +488,7 @@ impl<E: Environment> VecEnv<E> {
             self.obs[i].clone_from(&s.obs);
             steps.push(s);
         }
-        self.record_tick(tick_work, finished.len() as u64);
+        self.record_tick(tick_work, finished.len() as u64, false);
         StepBatch { steps, finished, final_obs }
     }
 }
@@ -620,5 +652,40 @@ mod tests {
         assert_eq!(snap.counter(keys::STEPS.name()), Some(v.total_steps));
         assert_eq!(snap.counter(keys::WORK.name()), Some(v.total_work));
         assert_eq!(snap.counter(keys::EPISODES.name()), Some(2));
+    }
+
+    #[test]
+    fn scalar_ticks_are_counted_per_path() {
+        // GridWorld has no lockstep batcher, so every tick is scalar.
+        let ring = std::sync::Arc::new(telemetry::RingRecorder::new());
+        let mut v = make(2);
+        v.set_recorder(ring.clone());
+        for _ in 0..3 {
+            v.step_all(&vec![Action::Discrete(0); 2]);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.counter(keys::SCALAR_TICKS.name()), Some(3));
+        assert_eq!(snap.counter(keys::BATCHED_TICKS.name()), None);
+    }
+
+    #[test]
+    fn attaching_a_recorder_emits_the_dispatch_event() {
+        let ring = std::sync::Arc::new(telemetry::RingRecorder::new());
+        let mut v = make(2);
+        v.set_recorder(ring.clone());
+        let snap = ring.snapshot();
+        let ev: Vec<_> = snap.events_named(keys::DISPATCH.name()).collect();
+        assert_eq!(ev.len(), 1, "exactly one dispatch event per attach");
+        let isa = simd_kernels::Isa::cached();
+        assert_eq!(
+            ev[0].field(keys::DISPATCH_ISA.name()),
+            Some(&telemetry::FieldValue::Str(isa.name().into()))
+        );
+        assert_eq!(ev[0].field_u64(keys::DISPATCH_LANES.name()), Some(isa.f64_lanes() as u64));
+        assert_eq!(
+            ev[0].field_u64(keys::DISPATCH_CROSSOVER.name()),
+            Some(simd_kernels::crossover::batch_crossover() as u64)
+        );
+        assert!(ev[0].field(keys::DISPATCH_BATCHED.name()).is_some());
     }
 }

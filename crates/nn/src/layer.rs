@@ -27,6 +27,29 @@ impl Activation {
         }
     }
 
+    /// Apply the activation to a whole buffer.
+    ///
+    /// Hoists the variant match out of the sweep so each arm is a tight
+    /// loop. Tanh stays a `libm` call per element (vectorizing it would
+    /// change the bits); relu keeps `f64::max` for its IEEE `-0.0`/NaN
+    /// semantics. Identity is a no-op.
+    #[inline]
+    pub fn apply_batch(self, xs: &mut [f64]) {
+        match self {
+            Activation::Identity => {}
+            Activation::Tanh => {
+                for v in xs {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Relu => {
+                for v in xs {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+    }
+
     /// Derivative expressed in terms of the *output* value `y = f(x)`.
     ///
     /// (For tanh, `f' = 1 - y²`; for relu, `f' = [y > 0]`; both avoid
@@ -103,11 +126,7 @@ impl Linear {
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
         x.matmul_into(&self.w, out);
         out.add_row_broadcast(&self.b);
-        if self.act != Activation::Identity {
-            for v in out.as_mut_slice() {
-                *v = self.act.apply(*v);
-            }
-        }
+        self.act.apply_batch(out.as_mut_slice());
     }
 
     /// Backward pass.

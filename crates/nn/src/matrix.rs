@@ -4,10 +4,12 @@
 //! [`Matrix::matmul_transpose_rhs_into`], [`Matrix::transpose_matmul_into`])
 //! are register-blocked: the shared `k` dimension is unrolled 4× so every
 //! sweep over an output row performs four multiply-adds per load/store of
-//! the accumulator, and the innermost loops run over contiguous slices so
-//! the compiler can autovectorize them. Above [`PAR_THRESHOLD`]
-//! multiply-add operations the row loop is split across the rayon global
-//! pool.
+//! the accumulator. The rank-blocked inner sweeps dispatch to the explicit
+//! `simd_kernels::nnf64` microkernels (8-lane f64 on AVX-512F, 4-lane on
+//! AVX2, scalar otherwise) — every tier evaluates the same per-element
+//! expression tree, so results are bit-identical to the scalar loops these
+//! kernels replaced. Above [`PAR_THRESHOLD`] multiply-add operations the
+//! row loop is split across the rayon global pool.
 //!
 //! Determinism contract: the accumulation order for an output row depends
 //! only on the shared dimensions (`k`, `n`), never on the number of rows
@@ -37,34 +39,21 @@ pub struct Matrix {
 }
 
 /// Accumulate `a_row · b` into `out_row` (which the caller has zeroed),
-/// with the `k` loop unrolled 4×. Accumulation order depends only on
-/// `k`/`n` — see the module-level determinism contract.
+/// rank-4 blocked over `k`. Dispatches to the explicit SIMD microkernel
+/// for the process's [`simd_kernels::Isa::cached`] tier; every tier
+/// computes the same expression tree per column, so the accumulation
+/// order still depends only on `k`/`n` — see the module-level
+/// determinism contract.
 #[inline]
 fn row_matmul_acc(a_row: &[f64], b: &[f64], out_row: &mut [f64], k: usize, n: usize) {
-    let mut p = 0;
-    while p + 4 <= k {
-        let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
-        let b0 = &b[p * n..(p + 1) * n];
-        let b1 = &b[(p + 1) * n..(p + 2) * n];
-        let b2 = &b[(p + 2) * n..(p + 3) * n];
-        let b3 = &b[(p + 3) * n..(p + 4) * n];
-        for j in 0..n {
-            out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-        }
-        p += 4;
-    }
-    while p < k {
-        let a = a_row[p];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (o, &bv) in out_row.iter_mut().zip(b_row) {
-            *o += a * bv;
-        }
-        p += 1;
-    }
+    simd_kernels::nnf64::row_matmul_acc(simd_kernels::Isa::cached(), a_row, b, out_row, k, n);
 }
 
 /// Dot product with four independent accumulators (breaks the FP add
-/// dependency chain so the loop pipelines/vectorizes).
+/// dependency chain so the loop pipelines/vectorizes). Deliberately NOT
+/// dispatched to a wide SIMD kernel: its fixed 4-accumulator reduction
+/// order is part of the determinism contract, and widening the reduction
+/// would change the sum association and hence the bits.
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     let k = a.len().min(b.len());
@@ -322,46 +311,21 @@ impl Matrix {
         self.transpose_matmul_acc_impl(rhs, out);
     }
 
-    /// Shared `out += selfᵀ · rhs` kernel. The `k` (row) loop is unrolled
-    /// 4× so each pass over `out` folds in four rank-1 updates, quartering
-    /// the accumulator traffic of the naive outer-product loop.
+    /// Shared `out += selfᵀ · rhs` kernel: rank-4 blocked over `k` so each
+    /// pass over `out` folds in four rank-1 updates. Dispatches to the
+    /// explicit SIMD microkernel for the process's cached ISA tier; all
+    /// tiers evaluate the same per-element expression tree.
     fn transpose_matmul_acc_impl(&self, rhs: &Matrix, out: &mut Matrix) {
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        if m == 0 || k == 0 || n == 0 {
-            return;
-        }
-        let a = &self.data;
-        let b = &rhs.data;
-        let mut p = 0;
-        while p + 4 <= k {
-            let a0 = &a[p * m..(p + 1) * m];
-            let a1 = &a[(p + 1) * m..(p + 2) * m];
-            let a2 = &a[(p + 2) * m..(p + 3) * m];
-            let a3 = &a[(p + 3) * m..(p + 4) * m];
-            let b0 = &b[p * n..(p + 1) * n];
-            let b1 = &b[(p + 1) * n..(p + 2) * n];
-            let b2 = &b[(p + 2) * n..(p + 3) * n];
-            let b3 = &b[(p + 3) * n..(p + 4) * n];
-            for i in 0..m {
-                let (c0, c1, c2, c3) = (a0[i], a1[i], a2[i], a3[i]);
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += c0 * b0[j] + c1 * b1[j] + c2 * b2[j] + c3 * b3[j];
-                }
-            }
-            p += 4;
-        }
-        while p < k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &c) in a_row.iter().enumerate() {
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += c * bv;
-                }
-            }
-            p += 1;
-        }
+        simd_kernels::nnf64::transpose_matmul_acc(
+            simd_kernels::Isa::cached(),
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            k,
+            m,
+            n,
+        );
     }
 
     /// Transposed copy.
@@ -375,12 +339,10 @@ impl Matrix {
         out
     }
 
-    /// Elementwise in-place `self += alpha * other`.
+    /// Elementwise in-place `self += alpha * other` (SIMD-dispatched).
     pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        simd_kernels::nnf64::axpy(simd_kernels::Isa::cached(), alpha, &other.data, &mut self.data);
     }
 
     /// Elementwise in-place scale.

@@ -30,6 +30,7 @@ use crate::extrapolation::SEQUENCE;
 use crate::methods::RkOrder;
 use crate::tableau::Tableau;
 use crate::Work;
+use simd_kernels::{odef64, AlignedF64, Isa};
 
 /// An ODE right-hand side evaluated for `n_lanes` independent states at
 /// once, in SoA layout (`y[d * n_lanes + e]`).
@@ -58,37 +59,53 @@ pub struct BatchTableauStepper {
     dim: usize,
     n: usize,
     /// Stage derivatives: stage `i`, component `d`, lane `e` at
-    /// `(i*dim + d)*n + e`.
-    k: Vec<f64>,
+    /// `(i*dim + d)*n + e`. 64-byte aligned so the SoA stage blocks the
+    /// microkernels stream over never split cache lines.
+    k: AlignedF64,
     /// Scratch state for stage evaluations (SoA, `dim × n`).
-    ytmp: Vec<f64>,
+    ytmp: AlignedF64,
     /// Stage accumulator block (SoA, `dim × n`).
-    acc: Vec<f64>,
+    acc: AlignedF64,
     /// Cached `f(t_{n+1}, y_{n+1})` per lane (SoA, `dim × n`).
-    fsal: Vec<f64>,
+    fsal: AlignedF64,
     fsal_valid: Vec<bool>,
+    /// ISA tier the stage microkernels dispatch to (fixed at build).
+    isa: Isa,
 }
 
 impl BatchTableauStepper {
     /// Create a batched stepper for `n` lanes of a `dim`-dimensional system.
     pub fn new(tab: &'static Tableau, dim: usize, n: usize) -> Self {
+        Self::with_isa(tab, dim, n, Isa::cached())
+    }
+
+    /// Like [`Self::new`] with an explicit ISA tier. Requests above what
+    /// the CPU supports are clamped, so any value is safe to pass.
+    #[doc(hidden)]
+    pub fn with_isa(tab: &'static Tableau, dim: usize, n: usize, isa: Isa) -> Self {
         debug_assert!(tab.validate().is_ok());
         assert!(n > 0, "batched stepper needs at least one lane");
         Self {
             tab,
             dim,
             n,
-            k: vec![0.0; tab.stages * dim * n],
-            ytmp: vec![0.0; dim * n],
-            acc: vec![0.0; dim * n],
-            fsal: vec![0.0; dim * n],
+            k: AlignedF64::zeroed(tab.stages * dim * n),
+            ytmp: AlignedF64::zeroed(dim * n),
+            acc: AlignedF64::zeroed(dim * n),
+            fsal: AlignedF64::zeroed(dim * n),
             fsal_valid: vec![false; n],
+            isa: isa.min(Isa::detect()),
         }
     }
 
     /// The tableau backing this stepper.
     pub fn tableau(&self) -> &'static Tableau {
         self.tab
+    }
+
+    /// The ISA tier this stepper's kernels dispatch to.
+    pub fn isa(&self) -> Isa {
+        self.isa
     }
 
     /// Advance every *active* lane of `y` (SoA, `dim × n_lanes`) from `t`
@@ -108,22 +125,42 @@ impl BatchTableauStepper {
         active: &[bool],
         work: &mut [Work],
     ) {
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was just verified at runtime. The body
-            // performs only IEEE-exact operations, so the wide compilation
-            // returns bitwise-identical results to the baseline one.
-            return unsafe { self.step_avx2(sys, t, h, y, active, work) };
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `self.isa` is clamped to the detected ISA at
+            // construction. The bodies perform only IEEE-exact operations,
+            // so the wide compilations are bitwise-identical to scalar.
+            Isa::Avx512 => unsafe { self.step_avx512(sys, t, h, y, active, work) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            Isa::Avx2 => unsafe { self.step_avx2(sys, t, h, y, active, work) },
+            _ => self.step_inner(sys, t, h, y, active, work),
         }
-        self.step_inner(sys, t, h, y, active, work)
     }
 
-    /// The stepper body compiled with AVX2 enabled: 4-wide f64 lanes for
-    /// the stage math and, when the system's `deriv_batch` inlines here,
-    /// the derivative loop too. Exactly [`Self::step_inner`] otherwise.
+    /// The stepper body compiled with AVX2 enabled: besides the explicit
+    /// stage microkernels, the system's `deriv_batch` inlines here and
+    /// autovectorizes 4-wide. Exactly [`Self::step_inner`] otherwise.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
     unsafe fn step_avx2<S: BatchSystem>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        h: f64,
+        y: &mut [f64],
+        active: &[bool],
+        work: &mut [Work],
+    ) {
+        self.step_inner(sys, t, h, y, active, work)
+    }
+
+    /// The stepper body compiled with AVX-512F enabled: `deriv_batch`
+    /// inlines here and autovectorizes 8-wide to match the 8-lane stage
+    /// microkernels.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,avx512f")]
+    unsafe fn step_avx512<S: BatchSystem>(
         &mut self,
         sys: &S,
         t: f64,
@@ -152,15 +189,22 @@ impl BatchTableauStepper {
         let s = self.tab.stages;
         let lane_len = dim * n;
 
+        // One accounting pass instead of one per stage: every active lane
+        // pays `stages - 1` upper-stage evaluations plus stage 0 unless
+        // its FSAL cache covers it — identical totals to charging at each
+        // evaluation site, without s branchy sweeps per substep.
         for e in 0..n {
             if active[e] {
                 work[e].steps += 1;
+                let stage0 = u64::from(!(self.tab.fsal && self.fsal_valid[e]));
+                work[e].fn_evals += (s as u64 - 1) + stage0;
             }
         }
 
         // Stage 0 — per-lane FSAL reuse. If every lane has a valid cache
         // the evaluation is skipped outright; otherwise evaluate the whole
-        // batch and overwrite the cached lanes, charging only the misses.
+        // batch and overwrite the cached lanes (only the misses were
+        // charged above).
         let all_valid = self.tab.fsal && self.fsal_valid.iter().all(|&v| v);
         if all_valid {
             self.k[..lane_len].copy_from_slice(&self.fsal);
@@ -172,14 +216,6 @@ impl BatchTableauStepper {
                         for d in 0..dim {
                             self.k[d * n + e] = self.fsal[d * n + e];
                         }
-                    } else if active[e] {
-                        work[e].fn_evals += 1;
-                    }
-                }
-            } else {
-                for e in 0..n {
-                    if active[e] {
-                        work[e].fn_evals += 1;
                     }
                 }
             }
@@ -187,60 +223,54 @@ impl BatchTableauStepper {
 
         // Remaining stages. Per lane this is the scalar stepper's
         // `acc = Σ_j a(i,j) k_j; ytmp = y + h*acc` with the identical
-        // accumulation order — the j-loop runs outermost, so for every
-        // (component, lane) the partial sums accumulate in stage order,
-        // and lanes never mix. Each j pass sweeps one contiguous
-        // `dim × n` stage block.
+        // accumulation order: the fused microkernel seeds each element's
+        // accumulator at 0.0 and adds the stage terms in ascending j, and
+        // lanes never mix. The tableau's flattened `a` makes stage i's
+        // coefficient row a contiguous slice.
         for i in 1..s {
             {
                 let (done, _) = self.k.split_at(i * lane_len);
-                self.acc.fill(0.0);
-                for j in 0..i {
-                    let a = self.tab.a(i, j);
-                    let kj = &done[j * lane_len..][..lane_len];
-                    for (acc, &kv) in self.acc.iter_mut().zip(kj) {
-                        *acc += a * kv;
-                    }
-                }
-                for (yt, (&yv, &av)) in self.ytmp.iter_mut().zip(y.iter().zip(self.acc.iter())) {
-                    *yt = yv + h * av;
-                }
+                let row = &self.tab.a[i * (i - 1) / 2..][..i];
+                odef64::stage_update(self.isa, row, done, y, h, &mut self.ytmp);
             }
             let (_, rest) = self.k.split_at_mut(i * lane_len);
             sys.deriv_batch(t + self.tab.c[i] * h, &self.ytmp, &mut rest[..lane_len]);
-            for e in 0..n {
-                if active[e] {
-                    work[e].fn_evals += 1;
-                }
-            }
         }
 
-        // Combine stages into the new state — active lanes only.
-        self.acc.fill(0.0);
-        for (i, &w) in self.tab.b.iter().enumerate() {
-            let ki = &self.k[i * lane_len..][..lane_len];
-            for (acc, &kv) in self.acc.iter_mut().zip(ki) {
-                *acc += w * kv;
-            }
-        }
-        for d in 0..dim {
-            let yd = &mut y[d * n..][..n];
-            let ad = &self.acc[d * n..][..n];
-            for e in 0..n {
-                if active[e] {
-                    yd[e] += h * ad[e];
+        // Combine stages into the new state. With every lane active the
+        // fused kernel updates y directly; otherwise compute the scaled
+        // update into scratch and apply it to active lanes only — the
+        // same `y[e] += h·Σ` per active element either way.
+        let all_active = active.iter().all(|&a| a);
+        if all_active {
+            odef64::combine_inplace(self.isa, self.tab.b, &self.k, h, y);
+        } else {
+            odef64::combine_scaled(self.isa, self.tab.b, &self.k, h, &mut self.acc);
+            for d in 0..dim {
+                let yd = &mut y[d * n..][..n];
+                let ad = &self.acc[d * n..][..n];
+                for e in 0..n {
+                    if active[e] {
+                        yd[e] += ad[e];
+                    }
                 }
             }
         }
 
         // FSAL: k[s-1] is f(t+h, y_{n+1}) — cache it for active lanes.
         if self.tab.fsal {
-            for e in 0..n {
-                if active[e] {
-                    for d in 0..dim {
-                        self.fsal[d * n + e] = self.k[((s - 1) * dim + d) * n + e];
+            let last = &self.k[(s - 1) * lane_len..][..lane_len];
+            if all_active {
+                self.fsal.copy_from_slice(last);
+                self.fsal_valid.fill(true);
+            } else {
+                for e in 0..n {
+                    if active[e] {
+                        for d in 0..dim {
+                            self.fsal[d * n + e] = last[d * n + e];
+                        }
+                        self.fsal_valid[e] = true;
                     }
-                    self.fsal_valid[e] = true;
                 }
             }
         }
@@ -267,28 +297,43 @@ pub struct BatchGbs8Stepper {
     dim: usize,
     n: usize,
     /// Extrapolation tableau rows, each SoA `dim × n`.
-    table: Vec<Vec<f64>>,
-    z_prev: Vec<f64>,
-    z_cur: Vec<f64>,
-    z_next: Vec<f64>,
-    f0: Vec<f64>,
-    scratch: Vec<f64>,
+    table: Vec<AlignedF64>,
+    z_prev: AlignedF64,
+    z_cur: AlignedF64,
+    z_next: AlignedF64,
+    f0: AlignedF64,
+    scratch: AlignedF64,
+    /// ISA tier the stage microkernels dispatch to (fixed at build).
+    isa: Isa,
 }
 
 impl BatchGbs8Stepper {
     /// Create a batched stepper for `n` lanes of a `dim`-dimensional system.
     pub fn new(dim: usize, n: usize) -> Self {
+        Self::with_isa(dim, n, Isa::cached())
+    }
+
+    /// Like [`Self::new`] with an explicit ISA tier. Requests above what
+    /// the CPU supports are clamped, so any value is safe to pass.
+    #[doc(hidden)]
+    pub fn with_isa(dim: usize, n: usize, isa: Isa) -> Self {
         assert!(n > 0, "batched stepper needs at least one lane");
         Self {
             dim,
             n,
-            table: vec![vec![0.0; dim * n]; SEQUENCE.len()],
-            z_prev: vec![0.0; dim * n],
-            z_cur: vec![0.0; dim * n],
-            z_next: vec![0.0; dim * n],
-            f0: vec![0.0; dim * n],
-            scratch: vec![0.0; dim * n],
+            table: (0..SEQUENCE.len()).map(|_| AlignedF64::zeroed(dim * n)).collect(),
+            z_prev: AlignedF64::zeroed(dim * n),
+            z_cur: AlignedF64::zeroed(dim * n),
+            z_next: AlignedF64::zeroed(dim * n),
+            f0: AlignedF64::zeroed(dim * n),
+            scratch: AlignedF64::zeroed(dim * n),
+            isa: isa.min(Isa::detect()),
         }
+    }
+
+    /// The ISA tier this stepper's kernels dispatch to.
+    pub fn isa(&self) -> Isa {
+        self.isa
     }
 
     /// See [`BatchTableauStepper::step`]; identical contract, order-8 math.
@@ -301,14 +346,17 @@ impl BatchGbs8Stepper {
         active: &[bool],
         work: &mut [Work],
     ) {
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was just verified at runtime. The body
-            // performs only IEEE-exact operations, so the wide compilation
-            // returns bitwise-identical results to the baseline one.
-            return unsafe { self.step_avx2(sys, t, bigh, y, active, work) };
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `self.isa` is clamped to the detected ISA at
+            // construction. The bodies perform only IEEE-exact operations,
+            // so the wide compilations are bitwise-identical to scalar.
+            Isa::Avx512 => unsafe { self.step_avx512(sys, t, bigh, y, active, work) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            Isa::Avx2 => unsafe { self.step_avx2(sys, t, bigh, y, active, work) },
+            _ => self.step_inner(sys, t, bigh, y, active, work),
         }
-        self.step_inner(sys, t, bigh, y, active, work)
     }
 
     /// The stepper body compiled with AVX2 enabled; see
@@ -316,6 +364,22 @@ impl BatchGbs8Stepper {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
     unsafe fn step_avx2<S: BatchSystem>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        bigh: f64,
+        y: &mut [f64],
+        active: &[bool],
+        work: &mut [Work],
+    ) {
+        self.step_inner(sys, t, bigh, y, active, work)
+    }
+
+    /// The stepper body compiled with AVX-512F enabled; see
+    /// [`BatchTableauStepper::step_avx512`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,avx512f")]
+    unsafe fn step_avx512<S: BatchSystem>(
         &mut self,
         sys: &S,
         t: f64,
@@ -339,50 +403,48 @@ impl BatchGbs8Stepper {
     ) {
         let (dim, n) = (self.dim, self.n);
         debug_assert_eq!(y.len(), dim * n);
-        let lane_len = dim * n;
-        let charge = |work: &mut [Work], active: &[bool]| {
-            for e in 0..n {
-                if active[e] {
-                    work[e].fn_evals += 1;
-                }
-            }
-        };
 
+        // One accounting pass: the GBS evaluation count is data-
+        // independent — `f0` once, then `n_j` evaluations per
+        // extrapolation row — and every active lane pays it in full.
+        let evals = 1 + SEQUENCE.iter().map(|&nsub| nsub as u64).sum::<u64>();
         for e in 0..n {
             if active[e] {
                 work[e].steps += 1;
+                work[e].fn_evals += evals;
             }
         }
 
         sys.deriv_batch(t, y, &mut self.f0);
-        charge(work, active);
 
         for (row, &nsub) in SEQUENCE.iter().enumerate() {
             let h = bigh / nsub as f64;
 
             // z0 = y; z1 = y + h f(t, y)
             self.z_prev.copy_from_slice(y);
-            for i in 0..lane_len {
-                self.z_cur[i] = y[i] + h * self.f0[i];
-            }
+            odef64::axpy_const(self.isa, y, h, &self.f0, &mut self.z_cur);
 
-            // z_{m+1} = z_{m-1} + 2 h f(t + m h, z_m)
+            // z_{m+1} = z_{m-1} + (2h) f(t + m h, z_m) — the scalar
+            // stepper's `2.0 * h * f` also multiplies `2.0 * h` first, so
+            // hoisting the product is bitwise-neutral.
+            let h2 = 2.0 * h;
             for m in 1..nsub {
                 sys.deriv_batch(t + m as f64 * h, &self.z_cur, &mut self.scratch);
-                charge(work, active);
-                for i in 0..lane_len {
-                    self.z_next[i] = self.z_prev[i] + 2.0 * h * self.scratch[i];
-                }
+                odef64::axpy_const(self.isa, &self.z_prev, h2, &self.scratch, &mut self.z_next);
                 std::mem::swap(&mut self.z_prev, &mut self.z_cur);
                 std::mem::swap(&mut self.z_cur, &mut self.z_next);
             }
 
             // Gragg smoothing: S = (z_n + z_{n-1} + h f(t+H, z_n)) / 2
             sys.deriv_batch(t + bigh, &self.z_cur, &mut self.scratch);
-            charge(work, active);
-            for i in 0..lane_len {
-                self.table[row][i] = 0.5 * (self.z_cur[i] + self.z_prev[i] + h * self.scratch[i]);
-            }
+            odef64::gragg_smooth(
+                self.isa,
+                &self.z_cur,
+                &self.z_prev,
+                h,
+                &self.scratch,
+                &mut self.table[row],
+            );
         }
 
         // Aitken–Neville extrapolation in (H/n)², element-wise per lane —
@@ -391,19 +453,19 @@ impl BatchGbs8Stepper {
             for j in (k..SEQUENCE.len()).rev() {
                 let r = (SEQUENCE[j] as f64 / SEQUENCE[j - k] as f64).powi(2);
                 let (lo, hi) = self.table.split_at_mut(j);
-                let prev = &lo[j - 1];
-                let cur = &mut hi[0];
-                for i in 0..lane_len {
-                    cur[i] += (cur[i] - prev[i]) / (r - 1.0);
-                }
+                odef64::neville_update(self.isa, &mut hi[0], &lo[j - 1], r - 1.0);
             }
         }
 
         let last = &self.table[SEQUENCE.len() - 1];
-        for d in 0..dim {
-            for e in 0..n {
-                if active[e] {
-                    y[d * n + e] = last[d * n + e];
+        if active.iter().all(|&a| a) {
+            y.copy_from_slice(last);
+        } else {
+            for d in 0..dim {
+                for e in 0..n {
+                    if active[e] {
+                        y[d * n + e] = last[d * n + e];
+                    }
                 }
             }
         }
@@ -424,14 +486,35 @@ pub enum AnyBatchStepper {
 impl AnyBatchStepper {
     /// Batched stepper for `order`, `n` lanes of a `dim`-dim system.
     pub fn new(order: RkOrder, dim: usize, n: usize) -> Self {
+        Self::with_isa(order, dim, n, Isa::cached())
+    }
+
+    /// Like [`Self::new`] with an explicit ISA tier (clamped to what the
+    /// CPU supports).
+    #[doc(hidden)]
+    pub fn with_isa(order: RkOrder, dim: usize, n: usize, isa: Isa) -> Self {
         match order {
-            RkOrder::Three => {
-                AnyBatchStepper::Tableau(BatchTableauStepper::new(&crate::tableau::BS23, dim, n))
-            }
-            RkOrder::Five => {
-                AnyBatchStepper::Tableau(BatchTableauStepper::new(&crate::tableau::DOPRI5, dim, n))
-            }
-            RkOrder::Eight => AnyBatchStepper::Gbs8(BatchGbs8Stepper::new(dim, n)),
+            RkOrder::Three => AnyBatchStepper::Tableau(BatchTableauStepper::with_isa(
+                &crate::tableau::BS23,
+                dim,
+                n,
+                isa,
+            )),
+            RkOrder::Five => AnyBatchStepper::Tableau(BatchTableauStepper::with_isa(
+                &crate::tableau::DOPRI5,
+                dim,
+                n,
+                isa,
+            )),
+            RkOrder::Eight => AnyBatchStepper::Gbs8(BatchGbs8Stepper::with_isa(dim, n, isa)),
+        }
+    }
+
+    /// The ISA tier this stepper's kernels dispatch to.
+    pub fn isa(&self) -> Isa {
+        match self {
+            AnyBatchStepper::Tableau(st) => st.isa(),
+            AnyBatchStepper::Gbs8(st) => st.isa(),
         }
     }
 
@@ -635,6 +718,51 @@ mod tests {
         st.step(&sys, 0.1, 0.1, &mut y, &active, &mut work2);
         assert_eq!(work2[0].fn_evals, 6, "cached lane pays stages-1");
         assert_eq!(work2[1].fn_evals, 7, "reset lane pays the full cost");
+    }
+
+    #[test]
+    fn every_isa_tier_is_bitwise_identical() {
+        // The dispatch decision must be unobservable: run the same batch
+        // on every tier this CPU supports (including a masked lane and a
+        // mid-run FSAL reset) and compare all bits.
+        let dim = 3;
+        let coeffs = vec![0.7, -0.4, 1.3, 0.05, 0.9];
+        let n = coeffs.len();
+        let lanes: Vec<Vec<f64>> = (0..n)
+            .map(|e| (0..dim).map(|d| 0.25 * (e as f64 + 1.0) - 0.2 * d as f64).collect())
+            .collect();
+        let mut active = vec![true; n];
+        active[2] = false;
+
+        for order in RkOrder::ALL {
+            let mut reference: Option<(Vec<f64>, Vec<Work>)> = None;
+            for isa in Isa::ALL {
+                if !isa.available() {
+                    continue;
+                }
+                let sys = TestBatch { dim, coeffs: coeffs.clone() };
+                let mut st = AnyBatchStepper::with_isa(order, dim, n, isa);
+                assert_eq!(st.isa(), isa);
+                let mut y = soa_from_lanes(&lanes);
+                let mut work = vec![Work::default(); n];
+                for s in 0..4 {
+                    if s == 2 {
+                        st.reset_lane(0);
+                    }
+                    st.step(&sys, 0.1 * s as f64, 0.1, &mut y, &active, &mut work);
+                }
+                match &reference {
+                    None => reference = Some((y, work)),
+                    Some((y_ref, w_ref)) => {
+                        assert!(
+                            y.iter().zip(y_ref).all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "{order} on {isa}: state diverged from scalar"
+                        );
+                        assert_eq!(&work, w_ref, "{order} on {isa}: work diverged");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! 8-lane `f32` FMA microkernels.
+//!
+//! Unlike the `f64` modules, these kernels *do* fuse multiply-adds —
+//! single-precision inference is where the extra bit of accuracy and the
+//! doubled lane width pay off. To keep the crate-wide bitwise-parity
+//! contract, the scalar references are written with [`f32::mul_add`], so
+//! a scalar evaluation performs the same fused operations as `vfmadd`
+//! and every tier still agrees bit for bit. The [`dot`] reduction uses a
+//! *fixed* 8-accumulator tree (pairwise: `s_i = l_i + l_{i+4}`,
+//! `t_i = s_i + s_{i+2}`, `r = t_0 + t_1`) on every tier — that shape is
+//! what makes the horizontal sum width-independent. Both AVX tiers run
+//! the same 256-bit body: widening to 512 bits would change the
+//! accumulator count and break cross-tier parity for no measurable win
+//! at MLP-sized rows.
+//!
+//! Note `f32::mul_add` without hardware FMA lowers to a libm call and is
+//! *slow* — the scalar tier here is a correctness reference, not a fast
+//! path. On the `Scalar` tier, prefer plain `f32` mul/add code outside
+//! this crate.
+
+use crate::Isa;
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+/// Whether the clamped tier can run the 256-bit FMA bodies. The f32
+/// kernels need `avx2`+`fma` specifically — [`Isa::Avx512`] implies
+/// `avx512f`, so double-check the exact features instead of trusting
+/// tier ordering.
+#[inline]
+fn use_fma(isa: Isa) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        isa >= Isa::Avx2
+            && std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = isa;
+        false
+    }
+}
+
+/// Scalar reference for [`dot`]: 8 fused accumulators, fixed pairwise
+/// reduction, fused tail. This IS the kernel contract — the vector body
+/// reproduces it lane for lane.
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let k = a.len().min(b.len());
+    let mut acc = [0.0f32; 8];
+    let mut p = 0;
+    while p + 8 <= k {
+        for i in 0..8 {
+            acc[i] = a[p + i].mul_add(b[p + i], acc[i]);
+        }
+        p += 8;
+    }
+    let s = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
+    let t = [s[0] + s[2], s[1] + s[3]];
+    let mut r = t[0] + t[1];
+    while p < k {
+        r = a[p].mul_add(b[p], r);
+        p += 1;
+    }
+    r
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
+    let k = a.len().min(b.len());
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm256_setzero_ps();
+    let mut p = 0;
+    while p + 8 <= k {
+        // SAFETY: p + 7 < k ≤ min(a.len(), b.len()).
+        unsafe {
+            let av = _mm256_loadu_ps(ap.add(p));
+            let bv = _mm256_loadu_ps(bp.add(p));
+            acc = _mm256_fmadd_ps(av, bv, acc);
+        }
+        p += 8;
+    }
+    // Fixed pairwise reduction — identical to the scalar reference:
+    // s_i = l_i + l_{i+4}; t_i = s_i + s_{i+2}; r = t_0 + t_1.
+    let lo = _mm256_castps256_ps128(acc);
+    let hi = _mm256_extractf128_ps::<1>(acc);
+    let s = _mm_add_ps(lo, hi);
+    let t = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let r = _mm_add_ss(t, _mm_shuffle_ps::<0b01>(t, t));
+    let mut r = _mm_cvtss_f32(r);
+    while p < k {
+        r = a[p].mul_add(b[p], r);
+        p += 1;
+    }
+    r
+}
+
+/// Fused dot product `Σ a[p]·b[p]` over `min(a.len(), b.len())` terms.
+#[inline]
+pub fn dot(isa: Isa, a: &[f32], b: &[f32]) -> f32 {
+    if use_fma(isa) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: use_fma() verified avx2+fma at runtime.
+        return unsafe { dot_fma(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Scalar reference for [`matmul_row`]: per column, a fused chain over
+/// `k` in ascending order.
+fn matmul_row_scalar(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
+    for p in 0..k {
+        let c = a_row[p];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o = c.mul_add(bv, *o);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_row_fma(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
+    let bp = b.as_ptr();
+    let op = out_row.as_mut_ptr();
+    let mut j = 0;
+    // Column-major sweep: hold out[j..j+8] in a register across all of k.
+    while j + 8 <= n {
+        // SAFETY: j + 7 < n = out_row.len().
+        let mut acc = unsafe { _mm256_loadu_ps(op.add(j)) };
+        for (p, &c) in a_row.iter().enumerate().take(k) {
+            let cv = _mm256_set1_ps(c);
+            // SAFETY: p·n + j + 7 < k·n ≤ b.len().
+            let bv = unsafe { _mm256_loadu_ps(bp.add(p * n + j)) };
+            acc = _mm256_fmadd_ps(cv, bv, acc);
+        }
+        // SAFETY: j + 7 < n.
+        unsafe { _mm256_storeu_ps(op.add(j), acc) };
+        j += 8;
+    }
+    for jj in j..n {
+        let mut o = out_row[jj];
+        for (p, &c) in a_row.iter().enumerate().take(k) {
+            o = c.mul_add(b[p * n + jj], o);
+        }
+        out_row[jj] = o;
+    }
+}
+
+/// One output row of a fused row-major matmul, accumulated in place:
+/// `out_row[j] = fma-chain over p of a_row[p]·B[p, j]` (`B` is `k × n`).
+#[inline]
+pub fn matmul_row(isa: Isa, a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
+    assert!(a_row.len() >= k && b.len() >= k * n && out_row.len() >= n, "matmul_row: shape");
+    let out_row = &mut out_row[..n];
+    if use_fma(isa) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: use_fma() verified avx2+fma at runtime.
+        return unsafe { matmul_row_fma(a_row, b, out_row, k, n) };
+    }
+    matmul_row_scalar(a_row, b, out_row, k, n);
+}
+
+fn axpy_scalar(alpha: f32, x: &[f32], y: &mut [f32], from: usize) {
+    for e in from..y.len() {
+        y[e] = alpha.mul_add(x[e], y[e]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_fma(alpha: f32, x: &[f32], y: &mut [f32]) {
+    let len = y.len();
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let av = _mm256_set1_ps(alpha);
+    let mut e = 0;
+    while e + 8 <= len {
+        // SAFETY: e + 7 < len for both slices (dispatcher asserts).
+        unsafe {
+            let xv = _mm256_loadu_ps(xp.add(e));
+            let yv = _mm256_loadu_ps(yp.add(e));
+            _mm256_storeu_ps(yp.add(e), _mm256_fmadd_ps(av, xv, yv));
+        }
+        e += 8;
+    }
+    axpy_scalar(alpha, x, y, e);
+}
+
+/// Fused `y[e] = alpha·x[e] + y[e]`.
+#[inline]
+pub fn axpy(isa: Isa, alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if use_fma(isa) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: use_fma() verified avx2+fma at runtime.
+        return unsafe { axpy_fma(alpha, x, y) };
+    }
+    axpy_scalar(alpha, x, y, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0) as f32
+            })
+            .collect()
+    }
+
+    fn tiers() -> Vec<Isa> {
+        Isa::ALL.into_iter().filter(|t| t.available()).collect()
+    }
+
+    #[test]
+    fn dot_is_bitwise_identical_across_tiers() {
+        for len in [0usize, 1, 7, 8, 9, 16, 23, 64, 200] {
+            let a = lcg(1 + len as u64, len);
+            let b = lcg(2 + len as u64, len);
+            let reference = dot_scalar(&a, &b);
+            for isa in tiers() {
+                let got = dot(isa, &a, &b);
+                assert_eq!(got.to_bits(), reference.to_bits(), "dot {isa} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_row_is_bitwise_identical_across_tiers() {
+        for k in [1usize, 3, 4, 11] {
+            for n in [1usize, 5, 8, 19, 64] {
+                let a_row = lcg(k as u64, k);
+                let b = lcg((k * n) as u64, k * n);
+                let seed_out = lcg(9, n);
+                let mut reference = seed_out.clone();
+                matmul_row_scalar(&a_row, &b, &mut reference, k, n);
+                for isa in tiers() {
+                    let mut out = seed_out.clone();
+                    matmul_row(isa, &a_row, &b, &mut out, k, n);
+                    assert!(
+                        out.iter().zip(&reference).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "matmul_row {isa} k={k} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_is_bitwise_identical_across_tiers() {
+        for len in [1usize, 8, 13, 100] {
+            let x = lcg(len as u64, len);
+            let y0 = lcg(5 + len as u64, len);
+            let mut reference = y0.clone();
+            axpy_scalar(0.31, &x, &mut reference, 0);
+            for isa in tiers() {
+                let mut y = y0.clone();
+                axpy(isa, 0.31, &x, &mut y);
+                assert!(
+                    y.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "axpy {isa} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_matches_naive_within_tolerance() {
+        // Parity aside, the fused dot must still be a dot product.
+        let a = lcg(42, 37);
+        let b = lcg(43, 37);
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(Isa::cached(), &a, &b) - naive).abs() < 1e-4);
+    }
+}

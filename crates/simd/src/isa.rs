@@ -1,0 +1,158 @@
+//! Runtime ISA detection and the process-wide dispatch decision.
+
+use std::sync::OnceLock;
+
+/// The instruction-set tier a kernel dispatches to.
+///
+/// Tiers are ordered: `Scalar < Avx2 < Avx512`. Every `f64` kernel in
+/// this crate returns bitwise-identical results on all three tiers, so
+/// the choice is purely a throughput decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Isa {
+    /// Portable scalar fallback — the reference implementation.
+    Scalar,
+    /// 256-bit vectors: 4 × f64 / 8 × f32 lanes (requires AVX2 + FMA).
+    Avx2,
+    /// 512-bit vectors: 8 × f64 / 16 × f32 lanes (requires AVX-512F).
+    Avx512,
+}
+
+impl Isa {
+    /// Every tier, weakest first (test iteration convenience).
+    pub const ALL: [Isa; 3] = [Isa::Scalar, Isa::Avx2, Isa::Avx512];
+
+    /// Detect the best tier the CPU supports, ignoring any override.
+    ///
+    /// The probe result is memoized: the kernel dispatchers clamp their
+    /// requested tier against this on *every* call for soundness, so the
+    /// fast path must be one atomic load, not three feature queries.
+    pub fn detect() -> Isa {
+        static DETECTED: OnceLock<Isa> = OnceLock::new();
+        *DETECTED.get_or_init(Isa::probe)
+    }
+
+    /// Uncached CPU feature probe backing [`Isa::detect`].
+    fn probe() -> Isa {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Isa::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Isa::Avx2;
+            }
+        }
+        Isa::Scalar
+    }
+
+    /// Whether the running CPU can execute this tier's kernels.
+    pub fn available(self) -> bool {
+        self <= Isa::detect()
+    }
+
+    /// The process-wide dispatch decision, made once on first use:
+    /// [`Isa::detect`] clamped by the `RLDT_SIMD` environment variable
+    /// (`scalar` | `avx2` | `avx512`, case-insensitive). The override can
+    /// only *lower* the tier — requesting an ISA the CPU lacks falls back
+    /// to the best supported one, and unknown values are ignored — so a
+    /// cached `Isa` is always safe to execute.
+    pub fn cached() -> Isa {
+        static CACHED: OnceLock<Isa> = OnceLock::new();
+        *CACHED.get_or_init(|| {
+            let detected = Isa::detect();
+            match std::env::var("RLDT_SIMD") {
+                Ok(v) => Isa::parse(&v).map_or(detected, |req| req.min(detected)),
+                Err(_) => detected,
+            }
+        })
+    }
+
+    /// Parse an `RLDT_SIMD` value; `None` for unrecognized strings.
+    pub fn parse(s: &str) -> Option<Isa> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Isa::Scalar),
+            "avx2" => Some(Isa::Avx2),
+            "avx512" | "avx512f" => Some(Isa::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (telemetry fields, bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+
+    /// Number of `f64` lanes one vector register holds on this tier.
+    pub fn f64_lanes(self) -> usize {
+        match self {
+            Isa::Scalar => 1,
+            Isa::Avx2 => 4,
+            Isa::Avx512 => 8,
+        }
+    }
+
+    /// Number of `f32` lanes one vector register holds on this tier.
+    ///
+    /// The [`crate::f32x8`] kernels run 8-wide on both AVX tiers (the
+    /// fixed 8-accumulator reduction shape is what keeps them bitwise
+    /// identical across tiers), so this reports the *kernel* width.
+    pub fn f32_lanes(self) -> usize {
+        match self {
+            Isa::Scalar => 1,
+            Isa::Avx2 | Isa::Avx512 => 8,
+        }
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_ordered() {
+        assert!(Isa::Scalar < Isa::Avx2 && Isa::Avx2 < Isa::Avx512);
+        assert!(Isa::Scalar.available(), "scalar is always available");
+    }
+
+    #[test]
+    fn parse_accepts_known_names_only() {
+        assert_eq!(Isa::parse("scalar"), Some(Isa::Scalar));
+        assert_eq!(Isa::parse(" AVX2 "), Some(Isa::Avx2));
+        assert_eq!(Isa::parse("avx512"), Some(Isa::Avx512));
+        assert_eq!(Isa::parse("avx512f"), Some(Isa::Avx512));
+        assert_eq!(Isa::parse("neon"), None);
+        assert_eq!(Isa::parse(""), None);
+    }
+
+    #[test]
+    fn cached_never_exceeds_detected() {
+        assert!(Isa::cached() <= Isa::detect());
+    }
+
+    #[test]
+    fn lane_widths_match_register_sizes() {
+        assert_eq!(Isa::Scalar.f64_lanes(), 1);
+        assert_eq!(Isa::Avx2.f64_lanes(), 4);
+        assert_eq!(Isa::Avx512.f64_lanes(), 8);
+        assert_eq!(Isa::Avx2.f32_lanes(), 8);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for isa in Isa::ALL {
+            assert_eq!(Isa::parse(isa.name()), Some(isa));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Explicit SIMD microkernels for the workspace's two hot paths, with
+//! runtime ISA dispatch and a calibrated scalar/batched crossover.
+//!
+//! The batched SoA integrator (`rk-ode`) and the MLP matrix kernels
+//! (`tinynn`) previously relied on LLVM autovectorizing their inner loops
+//! inside `#[target_feature(enable = "avx2")]` wrappers. This crate
+//! replaces those inner loops with *explicit* `std::arch` microkernels —
+//! 8-lane `f64` on AVX-512F, 4-lane `f64` on AVX2, plus an 8-lane `f32`
+//! FMA set — selected once at startup by [`Isa::cached`] and overridable
+//! with the `RLDT_SIMD` environment variable.
+//!
+//! ## Determinism contract
+//!
+//! Every `f64` kernel is **bitwise identical** to its scalar reference:
+//! the vector body performs, per element, exactly the multiply/add/divide
+//! sequence of the scalar loop (same association, same stage order), and
+//! every operation used — `mul`, `add`, `sub`, `div`, broadcast — is
+//! IEEE-754 exact-rounded, so an 8-wide evaluation returns the same bits
+//! as a 1-wide one. No `f64` kernel uses FMA: a fused multiply-add rounds
+//! once where the scalar reference rounds twice, which would break the
+//! scalar/batched bitwise-parity contract the integration and policy
+//! layers are built on (see `DESIGN.md`, "SIMD microkernels & dispatch").
+//! The [`f32x8`] kernels *do* use FMA; their scalar references are
+//! written with `f32::mul_add`, so the parity there is bitwise too.
+//!
+//! The practical consequence: the ISA choice is unobservable in results.
+//! `RLDT_SIMD=scalar` runs must reproduce AVX-512 runs bit for bit —
+//! CI runs the kernel test suites under both settings.
+//!
+//! ## Crossover
+//!
+//! Batching only pays once enough lanes share a sweep; at `n = 1–2` the
+//! SoA gather/scatter and masked bookkeeping cost more than the lane
+//! parallelism returns. [`crossover`] holds the calibrated batch-size
+//! threshold below which callers (the `VecEnv` lockstep batcher) should
+//! keep the scalar path.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod buffer;
+pub mod crossover;
+pub mod f32x8;
+mod isa;
+pub mod nnf64;
+pub mod odef64;
+
+pub use buffer::AlignedF64;
+pub use isa::Isa;

@@ -1,0 +1,594 @@
+//! `f64` microkernels for the row-major MLP matrix math in `tinynn`.
+//!
+//! These reproduce — bit for bit — the register-blocked scalar loops the
+//! `Matrix` type already used: rank-4 panel updates whose per-column
+//! expression tree is
+//!
+//! ```text
+//! out[j] += ((c0·b0[j] + c1·b1[j]) + c2·b2[j]) + c3·b3[j]
+//! ```
+//!
+//! with a rank-1 tail for the leftover rows. The vector tiers evaluate
+//! exactly that tree per column lane (broadcast coefficients, no FMA),
+//! so every tier produces identical bits and the forward/backward passes
+//! remain batch-size invariant. The dot-product reduction in `tinynn`
+//! stays scalar on purpose: its fixed 4-accumulator reduction order
+//! cannot be widened without changing the sum association.
+
+use crate::Isa;
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+#[inline]
+fn clamp(isa: Isa) -> Isa {
+    isa.min(Isa::detect())
+}
+
+/// Scalar reference for one rank-4 column sweep (also the vector tail).
+#[inline(always)]
+fn rank4_cols_tail(
+    c: (f64, f64, f64, f64),
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+    out: &mut [f64],
+    from: usize,
+) {
+    for j in from..out.len() {
+        out[j] += c.0 * b0[j] + c.1 * b1[j] + c.2 * b2[j] + c.3 * b3[j];
+    }
+}
+
+/// Scalar reference for one rank-1 column sweep (also the vector tail).
+#[inline(always)]
+fn rank1_cols_tail(c: f64, b_row: &[f64], out: &mut [f64], from: usize) {
+    for j in from..out.len() {
+        out[j] += c * b_row[j];
+    }
+}
+
+fn row_matmul_acc_scalar(a_row: &[f64], b: &[f64], out_row: &mut [f64], k: usize, n: usize) {
+    let mut p = 0;
+    while p + 4 <= k {
+        let c = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+        rank4_cols_tail(
+            c,
+            &b[p * n..(p + 1) * n],
+            &b[(p + 1) * n..(p + 2) * n],
+            &b[(p + 2) * n..(p + 3) * n],
+            &b[(p + 3) * n..(p + 4) * n],
+            out_row,
+            0,
+        );
+        p += 4;
+    }
+    while p < k {
+        rank1_cols_tail(a_row[p], &b[p * n..(p + 1) * n], out_row, 0);
+        p += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn row_matmul_acc_avx2(a_row: &[f64], b: &[f64], out_row: &mut [f64], k: usize, n: usize) {
+    let bp = b.as_ptr();
+    let op = out_row.as_mut_ptr();
+    let mut p = 0;
+    while p + 4 <= k {
+        let c = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+        let v0 = _mm256_set1_pd(c.0);
+        let v1 = _mm256_set1_pd(c.1);
+        let v2 = _mm256_set1_pd(c.2);
+        let v3 = _mm256_set1_pd(c.3);
+        let mut j = 0;
+        while j + 4 <= n {
+            // SAFETY: (p + 3)·n + j + 3 < k·n = b.len(); j + 3 < n.
+            unsafe {
+                let x0 = _mm256_loadu_pd(bp.add(p * n + j));
+                let x1 = _mm256_loadu_pd(bp.add((p + 1) * n + j));
+                let x2 = _mm256_loadu_pd(bp.add((p + 2) * n + j));
+                let x3 = _mm256_loadu_pd(bp.add((p + 3) * n + j));
+                let t = _mm256_add_pd(
+                    _mm256_add_pd(
+                        _mm256_add_pd(_mm256_mul_pd(v0, x0), _mm256_mul_pd(v1, x1)),
+                        _mm256_mul_pd(v2, x2),
+                    ),
+                    _mm256_mul_pd(v3, x3),
+                );
+                _mm256_storeu_pd(op.add(j), _mm256_add_pd(_mm256_loadu_pd(op.add(j)), t));
+            }
+            j += 4;
+        }
+        rank4_cols_tail(
+            c,
+            &b[p * n..(p + 1) * n],
+            &b[(p + 1) * n..(p + 2) * n],
+            &b[(p + 2) * n..(p + 3) * n],
+            &b[(p + 3) * n..(p + 4) * n],
+            out_row,
+            j,
+        );
+        p += 4;
+    }
+    while p < k {
+        let c = a_row[p];
+        let cv = _mm256_set1_pd(c);
+        let mut j = 0;
+        while j + 4 <= n {
+            // SAFETY: p·n + j + 3 < k·n = b.len(); j + 3 < n.
+            unsafe {
+                let x = _mm256_loadu_pd(bp.add(p * n + j));
+                let t = _mm256_mul_pd(cv, x);
+                _mm256_storeu_pd(op.add(j), _mm256_add_pd(_mm256_loadu_pd(op.add(j)), t));
+            }
+            j += 4;
+        }
+        rank1_cols_tail(c, &b[p * n..(p + 1) * n], out_row, j);
+        p += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn row_matmul_acc_avx512(a_row: &[f64], b: &[f64], out_row: &mut [f64], k: usize, n: usize) {
+    let bp = b.as_ptr();
+    let op = out_row.as_mut_ptr();
+    let mut p = 0;
+    while p + 4 <= k {
+        let c = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+        let v0 = _mm512_set1_pd(c.0);
+        let v1 = _mm512_set1_pd(c.1);
+        let v2 = _mm512_set1_pd(c.2);
+        let v3 = _mm512_set1_pd(c.3);
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: (p + 3)·n + j + 7 < k·n = b.len(); j + 7 < n.
+            unsafe {
+                let x0 = _mm512_loadu_pd(bp.add(p * n + j));
+                let x1 = _mm512_loadu_pd(bp.add((p + 1) * n + j));
+                let x2 = _mm512_loadu_pd(bp.add((p + 2) * n + j));
+                let x3 = _mm512_loadu_pd(bp.add((p + 3) * n + j));
+                let t = _mm512_add_pd(
+                    _mm512_add_pd(
+                        _mm512_add_pd(_mm512_mul_pd(v0, x0), _mm512_mul_pd(v1, x1)),
+                        _mm512_mul_pd(v2, x2),
+                    ),
+                    _mm512_mul_pd(v3, x3),
+                );
+                _mm512_storeu_pd(op.add(j), _mm512_add_pd(_mm512_loadu_pd(op.add(j)), t));
+            }
+            j += 8;
+        }
+        rank4_cols_tail(
+            c,
+            &b[p * n..(p + 1) * n],
+            &b[(p + 1) * n..(p + 2) * n],
+            &b[(p + 2) * n..(p + 3) * n],
+            &b[(p + 3) * n..(p + 4) * n],
+            out_row,
+            j,
+        );
+        p += 4;
+    }
+    while p < k {
+        let c = a_row[p];
+        let cv = _mm512_set1_pd(c);
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: p·n + j + 7 < k·n = b.len(); j + 7 < n.
+            unsafe {
+                let x = _mm512_loadu_pd(bp.add(p * n + j));
+                let t = _mm512_mul_pd(cv, x);
+                _mm512_storeu_pd(op.add(j), _mm512_add_pd(_mm512_loadu_pd(op.add(j)), t));
+            }
+            j += 8;
+        }
+        rank1_cols_tail(c, &b[p * n..(p + 1) * n], out_row, j);
+        p += 1;
+    }
+}
+
+/// One output row of a row-major matmul, accumulated in place:
+/// `out_row += a_row · B` where `B` is `k × n` row-major. Rank-4 blocked
+/// over `k` with the exact scalar expression tree per column.
+#[inline]
+pub fn row_matmul_acc(isa: Isa, a_row: &[f64], b: &[f64], out_row: &mut [f64], k: usize, n: usize) {
+    assert!(a_row.len() >= k && b.len() >= k * n && out_row.len() >= n, "row_matmul_acc: shape");
+    let out_row = &mut out_row[..n];
+    match clamp(isa) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() verified the CPU supports this tier.
+        Isa::Avx512 => unsafe { row_matmul_acc_avx512(a_row, b, out_row, k, n) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() verified the CPU supports this tier.
+        Isa::Avx2 => unsafe { row_matmul_acc_avx2(a_row, b, out_row, k, n) },
+        _ => row_matmul_acc_scalar(a_row, b, out_row, k, n),
+    }
+}
+
+fn transpose_matmul_acc_scalar(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let mut p = 0;
+    while p + 4 <= k {
+        let a0 = &a[p * m..(p + 1) * m];
+        let a1 = &a[(p + 1) * m..(p + 2) * m];
+        let a2 = &a[(p + 2) * m..(p + 3) * m];
+        let a3 = &a[(p + 3) * m..(p + 4) * m];
+        for i in 0..m {
+            let c = (a0[i], a1[i], a2[i], a3[i]);
+            rank4_cols_tail(
+                c,
+                &b[p * n..(p + 1) * n],
+                &b[(p + 1) * n..(p + 2) * n],
+                &b[(p + 2) * n..(p + 3) * n],
+                &b[(p + 3) * n..(p + 4) * n],
+                &mut out[i * n..(i + 1) * n],
+                0,
+            );
+        }
+        p += 4;
+    }
+    while p < k {
+        let a_row = &a[p * m..(p + 1) * m];
+        for (i, &c) in a_row.iter().enumerate() {
+            rank1_cols_tail(c, &b[p * n..(p + 1) * n], &mut out[i * n..(i + 1) * n], 0);
+        }
+        p += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose_matmul_acc_avx2(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut p = 0;
+    while p + 4 <= k {
+        for i in 0..m {
+            let c = (a[p * m + i], a[(p + 1) * m + i], a[(p + 2) * m + i], a[(p + 3) * m + i]);
+            let v0 = _mm256_set1_pd(c.0);
+            let v1 = _mm256_set1_pd(c.1);
+            let v2 = _mm256_set1_pd(c.2);
+            let v3 = _mm256_set1_pd(c.3);
+            let mut j = 0;
+            while j + 4 <= n {
+                // SAFETY: (p + 3)·n + j + 3 < k·n = b.len();
+                // i·n + j + 3 < m·n = out.len().
+                unsafe {
+                    let x0 = _mm256_loadu_pd(bp.add(p * n + j));
+                    let x1 = _mm256_loadu_pd(bp.add((p + 1) * n + j));
+                    let x2 = _mm256_loadu_pd(bp.add((p + 2) * n + j));
+                    let x3 = _mm256_loadu_pd(bp.add((p + 3) * n + j));
+                    let t = _mm256_add_pd(
+                        _mm256_add_pd(
+                            _mm256_add_pd(_mm256_mul_pd(v0, x0), _mm256_mul_pd(v1, x1)),
+                            _mm256_mul_pd(v2, x2),
+                        ),
+                        _mm256_mul_pd(v3, x3),
+                    );
+                    let o = op.add(i * n + j);
+                    _mm256_storeu_pd(o, _mm256_add_pd(_mm256_loadu_pd(o), t));
+                }
+                j += 4;
+            }
+            rank4_cols_tail(
+                c,
+                &b[p * n..(p + 1) * n],
+                &b[(p + 1) * n..(p + 2) * n],
+                &b[(p + 2) * n..(p + 3) * n],
+                &b[(p + 3) * n..(p + 4) * n],
+                &mut out[i * n..(i + 1) * n],
+                j,
+            );
+        }
+        p += 4;
+    }
+    while p < k {
+        for i in 0..m {
+            let c = a[p * m + i];
+            let cv = _mm256_set1_pd(c);
+            let mut j = 0;
+            while j + 4 <= n {
+                // SAFETY: p·n + j + 3 < k·n; i·n + j + 3 < m·n.
+                unsafe {
+                    let x = _mm256_loadu_pd(bp.add(p * n + j));
+                    let o = op.add(i * n + j);
+                    _mm256_storeu_pd(o, _mm256_add_pd(_mm256_loadu_pd(o), _mm256_mul_pd(cv, x)));
+                }
+                j += 4;
+            }
+            rank1_cols_tail(c, &b[p * n..(p + 1) * n], &mut out[i * n..(i + 1) * n], j);
+        }
+        p += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn transpose_matmul_acc_avx512(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut p = 0;
+    while p + 4 <= k {
+        for i in 0..m {
+            let c = (a[p * m + i], a[(p + 1) * m + i], a[(p + 2) * m + i], a[(p + 3) * m + i]);
+            let v0 = _mm512_set1_pd(c.0);
+            let v1 = _mm512_set1_pd(c.1);
+            let v2 = _mm512_set1_pd(c.2);
+            let v3 = _mm512_set1_pd(c.3);
+            let mut j = 0;
+            while j + 8 <= n {
+                // SAFETY: (p + 3)·n + j + 7 < k·n = b.len();
+                // i·n + j + 7 < m·n = out.len().
+                unsafe {
+                    let x0 = _mm512_loadu_pd(bp.add(p * n + j));
+                    let x1 = _mm512_loadu_pd(bp.add((p + 1) * n + j));
+                    let x2 = _mm512_loadu_pd(bp.add((p + 2) * n + j));
+                    let x3 = _mm512_loadu_pd(bp.add((p + 3) * n + j));
+                    let t = _mm512_add_pd(
+                        _mm512_add_pd(
+                            _mm512_add_pd(_mm512_mul_pd(v0, x0), _mm512_mul_pd(v1, x1)),
+                            _mm512_mul_pd(v2, x2),
+                        ),
+                        _mm512_mul_pd(v3, x3),
+                    );
+                    let o = op.add(i * n + j);
+                    _mm512_storeu_pd(o, _mm512_add_pd(_mm512_loadu_pd(o), t));
+                }
+                j += 8;
+            }
+            rank4_cols_tail(
+                c,
+                &b[p * n..(p + 1) * n],
+                &b[(p + 1) * n..(p + 2) * n],
+                &b[(p + 2) * n..(p + 3) * n],
+                &b[(p + 3) * n..(p + 4) * n],
+                &mut out[i * n..(i + 1) * n],
+                j,
+            );
+        }
+        p += 4;
+    }
+    while p < k {
+        for i in 0..m {
+            let c = a[p * m + i];
+            let cv = _mm512_set1_pd(c);
+            let mut j = 0;
+            while j + 8 <= n {
+                // SAFETY: p·n + j + 7 < k·n; i·n + j + 7 < m·n.
+                unsafe {
+                    let x = _mm512_loadu_pd(bp.add(p * n + j));
+                    let o = op.add(i * n + j);
+                    _mm512_storeu_pd(o, _mm512_add_pd(_mm512_loadu_pd(o), _mm512_mul_pd(cv, x)));
+                }
+                j += 8;
+            }
+            rank1_cols_tail(c, &b[p * n..(p + 1) * n], &mut out[i * n..(i + 1) * n], j);
+        }
+        p += 1;
+    }
+}
+
+/// Accumulating transposed-LHS matmul: `out += Aᵀ · B` where `A` is
+/// `k × m` and `B` is `k × n`, both row-major (`out` is `m × n`). This
+/// is the gradient kernel `∂W = xᵀ · δ`; rank-4 blocked over `k`.
+#[inline]
+pub fn transpose_matmul_acc(
+    isa: Isa,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    assert!(
+        a.len() >= k * m && b.len() >= k * n && out.len() >= m * n,
+        "transpose_matmul_acc: shape"
+    );
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    match clamp(isa) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() verified the CPU supports this tier.
+        Isa::Avx512 => unsafe { transpose_matmul_acc_avx512(a, b, out, k, m, n) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() verified the CPU supports this tier.
+        Isa::Avx2 => unsafe { transpose_matmul_acc_avx2(a, b, out, k, m, n) },
+        _ => transpose_matmul_acc_scalar(a, b, out, k, m, n),
+    }
+}
+
+#[inline(always)]
+fn axpy_tail(alpha: f64, x: &[f64], y: &mut [f64], from: usize) {
+    for e in from..y.len() {
+        y[e] += alpha * x[e];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let len = y.len();
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let av = _mm256_set1_pd(alpha);
+    let mut e = 0;
+    while e + 4 <= len {
+        // SAFETY: e + 3 < len for both slices (dispatcher asserts).
+        unsafe {
+            let xv = _mm256_loadu_pd(xp.add(e));
+            let yv = _mm256_loadu_pd(yp.add(e));
+            _mm256_storeu_pd(yp.add(e), _mm256_add_pd(yv, _mm256_mul_pd(av, xv)));
+        }
+        e += 4;
+    }
+    axpy_tail(alpha, x, y, e);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_avx512(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let len = y.len();
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let av = _mm512_set1_pd(alpha);
+    let mut e = 0;
+    while e + 8 <= len {
+        // SAFETY: e + 7 < len for both slices (dispatcher asserts).
+        unsafe {
+            let xv = _mm512_loadu_pd(xp.add(e));
+            let yv = _mm512_loadu_pd(yp.add(e));
+            _mm512_storeu_pd(yp.add(e), _mm512_add_pd(yv, _mm512_mul_pd(av, xv)));
+        }
+        e += 8;
+    }
+    axpy_tail(alpha, x, y, e);
+}
+
+/// `y[e] += alpha · x[e]` (the SGD/Adam parameter update sweep).
+#[inline]
+pub fn axpy(isa: Isa, alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    match clamp(isa) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() verified the CPU supports this tier.
+        Isa::Avx512 => unsafe { axpy_avx512(alpha, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() verified the CPU supports this tier.
+        Isa::Avx2 => unsafe { axpy_avx2(alpha, x, y) },
+        _ => axpy_tail(alpha, x, y, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn tiers() -> Vec<Isa> {
+        Isa::ALL.into_iter().filter(|t| t.available()).collect()
+    }
+
+    /// k values cover rank-4 blocks plus every tail length; n values
+    /// cover full vectors, half vectors and scalar column tails.
+    const KS: [usize; 5] = [1, 3, 4, 9, 12];
+    const NS: [usize; 6] = [1, 3, 5, 8, 13, 64];
+
+    #[test]
+    fn row_matmul_acc_is_bitwise_identical_across_tiers() {
+        for &k in &KS {
+            for &n in &NS {
+                let a_row = lcg(k as u64, k);
+                let b = lcg((k * n) as u64, k * n);
+                let seed_out = lcg(7, n);
+                let mut reference = seed_out.clone();
+                row_matmul_acc_scalar(&a_row, &b, &mut reference, k, n);
+                for isa in tiers() {
+                    let mut out = seed_out.clone();
+                    row_matmul_acc(isa, &a_row, &b, &mut out, k, n);
+                    assert!(
+                        out.iter().zip(&reference).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "row_matmul_acc {isa} k={k} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_acc_is_bitwise_identical_across_tiers() {
+        for &k in &KS {
+            for &n in &NS {
+                let m = 5;
+                let a = lcg((k * m) as u64, k * m);
+                let b = lcg((k * n + 1) as u64, k * n);
+                let seed_out = lcg(11, m * n);
+                let mut reference = seed_out.clone();
+                transpose_matmul_acc_scalar(&a, &b, &mut reference, k, m, n);
+                for isa in tiers() {
+                    let mut out = seed_out.clone();
+                    transpose_matmul_acc(isa, &a, &b, &mut out, k, m, n);
+                    assert!(
+                        out.iter().zip(&reference).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "transpose_matmul_acc {isa} k={k} m={m} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_is_bitwise_identical_across_tiers() {
+        for &len in &[1usize, 4, 7, 15, 33, 256] {
+            let x = lcg(len as u64, len);
+            let y0 = lcg(3 + len as u64, len);
+            let mut reference = y0.clone();
+            axpy_tail(0.73, &x, &mut reference, 0);
+            for isa in tiers() {
+                let mut y = y0.clone();
+                axpy(isa, 0.73, &x, &mut y);
+                assert!(
+                    y.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "axpy {isa} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference() {
+        // Beyond tier parity: the blocked kernel must compute an actual
+        // matrix product (approximately — association differs from naive).
+        let (m, k, n) = (3, 9, 5);
+        let a = lcg(1, m * k);
+        let b = lcg(2, k * n);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            row_matmul_acc(
+                Isa::cached(),
+                &a[i * k..(i + 1) * k],
+                &b,
+                &mut out[i * n..(i + 1) * n],
+                k,
+                n,
+            );
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let naive: f64 = (0..k).map(|p| a[i * k + p] * b[p * n + j]).sum();
+                assert!((out[i * n + j] - naive).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Property-based bitwise-parity suite: every microkernel, on every ISA
+//! tier the CPU supports, must reproduce its scalar reference bit for
+//! bit on randomized shapes and values.
+//!
+//! The references here are deliberately re-implemented (not imported) so
+//! a regression in the crate's own tail loops cannot hide itself. Shapes
+//! are drawn to straddle the vector widths: lengths 1..=67 cover scalar
+//! tails, half vectors, and multi-vector bodies for both the 4-lane and
+//! 8-lane `f64` tiers and the 8-lane `f32` tier.
+
+// When built against an offline proptest stand-in that compiles the
+// `proptest!` bodies away, everything below looks unused; the real
+// dependency uses all of it.
+#![allow(dead_code, unused_imports)]
+
+use proptest::prelude::*;
+use simd_kernels::{f32x8, nnf64, odef64, Isa};
+
+/// Deterministic (non-property) smoke check so this target exercises the
+/// kernels even when the property bodies are compiled out.
+#[test]
+fn smoke_stage_update_parity() {
+    let y: Vec<f64> = (0..19).map(|i| i as f64 * 0.3 - 2.0).collect();
+    let coeffs = [0.25, -0.5, 1.0 / 3.0];
+    let k: Vec<f64> = (0..coeffs.len() * y.len()).map(|i| (i % 7) as f64 * 0.4 - 1.0).collect();
+    let mut reference = vec![0.0; y.len()];
+    for e in 0..y.len() {
+        reference[e] = y[e] + 0.1 * ref_weighted_sum(&coeffs, &k, y.len(), e);
+    }
+    for isa in tiers() {
+        let mut out = vec![f64::NAN; y.len()];
+        odef64::stage_update(isa, &coeffs, &k, &y, 0.1, &mut out);
+        assert!(bits_eq(&out, &reference), "stage_update diverged on {isa}");
+    }
+}
+
+fn tiers() -> Vec<Isa> {
+    Isa::ALL.into_iter().filter(|t| t.available()).collect()
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+// ---------------------------------------------------------------------------
+// Scalar references (independent re-implementations)
+// ---------------------------------------------------------------------------
+
+fn ref_weighted_sum(coeffs: &[f64], k: &[f64], len: usize, e: usize) -> f64 {
+    let mut acc = 0.0;
+    for (j, &c) in coeffs.iter().enumerate() {
+        acc += c * k[j * len + e];
+    }
+    acc
+}
+
+fn vecs(len: core::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ode_stage_update_matches_scalar(
+        y in vecs(1..67),
+        coeffs in vecs(1..8),
+        h in 1e-4f64..1.0,
+        kseed in vecs(1..2),
+    ) {
+        let len = y.len();
+        let k: Vec<f64> = (0..coeffs.len() * len)
+            .map(|i| kseed[0] * ((i % 17) as f64 - 8.0) * 0.25)
+            .collect();
+        let mut reference = vec![0.0; len];
+        for e in 0..len {
+            reference[e] = y[e] + h * ref_weighted_sum(&coeffs, &k, len, e);
+        }
+        for isa in tiers() {
+            let mut out = vec![f64::NAN; len];
+            odef64::stage_update(isa, &coeffs, &k, &y, h, &mut out);
+            prop_assert!(bits_eq(&out, &reference), "stage_update diverged on {}", isa);
+        }
+    }
+
+    #[test]
+    fn ode_combine_kernels_match_scalar(
+        y0 in vecs(1..67),
+        coeffs in vecs(1..8),
+        h in 1e-4f64..1.0,
+    ) {
+        let len = y0.len();
+        let k: Vec<f64> = (0..coeffs.len() * len)
+            .map(|i| ((i * 2654435761) % 97) as f64 * 0.03 - 1.4)
+            .collect();
+        let mut y_ref = y0.clone();
+        let mut upd_ref = vec![0.0; len];
+        for e in 0..len {
+            let acc = ref_weighted_sum(&coeffs, &k, len, e);
+            y_ref[e] += h * acc;
+            upd_ref[e] = h * acc;
+        }
+        for isa in tiers() {
+            let mut y = y0.clone();
+            odef64::combine_inplace(isa, &coeffs, &k, h, &mut y);
+            prop_assert!(bits_eq(&y, &y_ref), "combine_inplace diverged on {}", isa);
+            let mut upd = vec![f64::NAN; len];
+            odef64::combine_scaled(isa, &coeffs, &k, h, &mut upd);
+            prop_assert!(bits_eq(&upd, &upd_ref), "combine_scaled diverged on {}", isa);
+        }
+    }
+
+    #[test]
+    fn ode_elementwise_kernels_match_scalar(
+        a in vecs(1..67),
+        s in -4.0f64..4.0,
+        h in 1e-4f64..1.0,
+    ) {
+        let len = a.len();
+        let b: Vec<f64> = a.iter().map(|v| v * 0.7 - 0.1).collect();
+        let c: Vec<f64> = a.iter().map(|v| 1.3 - v).collect();
+
+        let axpy_ref: Vec<f64> = (0..len).map(|e| a[e] + s * b[e]).collect();
+        let gragg_ref: Vec<f64> = (0..len).map(|e| 0.5 * (a[e] + b[e] + h * c[e])).collect();
+        let mut nev_ref = a.clone();
+        for e in 0..len {
+            nev_ref[e] += (nev_ref[e] - b[e]) / 3.0;
+        }
+
+        for isa in tiers() {
+            let mut out = vec![f64::NAN; len];
+            odef64::axpy_const(isa, &a, s, &b, &mut out);
+            prop_assert!(bits_eq(&out, &axpy_ref), "axpy_const diverged on {}", isa);
+
+            let mut out = vec![f64::NAN; len];
+            odef64::gragg_smooth(isa, &a, &b, h, &c, &mut out);
+            prop_assert!(bits_eq(&out, &gragg_ref), "gragg_smooth diverged on {}", isa);
+
+            let mut cur = a.clone();
+            odef64::neville_update(isa, &mut cur, &b, 3.0);
+            prop_assert!(bits_eq(&cur, &nev_ref), "neville_update diverged on {}", isa);
+        }
+    }
+
+    #[test]
+    fn nn_row_matmul_matches_scalar(
+        a_row in vecs(1..13),
+        n in 1usize..67,
+        out0 in vecs(1..2),
+    ) {
+        let k = a_row.len();
+        let b: Vec<f64> = (0..k * n).map(|i| ((i * 31) % 23) as f64 * 0.09 - 1.0).collect();
+        let seed_out = vec![out0[0]; n];
+
+        // Reference: the documented rank-4 blocked expression tree.
+        let mut reference = seed_out.clone();
+        let mut p = 0;
+        while p + 4 <= k {
+            for j in 0..n {
+                reference[j] += a_row[p] * b[p * n + j]
+                    + a_row[p + 1] * b[(p + 1) * n + j]
+                    + a_row[p + 2] * b[(p + 2) * n + j]
+                    + a_row[p + 3] * b[(p + 3) * n + j];
+            }
+            p += 4;
+        }
+        while p < k {
+            for j in 0..n {
+                reference[j] += a_row[p] * b[p * n + j];
+            }
+            p += 1;
+        }
+
+        for isa in tiers() {
+            let mut out = seed_out.clone();
+            nnf64::row_matmul_acc(isa, &a_row, &b, &mut out, k, n);
+            prop_assert!(bits_eq(&out, &reference), "row_matmul_acc diverged on {}", isa);
+        }
+    }
+
+    #[test]
+    fn nn_transpose_matmul_matches_scalar(
+        k in 1usize..10,
+        m in 1usize..6,
+        n in 1usize..35,
+    ) {
+        let a: Vec<f64> = (0..k * m).map(|i| ((i * 7) % 11) as f64 * 0.2 - 1.0).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| ((i * 13) % 17) as f64 * 0.1 - 0.8).collect();
+        let mut reference = vec![0.25; m * n];
+        let mut p = 0;
+        while p + 4 <= k {
+            for i in 0..m {
+                for j in 0..n {
+                    reference[i * n + j] += a[p * m + i] * b[p * n + j]
+                        + a[(p + 1) * m + i] * b[(p + 1) * n + j]
+                        + a[(p + 2) * m + i] * b[(p + 2) * n + j]
+                        + a[(p + 3) * m + i] * b[(p + 3) * n + j];
+                }
+            }
+            p += 4;
+        }
+        while p < k {
+            for i in 0..m {
+                for j in 0..n {
+                    reference[i * n + j] += a[p * m + i] * b[p * n + j];
+                }
+            }
+            p += 1;
+        }
+
+        for isa in tiers() {
+            let mut out = vec![0.25; m * n];
+            nnf64::transpose_matmul_acc(isa, &a, &b, &mut out, k, m, n);
+            prop_assert!(bits_eq(&out, &reference), "transpose_matmul_acc diverged on {}", isa);
+        }
+    }
+
+    #[test]
+    fn nn_axpy_matches_scalar(x in vecs(1..67), alpha in -2.0f64..2.0) {
+        let y0: Vec<f64> = x.iter().map(|v| 0.5 - v).collect();
+        let reference: Vec<f64> = (0..x.len()).map(|e| y0[e] + alpha * x[e]).collect();
+        for isa in tiers() {
+            let mut y = y0.clone();
+            nnf64::axpy(isa, alpha, &x, &mut y);
+            prop_assert!(bits_eq(&y, &reference), "nn axpy diverged on {}", isa);
+        }
+    }
+
+    #[test]
+    fn f32_kernels_match_scalar(
+        len in 1usize..67,
+        alpha in -2.0f32..2.0,
+        seed in -1.0f32..1.0,
+    ) {
+        let a: Vec<f32> = (0..len).map(|i| seed + (i % 13) as f32 * 0.11 - 0.7).collect();
+        let b: Vec<f32> = (0..len).map(|i| 0.9 - (i % 7) as f32 * 0.23).collect();
+
+        // dot: 8 fused accumulators + fixed pairwise reduction + fused tail.
+        let mut acc = [0.0f32; 8];
+        let mut p = 0;
+        while p + 8 <= len {
+            for i in 0..8 {
+                acc[i] = a[p + i].mul_add(b[p + i], acc[i]);
+            }
+            p += 8;
+        }
+        let s = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
+        let t = [s[0] + s[2], s[1] + s[3]];
+        let mut dot_ref = t[0] + t[1];
+        while p < len {
+            dot_ref = a[p].mul_add(b[p], dot_ref);
+            p += 1;
+        }
+
+        let axpy_ref: Vec<f32> = (0..len).map(|e| alpha.mul_add(a[e], b[e])).collect();
+
+        for isa in tiers() {
+            prop_assert_eq!(
+                f32x8::dot(isa, &a, &b).to_bits(),
+                dot_ref.to_bits(),
+                "f32 dot diverged on {}", isa
+            );
+            let mut y = b.clone();
+            f32x8::axpy(isa, alpha, &a, &mut y);
+            prop_assert!(
+                y.iter().zip(&axpy_ref).all(|(u, v)| u.to_bits() == v.to_bits()),
+                "f32 axpy diverged on {}", isa
+            );
+        }
+    }
+
+    #[test]
+    fn f32_matmul_row_matches_scalar(k in 1usize..12, n in 1usize..35) {
+        let a_row: Vec<f32> = (0..k).map(|i| (i % 5) as f32 * 0.31 - 0.6).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 9) as f32 * 0.17 - 0.7).collect();
+        let mut reference = vec![0.1f32; n];
+        for p in 0..k {
+            for j in 0..n {
+                reference[j] = a_row[p].mul_add(b[p * n + j], reference[j]);
+            }
+        }
+        for isa in tiers() {
+            let mut out = vec![0.1f32; n];
+            f32x8::matmul_row(isa, &a_row, &b, &mut out, k, n);
+            prop_assert!(
+                out.iter().zip(&reference).all(|(u, v)| u.to_bits() == v.to_bits()),
+                "f32 matmul_row diverged on {}", isa
+            );
+        }
+    }
+}
