@@ -1,0 +1,149 @@
+//! Multi-study scheduler benchmarks: what the service-shaped study core
+//! costs and what incremental reuse buys.
+//!
+//! The criterion group times the two interesting paths through the
+//! [`decision::server::StudyServer`]: a cold sweep (every trial executes
+//! the objective) and a fully warm one (every trial adopts a cached
+//! outcome). Besides the group, running this bench writes
+//! `BENCH_study.json` at the workspace root: a `studies × trials ×
+//! warm-fraction` sweep recording wall time, cache hit rate, and how many
+//! objectives actually executed — the scheduler-level analog of the
+//! deployment sweep in `BENCH_distrib.json`.
+
+use criterion::{criterion_group, Criterion};
+use decision::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 17;
+const FINGERPRINT: &str = "synthetic-objective-v1";
+
+/// A compute-bound synthetic objective: enough floating-point work per
+/// trial (~tens of microseconds) that skipping it via the reuse cache is
+/// measurable, with an intermediate report to exercise the pruner path.
+fn objective(cfg: &Configuration, ctx: &mut TrialContext<'_>) -> Result<MetricValues, String> {
+    let k = cfg.int("k").unwrap() as f64;
+    let j = cfg.int("j").unwrap() as f64;
+    let mut acc = k * 0.25 + j;
+    for i in 0..4_000 {
+        acc = (acc + i as f64 * 1e-3).sin().mul_add(0.5, acc * 0.5);
+    }
+    if ctx.report(1, acc) {
+        return Ok(MetricValues::new().with("score", acc));
+    }
+    Ok(MetricValues::new().with("score", acc + k))
+}
+
+/// A grid study over `trials` configurations sharing `cache`.
+fn study(name: &str, trials: usize, cache: Option<Arc<TrialCache>>) -> Study {
+    let side = (trials / 2).max(1) as i64;
+    let mut b = Study::builder(name)
+        .space(
+            ParamSpace::builder().categorical_int("k", 0..side).categorical_int("j", 0..2).build(),
+        )
+        .explorer(GridSearch::new())
+        .metric(MetricDef::maximize("score"))
+        .pruner(MedianPruner::with_startup(4))
+        .seed(SEED)
+        .objective_fingerprint(FINGERPRINT)
+        .objective(objective);
+    if let Some(c) = cache {
+        b = b.reuse_cache(c);
+    }
+    b.build().unwrap()
+}
+
+fn run_server(studies: usize, trials: usize, cache: &Arc<TrialCache>) -> usize {
+    let mut server = StudyServer::new(8);
+    for s in 0..studies {
+        server.submit(study(&format!("s{s}"), trials, Some(cache.clone())));
+    }
+    server.run_all().iter().map(|o| o.trials.len()).sum()
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study_server");
+    group.sample_size(10);
+    group.bench_function("cold_2_studies_x_32", |b| {
+        b.iter(|| {
+            // Fresh cache every iteration: all 64 objectives execute.
+            let cache = Arc::new(TrialCache::new());
+            black_box(run_server(2, 32, &cache))
+        });
+    });
+    group.bench_function("warm_2_studies_x_32", |b| {
+        let cache = Arc::new(TrialCache::new());
+        run_server(2, 32, &cache);
+        b.iter(|| {
+            // Persistent warm cache: every trial is adopted, measuring
+            // pure scheduling + WAL-free adoption overhead.
+            black_box(run_server(2, 32, &cache))
+        });
+    });
+    group.finish();
+}
+
+/// The scheduler sweep behind `BENCH_study.json`: for every `studies ×
+/// trials × warm-fraction` cell, pre-warm the shared cache with that
+/// fraction of the outcomes and measure wall time, hit rate, and
+/// executed-objective count for a full server run.
+fn emit_study_sweep() {
+    let mut results = Vec::new();
+    for &studies in &[1usize, 2, 4] {
+        for &trials in &[16usize, 64] {
+            for &warm in &[0.0f64, 0.5, 1.0] {
+                let reference = study("ref", trials, None).run().expect("reference run");
+                let cache = Arc::new(TrialCache::new());
+                let keep = ((trials as f64) * warm).round() as usize;
+                cache.absorb(&reference[..keep.min(reference.len())], FINGERPRINT, SEED);
+
+                let t = Instant::now();
+                let total = run_server(studies, trials, &cache);
+                let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(total, studies * trials);
+
+                let (hits, misses) = cache.stats();
+                let lookups = (hits + misses) as f64;
+                results.push(serde_json::json!({
+                    "studies": studies,
+                    "trials_per_study": trials,
+                    "warm_fraction": warm,
+                    "wall_ms": wall_ms,
+                    "cache_hits": hits,
+                    "cache_misses": misses,
+                    "hit_rate": if lookups > 0.0 { hits as f64 / lookups } else { 0.0 },
+                    "executed_objectives": misses,
+                }));
+            }
+        }
+    }
+    let report = serde_json::json!({
+        "bench": "study_server_sweep",
+        "server_width": 8,
+        "unit": "ms_per_server_run",
+        "notes": "hit_rate counts lookups across all submitted studies; \
+                  studies beyond the first reuse earlier studies' results \
+                  even at warm_fraction 0",
+        "results": results,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_study.json");
+    let body = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Err(e) = std::fs::write(path, body + "\n") {
+        eprintln!("BENCH_study.json not written: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_server
+}
+
+fn main() {
+    emit_study_sweep();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -4,6 +4,13 @@
 //! (`crates/bench/schemas/telemetry_trace.schema.json`), and verify the
 //! round-tripped trace rolls up to the exact usage the backend reported.
 //!
+//! The same binary also smokes the study write-ahead log: a small
+//! journaled study engineered to hit every [`decision::wal::StudyEvent`]
+//! variant (completed, pruned, failed, reused, reports, checkpoints) is
+//! run twice, and every WAL line is validated against
+//! `crates/bench/schemas/study_wal.schema.json` plus a full
+//! load-and-replay pass.
+//!
 //! ```text
 //! cargo run --release -p bench --bin telemetry_smoke
 //! cargo run --release -p bench --bin telemetry_smoke -- --out results
@@ -16,6 +23,10 @@ use bench::harness::{harness_ppo, harness_sac};
 use bench::paper::PaperRow;
 use bench::HarnessOpts;
 use cluster_sim::{ClusterSpec, Usage};
+use decision::prelude::{
+    wal_keys, GridSearch, Journal, MedianPruner, MetricDef, MetricValues, ParamSpace, Replay,
+    Study, TrialCache,
+};
 use dist_exec::{run_recorded, Deployment, ExecSpec, FnEnvFactory};
 use gymrs::Environment;
 use serde_json::Value;
@@ -24,6 +35,10 @@ use std::sync::Arc;
 /// The schema the trace is validated against, checked in next to the
 /// crate so CI diffs format changes explicitly.
 const SCHEMA: &str = include_str!("../../schemas/telemetry_trace.schema.json");
+
+/// The study WAL schema: every journal line must parse as one of the
+/// seven `decision::wal::StudyEvent` shapes.
+const WAL_SCHEMA: &str = include_str!("../../schemas/study_wal.schema.json");
 
 fn main() {
     let opts = match HarnessOpts::from_args(std::env::args().skip(1)) {
@@ -119,6 +134,8 @@ fn main() {
         std::process::exit(1);
     }
 
+    check_study_wal(&schema);
+
     if let Some(dir) = &opts.out_dir {
         if let Err(e) = std::fs::create_dir_all(dir)
             .and_then(|()| std::fs::write(dir.join("telemetry_trace.jsonl"), &trace))
@@ -135,6 +152,92 @@ fn main() {
         rolled.energy_j / 1e3,
         report.env_steps
     );
+}
+
+/// Run a small journaled study engineered to emit every WAL event kind
+/// (complete, pruned, failed on the cold pass; reused on the warm pass),
+/// then validate each log line against the WAL schema *and* the telemetry
+/// trace schema (the WAL is bit-exact telemetry event format), and replay
+/// both logs end to end.
+fn check_study_wal(trace_schema: &Value) {
+    let wal_schema: Value = serde_json::from_str(WAL_SCHEMA).expect("WAL schema is valid JSON");
+    let dir = std::env::temp_dir().join(format!("study_wal_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let cache = Arc::new(TrialCache::new());
+    let study = |wal: std::path::PathBuf| {
+        Study::builder("wal-smoke")
+            // Descending grid so later (smaller) values fall under the
+            // running median and the pruner fires.
+            .space(ParamSpace::builder().categorical_int("k", (0..8).rev()).build())
+            .explorer(GridSearch::new())
+            .metric(MetricDef::maximize("score"))
+            .pruner(MedianPruner::with_startup(2))
+            .seed(7)
+            .journal(Journal::new(wal))
+            .reuse_cache(cache.clone())
+            .objective_fingerprint("wal-smoke-v1")
+            .objective(|cfg, ctx| {
+                let k = cfg.int("k").unwrap() as f64;
+                if k == 6.0 {
+                    return Err("engineered failure".to_string());
+                }
+                if ctx.report(1, k) {
+                    return Ok(MetricValues::new().with("score", k));
+                }
+                Ok(MetricValues::new().with("score", 10.0 * k))
+            })
+            .build()
+            .expect("smoke study builds")
+    };
+
+    let mut seen = std::collections::BTreeSet::new();
+    for (pass, path) in [("cold", dir.join("cold.wal")), ("warm", dir.join("warm.wal"))] {
+        study(path.clone()).run().expect("smoke study runs");
+
+        let text = std::fs::read_to_string(&path).expect("WAL is readable");
+        for (lineno, line) in text.lines().enumerate() {
+            let value: Value = match serde_json::from_str(line) {
+                Ok(v) => v,
+                Err(e) => fail(lineno, line, &format!("WAL line is not valid JSON: {e}")),
+            };
+            if let Err(why) = validate(&wal_schema, &wal_schema, &value) {
+                fail(lineno, line, &format!("WAL schema: {why}"));
+            }
+            if let Err(why) = validate(trace_schema, trace_schema, &value) {
+                fail(lineno, line, &format!("trace schema: {why}"));
+            }
+        }
+
+        let load = Journal::new(&path).load().expect("WAL loads");
+        if load.torn_tail {
+            eprintln!("error: {pass} WAL reports a torn tail on a clean run");
+            std::process::exit(1);
+        }
+        seen.extend(load.events.iter().map(|e| e.key().to_string()));
+        if let Err(e) = Replay::from_events(load.events) {
+            eprintln!("error: {pass} WAL does not replay: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    for key in [
+        wal_keys::CHECKPOINT,
+        wal_keys::TRIAL_STARTED,
+        wal_keys::TRIAL_REPORT,
+        wal_keys::TRIAL_COMPLETED,
+        wal_keys::TRIAL_PRUNED,
+        wal_keys::TRIAL_FAILED,
+        wal_keys::TRIAL_REUSED,
+    ] {
+        if !seen.contains(key) {
+            eprintln!("error: WAL smoke never emitted '{key}' (saw {seen:?})");
+            std::process::exit(1);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("study WAL PASS: both logs schema-valid, replayable, all {} event kinds", 7);
 }
 
 fn fail(lineno: usize, line: &str, why: &str) -> ! {

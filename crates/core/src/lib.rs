@@ -45,6 +45,7 @@
 //! ```
 
 pub mod analysis;
+pub mod cache;
 pub mod constraint;
 pub mod explore;
 pub mod manifest;
@@ -53,14 +54,17 @@ pub mod param;
 pub mod pruner;
 pub mod rank;
 pub mod report;
+pub mod server;
 pub mod space;
 pub mod storage;
 pub mod study;
 pub mod trial;
+pub mod wal;
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
     pub use crate::analysis::{all_effects, ParamEffect};
+    pub use crate::cache::{CachedOutcome, TrialCache};
     pub use crate::constraint::{Constraint, ConstraintSet};
     pub use crate::explore::{Explorer, GridSearch, PresetList, RandomSearch, TpeLite};
     pub use crate::metrics::{keys as metric_keys, Direction, MetricDef, MetricKey, MetricValues};
@@ -69,9 +73,12 @@ pub mod prelude {
     pub use crate::rank::pareto::ParetoFront;
     pub use crate::rank::sorted::SortedRanking;
     pub use crate::rank::weighted::WeightedSum;
+    pub use crate::server::{server_keys, StudyOutcome, StudyServer};
     pub use crate::space::ParamSpace;
+    pub use crate::storage::{Durability, Journal, JournalError, WalLoad};
     pub use crate::study::{study_keys, Study, StudyBuilder, TrialContext};
     pub use crate::trial::{Configuration, Trial, TrialStatus};
+    pub use crate::wal::{wal_keys, Replay, StudyEvent};
 }
 
 pub use prelude::*;

@@ -1,23 +1,122 @@
-//! Trial journaling: append-only JSONL storage with resume support.
+//! The journal: a durable, append-only study WAL on disk.
 //!
 //! Long studies (18 trainings × up to 85 simulated minutes each in the
-//! paper) must survive interruptions; the journal records every finished
-//! trial so a restarted study can skip completed work.
+//! paper) must survive interruptions. The journal appends one
+//! [`StudyEvent`] per line — serialized by [`crate::wal`] in the
+//! bit-exact telemetry JSON-lines format — so a restarted study replays
+//! the log and continues from the last durable event.
+//!
+//! ## Crash tolerance
+//!
+//! Every append is a single `write_all` of `line + "\n"`, so a crash can
+//! tear at most the final line, and a torn line never ends in a newline.
+//! [`Journal::load`] therefore tolerates exactly one unparseable,
+//! unterminated tail record (dropping it and reporting `torn_tail`);
+//! corruption anywhere else — a malformed line *followed by* more data —
+//! cannot be produced by a crash and is surfaced as
+//! [`JournalError::Corrupt`] instead of being silently skipped.
+//!
+//! Before its first append, a writer repairs any torn tail by truncating
+//! the file back to the last complete line; appending after a torn line
+//! without truncating would glue new bytes onto the fragment and turn a
+//! benign tear into mid-file corruption.
 
-use crate::trial::Trial;
+use crate::wal::StudyEvent;
+use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// Append-only JSONL trial store.
+/// How hard [`Journal::append`] pushes each event toward the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Accumulate lines in a process-local buffer; bytes reach the OS on
+    /// [`Journal::flush`] or when the buffer fills. Fastest; a crash can
+    /// lose every buffered event.
+    Buffered,
+    /// One `write(2)` per event (the default): the event survives a
+    /// process crash as soon as `append` returns, but not a power loss.
+    #[default]
+    Flush,
+    /// `write(2)` + `fdatasync(2)` per event: survives power loss, at the
+    /// cost of a disk round-trip per event.
+    Sync,
+}
+
+/// Typed journal failure.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// A malformed record before the final line — not explicable as a
+    /// torn append, so the log cannot be trusted.
+    Corrupt {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// Decoder message.
+        message: String,
+    },
+    /// An event failed to encode or decode.
+    Codec(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt { line, message } => {
+                write!(f, "journal corrupt at line {line}: {message}")
+            }
+            JournalError::Codec(m) => write!(f, "journal codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The result of loading a journal.
+#[derive(Debug, Default)]
+pub struct WalLoad {
+    /// Every decodable event, in log order.
+    pub events: Vec<StudyEvent>,
+    /// True when a torn (crash-interrupted) final record was dropped.
+    pub torn_tail: bool,
+}
+
+const BUFFER_HIGH_WATER: usize = 64 * 1024;
+
+struct WalWriter {
+    file: File,
+    /// Pending lines under [`Durability::Buffered`].
+    buf: Vec<u8>,
+    /// Next event sequence number (= line index in the file).
+    seq: u64,
+}
+
+/// Append-only study WAL.
 pub struct Journal {
     path: PathBuf,
+    durability: Durability,
+    writer: Mutex<Option<WalWriter>>,
 }
 
 impl Journal {
-    /// Open (or create) a journal at `path`.
+    /// Open (or create lazily, on first append) a journal at `path` with
+    /// the default [`Durability::Flush`].
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Self { path: path.into() }
+        Self { path: path.into(), durability: Durability::default(), writer: Mutex::new(None) }
+    }
+
+    /// Set the append durability policy.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
     }
 
     /// The backing file path.
@@ -25,44 +124,138 @@ impl Journal {
         &self.path
     }
 
-    /// Append one trial (flushes to disk).
-    ///
-    /// The record is written with a single `write_all` of `line + "\n"`
-    /// on an `O_APPEND` descriptor, so concurrent appends from
-    /// `Study::run_parallel` workers cannot interleave within a line.
-    pub fn append(&self, trial: &Trial) -> std::io::Result<()> {
-        let mut f = OpenOptions::new().create(true).append(true).open(&self.path)?;
-        let mut line = serde_json::to_string(trial)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        line.push('\n');
-        f.write_all(line.as_bytes())?;
-        f.flush()
+    /// The configured durability policy.
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 
-    /// Load all stored trials (empty when the file does not exist).
-    /// Malformed lines are skipped with a count in the result.
-    pub fn load(&self) -> std::io::Result<(Vec<Trial>, usize)> {
-        if !self.path.exists() {
-            return Ok((Vec::new(), 0));
+    /// Append one event; returns its sequence number. The line is written
+    /// with a single `write_all` on an `O_APPEND` descriptor, so
+    /// concurrent appends from parallel trial waves cannot interleave
+    /// within a line. The first append repairs a torn tail left by a
+    /// previous crash (see the module docs).
+    pub fn append(&self, event: &StudyEvent) -> Result<u64, JournalError> {
+        let mut guard = self.writer.lock();
+        let writer = match guard.as_mut() {
+            Some(w) => w,
+            None => guard.insert(self.open_writer()?),
+        };
+        let seq = writer.seq;
+        let mut line = event.to_line(seq);
+        line.push('\n');
+        match self.durability {
+            Durability::Buffered => {
+                writer.buf.extend_from_slice(line.as_bytes());
+                if writer.buf.len() >= BUFFER_HIGH_WATER {
+                    let buf = std::mem::take(&mut writer.buf);
+                    writer.file.write_all(&buf)?;
+                }
+            }
+            Durability::Flush => writer.file.write_all(line.as_bytes())?,
+            Durability::Sync => {
+                writer.file.write_all(line.as_bytes())?;
+                writer.file.sync_data()?;
+            }
         }
-        let f = File::open(&self.path)?;
-        let mut trials = Vec::new();
-        let mut skipped = 0;
-        for line in BufReader::new(f).lines() {
-            let line = line?;
+        writer.seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Push any buffered lines to the OS (meaningful under
+    /// [`Durability::Buffered`]; a no-op otherwise).
+    pub fn flush(&self) -> Result<(), JournalError> {
+        if let Some(w) = self.writer.lock().as_mut() {
+            if !w.buf.is_empty() {
+                let buf = std::mem::take(&mut w.buf);
+                w.file.write_all(&buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush and `fdatasync` the log.
+    pub fn sync(&self) -> Result<(), JournalError> {
+        self.flush()?;
+        if let Some(w) = self.writer.lock().as_mut() {
+            w.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn open_writer(&self) -> Result<WalWriter, JournalError> {
+        // Repair pass: count complete lines and truncate a torn tail so
+        // the first append starts on a fresh line.
+        let mut seq = 0u64;
+        if self.path.exists() {
+            let mut f = OpenOptions::new().read(true).write(true).open(&self.path)?;
+            let mut text = String::new();
+            f.read_to_string(&mut text)?;
+            let keep = match text.rfind('\n') {
+                Some(last_nl) => {
+                    let tail = &text[last_nl + 1..];
+                    if tail.is_empty() || StudyEvent::from_line(tail).is_ok() {
+                        // A parseable unterminated tail only lost its
+                        // newline; keep the record, terminate the line.
+                        if !tail.is_empty() {
+                            f.seek(SeekFrom::End(0))?;
+                            f.write_all(b"\n")?;
+                            text.push('\n');
+                        }
+                        text.len()
+                    } else {
+                        last_nl + 1
+                    }
+                }
+                None if !text.is_empty() && StudyEvent::from_line(&text).is_ok() => {
+                    f.seek(SeekFrom::End(0))?;
+                    f.write_all(b"\n")?;
+                    text.push('\n');
+                    text.len()
+                }
+                None => 0,
+            };
+            if keep < text.len() {
+                f.set_len(keep as u64)?;
+            }
+            seq = text[..keep].lines().filter(|l| !l.trim().is_empty()).count() as u64;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        Ok(WalWriter { file, buf: Vec::new(), seq })
+    }
+
+    /// Load and decode the full event log (empty when the file does not
+    /// exist). Tolerates exactly one torn tail record; any earlier
+    /// malformed line is a [`JournalError::Corrupt`] error.
+    pub fn load(&self) -> Result<WalLoad, JournalError> {
+        if !self.path.exists() {
+            return Ok(WalLoad::default());
+        }
+        let text = std::fs::read_to_string(&self.path)?;
+        let terminated = text.ends_with('\n');
+        let lines: Vec<&str> = text.lines().collect();
+        let mut load = WalLoad::default();
+        for (i, line) in lines.iter().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            match serde_json::from_str::<Trial>(&line) {
-                Ok(t) => trials.push(t),
-                Err(_) => skipped += 1,
+            match StudyEvent::from_line(line) {
+                Ok(ev) => load.events.push(ev),
+                Err(message) => {
+                    let is_tail = i + 1 == lines.len() && !terminated;
+                    if is_tail {
+                        load.torn_tail = true;
+                    } else {
+                        return Err(JournalError::Corrupt { line: i + 1, message });
+                    }
+                }
             }
         }
-        Ok((trials, skipped))
+        Ok(load)
     }
 
-    /// Delete the journal file if it exists.
-    pub fn clear(&self) -> std::io::Result<()> {
+    /// Delete the journal file if it exists (drops any open writer).
+    pub fn clear(&self) -> Result<(), JournalError> {
+        *self.writer.lock() = None;
         if self.path.exists() {
             std::fs::remove_file(&self.path)?;
         }
@@ -83,24 +276,30 @@ mod tests {
         p
     }
 
-    fn trial(id: usize) -> Trial {
-        Trial::complete(
-            id,
-            Configuration::new().with("k", ParamValue::Int(id as i64)),
-            MetricValues::new().with("reward", -(id as f64) / 10.0),
-        )
+    fn started(id: usize) -> StudyEvent {
+        StudyEvent::TrialStarted {
+            trial: id,
+            config: Configuration::new().with("k", ParamValue::Int(id as i64)),
+        }
+    }
+
+    fn completed(id: usize) -> StudyEvent {
+        StudyEvent::TrialCompleted {
+            trial: id,
+            metrics: MetricValues::new().with("reward", -(id as f64) / 10.0),
+        }
     }
 
     #[test]
     fn append_and_load_round_trip() {
         let j = Journal::new(tmp("roundtrip"));
         j.clear().unwrap();
-        j.append(&trial(0)).unwrap();
-        j.append(&trial(1)).unwrap();
-        let (loaded, skipped) = j.load().unwrap();
-        assert_eq!(loaded.len(), 2);
-        assert_eq!(skipped, 0);
-        assert_eq!(loaded[1], trial(1));
+        assert_eq!(j.append(&started(0)).unwrap(), 0);
+        assert_eq!(j.append(&completed(0)).unwrap(), 1);
+        let load = j.load().unwrap();
+        assert_eq!(load.events.len(), 2);
+        assert!(!load.torn_tail);
+        assert_eq!(load.events[1], completed(0));
         j.clear().unwrap();
     }
 
@@ -108,25 +307,98 @@ mod tests {
     fn loading_missing_file_is_empty() {
         let j = Journal::new(tmp("missing"));
         j.clear().unwrap();
-        let (loaded, skipped) = j.load().unwrap();
-        assert!(loaded.is_empty());
-        assert_eq!(skipped, 0);
+        let load = j.load().unwrap();
+        assert!(load.events.is_empty());
+        assert!(!load.torn_tail);
     }
 
     #[test]
-    fn malformed_lines_are_counted_not_fatal() {
-        let path = tmp("malformed");
+    fn torn_tail_is_tolerated_and_repaired_on_append() {
+        let path = tmp("torn");
         let j = Journal::new(&path);
         j.clear().unwrap();
-        j.append(&trial(0)).unwrap();
+        j.append(&started(0)).unwrap();
+        j.append(&completed(0)).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: a partial line with no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"ty\":\"event\",\"key\":\"trial.st").unwrap();
+        }
+        let j = Journal::new(&path);
+        let load = j.load().unwrap();
+        assert_eq!(load.events.len(), 2, "torn tail must be dropped, not fatal");
+        assert!(load.torn_tail);
+        // Appending truncates the fragment first; the log is clean again
+        // and sequence numbers continue from the surviving records.
+        let seq = j.append(&started(1)).unwrap();
+        assert_eq!(seq, 2);
+        let load = j.load().unwrap();
+        assert_eq!(load.events.len(), 3);
+        assert!(!load.torn_tail);
+        j.clear().unwrap();
+    }
+
+    #[test]
+    fn unterminated_but_complete_tail_is_kept() {
+        let path = tmp("noeol");
+        let j = Journal::new(&path);
+        j.clear().unwrap();
+        j.append(&started(0)).unwrap();
+        drop(j);
+        // Crash delivered the whole line but not its newline.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        let j = Journal::new(&path);
+        assert_eq!(j.load().unwrap().events.len(), 1);
+        assert_eq!(j.append(&completed(0)).unwrap(), 1);
+        let load = j.load().unwrap();
+        assert_eq!(load.events.len(), 2);
+        assert!(!load.torn_tail);
+        j.clear().unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error_not_a_skip() {
+        let path = tmp("corrupt");
+        let j = Journal::new(&path);
+        j.clear().unwrap();
+        j.append(&started(0)).unwrap();
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
             writeln!(f, "{{not json").unwrap();
         }
-        j.append(&trial(1)).unwrap();
-        let (loaded, skipped) = j.load().unwrap();
-        assert_eq!(loaded.len(), 2);
-        assert_eq!(skipped, 1);
+        j.append(&completed(0)).unwrap();
+        match j.load() {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        j.clear().unwrap();
+    }
+
+    #[test]
+    fn buffered_durability_defers_until_flush() {
+        let path = tmp("buffered");
+        let j = Journal::new(&path).with_durability(Durability::Buffered);
+        j.clear().unwrap();
+        j.append(&started(0)).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+            0,
+            "buffered events must not hit the file before flush"
+        );
+        j.flush().unwrap();
+        assert_eq!(j.load().unwrap().events.len(), 1);
+        j.clear().unwrap();
+    }
+
+    #[test]
+    fn sync_durability_appends_like_flush() {
+        let j = Journal::new(tmp("sync")).with_durability(Durability::Sync);
+        j.clear().unwrap();
+        j.append(&started(0)).unwrap();
+        j.append(&completed(0)).unwrap();
+        assert_eq!(j.load().unwrap().events.len(), 2);
         j.clear().unwrap();
     }
 
@@ -134,7 +406,7 @@ mod tests {
     fn clear_removes_the_file() {
         let path = tmp("clear");
         let j = Journal::new(&path);
-        j.append(&trial(0)).unwrap();
+        j.append(&started(0)).unwrap();
         assert!(path.exists());
         j.clear().unwrap();
         assert!(!path.exists());

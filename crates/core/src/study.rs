@@ -4,17 +4,41 @@
 //! metric set (stage d) and a user-supplied objective that embodies the
 //! case study (stage a). Running it produces the trials that the ranking
 //! methods (stage e) and reports consume.
+//!
+//! ## Durability and resume
+//!
+//! With a [`Journal`] configured, every trial transition is appended to
+//! an event-sourced WAL (see [`crate::wal`]) *as it happens*: a
+//! `trial.started` record before the objective runs, one `trial.report`
+//! per intermediate value, and a finish record. A study that is killed at
+//! any point resumes by replaying the log: finished trials are adopted
+//! without re-executing, an interrupted trial re-runs with its logged
+//! configuration, and the explorer RNG is reconstructed by burning one
+//! proposal per adopted trial against the same history prefix the
+//! original run saw — so a resumed study produces bitwise-identical
+//! trials to an uninterrupted one. Replayed intermediates are fed back
+//! into the pruner so pruning decisions also match.
+//!
+//! ## Incremental reuse
+//!
+//! With a shared [`TrialCache`] attached, a proposed configuration whose
+//! outcome is already cached (same canonical key, objective fingerprint,
+//! and seed) is adopted without executing the objective, and a
+//! `trial.reused` event makes the adoption durable.
 
+use crate::cache::TrialCache;
 use crate::explore::Explorer;
 use crate::metrics::{Direction, MetricDef, MetricValues};
 use crate::pruner::{NopPruner, Pruner};
 use crate::space::ParamSpace;
-use crate::storage::Journal;
+use crate::storage::{Durability, Journal};
 use crate::trial::{Configuration, Trial, TrialStatus};
-use parking_lot::Mutex;
+use crate::wal::{Replay, StudyEvent};
+use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use telemetry::SharedRecorder;
 
@@ -33,6 +57,12 @@ pub mod study_keys {
 
     /// Counter: trials that errored or missed a study metric.
     pub const TRIALS_FAILED: Key = Key("study.trials_failed");
+
+    /// Counter: trials adopted from the reuse cache without executing.
+    pub const TRIALS_REUSED: Key = Key("study.trials_reused");
+
+    /// Counter: trials adopted from the journal on resume.
+    pub const TRIALS_RESUMED: Key = Key("study.trials_resumed");
 }
 
 /// Handle given to the objective while a trial runs: intermediate
@@ -44,14 +74,23 @@ pub struct TrialContext<'a> {
     orient: Direction,
     intermediate: Vec<(u64, f64)>,
     pruned: bool,
+    wal: Option<&'a Journal>,
 }
 
 impl TrialContext<'_> {
     /// Report an intermediate objective value (bigger = better after the
-    /// study's orientation). Returns `true` when the pruner asks the
-    /// trial to stop; the objective should then return promptly (the
-    /// study records the trial as pruned).
+    /// study's orientation). The report is appended to the WAL before the
+    /// pruner sees it, so a crash loses at most the report in flight.
+    /// Returns `true` when the pruner asks the trial to stop; the
+    /// objective should then return promptly (the study records the trial
+    /// as pruned).
     pub fn report(&mut self, step: u64, value: f64) -> bool {
+        if let Some(j) = self.wal {
+            let ev = StudyEvent::TrialReport { trial: self.trial_id, step, value };
+            if let Err(e) = j.append(&ev) {
+                eprintln!("[decision] journal append failed: {e}");
+            }
+        }
         self.intermediate.push((step, value));
         let oriented = self.orient.orient(value);
         if self.pruner.should_prune(self.trial_id, step, oriented) {
@@ -85,6 +124,189 @@ pub struct Study {
     /// Upper bound on concurrent trials in [`Study::run_parallel`].
     max_concurrent_trials: Option<usize>,
     recorder: SharedRecorder,
+    reuse_cache: Option<Arc<TrialCache>>,
+    objective_fingerprint: String,
+}
+
+/// One unit of work handed out by a [`Session`]: either a trial that is
+/// already decided (journal replay or cache hit) or one to execute.
+pub(crate) enum Slot {
+    /// Finished without execution.
+    Done(Trial),
+    /// Execute the objective for `id` with `config`.
+    Run {
+        /// Sequential trial id.
+        id: usize,
+        /// Proposed configuration.
+        config: Configuration,
+    },
+}
+
+/// Live run state of one study: the explorer lock, the exploration RNG,
+/// the accumulated history, and the replayed journal state. Both the
+/// in-process drivers ([`Study::run`] / [`Study::run_parallel`]) and the
+/// multi-study [`crate::server::StudyServer`] pull [`Slot`]s from a
+/// session, execute the runnable ones, and feed results back in id order.
+pub(crate) struct Session<'a> {
+    study: &'a Study,
+    explorer: MutexGuard<'a, Box<dyn Explorer>>,
+    rng: StdRng,
+    trials: Vec<Trial>,
+    finished: BTreeMap<usize, Trial>,
+    in_flight: BTreeMap<usize, (Configuration, Vec<(u64, f64)>)>,
+    /// Slots handed out but not yet absorbed.
+    handed: usize,
+    exhausted: bool,
+}
+
+impl<'a> Session<'a> {
+    /// Open a session: replay the journal (if any), validate that the log
+    /// belongs to this study, and append a `study.checkpoint` marker.
+    pub(crate) fn start(study: &'a Study) -> Result<Session<'a>, String> {
+        let mut replay = Replay::default();
+        if let Some(j) = &study.journal {
+            let load = j.load().map_err(|e| e.to_string())?;
+            if load.torn_tail {
+                eprintln!(
+                    "[decision] journal {}: dropped a torn tail record from an interrupted run",
+                    j.path().display()
+                );
+            }
+            replay = Replay::from_events(load.events)?;
+            for ckpt in &replay.checkpoints {
+                if let StudyEvent::Checkpoint { study: s, seed, explorer, fingerprint, .. } = ckpt {
+                    let explorer_name = study.explorer.lock().name().to_string();
+                    if *s != study.name
+                        || *seed != study.seed
+                        || *explorer != explorer_name
+                        || *fingerprint != study.objective_fingerprint
+                    {
+                        return Err(format!(
+                            "journal {} belongs to a different study \
+                             (logged {s}/{explorer}/seed {seed}/fingerprint '{fingerprint}', \
+                             this study is {}/{explorer_name}/seed {}/fingerprint '{}')",
+                            j.path().display(),
+                            study.name,
+                            study.seed,
+                            study.objective_fingerprint,
+                        ));
+                    }
+                }
+            }
+        }
+        let session = Session {
+            explorer: study.explorer.lock(),
+            rng: StdRng::seed_from_u64(study.seed),
+            trials: Vec::new(),
+            finished: replay.finished,
+            in_flight: replay.in_flight,
+            handed: 0,
+            exhausted: false,
+            study,
+        };
+        session.study.journal_event(&session.checkpoint_event());
+        Ok(session)
+    }
+
+    fn checkpoint_event(&self) -> StudyEvent {
+        StudyEvent::Checkpoint {
+            study: self.study.name.clone(),
+            seed: self.study.seed,
+            explorer: self.explorer.name().to_string(),
+            fingerprint: self.study.objective_fingerprint.clone(),
+            trials: (self.trials.len() + self.finished.len()) as u64,
+        }
+    }
+
+    /// Burn one explorer proposal so positional (RNG-driven) explorers
+    /// stay in sync with the uninterrupted run; keyed explorers dedupe
+    /// against the history themselves.
+    fn burn_proposal(&mut self) {
+        if !self.explorer.supports_keyed_resume() {
+            let _ = self.explorer.propose(&self.study.space, &self.trials, &mut self.rng);
+        }
+    }
+
+    /// Hand out the next slot. Proposals see the history as of the last
+    /// [`Session::absorb`], so filling a wave of slots reproduces the
+    /// wave semantics of `run_parallel` exactly.
+    pub(crate) fn next_slot(&mut self) -> Option<Slot> {
+        let id = self.trials.len() + self.handed;
+        if let Some(t) = self.finished.remove(&id) {
+            // Adopted from the journal: keep explorer RNG and pruner
+            // state identical to the run that produced it.
+            self.burn_proposal();
+            self.study.replay_into_pruner(&t);
+            self.study.count(study_keys::TRIALS_RESUMED);
+            self.handed += 1;
+            return Some(Slot::Done(t));
+        }
+        let config = match self.in_flight.remove(&id) {
+            Some((config, _reports)) => {
+                // Started but never finished: re-run with the logged
+                // configuration (the fresh start supersedes in the WAL).
+                self.burn_proposal();
+                config
+            }
+            None => {
+                if self.exhausted {
+                    return None;
+                }
+                match self.explorer.propose(&self.study.space, &self.trials, &mut self.rng) {
+                    Some(config) => config,
+                    None => {
+                        self.exhausted = true;
+                        return None;
+                    }
+                }
+            }
+        };
+        if let Some(hit) = self.study.cache_lookup(&config) {
+            let trial = hit.to_trial(id);
+            self.study.journal_event(&StudyEvent::TrialReused {
+                trial: id,
+                config: trial.config.clone(),
+                status: trial.status,
+                metrics: trial.metrics.clone(),
+                intermediate: trial.intermediate.clone(),
+            });
+            self.study.replay_into_pruner(&trial);
+            self.study.count(study_keys::TRIALS_REUSED);
+            self.handed += 1;
+            return Some(Slot::Done(trial));
+        }
+        self.handed += 1;
+        Some(Slot::Run { id, config })
+    }
+
+    /// Whether the explorer has no further proposals (and nothing is left
+    /// to adopt from the journal).
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.exhausted && self.finished.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Feed back one wave of results (every slot handed out since the
+    /// previous absorb). Results are merged in id order so the history —
+    /// and therefore every later explorer proposal — is deterministic
+    /// regardless of completion order.
+    pub(crate) fn absorb(&mut self, mut results: Vec<Trial>) {
+        debug_assert!(results.len() <= self.handed);
+        results.sort_by_key(|t| t.id);
+        self.handed -= results.len();
+        self.trials.extend(results);
+    }
+
+    /// Close the session after a normal (exhausted) finish: append a
+    /// final checkpoint and return the trials.
+    pub(crate) fn finish(self) -> Vec<Trial> {
+        self.study.journal_event(&self.checkpoint_event());
+        self.trials
+    }
+
+    /// Return the trials without a closing checkpoint (early drain).
+    pub(crate) fn into_trials(self) -> Vec<Trial> {
+        self.trials
+    }
 }
 
 impl Study {
@@ -98,9 +320,12 @@ impl Study {
             objective: None,
             pruner: Arc::new(NopPruner),
             journal: None,
+            durability: None,
             seed: 0,
             max_concurrent_trials: None,
             recorder: telemetry::null_recorder(),
+            reuse_cache: None,
+            objective_fingerprint: String::new(),
         }
     }
 
@@ -119,13 +344,58 @@ impl Study {
         &self.space
     }
 
-    fn run_one(&self, id: usize, config: Configuration) -> Trial {
+    /// The objective fingerprint used for cache keying.
+    pub fn objective_fingerprint(&self) -> &str {
+        &self.objective_fingerprint
+    }
+
+    pub(crate) fn max_concurrent_trials(&self) -> Option<usize> {
+        self.max_concurrent_trials
+    }
+
+    pub(crate) fn recorder(&self) -> &SharedRecorder {
+        &self.recorder
+    }
+
+    fn journal_event(&self, ev: &StudyEvent) {
+        if let Some(j) = &self.journal {
+            // Journaling failures must not kill the study; surface them.
+            if let Err(e) = j.append(ev) {
+                eprintln!("[decision] journal append failed: {e}");
+            }
+        }
+    }
+
+    fn count(&self, key: telemetry::Key) {
+        if self.recorder.enabled() {
+            self.recorder.counter_add(key, 1);
+        }
+    }
+
+    fn cache_lookup(&self, config: &Configuration) -> Option<crate::cache::CachedOutcome> {
+        self.reuse_cache
+            .as_ref()
+            .and_then(|c| c.lookup(config, &self.objective_fingerprint, self.seed))
+    }
+
+    /// Replay a finished trial's intermediates into the pruner so its
+    /// history matches a run that executed the trial live.
+    fn replay_into_pruner(&self, trial: &Trial) {
+        for (step, value) in &trial.intermediate {
+            let oriented = self.prune_metric_direction.orient(*value);
+            let _ = self.pruner.should_prune(trial.id, *step, oriented);
+        }
+    }
+
+    pub(crate) fn run_one(&self, id: usize, config: Configuration) -> Trial {
+        self.journal_event(&StudyEvent::TrialStarted { trial: id, config: config.clone() });
         let mut ctx = TrialContext {
             trial_id: id,
             pruner: self.pruner.as_ref(),
             orient: self.prune_metric_direction,
             intermediate: Vec::new(),
             pruned: false,
+            wal: self.journal.as_ref(),
         };
         let span = self.recorder.span_begin(study_keys::TRIAL);
         let result = (self.objective)(&config, &mut ctx);
@@ -138,6 +408,7 @@ impl Study {
                 status: TrialStatus::Pruned,
                 intermediate: Vec::new(),
                 error: None,
+                reused: false,
             },
             Ok(metrics) => Trial::complete(id, config, metrics),
             Err(e) => Trial {
@@ -147,6 +418,7 @@ impl Study {
                 status: TrialStatus::Failed,
                 intermediate: Vec::new(),
                 error: Some(e),
+                reused: false,
             },
         };
         trial.intermediate = ctx.intermediate;
@@ -157,43 +429,68 @@ impl Study {
                 self.metrics.iter().map(|m| m.name.as_str()).collect::<Vec<_>>()
             ));
         }
-        if self.recorder.enabled() {
-            let outcome = match trial.status {
-                TrialStatus::Complete => study_keys::TRIALS_COMPLETE,
-                TrialStatus::Pruned => study_keys::TRIALS_PRUNED,
-                TrialStatus::Failed => study_keys::TRIALS_FAILED,
-            };
-            self.recorder.counter_add(outcome, 1);
-        }
-        if let Some(j) = &self.journal {
-            // Journaling failures must not kill the study; surface them.
-            if let Err(e) = j.append(&trial) {
-                eprintln!("[decision] journal append failed: {e}");
+        let outcome = match trial.status {
+            TrialStatus::Complete => study_keys::TRIALS_COMPLETE,
+            TrialStatus::Pruned => study_keys::TRIALS_PRUNED,
+            TrialStatus::Failed => study_keys::TRIALS_FAILED,
+        };
+        self.count(outcome);
+        self.journal_event(&match trial.status {
+            TrialStatus::Complete => {
+                StudyEvent::TrialCompleted { trial: id, metrics: trial.metrics.clone() }
             }
+            TrialStatus::Pruned => {
+                StudyEvent::TrialPruned { trial: id, metrics: trial.metrics.clone() }
+            }
+            TrialStatus::Failed => StudyEvent::TrialFailed {
+                trial: id,
+                error: trial.error.clone().unwrap_or_default(),
+                metrics: trial.metrics.clone(),
+            },
+        });
+        if let Some(cache) = &self.reuse_cache {
+            cache.store(&trial, &self.objective_fingerprint, self.seed);
         }
         trial
+    }
+
+    pub(crate) fn execute(&self, slot: Slot) -> Trial {
+        match slot {
+            Slot::Done(t) => t,
+            Slot::Run { id, config } => self.run_one(id, config),
+        }
     }
 
     /// Run trials sequentially until the explorer's budget is exhausted.
     ///
     /// Resumes from the journal when one is configured: already-stored
-    /// trials count against the explorer budget and seed its history.
+    /// trials count against the explorer budget, seed its history, and
+    /// replay into the pruner; an interrupted trial re-runs with its
+    /// logged configuration. When the recorder's
+    /// [`telemetry::Recorder::should_stop`] flag trips, the study drains
+    /// gracefully between trials — everything already finished is durable
+    /// and a later run picks up where it left off.
     pub fn run(&self) -> Result<Vec<Trial>, String> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut trials = self.load_previous()?;
-        let mut explorer = self.explorer.lock();
-        // Positional explorers burn one proposal per resumed trial;
-        // keyed explorers dedupe against the history themselves.
-        if !explorer.supports_keyed_resume() {
-            for _ in 0..trials.len() {
-                let _ = explorer.propose(&self.space, &trials, &mut rng);
+        let mut session = Session::start(self)?;
+        while let Some(slot) = session.next_slot() {
+            let trial = self.execute(slot);
+            session.absorb(vec![trial]);
+            if self.recorder.should_stop() {
+                return Ok(session.into_trials());
             }
         }
-        while let Some(cfg) = explorer.propose(&self.space, &trials, &mut rng) {
-            let trial = self.run_one(trials.len(), cfg);
-            trials.push(trial);
+        Ok(session.finish())
+    }
+
+    /// Explicit crash-resume entry point: identical to [`Study::run`]
+    /// (which always resumes when a journal is configured), but fails
+    /// fast when no journal is attached instead of silently starting
+    /// from scratch.
+    pub fn resume(&self) -> Result<Vec<Trial>, String> {
+        if self.journal.is_none() {
+            return Err("Study::resume requires a journal".into());
         }
-        Ok(trials)
+        self.run()
     }
 
     /// Run trials in waves of `parallelism` on a rayon pool.
@@ -213,48 +510,25 @@ impl Study {
             Some(cap) => parallelism.min(cap.max(1)),
             None => parallelism,
         };
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut trials = self.load_previous()?;
-        let mut explorer = self.explorer.lock();
-        if !explorer.supports_keyed_resume() {
-            for _ in 0..trials.len() {
-                let _ = explorer.propose(&self.space, &trials, &mut rng);
-            }
-        }
+        let mut session = Session::start(self)?;
         loop {
             let mut wave = Vec::with_capacity(parallelism);
-            for _ in 0..parallelism {
-                match explorer.propose(&self.space, &trials, &mut rng) {
-                    Some(cfg) => wave.push(cfg),
+            while wave.len() < parallelism {
+                match session.next_slot() {
+                    Some(slot) => wave.push(slot),
                     None => break,
                 }
             }
             if wave.is_empty() {
                 break;
             }
-            let base = trials.len();
-            let mut results: Vec<Trial> = wave
-                .into_par_iter()
-                .enumerate()
-                .map(|(k, cfg)| self.run_one(base + k, cfg))
-                .collect();
-            results.sort_by_key(|t| t.id);
-            trials.extend(results);
-        }
-        Ok(trials)
-    }
-
-    fn load_previous(&self) -> Result<Vec<Trial>, String> {
-        match &self.journal {
-            Some(j) => {
-                let (trials, skipped) = j.load().map_err(|e| e.to_string())?;
-                if skipped > 0 {
-                    eprintln!("[decision] journal: skipped {skipped} malformed lines");
-                }
-                Ok(trials)
+            let results: Vec<Trial> = wave.into_par_iter().map(|slot| self.execute(slot)).collect();
+            session.absorb(results);
+            if self.recorder.should_stop() {
+                return Ok(session.into_trials());
             }
-            None => Ok(Vec::new()),
         }
+        Ok(session.finish())
     }
 }
 
@@ -267,9 +541,12 @@ pub struct StudyBuilder {
     objective: Option<Arc<Objective>>,
     pruner: Arc<dyn Pruner>,
     journal: Option<Journal>,
+    durability: Option<Durability>,
     seed: u64,
     max_concurrent_trials: Option<usize>,
     recorder: SharedRecorder,
+    reuse_cache: Option<Arc<TrialCache>>,
+    objective_fingerprint: String,
 }
 
 impl StudyBuilder {
@@ -317,9 +594,17 @@ impl StudyBuilder {
         self
     }
 
-    /// Journal trials to a JSONL file and resume from it.
+    /// Journal every trial transition to an event-sourced WAL and resume
+    /// from it.
     pub fn journal(mut self, journal: Journal) -> Self {
         self.journal = Some(journal);
+        self
+    }
+
+    /// Set the journal's append durability (default
+    /// [`Durability::Flush`]); see [`Durability`] for the ladder.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = Some(durability);
         self
     }
 
@@ -349,6 +634,23 @@ impl StudyBuilder {
         self
     }
 
+    /// Attach a shared trial-reuse cache: configurations whose outcome is
+    /// already cached (same canonical key, objective fingerprint, and
+    /// seed) are adopted without executing the objective.
+    pub fn reuse_cache(mut self, cache: Arc<TrialCache>) -> Self {
+        self.reuse_cache = Some(cache);
+        self
+    }
+
+    /// Version tag of the objective, mixed into the reuse-cache key (and
+    /// the journal checkpoint). Bump it whenever the objective's
+    /// behaviour changes so stale cached outcomes stop matching.
+    /// Defaults to the empty string.
+    pub fn objective_fingerprint(mut self, fingerprint: impl Into<String>) -> Self {
+        self.objective_fingerprint = fingerprint.into();
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> Result<Study, String> {
         let space = self.space.ok_or("study needs a parameter space")?;
@@ -361,6 +663,10 @@ impl StudyBuilder {
         }
         let objective = self.objective.ok_or("study needs an objective")?;
         let prune_metric_direction = self.metrics[0].direction;
+        let journal = match (self.journal, self.durability) {
+            (Some(j), Some(d)) => Some(j.with_durability(d)),
+            (j, _) => j,
+        };
         Ok(Study {
             name: self.name,
             space,
@@ -369,10 +675,12 @@ impl StudyBuilder {
             objective,
             pruner: self.pruner,
             prune_metric_direction,
-            journal: self.journal,
+            journal,
             seed: self.seed,
             max_concurrent_trials: self.max_concurrent_trials,
             recorder: self.recorder,
+            reuse_cache: self.reuse_cache,
+            objective_fingerprint: self.objective_fingerprint,
         })
     }
 }
@@ -382,6 +690,7 @@ mod tests {
     use super::*;
     use crate::explore::{GridSearch, RandomSearch};
     use crate::pruner::MedianPruner;
+    use crate::wal::wal_keys;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn space() -> ParamSpace {
@@ -534,13 +843,15 @@ mod tests {
         assert!(trials.iter().all(|t| !t.intermediate.is_empty()));
     }
 
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("decision-study-{name}-{}", std::process::id()));
+        p
+    }
+
     #[test]
     fn journal_resume_skips_completed_trials() {
-        let path = {
-            let mut p = std::env::temp_dir();
-            p.push(format!("decision-study-resume-{}", std::process::id()));
-            p
-        };
+        let path = tmp("resume");
         let calls = Arc::new(AtomicUsize::new(0));
         let mk = |calls: Arc<AtomicUsize>| {
             Study::builder("t")
@@ -560,19 +871,37 @@ mod tests {
         assert_eq!(first.len(), 6);
         assert_eq!(calls.load(Ordering::SeqCst), 6);
         // Second run: everything is in the journal; no new objective calls.
-        let second = mk(calls.clone()).run().unwrap();
+        let second = mk(calls.clone()).resume().unwrap();
         assert_eq!(second.len(), 6);
         assert_eq!(calls.load(Ordering::SeqCst), 6, "resume must not re-run trials");
+        assert_eq!(first, second, "resumed trials must be identical");
+        Journal::new(&path).clear().unwrap();
+    }
+
+    #[test]
+    fn journal_from_a_different_study_is_rejected() {
+        let path = tmp("mismatch");
+        Journal::new(&path).clear().unwrap();
+        let mk = |seed: u64| {
+            Study::builder("t")
+                .space(space())
+                .explorer(GridSearch::new())
+                .metric(MetricDef::minimize("loss"))
+                .journal(Journal::new(&path))
+                .seed(seed)
+                .objective(quadratic)
+                .build()
+                .unwrap()
+        };
+        mk(1).run().unwrap();
+        let err = mk(2).run().unwrap_err();
+        assert!(err.contains("different study"), "unexpected error: {err}");
         Journal::new(&path).clear().unwrap();
     }
 
     #[test]
     fn parallel_run_with_journal_produces_clean_lines() {
-        let path = {
-            let mut p = std::env::temp_dir();
-            p.push(format!("decision-study-parallel-{}", std::process::id()));
-            p
-        };
+        let path = tmp("parallel");
         Journal::new(&path).clear().unwrap();
         let study = Study::builder("t")
             .space(ParamSpace::builder().categorical_int("k", 0..24).build())
@@ -584,9 +913,54 @@ mod tests {
             .unwrap();
         let trials = study.run_parallel(8).unwrap();
         assert_eq!(trials.len(), 24);
-        let (loaded, skipped) = Journal::new(&path).load().unwrap();
-        assert_eq!(skipped, 0, "concurrent appends must not interleave");
-        assert_eq!(loaded.len(), 24);
+        let load = Journal::new(&path).load().unwrap();
+        assert!(!load.torn_tail, "concurrent appends must not interleave");
+        let completed = load.events.iter().filter(|e| e.key() == wal_keys::TRIAL_COMPLETED).count();
+        assert_eq!(completed, 24);
+        let replayed = Replay::from_events(load.events).unwrap();
+        assert_eq!(replayed.contiguous_prefix().unwrap(), trials);
+        Journal::new(&path).clear().unwrap();
+    }
+
+    #[test]
+    fn reuse_cache_skips_execution_and_journals_reused_events() {
+        let path = tmp("reuse");
+        Journal::new(&path).clear().unwrap();
+        let cache = Arc::new(TrialCache::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mk = |name: &str, journal: Option<Journal>| {
+            let calls = calls.clone();
+            let mut b = Study::builder(name)
+                .space(space())
+                .explorer(GridSearch::new())
+                .metric(MetricDef::minimize("loss"))
+                .reuse_cache(cache.clone())
+                .objective_fingerprint("quadratic-v1")
+                .objective(move |cfg, ctx| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    quadratic(cfg, ctx)
+                });
+            if let Some(j) = journal {
+                b = b.journal(j);
+            }
+            b.build().unwrap()
+        };
+        let cold = mk("cold", None).run().unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 6);
+        assert!(cold.iter().all(|t| !t.reused));
+
+        // A second submission over the same space executes nothing.
+        let warm = mk("warm", Some(Journal::new(&path))).run().unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 6, "warm run must execute 0 trials");
+        assert_eq!(warm.len(), 6);
+        assert!(warm.iter().all(|t| t.reused));
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.metrics, w.metrics);
+            assert_eq!(c.config, w.config);
+        }
+        let load = Journal::new(&path).load().unwrap();
+        let reused = load.events.iter().filter(|e| e.key() == wal_keys::TRIAL_REUSED).count();
+        assert_eq!(reused, 6, "every adopted result must be journaled as trial.reused");
         Journal::new(&path).clear().unwrap();
     }
 

@@ -122,6 +122,10 @@ pub struct Trial {
     pub intermediate: Vec<(u64, f64)>,
     /// Error message for failed trials.
     pub error: Option<String>,
+    /// True when the outcome was adopted from the reuse cache instead of
+    /// executing the objective (recorded as a `trial.reused` WAL event).
+    #[serde(default)]
+    pub reused: bool,
 }
 
 impl Trial {
@@ -134,6 +138,7 @@ impl Trial {
             status: TrialStatus::Complete,
             intermediate: Vec::new(),
             error: None,
+            reused: false,
         }
     }
 

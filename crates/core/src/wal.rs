@@ -1,0 +1,604 @@
+//! The study write-ahead log: typed events over the telemetry wire format.
+//!
+//! A study's durable record is an append-only sequence of [`StudyEvent`]s,
+//! one per line, serialized as telemetry `"ty":"event"` JSON records
+//! (`telemetry::export::event_to_json_line`). Reusing that format buys the
+//! WAL the exporter's bit-exactness guarantees for free: integers stay
+//! bare, f64 values use shortest round-trip text, and non-finite values
+//! travel as the `"NaN"`/`"inf"`/`"-inf"` string spellings — so replaying
+//! a log reconstructs every metric to identical bits.
+//!
+//! Event keys and payloads:
+//!
+//! ```text
+//! study.checkpoint  study, seed, explorer, fingerprint, trials
+//! trial.started     trial, c.<param>...    (flat typed parameter fields)
+//! trial.report      trial, step, value     (one per intermediate report)
+//! trial.completed   trial, m.<metric>...   (flat metric fields)
+//! trial.pruned      trial, m.<metric>...
+//! trial.failed      trial, error, m.<metric>...
+//! trial.reused      trial, c.<param>..., status, m.<metric>..., i.<step>...
+//! ```
+//!
+//! Configurations are stored as one `c.<name>` field per parameter.
+//! Floats and bools map onto the native field kinds; integer and string
+//! parameters both travel as strings, disambiguated by an `i:`/`s:` type
+//! tag — the telemetry wire format has no signed-integer kind, and a bare
+//! string would be ambiguous with a numeric label.
+//!
+//! A finished trial is *event-sourced*: its `intermediate` vector is not
+//! stored on the finish record but rebuilt from the `trial.report` lines
+//! that preceded it, so a crash between reports loses at most the single
+//! report that was being appended. `trial.reused` is the one denormalized
+//! record — it carries the full cached outcome (including intermediates as
+//! `i.<step>` fields) so a log replays without consulting the cache that
+//! produced it.
+//!
+//! [`Replay`] folds an event sequence back into study state: finished
+//! trials by id, plus the in-flight trials (started, not yet finished)
+//! that a crashed run left behind. A second `trial.started` for an
+//! unfinished id supersedes the first — that is exactly what a resumed
+//! study emits when it re-runs an interrupted trial.
+
+use crate::metrics::MetricValues;
+use crate::param::ParamValue;
+use crate::trial::{Configuration, Trial, TrialStatus};
+use std::collections::BTreeMap;
+use telemetry::{FieldValue, SnapEvent};
+
+/// Event keys used by the study WAL (also validated by the bench
+/// `telemetry_smoke` schema check).
+pub mod wal_keys {
+    /// Study-level checkpoint marker (emitted when a run opens the log).
+    pub const CHECKPOINT: &str = "study.checkpoint";
+    /// A trial was handed to the objective.
+    pub const TRIAL_STARTED: &str = "trial.started";
+    /// One intermediate objective report (pruner input).
+    pub const TRIAL_REPORT: &str = "trial.report";
+    /// The objective returned full metrics.
+    pub const TRIAL_COMPLETED: &str = "trial.completed";
+    /// The pruner stopped the trial early.
+    pub const TRIAL_PRUNED: &str = "trial.pruned";
+    /// The objective returned an error.
+    pub const TRIAL_FAILED: &str = "trial.failed";
+    /// A cached result was adopted without executing the objective.
+    pub const TRIAL_REUSED: &str = "trial.reused";
+}
+
+/// One durable state transition of a study.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyEvent {
+    /// Run-open marker: identifies the study a log belongs to and how many
+    /// trials had finished when the writing run began.
+    Checkpoint {
+        /// Study name.
+        study: String,
+        /// Exploration RNG seed.
+        seed: u64,
+        /// Explorer name (`Explorer::name`).
+        explorer: String,
+        /// Objective fingerprint (reuse-cache component).
+        fingerprint: String,
+        /// Finished trials at the time the checkpoint was written.
+        trials: u64,
+    },
+    /// Trial `trial` started evaluating `config`.
+    TrialStarted {
+        /// Sequential trial id.
+        trial: usize,
+        /// The proposed configuration.
+        config: Configuration,
+    },
+    /// Intermediate report `(step, value)` from trial `trial`.
+    TrialReport {
+        /// Sequential trial id.
+        trial: usize,
+        /// Report step.
+        step: u64,
+        /// Raw (un-oriented) reported value.
+        value: f64,
+    },
+    /// Trial `trial` completed with `metrics`.
+    TrialCompleted {
+        /// Sequential trial id.
+        trial: usize,
+        /// Final metric values.
+        metrics: MetricValues,
+    },
+    /// Trial `trial` was pruned; `metrics` holds whatever the objective
+    /// returned on early exit.
+    TrialPruned {
+        /// Sequential trial id.
+        trial: usize,
+        /// Partial metric values.
+        metrics: MetricValues,
+    },
+    /// Trial `trial` failed with `error`. `metrics` holds any values the
+    /// objective reported before failing (a metric-coverage failure keeps
+    /// the partial set).
+    TrialFailed {
+        /// Sequential trial id.
+        trial: usize,
+        /// The objective's error message.
+        error: String,
+        /// Partial metric values (often empty).
+        metrics: MetricValues,
+    },
+    /// Trial `trial` adopted a cached outcome instead of executing.
+    TrialReused {
+        /// Sequential trial id.
+        trial: usize,
+        /// The configuration whose cached outcome was adopted.
+        config: Configuration,
+        /// Cached outcome status (`Complete` or `Pruned`).
+        status: TrialStatus,
+        /// Cached metric values.
+        metrics: MetricValues,
+        /// Cached intermediate reports.
+        intermediate: Vec<(u64, f64)>,
+    },
+}
+
+impl StudyEvent {
+    /// The trial id this event concerns (`None` for study-level events).
+    pub fn trial(&self) -> Option<usize> {
+        match self {
+            StudyEvent::Checkpoint { .. } => None,
+            StudyEvent::TrialStarted { trial, .. }
+            | StudyEvent::TrialReport { trial, .. }
+            | StudyEvent::TrialCompleted { trial, .. }
+            | StudyEvent::TrialPruned { trial, .. }
+            | StudyEvent::TrialFailed { trial, .. }
+            | StudyEvent::TrialReused { trial, .. } => Some(*trial),
+        }
+    }
+
+    /// The WAL key this event serializes under.
+    pub fn key(&self) -> &'static str {
+        match self {
+            StudyEvent::Checkpoint { .. } => wal_keys::CHECKPOINT,
+            StudyEvent::TrialStarted { .. } => wal_keys::TRIAL_STARTED,
+            StudyEvent::TrialReport { .. } => wal_keys::TRIAL_REPORT,
+            StudyEvent::TrialCompleted { .. } => wal_keys::TRIAL_COMPLETED,
+            StudyEvent::TrialPruned { .. } => wal_keys::TRIAL_PRUNED,
+            StudyEvent::TrialFailed { .. } => wal_keys::TRIAL_FAILED,
+            StudyEvent::TrialReused { .. } => wal_keys::TRIAL_REUSED,
+        }
+    }
+
+    /// Encode as a telemetry event record. `seq` (the line's position in
+    /// the log) is stored in the `t_ns` slot so the format carries no
+    /// wall-clock dependence: re-writing the same study produces a
+    /// byte-identical log.
+    pub fn to_snap(&self, seq: u64) -> SnapEvent {
+        let mut fields: Vec<(String, FieldValue)> = Vec::new();
+        match self {
+            StudyEvent::Checkpoint { study, seed, explorer, fingerprint, trials } => {
+                fields.push(("study".into(), FieldValue::Str(study.clone())));
+                fields.push(("seed".into(), FieldValue::U64(*seed)));
+                fields.push(("explorer".into(), FieldValue::Str(explorer.clone())));
+                fields.push(("fingerprint".into(), FieldValue::Str(fingerprint.clone())));
+                fields.push(("trials".into(), FieldValue::U64(*trials)));
+            }
+            StudyEvent::TrialStarted { trial, config } => {
+                fields.push(("trial".into(), FieldValue::U64(*trial as u64)));
+                push_config(&mut fields, config);
+            }
+            StudyEvent::TrialReport { trial, step, value } => {
+                fields.push(("trial".into(), FieldValue::U64(*trial as u64)));
+                fields.push(("step".into(), FieldValue::U64(*step)));
+                fields.push(("value".into(), FieldValue::F64(*value)));
+            }
+            StudyEvent::TrialCompleted { trial, metrics }
+            | StudyEvent::TrialPruned { trial, metrics } => {
+                fields.push(("trial".into(), FieldValue::U64(*trial as u64)));
+                push_metrics(&mut fields, metrics);
+            }
+            StudyEvent::TrialFailed { trial, error, metrics } => {
+                fields.push(("trial".into(), FieldValue::U64(*trial as u64)));
+                fields.push(("error".into(), FieldValue::Str(error.clone())));
+                push_metrics(&mut fields, metrics);
+            }
+            StudyEvent::TrialReused { trial, config, status, metrics, intermediate } => {
+                fields.push(("trial".into(), FieldValue::U64(*trial as u64)));
+                push_config(&mut fields, config);
+                let status = match status {
+                    TrialStatus::Complete => "complete",
+                    TrialStatus::Pruned => "pruned",
+                    TrialStatus::Failed => "failed",
+                };
+                fields.push(("status".into(), FieldValue::Str(status.into())));
+                push_metrics(&mut fields, metrics);
+                for (step, value) in intermediate {
+                    fields.push((format!("i.{step}"), FieldValue::F64(*value)));
+                }
+            }
+        }
+        SnapEvent { t_ns: seq, thread: 0, key: self.key().to_string(), fields }
+    }
+
+    /// Decode a telemetry event record back into a [`StudyEvent`].
+    pub fn from_snap(ev: &SnapEvent) -> Result<StudyEvent, String> {
+        match ev.key.as_str() {
+            wal_keys::CHECKPOINT => Ok(StudyEvent::Checkpoint {
+                study: need_str(ev, "study")?,
+                seed: need_u64(ev, "seed")?,
+                explorer: need_str(ev, "explorer")?,
+                fingerprint: need_str(ev, "fingerprint")?,
+                trials: need_u64(ev, "trials")?,
+            }),
+            wal_keys::TRIAL_STARTED => Ok(StudyEvent::TrialStarted {
+                trial: need_u64(ev, "trial")? as usize,
+                config: take_config(ev)?,
+            }),
+            wal_keys::TRIAL_REPORT => Ok(StudyEvent::TrialReport {
+                trial: need_u64(ev, "trial")? as usize,
+                step: need_u64(ev, "step")?,
+                value: need_f64(ev, "value")?,
+            }),
+            wal_keys::TRIAL_COMPLETED => Ok(StudyEvent::TrialCompleted {
+                trial: need_u64(ev, "trial")? as usize,
+                metrics: take_metrics(ev),
+            }),
+            wal_keys::TRIAL_PRUNED => Ok(StudyEvent::TrialPruned {
+                trial: need_u64(ev, "trial")? as usize,
+                metrics: take_metrics(ev),
+            }),
+            wal_keys::TRIAL_FAILED => Ok(StudyEvent::TrialFailed {
+                trial: need_u64(ev, "trial")? as usize,
+                error: need_str(ev, "error")?,
+                metrics: take_metrics(ev),
+            }),
+            wal_keys::TRIAL_REUSED => {
+                let status = match need_str(ev, "status")?.as_str() {
+                    "complete" => TrialStatus::Complete,
+                    "pruned" => TrialStatus::Pruned,
+                    "failed" => TrialStatus::Failed,
+                    other => return Err(format!("unknown reused-trial status '{other}'")),
+                };
+                let mut intermediate = Vec::new();
+                for (name, value) in &ev.fields {
+                    if let Some(step) = name.strip_prefix("i.") {
+                        let step =
+                            step.parse::<u64>().map_err(|_| format!("bad report step '{name}'"))?;
+                        let value = match value {
+                            FieldValue::F64(v) => *v,
+                            FieldValue::U64(v) => *v as f64,
+                            _ => return Err(format!("report field '{name}' must be a number")),
+                        };
+                        intermediate.push((step, value));
+                    }
+                }
+                Ok(StudyEvent::TrialReused {
+                    trial: need_u64(ev, "trial")? as usize,
+                    config: take_config(ev)?,
+                    status,
+                    metrics: take_metrics(ev),
+                    intermediate,
+                })
+            }
+            other => Err(format!("unknown study WAL event key '{other}'")),
+        }
+    }
+
+    /// Serialize as one WAL line (no trailing newline).
+    pub fn to_line(&self, seq: u64) -> String {
+        telemetry::export::event_to_json_line(&self.to_snap(seq))
+    }
+
+    /// Parse one WAL line.
+    pub fn from_line(line: &str) -> Result<StudyEvent, String> {
+        StudyEvent::from_snap(&telemetry::export::event_from_json_line(line)?)
+    }
+}
+
+fn push_config(fields: &mut Vec<(String, FieldValue)>, config: &Configuration) {
+    for (name, value) in config.iter() {
+        let fv = match value {
+            // The telemetry F64 spelling is shortest-round-trip, so float
+            // parameters replay to identical bits.
+            ParamValue::Float(f) => FieldValue::F64(*f),
+            ParamValue::Bool(b) => FieldValue::Bool(*b),
+            ParamValue::Int(i) => FieldValue::Str(format!("i:{i}")),
+            ParamValue::Str(s) => FieldValue::Str(format!("s:{s}")),
+        };
+        fields.push((format!("c.{name}"), fv));
+    }
+}
+
+fn take_config(ev: &SnapEvent) -> Result<Configuration, String> {
+    let mut config = Configuration::new();
+    for (name, value) in &ev.fields {
+        if let Some(param) = name.strip_prefix("c.") {
+            let v = match value {
+                FieldValue::F64(f) => ParamValue::Float(*f),
+                FieldValue::U64(u) => ParamValue::Float(*u as f64),
+                FieldValue::Bool(b) => ParamValue::Bool(*b),
+                FieldValue::Str(s) => {
+                    if let Some(i) = s.strip_prefix("i:") {
+                        ParamValue::Int(
+                            i.parse().map_err(|_| format!("bad int parameter '{name}'"))?,
+                        )
+                    } else if let Some(text) = s.strip_prefix("s:") {
+                        ParamValue::Str(text.to_string())
+                    } else {
+                        return Err(format!("parameter '{name}' has an unknown type tag"));
+                    }
+                }
+            };
+            config.set(param, v);
+        }
+    }
+    Ok(config)
+}
+
+fn push_metrics(fields: &mut Vec<(String, FieldValue)>, metrics: &MetricValues) {
+    for (name, value) in metrics.iter() {
+        fields.push((format!("m.{name}"), FieldValue::F64(value)));
+    }
+}
+
+fn take_metrics(ev: &SnapEvent) -> MetricValues {
+    let mut m = MetricValues::new();
+    for (name, value) in &ev.fields {
+        if let Some(metric) = name.strip_prefix("m.") {
+            match value {
+                FieldValue::F64(v) => m.set(metric, *v),
+                FieldValue::U64(v) => m.set(metric, *v as f64),
+                _ => {}
+            }
+        }
+    }
+    m
+}
+
+fn need_field<'a>(ev: &'a SnapEvent, name: &str) -> Result<&'a FieldValue, String> {
+    ev.fields
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("{} event missing field '{name}'", ev.key))
+}
+
+fn need_str(ev: &SnapEvent, name: &str) -> Result<String, String> {
+    match need_field(ev, name)? {
+        FieldValue::Str(s) => Ok(s.clone()),
+        _ => Err(format!("{} field '{name}' must be a string", ev.key)),
+    }
+}
+
+fn need_u64(ev: &SnapEvent, name: &str) -> Result<u64, String> {
+    match need_field(ev, name)? {
+        FieldValue::U64(v) => Ok(*v),
+        _ => Err(format!("{} field '{name}' must be an integer", ev.key)),
+    }
+}
+
+fn need_f64(ev: &SnapEvent, name: &str) -> Result<f64, String> {
+    match need_field(ev, name)? {
+        FieldValue::F64(v) => Ok(*v),
+        FieldValue::U64(v) => Ok(*v as f64),
+        _ => Err(format!("{} field '{name}' must be a number", ev.key)),
+    }
+}
+
+/// Study state rebuilt by folding a WAL event sequence.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Finished trials (completed, pruned, failed, or reused) by id.
+    pub finished: BTreeMap<usize, Trial>,
+    /// Trials that started but never finished: `id → (config, reports)`.
+    /// A resumed study re-runs these with the logged configuration.
+    pub in_flight: BTreeMap<usize, (Configuration, Vec<(u64, f64)>)>,
+    /// Checkpoint records, in log order.
+    pub checkpoints: Vec<StudyEvent>,
+}
+
+impl Replay {
+    /// Fold a full event sequence.
+    pub fn from_events(events: impl IntoIterator<Item = StudyEvent>) -> Result<Replay, String> {
+        let mut replay = Replay::default();
+        for (i, ev) in events.into_iter().enumerate() {
+            replay.apply(ev).map_err(|e| format!("WAL replay failed at event {i}: {e}"))?;
+        }
+        Ok(replay)
+    }
+
+    /// Apply one event.
+    pub fn apply(&mut self, ev: StudyEvent) -> Result<(), String> {
+        match ev {
+            StudyEvent::Checkpoint { .. } => self.checkpoints.push(ev),
+            StudyEvent::TrialStarted { trial, config } => {
+                if self.finished.contains_key(&trial) {
+                    return Err(format!("trial {trial} restarted after finishing"));
+                }
+                // A repeated start for an unfinished id supersedes the
+                // earlier attempt (a resumed run re-executing it).
+                self.in_flight.insert(trial, (config, Vec::new()));
+            }
+            StudyEvent::TrialReport { trial, step, value } => {
+                let (_, reports) = self
+                    .in_flight
+                    .get_mut(&trial)
+                    .ok_or_else(|| format!("report for trial {trial} which never started"))?;
+                reports.push((step, value));
+            }
+            StudyEvent::TrialCompleted { trial, metrics } => {
+                self.finish(trial, TrialStatus::Complete, metrics, None)?;
+            }
+            StudyEvent::TrialPruned { trial, metrics } => {
+                self.finish(trial, TrialStatus::Pruned, metrics, None)?;
+            }
+            StudyEvent::TrialFailed { trial, error, metrics } => {
+                self.finish(trial, TrialStatus::Failed, metrics, Some(error))?;
+            }
+            StudyEvent::TrialReused { trial, config, status, metrics, intermediate } => {
+                if self.finished.contains_key(&trial) || self.in_flight.contains_key(&trial) {
+                    return Err(format!("reused trial {trial} collides with a live trial"));
+                }
+                self.finished.insert(
+                    trial,
+                    Trial {
+                        id: trial,
+                        config,
+                        metrics,
+                        status,
+                        intermediate,
+                        error: None,
+                        reused: true,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(
+        &mut self,
+        trial: usize,
+        status: TrialStatus,
+        metrics: MetricValues,
+        error: Option<String>,
+    ) -> Result<(), String> {
+        let (config, intermediate) = self
+            .in_flight
+            .remove(&trial)
+            .ok_or_else(|| format!("trial {trial} finished without starting"))?;
+        self.finished.insert(
+            trial,
+            Trial { id: trial, config, metrics, status, intermediate, error, reused: false },
+        );
+        Ok(())
+    }
+
+    /// The finished trials, provided they form a gap-free prefix
+    /// `0..n` with nothing in flight — the shape a clean sequential run
+    /// leaves behind. Returns `None` otherwise (resume handles gaps).
+    pub fn contiguous_prefix(&self) -> Option<Vec<Trial>> {
+        if !self.in_flight.is_empty() {
+            return None;
+        }
+        for (want, have) in self.finished.keys().enumerate() {
+            if want != *have {
+                return None;
+            }
+        }
+        Some(self.finished.values().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamValue;
+
+    fn cfg(k: i64) -> Configuration {
+        Configuration::new().with("k", ParamValue::Int(k))
+    }
+
+    fn sample_events() -> Vec<StudyEvent> {
+        vec![
+            StudyEvent::Checkpoint {
+                study: "s".into(),
+                seed: 7,
+                explorer: "grid".into(),
+                fingerprint: "v1".into(),
+                trials: 0,
+            },
+            StudyEvent::TrialStarted { trial: 0, config: cfg(1) },
+            StudyEvent::TrialReport { trial: 0, step: 1, value: 0.5 },
+            StudyEvent::TrialReport { trial: 0, step: 2, value: f64::NAN },
+            StudyEvent::TrialCompleted {
+                trial: 0,
+                metrics: MetricValues::new().with("loss", 0.1 + 0.2),
+            },
+            StudyEvent::TrialStarted { trial: 1, config: cfg(2) },
+            StudyEvent::TrialFailed {
+                trial: 1,
+                error: "boom".into(),
+                metrics: MetricValues::new(),
+            },
+            StudyEvent::TrialReused {
+                trial: 2,
+                config: cfg(3),
+                status: TrialStatus::Pruned,
+                metrics: MetricValues::new().with("loss", 4.0),
+                intermediate: vec![(1, 4.0), (3, f64::INFINITY)],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_a_line() {
+        for (seq, ev) in sample_events().into_iter().enumerate() {
+            let line = ev.to_line(seq as u64);
+            let back = StudyEvent::from_line(&line).unwrap();
+            // NaN forbids plain equality; compare through debug text which
+            // prints NaN canonically.
+            assert_eq!(format!("{back:?}"), format!("{ev:?}"), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn replay_rebuilds_trials_and_intermediates() {
+        let replay = Replay::from_events(sample_events()).unwrap();
+        assert_eq!(replay.finished.len(), 3);
+        assert!(replay.in_flight.is_empty());
+        let t0 = &replay.finished[&0];
+        assert_eq!(t0.status, TrialStatus::Complete);
+        assert_eq!(t0.intermediate.len(), 2);
+        assert!(t0.intermediate[1].1.is_nan());
+        assert_eq!(t0.metrics.get("loss").unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(replay.finished[&1].error.as_deref(), Some("boom"));
+        let t2 = &replay.finished[&2];
+        assert!(t2.reused);
+        assert_eq!(t2.status, TrialStatus::Pruned);
+        assert_eq!(t2.intermediate[1], (3, f64::INFINITY));
+        let trials = replay.contiguous_prefix().expect("clean prefix");
+        assert_eq!(trials.iter().map(|t| t.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn interrupted_trial_is_left_in_flight_and_superseded_on_restart() {
+        let mut events = sample_events();
+        events.push(StudyEvent::TrialStarted { trial: 3, config: cfg(9) });
+        events.push(StudyEvent::TrialReport { trial: 3, step: 1, value: 1.0 });
+        let replay = Replay::from_events(events.clone()).unwrap();
+        assert_eq!(replay.in_flight.len(), 1);
+        assert_eq!(replay.in_flight[&3].1, vec![(1, 1.0)]);
+        assert!(replay.contiguous_prefix().is_none());
+
+        // The resumed run re-starts trial 3: the fresh start wins.
+        events.push(StudyEvent::TrialStarted { trial: 3, config: cfg(9) });
+        events.push(StudyEvent::TrialReport { trial: 3, step: 1, value: 2.0 });
+        events.push(StudyEvent::TrialCompleted { trial: 3, metrics: MetricValues::new() });
+        let replay = Replay::from_events(events).unwrap();
+        assert_eq!(replay.finished[&3].intermediate, vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn malformed_sequences_are_rejected() {
+        let finish_without_start =
+            vec![StudyEvent::TrialCompleted { trial: 0, metrics: MetricValues::new() }];
+        assert!(Replay::from_events(finish_without_start).is_err());
+
+        let report_without_start = vec![StudyEvent::TrialReport { trial: 0, step: 0, value: 0.0 }];
+        assert!(Replay::from_events(report_without_start).is_err());
+
+        let restart_after_finish = vec![
+            StudyEvent::TrialStarted { trial: 0, config: cfg(1) },
+            StudyEvent::TrialCompleted { trial: 0, metrics: MetricValues::new() },
+            StudyEvent::TrialStarted { trial: 0, config: cfg(1) },
+        ];
+        assert!(Replay::from_events(restart_after_finish).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        assert!(StudyEvent::from_line(
+            "{\"ty\":\"event\",\"key\":\"trial.exploded\",\"t_ns\":0,\"thread\":0,\"fields\":{}}"
+        )
+        .is_err());
+        assert!(StudyEvent::from_line("{\"ty\":\"counter\",\"key\":\"k\",\"value\":1}").is_err());
+    }
+}

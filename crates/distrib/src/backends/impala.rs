@@ -47,6 +47,9 @@ pub struct ImpalaOpts {
     pub actor_sync_period: u64,
     /// How the runtime reacts to actor failures.
     pub fault: FaultPolicy,
+    /// Cap on in-flight collection commands (`Runtime::with_window`);
+    /// `None` keeps the host-parallelism default.
+    pub window: Option<usize>,
 }
 
 impl Default for ImpalaOpts {
@@ -58,6 +61,7 @@ impl Default for ImpalaOpts {
             config: ImpalaConfig::default(),
             actor_sync_period: 4,
             fault: FaultPolicy::default(),
+            window: None,
         }
     }
 }
@@ -104,6 +108,9 @@ pub fn train_impala(
         })
         .collect();
     let mut runtime = Runtime::spawn(specs, &learner.policy).with_fault_policy(opts.fault);
+    if let Some(w) = opts.window {
+        runtime = runtime.with_window(w);
+    }
     runtime.set_recorder(session.recorder());
     let mut driver = Driver::new(session, observer);
 

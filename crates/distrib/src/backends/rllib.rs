@@ -93,6 +93,9 @@ fn train_ppo(
         })
         .collect();
     let mut runtime = Runtime::spawn(specs, &learner.policy).with_fault_policy(spec.fault);
+    if let Some(w) = spec.window {
+        runtime = runtime.with_window(w);
+    }
     runtime.set_recorder(session.recorder());
     let mut driver = Driver::new(session, observer);
 

@@ -85,6 +85,9 @@ fn train_ppo(
         &learner.policy,
     )
     .with_fault_policy(spec.fault);
+    if let Some(w) = spec.window {
+        runtime = runtime.with_window(w);
+    }
     runtime.set_recorder(recorder);
     let mut driver = Driver::new(session, observer);
 

@@ -55,6 +55,14 @@ pub struct ExecSpec {
     /// minus the panic: an unhandled failure becomes a study `Err`.
     #[serde(default)]
     pub fault: FaultPolicy,
+    /// Cap on in-flight collection commands per runtime
+    /// (`Runtime::with_window`). `None` keeps the runtime default — the
+    /// host's available parallelism — which is right for a study that
+    /// owns the machine. Studies multiplexed through a `StudyServer`
+    /// set this so concurrently executing trials don't each dispatch as
+    /// if they had every core to themselves.
+    #[serde(default)]
+    pub window: Option<usize>,
 }
 
 impl ExecSpec {
@@ -75,7 +83,15 @@ impl ExecSpec {
             ppo: PpoConfig::default(),
             sac: SacConfig::default(),
             fault: FaultPolicy::default(),
+            window: None,
         }
+    }
+
+    /// Cap the runtime's dispatch window (clamped to at least 1 when the
+    /// runtime applies it).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
     }
 
     /// Check deployment/framework consistency.

@@ -75,6 +75,28 @@ fn push_field_value(out: &mut String, v: &FieldValue) {
     }
 }
 
+/// Serialize one event record as a single JSON line (no trailing
+/// newline), in the exact spelling [`to_json_lines`] uses for its
+/// `"ty":"event"` records. This is the unit the `decision` crate's
+/// write-ahead log appends: one durable event per line, bit-exact through
+/// [`event_from_json_line`].
+pub fn event_to_json_line(e: &SnapEvent) -> String {
+    let mut out = String::new();
+    out.push_str("{\"ty\":\"event\",\"key\":");
+    push_json_string(&mut out, &e.key);
+    let _ = write!(out, ",\"t_ns\":{},\"thread\":{},\"fields\":{{", e.t_ns, e.thread);
+    for (i, (name, value)) in e.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, name);
+        out.push(':');
+        push_field_value(&mut out, value);
+    }
+    out.push_str("}}");
+    out
+}
+
 /// Serialize a snapshot as a JSON-lines trace: a `meta` line, then every
 /// counter, accumulator, gauge, span, and event, one object per line.
 pub fn to_json_lines(snap: &Snapshot) -> String {
@@ -113,18 +135,8 @@ pub fn to_json_lines(snap: &Snapshot) -> String {
         );
     }
     for e in &snap.events {
-        out.push_str("{\"ty\":\"event\",\"key\":");
-        push_json_string(&mut out, &e.key);
-        let _ = write!(out, ",\"t_ns\":{},\"thread\":{},\"fields\":{{", e.t_ns, e.thread);
-        for (i, (name, value)) in e.fields.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            push_json_string(&mut out, name);
-            out.push(':');
-            push_field_value(&mut out, value);
-        }
-        out.push_str("}}\n");
+        out.push_str(&event_to_json_line(e));
+        out.push('\n');
     }
     out
 }
@@ -359,6 +371,52 @@ fn need_f64(obj: &Json, name: &str) -> Result<f64, String> {
     field(obj, name)?.as_f64().ok_or_else(|| format!("trace field '{name}' must be a number"))
 }
 
+/// Decode one parsed `"ty":"event"` object into a [`SnapEvent`].
+fn event_from_obj(obj: &Json) -> Result<SnapEvent, String> {
+    let fields = match field(obj, "fields")? {
+        Json::Obj(fields) => fields
+            .into_iter()
+            .map(|(name, v)| {
+                let fv = match v {
+                    Json::U64(x) => FieldValue::U64(x),
+                    Json::F64(x) => FieldValue::F64(x),
+                    Json::Bool(x) => FieldValue::Bool(x),
+                    Json::Str(s) => match s.as_str() {
+                        "NaN" => FieldValue::F64(f64::NAN),
+                        "inf" => FieldValue::F64(f64::INFINITY),
+                        "-inf" => FieldValue::F64(f64::NEG_INFINITY),
+                        _ => FieldValue::Str(s),
+                    },
+                    Json::Obj(_) => {
+                        return Err("nested objects not allowed in event fields".to_string())
+                    }
+                };
+                Ok((name, fv))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("event 'fields' must be an object".to_string()),
+    };
+    Ok(SnapEvent {
+        t_ns: need_u64(obj, "t_ns")?,
+        thread: need_u64(obj, "thread")? as usize,
+        key: need_str(obj, "key")?,
+        fields,
+    })
+}
+
+/// Parse one JSON line written by [`event_to_json_line`] back into a
+/// [`SnapEvent`]. Field values round-trip exactly (f64 bits included, via
+/// the string spellings of non-finite values). Errors on any non-`event`
+/// record or malformed line.
+pub fn event_from_json_line(line: &str) -> Result<SnapEvent, String> {
+    let obj = parse_line(line)?;
+    let ty = need_str(&obj, "ty")?;
+    if ty != "event" {
+        return Err(format!("expected an event record, got ty '{ty}'"));
+    }
+    event_from_obj(&obj)
+}
+
 /// Parse a JSON-lines trace produced by [`to_json_lines`] back into a
 /// [`Snapshot`]. Values round-trip exactly: counters stay integers and
 /// f64 text re-parses to the identical bits.
@@ -394,39 +452,7 @@ pub fn from_json_lines(text: &str) -> Result<Snapshot, String> {
                 begin_ns: need_u64(&obj, "begin_ns")?,
                 end_ns: need_u64(&obj, "end_ns")?,
             }),
-            "event" => {
-                let fields = match field(&obj, "fields")? {
-                    Json::Obj(fields) => fields
-                        .into_iter()
-                        .map(|(name, v)| {
-                            let fv = match v {
-                                Json::U64(x) => FieldValue::U64(x),
-                                Json::F64(x) => FieldValue::F64(x),
-                                Json::Bool(x) => FieldValue::Bool(x),
-                                Json::Str(s) => match s.as_str() {
-                                    "NaN" => FieldValue::F64(f64::NAN),
-                                    "inf" => FieldValue::F64(f64::INFINITY),
-                                    "-inf" => FieldValue::F64(f64::NEG_INFINITY),
-                                    _ => FieldValue::Str(s),
-                                },
-                                Json::Obj(_) => {
-                                    return Err(
-                                        "nested objects not allowed in event fields".to_string()
-                                    )
-                                }
-                            };
-                            Ok((name, fv))
-                        })
-                        .collect::<Result<Vec<_>, String>>()?,
-                    _ => return Err("event 'fields' must be an object".to_string()),
-                };
-                snap.events.push(SnapEvent {
-                    t_ns: need_u64(&obj, "t_ns")?,
-                    thread: need_u64(&obj, "thread")? as usize,
-                    key: need_str(&obj, "key")?,
-                    fields,
-                });
-            }
+            "event" => snap.events.push(event_from_obj(&obj)?),
             other => return Err(format!("unknown trace record type '{other}'")),
         }
     }
@@ -556,6 +582,46 @@ mod tests {
         assert!(back.accum("nan").unwrap().is_nan());
         assert_eq!(back.accum("pinf"), Some(f64::INFINITY));
         assert_eq!(back.accum("ninf"), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn single_event_line_round_trips_exactly() {
+        let e = SnapEvent {
+            t_ns: 7,
+            thread: 3,
+            key: "trial.completed".into(),
+            fields: vec![
+                ("trial".into(), FieldValue::U64(12)),
+                ("m.reward".into(), FieldValue::F64(0.1 + 0.2)),
+                ("m.loss".into(), FieldValue::F64(f64::NAN)),
+                ("m.bound".into(), FieldValue::F64(f64::NEG_INFINITY)),
+                ("config".into(), FieldValue::Str("lr=0.003;\n\"q\"".into())),
+                ("reused".into(), FieldValue::Bool(true)),
+            ],
+        };
+        let line = event_to_json_line(&e);
+        assert!(!line.contains('\n'), "one event must stay on one line");
+        let back = event_from_json_line(&line).unwrap();
+        // NaN breaks PartialEq; compare everything else then the bits.
+        assert_eq!(back.key, e.key);
+        assert_eq!((back.t_ns, back.thread), (e.t_ns, e.thread));
+        assert_eq!(back.fields.len(), e.fields.len());
+        for ((bn, bv), (en, ev)) in back.fields.iter().zip(e.fields.iter()) {
+            assert_eq!(bn, en);
+            match (bv, ev) {
+                (FieldValue::F64(b), FieldValue::F64(e)) => {
+                    assert_eq!(b.to_bits(), e.to_bits(), "field {bn}");
+                }
+                _ => assert_eq!(bv, ev, "field {bn}"),
+            }
+        }
+    }
+
+    #[test]
+    fn event_line_parser_rejects_other_records() {
+        assert!(event_from_json_line("{\"ty\":\"counter\",\"key\":\"k\",\"value\":1}").is_err());
+        assert!(event_from_json_line("{\"ty\":\"event\",\"key\":\"k\"").is_err());
+        assert!(event_from_json_line("").is_err());
     }
 
     #[test]

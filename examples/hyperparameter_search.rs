@@ -5,7 +5,14 @@
 //!
 //! ```text
 //! cargo run --release --example hyperparameter_search
+//! cargo run --release --example hyperparameter_search -- --resume
 //! ```
+//!
+//! With `--resume` the example demonstrates the crash-resume path
+//! instead: a journaled study is interrupted mid-run (via the telemetry
+//! layer's cooperative stop), then rebuilt from its write-ahead log —
+//! finished trials are adopted from the journal and only the remainder
+//! execute.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,6 +20,9 @@ use rl_decision_tools::decision::prelude::*;
 use rl_decision_tools::gymrs::envs::PointMass;
 use rl_decision_tools::gymrs::Environment;
 use rl_decision_tools::rl_algos::ppo::{PpoConfig, PpoLearner};
+use rl_decision_tools::telemetry::{Key, Recorder, SpanId, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Train PPO briefly with the configured hyperparameters; report the mean
 /// training return of the final iterations, giving the pruner an
@@ -78,8 +88,100 @@ fn run_search(explorer: impl Explorer + 'static, prune: bool, label: &str) {
     }
 }
 
+/// A recorder that requests a cooperative stop once `limit` trials have
+/// finished — a stand-in for a crash, SIGTERM, or preemption.
+struct StopAfter {
+    limit: usize,
+    done: AtomicUsize,
+}
+
+impl Recorder for StopAfter {
+    fn counter_add(&self, key: Key, delta: u64) {
+        // Every finished trial bumps one `study.trials_*` counter.
+        if key.name().starts_with("study.trials_") {
+            self.done.fetch_add(delta as usize, Ordering::Relaxed);
+        }
+    }
+    fn accum_add(&self, _key: Key, _delta: f64) {}
+    fn gauge_set(&self, _key: Key, _value: f64) {}
+    fn span_begin(&self, _key: Key) -> SpanId {
+        SpanId(0)
+    }
+    fn span_end(&self, _id: SpanId) {}
+    fn event(&self, _key: Key, _fields: &[(Key, Value)]) {}
+    fn should_stop(&self) -> bool {
+        self.done.load(Ordering::Relaxed) >= self.limit
+    }
+}
+
+/// The `--resume` demo: interrupt a journaled study partway, then rebuild
+/// it from the WAL and finish the budget without re-running what's done.
+fn demo_resume(budget: usize) {
+    let wal = std::env::temp_dir().join("hyperparameter_search_demo.wal");
+    let _ = std::fs::remove_file(&wal);
+    let calls = Arc::new(AtomicUsize::new(0));
+
+    let study = |stop_after: Option<usize>| {
+        let calls = calls.clone();
+        let mut b = Study::builder("tpe resume demo")
+            .space(
+                ParamSpace::builder()
+                    .log_float("lr", 1e-5, 3e-3)
+                    .float("ent_coef", 0.0, 0.02)
+                    .build(),
+            )
+            .explorer(TpeLite::new(budget, "return", Direction::Maximize))
+            .metric(MetricDef::maximize("return"))
+            .pruner(MedianPruner::new())
+            .seed(3)
+            .journal(Journal::new(&wal))
+            .objective(move |cfg, ctx| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                objective(cfg, ctx)
+            });
+        if let Some(limit) = stop_after {
+            b = b.recorder(Arc::new(StopAfter { limit, done: AtomicUsize::new(0) }));
+        }
+        b.build().expect("valid study")
+    };
+
+    let cut = budget / 2;
+    let partial = study(Some(cut)).run().expect("interrupted run");
+    let ran_before = calls.load(Ordering::Relaxed);
+    println!(
+        "interrupted after {} of {budget} trials ({} objective runs), WAL at {}",
+        partial.len(),
+        ran_before,
+        wal.display()
+    );
+
+    let trials = study(None).resume().expect("resumed run");
+    let ran_after = calls.load(Ordering::Relaxed) - ran_before;
+    let adopted = trials.len() - ran_after;
+    println!(
+        "resumed: {} trials total, {adopted} adopted from the journal, {ran_after} executed fresh",
+        trials.len()
+    );
+
+    let best = SortedRanking::by(MetricDef::maximize("return")).best(&trials);
+    match best {
+        Some(i) => println!(
+            "best return {:+.3} at {}",
+            trials[i].metrics.get("return").unwrap_or(f64::NAN),
+            trials[i].config
+        ),
+        None => println!("no completed trials"),
+    }
+    let _ = std::fs::remove_file(&wal);
+}
+
 fn main() {
     let budget = 14;
+    if std::env::args().any(|a| a == "--resume") {
+        println!("Interrupt/resume demo: tuning PPO with a journaled study, {budget} trials:\n");
+        demo_resume(budget);
+        return;
+    }
     println!("Tuning PPO (lr, ent_coef) on PointMass, {budget} trials each:\n");
     run_search(RandomSearch::new(budget), false, "random search");
     run_search(

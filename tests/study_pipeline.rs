@@ -54,11 +54,9 @@ fn journal_resume_skips_finished_rows() {
     let first = run_table1_study(&opts).expect("first run");
     assert_eq!(first.len(), 1);
 
-    // Second run must load the journal and not re-train: it returns the
-    // identical trial (training again would at least burn wall time; we
-    // detect re-use via exact metric equality, which retraining with the
-    // same seed would also produce — so also check the journal exists and
-    // has exactly one line).
+    // Second run must replay the WAL and not re-train: it returns the
+    // identical trial, and the log shows exactly one started/completed
+    // pair (the resumed run only appends its checkpoint markers).
     let second = run_table1_study(&opts).expect("second run");
     assert_eq!(second.len(), 1);
     assert_eq!(first[0].metrics, second[0].metrics);
@@ -68,8 +66,12 @@ fn journal_resume_skips_finished_rows() {
         .filter_map(|e| e.ok())
         .find(|e| e.file_name().to_string_lossy().starts_with("trials_"))
         .expect("journal written");
-    let contents = std::fs::read_to_string(journal_file.path()).expect("readable");
-    assert_eq!(contents.lines().count(), 1, "resume must not append duplicates");
+    let load = Journal::new(journal_file.path()).load().expect("valid WAL");
+    assert!(!load.torn_tail);
+    let count = |key: &str| load.events.iter().filter(|e| e.key() == key).count();
+    assert_eq!(count(wal_keys::TRIAL_STARTED), 1, "resume must not re-run the trial");
+    assert_eq!(count(wal_keys::TRIAL_COMPLETED), 1, "resume must not append duplicates");
+    assert!(count(wal_keys::CHECKPOINT) >= 2, "each run checkpoints the log");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
