@@ -11,6 +11,7 @@
 
 use airdrop_sim::{AirdropConfig, AirdropEnv};
 use criterion::{criterion_group, BenchmarkId, Criterion};
+use dist_exec::runtime::EnvBlueprint;
 use dist_exec::{run, Deployment, ExecSpec, FnEnvFactory, Framework};
 use gymrs::Environment;
 use rl_algos::ppo::PpoConfig;
@@ -64,7 +65,7 @@ fn bench_backends(c: &mut Criterion) {
 
 /// Median of three timed trainings, in milliseconds.
 fn median_train_ms(spec: &ExecSpec) -> f64 {
-    let f = factory();
+    let f = EnvBlueprint::AirdropFast;
     let mut samples: Vec<f64> = (0..3)
         .map(|_| {
             let t = Instant::now();
@@ -77,40 +78,50 @@ fn median_train_ms(spec: &ExecSpec) -> f64 {
 }
 
 /// The deployment sweep behind the repo's perf trajectory: every
-/// framework at every `{nodes} × {cores}` deployment the paper studies
-/// (invalid combinations — multi-node single-machine frameworks — are
-/// skipped and listed), written to `BENCH_distrib.json`.
+/// framework at every `{nodes} × {cores}` deployment the paper studies,
+/// on both the in-process and the Unix-socket worker transport (invalid
+/// combinations — multi-node single-machine frameworks — are skipped and
+/// listed), written to `BENCH_distrib.json`. Environments come from the
+/// serializable [`EnvBlueprint::AirdropFast`] recipe so the `uds` rows
+/// really cross a process boundary; `wire_bytes` records the measured
+/// frame bytes (zero in-process), next to the *simulated* `bytes_moved`
+/// the cluster model charges the deployment.
 fn emit_deployment_sweep() {
     let mut results = Vec::new();
     let mut skipped = Vec::new();
     for framework in Framework::ALL {
         for nodes in [1usize, 2] {
             for cores in [2usize, 4] {
-                let spec = short_spec(framework, nodes, cores);
-                let label = format!("{framework}_{nodes}n{cores}c");
-                let report = match run(&spec, &factory()) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        // SB3- and TFA-like backends are single-machine;
-                        // the spec validator rejects nodes > 1 for them.
-                        skipped.push(serde_json::json!({
-                            "config": label,
-                            "reason": e,
-                        }));
-                        continue;
-                    }
-                };
-                let real_ms = median_train_ms(&spec);
-                results.push(serde_json::json!({
-                    "framework": framework.to_string(),
-                    "nodes": nodes,
-                    "cores": cores,
-                    "real_ms": real_ms,
-                    "env_steps": report.env_steps,
-                    "simulated_wall_s": report.usage.wall_s,
-                    "simulated_energy_j": report.usage.energy_j,
-                    "bytes_moved": report.usage.bytes_moved,
-                }));
+                for transport in ["inproc", "uds"] {
+                    let mut spec = short_spec(framework, nodes, cores);
+                    spec.transport = Some(transport.to_string());
+                    let label = format!("{framework}_{nodes}n{cores}c_{transport}");
+                    let report = match run(&spec, &EnvBlueprint::AirdropFast) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            // SB3- and TFA-like backends are single-machine;
+                            // the spec validator rejects nodes > 1 for them.
+                            skipped.push(serde_json::json!({
+                                "config": label,
+                                "reason": e,
+                            }));
+                            continue;
+                        }
+                    };
+                    let real_ms = median_train_ms(&spec);
+                    results.push(serde_json::json!({
+                        "framework": framework.to_string(),
+                        "nodes": nodes,
+                        "cores": cores,
+                        "transport": transport,
+                        "real_ms": real_ms,
+                        "env_steps": report.env_steps,
+                        "simulated_wall_s": report.usage.wall_s,
+                        "simulated_energy_j": report.usage.energy_j,
+                        "bytes_moved": report.usage.bytes_moved,
+                        "wire_bytes": report.usage.wire_bytes,
+                    }));
+                }
             }
         }
     }

@@ -1,0 +1,175 @@
+//! Transport microbench: what the process boundary costs.
+//!
+//! The execution runtime can host its workers on in-process channels
+//! (the default) or as child processes behind Unix domain sockets / TCP
+//! loopback. This bench drives the raw `Runtime` round loop — collect,
+//! merge, broadcast weights — over every transport at several worker
+//! counts and per-round step budgets, and writes `BENCH_transport.json`
+//! at the workspace root:
+//!
+//! * `spawn_ms` — pool bring-up (fork/exec + handshake for processes),
+//! * `steady_ms` — the measured round loop, spawn and shutdown excluded,
+//! * `frames` / `bytes` — real frames and bytes that crossed the wire
+//!   (zero in-process: nothing is serialized there),
+//! * `overhead_vs_inproc_ms` — `steady_ms` minus the in-process baseline
+//!   at the same `{workers} × {steps}` point.
+//!
+//! Rows where a socket transport silently fell back to channels (worker
+//! binary missing) are flagged `"fallback": true` so the sweep can never
+//! pass on accident — build `rldt-worker` first:
+//! `cargo build --release -p dist-exec --bin rldt-worker`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dist_exec::runtime::{
+    Collector, CollectorBlueprint, EnvBlueprint, RngStream, Runtime, TransportConfig,
+    TransportStats, WorkerSpec,
+};
+use gymrs::envs::GridWorld;
+use gymrs::{Environment, Space};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_algos::policy::ActorCritic;
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROUNDS: u64 = 8;
+
+fn policy() -> ActorCritic {
+    ActorCritic::new(2, &Space::Discrete(4), &[16], &mut StdRng::seed_from_u64(7))
+}
+
+fn collector(w: u64) -> Collector {
+    let mut env = GridWorld::new(3);
+    env.seed(w + 1);
+    let obs = env.reset();
+    Collector::PerEnv { env: Box::new(env), obs }
+}
+
+fn specs<'f>(workers: usize) -> Vec<WorkerSpec<'f>> {
+    (0..workers as u64)
+        .map(|w| {
+            WorkerSpec::new(0, collector(w))
+                .with_blueprint(CollectorBlueprint::per_env(EnvBlueprint::Grid { n: 3 }, w + 1))
+        })
+        .collect()
+}
+
+struct Sample {
+    spawn_ms: f64,
+    steady_ms: f64,
+    real_ms: f64,
+    stats: TransportStats,
+}
+
+/// One full pool lifecycle: spawn, `ROUNDS` collect+broadcast rounds,
+/// shutdown. Returns the timings and the wire totals.
+fn run_once(config: TransportConfig, workers: usize, steps: usize) -> Sample {
+    let policy = policy();
+    let start = Instant::now();
+    let mut runtime = Runtime::spawn_with(specs(workers), &policy, config);
+    let spawn_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let loop_start = Instant::now();
+    for round in 0..ROUNDS {
+        let rngs =
+            (0..workers).map(|w| RngStream::fresh(1000 * round + w as u64)).collect::<Vec<_>>();
+        let outcome = runtime.collect_round(round, steps, rngs).expect("bench round");
+        black_box(outcome.segments.len());
+        let all: Vec<usize> = (0..workers).collect();
+        runtime.broadcast_weights(round, &policy, &all).expect("bench broadcast");
+    }
+    let steady_ms = loop_start.elapsed().as_secs_f64() * 1e3;
+
+    let stats = runtime.transport_stats();
+    runtime.shutdown();
+    let real_ms = start.elapsed().as_secs_f64() * 1e3;
+    Sample { spawn_ms, steady_ms, real_ms, stats }
+}
+
+/// Median-of-3 sample (by steady-state time).
+fn run_median(config: &TransportConfig, workers: usize, steps: usize) -> Sample {
+    let mut samples: Vec<Sample> =
+        (0..3).map(|_| run_once(config.clone(), workers, steps)).collect();
+    samples.sort_by(|a, b| a.steady_ms.partial_cmp(&b.steady_ms).expect("finite timings"));
+    samples.remove(1)
+}
+
+fn emit_transport_sweep() {
+    let transports = [
+        ("inproc", TransportConfig::InProcess),
+        ("uds", TransportConfig::Uds),
+        ("tcp", TransportConfig::Tcp { addr: "127.0.0.1:0".into() }),
+    ];
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4] {
+        for steps in [64usize, 256] {
+            let mut inproc_steady = f64::NAN;
+            for (name, config) in &transports {
+                let s = run_median(config, workers, steps);
+                if *name == "inproc" {
+                    inproc_steady = s.steady_ms;
+                }
+                // A socket transport that moved zero bytes fell back to
+                // channels (no worker binary): flag it loudly.
+                let fallback = *name != "inproc" && s.stats.bytes_total() == 0;
+                let secs = s.steady_ms / 1e3;
+                let frames = s.stats.frames_out + s.stats.frames_in;
+                results.push(serde_json::json!({
+                    "transport": *name,
+                    "workers": workers,
+                    "steps_per_round": steps,
+                    "rounds": ROUNDS,
+                    "spawn_ms": s.spawn_ms,
+                    "steady_ms": s.steady_ms,
+                    "real_ms": s.real_ms,
+                    "frames": frames,
+                    "bytes": s.stats.bytes_total(),
+                    "flushes": s.stats.flushes,
+                    "frames_per_s": if secs > 0.0 { frames as f64 / secs } else { 0.0 },
+                    "bytes_per_s": if secs > 0.0 { s.stats.bytes_total() as f64 / secs } else { 0.0 },
+                    "overhead_vs_inproc_ms": s.steady_ms - inproc_steady,
+                    "fallback": fallback,
+                }));
+            }
+        }
+    }
+    let report = serde_json::json!({
+        "bench": "transport_sweep",
+        "env": "gridworld_3x3",
+        "protocol": "length-prefixed binary frames, varint ints, fixed f64",
+        "unit": "ms_median_of_3",
+        "results": results,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
+    let body = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Err(e) = std::fs::write(path, body + "\n") {
+        eprintln!("BENCH_transport.json not written: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_round_loop");
+    group.sample_size(10);
+    for (name, config) in
+        [("inproc", TransportConfig::InProcess), ("uds", TransportConfig::Uds)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| black_box(run_once(config.clone(), 2, 64).stats.frames_in));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transports
+}
+
+fn main() {
+    emit_transport_sweep();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -27,6 +27,11 @@ pub const BYTES_MOVED: Key = Key("session.bytes_moved");
 /// Counter: number of blocking transfers.
 pub const TRANSFERS: Key = Key("session.transfers");
 
+/// Counter: real bytes measured on a worker transport's wire
+/// ([`crate::ClusterSession::observe_wire`]); observational, charged no
+/// simulated time or energy.
+pub const WIRE_BYTES: Key = Key("session.wire_bytes");
+
 /// Counter: number of compute phases.
 pub const COMPUTE_PHASES: Key = Key("session.compute_phases");
 

@@ -53,6 +53,7 @@ impl Usage {
             bytes_moved: snap.counter(keys::BYTES_MOVED.name()).unwrap_or(0),
             compute_phases: snap.counter(keys::COMPUTE_PHASES.name()).unwrap_or(0),
             transfers: snap.counter(keys::TRANSFERS.name()).unwrap_or(0),
+            wire_bytes: snap.counter(keys::WIRE_BYTES.name()).unwrap_or(0),
         }
     }
 }

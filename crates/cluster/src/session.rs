@@ -325,6 +325,16 @@ impl ClusterSession {
         self.recorder.accum_add(keys::COMPUTE_S, seconds);
     }
 
+    /// Record real bytes measured on a worker transport's wire. Purely
+    /// observational: the counter lands in [`Usage::wire_bytes`] (and the
+    /// [`keys::WIRE_BYTES`] instrument) but never moves the simulated
+    /// clock or the energy integral — the interconnect model is
+    /// calibrated against the paper's testbed, not the host's sockets.
+    pub fn observe_wire(&mut self, bytes: u64) {
+        self.usage.wire_bytes += bytes;
+        self.recorder.counter_add(keys::WIRE_BYTES, bytes);
+    }
+
     /// Finish the session: fold in the idle energy of every allocated node
     /// over the full wall time and return the usage report.
     pub fn finish(mut self) -> Usage {

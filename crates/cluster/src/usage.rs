@@ -21,6 +21,11 @@ pub struct Usage {
     pub compute_phases: u64,
     /// Number of transfers.
     pub transfers: u64,
+    /// Real (measured, not simulated) bytes that crossed a worker
+    /// transport's wire — zero on the in-process transport. Observational
+    /// only: it never feeds the simulated clock or energy integral.
+    #[serde(default)]
+    pub wire_bytes: u64,
 }
 
 impl Usage {

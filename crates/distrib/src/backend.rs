@@ -17,6 +17,15 @@ use telemetry::SharedRecorder;
 pub trait EnvFactory: Send + Sync {
     /// Build a fresh environment seeded with `seed`.
     fn make(&self, seed: u64) -> Box<dyn Environment>;
+
+    /// The serializable recipe for this factory's environments, if it
+    /// has one. Only blueprint-backed factories can run workers on the
+    /// process transport (closures cannot cross a process boundary);
+    /// the default `None` keeps such factories on the in-process
+    /// transport.
+    fn blueprint(&self) -> Option<crate::runtime::EnvBlueprint> {
+        None
+    }
 }
 
 /// Closure adapter for [`EnvFactory`].

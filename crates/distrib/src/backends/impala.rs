@@ -23,7 +23,8 @@ use crate::backends::common::worker_seed;
 use crate::framework::FrameworkProfile;
 use crate::report::{ExecReport, TrainedModel};
 use crate::runtime::{
-    merge_wave, Collector, Driver, FaultPolicy, Observer, Runtime, SyncPolicy, WorkerSpec,
+    merge_wave, Collector, CollectorBlueprint, Driver, FaultPolicy, Observer, RngStream, Runtime,
+    SyncPolicy, TransportConfig, WorkerSpec,
 };
 use crate::spec::Deployment;
 use cluster_sim::{ClusterSession, NodeWork, SessionEvent};
@@ -50,6 +51,9 @@ pub struct ImpalaOpts {
     /// Cap on in-flight collection commands (`Runtime::with_window`);
     /// `None` keeps the host-parallelism default.
     pub window: Option<usize>,
+    /// Transport override (`inproc`, `uds`, `tcp`, `tcp:<addr>`); `None`
+    /// defers to `RLDT_TRANSPORT`.
+    pub transport: Option<String>,
 }
 
 impl Default for ImpalaOpts {
@@ -62,6 +66,7 @@ impl Default for ImpalaOpts {
             actor_sync_period: 4,
             fault: FaultPolicy::default(),
             window: None,
+            transport: None,
         }
     }
 }
@@ -100,14 +105,28 @@ pub fn train_impala(
         .map(|w| {
             let mut env = factory.make(worker_seed(opts.seed, w, 0));
             let obs = env.reset();
-            WorkerSpec::new(w / cores, Collector::PerEnv { env, obs }).with_respawn(move || {
-                let mut env = factory.make(worker_seed(opts.seed, w, 0));
-                let obs = env.reset();
-                Collector::PerEnv { env, obs }
-            })
+            let mut wspec =
+                WorkerSpec::new(w / cores, Collector::PerEnv { env, obs }).with_respawn(move || {
+                    let mut env = factory.make(worker_seed(opts.seed, w, 0));
+                    let obs = env.reset();
+                    Collector::PerEnv { env, obs }
+                });
+            if let Some(env_bp) = factory.blueprint() {
+                wspec = wspec
+                    .with_blueprint(CollectorBlueprint::per_env(env_bp, worker_seed(opts.seed, w, 0)));
+            }
+            wspec
         })
         .collect();
-    let mut runtime = Runtime::spawn(specs, &learner.policy).with_fault_policy(opts.fault);
+    let tconfig = match &opts.transport {
+        Some(s) => TransportConfig::parse(s).unwrap_or_else(|e| {
+            eprintln!("impala transport ignored: {e}");
+            TransportConfig::InProcess
+        }),
+        None => TransportConfig::from_env(),
+    };
+    let mut runtime =
+        Runtime::spawn_with(specs, &learner.policy, tconfig).with_fault_policy(opts.fault);
     if let Some(w) = opts.window {
         runtime = runtime.with_window(w);
     }
@@ -126,8 +145,8 @@ pub fn train_impala(
         let per_worker = (opts.config.n_steps / runtime.active_workers().max(1)).max(1);
 
         // Asynchronous collection, drained into worker-index order.
-        let rngs: Vec<StdRng> = (0..n_workers)
-            .map(|w| StdRng::seed_from_u64(worker_seed(opts.seed, w, driver.iteration() + 1)))
+        let rngs: Vec<RngStream> = (0..n_workers)
+            .map(|w| RngStream::fresh(worker_seed(opts.seed, w, driver.iteration() + 1)))
             .collect();
         let outcome = runtime.collect_round(driver.iteration(), per_worker, rngs)?;
         driver.note_faults(&outcome.faults);
@@ -166,6 +185,7 @@ pub fn train_impala(
             break;
         }
     }
+    driver.note_wire(runtime.transport_stats().bytes_total());
     runtime.shutdown();
 
     let stats = driver.finish();

@@ -24,7 +24,10 @@ use crate::backend::{Backend, EnvFactory};
 use crate::backends::common::{sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
-use crate::runtime::{merge_wave, Collector, Driver, Observer, Runtime, SyncPolicy, WorkerSpec};
+use crate::runtime::{
+    merge_wave, Collector, CollectorBlueprint, Driver, Observer, RngStream, Runtime, SyncPolicy,
+    WorkerSpec,
+};
 use crate::spec::ExecSpec;
 use cluster_sim::{ClusterSession, NodeWork, SessionEvent};
 use gymrs::Environment;
@@ -85,14 +88,21 @@ fn train_ppo(
         .map(|w| {
             let mut env = factory.make(worker_seed(spec.seed, w, 0));
             let obs = env.reset();
-            WorkerSpec::new(w / cores, Collector::PerEnv { env, obs }).with_respawn(move || {
-                let mut env = factory.make(worker_seed(spec.seed, w, 0));
-                let obs = env.reset();
-                Collector::PerEnv { env, obs }
-            })
+            let mut wspec =
+                WorkerSpec::new(w / cores, Collector::PerEnv { env, obs }).with_respawn(move || {
+                    let mut env = factory.make(worker_seed(spec.seed, w, 0));
+                    let obs = env.reset();
+                    Collector::PerEnv { env, obs }
+                });
+            if let Some(env_bp) = factory.blueprint() {
+                wspec = wspec
+                    .with_blueprint(CollectorBlueprint::per_env(env_bp, worker_seed(spec.seed, w, 0)));
+            }
+            wspec
         })
         .collect();
-    let mut runtime = Runtime::spawn(specs, &learner.policy).with_fault_policy(spec.fault);
+    let mut runtime = Runtime::spawn_with(specs, &learner.policy, spec.transport_config())
+        .with_fault_policy(spec.fault);
     if let Some(w) = spec.window {
         runtime = runtime.with_window(w);
     }
@@ -116,8 +126,8 @@ fn train_ppo(
         // --- Parallel collection, merged deterministically by worker
         // index (the runtime's reproducibility improvement over Ray's
         // completion-order merge).
-        let rngs: Vec<StdRng> = (0..n_workers)
-            .map(|w| StdRng::seed_from_u64(worker_seed(spec.seed, w, driver.iteration() + 1)))
+        let rngs: Vec<RngStream> = (0..n_workers)
+            .map(|w| RngStream::fresh(worker_seed(spec.seed, w, driver.iteration() + 1)))
             .collect();
         let outcome = runtime.collect_round(driver.iteration(), per_worker, rngs)?;
         driver.note_faults(&outcome.faults);
@@ -162,6 +172,7 @@ fn train_ppo(
             break;
         }
     }
+    driver.note_wire(runtime.transport_stats().bytes_total());
     runtime.shutdown();
 
     let stats = driver.finish();

@@ -20,7 +20,10 @@ use crate::backend::{Backend, EnvFactory};
 use crate::backends::common::{sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
-use crate::runtime::{merge_wave, Collector, Driver, Observer, Runtime, SyncPolicy, WorkerSpec};
+use crate::runtime::{
+    merge_wave, Collector, CollectorBlueprint, Driver, Observer, RngStream, Runtime, SyncPolicy,
+    WorkerSpec,
+};
 use crate::spec::ExecSpec;
 use cluster_sim::{ClusterSession, NodeWork, SessionEvent};
 use gymrs::VecEnv;
@@ -60,7 +63,10 @@ fn train_ppo(
 ) -> Result<ExecReport, String> {
     let profile = Framework::StableBaselines.profile();
     let n_envs = spec.deployment.cores_per_node;
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // The master rng lives in an [`RngStream`] so it can ride the collect
+    // command across any transport; in process it is the plain `StdRng`
+    // stream it always was (same seed, same draw order).
+    let mut rng = RngStream::fresh(spec.seed);
 
     // Build the vectorized sub-environments (pre-seeded worker streams).
     let recorder = session.recorder();
@@ -69,7 +75,7 @@ fn train_ppo(
     venv.set_recorder(recorder.clone());
     let obs_dim = venv.observation_space().dim();
     let aspace = venv.action_space();
-    let mut learner = PpoLearner::new(obs_dim, &aspace, spec.ppo.clone(), &mut rng);
+    let mut learner = PpoLearner::new(obs_dim, &aspace, spec.ppo.clone(), rng.rng_mut());
     venv.reset_all();
 
     let batch = learner.config().n_steps;
@@ -89,11 +95,13 @@ fn train_ppo(
         venv.reset_all();
         Collector::Vectorized { venv }
     };
-    let mut runtime = Runtime::spawn(
-        vec![WorkerSpec::new(0, Collector::Vectorized { venv }).with_respawn(spawn_venv)],
-        &learner.policy,
-    )
-    .with_fault_policy(spec.fault);
+    let mut wspec = WorkerSpec::new(0, Collector::Vectorized { venv }).with_respawn(spawn_venv);
+    if let Some(env_bp) = factory.blueprint() {
+        let seeds = (0..n_envs).map(|i| worker_seed(spec.seed, i, 0)).collect();
+        wspec = wspec.with_blueprint(CollectorBlueprint::vectorized(env_bp, seeds));
+    }
+    let mut runtime = Runtime::spawn_with(vec![wspec], &learner.policy, spec.transport_config())
+        .with_fault_policy(spec.fault);
     if let Some(w) = spec.window {
         runtime = runtime.with_window(w);
     }
@@ -121,7 +129,7 @@ fn train_ppo(
         learner.flops += iter_infer_flops;
 
         // --- Update.
-        learner.update(&merged, &mut rng);
+        learner.update(&merged, rng.rng_mut());
         let update_flops = learner.flops - flops_before - iter_infer_flops;
 
         // --- Narration: env stepping parallelized over the vectorized
@@ -155,6 +163,7 @@ fn train_ppo(
             break;
         }
     }
+    driver.note_wire(runtime.transport_stats().bytes_total());
     runtime.shutdown();
 
     let stats = driver.finish();

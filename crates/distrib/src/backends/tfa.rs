@@ -14,7 +14,10 @@ use crate::backend::{Backend, EnvFactory};
 use crate::backends::common::{sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
-use crate::runtime::{merge_wave, Collector, Driver, Observer, Runtime, SyncPolicy, WorkerSpec};
+use crate::runtime::{
+    merge_wave, Collector, CollectorBlueprint, Driver, Observer, RngStream, Runtime, SyncPolicy,
+    WorkerSpec,
+};
 use crate::spec::ExecSpec;
 use cluster_sim::{ClusterSession, NodeWork, SessionEvent};
 use gymrs::{Environment, VecEnv};
@@ -80,11 +83,13 @@ fn train_ppo(
         venv.reset_all();
         Collector::Vectorized { venv }
     };
-    let mut runtime = Runtime::spawn(
-        vec![WorkerSpec::new(0, Collector::Vectorized { venv }).with_respawn(spawn_venv)],
-        &learner.policy,
-    )
-    .with_fault_policy(spec.fault);
+    let mut wspec = WorkerSpec::new(0, Collector::Vectorized { venv }).with_respawn(spawn_venv);
+    if let Some(env_bp) = factory.blueprint() {
+        let seeds = (0..workers).map(|i| worker_seed(spec.seed, i, 0)).collect();
+        wspec = wspec.with_blueprint(CollectorBlueprint::vectorized(env_bp, seeds));
+    }
+    let mut runtime = Runtime::spawn_with(vec![wspec], &learner.policy, spec.transport_config())
+        .with_fault_policy(spec.fault);
     if let Some(w) = spec.window {
         runtime = runtime.with_window(w);
     }
@@ -98,7 +103,7 @@ fn train_ppo(
         // inference), and the vectorized actor fans env steps across
         // cores.
         driver.broadcast(&mut runtime, &learner.policy, SyncPolicy::EveryRound)?;
-        let wrng = StdRng::seed_from_u64(worker_seed(spec.seed, 0, driver.iteration() + 1000));
+        let wrng = RngStream::fresh(worker_seed(spec.seed, 0, driver.iteration() + 1000));
         let outcome = runtime.collect_round(driver.iteration(), per_worker, vec![wrng])?;
         driver.note_faults(&outcome.faults);
         let wave = merge_wave(outcome, 1);
@@ -137,6 +142,7 @@ fn train_ppo(
             break;
         }
     }
+    driver.note_wire(runtime.transport_stats().bytes_total());
     runtime.shutdown();
 
     let stats = driver.finish();

@@ -61,6 +61,25 @@ pub const RT_QUARANTINES: Key = Key("runtime.quarantines");
 /// Accumulator: simulated seconds of retry backoff charged to the trial.
 pub const RT_BACKOFF_S: Key = Key("runtime.backoff_s");
 
+/// Counter: wire frames encoded for workers (process transport only;
+/// recorded once as a trial total at runtime shutdown).
+pub const RT_WIRE_FRAMES_OUT: Key = Key("runtime.wire.frames_out");
+
+/// Counter: wire frames decoded from workers (process transport only).
+pub const RT_WIRE_FRAMES_IN: Key = Key("runtime.wire.frames_in");
+
+/// Counter: wire bytes sent to workers, frame headers included.
+pub const RT_WIRE_BYTES_OUT: Key = Key("runtime.wire.bytes_out");
+
+/// Counter: wire bytes received from workers, frame headers included.
+pub const RT_WIRE_BYTES_IN: Key = Key("runtime.wire.bytes_in");
+
+/// Counter: socket writes — batched frames amortize these.
+pub const RT_WIRE_FLUSHES: Key = Key("runtime.wire.flushes");
+
+/// Span: one driver-side flush of buffered command frames to the wire.
+pub const RT_WIRE_FLUSH: Key = Key("runtime.wire.flush");
+
 /// Event: a worker left the active set for good. Fields: [`F_WORKER`],
 /// [`F_NODE`], [`F_ROUND`], [`F_CAUSE`].
 pub const WORKER_QUARANTINED: Key = Key("worker.quarantined");

@@ -46,7 +46,8 @@ pub use backends::{train_impala, ImpalaOpts};
 pub use framework::{Framework, FrameworkProfile};
 pub use report::{ExecReport, TrainedModel};
 pub use runtime::{
-    report_mean, FaultCause, FaultLog, FaultPolicy, IterationSnapshot, NullObserver, Observer,
-    RecorderObserver, Runtime, RuntimeError, SyncPolicy, REPORT_WINDOW,
+    report_mean, run_worker_process, FaultCause, FaultLog, FaultPolicy, IterationSnapshot,
+    NullObserver, Observer, RecorderObserver, Runtime, RuntimeError, SyncPolicy, TransportConfig,
+    TransportKind, TransportStats, REPORT_WINDOW,
 };
 pub use spec::{Deployment, ExecSpec};

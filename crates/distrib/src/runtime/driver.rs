@@ -19,10 +19,10 @@
 //! | IMPALA-like | [`SyncPolicy::Periodic`] | *all* actors refresh only every `period`-th round; V-trace absorbs the staleness |
 
 use super::fault::{FaultLog, RuntimeError};
+use super::transport::RngStream;
 use super::{RoundOutcome, Runtime};
 use crate::keys;
 use cluster_sim::{ClusterSession, ClusterSpec, SessionEvent};
-use rand::rngs::StdRng;
 use rl_algos::buffer::RolloutBuffer;
 use rl_algos::policy::ActorCritic;
 use telemetry::{Recorder, SharedRecorder, Value};
@@ -161,8 +161,8 @@ pub struct WaveOutcome {
     pub shipped_bytes: u64,
     /// Worker indices in completion order (for asynchrony narration).
     pub arrival: Vec<usize>,
-    /// Each worker's sampling rng, advanced past its segment.
-    pub rngs: Vec<StdRng>,
+    /// Each worker's sampling rng stream, advanced past its segment.
+    pub rngs: Vec<RngStream>,
 }
 
 /// Merge a [`RoundOutcome`] into a [`WaveOutcome`].
@@ -289,6 +289,17 @@ impl<'a> Driver<'a> {
         }
         self.note_faults(&outcome.faults);
         Ok(outcome.bytes)
+    }
+
+    /// Record real wire traffic (the process transport's frame bytes)
+    /// on the session's observational `wire_bytes` counter. This never
+    /// touches the simulated clock or energy — Table I's calibrated
+    /// `bytes_moved` stays the *modeled* interconnect traffic, identical
+    /// across transports.
+    pub fn note_wire(&mut self, bytes: u64) {
+        if bytes > 0 {
+            self.session.observe_wire(bytes);
+        }
     }
 
     /// Fold a round's [`FaultLog`] into the trial accounting: retry

@@ -17,9 +17,14 @@
 //! [`Event::order_key`] defines the deterministic merge order
 //! (`(round, worker)`) the runtime drains segments into.
 
+use super::transport::RngStream;
 use crate::backends::common::Segment;
-use rand::rngs::StdRng;
 use rl_algos::policy::ActorCritic;
+
+/// The round a transport uses when it cannot attribute a failure to a
+/// specific command — e.g. a worker process found dead at EOF. The
+/// runtime substitutes the round it is currently driving.
+pub const WILDCARD_ROUND: u64 = u64::MAX;
 
 /// A driver-issued order to one worker actor.
 pub enum Command {
@@ -33,7 +38,7 @@ pub enum Command {
         steps: usize,
         /// The action-sampling stream; returned in the matching
         /// [`Event::SegmentReady`].
-        rng: StdRng,
+        rng: RngStream,
     },
     /// Replace the worker's policy snapshot with fresh learner weights.
     /// The worker acknowledges with an [`Event::Heartbeat`].
@@ -60,7 +65,7 @@ pub enum Event {
         /// The collected segment (boxed: rollouts are large).
         segment: Box<Segment>,
         /// The action-sampling stream, advanced past this segment.
-        rng: StdRng,
+        rng: RngStream,
     },
     /// Liveness/acknowledgement signal (sent after a weight update).
     Heartbeat {
@@ -126,7 +131,6 @@ pub fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use std::panic::{catch_unwind, panic_any};
 
     /// Run `f`, which must panic, and return the payload with the
@@ -172,7 +176,7 @@ mod tests {
             node: 0,
             round,
             segment: Box::new(segment),
-            rng: StdRng::seed_from_u64(0),
+            rng: RngStream::fresh(0),
         }
     }
 

@@ -316,6 +316,18 @@ mod inject {
             &self.faults
         }
 
+        /// Snapshot the still-armed entries as `(worker, round, kind)`
+        /// triples. The process transport ships these to a freshly
+        /// spawned child so a respawn doesn't re-arm faults that already
+        /// fired.
+        pub fn armed(&self) -> Vec<(usize, u64, FaultKind)> {
+            self.faults
+                .iter()
+                .filter(|f| f.armed.load(Ordering::SeqCst))
+                .map(|f| (f.worker, f.round, f.kind))
+                .collect()
+        }
+
         /// Consume (disarm) the first still-armed fault addressed to
         /// `(worker, round)`, if any.
         pub fn take(&self, worker: usize, round: u64) -> Option<FaultKind> {

@@ -1,19 +1,23 @@
 //! The actor-style execution runtime shared by every backend.
 //!
-//! A [`Runtime`] owns a set of long-lived worker actors — real threads
-//! pinned to simulated nodes — and the typed channels connecting them to
-//! the driver: per-worker [`Command`] senders and one shared [`Event`]
-//! receiver. Workers are spawned **once per trial** and keep their
-//! environment, observation and policy-snapshot state across iterations;
-//! the per-iteration `std::thread::scope` + channel churn of the old
-//! backends is gone.
+//! A [`Runtime`] owns a set of long-lived worker actors and the typed
+//! [`Command`]/[`Event`] protocol connecting them to the driver. The
+//! wire behind that protocol is pluggable (see [`transport`]): the
+//! default in-process transport runs workers as threads over mpsc
+//! channels, the process transport runs them as spawned `rldt-worker`
+//! child processes over Unix domain sockets or TCP
+//! (`RLDT_TRANSPORT=uds` / `tcp[:<addr>]`). Workers are spawned **once
+//! per trial** and keep their environment, observation and
+//! policy-snapshot state across iterations; the per-iteration
+//! `std::thread::scope` + channel churn of the old backends is gone.
 //!
 //! Determinism: collection results are drained into worker-index order
 //! regardless of completion order, and every worker samples from an
 //! explicitly passed rng stream (see [`crate::backends::common::worker_seed`]).
-//! Reports are therefore bitwise independent of thread scheduling; the
-//! *completion* order is still observable via [`RoundOutcome::arrival`]
-//! for backends that want to narrate asynchrony (IMPALA-style).
+//! Reports are therefore bitwise independent of thread scheduling *and*
+//! of the transport in use; the *completion* order is still observable
+//! via [`RoundOutcome::arrival`] for backends that want to narrate
+//! asynchrony (IMPALA-style).
 //!
 //! Concurrency: at most [`Runtime::window`] collection commands are in
 //! flight at once, capped by `std::thread::available_parallelism` — a
@@ -22,36 +26,42 @@
 //!
 //! Fault tolerance: worker failures never panic the driver. A
 //! [`FaultPolicy`] decides between bounded retry (with deterministic
-//! exponential backoff charged to *simulated* time), thread respawn (via
-//! [`WorkerSpec::with_respawn`]) and quarantine-with-degradation; hung
-//! workers surface through the policy's receive timeout. See
-//! [`fault`] for the recovery ladder and the test-only injection layer.
+//! exponential backoff charged to *simulated* time), respawn (thread or
+//! child process, via [`WorkerSpec::with_respawn`] / the worker's
+//! blueprint) and quarantine-with-degradation; hung workers surface
+//! through the policy's receive timeout. See [`fault`] for the recovery
+//! ladder and the test-only injection layer.
 
 pub mod driver;
 pub mod event;
 pub mod fault;
+pub mod transport;
 pub mod worker;
 
 pub use driver::{
     merge_wave, report_mean, Driver, DriverStats, IterationSnapshot, NullObserver, Observer,
     RecorderObserver, SyncPolicy, WaveOutcome, REPORT_WINDOW,
 };
-pub use event::{Command, Event};
+pub use event::{Command, Event, WILDCARD_ROUND};
 #[cfg(any(test, feature = "fault-inject"))]
 pub use fault::{clear_plan, install_plan, FaultKind, FaultPlan, InjectedFault};
 pub use fault::{FaultCause, FaultLog, FaultPolicy, Quarantine, RuntimeError};
+pub use transport::process::run_worker_process;
+pub use transport::{
+    set_worker_bin_for_tests, CollectorBlueprint, EnvBlueprint, RngStream, TransportConfig,
+    TransportKind, TransportStats,
+};
 pub use worker::Collector;
 
 use crate::backends::common::Segment;
 use crate::keys;
-use rand::rngs::StdRng;
 use rl_algos::policy::ActorCritic;
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 use telemetry::{SharedRecorder, Value};
+use transport::channel::ChannelTransport;
+use transport::process::ProcessTransport;
+use transport::Transport;
 
 /// Rebuilds a worker's [`Collector`] after its thread died.
 pub type RespawnFn<'f> = Box<dyn Fn() -> Collector + 'f>;
@@ -61,12 +71,13 @@ pub struct WorkerSpec<'f> {
     node: usize,
     collector: Collector,
     respawn: Option<RespawnFn<'f>>,
+    blueprint: Option<CollectorBlueprint>,
 }
 
 impl<'f> WorkerSpec<'f> {
     /// A worker pinned to `node`, owning `collector`.
     pub fn new(node: usize, collector: Collector) -> Self {
-        Self { node, collector, respawn: None }
+        Self { node, collector, respawn: None, blueprint: None }
     }
 
     /// Attach a factory that rebuilds the collector if the worker thread
@@ -76,16 +87,19 @@ impl<'f> WorkerSpec<'f> {
         self
     }
 
+    /// Attach the serializable recipe for this worker's collector. Only
+    /// workers with blueprints can run on the process transport —
+    /// closure-built collectors cannot cross a process boundary, so a
+    /// spec without one forces the in-process fallback.
+    pub fn with_blueprint(mut self, blueprint: CollectorBlueprint) -> Self {
+        self.blueprint = Some(blueprint);
+        self
+    }
+
     /// The simulated node this worker is pinned to.
     pub fn node(&self) -> usize {
         self.node
     }
-}
-
-struct WorkerHandle {
-    commands: mpsc::Sender<Command>,
-    join: Option<JoinHandle<()>>,
-    node: usize,
 }
 
 /// One worker's contribution to a collection round.
@@ -96,8 +110,8 @@ pub struct WorkerSegment {
     pub node: usize,
     /// The collected segment.
     pub segment: Segment,
-    /// The sampling rng, advanced past the segment.
-    pub rng: StdRng,
+    /// The sampling rng stream, advanced past the segment.
+    pub rng: RngStream,
 }
 
 /// All segments of one collection round.
@@ -140,89 +154,127 @@ enum Health {
 }
 
 /// An outstanding collection command: everything needed to retry it
-/// deterministically (the pre-dispatch rng) and to notice it hanging.
+/// deterministically (the pre-dispatch rng stream) and to notice it
+/// hanging.
 struct InFlight {
-    rng: StdRng,
+    rng: RngStream,
     attempts: u32,
     deadline: Option<Instant>,
 }
 
-/// The worker actor pool plus its channels. See the module docs.
+/// The worker actor pool behind a pluggable transport. See the module
+/// docs.
 pub struct Runtime<'f> {
-    workers: Vec<WorkerHandle>,
+    transport: Box<dyn Transport>,
     respawners: Vec<Option<RespawnFn<'f>>>,
     health: Vec<Health>,
-    events: mpsc::Receiver<Event>,
-    event_tx: mpsc::Sender<Event>,
     nodes: Vec<usize>,
     window: usize,
     recorder: SharedRecorder,
     policy: FaultPolicy,
     /// Latest broadcast weights; respawned workers boot from this.
     snapshot: Box<ActorCritic>,
-    #[cfg(any(test, feature = "fault-inject"))]
-    plan: Option<std::sync::Arc<fault::FaultPlan>>,
 }
 
 impl<'f> Runtime<'f> {
-    /// Spawn one long-lived actor thread per [`WorkerSpec`], each holding
-    /// a clone of `initial_policy`.
+    /// Spawn one long-lived worker per [`WorkerSpec`], each booting from
+    /// a clone of `initial_policy`, on the transport `RLDT_TRANSPORT`
+    /// selects (in-process when unset).
     pub fn spawn(specs: Vec<WorkerSpec<'f>>, initial_policy: &ActorCritic) -> Self {
+        Self::spawn_with(specs, initial_policy, TransportConfig::from_env())
+    }
+
+    /// [`Runtime::spawn`] with an explicit transport choice. A process
+    /// transport request falls back to in-process — with a warning, never
+    /// an error — when a spec has no blueprint, the `rldt-worker` binary
+    /// cannot be found, or the children fail to connect.
+    pub fn spawn_with(
+        mut specs: Vec<WorkerSpec<'f>>,
+        initial_policy: &ActorCritic,
+        config: TransportConfig,
+    ) -> Self {
         assert!(!specs.is_empty(), "runtime needs at least one worker");
-        let (event_tx, events) = mpsc::channel::<Event>();
         #[cfg(any(test, feature = "fault-inject"))]
         let plan = fault::current_plan();
         let nodes: Vec<usize> = specs.iter().map(|s| s.node).collect();
-        let mut respawners = Vec::with_capacity(specs.len());
-        let workers: Vec<WorkerHandle> = specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                respawners.push(spec.respawn);
-                let (commands, cmd_rx) = mpsc::channel::<Command>();
-                let tx = event_tx.clone();
-                let policy = initial_policy.clone();
-                let node = spec.node;
-                let collector = spec.collector;
-                let ctx = worker::WorkerCtx {
-                    stagger: test_hooks::stagger_for(i),
-                    #[cfg(any(test, feature = "fault-inject"))]
-                    plan: plan.clone(),
-                };
-                let join = std::thread::Builder::new()
-                    .name(format!("rt-worker-{i}"))
-                    .spawn(move || worker::worker_loop(i, node, collector, policy, cmd_rx, tx, ctx))
-                    .expect("spawn runtime worker");
-                WorkerHandle { commands, join: Some(join), node }
-            })
-            .collect();
+        let respawners: Vec<Option<RespawnFn<'f>>> =
+            specs.iter_mut().map(|s| s.respawn.take()).collect();
+
+        let mut selected: Option<Box<dyn Transport>> = None;
+        if config != TransportConfig::InProcess {
+            let blueprints: Option<Vec<CollectorBlueprint>> =
+                specs.iter().map(|s| s.blueprint.clone()).collect();
+            match (blueprints, transport::resolve_worker_bin()) {
+                (Some(bps), Some(bin)) => {
+                    match ProcessTransport::connect(
+                        &config,
+                        bin,
+                        bps,
+                        nodes.clone(),
+                        initial_policy,
+                        #[cfg(any(test, feature = "fault-inject"))]
+                        plan.clone(),
+                    ) {
+                        Ok(t) => selected = Some(Box::new(t)),
+                        Err(e) => eprintln!(
+                            "process transport unavailable ({e}); falling back to in-process"
+                        ),
+                    }
+                }
+                (None, _) => eprintln!(
+                    "process transport unavailable (a worker has no blueprint); \
+                     falling back to in-process"
+                ),
+                (_, None) => eprintln!(
+                    "process transport unavailable (rldt-worker binary not found); \
+                     falling back to in-process"
+                ),
+            }
+        }
+        let transport = selected.unwrap_or_else(|| {
+            Box::new(ChannelTransport::spawn(
+                specs.into_iter().map(|s| (s.node, s.collector)).collect(),
+                initial_policy,
+                #[cfg(any(test, feature = "fault-inject"))]
+                plan.clone(),
+            ))
+        });
+
         let window = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let health = vec![Health::Healthy; workers.len()];
+        let health = vec![Health::Healthy; nodes.len()];
         Self {
-            workers,
+            transport,
             respawners,
             health,
-            events,
-            event_tx,
             nodes,
             window,
             recorder: telemetry::null_recorder(),
             policy: FaultPolicy::default(),
             snapshot: Box::new(initial_policy.clone()),
-            #[cfg(any(test, feature = "fault-inject"))]
-            plan,
         }
     }
 
-    /// Route dispatch counters and the occupancy gauge (see
-    /// [`crate::keys`]) to `recorder`. Defaults to the null recorder.
+    /// Route dispatch counters, the occupancy gauge and the transport's
+    /// wire counters (see [`crate::keys`]) to `recorder`. Defaults to
+    /// the null recorder.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.transport.set_recorder(recorder.clone());
         self.recorder = recorder;
+    }
+
+    /// Which wire this runtime is using.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
+    }
+
+    /// Wire traffic totals so far (all zero in-process).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
     }
 
     /// Number of worker actors (healthy or not).
     pub fn n_workers(&self) -> usize {
-        self.workers.len()
+        self.nodes.len()
     }
 
     /// Node assignment of every worker, by worker index.
@@ -267,71 +319,28 @@ impl<'f> Runtime<'f> {
     /// True once any worker has been quarantined (the trial result is
     /// degraded).
     pub fn is_degraded(&self) -> bool {
-        self.active_workers() < self.workers.len()
+        self.active_workers() < self.nodes.len()
     }
 
     fn deadline(&self) -> Option<Instant> {
         self.policy.recv_timeout().map(|t| Instant::now() + t)
     }
 
-    /// Wait for the next event, bounded by `deadline`. `Ok(None)` means
-    /// the deadline expired.
-    fn recv_until(&self, deadline: Option<Instant>) -> Result<Option<Event>, RuntimeError> {
-        let Some(deadline) = deadline else {
-            return self.events.recv().map(Some).map_err(|_| RuntimeError::Disconnected);
-        };
-        let now = Instant::now();
-        if deadline <= now {
-            return Ok(None);
-        }
-        match self.events.recv_timeout(deadline - now) {
-            Ok(ev) => Ok(Some(ev)),
-            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RuntimeError::Disconnected),
-        }
-    }
-
-    /// Rebuild a dead worker's thread from its respawn factory, booting
-    /// it from the latest broadcast snapshot. Returns `false` when no
-    /// factory is attached (or it failed).
+    /// Rebuild a dead worker, booting it from the latest broadcast
+    /// snapshot. The in-process transport needs the spec's respawn
+    /// factory; the process transport rebuilds from its blueprint.
     fn respawn_worker(&mut self, worker: usize) -> bool {
-        let Some(make) = self.respawners[worker].as_ref() else {
-            return false;
-        };
-        let Ok(collector) = catch_unwind(AssertUnwindSafe(&**make)) else {
-            return false;
-        };
-        let (commands, cmd_rx) = mpsc::channel::<Command>();
-        let tx = self.event_tx.clone();
-        let policy = (*self.snapshot).clone();
-        let node = self.workers[worker].node;
-        let ctx = worker::WorkerCtx {
-            stagger: test_hooks::stagger_for(worker),
-            #[cfg(any(test, feature = "fault-inject"))]
-            plan: self.plan.clone(),
-        };
-        let spawned = std::thread::Builder::new()
-            .name(format!("rt-worker-{worker}"))
-            .spawn(move || worker::worker_loop(worker, node, collector, policy, cmd_rx, tx, ctx));
-        match spawned {
-            Ok(join) => {
-                self.workers[worker] = WorkerHandle { commands, join: Some(join), node };
-                true
-            }
-            Err(_) => false,
-        }
+        self.transport.respawn(worker, self.respawners[worker].as_deref(), &self.snapshot)
     }
 
-    /// Reap a thread that announced (or demonstrated) its death.
+    /// Reap a worker that announced (or demonstrated) its death.
     fn reap(&mut self, worker: usize) {
-        if let Some(join) = self.workers[worker].join.take() {
-            let _ = join.join();
-        }
+        self.transport.reap(worker);
     }
 
     fn quarantine(&mut self, worker: usize, round: u64, cause: FaultCause, faults: &mut FaultLog) {
         self.health[worker] = Health::Quarantined(cause);
-        let node = self.workers[worker].node;
+        let node = self.nodes[worker];
         faults.quarantined.push(Quarantine { worker, node, round, cause });
         if self.recorder.enabled() {
             self.recorder.counter_add(keys::RT_QUARANTINES, 1);
@@ -368,7 +377,7 @@ impl<'f> Runtime<'f> {
     }
 
     /// React to a failed round-command: retry (respawning first if the
-    /// thread died) while budget remains, else quarantine or error.
+    /// worker died) while budget remains, else quarantine or error.
     /// Returns the refreshed in-flight entry when a retry was dispatched.
     #[allow(clippy::too_many_arguments)]
     fn recover(
@@ -405,7 +414,7 @@ impl<'f> Runtime<'f> {
             }
         }
         let cmd = Command::Collect { round, steps, rng: entry.rng.clone() };
-        if self.workers[worker].commands.send(cmd).is_err() {
+        if self.transport.send(worker, cmd).is_err() {
             self.reap(worker);
             self.quarantine_or_err(worker, round, FaultCause::Dead, reason, faults)?;
             return Ok(None);
@@ -421,20 +430,20 @@ impl<'f> Runtime<'f> {
     }
 
     /// First dispatch of a round-command to `worker`. `Ok(None)` means
-    /// the worker was quarantined instead (dead thread, no respawn).
+    /// the worker was quarantined instead (dead, no way to respawn).
     fn dispatch(
         &mut self,
         worker: usize,
         round: u64,
         steps: usize,
-        rng: StdRng,
+        rng: RngStream,
         faults: &mut FaultLog,
     ) -> Result<Option<InFlight>, RuntimeError> {
         let cmd = Command::Collect { round, steps, rng: rng.clone() };
-        if self.workers[worker].commands.send(cmd).is_ok() {
+        if self.transport.send(worker, cmd).is_ok() {
             return Ok(Some(InFlight { rng, attempts: 0, deadline: self.deadline() }));
         }
-        // The thread died outside a round (defensive): respawn or give up.
+        // The worker died outside a round (defensive): respawn or give up.
         self.reap(worker);
         if self.respawn_worker(worker) {
             faults.respawns += 1;
@@ -442,11 +451,11 @@ impl<'f> Runtime<'f> {
                 self.recorder.counter_add(keys::RT_RESPAWNS, 1);
             }
             let retry = Command::Collect { round, steps, rng: rng.clone() };
-            if self.workers[worker].commands.send(retry).is_ok() {
+            if self.transport.send(worker, retry).is_ok() {
                 return Ok(Some(InFlight { rng, attempts: 0, deadline: self.deadline() }));
             }
         }
-        self.quarantine_or_err(worker, round, FaultCause::Dead, "worker thread is dead", faults)?;
+        self.quarantine_or_err(worker, round, FaultCause::Dead, "worker is dead", faults)?;
         Ok(None)
     }
 
@@ -464,12 +473,12 @@ impl<'f> Runtime<'f> {
         &mut self,
         round: u64,
         steps: usize,
-        rngs: Vec<StdRng>,
+        rngs: Vec<RngStream>,
     ) -> Result<RoundOutcome, RuntimeError> {
-        let n = self.workers.len();
+        let n = self.nodes.len();
         assert_eq!(rngs.len(), n, "one rng stream per worker");
         let mut faults = FaultLog::default();
-        let mut queue: VecDeque<(usize, StdRng)> =
+        let mut queue: VecDeque<(usize, RngStream)> =
             rngs.into_iter().enumerate().filter(|(w, _)| self.is_healthy(*w)).collect();
         if queue.is_empty() {
             return Err(RuntimeError::NoHealthyWorkers { round });
@@ -505,7 +514,7 @@ impl<'f> Runtime<'f> {
                 break;
             }
             let next_deadline = in_flight.iter().flatten().filter_map(|f| f.deadline).min();
-            let Some(ev) = self.recv_until(next_deadline)? else {
+            let Some(ev) = self.transport.recv_deadline(next_deadline)? else {
                 // Deadline expired: every overdue worker is hung. No
                 // retry — the old thread may still wake and double-drive
                 // the collector — so the ladder goes straight to
@@ -545,6 +554,10 @@ impl<'f> Runtime<'f> {
                 }
                 Event::Heartbeat { .. } => {} // stray ack; ignore
                 Event::WorkerFailed { worker, round: r, reason, fatal } => {
+                    // A transport that couldn't attribute the death (a
+                    // child process found dead at EOF) names no round;
+                    // charge it to the round being driven.
+                    let r = if r == WILDCARD_ROUND { round } else { r };
                     if r != round || !self.is_healthy(worker) || in_flight[worker].is_none() {
                         if fatal {
                             self.reap(worker); // stale death announcement
@@ -593,8 +606,8 @@ impl<'f> Runtime<'f> {
                 continue;
             }
             let cmd = Command::UpdateWeights { round, policy: Box::new(policy.clone()) };
-            if self.workers[w].commands.send(cmd).is_err() {
-                // Dead thread: a respawned worker boots straight from the
+            if self.transport.send(w, cmd).is_err() {
+                // Dead worker: a respawned one boots straight from the
                 // fresh snapshot, so no ack is owed.
                 self.reap(w);
                 if self.respawn_worker(w) {
@@ -602,7 +615,7 @@ impl<'f> Runtime<'f> {
                     if self.recorder.enabled() {
                         self.recorder.counter_add(keys::RT_RESPAWNS, 1);
                     }
-                    if self.workers[w].node != 0 {
+                    if self.nodes[w] != 0 {
                         bytes += policy.param_bytes();
                     }
                 } else {
@@ -611,7 +624,7 @@ impl<'f> Runtime<'f> {
                 continue;
             }
             awaiting.push(w);
-            if self.workers[w].node != 0 {
+            if self.nodes[w] != 0 {
                 bytes += policy.param_bytes();
             }
         }
@@ -623,7 +636,7 @@ impl<'f> Runtime<'f> {
         }
         let deadline = self.deadline();
         while !awaiting.is_empty() {
-            let Some(ev) = self.recv_until(deadline)? else {
+            let Some(ev) = self.transport.recv_deadline(deadline)? else {
                 // Every remaining ack is overdue.
                 for w in std::mem::take(&mut awaiting) {
                     faults.timeouts += 1;
@@ -644,6 +657,7 @@ impl<'f> Runtime<'f> {
                     // Stale: a hung worker's late collection answer.
                 }
                 Event::WorkerFailed { worker, round: r, reason, fatal } => {
+                    let r = if r == WILDCARD_ROUND { round } else { r };
                     if fatal {
                         self.reap(worker);
                     }
@@ -660,19 +674,22 @@ impl<'f> Runtime<'f> {
     }
 
     fn shutdown_inner(&mut self) {
-        for w in &self.workers {
-            let _ = w.commands.send(Command::Shutdown);
-        }
         let health = std::mem::take(&mut self.health);
-        for (i, w) in self.workers.iter_mut().enumerate() {
-            // A worker quarantined for a hang may never wake; joining it
-            // would block shutdown forever. Leak it — once the event
-            // channel closes, its next send fails and the thread exits.
-            if matches!(health.get(i), Some(Health::Quarantined(FaultCause::TimedOut))) {
-                continue;
-            }
-            if let Some(join) = w.join.take() {
-                let _ = join.join();
+        if health.is_empty() {
+            return; // already shut down (explicit shutdown, then drop)
+        }
+        let skip: Vec<bool> = (0..self.nodes.len())
+            .map(|i| matches!(health.get(i), Some(Health::Quarantined(FaultCause::TimedOut))))
+            .collect();
+        self.transport.shutdown(&skip);
+        if self.recorder.enabled() {
+            let stats = self.transport.stats();
+            if stats.frames_out + stats.frames_in > 0 {
+                self.recorder.counter_add(keys::RT_WIRE_FRAMES_OUT, stats.frames_out);
+                self.recorder.counter_add(keys::RT_WIRE_FRAMES_IN, stats.frames_in);
+                self.recorder.counter_add(keys::RT_WIRE_BYTES_OUT, stats.bytes_out);
+                self.recorder.counter_add(keys::RT_WIRE_BYTES_IN, stats.bytes_in);
+                self.recorder.counter_add(keys::RT_WIRE_FLUSHES, stats.flushes);
             }
         }
     }
@@ -725,6 +742,7 @@ mod tests {
     use gymrs::envs::GridWorld;
     use gymrs::{Environment, Space};
     use parking_lot::Mutex;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     /// Serializes tests that touch the process-global fault plan.
@@ -746,12 +764,15 @@ mod tests {
         (specs, policy)
     }
 
+    fn streams(n: u64) -> Vec<RngStream> {
+        (0..n).map(RngStream::fresh).collect()
+    }
+
     #[test]
     fn collect_round_returns_worker_index_order() {
         let (specs, policy) = specs(&[0, 0, 1, 1]);
         let mut rt = Runtime::spawn(specs, &policy);
-        let rngs = (0..4).map(StdRng::seed_from_u64).collect();
-        let outcome = rt.collect_round(0, 16, rngs).expect("collects");
+        let outcome = rt.collect_round(0, 16, streams(4)).expect("collects");
         let order: Vec<usize> = outcome.segments.iter().map(|s| s.worker).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
         assert_eq!(outcome.segments[2].node, 1);
@@ -768,8 +789,7 @@ mod tests {
         let (specs, policy) = specs(&[0, 0, 0]);
         let mut rt = Runtime::spawn(specs, &policy).with_window(1);
         assert_eq!(rt.window(), 1);
-        let rngs = (0..3).map(StdRng::seed_from_u64).collect();
-        let outcome = rt.collect_round(0, 8, rngs).expect("collects");
+        let outcome = rt.collect_round(0, 8, streams(3)).expect("collects");
         // Serial dispatch: completion order IS worker order.
         assert_eq!(outcome.arrival, vec![0, 1, 2]);
     }
@@ -779,6 +799,14 @@ mod tests {
         let (specs, policy) = specs(&[0]);
         let rt = Runtime::spawn(specs, &policy).with_window(0);
         assert_eq!(rt.window(), 1);
+    }
+
+    #[test]
+    fn default_transport_is_in_process() {
+        let (specs, policy) = specs(&[0]);
+        let rt = Runtime::spawn(specs, &policy);
+        assert_eq!(rt.transport_kind(), TransportKind::InProcess);
+        assert_eq!(rt.transport_stats(), TransportStats::default());
     }
 
     #[test]
@@ -800,11 +828,11 @@ mod tests {
         let fresh = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut StdRng::seed_from_u64(99));
         let mut a = Runtime::spawn(specs_a, &old);
         a.broadcast_weights(0, &fresh, &[0]).expect("acks");
-        let seg_a = a.collect_round(0, 16, vec![StdRng::seed_from_u64(7)]).expect("collects");
+        let seg_a = a.collect_round(0, 16, vec![RngStream::fresh(7)]).expect("collects");
 
         let (specs_b, _) = specs(&[0]);
         let mut b = Runtime::spawn(specs_b, &fresh);
-        let seg_b = b.collect_round(0, 16, vec![StdRng::seed_from_u64(7)]).expect("collects");
+        let seg_b = b.collect_round(0, 16, vec![RngStream::fresh(7)]).expect("collects");
         assert_eq!(
             seg_a.segments[0].segment.rollout.actions,
             seg_b.segments[0].segment.rollout.actions
@@ -822,8 +850,7 @@ mod tests {
         let (specs, policy) = specs(&[0, 0]);
         let mut rt = Runtime::spawn(specs, &policy);
         clear_plan();
-        let rngs = (0..2).map(StdRng::seed_from_u64).collect();
-        let err = rt.collect_round(0, 8, rngs).expect_err("fail-fast surfaces the failure");
+        let err = rt.collect_round(0, 8, streams(2)).expect_err("fail-fast surfaces the failure");
         match err {
             RuntimeError::WorkerFailed { worker, round, ref reason } => {
                 assert_eq!((worker, round), (1, 0));
@@ -843,10 +870,9 @@ mod tests {
         let mut rt = Runtime::spawn(specs, &policy)
             .with_fault_policy(FaultPolicy { max_retries: 1, ..FaultPolicy::resilient() });
         clear_plan();
-        let clean = rt.collect_round(0, 8, (0..2).map(StdRng::seed_from_u64).collect());
+        let clean = rt.collect_round(0, 8, streams(2));
         assert!(clean.expect("round 0 is clean").faults.is_clean());
-        let outcome =
-            rt.collect_round(1, 8, (0..2).map(StdRng::seed_from_u64).collect()).expect("retried");
+        let outcome = rt.collect_round(1, 8, streams(2)).expect("retried");
         assert_eq!(outcome.segments.len(), 2, "both workers contribute after the retry");
         assert_eq!(outcome.faults.retries, 1);
         assert_eq!(
@@ -866,13 +892,12 @@ mod tests {
         let mut rt = Runtime::spawn(specs, &policy)
             .with_fault_policy(FaultPolicy { max_retries: 1, ..FaultPolicy::resilient() });
         clear_plan();
-        let outcome =
-            rt.collect_round(0, 8, (0..2).map(StdRng::seed_from_u64).collect()).expect("respawned");
+        let outcome = rt.collect_round(0, 8, streams(2)).expect("respawned");
         assert_eq!(outcome.segments.len(), 2);
         assert_eq!(outcome.faults.respawns, 1);
         assert!(!rt.is_degraded());
         // The respawned worker keeps serving later rounds.
-        let again = rt.collect_round(1, 8, (0..2).map(StdRng::seed_from_u64).collect());
+        let again = rt.collect_round(1, 8, streams(2));
         assert!(again.expect("healthy").faults.is_clean());
     }
 
@@ -887,8 +912,7 @@ mod tests {
             ..FaultPolicy::resilient()
         });
         clear_plan();
-        let outcome =
-            rt.collect_round(0, 8, (0..3).map(StdRng::seed_from_u64).collect()).expect("degrades");
+        let outcome = rt.collect_round(0, 8, streams(3)).expect("degrades");
         assert_eq!(outcome.segments.len(), 2, "survivors still merge");
         let order: Vec<usize> = outcome.segments.iter().map(|s| s.worker).collect();
         assert_eq!(order, vec![0, 1], "index order on the surviving set");
@@ -898,8 +922,7 @@ mod tests {
         assert!(rt.is_degraded());
         assert_eq!(rt.active_workers(), 2);
         // Later rounds skip the quarantined worker without stalling.
-        let later =
-            rt.collect_round(1, 8, (0..3).map(StdRng::seed_from_u64).collect()).expect("collects");
+        let later = rt.collect_round(1, 8, streams(3)).expect("collects");
         assert_eq!(later.segments.len(), 2);
     }
 
@@ -913,7 +936,7 @@ mod tests {
             ..FaultPolicy::fail_fast()
         });
         clear_plan();
-        let err = rt.collect_round(0, 8, (0..2).map(StdRng::seed_from_u64).collect());
+        let err = rt.collect_round(0, 8, streams(2));
         match err.expect_err("the hang must time out") {
             RuntimeError::WorkerTimedOut { worker, round } => {
                 assert_eq!((worker, round), (0, 0));
@@ -933,16 +956,14 @@ mod tests {
             ..FaultPolicy::resilient()
         });
         clear_plan();
-        let outcome =
-            rt.collect_round(0, 8, (0..2).map(StdRng::seed_from_u64).collect()).expect("degrades");
+        let outcome = rt.collect_round(0, 8, streams(2)).expect("degrades");
         assert_eq!(outcome.segments.len(), 1, "only the healthy worker contributes");
         assert_eq!(outcome.faults.timeouts, 1);
         assert_eq!(outcome.faults.quarantined[0].cause, FaultCause::TimedOut);
         // Give the hung thread time to wake and emit its stale segment,
         // then collect again: the stale answer must not corrupt round 1.
         std::thread::sleep(std::time::Duration::from_millis(150));
-        let later =
-            rt.collect_round(1, 8, (0..2).map(StdRng::seed_from_u64).collect()).expect("collects");
+        let later = rt.collect_round(1, 8, streams(2)).expect("collects");
         assert_eq!(later.segments.len(), 1);
         assert_eq!(later.segments[0].worker, 1);
         assert!(later.faults.is_clean());

@@ -1,0 +1,247 @@
+//! Pluggable transports behind the `Command`/`Event` driver protocol.
+//!
+//! The runtime's driver loop is transport-agnostic: it sends typed
+//! [`Command`]s to workers and drains typed [`Event`]s, merging results
+//! in worker-index order. This module provides the seam:
+//!
+//! * [`channel`] — the default in-process transport: one long-lived
+//!   thread per worker, `mpsc` channels, values moved by ownership.
+//!   Bitwise-identical to the pre-transport runtime (it *is* that
+//!   runtime, behind the trait).
+//! * [`process`] — workers as spawned child processes speaking the
+//!   [`codec`] wire format over Unix domain sockets (or TCP via
+//!   `RLDT_TRANSPORT=tcp[:<addr>]`).
+//!
+//! Because both transports run the same worker state machine on the
+//! same RNG streams and the driver merges by worker index, a study
+//! produces **bitwise-identical** results on either — the
+//! cross-transport determinism tests assert it per backend.
+
+pub mod blueprint;
+pub mod codec;
+pub mod rng;
+
+pub(crate) mod channel;
+pub(crate) mod process;
+
+pub use blueprint::{CollectorBlueprint, EnvBlueprint};
+pub use rng::{RngCache, RngStream};
+
+use super::event::{Command, Event};
+use super::fault::RuntimeError;
+use super::worker::Collector;
+use rl_algos::policy::ActorCritic;
+use std::path::PathBuf;
+use std::time::Instant;
+use telemetry::SharedRecorder;
+
+/// Which wire a runtime is using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Threads + mpsc channels (default).
+    InProcess,
+    /// Child processes over Unix domain sockets.
+    Uds,
+    /// Child processes over loopback/LAN TCP.
+    Tcp,
+}
+
+impl TransportKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TransportKind::InProcess => "inproc",
+            TransportKind::Uds => "uds",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+/// Requested transport, before feasibility checks. Worker specs without
+/// blueprints (closure-built environments) force the in-process
+/// transport regardless of the request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TransportConfig {
+    #[default]
+    InProcess,
+    Uds,
+    /// Listen address for the driver side; workers connect to it.
+    Tcp { addr: String },
+}
+
+impl TransportConfig {
+    /// Parse a `RLDT_TRANSPORT`-style string: `inproc`/`channel`,
+    /// `uds`/`unix`, `tcp` or `tcp:<addr>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        match s {
+            "" | "inproc" | "channel" | "thread" => Ok(TransportConfig::InProcess),
+            "uds" | "unix" => Ok(TransportConfig::Uds),
+            "tcp" => Ok(TransportConfig::Tcp { addr: "127.0.0.1:0".into() }),
+            _ => match s.strip_prefix("tcp:") {
+                Some(addr) if !addr.is_empty() => Ok(TransportConfig::Tcp { addr: addr.into() }),
+                _ => Err(format!("unknown transport {s:?} (use inproc, uds, tcp or tcp:<addr>)")),
+            },
+        }
+    }
+
+    /// Read `RLDT_TRANSPORT`; malformed values warn and fall back to
+    /// in-process rather than aborting a study.
+    pub fn from_env() -> Self {
+        match std::env::var("RLDT_TRANSPORT") {
+            Ok(v) => TransportConfig::parse(&v).unwrap_or_else(|e| {
+                eprintln!("RLDT_TRANSPORT ignored: {e}");
+                TransportConfig::InProcess
+            }),
+            Err(_) => TransportConfig::InProcess,
+        }
+    }
+}
+
+/// Wire-level traffic totals. All zeros for the in-process transport —
+/// nothing is serialized there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames encoded for workers (commands + handshakes).
+    pub frames_out: u64,
+    /// Frames decoded from workers (events + handshakes).
+    pub frames_in: u64,
+    /// Bytes encoded for workers, including frame headers.
+    pub bytes_out: u64,
+    /// Bytes decoded from workers, including frame headers.
+    pub bytes_in: u64,
+    /// Socket writes — batched frames amortize these.
+    pub flushes: u64,
+}
+
+impl TransportStats {
+    /// Total bytes that crossed the wire in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_out + self.bytes_in
+    }
+}
+
+/// The worker `commands` side failed — the worker is unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SendError;
+
+/// What the runtime needs from a worker pool, whatever the wire.
+///
+/// Contracts the driver loop relies on:
+/// * `send` may buffer; `recv_deadline` flushes pending output before
+///   blocking, so a send followed by a receive never deadlocks.
+/// * Per-worker event order is preserved; cross-worker order is
+///   unspecified (identical to threads racing an mpsc channel). The
+///   driver's index-ordered merge owns determinism.
+/// * A worker death eventually surfaces as a fatal
+///   [`Event::WorkerFailed`]; transports that cannot attribute a round
+///   use [`super::event::WILDCARD_ROUND`] and the runtime substitutes
+///   the round it is currently driving.
+/// * `reap` and `shutdown` are idempotent per worker.
+pub(crate) trait Transport: Send {
+    fn kind(&self) -> TransportKind;
+
+    /// Route telemetry (wire counters, flush spans) to `recorder`.
+    fn set_recorder(&mut self, _recorder: SharedRecorder) {}
+
+    /// Queue a command for `worker`. An error means the worker is
+    /// already known-unreachable.
+    fn send(&mut self, worker: usize, cmd: Command) -> Result<(), SendError>;
+
+    /// Push buffered frames to the wire (no-op in-process).
+    fn flush(&mut self) {}
+
+    /// Wait for the next event; `Ok(None)` means the deadline expired.
+    /// Flushes pending output before blocking.
+    fn recv_deadline(&mut self, deadline: Option<Instant>)
+        -> Result<Option<Event>, RuntimeError>;
+
+    /// Collect a dead worker's corpse (join the thread / wait the
+    /// process). Safe to call repeatedly and on workers already reaped.
+    fn reap(&mut self, worker: usize);
+
+    /// Bring a dead worker back, booting it from `policy`. `maker` is
+    /// the spec's respawn closure — the in-process transport requires
+    /// it; the process transport rebuilds from its blueprint instead.
+    fn respawn(
+        &mut self,
+        worker: usize,
+        maker: Option<&(dyn Fn() -> Collector + '_)>,
+        policy: &ActorCritic,
+    ) -> bool;
+
+    /// Stop every worker. `skip[w]` marks workers that may never answer
+    /// (hang-quarantined): threads are leaked, processes killed, instead
+    /// of waiting forever.
+    fn shutdown(&mut self, skip: &[bool]);
+
+    /// Traffic totals so far.
+    fn stats(&self) -> TransportStats;
+}
+
+// ------------------------------------------------------- worker binary
+
+use parking_lot::Mutex;
+
+static WORKER_BIN_OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Point the process transport at a specific worker binary. Integration
+/// tests use this with `env!("CARGO_BIN_EXE_rldt-worker")`; it is
+/// process-global but thread-safe (unlike `std::env::set_var`).
+#[doc(hidden)]
+pub fn set_worker_bin_for_tests(path: impl Into<PathBuf>) {
+    *WORKER_BIN_OVERRIDE.lock() = Some(path.into());
+}
+
+/// Locate the `rldt-worker` binary: the test override, then
+/// `RLDT_WORKER_BIN`, then siblings of the current executable (the bin
+/// itself in `target/<profile>/`, or one directory up for test
+/// executables living in `deps/`).
+pub(crate) fn resolve_worker_bin() -> Option<PathBuf> {
+    if let Some(p) = WORKER_BIN_OVERRIDE.lock().clone() {
+        return p.is_file().then_some(p);
+    }
+    if let Ok(p) = std::env::var("RLDT_WORKER_BIN") {
+        let p = PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("rldt-worker{}", std::env::consts::EXE_SUFFIX);
+    let dir = exe.parent()?;
+    let sibling = dir.join(&name);
+    if sibling.is_file() {
+        return Some(sibling);
+    }
+    let up = dir.parent()?.join(&name);
+    up.is_file().then_some(up)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_config_parses_the_documented_forms() {
+        assert_eq!(TransportConfig::parse(""), Ok(TransportConfig::InProcess));
+        assert_eq!(TransportConfig::parse("inproc"), Ok(TransportConfig::InProcess));
+        assert_eq!(TransportConfig::parse("channel"), Ok(TransportConfig::InProcess));
+        assert_eq!(TransportConfig::parse("uds"), Ok(TransportConfig::Uds));
+        assert_eq!(TransportConfig::parse("unix"), Ok(TransportConfig::Uds));
+        assert_eq!(
+            TransportConfig::parse("tcp"),
+            Ok(TransportConfig::Tcp { addr: "127.0.0.1:0".into() })
+        );
+        assert_eq!(
+            TransportConfig::parse("tcp:127.0.0.1:9000"),
+            Ok(TransportConfig::Tcp { addr: "127.0.0.1:9000".into() })
+        );
+        assert!(TransportConfig::parse("smoke-signals").is_err());
+        assert!(TransportConfig::parse("tcp:").is_err());
+    }
+
+    #[test]
+    fn kind_names_are_stable_bench_columns() {
+        assert_eq!(TransportKind::InProcess.as_str(), "inproc");
+        assert_eq!(TransportKind::Uds.as_str(), "uds");
+        assert_eq!(TransportKind::Tcp.as_str(), "tcp");
+    }
+}

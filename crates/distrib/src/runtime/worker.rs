@@ -1,24 +1,28 @@
-//! The worker actor: a long-lived thread owning environment state and a
-//! policy snapshot, processing [`Command`]s until shutdown.
+//! The worker actor: a long-lived state machine owning environment
+//! state and a policy snapshot, processing [`Command`]s until shutdown.
 //!
 //! Workers are spawned once per trial (not per iteration — the old
 //! backends re-spawned scoped threads every collection wave) and keep
 //! their environment and observation state across rounds, exactly like
 //! the persistent rollout workers of the real frameworks.
 //!
+//! The state machine is transport-neutral: [`WorkerState::handle`] maps
+//! one command to events via an `emit` callback, and the two transports
+//! wrap it differently — [`worker_loop`] runs it on an in-process mpsc
+//! pair, the `rldt-worker` child process runs it over a socket.
+//!
 //! Fault containment: a panic inside a collection is caught, reported as
 //! a non-fatal [`Event::WorkerFailed`], and the worker *keeps serving
 //! commands* after resetting its environment state — the driver decides
 //! whether to retry, respawn or quarantine (see
 //! [`super::fault::FaultPolicy`]). Only an injected crash (or a send on a
-//! dead event channel) ends the thread.
+//! dead event channel) ends the worker.
 
 use super::event::{panic_text, Command, Event};
 #[cfg(any(test, feature = "fault-inject"))]
 use super::fault::{FaultKind, FaultPlan};
 use crate::backends::common::{collect_segment, collect_segment_vec, Segment};
 use gymrs::{Environment, VecEnv};
-use rand::rngs::StdRng;
 use rl_algos::policy::ActorCritic;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
@@ -46,7 +50,12 @@ pub enum Collector {
 }
 
 impl Collector {
-    fn collect(&mut self, policy: &ActorCritic, steps: usize, rng: &mut StdRng) -> Segment {
+    fn collect(
+        &mut self,
+        policy: &ActorCritic,
+        steps: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Segment {
         match self {
             Collector::PerEnv { env, obs } => {
                 collect_segment(policy, env.as_mut(), obs, steps, rng)
@@ -67,13 +76,13 @@ impl Collector {
     }
 }
 
-/// Per-worker context the runtime threads into [`worker_loop`]: the
-/// test-hook stagger delay and (in fault-inject builds) the snapshot of
-/// the installed `FaultPlan`.
-pub(super) struct WorkerCtx {
-    pub(super) stagger: Option<Duration>,
+/// Per-worker context the runtime threads into a [`WorkerState`]: the
+/// test-hook stagger delay and (in fault-inject builds) the worker's
+/// view of the installed `FaultPlan`.
+pub(crate) struct WorkerCtx {
+    pub(crate) stagger: Option<Duration>,
     #[cfg(any(test, feature = "fault-inject"))]
-    pub(super) plan: Option<std::sync::Arc<FaultPlan>>,
+    pub(crate) plan: Option<std::sync::Arc<FaultPlan>>,
 }
 
 impl WorkerCtx {
@@ -83,26 +92,55 @@ impl WorkerCtx {
     }
 }
 
-/// The worker loop: block on the command channel, act, emit events.
-/// Runs until [`Command::Shutdown`] or a dropped channel; contained
-/// panics are reported (non-fatally) and survived.
-pub(super) fn worker_loop(
+/// What a worker does after handling one command.
+pub(crate) enum Flow {
+    /// Keep serving commands.
+    Continue,
+    /// Clean stop: [`Command::Shutdown`] or an unreachable driver.
+    Exit,
+    /// An injected crash: the hosting loop must report a *fatal*
+    /// [`Event::WorkerFailed`] with this round/reason and then die the
+    /// way its transport dies (thread return / process exit). Only
+    /// constructed when fault injection is compiled in.
+    #[cfg_attr(not(any(test, feature = "fault-inject")), allow(dead_code))]
+    Died { round: u64, reason: String },
+}
+
+/// One worker's complete state, independent of how commands arrive.
+pub(crate) struct WorkerState {
     worker: usize,
     node: usize,
-    mut collector: Collector,
-    mut policy: ActorCritic,
-    commands: Receiver<Command>,
-    events: Sender<Event>,
+    collector: Collector,
+    policy: ActorCritic,
     ctx: WorkerCtx,
-) {
-    while let Ok(cmd) = commands.recv() {
+}
+
+impl WorkerState {
+    pub(crate) fn new(
+        worker: usize,
+        node: usize,
+        collector: Collector,
+        policy: ActorCritic,
+        ctx: WorkerCtx,
+    ) -> Self {
+        Self { worker, node, collector, policy, ctx }
+    }
+
+    /// Process one command, emitting events through `emit` (which
+    /// returns `false` when the driver is unreachable).
+    pub(crate) fn handle(
+        &mut self,
+        cmd: Command,
+        emit: &mut dyn FnMut(Event) -> bool,
+    ) -> Flow {
+        let worker = self.worker;
         match cmd {
             Command::Collect { round, steps, mut rng } => {
-                if let Some(delay) = ctx.stagger {
+                if let Some(delay) = self.ctx.stagger {
                     std::thread::sleep(delay);
                 }
                 #[cfg(any(test, feature = "fault-inject"))]
-                let fault = ctx.injected(worker, round);
+                let fault = self.ctx.injected(worker, round);
                 #[cfg(any(test, feature = "fault-inject"))]
                 match fault {
                     Some(FaultKind::Slow { millis }) | Some(FaultKind::Hang { millis }) => {
@@ -113,55 +151,81 @@ pub(super) fn worker_loop(
                         std::thread::sleep(Duration::from_millis(millis));
                     }
                     Some(FaultKind::Crash) => {
-                        let _ = events.send(Event::WorkerFailed {
-                            worker,
+                        return Flow::Died {
                             round,
                             reason: format!("injected crash in round {round}"),
-                            fatal: true,
-                        });
-                        return; // the thread dies: only a respawn recovers it
+                        };
                     }
                     Some(FaultKind::Panic) | None => {}
                 }
+                let collector = &mut self.collector;
+                let policy = &self.policy;
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     #[cfg(any(test, feature = "fault-inject"))]
                     if matches!(fault, Some(FaultKind::Panic)) {
                         panic!("injected panic in round {round}");
                     }
-                    collector.collect(&policy, steps, &mut rng)
+                    collector.collect(policy, steps, rng.rng_mut())
                 }));
                 match result {
                     Ok(segment) => {
                         let ev = Event::SegmentReady {
                             worker,
-                            node,
+                            node: self.node,
                             round,
                             segment: Box::new(segment),
                             rng,
                         };
-                        if events.send(ev).is_err() {
-                            break; // driver gone
+                        if !emit(ev) {
+                            return Flow::Exit; // driver gone
                         }
                     }
                     Err(payload) => {
                         // Contained: reset to a known-good state and keep
                         // serving. The driver may retry this round.
                         let reason = panic_text(payload.as_ref());
-                        collector.reset();
+                        self.collector.reset();
                         let failed = Event::WorkerFailed { worker, round, reason, fatal: false };
-                        if events.send(failed).is_err() {
-                            break;
+                        if !emit(failed) {
+                            return Flow::Exit;
                         }
                     }
                 }
+                Flow::Continue
             }
             Command::UpdateWeights { round, policy: fresh } => {
-                policy.copy_params_from(&fresh);
-                if events.send(Event::Heartbeat { worker, round }).is_err() {
-                    break;
+                self.policy.copy_params_from(&fresh);
+                if !emit(Event::Heartbeat { worker, round }) {
+                    return Flow::Exit;
                 }
+                Flow::Continue
             }
-            Command::Shutdown => break,
+            Command::Shutdown => Flow::Exit,
+        }
+    }
+}
+
+/// The in-process worker loop: block on the command channel, feed the
+/// state machine, forward events over the mpsc sender. Runs until
+/// [`Command::Shutdown`] or a dropped channel.
+pub(crate) fn worker_loop(
+    worker: usize,
+    node: usize,
+    collector: Collector,
+    policy: ActorCritic,
+    commands: Receiver<Command>,
+    events: Sender<Event>,
+    ctx: WorkerCtx,
+) {
+    let mut state = WorkerState::new(worker, node, collector, policy, ctx);
+    while let Ok(cmd) = commands.recv() {
+        match state.handle(cmd, &mut |ev| events.send(ev).is_ok()) {
+            Flow::Continue => {}
+            Flow::Exit => break,
+            Flow::Died { round, reason } => {
+                let _ = events.send(Event::WorkerFailed { worker, round, reason, fatal: true });
+                return; // the thread dies: only a respawn recovers it
+            }
         }
     }
 }

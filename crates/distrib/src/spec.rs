@@ -63,6 +63,12 @@ pub struct ExecSpec {
     /// if they had every core to themselves.
     #[serde(default)]
     pub window: Option<usize>,
+    /// Transport override for the runtime, same grammar as the
+    /// `RLDT_TRANSPORT` environment variable (`inproc`, `uds`, `tcp`,
+    /// `tcp:<addr>`). `None` defers to the environment; malformed values
+    /// are rejected by [`ExecSpec::validate`].
+    #[serde(default)]
+    pub transport: Option<String>,
 }
 
 impl ExecSpec {
@@ -84,6 +90,7 @@ impl ExecSpec {
             sac: SacConfig::default(),
             fault: FaultPolicy::default(),
             window: None,
+            transport: None,
         }
     }
 
@@ -94,11 +101,33 @@ impl ExecSpec {
         self
     }
 
+    /// Request a specific transport (`inproc`, `uds`, `tcp`,
+    /// `tcp:<addr>`), overriding `RLDT_TRANSPORT`.
+    pub fn with_transport(mut self, transport: impl Into<String>) -> Self {
+        self.transport = Some(transport.into());
+        self
+    }
+
+    /// Resolve this spec's transport request: the explicit field when
+    /// set, else the `RLDT_TRANSPORT` environment variable.
+    pub fn transport_config(&self) -> crate::runtime::TransportConfig {
+        match &self.transport {
+            Some(s) => crate::runtime::TransportConfig::parse(s).unwrap_or_else(|e| {
+                eprintln!("spec transport ignored: {e}");
+                crate::runtime::TransportConfig::InProcess
+            }),
+            None => crate::runtime::TransportConfig::from_env(),
+        }
+    }
+
     /// Check deployment/framework consistency.
     pub fn validate(&self) -> Result<(), String> {
         self.deployment.validate(self.framework)?;
         if self.total_steps == 0 {
             return Err("total_steps must be positive".into());
+        }
+        if let Some(t) = &self.transport {
+            crate::runtime::TransportConfig::parse(t)?;
         }
         Ok(())
     }

@@ -23,8 +23,8 @@
 use cluster_sim::{ClusterSession, ClusterSpec, Usage};
 use dist_exec::backend::{run_recorded, EnvFactory, FnEnvFactory};
 use dist_exec::runtime::{
-    clear_plan, install_plan, Collector, FaultKind, FaultPlan, FaultPolicy, Runtime, RuntimeError,
-    WorkerSpec,
+    clear_plan, install_plan, Collector, FaultKind, FaultPlan, FaultPolicy, RngStream, Runtime,
+    RuntimeError, WorkerSpec,
 };
 use dist_exec::{train_impala, Deployment, ExecSpec, Framework, ImpalaOpts, NullObserver};
 use gymrs::envs::GridWorld;
@@ -109,6 +109,8 @@ fn run_target(target: Target, fault: FaultPolicy) -> Result<(Vec<u64>, bool), St
                 },
                 actor_sync_period: 2,
                 fault,
+                window: None,
+                transport: None,
             };
             let mut session =
                 ClusterSession::with_recorder(ClusterSpec::paper_testbed(2), ring.clone());
@@ -203,8 +205,8 @@ fn quarantined_merge_matches_a_smaller_clean_runtime() {
         let obs = env.reset();
         Collector::PerEnv { env: Box::new(env), obs }
     };
-    let rngs = |n: usize, round: u64| -> Vec<StdRng> {
-        (0..n).map(|w| StdRng::seed_from_u64(100 * round + w as u64)).collect()
+    let rngs = |n: usize, round: u64| -> Vec<RngStream> {
+        (0..n).map(|w| RngStream::fresh(100 * round + w as u64)).collect()
     };
 
     install_plan(lethal_plan(2, 0));
