@@ -1,0 +1,157 @@
+//! Distribution-first metrics costs: what quantiles, CVaR and seeded
+//! bootstrap confidence intervals cost as sample counts and resample
+//! budgets grow.
+//!
+//! Besides the criterion group, running this bench writes
+//! `BENCH_metrics.json` at the workspace root: a `samples × resamples ×
+//! alpha` sweep where every row records the point estimate, dispersion,
+//! CVaR tails and the bootstrap CI bounds. Every number in the file is a
+//! pure function of the seeds below — rerunning the bench reproduces it
+//! byte for byte (timings live only in the criterion output). Set
+//! `BENCH_SMOKE=1` to shrink the sweep for CI.
+
+use criterion::{criterion_group, Criterion};
+use decision::prelude::*;
+use std::hint::black_box;
+
+/// Deterministic synthetic returns: a seeded SplitMix64 stream shaped
+/// into a right-skewed mixture (mostly moderate outcomes, a thin tail of
+/// failures) so the CVaR tail differs visibly from the mean.
+fn synthetic_returns(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    (0..n)
+        .map(|_| {
+            let u = next();
+            let v = next();
+            if u < 0.1 {
+                -40.0 - 30.0 * v // crash tail
+            } else {
+                8.0 + 6.0 * v // nominal outcome
+            }
+        })
+        .collect()
+}
+
+/// Two synthetic configurations whose mean and CVaR orderings disagree:
+/// a high-mean/heavy-tail gambler vs. a slightly-lower-mean steady one.
+fn front_fixture() -> Vec<Trial> {
+    let gambler = Distribution::from_samples(vec![-20.0, 9.0, 10.0, 11.0, 40.0]);
+    let steady = Distribution::from_samples(vec![8.0, 9.0, 9.0, 9.0, 9.0]);
+    [gambler, steady]
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let mut m = MetricValues::new()
+                .with_key(metric_keys::REWARD, d.mean())
+                .with_key(metric_keys::TIME_MIN, 50.0);
+            m.set_distribution_key(metric_keys::REWARD, d);
+            Trial::complete(i, Configuration::new().with("id", ParamValue::Int(i as i64)), m)
+        })
+        .collect()
+}
+
+fn emit_metrics_sweep() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let sample_counts: &[usize] = if smoke { &[64, 256] } else { &[64, 256, 1024, 4096] };
+    let resample_counts: &[usize] = if smoke { &[50] } else { &[50, 200, 1000] };
+    let alphas = [0.05f64, 0.25];
+
+    let mut results = Vec::new();
+    for &n in sample_counts {
+        let d = Distribution::from_samples(synthetic_returns(7, n));
+        for &resamples in resample_counts {
+            for &alpha in &alphas {
+                let spec = BootstrapSpec { level: 0.95, resamples, seed: 0x5EED };
+                let ci = d.bootstrap_ci(&spec);
+                results.push(serde_json::json!({
+                    "samples": n,
+                    "resamples": resamples,
+                    "alpha": alpha,
+                    "mean": d.mean(),
+                    "std": d.std(),
+                    "iqr": d.iqr(),
+                    "cvar_lower": d.cvar_lower(alpha),
+                    "cvar_upper": d.cvar_upper(alpha),
+                    "ci_level": spec.level,
+                    "ci_lo": ci.lo,
+                    "ci_hi": ci.hi,
+                }));
+            }
+        }
+    }
+
+    // The risk-ranking demonstration: the same two trials, ranked by mean
+    // and by CVaR(0.2), give different Pareto fronts.
+    let trials = front_fixture();
+    let mean_front = RankSpec::pareto()
+        .metric(MetricDef::maximize_key(metric_keys::REWARD))
+        .metric(MetricDef::minimize_key(metric_keys::TIME_MIN))
+        .rank(&trials)
+        .front;
+    let cvar_front = RankSpec::pareto()
+        .metric(MetricDef::maximize_key(metric_keys::REWARD).with_risk(Risk::Cvar(0.2)))
+        .metric(MetricDef::minimize_key(metric_keys::TIME_MIN))
+        .rank(&trials)
+        .front;
+    assert_ne!(mean_front, cvar_front, "risk must reorder the fixture");
+
+    let report = serde_json::json!({
+        "bench": "metrics_sweep",
+        "unit": "dimensionless (no timings: file is byte-reproducible)",
+        "notes": "synthetic right-skewed returns, seed 7; bootstrap seed 0x5EED; \
+                  fronts index the two-trial gambler-vs-steady fixture",
+        "mean_pareto_front": mean_front,
+        "cvar_pareto_front": cvar_front,
+        "results": results,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_metrics.json");
+    let body = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Err(e) = std::fs::write(path, body + "\n") {
+        eprintln!("BENCH_metrics.json not written: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(20);
+    let d = Distribution::from_samples(synthetic_returns(7, 1024));
+    group.bench_function("quantile_1024", |b| {
+        b.iter(|| black_box(d.quantile(black_box(0.25))));
+    });
+    group.bench_function("cvar_1024", |b| {
+        b.iter(|| black_box(d.cvar_lower(black_box(0.05))));
+    });
+    let spec = BootstrapSpec { level: 0.95, resamples: 200, seed: 0x5EED };
+    group.bench_function("bootstrap_ci_1024x200", |b| {
+        b.iter(|| black_box(d.bootstrap_ci(black_box(&spec))));
+    });
+    let trials = front_fixture();
+    let cvar_spec = RankSpec::pareto()
+        .metric(MetricDef::maximize_key(metric_keys::REWARD).with_risk(Risk::Cvar(0.2)))
+        .metric(MetricDef::minimize_key(metric_keys::TIME_MIN));
+    group.bench_function("cvar_pareto_2", |b| {
+        b.iter(|| black_box(cvar_spec.rank(black_box(&trials))));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_metrics
+}
+
+fn main() {
+    emit_metrics_sweep();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

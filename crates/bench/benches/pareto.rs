@@ -3,7 +3,6 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use decision::prelude::*;
-use decision::rank::hypervolume_2d;
 use decision::rank::pareto::non_dominated_ranks;
 use std::hint::black_box;
 
@@ -59,9 +58,13 @@ fn bench_nds(c: &mut Criterion) {
 
 fn bench_hypervolume(c: &mut Criterion) {
     let trials = make_trials(200);
-    let (mx, my) = (MetricDef::maximize("reward"), MetricDef::minimize("time_min"));
+    let hv = Hypervolume::new(
+        MetricDef::maximize("reward"),
+        MetricDef::minimize("time_min"),
+        (-2.0, 200.0),
+    );
     c.bench_function("hypervolume_2d_200", |b| {
-        b.iter(|| black_box(hypervolume_2d(&trials, &mx, &my, (-2.0, 200.0))));
+        b.iter(|| black_box(hv.value(&trials)));
     });
 }
 

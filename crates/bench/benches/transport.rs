@@ -152,9 +152,7 @@ fn emit_transport_sweep() {
 fn bench_transports(c: &mut Criterion) {
     let mut group = c.benchmark_group("transport_round_loop");
     group.sample_size(10);
-    for (name, config) in
-        [("inproc", TransportConfig::InProcess), ("uds", TransportConfig::Uds)]
-    {
+    for (name, config) in [("inproc", TransportConfig::InProcess), ("uds", TransportConfig::Uds)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
             b.iter(|| black_box(run_once(config.clone(), 2, 64).stats.frames_in));
         });

@@ -14,7 +14,6 @@
 use bench::calibration::{predicted_kilojoules, predicted_minutes};
 use bench::paper::PaperRow;
 use decision::prelude::*;
-use decision::rank::hypervolume_2d;
 use rl_algos::Algorithm;
 
 /// Reward surrogate with the paper's couplings: higher RK order helps,
@@ -64,10 +63,11 @@ fn mean_hypervolume(make: impl Fn() -> Box<dyn Explorer>, seeds: u64) -> (f64, f
     let mx = MetricDef::maximize_key(metric_keys::REWARD);
     let my = MetricDef::minimize_key(metric_keys::TIME_MIN);
     let reference = (-3.0, 400.0); // worse than any surrogate outcome
+    let hv = Hypervolume::new(mx, my, reference);
     let mut hvs = Vec::new();
     for seed in 0..seeds {
         let trials = run_study(make(), seed);
-        hvs.push(hypervolume_2d(&trials, &mx, &my, reference));
+        hvs.push(hv.value(&trials));
     }
     let mean = hvs.iter().sum::<f64>() / hvs.len() as f64;
     let var = hvs.iter().map(|h| (h - mean).powi(2)).sum::<f64>() / hvs.len() as f64;
@@ -133,11 +133,11 @@ fn main() {
             )
         })
         .collect();
-    let hv = hypervolume_2d(
-        &paper_trials,
-        &MetricDef::maximize_key(metric_keys::REWARD),
-        &MetricDef::minimize_key(metric_keys::TIME_MIN),
+    let hv = Hypervolume::new(
+        MetricDef::maximize_key(metric_keys::REWARD),
+        MetricDef::minimize_key(metric_keys::TIME_MIN),
         (-3.0, 400.0),
-    );
+    )
+    .value(&paper_trials);
     println!("\nTable I's actual 18 draws score {hv:.1} on the same surrogate.");
 }

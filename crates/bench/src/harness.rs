@@ -253,6 +253,10 @@ pub fn run_row_with(
     let mut bytes_last = 0.0;
     let mut degraded_sum = 0.0;
     let mut rewards = Vec::with_capacity(opts.replicas);
+    let mut times = Vec::with_capacity(opts.replicas);
+    let mut powers = Vec::with_capacity(opts.replicas);
+    let mut pooled_eval: Vec<f64> = Vec::new();
+    let mut iter_curve: Option<Distribution> = None;
     let mut ran = 0usize;
     for k in 0..opts.replicas {
         let m = match ctx.as_deref_mut() {
@@ -268,12 +272,25 @@ pub fn run_row_with(
         let r = m.get_key(metric_keys::REWARD).unwrap_or(f64::NAN);
         rewards.push(r);
         reward_sum += r;
-        time_sum += m.get_key(metric_keys::TIME_MIN).unwrap_or(0.0);
-        power_sum += m.get_key(metric_keys::POWER_KJ).unwrap_or(0.0);
+        let t = m.get_key(metric_keys::TIME_MIN).unwrap_or(0.0);
+        times.push(t);
+        time_sum += t;
+        let p = m.get_key(metric_keys::POWER_KJ).unwrap_or(0.0);
+        powers.push(p);
+        power_sum += p;
         raw_minutes += m.get_key(metric_keys::RAW_MINUTES).unwrap_or(0.0);
         env_steps_last = m.get_key(metric_keys::ENV_STEPS).unwrap_or(0.0);
         bytes_last = m.get_key(metric_keys::BYTES_MOVED).unwrap_or(0.0);
         degraded_sum += m.get_key(metric_keys::DEGRADED).unwrap_or(0.0);
+        if let Some(d) = m.distribution_key(metric_keys::REWARD) {
+            pooled_eval.extend_from_slice(d.samples());
+        }
+        if k == 0 {
+            // Replica 0's learning curve only: concatenating replicas
+            // would fabricate drawdowns at the seams, and it is the same
+            // replica whose curve fed the pruner.
+            iter_curve = m.distribution_key(metric_keys::REWARD_ITER).cloned();
+        }
         if ctx.as_ref().is_some_and(|c| c.is_pruned()) {
             break;
         }
@@ -281,15 +298,28 @@ pub fn run_row_with(
     let n = ran as f64;
     let mean_reward = reward_sum / n;
     let reward_std = (rewards.iter().map(|r| (r - mean_reward).powi(2)).sum::<f64>() / n).sqrt();
-    Ok(MetricValues::new()
+    let eval_dist = Distribution::from_samples(pooled_eval);
+    let mut m = MetricValues::new()
         .with_key(metric_keys::REWARD, mean_reward)
         .with_key(metric_keys::REWARD_STD, reward_std)
+        .with_key(metric_keys::REWARD_STD_EPISODES, eval_dist.std())
         .with_key(metric_keys::TIME_MIN, time_sum / n)
         .with_key(metric_keys::POWER_KJ, power_sum / n)
         .with_key(metric_keys::RAW_MINUTES, raw_minutes / n)
         .with_key(metric_keys::ENV_STEPS, env_steps_last)
         .with_key(metric_keys::BYTES_MOVED, bytes_last)
-        .with_key(metric_keys::DEGRADED, degraded_sum / n))
+        .with_key(metric_keys::DEGRADED, degraded_sum / n);
+    // Evidence behind the scalars: pooled greedy-evaluation returns for
+    // the reward, per-replica spreads for time/power, and replica 0's
+    // per-iteration reward stream for learning-curve risk (drawdown).
+    m.set_distribution_key(metric_keys::REWARD, eval_dist);
+    m.set_distribution_key(metric_keys::TIME_MIN, Distribution::from_samples(times));
+    m.set_distribution_key(metric_keys::POWER_KJ, Distribution::from_samples(powers));
+    if let Some(curve) = iter_curve {
+        m.set_key(metric_keys::REWARD_ITER, curve.mean());
+        m.set_distribution_key(metric_keys::REWARD_ITER, curve);
+    }
+    Ok(m)
 }
 
 /// One training replica of a row.
@@ -329,22 +359,40 @@ fn run_row_once(
     let env_steps = snap.counter(dist_exec::keys::ENV_STEPS.name()).unwrap_or(report.env_steps);
 
     // Score on the reference dynamics with identical drops for every row.
+    // `evaluate_episodes` accumulates the mean in the same order the
+    // scalar `evaluate` did (bitwise-identical reward) while keeping the
+    // per-episode returns for the distribution-first metrics.
     let mut eval_env = AirdropEnv::new(eval_env_config(opts));
     eval_env.seed(opts.seed.wrapping_add(999));
-    let reward = report.model.evaluate(&mut eval_env, opts.eval_episodes, 100_000);
+    let (reward, eval_returns) =
+        report.model.evaluate_episodes(&mut eval_env, opts.eval_episodes, 100_000);
+
+    // The per-iteration training reward stream (the same tail means the
+    // pruner sees), in iteration order for drawdown statistics.
+    let iter_returns: Vec<f64> = snap
+        .events_named(dist_exec::keys::TRIAL_ITERATION.name())
+        .filter_map(|e| e.field_f64(dist_exec::keys::F_MEAN_RETURN.name()))
+        .collect();
+    let iter_dist = Distribution::from_samples(iter_returns);
 
     // Backends round the budget up to whole rollout batches; extrapolate
     // from the steps actually executed so the 200k-step projection is
     // unbiased.
     let scale = PAPER_STEPS as f64 / env_steps.max(1) as f64;
-    Ok(MetricValues::new()
+    let mut m = MetricValues::new()
         .with_key(metric_keys::REWARD, reward)
         .with_key(metric_keys::TIME_MIN, usage.minutes() * scale)
         .with_key(metric_keys::POWER_KJ, usage.kilojoules() * scale)
         .with_key(metric_keys::RAW_MINUTES, usage.minutes())
         .with_key(metric_keys::ENV_STEPS, env_steps as f64)
         .with_key(metric_keys::BYTES_MOVED, usage.bytes_moved as f64)
-        .with_key(metric_keys::DEGRADED, if report.degraded { 1.0 } else { 0.0 }))
+        .with_key(metric_keys::DEGRADED, if report.degraded { 1.0 } else { 0.0 });
+    m.set_distribution_key(metric_keys::REWARD, Distribution::from_samples(eval_returns));
+    if !iter_dist.is_empty() {
+        m.set_key(metric_keys::REWARD_ITER, iter_dist.mean());
+        m.set_distribution_key(metric_keys::REWARD_ITER, iter_dist);
+    }
+    Ok(m)
 }
 
 /// Run the full Table I study (or the `--only` subset) through the
@@ -497,10 +545,21 @@ mod tests {
         let opts = HarnessOpts::smoke();
         let row = TABLE1.iter().find(|r| r.id == 16).unwrap();
         let metrics = run_row(row, &opts).expect("row runs");
-        assert!(metrics.get("reward").unwrap().is_finite());
-        assert!(metrics.get("time_min").unwrap() > 0.0);
-        assert!(metrics.get("power_kj").unwrap() > 0.0);
-        assert!(metrics.get("env_steps").unwrap() as usize >= opts.steps);
+        assert!(metrics.get_key(metric_keys::REWARD).unwrap().is_finite());
+        assert!(metrics.get_key(metric_keys::TIME_MIN).unwrap() > 0.0);
+        assert!(metrics.get_key(metric_keys::POWER_KJ).unwrap() > 0.0);
+        assert!(metrics.get_key(metric_keys::ENV_STEPS).unwrap() as usize >= opts.steps);
+        // Distribution-first evidence rides along with the scalars.
+        let eval = metrics.distribution_key(metric_keys::REWARD).expect("eval returns attached");
+        assert!(!eval.is_empty());
+        let curve =
+            metrics.distribution_key(metric_keys::REWARD_ITER).expect("learning curve attached");
+        assert!(!curve.is_empty());
+        // One replica: the replica-mean spread is exactly zero, while the
+        // per-episode spread is the pooled distribution's own std.
+        assert_eq!(metrics.get_key(metric_keys::REWARD_STD), Some(0.0));
+        let std_eps = metrics.get_key(metric_keys::REWARD_STD_EPISODES).unwrap();
+        assert_eq!(std_eps.to_bits(), eval.std().to_bits(), "std recomputed from the evidence");
     }
 
     #[test]
@@ -532,7 +591,7 @@ mod tests {
         assert_eq!(trials.len(), 1);
         assert_eq!(trials[0].status, TrialStatus::Pruned);
         assert!(!trials[0].intermediate.is_empty(), "bridge must report iterations");
-        let steps = trials[0].metrics.get("env_steps").unwrap_or(f64::NAN);
+        let steps = trials[0].metrics.get_key(metric_keys::ENV_STEPS).unwrap_or(f64::NAN);
         assert!(
             steps < opts.steps as f64,
             "pruned trial ran {steps} steps, expected fewer than {}",
@@ -548,7 +607,7 @@ mod tests {
         let hi = run_row(TABLE1.iter().find(|r| r.id == 17).unwrap(), &opts).unwrap();
         // 14: SB PPO RK3 2 cores; 17: SB PPO RK8 2 cores.
         assert!(
-            hi.get("time_min").unwrap() > lo.get("time_min").unwrap(),
+            hi.get_key(metric_keys::TIME_MIN).unwrap() > lo.get_key(metric_keys::TIME_MIN).unwrap(),
             "RK8 must cost more simulated time than RK3"
         );
     }

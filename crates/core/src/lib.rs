@@ -10,8 +10,8 @@
 //! | (a) the case study | the user's objective function (see [`study`]) |
 //! | (b) learning configurations | [`param`], [`space`] — typed parameter spaces, split into environment-dependent and -independent parameters |
 //! | (c) exploratory method | [`explore`] — Random Search, Grid Search, a TPE-like sampler, plus Optuna-style pruning ([`pruner`]) |
-//! | (d) evaluation metrics | [`metrics`] — named metrics with optimization directions |
-//! | (e) ranking method | [`rank`] — Pareto fronts (with crowding distance and 2-D hypervolume), sorted arrays, weighted sums |
+//! | (d) evaluation metrics | [`metrics`] — named metrics with optimization directions, each optionally carrying a per-trial sample [`distribution`] read through a [`metrics::Risk`] spec (mean, CVaR, bootstrap-CI bound) |
+//! | (e) ranking method | [`rank`] — Pareto fronts (with crowding distance and 2-D hypervolume), sorted arrays, weighted sums, unified behind [`rank::RankSpec`] with risk-aware and CI-gated variants |
 //!
 //! [`study::Study`] wires the stages together and journals every trial to
 //! disk ([`storage`]); [`report`] renders Table-I-style ASCII tables, CSV,
@@ -47,6 +47,7 @@
 pub mod analysis;
 pub mod cache;
 pub mod constraint;
+pub mod distribution;
 pub mod explore;
 pub mod manifest;
 pub mod metrics;
@@ -66,12 +67,17 @@ pub mod prelude {
     pub use crate::analysis::{all_effects, ParamEffect};
     pub use crate::cache::{CachedOutcome, TrialCache};
     pub use crate::constraint::{Constraint, ConstraintSet};
+    pub use crate::distribution::{BootstrapSpec, Ci, Distribution};
     pub use crate::explore::{Explorer, GridSearch, PresetList, RandomSearch, TpeLite};
-    pub use crate::metrics::{keys as metric_keys, Direction, MetricDef, MetricKey, MetricValues};
+    pub use crate::metrics::{
+        keys as metric_keys, Direction, MetricDef, MetricKey, MetricSample, MetricValues, Risk,
+    };
     pub use crate::param::{Domain, ParamDef, ParamKind, ParamValue};
     pub use crate::pruner::{MedianPruner, NopPruner, Pruner};
+    pub use crate::rank::hypervolume::Hypervolume;
     pub use crate::rank::pareto::ParetoFront;
     pub use crate::rank::sorted::SortedRanking;
+    pub use crate::rank::spec::{RankSpec, Ranker, Ranking};
     pub use crate::rank::weighted::WeightedSum;
     pub use crate::server::{server_keys, StudyOutcome, StudyServer};
     pub use crate::space::ParamSpace;

@@ -35,7 +35,7 @@
 //! ```
 
 use crate::explore::{Explorer, GridSearch, RandomSearch, TpeLite};
-use crate::metrics::{Direction, MetricDef, MetricValues};
+use crate::metrics::{Direction, MetricDef, MetricValues, Risk};
 use crate::param::{Domain, ParamKind, ParamValue};
 use crate::pruner::{MedianPruner, NopPruner};
 use crate::space::ParamSpace;
@@ -212,6 +212,32 @@ pub struct MetricSpec {
     pub name: String,
     /// Optimization direction.
     pub direction: DirectionSpec,
+    /// Optional risk reading (`{"cvar": 0.1}` or `{"lower_ci": 0.95}`);
+    /// omitted = the legacy scalar mean.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub risk: Option<RiskSpec>,
+}
+
+/// Risk reading in manifest form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RiskSpec {
+    /// Rank by the scalar mean (the default when the field is omitted).
+    Mean,
+    /// Rank by CVaR at the given tail mass.
+    Cvar(f64),
+    /// Rank by the pessimistic bootstrap-CI endpoint at the given level.
+    LowerCi(f64),
+}
+
+impl From<RiskSpec> for Risk {
+    fn from(r: RiskSpec) -> Self {
+        match r {
+            RiskSpec::Mean => Risk::Mean,
+            RiskSpec::Cvar(a) => Risk::Cvar(a),
+            RiskSpec::LowerCi(l) => Risk::LowerCi(l),
+        }
+    }
 }
 
 /// Pruner selection.
@@ -316,8 +342,11 @@ impl StudyManifest {
             Study::builder(self.name.clone()).space(space).seed(self.seed).objective(objective);
         builder = builder.explorer_boxed(explorer);
         for m in &self.metrics {
-            builder =
-                builder.metric(MetricDef { name: m.name.clone(), direction: m.direction.into() });
+            builder = builder.metric(MetricDef {
+                name: m.name.clone(),
+                direction: m.direction.into(),
+                risk: m.risk.map(Into::into).unwrap_or_default(),
+            });
         }
         match self.pruner {
             PrunerSpec::None => builder = builder.pruner(NopPruner),

@@ -4,10 +4,23 @@
 //! has a name and an optimization [`Direction`]; the study collects one
 //! value per metric per trial, and the ranking stage interprets them
 //! through their directions.
+//!
+//! ## Distribution-first evaluation
+//!
+//! Each metric value may carry a full per-trial [`Distribution`] next to
+//! its scalar: the scalar stays exactly what the legacy path computed
+//! (so Table I and the WAL reproduce bitwise), while the distribution
+//! feeds dispersion (IQR), tail risk (CVaR, drawdown) and bootstrap
+//! confidence intervals. A [`MetricDef`] optionally names a [`Risk`]
+//! spec; the ranking stage then reads trials through
+//! [`MetricValues::risk_value`], which degrades gracefully to the scalar
+//! when no distribution was recorded.
 
+use crate::distribution::{BootstrapSpec, Ci, Distribution};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A typed metric name: a newtype over `&'static str` shared by metric
 /// definitions, per-trial [`MetricValues`] and the telemetry rollup, so
@@ -58,6 +71,17 @@ pub mod keys {
     /// quarantined mid-trial and the survivors absorbed its share):
     /// 0.0 = every replica ran on the full worker set.
     pub const DEGRADED: MetricKey = MetricKey("degraded");
+
+    /// Std-dev of the pooled per-episode evaluation returns (the std of
+    /// the stored [`super::keys::REWARD`] distribution). Distinct from
+    /// [`REWARD_STD`], which Table I uses: that one is the spread of the
+    /// per-replica *mean* rewards (0.0 for single-replica rows).
+    pub const REWARD_STD_EPISODES: MetricKey = MetricKey("reward_std_episodes");
+
+    /// Mean of the per-iteration training reward stream (replica 0's
+    /// `driver.iteration` telemetry events); its distribution carries the
+    /// learning-curve dispersion and max drawdown.
+    pub const REWARD_ITER: MetricKey = MetricKey("reward_iter");
 }
 
 /// Whether larger or smaller values are better.
@@ -95,6 +119,57 @@ impl Direction {
     }
 }
 
+/// How the ranking stage reads a metric's per-trial evidence.
+///
+/// `Mean` reproduces the legacy scalar path bit-for-bit: it reads the
+/// stored scalar, never the distribution, so existing studies rank
+/// identically. The risk-sensitive variants consult the trial's
+/// [`Distribution`] (falling back to the scalar when none was recorded)
+/// and always resolve toward the *pessimistic* side of the metric's
+/// [`Direction`]: the lower tail / CI bound for `Maximize`, the upper
+/// for `Minimize`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum Risk {
+    /// Rank by the stored scalar mean (legacy behaviour; the default).
+    #[default]
+    Mean,
+    /// Rank by CVaR at the given tail mass `alpha` in `(0, 1]`:
+    /// the mean of the worst `alpha`-fraction of samples.
+    Cvar(f64),
+    /// Rank by the pessimistic endpoint of a bootstrap confidence
+    /// interval at the given `level` in `(0, 1)`.
+    LowerCi(f64),
+}
+
+impl Risk {
+    /// True for the legacy scalar-mean reading (used to elide the
+    /// field from serialized metric definitions).
+    pub fn is_mean(&self) -> bool {
+        matches!(self, Risk::Mean)
+    }
+}
+
+// `Cvar`/`LowerCi` carry parameters that are always finite, user-chosen
+// constants, so bit-level equality is the right equivalence and `Risk`
+// can participate in `MetricDef`'s derived `Eq`/`Hash`.
+impl Eq for Risk {}
+
+impl Hash for Risk {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Risk::Mean => 0u8.hash(state),
+            Risk::Cvar(a) => {
+                1u8.hash(state);
+                a.to_bits().hash(state);
+            }
+            Risk::LowerCi(l) => {
+                2u8.hash(state);
+                l.to_bits().hash(state);
+            }
+        }
+    }
+}
+
 /// A named metric with an optimization direction.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MetricDef {
@@ -102,17 +177,28 @@ pub struct MetricDef {
     pub name: String,
     /// Optimization direction.
     pub direction: Direction,
+    /// How ranking reads this metric's evidence (defaults to the
+    /// legacy scalar mean).
+    #[serde(default, skip_serializing_if = "Risk::is_mean")]
+    pub risk: Risk,
 }
 
 impl MetricDef {
     /// A metric to maximize.
     pub fn maximize(name: impl Into<String>) -> Self {
-        Self { name: name.into(), direction: Direction::Maximize }
+        Self { name: name.into(), direction: Direction::Maximize, risk: Risk::Mean }
     }
 
     /// A metric to minimize.
     pub fn minimize(name: impl Into<String>) -> Self {
-        Self { name: name.into(), direction: Direction::Minimize }
+        Self { name: name.into(), direction: Direction::Minimize, risk: Risk::Mean }
+    }
+
+    /// Builder-style risk spec: the same metric read through CVaR or a
+    /// bootstrap CI bound instead of the scalar mean.
+    pub fn with_risk(mut self, risk: Risk) -> Self {
+        self.risk = risk;
+        self
     }
 
     /// A typed-key metric to maximize.
@@ -135,10 +221,57 @@ impl MetricDef {
     }
 }
 
+/// One metric's evidence for one trial: the scalar that Table I and the
+/// WAL record, plus the sample distribution behind it when the trial
+/// captured one.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSample<'a> {
+    /// The legacy scalar value (exactly what the scalar path stored).
+    pub value: f64,
+    /// The per-trial sample distribution, when recorded.
+    pub distribution: Option<&'a Distribution>,
+}
+
+impl MetricSample<'_> {
+    /// Read this sample through a risk spec (see [`MetricValues::risk_value`]).
+    pub fn risk_value(&self, direction: Direction, risk: Risk, spec: &BootstrapSpec) -> f64 {
+        let dist = match (risk, self.distribution) {
+            (Risk::Mean, _) | (_, None) => return self.value,
+            (_, Some(d)) if d.is_empty() => return self.value,
+            (_, Some(d)) => d,
+        };
+        match (risk, direction) {
+            (Risk::Mean, _) => self.value,
+            (Risk::Cvar(alpha), Direction::Maximize) => dist.cvar_lower(alpha),
+            (Risk::Cvar(alpha), Direction::Minimize) => dist.cvar_upper(alpha),
+            (Risk::LowerCi(level), dir) => {
+                let ci = dist.bootstrap_ci(&BootstrapSpec { level, ..*spec });
+                match dir {
+                    Direction::Maximize => ci.lo,
+                    Direction::Minimize => ci.hi,
+                }
+            }
+        }
+    }
+
+    /// Bootstrap CI of the sample mean, when a distribution is present.
+    pub fn ci(&self, spec: &BootstrapSpec) -> Option<Ci> {
+        self.distribution.filter(|d| !d.is_empty()).map(|d| d.bootstrap_ci(spec))
+    }
+}
+
 /// Metric values collected for one trial.
+///
+/// Scalars live in their own map with an unchanged serialized shape, so
+/// every existing study journal, rollup and report reproduces bitwise;
+/// distributions ride in a separate side table that is skipped when
+/// empty and journaled by the WAL as separate `d.`-prefixed fields
+/// (see `wal::push_metrics`), leaving the legacy `m.` fields untouched.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricValues {
     values: BTreeMap<String, f64>,
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    dists: BTreeMap<String, Distribution>,
 }
 
 impl MetricValues {
@@ -178,6 +311,55 @@ impl MetricValues {
         self.get(key.name())
     }
 
+    /// Attach a sample distribution to a metric. The scalar stored under
+    /// the same name is left untouched — the distribution is evidence
+    /// *about* the scalar, not a replacement for it.
+    pub fn set_distribution(&mut self, name: impl Into<String>, dist: Distribution) {
+        self.dists.insert(name.into(), dist);
+    }
+
+    /// Builder-style [`Self::set_distribution`].
+    pub fn with_distribution(mut self, name: impl Into<String>, dist: Distribution) -> Self {
+        self.set_distribution(name, dist);
+        self
+    }
+
+    /// Attach a distribution under a typed key.
+    pub fn set_distribution_key(&mut self, key: MetricKey, dist: Distribution) {
+        self.set_distribution(key.name(), dist);
+    }
+
+    /// The sample distribution recorded for a metric, if any.
+    pub fn distribution(&self, name: &str) -> Option<&Distribution> {
+        self.dists.get(name)
+    }
+
+    /// [`Self::distribution`] under a typed key.
+    pub fn distribution_key(&self, key: MetricKey) -> Option<&Distribution> {
+        self.distribution(key.name())
+    }
+
+    /// Scalar + distribution view of one metric (`None` when not even a
+    /// scalar was recorded).
+    pub fn sample(&self, name: &str) -> Option<MetricSample<'_>> {
+        self.get(name).map(|value| MetricSample { value, distribution: self.dists.get(name) })
+    }
+
+    /// [`Self::sample`] under a typed key.
+    pub fn sample_key(&self, key: MetricKey) -> Option<MetricSample<'_>> {
+        self.sample(key.name())
+    }
+
+    /// Read one metric through its definition's [`Risk`] spec.
+    ///
+    /// `Risk::Mean` returns the stored scalar unchanged (bit-for-bit the
+    /// legacy ranking input). The risk-sensitive variants consult the
+    /// distribution and degrade gracefully to the scalar when the trial
+    /// recorded none.
+    pub fn risk_value(&self, def: &MetricDef, spec: &BootstrapSpec) -> Option<f64> {
+        self.sample(&def.name).map(|s| s.risk_value(def.direction, def.risk, spec))
+    }
+
     /// Whether every given metric has a finite value here.
     pub fn covers(&self, metrics: &[MetricDef]) -> bool {
         metrics.iter().all(|m| self.get(&m.name).map(f64::is_finite).unwrap_or(false))
@@ -186,6 +368,11 @@ impl MetricValues {
     /// Iterate `(name, value)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate `(name, distribution)` in name order.
+    pub fn distributions(&self) -> impl Iterator<Item = (&str, &Distribution)> {
+        self.dists.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Number of values.
@@ -253,5 +440,84 @@ mod tests {
         assert_eq!(v.get_key(keys::TIME_MIN), Some(46.0));
         assert_eq!(keys::POWER_KJ.to_string(), "power_kj");
         assert_eq!(MetricDef::maximize_key(keys::REWARD), MetricDef::maximize("reward"));
+    }
+
+    fn grid_dist() -> Distribution {
+        (1..=100).map(f64::from).collect()
+    }
+
+    #[test]
+    fn risk_mean_reads_stored_scalar_not_distribution_mean() {
+        // The stored scalar deliberately disagrees with the distribution
+        // mean: Risk::Mean must return the scalar bit-for-bit.
+        let mut v = MetricValues::new().with_key(keys::REWARD, 7.25);
+        v.set_distribution_key(keys::REWARD, grid_dist());
+        let def = MetricDef::maximize_key(keys::REWARD);
+        let got = v.risk_value(&def, &BootstrapSpec::default()).unwrap();
+        assert_eq!(got.to_bits(), 7.25f64.to_bits());
+    }
+
+    #[test]
+    fn risk_cvar_orients_with_direction() {
+        let mut v = MetricValues::new().with_key(keys::REWARD, 50.5);
+        v.set_distribution_key(keys::REWARD, grid_dist());
+        let spec = BootstrapSpec::default();
+        let max = MetricDef::maximize_key(keys::REWARD).with_risk(Risk::Cvar(0.1));
+        assert_eq!(v.risk_value(&max, &spec), Some(5.5), "worst tail for maximize is low");
+        let min = MetricDef::minimize_key(keys::REWARD).with_risk(Risk::Cvar(0.1));
+        assert_eq!(v.risk_value(&min, &spec), Some(95.5), "worst tail for minimize is high");
+    }
+
+    #[test]
+    fn risk_lower_ci_orients_with_direction() {
+        let mut v = MetricValues::new().with_key(keys::REWARD, 50.5);
+        v.set_distribution_key(keys::REWARD, grid_dist());
+        let spec = BootstrapSpec::default();
+        let mean = grid_dist().mean();
+        let lo = v
+            .risk_value(
+                &MetricDef::maximize_key(keys::REWARD).with_risk(Risk::LowerCi(0.95)),
+                &spec,
+            )
+            .unwrap();
+        let hi = v
+            .risk_value(
+                &MetricDef::minimize_key(keys::REWARD).with_risk(Risk::LowerCi(0.95)),
+                &spec,
+            )
+            .unwrap();
+        assert!(lo < mean && mean < hi, "{lo} < {mean} < {hi}");
+    }
+
+    #[test]
+    fn risk_falls_back_to_scalar_without_distribution() {
+        let v = MetricValues::new().with_key(keys::TIME_MIN, 46.0);
+        let def = MetricDef::minimize_key(keys::TIME_MIN).with_risk(Risk::Cvar(0.25));
+        assert_eq!(v.risk_value(&def, &BootstrapSpec::default()), Some(46.0));
+        assert!(v.sample_key(keys::TIME_MIN).unwrap().distribution.is_none());
+        assert!(v.sample("absent").is_none());
+    }
+
+    #[test]
+    fn distribution_attach_keeps_scalar() {
+        let mut v = MetricValues::new().with_key(keys::REWARD, 1.5);
+        v.set_distribution_key(keys::REWARD, grid_dist());
+        assert_eq!(v.get_key(keys::REWARD), Some(1.5));
+        assert_eq!(v.distribution_key(keys::REWARD).unwrap().len(), 100);
+        assert_eq!(v.len(), 1, "distribution does not add a scalar entry");
+        let s = v.sample_key(keys::REWARD).unwrap();
+        assert!(s.ci(&BootstrapSpec::default()).is_some());
+    }
+
+    #[test]
+    fn risk_is_eq_and_hashable_by_bits() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(MetricDef::maximize("r").with_risk(Risk::Cvar(0.1)));
+        assert!(set.contains(&MetricDef::maximize("r").with_risk(Risk::Cvar(0.1))));
+        assert!(!set.contains(&MetricDef::maximize("r").with_risk(Risk::Cvar(0.2))));
+        assert!(!set.contains(&MetricDef::maximize("r")));
+        assert_eq!(Risk::default(), Risk::Mean);
+        assert!(Risk::Mean.is_mean() && !Risk::Cvar(0.1).is_mean());
     }
 }

@@ -4,63 +4,112 @@
 //! point) is the standard scalar measure of front quality; the ablation
 //! benches use it to compare exploratory methods.
 
+use crate::distribution::BootstrapSpec;
 use crate::metrics::MetricDef;
 use crate::trial::Trial;
 
-/// Exact hypervolume of the front of `trials` under two metrics, measured
-/// against `reference` (a point at least as bad as every trial on both
-/// metrics, given in raw metric units).
+/// Exact 2-D hypervolume of the front of a trial set, measured against a
+/// reference point (at least as bad as every trial on both metrics,
+/// given in raw metric units).
 ///
-/// Returns 0 when no trial is eligible. Trials worse than the reference
-/// on either metric contribute nothing.
+/// Metrics are read through their [`crate::metrics::Risk`] specs, so a
+/// `Cvar`/`LowerCi` def measures the volume of the *pessimistic* front;
+/// with the default `Risk::Mean` this is exactly the legacy
+/// [`hypervolume_2d`] value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypervolume {
+    x: MetricDef,
+    y: MetricDef,
+    reference: (f64, f64),
+    bootstrap: BootstrapSpec,
+}
+
+impl Hypervolume {
+    /// Indicator over two metrics against a reference point.
+    pub fn new(x: MetricDef, y: MetricDef, reference: (f64, f64)) -> Self {
+        Self { x, y, reference, bootstrap: BootstrapSpec::default() }
+    }
+
+    /// Bootstrap parameters for `Risk::LowerCi` readings.
+    pub fn bootstrap(mut self, spec: BootstrapSpec) -> Self {
+        self.bootstrap = spec;
+        self
+    }
+
+    /// Hypervolume of the given trials. Returns 0 when no trial is
+    /// eligible; trials worse than the reference on either metric
+    /// contribute nothing.
+    pub fn value(&self, trials: &[Trial]) -> f64 {
+        let pts: Vec<(f64, f64)> = trials
+            .iter()
+            .filter(|t| t.is_complete())
+            .filter_map(|t| {
+                let x = t.metrics.risk_value(&self.x, &self.bootstrap)?;
+                let y = t.metrics.risk_value(&self.y, &self.bootstrap)?;
+                self.orient(x, y)
+            })
+            .collect();
+        area(pts)
+    }
+
+    /// Hypervolume over pre-resolved `[x, y]` metric readings (`None` =
+    /// ineligible trial) — shared with the [`super::spec::RankSpec`]
+    /// contribution ranking.
+    pub(crate) fn of_resolved(&self, resolved: &[Option<Vec<f64>>]) -> f64 {
+        let pts: Vec<(f64, f64)> =
+            resolved.iter().flatten().filter_map(|v| self.orient(v[0], v[1])).collect();
+        area(pts)
+    }
+
+    /// Map raw metric values onto "bigger is better" axes with the
+    /// reference at the origin; `None` for points outside the reference
+    /// box.
+    fn orient(&self, x: f64, y: f64) -> Option<(f64, f64)> {
+        let ox = self.x.direction.orient(x) - self.x.direction.orient(self.reference.0);
+        let oy = self.y.direction.orient(y) - self.y.direction.orient(self.reference.1);
+        (ox > 0.0 && oy > 0.0).then_some((ox, oy))
+    }
+}
+
+/// Union area of the axis-aligned rectangles `[0, x] × [0, y]`.
+fn area(pts: Vec<(f64, f64)>) -> f64 {
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort ascending by x and sweep from the left, adding
+    // (x_i - x_prev) * max_y_of_points_with_x_ge_x_i.
+    let mut sorted = pts;
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut suffix_max_y = vec![0.0f64; sorted.len() + 1];
+    for i in (0..sorted.len()).rev() {
+        suffix_max_y[i] = suffix_max_y[i + 1].max(sorted[i].1);
+    }
+    let mut hv = 0.0;
+    let mut prev_x = 0.0;
+    for (i, &(x, _)) in sorted.iter().enumerate() {
+        hv += (x - prev_x) * suffix_max_y[i];
+        prev_x = x;
+    }
+    hv
+}
+
+/// Exact hypervolume of the front of `trials` under two metrics, measured
+/// against `reference`.
+#[deprecated(since = "0.1.0", note = "use `Hypervolume::new(mx, my, reference).value(trials)`")]
 pub fn hypervolume_2d(
     trials: &[Trial],
     mx: &MetricDef,
     my: &MetricDef,
     reference: (f64, f64),
 ) -> f64 {
-    // Orient both axes to "bigger is better", reference becomes (0,0)-ish.
-    let pts: Vec<(f64, f64)> = trials
-        .iter()
-        .filter(|t| t.is_complete())
-        .filter_map(|t| {
-            let x = t.metrics.get(&mx.name)?;
-            let y = t.metrics.get(&my.name)?;
-            let ox = mx.direction.orient(x) - mx.direction.orient(reference.0);
-            let oy = my.direction.orient(y) - my.direction.orient(reference.1);
-            (ox > 0.0 && oy > 0.0).then_some((ox, oy))
-        })
-        .collect();
-    if pts.is_empty() {
-        return 0.0;
-    }
-    // Sort by x descending; sweep adding rectangles above the running
-    // maximum y.
-    let mut sorted = pts;
-    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-    let mut hv = 0.0;
-    let mut prev_x = 0.0; // right edge of the previous rectangle (from ref)
-    let mut best_y = 0.0f64;
-    // Sweep from the largest x to the smallest, integrating columns.
-    // Simpler exact approach: sort ascending by x and sweep from the left
-    // adding (x_i - x_prev) * max_y_of_points_with_x_ge_x_i.
-    sorted.reverse(); // ascending x
-    let mut suffix_max_y = vec![0.0f64; sorted.len() + 1];
-    for i in (0..sorted.len()).rev() {
-        suffix_max_y[i] = suffix_max_y[i + 1].max(sorted[i].1);
-    }
-    for (i, &(x, _)) in sorted.iter().enumerate() {
-        hv += (x - prev_x) * suffix_max_y[i];
-        prev_x = x;
-        best_y = best_y.max(sorted[i].1);
-    }
-    hv
+    Hypervolume::new(mx.clone(), my.clone(), reference).value(trials)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::MetricValues;
+    use crate::distribution::Distribution;
+    use crate::metrics::{MetricValues, Risk};
     use crate::trial::Configuration;
 
     fn t(id: usize, reward: f64, time: f64) -> Trial {
@@ -75,55 +124,73 @@ mod tests {
         (MetricDef::maximize("reward"), MetricDef::minimize("time_min"))
     }
 
+    fn hv(trials: &[Trial], reference: (f64, f64)) -> f64 {
+        let (mx, my) = axes();
+        Hypervolume::new(mx, my, reference).value(trials)
+    }
+
     #[test]
     fn single_point_is_a_rectangle() {
-        let (mx, my) = axes();
         // reward 2 (ref 0), time 30 (ref 100): rectangle 2 × 70.
-        let hv = hypervolume_2d(&[t(0, 2.0, 30.0)], &mx, &my, (0.0, 100.0));
-        assert!((hv - 140.0).abs() < 1e-9, "hv = {hv}");
+        let v = hv(&[t(0, 2.0, 30.0)], (0.0, 100.0));
+        assert!((v - 140.0).abs() < 1e-9, "hv = {v}");
     }
 
     #[test]
     fn dominated_points_add_nothing() {
-        let (mx, my) = axes();
-        let alone = hypervolume_2d(&[t(0, 2.0, 30.0)], &mx, &my, (0.0, 100.0));
-        let with_dominated =
-            hypervolume_2d(&[t(0, 2.0, 30.0), t(1, 1.0, 50.0)], &mx, &my, (0.0, 100.0));
+        let alone = hv(&[t(0, 2.0, 30.0)], (0.0, 100.0));
+        let with_dominated = hv(&[t(0, 2.0, 30.0), t(1, 1.0, 50.0)], (0.0, 100.0));
         assert!((alone - with_dominated).abs() < 1e-9);
     }
 
     #[test]
     fn trade_off_points_add_union_area() {
-        let (mx, my) = axes();
         // A: (2, 30) -> oriented (2, 70); B: (3, 60) -> (3, 40).
-        // Union area = 3*40 + (2-0)*? … compute: ascending x: (2,70),(3,40).
         // hv = (2-0)*max(70,40) + (3-2)*40 = 140 + 40 = 180.
-        let hv = hypervolume_2d(&[t(0, 2.0, 30.0), t(1, 3.0, 60.0)], &mx, &my, (0.0, 100.0));
-        assert!((hv - 180.0).abs() < 1e-9, "hv = {hv}");
+        let v = hv(&[t(0, 2.0, 30.0), t(1, 3.0, 60.0)], (0.0, 100.0));
+        assert!((v - 180.0).abs() < 1e-9, "hv = {v}");
     }
 
     #[test]
     fn points_worse_than_reference_are_ignored() {
-        let (mx, my) = axes();
-        let hv = hypervolume_2d(&[t(0, -1.0, 30.0)], &mx, &my, (0.0, 100.0));
-        assert_eq!(hv, 0.0);
-        let hv = hypervolume_2d(&[t(0, 2.0, 130.0)], &mx, &my, (0.0, 100.0));
-        assert_eq!(hv, 0.0);
+        assert_eq!(hv(&[t(0, -1.0, 30.0)], (0.0, 100.0)), 0.0);
+        assert_eq!(hv(&[t(0, 2.0, 130.0)], (0.0, 100.0)), 0.0);
     }
 
     #[test]
     fn empty_input_is_zero() {
-        let (mx, my) = axes();
-        assert_eq!(hypervolume_2d(&[], &mx, &my, (0.0, 100.0)), 0.0);
+        assert_eq!(hv(&[], (0.0, 100.0)), 0.0);
     }
 
     #[test]
     fn hypervolume_is_monotone_in_added_points() {
-        let (mx, my) = axes();
         let base = vec![t(0, 2.0, 30.0)];
         let more = vec![t(0, 2.0, 30.0), t(1, 3.0, 60.0), t(2, 1.0, 10.0)];
-        let hv_base = hypervolume_2d(&base, &mx, &my, (0.0, 100.0));
-        let hv_more = hypervolume_2d(&more, &mx, &my, (0.0, 100.0));
-        assert!(hv_more >= hv_base);
+        assert!(hv(&more, (0.0, 100.0)) >= hv(&base, (0.0, 100.0)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_struct() {
+        let (mx, my) = axes();
+        let trials = vec![t(0, 2.0, 30.0), t(1, 3.0, 60.0)];
+        let a = hypervolume_2d(&trials, &mx, &my, (0.0, 100.0));
+        let b = Hypervolume::new(mx, my, (0.0, 100.0)).value(&trials);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn risk_spec_shrinks_the_measured_volume() {
+        // Reward samples with a bad tail: CVaR reading pulls the point
+        // toward the reference, shrinking the volume.
+        let d = Distribution::from_samples(vec![-2.0, 2.0, 3.0, 5.0]);
+        let mut v = MetricValues::new().with("reward", d.mean()).with("time_min", 30.0);
+        v.set_distribution("reward", d);
+        let trials = vec![Trial::complete(0, Configuration::new(), v)];
+        let (mx, my) = axes();
+        let mean_hv = Hypervolume::new(mx.clone(), my.clone(), (-10.0, 100.0)).value(&trials);
+        let cvar_hv =
+            Hypervolume::new(mx.with_risk(Risk::Cvar(0.25)), my, (-10.0, 100.0)).value(&trials);
+        assert!(cvar_hv < mean_hv, "{cvar_hv} < {mean_hv}");
     }
 }

@@ -6,13 +6,22 @@
 //! (Figures 4–6); sorted arrays and weighted-sum scalarization are the
 //! textual alternatives, and the 2-D hypervolume indicator quantifies
 //! front quality.
+//!
+//! All methods are reachable uniformly through the [`RankSpec`] builder
+//! and [`Ranker`] trait ([`spec`]), which also unlock the risk-aware
+//! readings ([`crate::metrics::Risk`]): Pareto dominance under CVaR and
+//! CI-overlap-gated sorted ranking.
 
 pub mod hypervolume;
 pub mod pareto;
 pub mod sorted;
+pub mod spec;
 pub mod weighted;
 
+#[allow(deprecated)]
 pub use hypervolume::hypervolume_2d;
+pub use hypervolume::Hypervolume;
 pub use pareto::ParetoFront;
 pub use sorted::SortedRanking;
+pub use spec::{RankSpec, Ranker, Ranking};
 pub use weighted::WeightedSum;

@@ -6,12 +6,29 @@ use crate::trial::Trial;
 /// `a` Pareto-dominates `b` under the given metrics: `a` is no worse on
 /// every metric and strictly better on at least one.
 pub fn dominates(a: &Trial, b: &Trial, metrics: &[MetricDef]) -> bool {
-    let mut strictly_better = false;
+    let mut va = Vec::with_capacity(metrics.len());
+    let mut vb = Vec::with_capacity(metrics.len());
     for m in metrics {
-        let (va, vb) = match (a.metrics.get(&m.name), b.metrics.get(&m.name)) {
-            (Some(x), Some(y)) => (x, y),
+        match (a.metrics.get(&m.name), b.metrics.get(&m.name)) {
+            (Some(x), Some(y)) => {
+                va.push(x);
+                vb.push(y);
+            }
             _ => return false,
-        };
+        }
+    }
+    dominates_values(&va, &vb, metrics)
+}
+
+/// Value-level Pareto dominance: `a[i]`/`b[i]` are two trials' readings
+/// of `metrics[i]` (already resolved through whatever [`crate::metrics::Risk`]
+/// spec the caller chose). This is the comparison the risk-aware
+/// [`super::spec::RankSpec`] front shares with the scalar [`dominates`].
+pub fn dominates_values(a: &[f64], b: &[f64], metrics: &[MetricDef]) -> bool {
+    debug_assert_eq!(a.len(), metrics.len());
+    debug_assert_eq!(b.len(), metrics.len());
+    let mut strictly_better = false;
+    for (m, (&va, &vb)) in metrics.iter().zip(a.iter().zip(b)) {
         if !m.direction.no_worse(va, vb) {
             return false;
         }

@@ -1,0 +1,532 @@
+//! One entry point for every ranking method: the [`Ranker`] trait and
+//! the [`RankSpec`] builder.
+//!
+//! The per-module types ([`super::pareto::ParetoFront`], [`SortedRanking`],
+//! [`WeightedSum`], [`Hypervolume`]) stay available for direct use, but
+//! callers that want to *select* a method — and read the metrics through
+//! a [`crate::metrics::Risk`] spec (mean, CVaR, or a bootstrap CI bound) — build a
+//! `RankSpec` and get a uniform [`Ranking`] back:
+//!
+//! ```
+//! use decision::prelude::*;
+//!
+//! let trials = vec![
+//!     Trial::complete(0, Configuration::new(),
+//!         MetricValues::new().with("reward", -0.65).with("time_min", 46.0)),
+//!     Trial::complete(1, Configuration::new(),
+//!         MetricValues::new().with("reward", -0.45).with("time_min", 65.0)),
+//! ];
+//! let ranking = RankSpec::pareto()
+//!     .metric(MetricDef::maximize("reward"))
+//!     .metric(MetricDef::minimize("time_min"))
+//!     .rank(&trials);
+//! assert_eq!(ranking.front, vec![0, 1], "trade-off: both non-dominated");
+//! ```
+//!
+//! With `Risk::Mean` on every metric (the default), each method is
+//! exactly its legacy counterpart: the Pareto front equals
+//! [`super::pareto::ParetoFront::compute`], the sorted order equals
+//! [`SortedRanking::rank`], the weighted order equals
+//! [`WeightedSum::rank`]. Risk specs change only what number each metric
+//! contributes, never the comparison logic.
+
+use crate::distribution::{BootstrapSpec, Ci};
+use crate::metrics::MetricDef;
+use crate::trial::Trial;
+
+use super::hypervolume::Hypervolume;
+use super::pareto::dominates_values;
+use super::sorted::SortedRanking;
+use super::weighted::WeightedSum;
+
+/// Anything that can rank a slice of trials. Implemented by the
+/// per-method types and by [`RankSpec`].
+pub trait Ranker {
+    /// Rank the trials; indices in the result refer into `trials`.
+    fn rank(&self, trials: &[Trial]) -> Ranking;
+}
+
+/// The uniform result shape of every ranking method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    /// Rankable trial indices, best first.
+    pub order: Vec<usize>,
+    /// `order` partitioned into tiers of trials the method refuses to
+    /// rank apart: Pareto layers for front methods, CI-overlap groups
+    /// for the gated sorted ranking, singletons otherwise. Tiers are
+    /// best-first and concatenate to `order`.
+    pub tiers: Vec<Vec<usize>>,
+    /// The best tier's members in ascending index order — the Pareto
+    /// front for dominance methods, the statistically-best group for a
+    /// CI-gated sort.
+    pub front: Vec<usize>,
+}
+
+impl Ranking {
+    /// Best trial index, if any trial was rankable.
+    pub fn best(&self) -> Option<usize> {
+        self.order.first().copied()
+    }
+
+    /// Whether trials `i` and `j` landed in the same tier (the method
+    /// declined to order them apart).
+    pub fn indistinguishable(&self, i: usize, j: usize) -> bool {
+        self.tiers.iter().any(|t| t.contains(&i) && t.contains(&j))
+    }
+
+    fn from_singleton_order(order: Vec<usize>) -> Self {
+        let tiers: Vec<Vec<usize>> = order.iter().map(|&i| vec![i]).collect();
+        let front = order.first().map(|&i| vec![i]).unwrap_or_default();
+        Self { order, tiers, front }
+    }
+}
+
+/// Which method a [`RankSpec`] dispatches to.
+#[derive(Debug, Clone, PartialEq)]
+enum Method {
+    Pareto,
+    Sorted,
+    Weighted,
+    Hypervolume { reference: (f64, f64) },
+}
+
+/// Builder selecting a ranking method, the metrics it reads (each with
+/// its own [`crate::metrics::Risk`] spec riding on the [`MetricDef`]), and the bootstrap
+/// parameters behind CI-based readings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSpec {
+    method: Method,
+    metrics: Vec<(MetricDef, f64)>,
+    bootstrap: BootstrapSpec,
+    ci_gate: Option<f64>,
+}
+
+impl RankSpec {
+    fn new(method: Method) -> Self {
+        Self { method, metrics: Vec::new(), bootstrap: BootstrapSpec::default(), ci_gate: None }
+    }
+
+    /// Pareto-front ranking: tiers are non-dominated layers (NSGA-II
+    /// style), `front` is layer zero.
+    pub fn pareto() -> Self {
+        Self::new(Method::Pareto)
+    }
+
+    /// Sorted-array ranking by the first metric, later metrics breaking
+    /// ties lexicographically.
+    pub fn sorted() -> Self {
+        Self::new(Method::Sorted)
+    }
+
+    /// Weighted-sum scalarization (weights from [`Self::weighted_metric`],
+    /// default 1.0).
+    pub fn weighted() -> Self {
+        Self::new(Method::Weighted)
+    }
+
+    /// Hypervolume-contribution ranking over exactly two metrics,
+    /// measured against `reference` (raw metric units, at least as bad
+    /// as every trial).
+    pub fn hypervolume(reference: (f64, f64)) -> Self {
+        Self::new(Method::Hypervolume { reference })
+    }
+
+    /// Add a metric (risk spec rides on the def via
+    /// [`MetricDef::with_risk`]; weight 1.0 for the weighted method).
+    pub fn metric(mut self, def: MetricDef) -> Self {
+        self.metrics.push((def, 1.0));
+        self
+    }
+
+    /// Add a metric with an explicit weighted-sum weight.
+    pub fn weighted_metric(mut self, def: MetricDef, weight: f64) -> Self {
+        self.metrics.push((def, weight));
+        self
+    }
+
+    /// Bootstrap parameters used by `Risk::LowerCi` readings and CI
+    /// gating.
+    pub fn bootstrap(mut self, spec: BootstrapSpec) -> Self {
+        self.bootstrap = spec;
+        self
+    }
+
+    /// Gate the sorted ranking on CI overlap at the given confidence
+    /// level: consecutive trials whose bootstrap CIs (on the primary
+    /// metric) overlap are placed in one tier — the ranking refuses to
+    /// call them different. Only the sorted method consults this.
+    pub fn ci_gate(mut self, level: f64) -> Self {
+        self.ci_gate = Some(level);
+        self
+    }
+
+    fn defs(&self) -> Vec<MetricDef> {
+        self.metrics.iter().map(|(d, _)| d.clone()).collect()
+    }
+
+    /// Per-trial metric readings resolved through each def's risk spec;
+    /// `None` marks trials the legacy paths would also exclude
+    /// (incomplete, or missing a finite scalar for some metric).
+    fn resolve(&self, trials: &[Trial]) -> Vec<Option<Vec<f64>>> {
+        let defs = self.defs();
+        trials
+            .iter()
+            .map(|t| {
+                if !t.is_complete() || !t.metrics.covers(&defs) {
+                    return None;
+                }
+                Some(
+                    defs.iter()
+                        .map(|d| t.metrics.risk_value(d, &self.bootstrap).unwrap())
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// The non-dominated set under this spec's risk readings, in
+    /// ascending index order (equals [`super::pareto::ParetoFront::compute`] when every
+    /// risk is `Mean`).
+    pub fn pareto_front(&self, trials: &[Trial]) -> Vec<usize> {
+        let resolved = self.resolve(trials);
+        let defs = self.defs();
+        let eligible: Vec<usize> = (0..trials.len()).filter(|&i| resolved[i].is_some()).collect();
+        let mut front = Vec::new();
+        'outer: for &i in &eligible {
+            for &j in &eligible {
+                if i != j
+                    && dominates_values(
+                        resolved[j].as_ref().unwrap(),
+                        resolved[i].as_ref().unwrap(),
+                        &defs,
+                    )
+                {
+                    continue 'outer;
+                }
+            }
+            front.push(i);
+        }
+        front
+    }
+
+    fn rank_pareto(&self, trials: &[Trial]) -> Ranking {
+        let resolved = self.resolve(trials);
+        let defs = self.defs();
+        let n = trials.len();
+        let eligible: Vec<usize> = (0..n).filter(|&i| resolved[i].is_some()).collect();
+
+        // Non-dominated sorting on the resolved values.
+        let mut dominated_by = vec![0usize; n];
+        let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &i in &eligible {
+            for &j in &eligible {
+                if i != j
+                    && dominates_values(
+                        resolved[i].as_ref().unwrap(),
+                        resolved[j].as_ref().unwrap(),
+                        &defs,
+                    )
+                {
+                    dominates_list[i].push(j);
+                    dominated_by[j] += 1;
+                }
+            }
+        }
+        let mut tiers = Vec::new();
+        let mut current: Vec<usize> =
+            eligible.iter().copied().filter(|&i| dominated_by[i] == 0).collect();
+        while !current.is_empty() {
+            let mut next = Vec::new();
+            for &i in &current {
+                for &j in &dominates_list[i] {
+                    dominated_by[j] -= 1;
+                    if dominated_by[j] == 0 {
+                        next.push(j);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            tiers.push(std::mem::replace(&mut current, next));
+        }
+        let order: Vec<usize> = tiers.iter().flatten().copied().collect();
+        let front = tiers.first().cloned().unwrap_or_default();
+        Ranking { order, tiers, front }
+    }
+
+    fn rank_sorted(&self, trials: &[Trial]) -> Ranking {
+        let resolved = self.resolve(trials);
+        let mut order: Vec<usize> = (0..trials.len()).filter(|&i| resolved[i].is_some()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = resolved[a].as_ref().unwrap();
+            let rb = resolved[b].as_ref().unwrap();
+            for (k, (def, _)) in self.metrics.iter().enumerate() {
+                let (va, vb) = (def.direction.orient(ra[k]), def.direction.orient(rb[k]));
+                match vb.partial_cmp(&va) {
+                    Some(std::cmp::Ordering::Equal) | None => continue,
+                    Some(ord) => return ord,
+                }
+            }
+            a.cmp(&b)
+        });
+
+        let tiers = match self.ci_gate {
+            None => order.iter().map(|&i| vec![i]).collect::<Vec<_>>(),
+            Some(level) => {
+                // Group consecutive trials whose CIs on the primary
+                // metric overlap the group head's CI: within a tier the
+                // evidence cannot tell the trials apart.
+                let primary = &self.metrics[0].0;
+                let spec = BootstrapSpec { level, ..self.bootstrap };
+                let ci_of = |i: usize| -> Ci {
+                    let s = trials[i].metrics.sample(&primary.name).unwrap();
+                    s.ci(&spec).unwrap_or_else(|| Ci::point(s.value, level))
+                };
+                let mut tiers: Vec<Vec<usize>> = Vec::new();
+                let mut head_ci: Option<Ci> = None;
+                for &i in &order {
+                    let ci = ci_of(i);
+                    match (&mut tiers.last_mut(), &head_ci) {
+                        (Some(tier), Some(head)) if head.overlaps(&ci) => tier.push(i),
+                        _ => {
+                            tiers.push(vec![i]);
+                            head_ci = Some(ci);
+                        }
+                    }
+                }
+                tiers
+            }
+        };
+        let mut front = tiers.first().cloned().unwrap_or_default();
+        front.sort_unstable();
+        Ranking { order, tiers, front }
+    }
+
+    fn rank_weighted(&self, trials: &[Trial]) -> Ranking {
+        // Delegate the scoring math to `WeightedSum` over risk-resolved
+        // values by building shadow trials is wasteful; instead reuse its
+        // normalization logic inline on the resolved matrix.
+        let resolved = self.resolve(trials);
+        let eligible: Vec<usize> = (0..trials.len()).filter(|&i| resolved[i].is_some()).collect();
+        let m = self.metrics.len();
+        let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); m];
+        for &i in &eligible {
+            let vals = resolved[i].as_ref().unwrap();
+            for k in 0..m {
+                ranges[k].0 = ranges[k].0.min(vals[k]);
+                ranges[k].1 = ranges[k].1.max(vals[k]);
+            }
+        }
+        let wsum: f64 = self.metrics.iter().map(|(_, w)| w).sum();
+        let mut scored: Vec<(usize, f64)> = eligible
+            .iter()
+            .filter(|_| wsum != 0.0)
+            .map(|&i| {
+                let vals = resolved[i].as_ref().unwrap();
+                let mut score = 0.0;
+                for (k, (def, w)) in self.metrics.iter().enumerate() {
+                    let (lo, hi) = ranges[k];
+                    let span = (hi - lo).abs();
+                    let norm = if span < 1e-12 {
+                        1.0
+                    } else {
+                        match def.direction {
+                            crate::metrics::Direction::Maximize => (vals[k] - lo) / span,
+                            crate::metrics::Direction::Minimize => (hi - vals[k]) / span,
+                        }
+                    };
+                    score += w * norm;
+                }
+                (i, score / wsum)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        Ranking::from_singleton_order(scored.into_iter().map(|(i, _)| i).collect())
+    }
+
+    fn rank_hypervolume(&self, trials: &[Trial], reference: (f64, f64)) -> Ranking {
+        assert_eq!(self.metrics.len(), 2, "hypervolume ranking needs exactly two metrics");
+        let hv = Hypervolume::new(self.metrics[0].0.clone(), self.metrics[1].0.clone(), reference)
+            .bootstrap(self.bootstrap);
+        let resolved = self.resolve(trials);
+        let eligible: Vec<usize> = (0..trials.len()).filter(|&i| resolved[i].is_some()).collect();
+        let total = hv.of_resolved(&resolved);
+        // Exclusive contribution: how much volume vanishes without the
+        // trial. Dominated points contribute zero and sort by index.
+        let mut scored: Vec<(usize, f64)> = eligible
+            .iter()
+            .map(|&i| {
+                let mut without = resolved.clone();
+                without[i] = None;
+                (i, total - hv.of_resolved(&without))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        Ranking::from_singleton_order(scored.into_iter().map(|(i, _)| i).collect())
+    }
+}
+
+impl Ranker for RankSpec {
+    fn rank(&self, trials: &[Trial]) -> Ranking {
+        assert!(!self.metrics.is_empty(), "RankSpec needs at least one metric");
+        match self.method {
+            Method::Pareto => self.rank_pareto(trials),
+            Method::Sorted => self.rank_sorted(trials),
+            Method::Weighted => self.rank_weighted(trials),
+            Method::Hypervolume { reference } => self.rank_hypervolume(trials, reference),
+        }
+    }
+}
+
+impl Ranker for SortedRanking {
+    fn rank(&self, trials: &[Trial]) -> Ranking {
+        Ranking::from_singleton_order(SortedRanking::rank(self, trials))
+    }
+}
+
+impl Ranker for WeightedSum {
+    fn rank(&self, trials: &[Trial]) -> Ranking {
+        Ranking::from_singleton_order(WeightedSum::rank(self, trials))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Distribution;
+    use crate::metrics::{MetricDef, MetricValues, Risk};
+    use crate::rank::pareto::ParetoFront;
+    use crate::trial::{Configuration, Trial};
+
+    fn t(id: usize, reward: f64, time: f64) -> Trial {
+        Trial::complete(
+            id,
+            Configuration::new(),
+            MetricValues::new().with("reward", reward).with("time_min", time),
+        )
+    }
+
+    /// A trial whose reward scalar is the mean of an explicit sample set.
+    fn t_dist(id: usize, samples: Vec<f64>, time: f64) -> Trial {
+        let d = Distribution::from_samples(samples);
+        let mut v = MetricValues::new().with("reward", d.mean()).with("time_min", time);
+        v.set_distribution("reward", d);
+        Trial::complete(id, Configuration::new(), v)
+    }
+
+    fn defs() -> (MetricDef, MetricDef) {
+        (MetricDef::maximize("reward"), MetricDef::minimize("time_min"))
+    }
+
+    #[test]
+    fn mean_pareto_front_matches_legacy() {
+        let trials = vec![
+            t(0, -0.78, 72.0),
+            t(1, -0.65, 46.0),
+            t(2, -0.55, 49.0),
+            t(3, -0.58, 49.5),
+            t(4, -0.45, 65.0),
+            t(5, -0.52, 85.0),
+        ];
+        let (r, m) = defs();
+        let legacy = ParetoFront::compute(&trials, &[r.clone(), m.clone()]);
+        let ranking = RankSpec::pareto().metric(r.clone()).metric(m.clone()).rank(&trials);
+        assert_eq!(ranking.front, legacy.indices());
+        assert_eq!(RankSpec::pareto().metric(r).metric(m).pareto_front(&trials), legacy.indices());
+    }
+
+    #[test]
+    fn mean_sorted_order_matches_legacy() {
+        let trials = vec![t(0, -0.65, 46.0), t(1, -0.45, 65.0), t(2, -0.78, 72.0)];
+        let (r, m) = defs();
+        let legacy = SortedRanking::by(r.clone()).then_by(m.clone()).rank(&trials);
+        let ranking = RankSpec::sorted().metric(r).metric(m).rank(&trials);
+        assert_eq!(ranking.order, legacy);
+        assert_eq!(ranking.best(), Some(1));
+    }
+
+    #[test]
+    fn mean_weighted_order_matches_legacy() {
+        let trials = vec![t(0, 0.0, 10.0), t(1, 1.0, 20.0), t(2, 0.4, 12.0)];
+        let (r, m) = defs();
+        let legacy = WeightedSum::new().weight(r.clone(), 0.3).weight(m.clone(), 0.7).rank(&trials);
+        let ranking =
+            RankSpec::weighted().weighted_metric(r, 0.3).weighted_metric(m, 0.7).rank(&trials);
+        assert_eq!(ranking.order, legacy);
+    }
+
+    #[test]
+    fn cvar_front_differs_from_mean_front() {
+        // Same story the bench fixture tells: trial 0 wins on mean but
+        // its lower tail is catastrophic; trial 1 is steady. Same time.
+        let trials = vec![
+            t_dist(0, vec![-20.0, 9.0, 10.0, 11.0, 40.0], 50.0),
+            t_dist(1, vec![8.0, 9.0, 9.0, 9.0, 9.0], 50.0),
+        ];
+        let (r, m) = defs();
+        let mean_front =
+            RankSpec::pareto().metric(r.clone()).metric(m.clone()).pareto_front(&trials);
+        assert_eq!(mean_front, vec![0], "mean 10 beats mean 8.8 at equal time");
+        let cvar_front =
+            RankSpec::pareto().metric(r.with_risk(Risk::Cvar(0.2))).metric(m).pareto_front(&trials);
+        assert_eq!(cvar_front, vec![1], "CVaR(0.2): -20 loses to 8");
+    }
+
+    #[test]
+    fn pareto_tiers_are_nested_fronts() {
+        let trials = vec![t(0, 1.0, 10.0), t(1, 0.5, 20.0), t(2, 0.2, 30.0)];
+        let (r, m) = defs();
+        let ranking = RankSpec::pareto().metric(r).metric(m).rank(&trials);
+        assert_eq!(ranking.tiers, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(ranking.order, vec![0, 1, 2]);
+        assert!(!ranking.indistinguishable(0, 1));
+    }
+
+    #[test]
+    fn ci_gate_refuses_to_split_overlapping_trials() {
+        // Two trials drawn from overlapping samples, one clearly worse.
+        let a: Vec<f64> = (0..40).map(|i| 10.0 + (i % 7) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..40).map(|i| 10.02 + (i % 7) as f64 * 0.1).collect();
+        let c: Vec<f64> = (0..40).map(|i| 2.0 + (i % 7) as f64 * 0.1).collect();
+        let trials = vec![t_dist(0, a, 50.0), t_dist(1, b, 50.0), t_dist(2, c, 50.0)];
+        let (r, _) = defs();
+        let ranking = RankSpec::sorted().metric(r).ci_gate(0.95).rank(&trials);
+        assert_eq!(ranking.order, vec![1, 0, 2]);
+        assert_eq!(ranking.tiers.len(), 2, "0 and 1 share a tier; 2 stands alone");
+        assert!(ranking.indistinguishable(0, 1));
+        assert!(!ranking.indistinguishable(0, 2));
+        assert_eq!(ranking.front, vec![0, 1]);
+    }
+
+    #[test]
+    fn sorted_without_gate_gives_singleton_tiers() {
+        let trials = vec![t(0, -0.65, 46.0), t(1, -0.45, 65.0)];
+        let (r, _) = defs();
+        let ranking = RankSpec::sorted().metric(r).rank(&trials);
+        assert_eq!(ranking.tiers, vec![vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn hypervolume_ranks_by_exclusive_contribution() {
+        let (r, m) = defs();
+        let trials = vec![t(0, 2.0, 30.0), t(1, 3.0, 60.0), t(2, 1.0, 50.0)];
+        let ranking = RankSpec::hypervolume((0.0, 100.0)).metric(r).metric(m).rank(&trials);
+        // Trial 2 is dominated by 0: zero exclusive contribution.
+        assert_eq!(*ranking.order.last().unwrap(), 2);
+        assert_eq!(ranking.order.len(), 3);
+    }
+
+    #[test]
+    fn legacy_rankers_implement_the_trait() {
+        let trials = vec![t(0, -0.65, 46.0), t(1, -0.45, 65.0)];
+        let (r, m) = defs();
+        let a: &dyn Ranker = &SortedRanking::by(r.clone());
+        assert_eq!(a.rank(&trials).order, vec![1, 0]);
+        let b: &dyn Ranker = &WeightedSum::new().weight(r, 1.0).weight(m, 1.0);
+        assert!(!b.rank(&trials).order.is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 //! CSV export of trials (for external plotting/analysis tools).
 
+use crate::distribution::BootstrapSpec;
 use crate::metrics::MetricDef;
 use crate::trial::{Trial, TrialStatus};
 
@@ -21,6 +22,63 @@ pub fn trials_to_csv(trials: &[Trial], params: &[&str], metrics: &[MetricDef]) -
         }
         for m in metrics {
             row.push(t.metrics.get(&m.name).map(|v| format!("{v}")).unwrap_or_default());
+        }
+        row.push(
+            match t.status {
+                TrialStatus::Complete => "complete",
+                TrialStatus::Pruned => "pruned",
+                TrialStatus::Failed => "failed",
+            }
+            .into(),
+        );
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Like [`trials_to_csv`], but each metric column is followed by four
+/// dispersion columns computed from the trial's attached sample
+/// distribution: `<m>_std`, `<m>_iqr`, `<m>_ci_lo`, `<m>_ci_hi` (the
+/// bootstrap confidence bounds under `spec`). Trials without a
+/// distribution for a metric leave those four fields empty, so scalar-only
+/// studies still export cleanly.
+pub fn trials_to_csv_with_dispersion(
+    trials: &[Trial],
+    params: &[&str],
+    metrics: &[MetricDef],
+    spec: &BootstrapSpec,
+) -> String {
+    let mut out = String::new();
+    let mut header: Vec<String> = vec!["id".into()];
+    header.extend(params.iter().map(|p| p.to_string()));
+    for m in metrics {
+        header.push(m.name.clone());
+        for suffix in ["std", "iqr", "ci_lo", "ci_hi"] {
+            header.push(format!("{}_{suffix}", m.name));
+        }
+    }
+    header.push("status".into());
+    out.push_str(&header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+
+    for t in trials {
+        let mut row: Vec<String> = vec![t.id.to_string()];
+        for p in params {
+            row.push(t.config.get(p).map(|v| v.to_string()).unwrap_or_default());
+        }
+        for m in metrics {
+            row.push(t.metrics.get(&m.name).map(|v| format!("{v}")).unwrap_or_default());
+            match t.metrics.distribution(&m.name).filter(|d| !d.is_empty()) {
+                Some(d) => {
+                    let ci = d.bootstrap_ci(spec);
+                    row.push(format!("{}", d.std()));
+                    row.push(format!("{}", d.iqr()));
+                    row.push(format!("{}", ci.lo));
+                    row.push(format!("{}", ci.hi));
+                }
+                None => row.extend((0..4).map(|_| String::new())),
+            }
         }
         row.push(
             match t.status {
@@ -80,6 +138,32 @@ mod tests {
     fn quotes_are_doubled() {
         assert_eq!(escape("x\"y"), "\"x\"\"y\"");
         assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn dispersion_columns_follow_each_metric() {
+        let mut m = MetricValues::new().with("reward", 2.0);
+        m.set_distribution("reward", (1..=3).map(f64::from).collect());
+        let trials = vec![
+            Trial::complete(0, Configuration::new(), m),
+            Trial::complete(1, Configuration::new(), MetricValues::new().with("reward", 5.0)),
+        ];
+        let spec = BootstrapSpec::default();
+        let csv =
+            trials_to_csv_with_dispersion(&trials, &[], &[MetricDef::maximize("reward")], &spec);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("id,reward,reward_std,reward_iqr,reward_ci_lo,reward_ci_hi,status")
+        );
+        let row0 = lines.next().unwrap();
+        let cells: Vec<&str> = row0.split(',').collect();
+        assert_eq!(cells[1], "2");
+        let ci_lo: f64 = cells[4].parse().unwrap();
+        let ci_hi: f64 = cells[5].parse().unwrap();
+        assert!(ci_lo <= 2.0 && 2.0 <= ci_hi, "CI [{ci_lo}, {ci_hi}] must cover the mean");
+        // Scalar-only trial: the four dispersion fields are empty, not 0.
+        assert_eq!(lines.next(), Some("1,5,,,,,complete"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Markdown rendering of study results (for READMEs / experiment logs).
 
+use crate::distribution::BootstrapSpec;
 use crate::metrics::MetricDef;
 use crate::rank::pareto::ParetoFront;
 use crate::trial::{Trial, TrialStatus};
@@ -36,6 +37,62 @@ pub fn trials_to_markdown(
         }
         for m in metrics {
             let v = t.metrics.get(&m.name).map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(" {emph}{v}{emph} |"));
+        }
+        let status = match t.status {
+            TrialStatus::Complete => "ok",
+            TrialStatus::Pruned => "pruned",
+            TrialStatus::Failed => "failed",
+        };
+        out.push_str(&format!(" {status} |\n"));
+    }
+    out
+}
+
+/// Like [`trials_to_markdown`], but metric cells carry a bootstrap
+/// confidence interval when the trial has a sample distribution attached:
+/// `-0.45 [-0.52, -0.39]`. Scalar-only cells render as before, so the
+/// table mixes instrumented and legacy trials without surprises.
+pub fn trials_to_markdown_with_ci(
+    trials: &[Trial],
+    params: &[&str],
+    metrics: &[MetricDef],
+    front: Option<&ParetoFront>,
+    spec: &BootstrapSpec,
+) -> String {
+    let mut out = String::new();
+    out.push_str("| # |");
+    for p in params {
+        out.push_str(&format!(" {p} |"));
+    }
+    for m in metrics {
+        out.push_str(&format!(" {} ({:.0}% CI) |", m.name, spec.level * 100.0));
+    }
+    out.push_str(" status |\n|---|");
+    for _ in 0..params.len() + metrics.len() + 1 {
+        out.push_str("---|");
+    }
+    out.push('\n');
+
+    for (i, t) in trials.iter().enumerate() {
+        let on_front = front.map(|f| f.contains(i)).unwrap_or(false);
+        let emph = if on_front { "**" } else { "" };
+        out.push_str(&format!("| {emph}{}{emph} |", t.id + 1));
+        for p in params {
+            let v = t.config.get(p).map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(" {emph}{v}{emph} |"));
+        }
+        for m in metrics {
+            let v = match t.metrics.get(&m.name) {
+                Some(v) => match t.metrics.distribution(&m.name).filter(|d| !d.is_empty()) {
+                    Some(d) => {
+                        let ci = d.bootstrap_ci(spec);
+                        format!("{v:.2} [{:.2}, {:.2}]", ci.lo, ci.hi)
+                    }
+                    None => format!("{v:.2}"),
+                },
+                None => "-".into(),
+            };
             out.push_str(&format!(" {emph}{v}{emph} |"));
         }
         let status = match t.status {
@@ -93,6 +150,23 @@ mod tests {
         let md = trials_to_markdown(&ts, &["fw"], &metrics(), Some(&front));
         assert!(md.contains("**sb**"));
         assert!(!md.contains("**ray**"));
+    }
+
+    #[test]
+    fn ci_cells_bracket_the_point_estimate() {
+        let mut ts = trials();
+        ts[0].metrics.set_distribution("reward", vec![-0.5, -0.45, -0.4].into());
+        let md =
+            trials_to_markdown_with_ci(&ts, &["fw"], &metrics(), None, &BootstrapSpec::default());
+        assert!(md.contains("reward (95% CI)"), "header names the level:\n{md}");
+        assert!(md.contains('['), "instrumented cell shows an interval:\n{md}");
+        // The scalar-only trial still renders a bare point estimate.
+        assert!(md.contains(" -0.73 |"), "legacy cell unchanged:\n{md}");
+        let plain = trials_to_markdown(&ts, &["fw"], &metrics(), None);
+        let cols = plain.lines().next().unwrap().matches('|').count();
+        for l in md.lines() {
+            assert_eq!(l.matches('|').count(), cols, "misaligned row: {l}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! SVG scatter plots with Pareto-front highlighting — the graphical
 //! ranking output of the methodology (Figures 4, 5 and 6 of the paper).
 
+use crate::distribution::BootstrapSpec;
 use crate::metrics::MetricDef;
 use crate::rank::pareto::ParetoFront;
 use crate::trial::Trial;
@@ -20,12 +21,30 @@ pub struct ScatterPlot {
     /// Label points with their 1-based trial id (as the paper's figures
     /// label solutions).
     pub label_points: bool,
+    /// When set, draw bootstrap-CI whiskers on every point whose trial
+    /// carries a sample distribution for the axis metric. `None` (the
+    /// default) renders exactly the legacy scalar plot.
+    pub whiskers: Option<BootstrapSpec>,
 }
 
 impl ScatterPlot {
     /// A default 640×480 plot.
     pub fn new(title: impl Into<String>, x: MetricDef, y: MetricDef) -> Self {
-        Self { title: title.into(), x, y, width: 640, height: 480, label_points: true }
+        Self {
+            title: title.into(),
+            x,
+            y,
+            width: 640,
+            height: 480,
+            label_points: true,
+            whiskers: None,
+        }
+    }
+
+    /// Enable bootstrap-CI whiskers computed under `spec`.
+    pub fn with_whiskers(mut self, spec: BootstrapSpec) -> Self {
+        self.whiskers = Some(spec);
+        self
     }
 
     /// Render trials, highlighting the Pareto front (non-dominated points
@@ -136,6 +155,33 @@ impl ScatterPlot {
                 path.join(" ")
             ));
             s.push('\n');
+        }
+
+        // CI whiskers (under the points so markers stay readable): one
+        // segment per axis whose metric has a sample distribution.
+        if let Some(spec) = &self.whiskers {
+            for (i, x, y) in &pts {
+                let (px, py) = (sx(*x), sy(*y));
+                let t = &trials[*i];
+                if let Some(d) = t.metrics.distribution(&self.x.name).filter(|d| !d.is_empty()) {
+                    let ci = d.bootstrap_ci(spec);
+                    s.push_str(&format!(
+                        r##"<line x1="{:.1}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#7f7f7f" stroke-width="1.2"/>"##,
+                        sx(ci.lo),
+                        sx(ci.hi)
+                    ));
+                    s.push('\n');
+                }
+                if let Some(d) = t.metrics.distribution(&self.y.name).filter(|d| !d.is_empty()) {
+                    let ci = d.bootstrap_ci(spec);
+                    s.push_str(&format!(
+                        r##"<line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#7f7f7f" stroke-width="1.2"/>"##,
+                        sy(ci.lo),
+                        sy(ci.hi)
+                    ));
+                    s.push('\n');
+                }
+            }
         }
 
         // Points.

@@ -1,5 +1,6 @@
 //! Table-I-style ASCII rendering.
 
+use crate::distribution::BootstrapSpec;
 use crate::metrics::MetricDef;
 use crate::trial::{Trial, TrialStatus};
 
@@ -7,9 +8,39 @@ use crate::trial::{Trial, TrialStatus};
 /// `#`, the given parameters, the given metrics, and the trial status
 /// (mirroring Table I's "Configuration | Results" layout).
 pub fn render_table(trials: &[Trial], params: &[&str], metrics: &[MetricDef]) -> String {
+    render(trials, params, metrics, None)
+}
+
+/// Like [`render_table`], but each metric gets two extra columns computed
+/// from the trial's attached sample distribution: `<m> std` (sample
+/// standard deviation) and the bootstrap confidence interval under
+/// `spec`. Trials
+/// without a distribution show `-` in both, so scalar-only studies render
+/// the same numbers they always did, just with two sparse columns.
+pub fn render_table_with_dispersion(
+    trials: &[Trial],
+    params: &[&str],
+    metrics: &[MetricDef],
+    spec: &BootstrapSpec,
+) -> String {
+    render(trials, params, metrics, Some(spec))
+}
+
+fn render(
+    trials: &[Trial],
+    params: &[&str],
+    metrics: &[MetricDef],
+    spec: Option<&BootstrapSpec>,
+) -> String {
     let mut header: Vec<String> = vec!["#".to_string()];
     header.extend(params.iter().map(|p| p.to_string()));
-    header.extend(metrics.iter().map(|m| m.name.clone()));
+    for m in metrics {
+        header.push(m.name.clone());
+        if spec.is_some() {
+            header.push(format!("{} std", m.name));
+            header.push(format!("{} CI", m.name));
+        }
+    }
     header.push("status".to_string());
 
     let mut rows: Vec<Vec<String>> = Vec::with_capacity(trials.len());
@@ -22,6 +53,19 @@ pub fn render_table(trials: &[Trial], params: &[&str], metrics: &[MetricDef]) ->
             row.push(
                 t.metrics.get(&m.name).map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
             );
+            if let Some(spec) = spec {
+                match t.metrics.distribution(&m.name).filter(|d| !d.is_empty()) {
+                    Some(d) => {
+                        let ci = d.bootstrap_ci(spec);
+                        row.push(format!("{:.2}", d.std()));
+                        row.push(format!("[{:.2}, {:.2}]", ci.lo, ci.hi));
+                    }
+                    None => {
+                        row.push("-".into());
+                        row.push("-".into());
+                    }
+                }
+            }
         }
         row.push(
             match t.status {
@@ -143,6 +187,23 @@ mod tests {
         let widths: std::collections::BTreeSet<usize> =
             s.lines().map(|l| l.chars().count()).collect();
         assert_eq!(widths.len(), 1, "ragged table:\n{s}");
+    }
+
+    #[test]
+    fn dispersion_table_stays_aligned_and_sparse() {
+        let mut ts = sample_trials();
+        ts[0].metrics.set_distribution("reward", vec![-0.7, -0.65, -0.6].into());
+        let spec = BootstrapSpec::default();
+        let s = render_table_with_dispersion(&ts, &["rk_order"], &metrics(), &spec);
+        assert!(s.contains("reward std"));
+        assert!(s.contains("reward CI"));
+        assert!(s.contains('['), "instrumented row shows an interval:\n{s}");
+        let widths: std::collections::BTreeSet<usize> =
+            s.lines().map(|l| l.chars().count()).collect();
+        assert_eq!(widths.len(), 1, "ragged table:\n{s}");
+        // Trial 1 has no distribution: its dispersion cells are dashes.
+        let plain = render_table(&ts, &["rk_order"], &metrics());
+        assert!(!plain.contains("reward std"), "legacy table unchanged");
     }
 
     #[test]

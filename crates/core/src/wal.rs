@@ -336,6 +336,14 @@ fn push_metrics(fields: &mut Vec<(String, FieldValue)>, metrics: &MetricValues) 
     for (name, value) in metrics.iter() {
         fields.push((format!("m.{name}"), FieldValue::F64(value)));
     }
+    // Sample distributions ride as separate `d.` fields so the scalar
+    // `m.` fields stay byte-identical to pre-distribution journals.
+    // Rust's shortest-round-trip float formatting makes the encoding
+    // lossless, so resumed studies adopt bit-identical distributions.
+    for (name, dist) in metrics.distributions() {
+        let joined = dist.samples().iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+        fields.push((format!("d.{name}"), FieldValue::Str(joined)));
+    }
 }
 
 fn take_metrics(ev: &SnapEvent) -> MetricValues {
@@ -346,6 +354,14 @@ fn take_metrics(ev: &SnapEvent) -> MetricValues {
                 FieldValue::F64(v) => m.set(metric, *v),
                 FieldValue::U64(v) => m.set(metric, *v as f64),
                 _ => {}
+            }
+        } else if let Some(metric) = name.strip_prefix("d.") {
+            if let FieldValue::Str(s) = value {
+                let samples: Vec<f64> = s.split(',').filter_map(|x| x.parse().ok()).collect();
+                m.set_distribution(
+                    metric,
+                    crate::distribution::Distribution::from_samples(samples),
+                );
             }
         }
     }

@@ -1,0 +1,147 @@
+//! Property and closed-form tests for the distribution-first metrics:
+//! bootstrap determinism (including across thread counts) and exact
+//! agreement of CVaR / IQR / drawdown with hand-computed values.
+
+use decision::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A bootstrap CI is a pure function of (samples, spec): repeated
+    /// calls are bit-identical.
+    #[test]
+    fn bootstrap_ci_is_deterministic(
+        samples in prop::collection::vec(-100.0f64..100.0, 2..60),
+        seed in 0u64..1_000,
+        resamples in 10usize..200,
+    ) {
+        let d = Distribution::from_samples(samples);
+        let spec = BootstrapSpec { level: 0.9, resamples, seed };
+        let a = d.bootstrap_ci(&spec);
+        let b = d.bootstrap_ci(&spec);
+        prop_assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        prop_assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+    }
+
+    /// The same (seed, resamples) gives the same interval no matter how
+    /// many threads compute it concurrently: the resampler's RNG state is
+    /// local to the call, never shared or work-stealing-dependent.
+    #[test]
+    fn bootstrap_ci_is_thread_count_invariant(
+        samples in prop::collection::vec(-50.0f64..50.0, 4..40),
+        seed in 0u64..1_000,
+    ) {
+        let d = Distribution::from_samples(samples);
+        let spec = BootstrapSpec { level: 0.95, resamples: 64, seed };
+        let reference = d.bootstrap_ci(&spec);
+        for threads in [1usize, 2, 4] {
+            let bits: Vec<(u64, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let d = &d;
+                        let spec = &spec;
+                        scope.spawn(move || {
+                            let ci = d.bootstrap_ci(spec);
+                            (ci.lo.to_bits(), ci.hi.to_bits())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (lo, hi) in bits {
+                prop_assert_eq!(lo, reference.lo.to_bits(), "{threads} threads");
+                prop_assert_eq!(hi, reference.hi.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    /// Percentile-bootstrap bounds of the mean are ordered and stay
+    /// inside the sample range (every resampled mean does).
+    #[test]
+    fn bootstrap_ci_is_ordered_and_bounded(
+        samples in prop::collection::vec(-10.0f64..10.0, 2..50),
+        seed in 0u64..100,
+    ) {
+        let d = Distribution::from_samples(samples);
+        let spec = BootstrapSpec { level: 0.95, resamples: 50, seed };
+        let ci = d.bootstrap_ci(&spec);
+        prop_assert!(ci.lo <= ci.hi);
+        prop_assert!(ci.lo >= d.min() - 1e-12);
+        prop_assert!(ci.hi <= d.max() + 1e-12);
+    }
+
+    /// CVaR tails bracket the mean and tighten monotonically: a smaller
+    /// alpha keeps only worse outcomes.
+    #[test]
+    fn cvar_tails_bracket_the_mean(
+        samples in prop::collection::vec(-100.0f64..100.0, 1..60),
+    ) {
+        let d = Distribution::from_samples(samples);
+        prop_assert!(d.cvar_lower(0.1) <= d.mean() + 1e-9);
+        prop_assert!(d.cvar_upper(0.1) >= d.mean() - 1e-9);
+        prop_assert!(d.cvar_lower(0.1) <= d.cvar_lower(0.5) + 1e-9);
+        prop_assert!(d.cvar_upper(0.1) >= d.cvar_upper(0.5) - 1e-9);
+    }
+
+    /// Risk::Mean never changes a ranking: the sorted order under the
+    /// distribution-first API equals the legacy scalar order even when
+    /// every trial carries a distribution.
+    #[test]
+    fn risk_mean_ranking_matches_legacy(
+        values in prop::collection::vec((-5.0f64..5.0, 0.1f64..10.0), 1..20),
+    ) {
+        let trials: Vec<Trial> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, spread))| {
+                let mut m = MetricValues::new().with("reward", r);
+                m.set_distribution(
+                    "reward",
+                    vec![r - spread, r, r + spread].into(),
+                );
+                Trial::complete(i, Configuration::new(), m)
+            })
+            .collect();
+        let def = MetricDef::maximize("reward");
+        let legacy = SortedRanking::by(def.clone()).rank(&trials);
+        let risky = RankSpec::sorted().metric(def).rank(&trials);
+        prop_assert_eq!(legacy, risky.order);
+    }
+}
+
+#[test]
+fn cvar_matches_hand_computed_tail_means() {
+    let d: Distribution = (1..=100).map(f64::from).collect();
+    // alpha = 0.05 keeps ceil(0.05 * 100) = 5 samples per tail.
+    assert!((d.cvar_lower(0.05) - 3.0).abs() < 1e-12, "mean of 1..=5");
+    assert!((d.cvar_upper(0.05) - 98.0).abs() < 1e-12, "mean of 96..=100");
+    // alpha = 1 degenerates to the mean; tiny alpha to the extremes.
+    assert!((d.cvar_lower(1.0) - d.mean()).abs() < 1e-12);
+    assert!((d.cvar_lower(1e-9) - 1.0).abs() < 1e-12);
+    assert!((d.cvar_upper(1e-9) - 100.0).abs() < 1e-12);
+}
+
+#[test]
+fn quantiles_match_type7_interpolation() {
+    let d: Distribution = (1..=100).map(f64::from).collect();
+    // Hyndman–Fan type 7: rank (n-1)p, linear interpolation.
+    assert!((d.quantile(0.25) - 25.75).abs() < 1e-12);
+    assert!((d.quantile(0.75) - 75.25).abs() < 1e-12);
+    assert!((d.iqr() - 49.5).abs() < 1e-12);
+    assert!((d.median() - 50.5).abs() < 1e-12);
+    let single = Distribution::from_samples(vec![7.0]);
+    assert!((single.median() - 7.0).abs() < 1e-12);
+    assert!((single.iqr() - 0.0).abs() < 1e-12);
+}
+
+#[test]
+fn max_drawdown_matches_hand_trace() {
+    // Stream 0,10,4,8,2,12,5: running peaks 0,10,10,10,10,12,12 give
+    // drawdowns 0,0,6,2,8,0,7 — the worst is 10 -> 2.
+    let d = Distribution::from_samples(vec![0.0, 10.0, 4.0, 8.0, 2.0, 12.0, 5.0]);
+    assert!((d.max_drawdown() - 8.0).abs() < 1e-12);
+    // Monotone improvement never draws down.
+    let up: Distribution = (1..=10).map(f64::from).collect();
+    assert!(up.max_drawdown().abs() < 1e-12);
+}

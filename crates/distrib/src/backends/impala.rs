@@ -105,15 +105,17 @@ pub fn train_impala(
         .map(|w| {
             let mut env = factory.make(worker_seed(opts.seed, w, 0));
             let obs = env.reset();
-            let mut wspec =
-                WorkerSpec::new(w / cores, Collector::PerEnv { env, obs }).with_respawn(move || {
+            let mut wspec = WorkerSpec::new(w / cores, Collector::PerEnv { env, obs })
+                .with_respawn(move || {
                     let mut env = factory.make(worker_seed(opts.seed, w, 0));
                     let obs = env.reset();
                     Collector::PerEnv { env, obs }
                 });
             if let Some(env_bp) = factory.blueprint() {
-                wspec = wspec
-                    .with_blueprint(CollectorBlueprint::per_env(env_bp, worker_seed(opts.seed, w, 0)));
+                wspec = wspec.with_blueprint(CollectorBlueprint::per_env(
+                    env_bp,
+                    worker_seed(opts.seed, w, 0),
+                ));
             }
             wspec
         })

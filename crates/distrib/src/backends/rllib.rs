@@ -88,15 +88,17 @@ fn train_ppo(
         .map(|w| {
             let mut env = factory.make(worker_seed(spec.seed, w, 0));
             let obs = env.reset();
-            let mut wspec =
-                WorkerSpec::new(w / cores, Collector::PerEnv { env, obs }).with_respawn(move || {
+            let mut wspec = WorkerSpec::new(w / cores, Collector::PerEnv { env, obs })
+                .with_respawn(move || {
                     let mut env = factory.make(worker_seed(spec.seed, w, 0));
                     let obs = env.reset();
                     Collector::PerEnv { env, obs }
                 });
             if let Some(env_bp) = factory.blueprint() {
-                wspec = wspec
-                    .with_blueprint(CollectorBlueprint::per_env(env_bp, worker_seed(spec.seed, w, 0)));
+                wspec = wspec.with_blueprint(CollectorBlueprint::per_env(
+                    env_bp,
+                    worker_seed(spec.seed, w, 0),
+                ));
             }
             wspec
         })

@@ -26,20 +26,40 @@ impl TrainedModel {
 
     /// Evaluate the greedy policy: mean return over `episodes` episodes.
     pub fn evaluate(&self, env: &mut dyn Environment, episodes: usize, max_steps: usize) -> f64 {
+        self.evaluate_episodes(env, episodes, max_steps).0
+    }
+
+    /// Evaluate the greedy policy, keeping the per-episode returns.
+    ///
+    /// Returns `(mean, per_episode_returns)`. The mean is accumulated in
+    /// one continuous sum across every step of every episode — the exact
+    /// summation order of the original scalar [`Self::evaluate`] — so it
+    /// is bit-identical to that path, while the per-episode vector feeds
+    /// the distribution-first metrics (dispersion, CVaR, bootstrap CIs).
+    pub fn evaluate_episodes(
+        &self,
+        env: &mut dyn Environment,
+        episodes: usize,
+        max_steps: usize,
+    ) -> (f64, Vec<f64>) {
         let mut total = 0.0;
+        let mut per_episode = Vec::with_capacity(episodes);
         for _ in 0..episodes {
             let mut obs = env.reset();
+            let mut episode = 0.0;
             for _ in 0..max_steps {
                 let s = env.step(&self.act_greedy(&obs));
                 total += s.reward;
+                episode += s.reward;
                 let done = s.done();
                 obs = s.obs;
                 if done {
                     break;
                 }
             }
+            per_episode.push(episode);
         }
-        total / episodes as f64
+        (total / episodes as f64, per_episode)
     }
 }
 
@@ -113,6 +133,22 @@ mod tests {
         env.seed(2);
         let r = model.evaluate(&mut env, 3, 50);
         assert!(r.is_finite());
+    }
+
+    #[test]
+    fn evaluate_episodes_preserves_scalar_mean_bitwise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut rng);
+        let model = TrainedModel::Ppo(Box::new(policy));
+        let mut env = GridWorld::new(3);
+        env.seed(2);
+        let scalar = model.evaluate(&mut env, 3, 50);
+        let mut env = GridWorld::new(3);
+        env.seed(2);
+        let (mean, eps) = model.evaluate_episodes(&mut env, 3, 50);
+        assert_eq!(mean.to_bits(), scalar.to_bits(), "same stream, same sum order");
+        assert_eq!(eps.len(), 3);
+        assert!(eps.iter().all(|r| r.is_finite()));
     }
 
     #[test]

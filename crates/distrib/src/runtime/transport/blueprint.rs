@@ -22,7 +22,9 @@ use gymrs::{Environment, VecEnv};
 /// channel-bound.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EnvBlueprint {
-    Grid { n: usize },
+    Grid {
+        n: usize,
+    },
     PointMass,
     Pendulum,
     /// `AirdropConfig::fast_test()`.

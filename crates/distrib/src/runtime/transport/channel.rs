@@ -81,10 +81,7 @@ impl Transport for ChannelTransport {
         self.workers[worker].commands.send(cmd).map_err(|_| SendError)
     }
 
-    fn recv_deadline(
-        &mut self,
-        deadline: Option<Instant>,
-    ) -> Result<Option<Event>, RuntimeError> {
+    fn recv_deadline(&mut self, deadline: Option<Instant>) -> Result<Option<Event>, RuntimeError> {
         let Some(deadline) = deadline else {
             return self.events.recv().map(Some).map_err(|_| RuntimeError::Disconnected);
         };

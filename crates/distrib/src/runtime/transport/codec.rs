@@ -795,8 +795,11 @@ mod tests {
         let mut w = FrameWriter::new();
         let mut bytes = Vec::new();
         bytes.extend_from_slice(encode_iam(&mut w, 5));
-        bytes
-            .extend_from_slice(encode_event(&mut w, &mut Event::Heartbeat { worker: 5, round: 1 }, &mut RngCache::new()));
+        bytes.extend_from_slice(encode_event(
+            &mut w,
+            &mut Event::Heartbeat { worker: 5, round: 1 },
+            &mut RngCache::new(),
+        ));
 
         struct OneByte<'a>(&'a [u8]);
         impl Read for OneByte<'_> {

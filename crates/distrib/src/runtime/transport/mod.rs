@@ -65,7 +65,9 @@ pub enum TransportConfig {
     InProcess,
     Uds,
     /// Listen address for the driver side; workers connect to it.
-    Tcp { addr: String },
+    Tcp {
+        addr: String,
+    },
 }
 
 impl TransportConfig {
@@ -152,8 +154,7 @@ pub(crate) trait Transport: Send {
 
     /// Wait for the next event; `Ok(None)` means the deadline expired.
     /// Flushes pending output before blocking.
-    fn recv_deadline(&mut self, deadline: Option<Instant>)
-        -> Result<Option<Event>, RuntimeError>;
+    fn recv_deadline(&mut self, deadline: Option<Instant>) -> Result<Option<Event>, RuntimeError>;
 
     /// Collect a dead worker's corpse (join the thread / wait the
     /// process). Safe to call repeatedly and on workers already reaped.

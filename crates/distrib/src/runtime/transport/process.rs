@@ -274,12 +274,7 @@ impl ProcessTransport {
             TransportConfig::Tcp { addr } => {
                 let l = TcpListener::bind(addr)?;
                 let actual = l.local_addr()?;
-                (
-                    Listener::Tcp(l),
-                    ConnectSpec::Tcp(actual.to_string()),
-                    None,
-                    TransportKind::Tcp,
-                )
+                (Listener::Tcp(l), ConnectSpec::Tcp(actual.to_string()), None, TransportKind::Tcp)
             }
             TransportConfig::InProcess => {
                 return Err(io::Error::new(
@@ -497,10 +492,7 @@ impl Transport for ProcessTransport {
         }
     }
 
-    fn recv_deadline(
-        &mut self,
-        deadline: Option<Instant>,
-    ) -> Result<Option<Event>, RuntimeError> {
+    fn recv_deadline(&mut self, deadline: Option<Instant>) -> Result<Option<Event>, RuntimeError> {
         self.flush();
         loop {
             let (worker, epoch, item) = match deadline {

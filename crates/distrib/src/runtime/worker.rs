@@ -128,11 +128,7 @@ impl WorkerState {
 
     /// Process one command, emitting events through `emit` (which
     /// returns `false` when the driver is unreachable).
-    pub(crate) fn handle(
-        &mut self,
-        cmd: Command,
-        emit: &mut dyn FnMut(Event) -> bool,
-    ) -> Flow {
+    pub(crate) fn handle(&mut self, cmd: Command, emit: &mut dyn FnMut(Event) -> bool) -> Flow {
         let worker = self.worker;
         match cmd {
             Command::Collect { round, steps, mut rng } => {

@@ -12,10 +12,10 @@
 //! versions that fuzz the same properties in CI.
 
 use dist_exec::backend::run;
+use dist_exec::backends::common::Segment;
 use dist_exec::runtime::transport::codec::{
     self, decode_command, decode_event, encode_command, encode_event, FrameReader, FrameWriter,
 };
-use dist_exec::backends::common::Segment;
 use dist_exec::runtime::transport::RngCache;
 use dist_exec::runtime::{
     set_worker_bin_for_tests, Command, EnvBlueprint, Event, RngStream, WILDCARD_ROUND,
@@ -207,9 +207,12 @@ fn frames_survive_byte_dribble() {
     let mut w2 = FrameWriter::new();
     let reenc = encode_command(&mut w2, &mut again, &mut RngCache::new()).to_vec();
     let mut w3 = FrameWriter::new();
-    let original =
-        encode_command(&mut w3, &mut Command::Collect { round: 9, steps: 64, rng: advanced_stream(5, 11) }, &mut RngCache::new())
-            .to_vec();
+    let original = encode_command(
+        &mut w3,
+        &mut Command::Collect { round: 9, steps: 64, rng: advanced_stream(5, 11) },
+        &mut RngCache::new(),
+    )
+    .to_vec();
     assert_eq!(reenc, original);
 }
 
@@ -246,13 +249,8 @@ fn fingerprint(returns: &[f64], wall_s: f64, energy_j: f64) -> Vec<u64> {
 fn spec_for(framework: Framework, transport: Option<&str>) -> ExecSpec {
     // SB3 and TF-Agents parallelize on one node only (paper §V-b).
     let nodes = if framework == Framework::RayRllib { 2 } else { 1 };
-    let mut spec = ExecSpec::new(
-        framework,
-        Algorithm::Ppo,
-        Deployment { nodes, cores_per_node: 2 },
-        384,
-        17,
-    );
+    let mut spec =
+        ExecSpec::new(framework, Algorithm::Ppo, Deployment { nodes, cores_per_node: 2 }, 384, 17);
     spec.ppo = rl_algos::ppo::PpoConfig::fast_test();
     if let Some(t) = transport {
         spec = spec.with_transport(t);
@@ -284,9 +282,13 @@ fn run_impala(transport: Option<&str>) -> (Vec<u64>, u64) {
         ..Default::default()
     };
     let mut session = cluster_sim::ClusterSession::new(cluster_sim::ClusterSpec::paper_testbed(2));
-    let report =
-        dist_exec::train_impala(&opts, &EnvBlueprint::Grid { n: 3 }, &mut session, &mut NullObserver)
-            .expect("impala runs");
+    let report = dist_exec::train_impala(
+        &opts,
+        &EnvBlueprint::Grid { n: 3 },
+        &mut session,
+        &mut NullObserver,
+    )
+    .expect("impala runs");
     let usage = session.finish();
     (fingerprint(&report.train_returns, usage.wall_s, usage.energy_j), usage.wire_bytes)
 }

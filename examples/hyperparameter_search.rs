@@ -24,6 +24,10 @@ use rl_decision_tools::telemetry::{Key, Recorder, SpanId, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// The example's one metric, as a typed key: every set/rank/read site
+/// below goes through this handle instead of repeating the string.
+const RETURN: MetricKey = MetricKey("return");
+
 /// Train PPO briefly with the configured hyperparameters; report the mean
 /// training return of the final iterations, giving the pruner an
 /// intermediate value after every iteration.
@@ -53,10 +57,10 @@ fn objective(cfg: &Configuration, ctx: &mut TrialContext) -> Result<MetricValues
         learner.update(&out.rollout, &mut rng);
         if ctx.report(iter, recent) {
             // Pruned: return what we have so far.
-            return Ok(MetricValues::new().with("return", recent));
+            return Ok(MetricValues::new().with_key(RETURN, recent));
         }
     }
-    Ok(MetricValues::new().with("return", recent))
+    Ok(MetricValues::new().with_key(RETURN, recent))
 }
 
 fn run_search(explorer: impl Explorer + 'static, prune: bool, label: &str) {
@@ -65,7 +69,7 @@ fn run_search(explorer: impl Explorer + 'static, prune: bool, label: &str) {
     let mut builder = Study::builder(label)
         .space(space)
         .explorer(explorer)
-        .metric(MetricDef::maximize("return"))
+        .metric(MetricDef::maximize_key(RETURN))
         .seed(3)
         .objective(objective);
     if prune {
@@ -76,12 +80,12 @@ fn run_search(explorer: impl Explorer + 'static, prune: bool, label: &str) {
 
     let complete = trials.iter().filter(|t| t.is_complete()).count();
     let pruned = trials.iter().filter(|t| t.status == TrialStatus::Pruned).count();
-    let best = SortedRanking::by(MetricDef::maximize("return")).best(&trials);
+    let best = SortedRanking::by(MetricDef::maximize_key(RETURN)).best(&trials);
     print!("{label:<28} {complete:>3} complete, {pruned:>2} pruned | ");
     match best {
         Some(i) => println!(
             "best return {:+.3} at {}",
-            trials[i].metrics.get("return").unwrap_or(f64::NAN),
+            trials[i].metrics.get_key(RETURN).unwrap_or(f64::NAN),
             trials[i].config
         ),
         None => println!("no completed trials"),
@@ -130,8 +134,8 @@ fn demo_resume(budget: usize) {
                     .float("ent_coef", 0.0, 0.02)
                     .build(),
             )
-            .explorer(TpeLite::new(budget, "return", Direction::Maximize))
-            .metric(MetricDef::maximize("return"))
+            .explorer(TpeLite::new(budget, RETURN.name(), Direction::Maximize))
+            .metric(MetricDef::maximize_key(RETURN))
             .pruner(MedianPruner::new())
             .seed(3)
             .journal(Journal::new(&wal))
@@ -163,11 +167,11 @@ fn demo_resume(budget: usize) {
         trials.len()
     );
 
-    let best = SortedRanking::by(MetricDef::maximize("return")).best(&trials);
+    let best = SortedRanking::by(MetricDef::maximize_key(RETURN)).best(&trials);
     match best {
         Some(i) => println!(
             "best return {:+.3} at {}",
-            trials[i].metrics.get("return").unwrap_or(f64::NAN),
+            trials[i].metrics.get_key(RETURN).unwrap_or(f64::NAN),
             trials[i].config
         ),
         None => println!("no completed trials"),
@@ -185,7 +189,7 @@ fn main() {
     println!("Tuning PPO (lr, ent_coef) on PointMass, {budget} trials each:\n");
     run_search(RandomSearch::new(budget), false, "random search");
     run_search(
-        TpeLite::new(budget, "return", Direction::Maximize),
+        TpeLite::new(budget, RETURN.name(), Direction::Maximize),
         true,
         "tpe-lite + median pruner",
     );

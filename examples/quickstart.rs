@@ -26,12 +26,15 @@ fn main() -> Result<(), String> {
     // Stage (a)+(d): the case study and its metrics — here a synthetic
     // objective with the paper's couplings (higher order → better score
     // but more time; more cores → faster but more power).
+    // Typed metric handles: the shared paper metrics come from
+    // `metric_keys`, so ranking/report code can't drift from the
+    // objective via a misspelled string.
     let study = Study::builder("quickstart")
         .space(space)
         .explorer(RandomSearch::new(18).without_duplicates()) // stage (c)
-        .metric(MetricDef::maximize("reward"))
-        .metric(MetricDef::minimize("time_min"))
-        .metric(MetricDef::minimize("power_kj"))
+        .metric(MetricDef::maximize_key(metric_keys::REWARD))
+        .metric(MetricDef::minimize_key(metric_keys::TIME_MIN))
+        .metric(MetricDef::minimize_key(metric_keys::POWER_KJ))
         .seed(7)
         .objective(|cfg: &Configuration, _ctx: &mut TrialContext| {
             let order = cfg.int("accuracy_order").unwrap() as f64;
@@ -41,9 +44,9 @@ fn main() -> Result<(), String> {
             let time = (40.0 + 4.0 * order) * (4.0 / cores).sqrt();
             let power = time * (10.0 + 8.0 * cores) * 60.0 / 1000.0;
             Ok(MetricValues::new()
-                .with("reward", reward)
-                .with("time_min", time)
-                .with("power_kj", power))
+                .with_key(metric_keys::REWARD, reward)
+                .with_key(metric_keys::TIME_MIN, time)
+                .with_key(metric_keys::POWER_KJ, power))
         })
         .build()?;
 
@@ -72,12 +75,12 @@ fn main() -> Result<(), String> {
     }
 
     // Alternative rankings.
-    let fastest = SortedRanking::by(MetricDef::minimize("time_min")).best(&trials);
+    let fastest = SortedRanking::by(MetricDef::minimize_key(metric_keys::TIME_MIN)).best(&trials);
     println!("\nFastest solution: #{}", fastest.map(|i| i + 1).unwrap_or(0));
     let balanced = WeightedSum::new()
-        .weight(MetricDef::maximize("reward"), 0.5)
-        .weight(MetricDef::minimize("time_min"), 0.25)
-        .weight(MetricDef::minimize("power_kj"), 0.25)
+        .weight(MetricDef::maximize_key(metric_keys::REWARD), 0.5)
+        .weight(MetricDef::minimize_key(metric_keys::TIME_MIN), 0.25)
+        .weight(MetricDef::minimize_key(metric_keys::POWER_KJ), 0.25)
         .rank(&trials);
     println!("Balanced weighted-sum winner: #{}", balanced.first().map(|i| i + 1).unwrap_or(0));
     Ok(())

@@ -4,7 +4,7 @@
 
 use bench::paper::{PaperRow, TABLE1};
 use rl_decision_tools::decision::prelude::*;
-use rl_decision_tools::decision::rank::hypervolume_2d;
+use rl_decision_tools::decision::rank::Hypervolume;
 use rl_decision_tools::decision::report;
 
 fn paper_trials() -> Vec<Trial> {
@@ -110,11 +110,12 @@ fn hypervolume_ranks_the_three_figures_consistently() {
     let trials = paper_trials();
     let mx = MetricDef::maximize("reward");
     let my = MetricDef::minimize("time_min");
-    let all = hypervolume_2d(&trials, &mx, &my, (-3.0, 400.0));
+    let measure = Hypervolume::new(mx, my, (-3.0, 400.0));
+    let all = measure.value(&trials);
     for id in [2usize, 5, 11, 16] {
         let single: Vec<Trial> =
             trials.iter().filter(|t| t.config.int("draw") == Some(id as i64)).cloned().collect();
-        let hv = hypervolume_2d(&single, &mx, &my, (-3.0, 400.0));
+        let hv = measure.value(&single);
         assert!(hv < all, "config {id} alone cannot dominate the full front");
     }
 }

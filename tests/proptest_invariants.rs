@@ -149,13 +149,14 @@ proptest! {
     /// Hypervolume is monotone under adding points.
     #[test]
     fn hypervolume_monotone(points in prop::collection::vec((0.1f64..1.0, 1.0f64..99.0), 1..20)) {
-        use rl_decision_tools::decision::rank::hypervolume_2d;
+        use rl_decision_tools::decision::rank::Hypervolume;
         let m = metrics();
         let all: Vec<Trial> =
             points.iter().enumerate().map(|(i, &(r, t))| trial(i, r, t)).collect();
         let half: Vec<Trial> = all[..all.len() / 2].to_vec();
-        let hv_all = hypervolume_2d(&all, &m[0], &m[1], (0.0, 100.0));
-        let hv_half = hypervolume_2d(&half, &m[0], &m[1], (0.0, 100.0));
+        let measure = Hypervolume::new(m[0].clone(), m[1].clone(), (0.0, 100.0));
+        let hv_all = measure.value(&all);
+        let hv_half = measure.value(&half);
         prop_assert!(hv_all + 1e-12 >= hv_half);
     }
 }

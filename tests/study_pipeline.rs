@@ -37,7 +37,7 @@ fn mini_study_produces_complete_trials_and_fronts() {
         &["rk_order", "framework", "algorithm", "nodes", "cores"],
         &MetricDef::paper_metrics()
             .into_iter()
-            .map(|m| MetricDef { name: m.name, direction: m.direction })
+            .map(|m| MetricDef { name: m.name, direction: m.direction, risk: m.risk })
             .collect::<Vec<_>>(),
     );
     assert!(table.contains("Stable Baselines"));
