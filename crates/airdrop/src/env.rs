@@ -3,7 +3,7 @@
 use crate::config::{ActionMode, AirdropConfig};
 use crate::dynamics::{initial_state, ParafoilDynamics, ParafoilParams, STATE_DIM};
 use crate::wind::WindModel;
-use gymrs::{Action, Environment, Space, Step};
+use gymrs::{Action, EnvSnapshot, Environment, SnapshotError, Space, Step};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rk_ode::stepper::FixedStepper;
@@ -292,6 +292,47 @@ impl Environment for AirdropEnv {
         n_envs: usize,
     ) -> Option<Box<dyn gymrs::vec_env::AnyLockstepBatcher>> {
         Some(Box::new(crate::batch::AirdropBatch::new(self.config.clone(), n_envs)))
+    }
+
+    /// Capture the mid-episode state: physical state vector, transient
+    /// gust, episode counters and reward-shaping potential. The capture
+    /// is a sequence point — the integrator's FSAL cache is dropped on
+    /// the live environment too, so the live and restored futures stay
+    /// bitwise identical. `total_work` is cumulative diagnostics across
+    /// episodes and is deliberately not part of the snapshot.
+    fn snapshot(&mut self) -> Option<EnvSnapshot> {
+        let rng_seed = self.rng.gen::<u64>();
+        self.seed(rng_seed);
+        self.stepper.reset();
+        let gust = self.wind.gust();
+        let mut f = self.state.to_vec();
+        f.extend_from_slice(&[gust.0, gust.1, self.prev_potential, self.drop_distance]);
+        Some(EnvSnapshot {
+            kind: "airdrop".into(),
+            f,
+            u: vec![self.t as u64, self.max_steps as u64, self.last_work, self.done as u64],
+            rng_seed,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EnvSnapshot) -> Result<(), SnapshotError> {
+        if snapshot.kind != "airdrop" {
+            return Err(SnapshotError::Mismatch("kind"));
+        }
+        if snapshot.f.len() != STATE_DIM + 4 || snapshot.u.len() != 4 {
+            return Err(SnapshotError::Mismatch("buffer layout"));
+        }
+        self.state.copy_from_slice(&snapshot.f[..STATE_DIM]);
+        self.wind.set_gust((snapshot.f[STATE_DIM], snapshot.f[STATE_DIM + 1]));
+        self.prev_potential = snapshot.f[STATE_DIM + 2];
+        self.drop_distance = snapshot.f[STATE_DIM + 3];
+        self.t = snapshot.u[0] as usize;
+        self.max_steps = snapshot.u[1] as usize;
+        self.last_work = snapshot.u[2];
+        self.done = snapshot.u[3] != 0;
+        self.stepper.reset();
+        self.seed(snapshot.rng_seed);
+        Ok(())
     }
 }
 

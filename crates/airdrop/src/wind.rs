@@ -79,6 +79,11 @@ impl WindModel {
     pub fn gust(&self) -> (f64, f64) {
         self.gust
     }
+
+    /// Overwrite the transient gust state (snapshot restore).
+    pub(crate) fn set_gust(&mut self, gust: (f64, f64)) {
+        self.gust = gust;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,216 @@
+//! Counterfactual fan-out costs: what a divergence-scored what-if
+//! analysis costs as the alternatives-per-point (K), continuation
+//! horizon and fan-out batch width grow, and what the batched lockstep
+//! path buys over the scalar reference loop.
+//!
+//! Besides the criterion group, running this bench writes
+//! `BENCH_counterfactual.json` at the workspace root with two sections:
+//!
+//! * `results` — a `K × horizon × rollouts` sweep of full analyses on a
+//!   recorded point-mass episode (its per-step reward responds to the
+//!   forked action immediately, so divergences are nonzero at every
+//!   decision point). Every number is a pure function of the
+//!   seeds below (the analyzer shares continuation seeds across
+//!   alternatives), so rerunning reproduces this section byte for byte.
+//! * `timing` — measured wall-clock for the same fan-out payload through
+//!   the scalar reference loop and the batched lockstep path on the
+//!   airdrop environment (the SIMD ODE batcher's home turf). Timings are
+//!   machine-dependent by nature; only this section varies across runs.
+//!
+//! Set `BENCH_SMOKE=1` to shrink both sweeps for CI.
+
+use counterfactual::{Aggregate, AnalyzerConfig, CounterfactualAnalyzer, Exec};
+use criterion::{criterion_group, Criterion};
+use dist_exec::{ContinuationPolicy, EnvBlueprint, WhatIfPayload, WhatIfTask};
+use gymrs::Action;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The deterministic episode policy for the sweep: a small cycle of
+/// point-mass thrusts so the recorded trajectory visits distinct states.
+fn point_mass_action(t: usize, _obs: &[f64]) -> Action {
+    Action::Continuous(vec![0.6 - 0.4 * (t % 3) as f64, -0.3 + 0.3 * (t % 2) as f64])
+}
+
+/// Mean/weighted-mean/max of the pooled per-alternative scores of a
+/// report — the same [`Aggregate`] rules the analyzer applies per point,
+/// here over the whole episode so the JSON carries one ordered triple
+/// per cell (the CI gate checks `mean ≤ weighted_mean ≤ max`).
+fn pooled(scores: &[f64]) -> serde_json::Value {
+    serde_json::json!({
+        "mean": Aggregate::Mean.apply(scores),
+        "weighted_mean": Aggregate::WeightedMean.apply(scores),
+        "max": Aggregate::Max.apply(scores),
+    })
+}
+
+fn emit_counterfactual_sweep() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let alternatives: &[usize] = if smoke { &[3] } else { &[1, 3, 7] };
+    let horizons: &[usize] = if smoke { &[16] } else { &[16, 64] };
+    let rollouts: &[usize] = if smoke { &[4] } else { &[4, 8, 16] };
+
+    let mut results = Vec::new();
+    for &k in alternatives {
+        for &horizon in horizons {
+            for &n in rollouts {
+                let config = AnalyzerConfig {
+                    alternatives: k,
+                    rollouts: n,
+                    horizon,
+                    stride: 2,
+                    ..AnalyzerConfig::default()
+                };
+                let analyzer = CounterfactualAnalyzer::new(EnvBlueprint::PointMass, config);
+                let episode = analyzer.record_episode(11, 8, point_mass_action);
+                let report = analyzer
+                    .analyze(&episode, &ContinuationPolicy::Hold, &mut Exec::Batched {
+                        force: None,
+                    })
+                    .expect("analysis runs");
+                let js: Vec<f64> =
+                    report.points.iter().flat_map(|p| p.alternatives.iter().map(|a| a.js)).collect();
+                let w1: Vec<f64> =
+                    report.points.iter().flat_map(|p| p.alternatives.iter().map(|a| a.w1)).collect();
+                results.push(serde_json::json!({
+                    "alternatives": k,
+                    "horizon": horizon,
+                    "rollouts": n,
+                    // Rollouts dispatched per decision point: the factual
+                    // action plus K alternatives, n seeds each.
+                    "batch_width": (k + 1) * n,
+                    "points": report.points.len(),
+                    "factual_return": report.factual_return,
+                    "js": pooled(&js),
+                    "w1": pooled(&w1),
+                    "most_consequential_t": report.most_consequential().map(|p| p.t as i64).unwrap_or(-1),
+                }));
+            }
+        }
+    }
+
+    // Timing: the identical fan-out payload through the scalar reference
+    // loop vs. the batched lockstep path. The airdrop env's ODE stepping
+    // is where batching pays; the parity suite already proves the two
+    // paths agree bit for bit, so this measures cost alone.
+    let widths: &[usize] = if smoke { &[32] } else { &[8, 32, 64] };
+    let timing_horizon = if smoke { 32 } else { 64 };
+    let reps = if smoke { 3 } else { 5 };
+    let recorder_cfg = AnalyzerConfig { stride: 1, ..AnalyzerConfig::default() };
+    let recorder = CounterfactualAnalyzer::new(EnvBlueprint::AirdropFast, recorder_cfg);
+    let episode = recorder.record_episode(3, 4, |_, _| Action::Continuous(vec![0.1]));
+    let point = episode.points.last().expect("airdrop episode has decision points");
+
+    let mut timing = Vec::new();
+    for &width in widths {
+        let payload = WhatIfPayload {
+            env: EnvBlueprint::AirdropFast,
+            snapshot: point.snapshot.clone(),
+            horizon: timing_horizon,
+            policy: ContinuationPolicy::Hold,
+            tasks: (0..width)
+                .map(|j| WhatIfTask {
+                    first_action: Action::Continuous(vec![-0.5 + j as f64 / width as f64]),
+                    seed: 0xFA9_0000u64 + j as u64,
+                })
+                .collect(),
+        };
+        let time_best = |exec: &mut Exec| -> f64 {
+            black_box(exec.run(&payload).expect("fan-out runs")); // warm-up
+            (0..reps)
+                .map(|_| {
+                    let t = Instant::now();
+                    black_box(exec.run(&payload).expect("fan-out runs"));
+                    t.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let scalar_s = time_best(&mut Exec::Scalar);
+        let batched_s = time_best(&mut Exec::Batched { force: Some(true) });
+        timing.push(serde_json::json!({
+            "env": "airdrop_fast",
+            "batch_width": width,
+            "horizon": timing_horizon,
+            "scalar_s": scalar_s,
+            "batched_s": batched_s,
+            "speedup": scalar_s / batched_s,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "counterfactual_sweep",
+        "unit": "divergences dimensionless; timings in seconds (only `timing` varies across runs)",
+        "notes": "point-mass episode seed 11, cycling thrusts, stride 2; \
+                  analyzer seeds are the defaults, shared across alternatives; \
+                  timing payloads fork an AirdropFast snapshot under Hold continuations",
+        "results": results,
+        "timing": timing,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_counterfactual.json");
+    let body = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Err(e) = std::fs::write(path, body + "\n") {
+        eprintln!("BENCH_counterfactual.json not written: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn bench_counterfactual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counterfactual");
+    group.sample_size(10);
+
+    let analyzer = CounterfactualAnalyzer::new(
+        EnvBlueprint::PointMass,
+        AnalyzerConfig { alternatives: 3, rollouts: 8, horizon: 32, ..AnalyzerConfig::default() },
+    );
+    let episode = analyzer.record_episode(11, 8, point_mass_action);
+    group.bench_function("analyze_pointmass_k3_r8_h32", |b| {
+        b.iter(|| {
+            black_box(
+                analyzer
+                    .analyze(&episode, &ContinuationPolicy::Hold, &mut Exec::Batched {
+                        force: None,
+                    })
+                    .expect("analysis runs"),
+            )
+        });
+    });
+
+    let recorder =
+        CounterfactualAnalyzer::new(EnvBlueprint::AirdropFast, AnalyzerConfig::default());
+    let airdrop = recorder.record_episode(3, 4, |_, _| Action::Continuous(vec![0.1]));
+    let point = airdrop.points.last().expect("decision points");
+    let payload = WhatIfPayload {
+        env: EnvBlueprint::AirdropFast,
+        snapshot: point.snapshot.clone(),
+        horizon: 64,
+        policy: ContinuationPolicy::Hold,
+        tasks: (0..32)
+            .map(|j| WhatIfTask {
+                first_action: Action::Continuous(vec![-0.5 + j as f64 / 32.0]),
+                seed: 0xFA9_0000u64 + j as u64,
+            })
+            .collect(),
+    };
+    group.bench_function("fanout_airdrop_w32_scalar", |b| {
+        b.iter(|| black_box(Exec::Scalar.run(black_box(&payload)).expect("runs")));
+    });
+    group.bench_function("fanout_airdrop_w32_batched", |b| {
+        b.iter(|| {
+            black_box(Exec::Batched { force: Some(true) }.run(black_box(&payload)).expect("runs"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_counterfactual
+}
+
+fn main() {
+    emit_counterfactual_sweep();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

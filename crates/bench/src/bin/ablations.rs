@@ -124,7 +124,7 @@ fn main() {
             Box::new(env) as Box<dyn Environment>
         });
         let mut session = ClusterSession::new(ClusterSpec::paper_testbed(2));
-        let report = train_impala(&impala, &factory, &mut session, &mut dist_exec::NullObserver)
+        let report = train_impala(&impala, &factory, &mut session)
             .expect("impala trains");
         let usage = session.finish();
         let mut eval_env = AirdropEnv::new(

@@ -10,7 +10,7 @@ use airdrop_sim::{AirdropConfig, AirdropEnv};
 use bench::HarnessOpts;
 use cluster_sim::{render_gantt, ClusterSession, ClusterSpec};
 use dist_exec::backend::backend_for;
-use dist_exec::{Deployment, ExecSpec, FnEnvFactory, Framework, NullObserver};
+use dist_exec::{Deployment, ExecSpec, FnEnvFactory, Framework};
 use gymrs::Environment;
 use rl_algos::ppo::PpoConfig;
 use rl_algos::Algorithm;
@@ -53,7 +53,7 @@ fn main() {
         let mut session = ClusterSession::new(cluster.clone()).with_trace();
         let backend = backend_for(framework);
         let _report =
-            backend.train(&spec, &factory, &mut session, &mut NullObserver).expect("trains");
+            backend.train(&spec, &factory, &mut session).expect("trains");
         let trace = session.trace().to_vec();
         let usage = session.finish();
         let title = format!(

@@ -14,8 +14,7 @@ use crate::trial::Trial;
 ///
 /// Metrics are read through their [`crate::metrics::Risk`] specs, so a
 /// `Cvar`/`LowerCi` def measures the volume of the *pessimistic* front;
-/// with the default `Risk::Mean` this is exactly the legacy
-/// [`hypervolume_2d`] value.
+/// with the default `Risk::Mean` this is the plain front hypervolume.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hypervolume {
     x: MetricDef,
@@ -93,18 +92,6 @@ fn area(pts: Vec<(f64, f64)>) -> f64 {
     hv
 }
 
-/// Exact hypervolume of the front of `trials` under two metrics, measured
-/// against `reference`.
-#[deprecated(since = "0.1.0", note = "use `Hypervolume::new(mx, my, reference).value(trials)`")]
-pub fn hypervolume_2d(
-    trials: &[Trial],
-    mx: &MetricDef,
-    my: &MetricDef,
-    reference: (f64, f64),
-) -> f64 {
-    Hypervolume::new(mx.clone(), my.clone(), reference).value(trials)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,16 +154,6 @@ mod tests {
         let base = vec![t(0, 2.0, 30.0)];
         let more = vec![t(0, 2.0, 30.0), t(1, 3.0, 60.0), t(2, 1.0, 10.0)];
         assert!(hv(&more, (0.0, 100.0)) >= hv(&base, (0.0, 100.0)));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_struct() {
-        let (mx, my) = axes();
-        let trials = vec![t(0, 2.0, 30.0), t(1, 3.0, 60.0)];
-        let a = hypervolume_2d(&trials, &mx, &my, (0.0, 100.0));
-        let b = Hypervolume::new(mx, my, (0.0, 100.0)).value(&trials);
-        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

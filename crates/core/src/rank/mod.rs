@@ -18,8 +18,6 @@ pub mod sorted;
 pub mod spec;
 pub mod weighted;
 
-#[allow(deprecated)]
-pub use hypervolume::hypervolume_2d;
 pub use hypervolume::Hypervolume;
 pub use pareto::ParetoFront;
 pub use sorted::SortedRanking;

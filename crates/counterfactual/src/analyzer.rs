@@ -1,0 +1,474 @@
+//! The decision-point walker: record an episode, fork alternatives at
+//! every captured snapshot, score the forks by how far they move the
+//! return distribution.
+//!
+//! Determinism contract: [`CounterfactualAnalyzer::analyze`] is a pure
+//! function of `(episode, config, policy)` — continuation seeds are
+//! derived from `config.seed` with a SplitMix64 mix over the decision
+//! point's step index and the rollout index, every action at a point
+//! shares the same seed set (common random numbers), and the executor
+//! choice changes wall-clock only, never bits.
+
+use decision::distribution::Distribution;
+use dist_exec::{ContinuationPolicy, EnvBlueprint, WhatIfPayload, WhatIfTask};
+use gymrs::{Action, EnvSnapshot, Space};
+use serde::Serialize;
+use telemetry::{SharedRecorder, Value};
+
+use crate::divergence::{js_divergence, wasserstein_1, Aggregate};
+use crate::fanout::{CfError, Exec};
+use crate::keys;
+
+/// Tuning knobs for one analysis run. `Default` is sized for tests;
+/// benches sweep `alternatives`/`horizon` and the fan-out width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AnalyzerConfig {
+    /// `K`: alternative first actions forked per decision point. For a
+    /// discrete action space the alternatives are the first `K` actions
+    /// other than the factual one; for a box space, `K` points evenly
+    /// spaced along the (bound-clamped) box diagonal.
+    pub alternatives: usize,
+    /// `N`: continuation rollouts per action — the sample count of each
+    /// return [`Distribution`].
+    pub rollouts: usize,
+    /// Continuation step budget per rollout (forked step included).
+    pub horizon: usize,
+    /// Snapshot every `stride`-th step of the recorded episode (1 =
+    /// every step is a decision point).
+    pub stride: usize,
+    /// Histogram cells for the Jensen–Shannon divergence.
+    pub bins: usize,
+    /// Base seed of the continuation-seed derivation.
+    pub seed: u64,
+    /// How per-alternative divergences collapse into the point score.
+    pub aggregate: Aggregate,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        Self {
+            alternatives: 3,
+            rollouts: 8,
+            horizon: 64,
+            stride: 1,
+            bins: 16,
+            seed: 0xC0FF_EE00,
+            aggregate: Aggregate::Mean,
+        }
+    }
+}
+
+/// One captured decision point of a recorded episode.
+#[derive(Debug, Clone)]
+pub struct DecisionPoint {
+    /// Step index within the episode.
+    pub t: usize,
+    /// Environment state immediately before the factual action.
+    pub snapshot: EnvSnapshot,
+    /// Observation the factual action was chosen from.
+    pub obs: Vec<f64>,
+    /// The action the recorded episode actually took.
+    pub factual_action: Action,
+}
+
+/// A recorded episode: the captured decision points plus the factual
+/// outcome.
+#[derive(Debug, Clone)]
+pub struct RecordedEpisode {
+    /// Decision points in step order.
+    pub points: Vec<DecisionPoint>,
+    /// Undiscounted return of the recorded episode.
+    pub factual_return: f64,
+    /// Episode length in steps.
+    pub len: usize,
+}
+
+/// One alternative action's outcome at a decision point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AlternativeOutcome {
+    /// The forked first action.
+    pub action: Action,
+    /// Return distribution of its continuations.
+    pub returns: Distribution,
+    /// Jensen–Shannon divergence from the factual distribution.
+    pub js: f64,
+    /// 1-Wasserstein distance from the factual distribution.
+    pub w1: f64,
+}
+
+/// Divergence scores of one decision point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DecisionPointReport {
+    /// Step index within the episode.
+    pub t: usize,
+    /// The recorded action.
+    pub factual_action: Action,
+    /// Return distribution of the factual action's continuations.
+    pub factual_returns: Distribution,
+    /// Every forked alternative with its distribution and divergences.
+    pub alternatives: Vec<AlternativeOutcome>,
+    /// Aggregated Jensen–Shannon score ([`AnalyzerConfig::aggregate`]).
+    pub js_score: f64,
+    /// Aggregated 1-Wasserstein score.
+    pub w1_score: f64,
+}
+
+/// The full consequence trace of one episode.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EpisodeReport {
+    /// Scored decision points, in step order.
+    pub points: Vec<DecisionPointReport>,
+    /// The recorded episode's factual return.
+    pub factual_return: f64,
+}
+
+impl EpisodeReport {
+    /// The decision point with the largest 1-Wasserstein score — "the
+    /// decision that mattered most", scale-aware.
+    pub fn most_consequential(&self) -> Option<&DecisionPointReport> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.w1_score.total_cmp(&b.w1_score))
+    }
+}
+
+/// The first `k` alternative actions to `factual` in `space`: the
+/// lowest-index other actions of a discrete space, or `k` evenly spaced
+/// points on the diagonal of a box space (unbounded axes are clamped to
+/// `[-1, 1]` so the grid stays finite).
+pub fn alternatives_for(space: &Space, factual: &Action, k: usize) -> Vec<Action> {
+    match space {
+        Space::Discrete(n) => (0..*n)
+            .map(Action::Discrete)
+            .filter(|a| a != factual)
+            .take(k)
+            .collect(),
+        Space::Box { low, high } => (0..k)
+            .map(|j| {
+                let t = (j as f64 + 1.0) / (k as f64 + 1.0);
+                Action::Continuous(
+                    low.iter()
+                        .zip(high)
+                        .map(|(&lo, &hi)| {
+                            let lo = if lo.is_finite() { lo } else { -1.0 };
+                            let hi = if hi.is_finite() { hi } else { 1.0 };
+                            lo + t * (hi - lo)
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Walks recorded episodes and scores their decision points. See the
+/// crate docs for the pipeline.
+pub struct CounterfactualAnalyzer {
+    blueprint: EnvBlueprint,
+    config: AnalyzerConfig,
+    recorder: SharedRecorder,
+}
+
+impl CounterfactualAnalyzer {
+    /// An analyzer over environments built from `blueprint`.
+    pub fn new(blueprint: EnvBlueprint, config: AnalyzerConfig) -> Self {
+        Self { blueprint, config, recorder: telemetry::null_recorder() }
+    }
+
+    /// Route the consequence trace (see [`crate::keys`]) to `recorder`.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// The analyzer's configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Run one episode under `act` (step index and observation in,
+    /// action out), snapshotting every [`AnalyzerConfig::stride`]-th
+    /// step as a decision point. Snapshot capture re-keys the episode's
+    /// RNG (the sequence-point contract), so the recorded episode is
+    /// deterministic in `(blueprint, episode_seed, act, stride)` — but
+    /// differs from the same policy run without recording.
+    pub fn record_episode(
+        &self,
+        episode_seed: u64,
+        max_steps: usize,
+        mut act: impl FnMut(usize, &[f64]) -> Action,
+    ) -> RecordedEpisode {
+        let stride = self.config.stride.max(1);
+        let mut env = self.blueprint.build(episode_seed);
+        let mut obs = env.reset();
+        let mut points = Vec::new();
+        let mut factual_return = 0.0;
+        let mut len = 0;
+        for t in 0..max_steps {
+            let action = act(t, &obs);
+            if t % stride == 0 {
+                if let Some(snapshot) = env.snapshot() {
+                    points.push(DecisionPoint {
+                        t,
+                        snapshot,
+                        obs: obs.clone(),
+                        factual_action: action.clone(),
+                    });
+                }
+            }
+            let step = env.step(&action);
+            factual_return += step.reward;
+            len += 1;
+            if step.done() {
+                break;
+            }
+            obs = step.obs;
+        }
+        RecordedEpisode { points, factual_return, len }
+    }
+
+    /// Score every decision point of `episode`: fork the alternatives,
+    /// fan `(K+1)·N` continuations out through `exec`, and compare each
+    /// alternative's return distribution against the factual one.
+    pub fn analyze(
+        &self,
+        episode: &RecordedEpisode,
+        policy: &ContinuationPolicy,
+        exec: &mut Exec<'_, '_>,
+    ) -> Result<EpisodeReport, CfError> {
+        let cfg = &self.config;
+        let n = cfg.rollouts.max(1);
+        let action_space = self.blueprint.build(0).action_space();
+        let mut reports = Vec::with_capacity(episode.points.len());
+        for point in &episode.points {
+            let alts = alternatives_for(&action_space, &point.factual_action, cfg.alternatives);
+            // Common random numbers: every action replays under the same
+            // seed set, so the distributions differ only through the fork.
+            let seeds: Vec<u64> =
+                (0..n).map(|j| continuation_seed(cfg.seed, point.t, j)).collect();
+            let mut tasks = Vec::with_capacity((alts.len() + 1) * n);
+            for action in std::iter::once(&point.factual_action).chain(alts.iter()) {
+                for &seed in &seeds {
+                    tasks.push(WhatIfTask { first_action: action.clone(), seed });
+                }
+            }
+            let n_tasks = tasks.len();
+            let payload = WhatIfPayload {
+                env: self.blueprint.clone(),
+                snapshot: point.snapshot.clone(),
+                horizon: cfg.horizon,
+                policy: policy.clone(),
+                tasks,
+            };
+            let returns = exec.run(&payload)?;
+            debug_assert_eq!(returns.len(), n_tasks);
+            let factual_returns = Distribution::from_samples(returns[..n].to_vec());
+            let mut alternatives = Vec::with_capacity(alts.len());
+            let mut js_scores = Vec::with_capacity(alts.len());
+            let mut w1_scores = Vec::with_capacity(alts.len());
+            for (i, action) in alts.iter().enumerate() {
+                let slice = &returns[(i + 1) * n..(i + 2) * n];
+                let dist = Distribution::from_samples(slice.to_vec());
+                let js = js_divergence(&factual_returns, &dist, cfg.bins);
+                let w1 = wasserstein_1(&factual_returns, &dist);
+                js_scores.push(js);
+                w1_scores.push(w1);
+                alternatives.push(AlternativeOutcome {
+                    action: action.clone(),
+                    returns: dist,
+                    js,
+                    w1,
+                });
+            }
+            let js_score = cfg.aggregate.apply(&js_scores);
+            let w1_score = cfg.aggregate.apply(&w1_scores);
+            self.recorder.counter_add(keys::CF_POINTS, 1);
+            self.recorder.counter_add(keys::CF_ROLLOUTS, n_tasks as u64);
+            self.recorder.event(
+                keys::CF_POINT,
+                &[
+                    (keys::F_T, Value::U64(point.t as u64)),
+                    (keys::F_JS, Value::F64(js_score)),
+                    (keys::F_W1, Value::F64(w1_score)),
+                    (keys::F_ALTS, Value::U64(alts.len() as u64)),
+                ],
+            );
+            reports.push(DecisionPointReport {
+                t: point.t,
+                factual_action: point.factual_action.clone(),
+                factual_returns,
+                alternatives,
+                js_score,
+                w1_score,
+            });
+        }
+        let report = EpisodeReport { points: reports, factual_return: episode.factual_return };
+        let peak = report.most_consequential();
+        self.recorder.event(
+            keys::CF_EPISODE,
+            &[
+                (keys::F_POINTS, Value::U64(report.points.len() as u64)),
+                (keys::F_JS, Value::F64(peak.map_or(0.0, |p| p.js_score))),
+                (keys::F_W1, Value::F64(peak.map_or(0.0, |p| p.w1_score))),
+                (keys::F_RETURN, Value::F64(report.factual_return)),
+            ],
+        );
+        Ok(report)
+    }
+}
+
+/// Deterministic continuation seed for rollout `j` of the decision
+/// point at step `t` — a SplitMix64 finalizer over the mixed inputs, so
+/// distinct `(t, j)` pairs land on well-separated streams.
+fn continuation_seed(base: u64, t: usize, j: usize) -> u64 {
+    let mut z = base
+        ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use telemetry::RingRecorder;
+
+    fn analyzer(config: AnalyzerConfig) -> CounterfactualAnalyzer {
+        CounterfactualAnalyzer::new(EnvBlueprint::Grid { n: 5 }, config)
+    }
+
+    fn hold_right(_t: usize, _obs: &[f64]) -> Action {
+        Action::Discrete(1)
+    }
+
+    #[test]
+    fn recording_captures_strided_decision_points() {
+        let cfg = AnalyzerConfig { stride: 2, ..Default::default() };
+        let episode = analyzer(cfg).record_episode(11, 9, hold_right);
+        assert!(episode.len >= 1);
+        for (i, p) in episode.points.iter().enumerate() {
+            assert_eq!(p.t, 2 * i, "stride-2 capture points");
+            assert_eq!(p.factual_action, Action::Discrete(1));
+            assert!(!p.obs.is_empty());
+        }
+        assert!(episode.points.len() <= episode.len.div_ceil(2) + 1);
+    }
+
+    #[test]
+    fn recording_is_deterministic() {
+        let a = analyzer(AnalyzerConfig::default()).record_episode(3, 20, hold_right);
+        let b = analyzer(AnalyzerConfig::default()).record_episode(3, 20, hold_right);
+        assert_eq!(a.factual_return.to_bits(), b.factual_return.to_bits());
+        assert_eq!(a.len, b.len);
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.snapshot, pb.snapshot);
+        }
+    }
+
+    #[test]
+    fn unsupported_envs_record_no_points() {
+        // A blueprint whose env cannot snapshot would yield zero decision
+        // points; every blueprint env snapshots, so synthesize the case by
+        // never hitting the stride.
+        let cfg = AnalyzerConfig { stride: usize::MAX, ..Default::default() };
+        let episode = analyzer(cfg).record_episode(5, 12, hold_right);
+        assert_eq!(episode.points.len(), 1, "step 0 always matches the stride");
+    }
+
+    #[test]
+    fn analysis_is_reproducible_and_scored() {
+        let cfg = AnalyzerConfig { rollouts: 6, horizon: 20, ..Default::default() };
+        let an = analyzer(cfg);
+        let episode = an.record_episode(11, 6, hold_right);
+        assert!(!episode.points.is_empty());
+        let a = an.analyze(&episode, &ContinuationPolicy::Hold, &mut Exec::Scalar).expect("runs");
+        let b = an.analyze(&episode, &ContinuationPolicy::Hold, &mut Exec::Scalar).expect("runs");
+        assert_eq!(a, b, "analysis is a pure function of (episode, config, policy)");
+        for p in &a.points {
+            assert_eq!(p.alternatives.len(), 3, "grid world: 4 actions, K=3 others");
+            assert_eq!(p.factual_returns.len(), 6);
+            assert!(p.js_score.is_finite() && p.js_score >= 0.0);
+            assert!(p.w1_score.is_finite() && p.w1_score >= 0.0);
+        }
+        assert!(a.most_consequential().is_some());
+    }
+
+    #[test]
+    fn aggregates_stay_ordered_on_real_scores() {
+        let mk = |aggregate| AnalyzerConfig { rollouts: 6, horizon: 20, aggregate, ..Default::default() };
+        let episode = analyzer(mk(Aggregate::Mean)).record_episode(4, 5, hold_right);
+        let score = |aggregate| {
+            analyzer(mk(aggregate))
+                .analyze(&episode, &ContinuationPolicy::Hold, &mut Exec::Scalar)
+                .expect("runs")
+                .points
+                .iter()
+                .map(|p| p.w1_score)
+                .collect::<Vec<_>>()
+        };
+        let mean = score(Aggregate::Mean);
+        let weighted = score(Aggregate::WeightedMean);
+        let max = score(Aggregate::Max);
+        for i in 0..mean.len() {
+            assert!(mean[i] <= weighted[i] + 1e-12 && weighted[i] <= max[i] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn consequence_trace_reaches_the_recorder() {
+        let recorder = Arc::new(RingRecorder::new());
+        let mut an = analyzer(AnalyzerConfig { rollouts: 4, horizon: 10, ..Default::default() });
+        an.set_recorder(recorder.clone());
+        let episode = an.record_episode(2, 4, hold_right);
+        let report =
+            an.analyze(&episode, &ContinuationPolicy::Hold, &mut Exec::Scalar).expect("runs");
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(keys::CF_POINTS.name()), Some(report.points.len() as u64));
+        let events: Vec<_> =
+            snap.events.iter().filter(|e| e.key == keys::CF_POINT.name()).collect();
+        assert_eq!(events.len(), report.points.len(), "one trace event per decision point");
+        assert!(snap.events.iter().any(|e| e.key == keys::CF_EPISODE.name()));
+    }
+
+    #[test]
+    fn alternatives_cover_both_space_kinds() {
+        let discrete = alternatives_for(&Space::Discrete(4), &Action::Discrete(2), 3);
+        assert_eq!(
+            discrete,
+            vec![Action::Discrete(0), Action::Discrete(1), Action::Discrete(3)]
+        );
+        assert_eq!(alternatives_for(&Space::Discrete(1), &Action::Discrete(0), 3), vec![]);
+        let boxed = alternatives_for(
+            &Space::Box { low: vec![-2.0], high: vec![2.0] },
+            &Action::Continuous(vec![0.0]),
+            3,
+        );
+        assert_eq!(
+            boxed,
+            vec![
+                Action::Continuous(vec![-1.0]),
+                Action::Continuous(vec![0.0]),
+                Action::Continuous(vec![1.0]),
+            ]
+        );
+        // Unbounded axes clamp to [-1, 1].
+        let unbounded = alternatives_for(
+            &Space::unbounded_box(1),
+            &Action::Continuous(vec![0.0]),
+            1,
+        );
+        assert_eq!(unbounded, vec![Action::Continuous(vec![0.0])]);
+    }
+
+    #[test]
+    fn continuation_seeds_are_distinct_and_stable() {
+        let s = continuation_seed(7, 3, 5);
+        assert_eq!(s, continuation_seed(7, 3, 5));
+        assert_ne!(s, continuation_seed(7, 3, 6));
+        assert_ne!(s, continuation_seed(7, 4, 5));
+        assert_ne!(s, continuation_seed(8, 3, 5));
+    }
+}

@@ -4,7 +4,6 @@
 use crate::backends::{RllibLike, StableBaselinesLike, TfAgentsLike};
 use crate::framework::Framework;
 use crate::report::ExecReport;
-use crate::runtime::{NullObserver, Observer};
 use crate::spec::ExecSpec;
 use cluster_sim::{ClusterSession, ClusterSpec};
 use gymrs::Environment;
@@ -46,9 +45,11 @@ pub trait Backend {
     fn framework(&self) -> Framework;
 
     /// Run the training described by `spec` on environments from
-    /// `factory`, narrating costs to `session` and reporting
-    /// per-iteration progress to `observer` (which may stop the trial
-    /// early, e.g. for pruning).
+    /// `factory`, narrating costs to `session`. Per-iteration progress
+    /// lands on the session's telemetry recorder as
+    /// [`crate::keys::TRIAL_ITERATION`] events, and the recorder's
+    /// [`should_stop`](telemetry::Recorder::should_stop) answer may stop
+    /// the trial early (e.g. for pruning).
     ///
     /// Worker failures the spec's [`FaultPolicy`](crate::runtime::FaultPolicy)
     /// cannot absorb surface as `Err` — backends never panic the study.
@@ -57,7 +58,6 @@ pub trait Backend {
         spec: &ExecSpec,
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
-        observer: &mut dyn Observer,
     ) -> Result<ExecReport, String>;
 }
 
@@ -74,7 +74,7 @@ pub fn backend_for(framework: Framework) -> Box<dyn Backend> {
 /// session for the requested deployment, dispatches to the right backend
 /// and finalizes the usage accounting.
 pub fn run(spec: &ExecSpec, factory: &dyn EnvFactory) -> Result<ExecReport, String> {
-    run_instrumented(spec, factory, telemetry::null_recorder(), &mut NullObserver)
+    run_recorded(spec, factory, telemetry::null_recorder())
 }
 
 /// [`run`] with a telemetry recorder tapping the whole stack: the cluster
@@ -83,44 +83,17 @@ pub fn run(spec: &ExecSpec, factory: &dyn EnvFactory) -> Result<ExecReport, Stri
 /// vectorized environments' tick counters all land on `recorder`. A
 /// recorder answering `true` from
 /// [`should_stop`](telemetry::Recorder::should_stop) ends the trial at
-/// the next iteration boundary — the recorder-native replacement for the
-/// deprecated [`Observer`] pruning hook.
+/// the next iteration boundary — this is how pruners tap a running trial.
 pub fn run_recorded(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     recorder: SharedRecorder,
 ) -> Result<ExecReport, String> {
-    run_instrumented(spec, factory, recorder, &mut NullObserver)
-}
-
-/// [`run`] with a progress [`Observer`] tapping every iteration.
-///
-/// Deprecated shim, kept for one release: new code should implement
-/// [`telemetry::Recorder`] (reacting to [`crate::keys::TRIAL_ITERATION`]
-/// events, stopping via `should_stop`) and call [`run_recorded`];
-/// [`crate::runtime::RecorderObserver`] bridges the other direction.
-pub fn run_observed(
-    spec: &ExecSpec,
-    factory: &dyn EnvFactory,
-    observer: &mut dyn Observer,
-) -> Result<ExecReport, String> {
-    run_instrumented(spec, factory, telemetry::null_recorder(), observer)
-}
-
-/// The full-control entry point behind [`run`], [`run_recorded`] and
-/// [`run_observed`]: both a recorder and an observer. Either side may
-/// stop the trial early.
-pub fn run_instrumented(
-    spec: &ExecSpec,
-    factory: &dyn EnvFactory,
-    recorder: SharedRecorder,
-    observer: &mut dyn Observer,
-) -> Result<ExecReport, String> {
     spec.validate()?;
     let cluster = ClusterSpec::paper_testbed(spec.deployment.nodes);
     let mut session = ClusterSession::with_recorder(cluster, recorder);
     let backend = backend_for(spec.framework);
-    let mut report = backend.train(spec, factory, &mut session, observer)?;
+    let mut report = backend.train(spec, factory, &mut session)?;
     report.usage = session.finish();
     Ok(report)
 }
@@ -244,24 +217,5 @@ mod tests {
         .expect("runs");
         assert!(stopped.env_steps < full.env_steps, "recorder stop consumed fewer steps");
         assert!(stopped.env_steps > 0);
-    }
-
-    #[test]
-    fn recorder_observer_bridges_events_and_stop() {
-        use crate::runtime::{IterationSnapshot, RecorderObserver};
-        use std::sync::Arc;
-        let ring = Arc::new(telemetry::RingRecorder::new());
-        let mut obs = RecorderObserver(ring.as_ref());
-        let snap = IterationSnapshot {
-            iteration: 3,
-            env_steps: 96,
-            train_returns: &[1.0, 2.0],
-            wall_s: 1.25,
-        };
-        assert!(!obs.on_iteration(&snap), "ring recorder never stops a trial");
-        let events = ring.snapshot();
-        let e = &events.events_named(crate::keys::TRIAL_ITERATION.name()).next().unwrap();
-        assert_eq!(e.field_u64(crate::keys::F_ITERATION.name()), Some(3));
-        assert_eq!(e.field_f64(crate::keys::F_MEAN_RETURN.name()), Some(1.5));
     }
 }

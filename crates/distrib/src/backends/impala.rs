@@ -23,7 +23,7 @@ use crate::backends::common::worker_seed;
 use crate::framework::FrameworkProfile;
 use crate::report::{ExecReport, TrainedModel};
 use crate::runtime::{
-    merge_wave, Collector, CollectorBlueprint, Driver, FaultPolicy, Observer, RngStream, Runtime,
+    merge_wave, Collector, CollectorBlueprint, Driver, FaultPolicy, RngStream, Runtime,
     SyncPolicy, TransportConfig, WorkerSpec,
 };
 use crate::spec::Deployment;
@@ -87,7 +87,6 @@ pub fn train_impala(
     opts: &ImpalaOpts,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
-    observer: &mut dyn Observer,
 ) -> Result<ExecReport, String> {
     let profile = impala_profile();
     let nodes = opts.deployment.nodes;
@@ -133,7 +132,7 @@ pub fn train_impala(
         runtime = runtime.with_window(w);
     }
     runtime.set_recorder(session.recorder());
-    let mut driver = Driver::new(session, observer);
+    let mut driver = Driver::new(session);
 
     let sync = SyncPolicy::Periodic { period: opts.actor_sync_period };
 
@@ -207,7 +206,6 @@ pub fn train_impala(
 mod tests {
     use super::*;
     use crate::backend::FnEnvFactory;
-    use crate::runtime::NullObserver;
     use cluster_sim::ClusterSpec;
     use gymrs::envs::GridWorld;
     use gymrs::Environment;
@@ -223,7 +221,7 @@ mod tests {
     fn run(opts: &ImpalaOpts) -> (ExecReport, cluster_sim::Usage) {
         let mut session = ClusterSession::new(ClusterSpec::paper_testbed(opts.deployment.nodes));
         let mut report =
-            train_impala(opts, &grid_factory(), &mut session, &mut NullObserver).expect("runs");
+            train_impala(opts, &grid_factory(), &mut session).expect("runs");
         let usage = session.finish();
         report.usage = usage;
         (report, usage)

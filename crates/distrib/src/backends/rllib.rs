@@ -25,7 +25,7 @@ use crate::backends::common::{sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
 use crate::runtime::{
-    merge_wave, Collector, CollectorBlueprint, Driver, Observer, RngStream, Runtime, SyncPolicy,
+    merge_wave, Collector, CollectorBlueprint, Driver, RngStream, Runtime, SyncPolicy,
     WorkerSpec,
 };
 use crate::spec::ExecSpec;
@@ -54,11 +54,10 @@ impl Backend for RllibLike {
         spec: &ExecSpec,
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
-        observer: &mut dyn Observer,
     ) -> Result<ExecReport, String> {
         match spec.algorithm {
-            Algorithm::Ppo => train_ppo(spec, factory, session, observer),
-            Algorithm::Sac => Ok(train_sac(spec, factory, session, observer)),
+            Algorithm::Ppo => train_ppo(spec, factory, session),
+            Algorithm::Sac => Ok(train_sac(spec, factory, session)),
         }
     }
 }
@@ -67,7 +66,6 @@ fn train_ppo(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
-    observer: &mut dyn Observer,
 ) -> Result<ExecReport, String> {
     let profile = Framework::RayRllib.profile();
     let nodes = spec.deployment.nodes;
@@ -109,7 +107,7 @@ fn train_ppo(
         runtime = runtime.with_window(w);
     }
     runtime.set_recorder(session.recorder());
-    let mut driver = Driver::new(session, observer);
+    let mut driver = Driver::new(session);
 
     let batch = learner.config().n_steps;
     let sync = SyncPolicy::RemotePeriodic { period: REMOTE_SYNC_PERIOD };
@@ -194,7 +192,6 @@ fn train_sac(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
-    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = Framework::RayRllib.profile();
     let nodes = spec.deployment.nodes;
@@ -213,7 +210,7 @@ fn train_sac(
     // SAC keeps the learner in the interaction loop; the driver owns the
     // bookkeeping and narrates the distributed shape (concurrent nodes,
     // experience/weight traffic) exactly as before.
-    let mut driver = Driver::new(session, observer);
+    let mut driver = Driver::new(session);
     let round = 32usize;
     // Approximate per-transition payload for the experience shipping.
     let transition_bytes = (obs_dim * 2 + 4) as u64 * 8;
@@ -298,7 +295,6 @@ fn train_sac(
 mod tests {
     use super::*;
     use crate::backend::{run, FnEnvFactory};
-    use crate::runtime::NullObserver;
     use crate::spec::Deployment;
     use gymrs::envs::{GridWorld, PointMass};
 
@@ -389,7 +385,7 @@ mod tests {
         let backend = RllibLike;
         let factory = grid_factory();
         let _report =
-            backend.train(&spec, &factory, &mut session, &mut NullObserver).expect("runs");
+            backend.train(&spec, &factory, &mut session).expect("runs");
         let trace = session.trace().to_vec();
         assert!(!trace.is_empty());
         let computes = trace.iter().filter(|e| matches!(e, PhaseEvent::Compute { .. })).count();

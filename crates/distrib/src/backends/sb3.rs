@@ -21,7 +21,7 @@ use crate::backends::common::{sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
 use crate::runtime::{
-    merge_wave, Collector, CollectorBlueprint, Driver, Observer, RngStream, Runtime, SyncPolicy,
+    merge_wave, Collector, CollectorBlueprint, Driver, RngStream, Runtime, SyncPolicy,
     WorkerSpec,
 };
 use crate::spec::ExecSpec;
@@ -46,11 +46,10 @@ impl Backend for StableBaselinesLike {
         spec: &ExecSpec,
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
-        observer: &mut dyn Observer,
     ) -> Result<ExecReport, String> {
         match spec.algorithm {
-            Algorithm::Ppo => train_ppo(spec, factory, session, observer),
-            Algorithm::Sac => Ok(train_sac(spec, factory, session, observer)),
+            Algorithm::Ppo => train_ppo(spec, factory, session),
+            Algorithm::Sac => Ok(train_sac(spec, factory, session)),
         }
     }
 }
@@ -59,7 +58,6 @@ fn train_ppo(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
-    observer: &mut dyn Observer,
 ) -> Result<ExecReport, String> {
     let profile = Framework::StableBaselines.profile();
     let n_envs = spec.deployment.cores_per_node;
@@ -106,7 +104,7 @@ fn train_ppo(
         runtime = runtime.with_window(w);
     }
     runtime.set_recorder(recorder);
-    let mut driver = Driver::new(session, observer);
+    let mut driver = Driver::new(session);
 
     while (driver.env_steps() as usize) < spec.total_steps {
         learner.anneal(driver.env_steps() as f64 / spec.total_steps as f64);
@@ -183,7 +181,6 @@ fn train_sac(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
-    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = Framework::StableBaselines.profile();
     let n_envs = spec.deployment.cores_per_node;
@@ -201,7 +198,7 @@ fn train_sac(
     // replay buffer and may trigger updates), so there is no detachable
     // collection to hand to runtime actors; the driver still owns all
     // bookkeeping and narration.
-    let mut driver = Driver::new(session, observer);
+    let mut driver = Driver::new(session);
     // Round size: one lockstep sweep over the vectorized envs.
     let round = 32usize;
 
@@ -364,23 +361,5 @@ mod tests {
         let mut s = spec(Algorithm::Ppo, 4, 512);
         s.deployment.nodes = 2;
         assert!(run(&s, &grid_factory()).is_err());
-    }
-
-    #[test]
-    fn observer_can_stop_a_trial_early() {
-        use crate::backend::run_observed;
-        use crate::runtime::IterationSnapshot;
-        struct StopAfter(u64);
-        impl Observer for StopAfter {
-            fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
-                snapshot.iteration >= self.0
-            }
-        }
-        let full = run(&spec(Algorithm::Ppo, 4, 2048), &grid_factory()).expect("runs");
-        let mut stopper = StopAfter(1);
-        let stopped = run_observed(&spec(Algorithm::Ppo, 4, 2048), &grid_factory(), &mut stopper)
-            .expect("runs");
-        assert!(stopped.env_steps < full.env_steps, "early stop consumed fewer steps");
-        assert!(stopped.env_steps > 0);
     }
 }

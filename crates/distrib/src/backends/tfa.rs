@@ -15,7 +15,7 @@ use crate::backends::common::{sac_step, worker_seed};
 use crate::framework::Framework;
 use crate::report::{ExecReport, TrainedModel};
 use crate::runtime::{
-    merge_wave, Collector, CollectorBlueprint, Driver, Observer, RngStream, Runtime, SyncPolicy,
+    merge_wave, Collector, CollectorBlueprint, Driver, RngStream, Runtime, SyncPolicy,
     WorkerSpec,
 };
 use crate::spec::ExecSpec;
@@ -40,11 +40,10 @@ impl Backend for TfAgentsLike {
         spec: &ExecSpec,
         factory: &dyn EnvFactory,
         session: &mut ClusterSession,
-        observer: &mut dyn Observer,
     ) -> Result<ExecReport, String> {
         match spec.algorithm {
-            Algorithm::Ppo => train_ppo(spec, factory, session, observer),
-            Algorithm::Sac => Ok(train_sac(spec, factory, session, observer)),
+            Algorithm::Ppo => train_ppo(spec, factory, session),
+            Algorithm::Sac => Ok(train_sac(spec, factory, session)),
         }
     }
 }
@@ -53,7 +52,6 @@ fn train_ppo(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
-    observer: &mut dyn Observer,
 ) -> Result<ExecReport, String> {
     let profile = Framework::TfAgents.profile();
     let workers = spec.deployment.cores_per_node;
@@ -94,7 +92,7 @@ fn train_ppo(
         runtime = runtime.with_window(w);
     }
     runtime.set_recorder(recorder);
-    let mut driver = Driver::new(session, observer);
+    let mut driver = Driver::new(session);
 
     while (driver.env_steps() as usize) < spec.total_steps {
         // --- Parallel collection: the driver batches all `workers`
@@ -162,7 +160,6 @@ fn train_sac(
     spec: &ExecSpec,
     factory: &dyn EnvFactory,
     session: &mut ClusterSession,
-    observer: &mut dyn Observer,
 ) -> ExecReport {
     let profile = Framework::TfAgents.profile();
     let workers = spec.deployment.cores_per_node;
@@ -178,7 +175,7 @@ fn train_sac(
 
     // SAC keeps the learner in the interaction loop (see the SB3 backend);
     // bookkeeping and narration still flow through the driver.
-    let mut driver = Driver::new(session, observer);
+    let mut driver = Driver::new(session);
     let round = 32usize;
 
     while (driver.env_steps() as usize) < spec.total_steps {

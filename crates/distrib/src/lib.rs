@@ -39,15 +39,13 @@ pub mod report;
 pub mod runtime;
 pub mod spec;
 
-pub use backend::{
-    run, run_instrumented, run_observed, run_recorded, Backend, EnvFactory, FnEnvFactory,
-};
+pub use backend::{run, run_recorded, Backend, EnvFactory, FnEnvFactory};
 pub use backends::{train_impala, ImpalaOpts};
 pub use framework::{Framework, FrameworkProfile};
 pub use report::{ExecReport, TrainedModel};
 pub use runtime::{
-    report_mean, run_worker_process, FaultCause, FaultLog, FaultPolicy, IterationSnapshot,
-    NullObserver, Observer, RecorderObserver, Runtime, RuntimeError, SyncPolicy, TransportConfig,
-    TransportKind, TransportStats, REPORT_WINDOW,
+    report_mean, run_whatif, run_worker_process, ContinuationPolicy, EnvBlueprint, FaultCause,
+    FaultLog, FaultPolicy, Runtime, RuntimeError, SyncPolicy, TransportConfig, TransportKind,
+    TransportStats, WhatIfPayload, WhatIfTask, REPORT_WINDOW,
 };
 pub use spec::{Deployment, ExecSpec};

@@ -1,12 +1,17 @@
 //! The driver side of the runtime: weight-sync policies, deterministic
-//! wave merging, iteration bookkeeping and the observer hook.
+//! wave merging and iteration bookkeeping.
 //!
-//! A [`Driver`] wraps the trial's `ClusterSession` and an [`Observer`]
-//! and owns the bookkeeping every backend used to duplicate: environment
-//! step/work counters, the training-return log, and the iteration index.
-//! Backends narrate costs exclusively through [`Driver::apply`] — one
+//! A [`Driver`] wraps the trial's `ClusterSession` and owns the
+//! bookkeeping every backend used to duplicate: environment step/work
+//! counters, the training-return log, and the iteration index. Backends
+//! narrate costs exclusively through [`Driver::apply`] — one
 //! [`SessionEvent`] per phase — so the cluster trace and the per-iteration
-//! reward reports come from one code path.
+//! reward reports come from one code path. Study-level concerns (pruning,
+//! live reward curves) tap the loop through the session's telemetry
+//! recorder: every iteration emits a [`keys::TRIAL_ITERATION`] event, and
+//! a recorder answering `true` from
+//! [`should_stop`](telemetry::Recorder::should_stop) ends the trial at
+//! the next iteration boundary.
 //!
 //! The [`SyncPolicy`] matrix captures how each framework keeps its
 //! workers' policy snapshots fresh:
@@ -25,11 +30,11 @@ use crate::keys;
 use cluster_sim::{ClusterSession, ClusterSpec, SessionEvent};
 use rl_algos::buffer::RolloutBuffer;
 use rl_algos::policy::ActorCritic;
-use telemetry::{Recorder, SharedRecorder, Value};
+use telemetry::{SharedRecorder, Value};
 
 /// How many trailing training returns the per-iteration progress reports
-/// average over ([`IterationSnapshot`] consumers and the
-/// [`keys::TRIAL_ITERATION`] `mean_return` field use the same window).
+/// average over (the [`keys::TRIAL_ITERATION`] `mean_return` field uses
+/// this window).
 pub const REPORT_WINDOW: usize = 20;
 
 /// Mean of the last [`REPORT_WINDOW`] returns; NaN before the first
@@ -37,64 +42,6 @@ pub const REPORT_WINDOW: usize = 20;
 pub fn report_mean(returns: &[f64]) -> f64 {
     let tail = &returns[returns.len().saturating_sub(REPORT_WINDOW)..];
     tail.iter().sum::<f64>() / tail.len() as f64
-}
-
-/// What a backend reports to its [`Observer`] after each iteration.
-pub struct IterationSnapshot<'a> {
-    /// Iterations completed so far (1 after the first).
-    pub iteration: u64,
-    /// Environment steps consumed so far.
-    pub env_steps: u64,
-    /// Finished-episode returns logged so far, in merge order.
-    pub train_returns: &'a [f64],
-    /// Simulated wall-clock seconds elapsed so far.
-    pub wall_s: f64,
-}
-
-/// Receives per-iteration progress reports from a running backend.
-///
-/// This is how study-level concerns (pruning, live reward curves) tap the
-/// training loop without the backends knowing about them.
-pub trait Observer {
-    /// Called after every completed iteration. Return `true` to stop the
-    /// trial early (e.g. a pruner decided the trial is hopeless).
-    fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool;
-}
-
-/// The do-nothing observer: never stops a trial.
-pub struct NullObserver;
-
-impl Observer for NullObserver {
-    fn on_iteration(&mut self, _snapshot: &IterationSnapshot<'_>) -> bool {
-        false
-    }
-}
-
-/// Adapter folding the legacy [`Observer`] hook into telemetry: each
-/// iteration report becomes a [`keys::TRIAL_ITERATION`] event on the
-/// wrapped recorder, and the recorder's
-/// [`should_stop`](telemetry::Recorder::should_stop) answer becomes the
-/// early-stop decision.
-///
-/// Existing observers keep working unchanged — the [`Observer`] trait is
-/// deprecated in favor of passing a recorder (see
-/// [`crate::backend::run_recorded`]) and will be dropped once the bench
-/// harness has fully migrated.
-pub struct RecorderObserver<'r>(pub &'r dyn Recorder);
-
-impl Observer for RecorderObserver<'_> {
-    fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
-        self.0.event(
-            keys::TRIAL_ITERATION,
-            &[
-                (keys::F_ITERATION, Value::U64(snapshot.iteration)),
-                (keys::F_ENV_STEPS, Value::U64(snapshot.env_steps)),
-                (keys::F_WALL_S, Value::F64(snapshot.wall_s)),
-                (keys::F_MEAN_RETURN, Value::F64(report_mean(snapshot.train_returns))),
-            ],
-        );
-        self.0.should_stop()
-    }
 }
 
 /// When a driver pushes fresh weights to which workers. See the module
@@ -196,11 +143,10 @@ pub fn merge_wave(outcome: RoundOutcome, nodes: usize) -> WaveOutcome {
     }
 }
 
-/// Per-trial driver state: the session, the observer, and the counters
-/// every backend needs. See the module docs.
+/// Per-trial driver state: the session and the counters every backend
+/// needs. See the module docs.
 pub struct Driver<'a> {
     session: &'a mut ClusterSession,
-    observer: &'a mut dyn Observer,
     recorder: SharedRecorder,
     iteration: u64,
     env_steps: u64,
@@ -223,15 +169,14 @@ pub struct DriverStats {
 }
 
 impl<'a> Driver<'a> {
-    /// Wrap a session and an observer for one trial. The driver inherits
-    /// the session's recorder, so trial-level telemetry
-    /// ([`keys::TRIAL_ITERATION`] events, step/work counters) lands in
-    /// the same stream as the cluster accounting.
-    pub fn new(session: &'a mut ClusterSession, observer: &'a mut dyn Observer) -> Self {
+    /// Wrap a session for one trial. The driver inherits the session's
+    /// recorder, so trial-level telemetry ([`keys::TRIAL_ITERATION`]
+    /// events, step/work counters) lands in the same stream as the
+    /// cluster accounting.
+    pub fn new(session: &'a mut ClusterSession) -> Self {
         let recorder = session.recorder();
         Self {
             session,
-            observer,
             recorder,
             iteration: 0,
             env_steps: 0,
@@ -340,31 +285,24 @@ impl<'a> Driver<'a> {
         self.train_returns.extend(rets);
     }
 
-    /// Close the current iteration: bump the counter, emit the
-    /// [`keys::TRIAL_ITERATION`] event, and report progress to the
-    /// observer. Returns `true` if the observer — or the recorder, via
-    /// [`should_stop`](telemetry::Recorder::should_stop) — wants the
-    /// trial stopped early.
+    /// Close the current iteration: bump the counter and emit the
+    /// [`keys::TRIAL_ITERATION`] event. Returns `true` if the recorder —
+    /// via [`should_stop`](telemetry::Recorder::should_stop) — wants the
+    /// trial stopped early (e.g. a pruner decided it is hopeless).
     pub fn end_iteration(&mut self) -> bool {
         self.iteration += 1;
-        let snapshot = IterationSnapshot {
-            iteration: self.iteration,
-            env_steps: self.env_steps,
-            train_returns: &self.train_returns,
-            wall_s: self.session.now(),
-        };
         if self.recorder.enabled() {
             self.recorder.event(
                 keys::TRIAL_ITERATION,
                 &[
-                    (keys::F_ITERATION, Value::U64(snapshot.iteration)),
-                    (keys::F_ENV_STEPS, Value::U64(snapshot.env_steps)),
-                    (keys::F_WALL_S, Value::F64(snapshot.wall_s)),
-                    (keys::F_MEAN_RETURN, Value::F64(report_mean(snapshot.train_returns))),
+                    (keys::F_ITERATION, Value::U64(self.iteration)),
+                    (keys::F_ENV_STEPS, Value::U64(self.env_steps)),
+                    (keys::F_WALL_S, Value::F64(self.session.now())),
+                    (keys::F_MEAN_RETURN, Value::F64(report_mean(&self.train_returns))),
                 ],
             );
         }
-        self.observer.on_iteration(&snapshot) || self.recorder.should_stop()
+        self.recorder.should_stop()
     }
 
     /// Surrender the accumulated counters.
@@ -411,21 +349,41 @@ mod tests {
         assert_eq!(policy.recipients(4, &nodes), vec![0, 1, 2, 3]);
     }
 
-    struct StopAfter(u64);
-    impl Observer for StopAfter {
-        fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
-            snapshot.iteration >= self.0
+    /// A recorder that answers `should_stop` after seeing `limit`
+    /// [`keys::TRIAL_ITERATION`] events — the recorder-native analogue
+    /// of the old per-iteration pruning hook.
+    struct StopAfter {
+        limit: u64,
+        seen: std::sync::atomic::AtomicU64,
+    }
+    impl telemetry::Recorder for StopAfter {
+        fn counter_add(&self, _: telemetry::Key, _: u64) {}
+        fn accum_add(&self, _: telemetry::Key, _: f64) {}
+        fn gauge_set(&self, _: telemetry::Key, _: f64) {}
+        fn span_begin(&self, _: telemetry::Key) -> telemetry::SpanId {
+            telemetry::SpanId(0)
+        }
+        fn span_end(&self, _: telemetry::SpanId) {}
+        fn event(&self, key: telemetry::Key, _: &[(telemetry::Key, Value)]) {
+            if key == keys::TRIAL_ITERATION {
+                self.seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        fn should_stop(&self) -> bool {
+            self.seen.load(std::sync::atomic::Ordering::SeqCst) >= self.limit
         }
     }
 
     #[test]
-    fn driver_counts_and_reports_to_observer() {
-        let mut session = ClusterSession::new(ClusterSpec::paper_testbed(1));
-        let mut observer = StopAfter(2);
-        let mut driver = Driver::new(&mut session, &mut observer);
+    fn driver_counts_and_stops_via_the_recorder() {
+        let stopper =
+            std::sync::Arc::new(StopAfter { limit: 2, seen: std::sync::atomic::AtomicU64::new(0) });
+        let mut session =
+            ClusterSession::with_recorder(ClusterSpec::paper_testbed(1), stopper.clone());
+        let mut driver = Driver::new(&mut session);
         driver.note_steps(128, 128);
         driver.note_return(1.5);
-        assert!(!driver.end_iteration(), "observer stops only at iteration 2");
+        assert!(!driver.end_iteration(), "recorder stops only at iteration 2");
         driver.note_steps(128, 128);
         assert!(driver.end_iteration());
         let stats = driver.finish();
@@ -438,8 +396,7 @@ mod tests {
     fn note_faults_charges_backoff_and_latches_degraded() {
         use super::super::fault::{FaultCause, Quarantine};
         let mut session = ClusterSession::new(ClusterSpec::paper_testbed(1));
-        let mut observer = NullObserver;
-        let mut driver = Driver::new(&mut session, &mut observer);
+        let mut driver = Driver::new(&mut session);
         assert!(!driver.is_degraded());
         let mut faults = FaultLog { retries: 1, backoff_s: 0.5, ..FaultLog::default() };
         driver.note_faults(&faults);
@@ -460,19 +417,15 @@ mod tests {
     }
 
     #[test]
-    fn driver_snapshot_carries_simulated_time() {
-        struct SawTime(f64);
-        impl Observer for SawTime {
-            fn on_iteration(&mut self, snapshot: &IterationSnapshot<'_>) -> bool {
-                self.0 = snapshot.wall_s;
-                false
-            }
-        }
-        let mut session = ClusterSession::new(ClusterSpec::paper_testbed(1));
-        let mut observer = SawTime(0.0);
-        let mut driver = Driver::new(&mut session, &mut observer);
+    fn iteration_events_carry_simulated_time() {
+        let ring = std::sync::Arc::new(telemetry::RingRecorder::new());
+        let mut session =
+            ClusterSession::with_recorder(ClusterSpec::paper_testbed(1), ring.clone());
+        let mut driver = Driver::new(&mut session);
         driver.apply(&SessionEvent::Overhead { seconds: 2.5 });
         driver.end_iteration();
-        assert!(observer.0 >= 2.5);
+        let snap = ring.snapshot();
+        let e = snap.events_named(keys::TRIAL_ITERATION.name()).next().expect("iteration event");
+        assert!(e.field_f64(keys::F_WALL_S.name()).expect("wall_s field") >= 2.5);
     }
 }

@@ -18,6 +18,7 @@
 //! (`(round, worker)`) the runtime drains segments into.
 
 use super::transport::RngStream;
+use super::whatif::WhatIfPayload;
 use crate::backends::common::Segment;
 use rl_algos::policy::ActorCritic;
 
@@ -48,6 +49,16 @@ pub enum Command {
         /// The new weights (boxed: policies are large).
         policy: Box<ActorCritic>,
     },
+    /// Evaluate counterfactual continuations from an environment
+    /// snapshot (see [`super::whatif`]). Answered with an
+    /// [`Event::ReturnsReady`]; does not touch the worker's collector.
+    WhatIf {
+        /// Correlation index (same role as a collection round).
+        round: u64,
+        /// The snapshot, forked actions and continuation policy (boxed:
+        /// payloads carry policies and state vectors).
+        payload: Box<WhatIfPayload>,
+    },
     /// Stop the worker loop; the thread exits.
     Shutdown,
 }
@@ -74,6 +85,18 @@ pub enum Event {
         /// Iteration index echoed from the command.
         round: u64,
     },
+    /// A counterfactual order finished: one undiscounted return per
+    /// [`super::whatif::WhatIfTask`], in task order.
+    ReturnsReady {
+        /// Worker index.
+        worker: usize,
+        /// Simulated node the worker is pinned to.
+        node: usize,
+        /// Iteration index echoed from the command.
+        round: u64,
+        /// Continuation returns, one per task.
+        returns: Vec<f64>,
+    },
     /// The worker's command panicked.
     WorkerFailed {
         /// Worker index.
@@ -95,6 +118,7 @@ impl Event {
         match self {
             Event::SegmentReady { worker, .. }
             | Event::Heartbeat { worker, .. }
+            | Event::ReturnsReady { worker, .. }
             | Event::WorkerFailed { worker, .. } => *worker,
         }
     }
@@ -104,6 +128,7 @@ impl Event {
         match self {
             Event::SegmentReady { round, .. }
             | Event::Heartbeat { round, .. }
+            | Event::ReturnsReady { round, .. }
             | Event::WorkerFailed { round, .. } => *round,
         }
     }

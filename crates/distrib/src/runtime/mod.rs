@@ -36,11 +36,11 @@ pub mod driver;
 pub mod event;
 pub mod fault;
 pub mod transport;
+pub mod whatif;
 pub mod worker;
 
 pub use driver::{
-    merge_wave, report_mean, Driver, DriverStats, IterationSnapshot, NullObserver, Observer,
-    RecorderObserver, SyncPolicy, WaveOutcome, REPORT_WINDOW,
+    merge_wave, report_mean, Driver, DriverStats, SyncPolicy, WaveOutcome, REPORT_WINDOW,
 };
 pub use event::{Command, Event, WILDCARD_ROUND};
 #[cfg(any(test, feature = "fault-inject"))]
@@ -51,6 +51,7 @@ pub use transport::{
     set_worker_bin_for_tests, CollectorBlueprint, EnvBlueprint, RngStream, TransportConfig,
     TransportKind, TransportStats,
 };
+pub use whatif::{run_whatif, ContinuationPolicy, WhatIfPayload, WhatIfTask};
 pub use worker::Collector;
 
 use crate::backends::common::Segment;
@@ -552,7 +553,8 @@ impl<'f> Runtime<'f> {
                         self.recorder.counter_add(keys::RT_EVENTS, 1);
                     }
                 }
-                Event::Heartbeat { .. } => {} // stray ack; ignore
+                Event::Heartbeat { .. } => {}    // stray ack; ignore
+                Event::ReturnsReady { .. } => {} // stale what-if answer; ignore
                 Event::WorkerFailed { worker, round: r, reason, fatal } => {
                     // A transport that couldn't attribute the death (a
                     // child process found dead at EOF) names no round;
@@ -653,8 +655,8 @@ impl<'f> Runtime<'f> {
                         awaiting.retain(|&w| w != worker);
                     }
                 }
-                Event::SegmentReady { .. } => {
-                    // Stale: a hung worker's late collection answer.
+                Event::SegmentReady { .. } | Event::ReturnsReady { .. } => {
+                    // Stale: a hung worker's late answer to an old order.
                 }
                 Event::WorkerFailed { worker, round: r, reason, fatal } => {
                     let r = if r == WILDCARD_ROUND { round } else { r };
@@ -671,6 +673,94 @@ impl<'f> Runtime<'f> {
             }
         }
         Ok(BroadcastOutcome { bytes, faults })
+    }
+
+    /// Fan a counterfactual order out across the worker pool: `chunks`
+    /// holds one task list per worker (empty lists are skipped); every
+    /// dispatched chunk replays from the same `snapshot` under the same
+    /// continuation `policy`. Results come back in worker-index order —
+    /// `returns[w]` is worker `w`'s chunk, task-ordered — regardless of
+    /// completion order, so the merged result is transport- and
+    /// scheduling-independent.
+    ///
+    /// Counterfactual queries are fail-fast: a worker failure or hang is
+    /// an error, not a retry (the caller can simply re-issue the round —
+    /// replays are side-effect free).
+    pub fn whatif_round(
+        &mut self,
+        round: u64,
+        env: &EnvBlueprint,
+        snapshot: &gymrs::EnvSnapshot,
+        horizon: usize,
+        policy: &ContinuationPolicy,
+        chunks: Vec<Vec<WhatIfTask>>,
+    ) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        let n = self.nodes.len();
+        assert_eq!(chunks.len(), n, "one task chunk per worker");
+        let mut results: Vec<Vec<f64>> = (0..n).map(|_| Vec::new()).collect();
+        let mut queue: VecDeque<(usize, Vec<WhatIfTask>)> = chunks
+            .into_iter()
+            .enumerate()
+            .filter(|(w, tasks)| self.is_healthy(*w) && !tasks.is_empty())
+            .collect();
+        let mut remaining = queue.len();
+        let mut outstanding = 0usize;
+        let recording = self.recorder.enabled();
+        let deadline = self.deadline();
+        while remaining > 0 {
+            let mut dispatched = 0u64;
+            while outstanding < self.window {
+                let Some((w, tasks)) = queue.pop_front() else { break };
+                let payload = Box::new(WhatIfPayload {
+                    env: env.clone(),
+                    snapshot: snapshot.clone(),
+                    horizon,
+                    policy: policy.clone(),
+                    tasks,
+                });
+                if self.transport.send(w, Command::WhatIf { round, payload }).is_err() {
+                    self.reap(w);
+                    return Err(RuntimeError::WorkerFailed {
+                        worker: w,
+                        round,
+                        reason: "worker is dead".to_string(),
+                    });
+                }
+                outstanding += 1;
+                dispatched += 1;
+            }
+            if recording && dispatched > 0 {
+                self.recorder.counter_add(keys::RT_COMMANDS, dispatched);
+            }
+            let Some(ev) = self.transport.recv_deadline(deadline)? else {
+                return Err(RuntimeError::WorkerTimedOut { worker: usize::MAX, round });
+            };
+            match ev {
+                Event::ReturnsReady { worker, round: r, returns, .. } => {
+                    if r != round {
+                        continue; // stale answer from an old order
+                    }
+                    results[worker] = returns;
+                    outstanding -= 1;
+                    remaining -= 1;
+                    if recording {
+                        self.recorder.counter_add(keys::RT_EVENTS, 1);
+                    }
+                }
+                Event::SegmentReady { .. } | Event::Heartbeat { .. } => {} // stale
+                Event::WorkerFailed { worker, round: r, reason, fatal } => {
+                    let r = if r == WILDCARD_ROUND { round } else { r };
+                    if fatal {
+                        self.reap(worker);
+                    }
+                    if r != round {
+                        continue; // stale failure
+                    }
+                    return Err(RuntimeError::WorkerFailed { worker, round, reason });
+                }
+            }
+        }
+        Ok(results)
     }
 
     fn shutdown_inner(&mut self) {

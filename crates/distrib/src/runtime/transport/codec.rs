@@ -21,8 +21,9 @@
 
 use super::rng::{RngCache, RngStream};
 use crate::runtime::event::{Command, Event};
-use crate::runtime::transport::blueprint::CollectorBlueprint;
-use gymrs::{Action, Space};
+use crate::runtime::transport::blueprint::{CollectorBlueprint, EnvBlueprint};
+use crate::runtime::whatif::{ContinuationPolicy, WhatIfPayload, WhatIfTask};
+use gymrs::{Action, EnvSnapshot, Space};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_algos::buffer::RolloutBuffer;
@@ -42,9 +43,13 @@ pub mod tag {
     pub const COLLECT: u8 = 2;
     pub const UPDATE_WEIGHTS: u8 = 3;
     pub const SHUTDOWN: u8 = 4;
+    /// Counterfactual continuation order (snapshot + forked actions).
+    pub const WHATIF: u8 = 5;
     pub const SEGMENT_READY: u8 = 16;
     pub const HEARTBEAT: u8 = 17;
     pub const WORKER_FAILED: u8 = 18;
+    /// Per-task continuation returns answering a WHATIF.
+    pub const RETURNS_READY: u8 = 19;
 }
 
 /// Upper bound on a single frame; guards against a corrupt length prefix
@@ -387,6 +392,72 @@ fn read_policy_params(b: &mut Body<'_>, policy: &mut ActorCritic) -> Result<(), 
     Ok(())
 }
 
+// ----------------------------------------------------------- what-if payload
+
+fn put_snapshot(buf: &mut Vec<u8>, snap: &EnvSnapshot) {
+    put_str(buf, &snap.kind);
+    put_f64s(buf, &snap.f);
+    put_varint(buf, snap.u.len() as u64);
+    for &v in &snap.u {
+        put_varint(buf, v);
+    }
+    put_varint(buf, snap.rng_seed);
+}
+
+fn read_snapshot(b: &mut Body<'_>) -> Result<EnvSnapshot, CodecError> {
+    let kind = b.str()?.to_owned();
+    let f = b.f64s()?;
+    let n = b.len()?;
+    let mut u = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        u.push(b.varint()?);
+    }
+    let rng_seed = b.varint()?;
+    Ok(EnvSnapshot { kind, f, u, rng_seed })
+}
+
+fn put_whatif(buf: &mut Vec<u8>, payload: &mut WhatIfPayload) {
+    payload.env.encode(buf);
+    put_snapshot(buf, &payload.snapshot);
+    put_varint(buf, payload.horizon as u64);
+    match &mut payload.policy {
+        ContinuationPolicy::Hold => buf.push(0),
+        ContinuationPolicy::Greedy(policy) => {
+            buf.push(1);
+            put_policy_arch(buf, policy);
+            put_policy_params(buf, policy);
+        }
+    }
+    put_varint(buf, payload.tasks.len() as u64);
+    for task in &payload.tasks {
+        put_action(buf, &task.first_action);
+        put_varint(buf, task.seed);
+    }
+}
+
+fn read_whatif(b: &mut Body<'_>) -> Result<WhatIfPayload, CodecError> {
+    let env = EnvBlueprint::decode(b)?;
+    let snapshot = read_snapshot(b)?;
+    let horizon = b.len()?;
+    let policy = match b.u8()? {
+        0 => ContinuationPolicy::Hold,
+        1 => {
+            let mut policy = read_policy_arch(b)?;
+            read_policy_params(b, &mut policy)?;
+            ContinuationPolicy::Greedy(Box::new(policy))
+        }
+        _ => return Err(CodecError::BadValue("continuation policy")),
+    };
+    let n = b.len()?;
+    let mut tasks = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let first_action = read_action(b)?;
+        let seed = b.varint()?;
+        tasks.push(WhatIfTask { first_action, seed });
+    }
+    Ok(WhatIfPayload { env, snapshot, horizon, policy, tasks })
+}
+
 // --------------------------------------------------------------------- hello
 
 /// Bootstrap payload for a freshly spawned worker process: identity,
@@ -486,6 +557,11 @@ pub fn encode_command<'w>(
             put_policy_arch(buf, policy);
             put_policy_params(buf, policy);
         }
+        Command::WhatIf { round, payload } => {
+            let buf = w.begin(tag::WHATIF);
+            put_varint(buf, *round);
+            put_whatif(buf, payload);
+        }
         Command::Shutdown => {
             w.begin(tag::SHUTDOWN);
         }
@@ -513,6 +589,11 @@ pub fn decode_command(
             let mut policy = read_policy_arch(&mut b)?;
             read_policy_params(&mut b, &mut policy)?;
             Command::UpdateWeights { round, policy: Box::new(policy) }
+        }
+        tag::WHATIF => {
+            let round = b.varint()?;
+            let payload = read_whatif(&mut b)?;
+            Command::WhatIf { round, payload: Box::new(payload) }
         }
         tag::SHUTDOWN => Command::Shutdown,
         other => return Err(CodecError::BadTag(other)),
@@ -630,6 +711,13 @@ pub fn encode_event<'w>(w: &'w mut FrameWriter, ev: &mut Event, cache: &mut RngC
             put_varint(buf, *worker as u64);
             put_varint(buf, *round);
         }
+        Event::ReturnsReady { worker, node, round, returns } => {
+            let buf = w.begin(tag::RETURNS_READY);
+            put_varint(buf, *worker as u64);
+            put_varint(buf, *node as u64);
+            put_varint(buf, *round);
+            put_f64s(buf, returns);
+        }
         Event::WorkerFailed { worker, round, reason, fatal } => {
             let buf = w.begin(tag::WORKER_FAILED);
             put_varint(buf, *worker as u64);
@@ -668,6 +756,13 @@ pub fn decode_event(frame_tag: u8, body: &[u8], cache: &mut RngCache) -> Result<
             let worker = b.len()?;
             let round = b.varint()?;
             Event::Heartbeat { worker, round }
+        }
+        tag::RETURNS_READY => {
+            let worker = b.len()?;
+            let node = b.len()?;
+            let round = b.varint()?;
+            let returns = b.f64s()?;
+            Event::ReturnsReady { worker, node, round, returns }
         }
         tag::WORKER_FAILED => {
             let worker = b.len()?;
@@ -747,6 +842,84 @@ mod tests {
                 for _ in 0..8 {
                     assert_eq!(got.rng_mut().gen::<u64>(), want.rng_mut().gen::<u64>());
                 }
+            }
+            _ => panic!("variant changed in transit"),
+        }
+    }
+
+    #[test]
+    fn whatif_round_trips_with_snapshot_and_tasks() {
+        let mut env = EnvBlueprint::Grid { n: 4 }.build(7);
+        env.reset();
+        env.step(&Action::Discrete(2));
+        let snapshot = env.snapshot().expect("grid world snapshots");
+        let payload = WhatIfPayload {
+            env: EnvBlueprint::Grid { n: 4 },
+            snapshot: snapshot.clone(),
+            horizon: 25,
+            policy: ContinuationPolicy::Hold,
+            tasks: vec![
+                WhatIfTask { first_action: Action::Discrete(0), seed: 11 },
+                WhatIfTask { first_action: Action::Discrete(3), seed: u64::MAX },
+            ],
+        };
+        let mut cmd = Command::WhatIf { round: 6, payload: Box::new(payload) };
+        match round_trip_command(&mut cmd) {
+            Command::WhatIf { round, payload } => {
+                assert_eq!(round, 6);
+                assert_eq!(payload.env, EnvBlueprint::Grid { n: 4 });
+                assert_eq!(payload.snapshot, snapshot);
+                assert_eq!(payload.horizon, 25);
+                assert!(matches!(payload.policy, ContinuationPolicy::Hold));
+                assert_eq!(payload.tasks.len(), 2);
+                assert_eq!(payload.tasks[0].first_action, Action::Discrete(0));
+                assert_eq!(payload.tasks[1].seed, u64::MAX);
+            }
+            _ => panic!("variant changed in transit"),
+        }
+    }
+
+    #[test]
+    fn whatif_greedy_policy_crosses_the_wire() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let policy = ActorCritic::new(3, &Space::symmetric_box(1, 1.0), &[6], &mut rng);
+        let obs = vec![0.25, -0.5, 0.75];
+        let want = policy.act_greedy(&obs);
+
+        let mut env = EnvBlueprint::PointMass.build(1);
+        env.reset();
+        let payload = WhatIfPayload {
+            env: EnvBlueprint::PointMass,
+            snapshot: env.snapshot().expect("snapshot"),
+            horizon: 10,
+            policy: ContinuationPolicy::Greedy(Box::new(policy)),
+            tasks: vec![WhatIfTask {
+                first_action: Action::Continuous(vec![0.5]),
+                seed: 3,
+            }],
+        };
+        let mut cmd = Command::WhatIf { round: 1, payload: Box::new(payload) };
+        match round_trip_command(&mut cmd) {
+            Command::WhatIf { payload, .. } => match payload.policy {
+                ContinuationPolicy::Greedy(decoded) => {
+                    assert_eq!(decoded.act_greedy(&obs), want, "weights survive bit-exact");
+                }
+                ContinuationPolicy::Hold => panic!("policy variant changed in transit"),
+            },
+            _ => panic!("variant changed in transit"),
+        }
+    }
+
+    #[test]
+    fn returns_ready_round_trips_bit_exact() {
+        let returns = vec![0.0, -0.45, f64::MIN_POSITIVE, -1e-300];
+        let mut ev =
+            Event::ReturnsReady { worker: 2, node: 1, round: 9, returns: returns.clone() };
+        match round_trip_event(&mut ev) {
+            Event::ReturnsReady { worker, node, round, returns: got } => {
+                assert_eq!((worker, node, round), (2, 1, 9));
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&got), bits(&returns));
             }
             _ => panic!("variant changed in transit"),
         }

@@ -1,0 +1,184 @@
+//! Counterfactual continuation orders: "from this snapshot, what if the
+//! agent had done X?"
+//!
+//! A [`WhatIfPayload`] names everything a worker needs to answer without
+//! touching its collector state: the environment recipe, the captured
+//! [`EnvSnapshot`] of the decision point, the forked first actions (one
+//! [`WhatIfTask`] each), the continuation policy and a step budget. The
+//! worker replays each task from the snapshot and answers with one
+//! undiscounted return per task ([`super::event::Event::ReturnsReady`]).
+//!
+//! Determinism: every task carries its own plain `u64` seed — the replay
+//! env is restored from the snapshot and then reseeded, so a task's
+//! return depends only on `(snapshot, first_action, seed, policy)` and
+//! never on which worker, transport or batch lane executed it. The
+//! scalar runner here is the reference semantics; the batched fan-out in
+//! the `counterfactual` crate and the process transport must agree with
+//! it bit for bit.
+
+use gymrs::{Action, EnvSnapshot, Environment, SnapshotError};
+use rl_algos::policy::ActorCritic;
+
+use super::transport::EnvBlueprint;
+
+/// One forked continuation: the alternative first action and the RNG
+/// seed the replayed environment runs under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfTask {
+    /// The action taken at the decision point instead of the recorded one.
+    pub first_action: Action,
+    /// Seed for the replay env (applied after the snapshot restore).
+    pub seed: u64,
+}
+
+/// How the rollout continues after the forked first action.
+#[derive(Clone)]
+pub enum ContinuationPolicy {
+    /// Repeat the forked action every step — an open-loop probe that
+    /// needs no policy weights.
+    Hold,
+    /// Follow the greedy action of a policy (deterministic — no sampling,
+    /// so parity across execution paths does not hinge on RNG draws).
+    Greedy(Box<ActorCritic>),
+}
+
+impl ContinuationPolicy {
+    /// The next action given the latest observation and the task's fork.
+    pub fn next_action(&self, first_action: &Action, obs: &[f64]) -> Action {
+        match self {
+            ContinuationPolicy::Hold => first_action.clone(),
+            ContinuationPolicy::Greedy(policy) => policy.act_greedy(obs),
+        }
+    }
+}
+
+/// A complete counterfactual order for one worker.
+pub struct WhatIfPayload {
+    /// How to rebuild the environment.
+    pub env: EnvBlueprint,
+    /// The captured decision point.
+    pub snapshot: EnvSnapshot,
+    /// Maximum continuation steps per task (the forked step included).
+    pub horizon: usize,
+    /// Continuation behaviour after the forked action.
+    pub policy: ContinuationPolicy,
+    /// The forked continuations to evaluate.
+    pub tasks: Vec<WhatIfTask>,
+}
+
+/// Replay every task from the snapshot, scalar, one env reused across
+/// tasks (each restore fully overwrites the previous task's state).
+/// Returns one undiscounted return per task, in task order.
+///
+/// This is the reference execution path: the in-process worker, the
+/// `rldt-worker` child process and the batched lockstep runner all defer
+/// to (or must bitwise agree with) this function.
+pub fn run_whatif(payload: &WhatIfPayload) -> Result<Vec<f64>, SnapshotError> {
+    let mut env = payload.env.build(0);
+    let mut returns = Vec::with_capacity(payload.tasks.len());
+    for task in &payload.tasks {
+        returns.push(run_one(env.as_mut(), payload, task)?);
+    }
+    Ok(returns)
+}
+
+/// One task's continuation return on a caller-provided env.
+pub fn run_one(
+    env: &mut dyn Environment,
+    payload: &WhatIfPayload,
+    task: &WhatIfTask,
+) -> Result<f64, SnapshotError> {
+    env.restore(&payload.snapshot)?;
+    env.seed(task.seed);
+    let mut ret = 0.0;
+    let mut action = task.first_action.clone();
+    for _ in 0..payload.horizon {
+        let step = env.step(&action);
+        ret += step.reward;
+        if step.done() {
+            break;
+        }
+        action = payload.policy.next_action(&task.first_action, &step.obs);
+    }
+    Ok(ret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gymrs::Space;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_payload(policy: ContinuationPolicy, tasks: Vec<WhatIfTask>) -> WhatIfPayload {
+        let mut env = EnvBlueprint::Grid { n: 5 }.build(3);
+        env.reset();
+        env.step(&Action::Discrete(1));
+        let snapshot = env.snapshot().expect("grid world snapshots");
+        WhatIfPayload { env: EnvBlueprint::Grid { n: 5 }, snapshot, horizon: 30, policy, tasks }
+    }
+
+    #[test]
+    fn returns_are_per_task_and_reproducible() {
+        let tasks = vec![
+            WhatIfTask { first_action: Action::Discrete(0), seed: 1 },
+            WhatIfTask { first_action: Action::Discrete(1), seed: 2 },
+            WhatIfTask { first_action: Action::Discrete(2), seed: 3 },
+        ];
+        let payload = grid_payload(ContinuationPolicy::Hold, tasks.clone());
+        let a = run_whatif(&payload).expect("runs");
+        assert_eq!(a.len(), 3);
+        let payload = grid_payload(ContinuationPolicy::Hold, tasks);
+        let b = run_whatif(&payload).expect("runs");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b), "same payload, same returns, bit for bit");
+    }
+
+    #[test]
+    fn task_seed_controls_the_continuation() {
+        // Tasks sharing a seed replay identically; the seed is the only
+        // free variable once the snapshot and fork are fixed.
+        let task = |seed| WhatIfTask { first_action: Action::Discrete(1), seed };
+        let mut env = EnvBlueprint::Grid { n: 6 }.build(9);
+        env.reset();
+        let payload = WhatIfPayload {
+            env: EnvBlueprint::Grid { n: 6 },
+            snapshot: env.snapshot().expect("snapshot"),
+            horizon: 40,
+            policy: ContinuationPolicy::Hold,
+            tasks: vec![task(10), task(10), task(11)],
+        };
+        let r = run_whatif(&payload).expect("runs");
+        assert_eq!(r[0].to_bits(), r[1].to_bits(), "same seed, same return");
+    }
+
+    #[test]
+    fn greedy_continuation_follows_the_policy() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut rng);
+        let tasks = vec![WhatIfTask { first_action: Action::Discrete(0), seed: 5 }];
+        let payload = grid_payload(ContinuationPolicy::Greedy(Box::new(policy)), tasks);
+        let r = run_whatif(&payload).expect("runs");
+        assert_eq!(r.len(), 1);
+        assert!(r[0].is_finite());
+    }
+
+    #[test]
+    fn restore_failure_surfaces_as_an_error() {
+        let mut payload = grid_payload(
+            ContinuationPolicy::Hold,
+            vec![WhatIfTask { first_action: Action::Discrete(0), seed: 1 }],
+        );
+        payload.env = EnvBlueprint::PointMass; // kind mismatch
+        assert_eq!(run_whatif(&payload), Err(SnapshotError::Mismatch("kind")));
+    }
+
+    #[test]
+    fn horizon_bounds_the_continuation() {
+        let tasks = vec![WhatIfTask { first_action: Action::Discrete(3), seed: 1 }];
+        let mut payload = grid_payload(ContinuationPolicy::Hold, tasks);
+        payload.horizon = 0;
+        let r = run_whatif(&payload).expect("runs");
+        assert_eq!(r[0], 0.0, "zero horizon accumulates nothing");
+    }
+}

@@ -189,6 +189,36 @@ impl WorkerState {
                 }
                 Flow::Continue
             }
+            Command::WhatIf { round, payload } => {
+                // Counterfactual replay never touches the collector: the
+                // env is rebuilt from the payload's blueprint, so a panic
+                // or a snapshot mismatch leaves the worker's rollout state
+                // intact and is reported as a contained failure.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    crate::runtime::whatif::run_whatif(&payload)
+                }));
+                let ev = match result {
+                    Ok(Ok(returns)) => {
+                        Event::ReturnsReady { worker, node: self.node, round, returns }
+                    }
+                    Ok(Err(e)) => Event::WorkerFailed {
+                        worker,
+                        round,
+                        reason: format!("what-if snapshot rejected: {e}"),
+                        fatal: false,
+                    },
+                    Err(payload) => Event::WorkerFailed {
+                        worker,
+                        round,
+                        reason: panic_text(payload.as_ref()),
+                        fatal: false,
+                    },
+                };
+                if !emit(ev) {
+                    return Flow::Exit;
+                }
+                Flow::Continue
+            }
             Command::UpdateWeights { round, policy: fresh } => {
                 self.policy.copy_params_from(&fresh);
                 if !emit(Event::Heartbeat { worker, round }) {

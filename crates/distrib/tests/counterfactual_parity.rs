@@ -1,0 +1,121 @@
+//! Cross-path counterfactual parity: the analyzer's divergence scores
+//! must be **bitwise identical** whether the continuation rollouts run
+//! through the scalar reference loop, the batched lockstep path (forced
+//! on or forced off), the in-process runtime, or child processes over
+//! Unix domain sockets — extending the `transport.rs`/`determinism.rs`
+//! bit-for-bit discipline to the what-if protocol.
+//!
+//! The task seeds make this a real statement: each continuation's
+//! return depends only on `(snapshot, first_action, seed, policy)`, so
+//! any scheduling, chunking or wire effect would show up as flipped
+//! bits here.
+
+use counterfactual::{AnalyzerConfig, CounterfactualAnalyzer, EpisodeReport, Exec};
+use dist_exec::runtime::{set_worker_bin_for_tests, CollectorBlueprint, WorkerSpec};
+use dist_exec::{ContinuationPolicy, EnvBlueprint, Runtime, TransportConfig, TransportKind};
+use gymrs::{Action, Space};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_algos::policy::ActorCritic;
+
+/// Point every runtime in this binary at the freshly built worker bin.
+fn worker_bin() {
+    set_worker_bin_for_tests(env!("CARGO_BIN_EXE_rldt-worker"));
+}
+
+/// Every f64 the report carries, as raw bits, in a fixed traversal
+/// order — equality here is bitwise equality of the whole analysis.
+fn report_bits(r: &EpisodeReport) -> Vec<u64> {
+    let mut bits = vec![r.factual_return.to_bits()];
+    for p in &r.points {
+        bits.push(p.t as u64);
+        bits.push(p.js_score.to_bits());
+        bits.push(p.w1_score.to_bits());
+        bits.extend(p.factual_returns.samples().iter().map(|x| x.to_bits()));
+        for alt in &p.alternatives {
+            bits.push(alt.js.to_bits());
+            bits.push(alt.w1.to_bits());
+            bits.extend(alt.returns.samples().iter().map(|x| x.to_bits()));
+        }
+    }
+    bits
+}
+
+/// A 3-worker runtime over `transport`, workers spread across 2 nodes.
+fn runtime(blueprint: &EnvBlueprint, config: TransportConfig) -> Runtime<'static> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut rng);
+    let specs = (0..3)
+        .map(|w| {
+            let bp = CollectorBlueprint::per_env(blueprint.clone(), w as u64);
+            WorkerSpec::new(w % 2, bp.build()).with_blueprint(bp)
+        })
+        .collect();
+    Runtime::spawn_with(specs, &policy, config)
+}
+
+fn analyze_everywhere(blueprint: EnvBlueprint, policy: ContinuationPolicy, action: Action) {
+    worker_bin();
+    let config = AnalyzerConfig { alternatives: 3, rollouts: 5, horizon: 20, ..Default::default() };
+    let analyzer = CounterfactualAnalyzer::new(blueprint.clone(), config);
+    let episode = analyzer.record_episode(13, 5, |_, _| action.clone());
+    assert!(!episode.points.is_empty(), "the recorded episode must have decision points");
+
+    let scalar = analyzer.analyze(&episode, &policy, &mut Exec::Scalar).expect("scalar");
+    let reference = report_bits(&scalar);
+
+    for force in [Some(true), Some(false), None] {
+        let batched =
+            analyzer.analyze(&episode, &policy, &mut Exec::Batched { force }).expect("batched");
+        assert_eq!(report_bits(&batched), reference, "batched (force {force:?}) vs scalar");
+    }
+
+    let mut inproc = runtime(&blueprint, TransportConfig::InProcess);
+    let via_channels = analyzer
+        .analyze(&episode, &policy, &mut Exec::Distributed { runtime: &mut inproc, round: 0 })
+        .expect("in-process runtime");
+    inproc.shutdown();
+    assert_eq!(report_bits(&via_channels), reference, "in-process runtime vs scalar");
+
+    let mut uds = runtime(&blueprint, TransportConfig::Uds);
+    assert_eq!(
+        uds.transport_kind(),
+        TransportKind::Uds,
+        "UDS leg must not silently fall back in-process"
+    );
+    let via_uds = analyzer
+        .analyze(&episode, &policy, &mut Exec::Distributed { runtime: &mut uds, round: 0 })
+        .expect("UDS runtime");
+    uds.shutdown();
+    assert_eq!(report_bits(&via_uds), reference, "UDS process transport vs scalar");
+}
+
+#[test]
+fn grid_world_scores_agree_across_all_paths() {
+    analyze_everywhere(EnvBlueprint::Grid { n: 5 }, ContinuationPolicy::Hold, Action::Discrete(1));
+}
+
+#[test]
+fn greedy_continuations_agree_across_all_paths() {
+    // The continuation policy's weights cross the wire on the UDS leg;
+    // greedy actions are deterministic, so any weight-codec drift would
+    // flip return bits.
+    let mut rng = StdRng::seed_from_u64(21);
+    let policy = ActorCritic::new(2, &Space::Discrete(4), &[8], &mut rng);
+    analyze_everywhere(
+        EnvBlueprint::Grid { n: 5 },
+        ContinuationPolicy::Greedy(Box::new(policy)),
+        Action::Discrete(2),
+    );
+}
+
+#[test]
+fn airdrop_scores_agree_across_all_paths() {
+    // The airdrop env exercises the real SIMD ODE batcher on the batched
+    // leg and ships a wider f64 snapshot over the socket on the UDS leg.
+    analyze_everywhere(
+        EnvBlueprint::AirdropFast,
+        ContinuationPolicy::Hold,
+        Action::Continuous(vec![0.25]),
+    );
+}

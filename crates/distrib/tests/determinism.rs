@@ -14,7 +14,7 @@
 use dist_exec::backend::{run, EnvFactory, FnEnvFactory};
 use dist_exec::runtime::test_hooks;
 use dist_exec::spec::{Deployment, ExecSpec};
-use dist_exec::{train_impala, Framework, ImpalaOpts, NullObserver};
+use dist_exec::{train_impala, Framework, ImpalaOpts};
 use gymrs::envs::GridWorld;
 use gymrs::Environment;
 use rl_algos::Algorithm;
@@ -67,7 +67,7 @@ fn run_impala_two_nodes() -> Vec<u64> {
     };
     let mut session = cluster_sim::ClusterSession::new(cluster_sim::ClusterSpec::paper_testbed(2));
     let report =
-        train_impala(&opts, &grid_factory(), &mut session, &mut NullObserver).expect("impala runs");
+        train_impala(&opts, &grid_factory(), &mut session).expect("impala runs");
     let usage = session.finish();
     fingerprint(&report.train_returns, usage.wall_s, usage.energy_j)
 }
@@ -147,7 +147,7 @@ fn run_airdrop_impala() -> Vec<u64> {
         ..Default::default()
     };
     let mut session = cluster_sim::ClusterSession::new(cluster_sim::ClusterSpec::paper_testbed(2));
-    let report = train_impala(&opts, &airdrop_factory(), &mut session, &mut NullObserver)
+    let report = train_impala(&opts, &airdrop_factory(), &mut session)
         .expect("impala runs");
     let usage = session.finish();
     fingerprint(&report.train_returns, usage.wall_s, usage.energy_j)

@@ -26,7 +26,7 @@ use dist_exec::runtime::{
     clear_plan, install_plan, Collector, FaultKind, FaultPlan, FaultPolicy, RngStream, Runtime,
     RuntimeError, WorkerSpec,
 };
-use dist_exec::{train_impala, Deployment, ExecSpec, Framework, ImpalaOpts, NullObserver};
+use dist_exec::{train_impala, Deployment, ExecSpec, Framework, ImpalaOpts};
 use gymrs::envs::GridWorld;
 use gymrs::{Environment, Space};
 use proptest::prelude::*;
@@ -114,7 +114,7 @@ fn run_target(target: Target, fault: FaultPolicy) -> Result<(Vec<u64>, bool), St
             };
             let mut session =
                 ClusterSession::with_recorder(ClusterSpec::paper_testbed(2), ring.clone());
-            let report = train_impala(&opts, &grid_factory(), &mut session, &mut NullObserver)?;
+            let report = train_impala(&opts, &grid_factory(), &mut session)?;
             (report.train_returns, session.finish(), report.degraded)
         }
         _ => {

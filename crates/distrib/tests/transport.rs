@@ -21,7 +21,7 @@ use dist_exec::runtime::{
     set_worker_bin_for_tests, Command, EnvBlueprint, Event, RngStream, WILDCARD_ROUND,
 };
 use dist_exec::spec::{Deployment, ExecSpec};
-use dist_exec::{Framework, NullObserver};
+use dist_exec::Framework;
 use gymrs::Space;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -286,7 +286,6 @@ fn run_impala(transport: Option<&str>) -> (Vec<u64>, u64) {
         &opts,
         &EnvBlueprint::Grid { n: 3 },
         &mut session,
-        &mut NullObserver,
     )
     .expect("impala runs");
     let usage = session.finish();

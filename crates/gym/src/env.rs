@@ -30,6 +30,63 @@ impl Action {
     }
 }
 
+/// A saved environment state, restorable via [`Environment::restore`].
+///
+/// Snapshots are plain data — two flat buffers plus an RNG reseed — so
+/// they serialize trivially (serde, the dist-exec wire codec) and stay
+/// independent of any concrete environment type. Each environment defines
+/// its own layout for `f`/`u`; the `kind` tag guards against restoring a
+/// snapshot into the wrong environment.
+///
+/// # The sequence-point contract
+///
+/// `snapshot()` takes `&mut self` because capturing is a *sequence
+/// point*: the environment re-keys its RNG with a freshly drawn seed
+/// (recorded in [`EnvSnapshot::rng_seed`]) and drops any hidden
+/// integrator caches (FSAL derivatives), so that after the call the live
+/// environment and any restored copy are in bitwise-identical states.
+/// The guaranteed property, which the snapshot round-trip proptests pin
+/// down for every snapshot-capable environment:
+///
+/// ```text
+/// snapshot(); step^n        ==  snapshot(); restore(); step^n
+/// ```
+///
+/// — identical observations, rewards and termination flags, bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvSnapshot {
+    /// Environment kind tag (e.g. `"grid_world"`); checked on restore.
+    pub kind: String,
+    /// Floating-point state (layout is environment-defined).
+    pub f: Vec<f64>,
+    /// Integer state — counters, flags (layout is environment-defined).
+    pub u: Vec<u64>,
+    /// Seed the RNG was re-keyed with at capture time; `restore` replays
+    /// it so both sides continue from the same stream.
+    pub rng_seed: u64,
+}
+
+/// Why a [`Environment::restore`] call was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The environment does not implement snapshotting.
+    Unsupported,
+    /// The snapshot's `kind` tag or buffer layout does not match this
+    /// environment.
+    Mismatch(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Unsupported => write!(f, "environment does not support snapshots"),
+            SnapshotError::Mismatch(what) => write!(f, "snapshot does not fit environment: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// The result of one environment transition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Step {
@@ -98,6 +155,22 @@ pub trait Environment: Send {
         let _ = n_envs;
         None
     }
+
+    /// Capture the current mid-episode state as an [`EnvSnapshot`], or
+    /// `None` when the environment does not support snapshotting (the
+    /// default). Capturing is a sequence point — see the contract on
+    /// [`EnvSnapshot`].
+    fn snapshot(&mut self) -> Option<EnvSnapshot> {
+        None
+    }
+
+    /// Restore a state previously captured by [`Environment::snapshot`]
+    /// on an environment of the same kind and configuration. The default
+    /// rejects with [`SnapshotError::Unsupported`].
+    fn restore(&mut self, snapshot: &EnvSnapshot) -> Result<(), SnapshotError> {
+        let _ = snapshot;
+        Err(SnapshotError::Unsupported)
+    }
 }
 
 /// Blanket impl so `Box<dyn Environment>` is itself an `Environment`.
@@ -128,6 +201,12 @@ impl Environment for Box<dyn Environment> {
         n_envs: usize,
     ) -> Option<Box<dyn crate::vec_env::AnyLockstepBatcher>> {
         (**self).lockstep_batcher(n_envs)
+    }
+    fn snapshot(&mut self) -> Option<EnvSnapshot> {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, snapshot: &EnvSnapshot) -> Result<(), SnapshotError> {
+        (**self).restore(snapshot)
     }
 }
 

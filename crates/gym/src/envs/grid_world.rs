@@ -6,7 +6,7 @@
 //! position. Optimal return from the start is
 //! `1 - 0.04 · (2 (n-1))` with the shortest path.
 
-use crate::env::{Action, Environment, Step};
+use crate::env::{Action, EnvSnapshot, Environment, SnapshotError, Step};
 use crate::space::Space;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -97,6 +97,31 @@ impl Environment for GridWorld {
             terminated: at_goal,
             truncated: !at_goal && self.steps >= self.max_steps,
         }
+    }
+
+    fn snapshot(&mut self) -> Option<EnvSnapshot> {
+        let rng_seed = self.rng.gen::<u64>();
+        self.seed(rng_seed);
+        Some(EnvSnapshot {
+            kind: "grid_world".into(),
+            f: Vec::new(),
+            u: vec![self.x as u64, self.y as u64, self.steps as u64],
+            rng_seed,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EnvSnapshot) -> Result<(), SnapshotError> {
+        if snapshot.kind != "grid_world" {
+            return Err(SnapshotError::Mismatch("kind"));
+        }
+        if snapshot.u.len() != 3 || !snapshot.f.is_empty() {
+            return Err(SnapshotError::Mismatch("buffer layout"));
+        }
+        self.x = snapshot.u[0] as usize;
+        self.y = snapshot.u[1] as usize;
+        self.steps = snapshot.u[2] as usize;
+        self.seed(snapshot.rng_seed);
+        Ok(())
     }
 }
 

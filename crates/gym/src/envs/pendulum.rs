@@ -4,7 +4,7 @@
 //! torque limit forces the agent to pump energy before it can balance.
 //! Used to stress the RL algorithms beyond the airdrop case study.
 
-use crate::env::{Action, Environment, Step};
+use crate::env::{Action, EnvSnapshot, Environment, SnapshotError, Step};
 use crate::space::Space;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,6 +94,31 @@ impl Environment for Pendulum {
         self.theta += self.theta_dot * dt;
         self.t += 1;
         Step { obs: self.obs(), reward, terminated: false, truncated: self.t >= self.horizon }
+    }
+
+    fn snapshot(&mut self) -> Option<EnvSnapshot> {
+        let rng_seed = self.rng.gen::<u64>();
+        self.seed(rng_seed);
+        Some(EnvSnapshot {
+            kind: "pendulum".into(),
+            f: vec![self.theta, self.theta_dot],
+            u: vec![self.t as u64],
+            rng_seed,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EnvSnapshot) -> Result<(), SnapshotError> {
+        if snapshot.kind != "pendulum" {
+            return Err(SnapshotError::Mismatch("kind"));
+        }
+        if snapshot.f.len() != 2 || snapshot.u.len() != 1 {
+            return Err(SnapshotError::Mismatch("buffer layout"));
+        }
+        self.theta = snapshot.f[0];
+        self.theta_dot = snapshot.f[1];
+        self.t = snapshot.u[0] as usize;
+        self.seed(snapshot.rng_seed);
+        Ok(())
     }
 }
 

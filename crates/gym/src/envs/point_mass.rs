@@ -8,7 +8,7 @@
 //! learn this task in a few thousand steps, which makes it the algorithm
 //! acceptance test of the workspace.
 
-use crate::env::{Action, Environment, Step};
+use crate::env::{Action, EnvSnapshot, Environment, SnapshotError, Step};
 use crate::space::Space;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,6 +85,31 @@ impl Environment for PointMass {
         let effort = ax * ax + ay * ay;
         let reward = -(dist + 0.1 * effort) / self.horizon as f64;
         Step { obs: self.obs(), reward, terminated: false, truncated: self.t >= self.horizon }
+    }
+
+    fn snapshot(&mut self) -> Option<EnvSnapshot> {
+        let rng_seed = self.rng.gen::<u64>();
+        self.seed(rng_seed);
+        Some(EnvSnapshot {
+            kind: "point_mass".into(),
+            f: vec![self.pos[0], self.pos[1], self.vel[0], self.vel[1]],
+            u: vec![self.t as u64],
+            rng_seed,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EnvSnapshot) -> Result<(), SnapshotError> {
+        if snapshot.kind != "point_mass" {
+            return Err(SnapshotError::Mismatch("kind"));
+        }
+        if snapshot.f.len() != 4 || snapshot.u.len() != 1 {
+            return Err(SnapshotError::Mismatch("buffer layout"));
+        }
+        self.pos = [snapshot.f[0], snapshot.f[1]];
+        self.vel = [snapshot.f[2], snapshot.f[3]];
+        self.t = snapshot.u[0] as usize;
+        self.seed(snapshot.rng_seed);
+        Ok(())
     }
 }
 

@@ -25,7 +25,7 @@ pub mod space;
 pub mod vec_env;
 pub mod wrappers;
 
-pub use env::{Action, Environment, Step};
+pub use env::{Action, EnvSnapshot, Environment, SnapshotError, Step};
 pub use rollout::{run_episode, run_episodes_vec, EpisodeStats, Trajectory};
 pub use space::Space;
 pub use vec_env::{AnyLockstepBatcher, EnvLanes, LaneStep, StepBatch, TickBatch, VecEnv};
